@@ -1,0 +1,42 @@
+// A4 — future-work ablation (paper Sec. VI): selecting multiple
+// simulations per AL round. Batch selection freezes the model within a
+// round, so it is less greedy; in exchange, a round's q simulations can
+// run concurrently, dividing the number of scheduling rounds by q.
+// Sweeps q in {1, 2, 4, 8} with RandGoodness and reports accuracy, cost,
+// and the round count.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace alamr;
+  bench::print_header(
+      "A4: batch-selection ablation", "Sec. VI future work",
+      "larger batches need fewer scheduling rounds at a modest accuracy "
+      "penalty (less greedy selection)");
+
+  const data::Dataset dataset = bench::load_dataset();
+  const core::AlOptions options = bench::al_options(/*n_init=*/50,
+                                                    /*iterations=*/120);
+  const core::AlSimulator simulator(dataset, options);
+
+  stats::Rng partition_rng(808);
+  const data::Partition partition = data::make_partition(
+      dataset.size(), options.n_test, options.n_init, partition_rng);
+
+  std::printf("\n%8s %8s %12s %14s %14s\n", "batch q", "rounds", "cum.cost",
+              "RMSE(cost)", "RMSE(mem)");
+  for (const std::size_t q : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    stats::Rng rng(13);
+    const core::TrajectoryResult traj =
+        simulator.run_batched(core::RandGoodness(), q, partition, rng);
+    const std::size_t rounds = (traj.iterations.size() + q - 1) / q;
+    std::printf("%8zu %8zu %12.3f %14.4f %14.4f\n", q, rounds,
+                traj.iterations.back().cumulative_cost,
+                traj.iterations.back().rmse_cost,
+                traj.iterations.back().rmse_mem);
+  }
+  return 0;
+}

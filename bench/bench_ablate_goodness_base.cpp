@@ -1,0 +1,61 @@
+// A1 — ablation of the goodness base (paper Sec. IV-B: "Base 10 is the
+// most intuitive option ... higher bases will lead to more skewed
+// candidate distributions"). Sweeps base in {2, e, 10, 100} and reports
+// the selected-cost distribution skew, cumulative cost, and final RMSE.
+
+#include <cmath>
+#include <cstdio>
+
+#include "alamr/stats/descriptive.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace alamr;
+  bench::print_header(
+      "A1: RandGoodness base ablation", "Sec. IV-B design choice",
+      "higher base -> more skew toward cheap samples, lower cumulative "
+      "cost, (eventually) worse exploration/RMSE");
+
+  const data::Dataset dataset = bench::load_dataset();
+  const core::AlOptions options = bench::al_options(/*n_init=*/50,
+                                                    /*iterations=*/120);
+  const core::AlSimulator simulator(dataset, options);
+
+  // Shared partition isolates the base's effect.
+  stats::Rng partition_rng(31415);
+  const data::Partition partition = data::make_partition(
+      dataset.size(), options.n_test, options.n_init, partition_rng);
+
+  std::printf("\n%8s %12s %12s %12s %14s %12s\n", "base", "median[nh]",
+              "cost skew", "cum.cost", "RMSE(cost)", "max picked");
+  for (const double base : {2.0, std::exp(1.0), 10.0, 100.0}) {
+    const core::RandGoodness strategy(base);
+    stats::Rng rng(17);
+    const core::TrajectoryResult traj =
+        simulator.run_with_partition(strategy, partition, rng);
+    std::vector<double> costs;
+    for (const auto& rec : traj.iterations) costs.push_back(rec.actual_cost);
+    const stats::Summary s = stats::summarize(costs);
+    std::printf("%8.3g %12.4f %12.3f %12.3f %14.4f %12.4f\n", base, s.median,
+                stats::skewness(costs),
+                traj.iterations.back().cumulative_cost,
+                traj.iterations.back().rmse_cost, s.max);
+  }
+
+  std::printf("\nReference deterministic extremes on the same partition:\n");
+  for (const auto* which : {"MinPred", "RandUniform"}) {
+    std::unique_ptr<core::Strategy> strategy;
+    if (std::string(which) == "MinPred") {
+      strategy = std::make_unique<core::MinPred>();
+    } else {
+      strategy = std::make_unique<core::RandUniform>();
+    }
+    stats::Rng rng(17);
+    const core::TrajectoryResult traj =
+        simulator.run_with_partition(*strategy, partition, rng);
+    std::printf("  %-12s cum.cost %10.3f nh, final RMSE(cost) %.4f\n", which,
+                traj.iterations.back().cumulative_cost,
+                traj.iterations.back().rmse_cost);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+#pragma once
+
+// Shared infrastructure for the experiment benches (one binary per paper
+// table/figure — see DESIGN.md's experiment index).
+//
+// Dataset resolution order:
+//   1. $ALAMR_DATASET (explicit CSV path)
+//   2. data/amr_dataset.csv found by walking up from the working directory
+//   3. generated on the fly with the paper-scale campaign and cached at
+//      data/amr_dataset.csv (one-time cost of several minutes)
+//
+// Knobs (environment):
+//   ALAMR_QUICK=1          reduced trajectories/iterations for smoke runs
+//   ALAMR_TRAJECTORIES=N   override trajectory count
+//   ALAMR_ITERATIONS=N     override AL iteration cap
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "alamr/amr/campaign.hpp"
+#include "alamr/core/batch.hpp"
+#include "alamr/core/simulator.hpp"
+#include "alamr/data/csv.hpp"
+
+namespace alamr::bench {
+
+inline std::optional<std::size_t> env_size(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return std::nullopt;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+inline bool quick_mode() {
+  const char* value = std::getenv("ALAMR_QUICK");
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+/// Loads the cached paper-scale dataset, generating and caching it if
+/// missing.
+inline data::Dataset load_dataset() {
+  if (const char* override_path = std::getenv("ALAMR_DATASET")) {
+    std::printf("# dataset: %s\n", override_path);
+    return data::read_csv(override_path);
+  }
+  std::filesystem::path dir = std::filesystem::current_path();
+  for (int up = 0; up < 5; ++up) {
+    const auto candidate = dir / "data" / "amr_dataset.csv";
+    if (std::filesystem::exists(candidate)) {
+      std::printf("# dataset: %s\n", candidate.string().c_str());
+      return data::read_csv(candidate);
+    }
+    if (!dir.has_parent_path() || dir.parent_path() == dir) break;
+    dir = dir.parent_path();
+  }
+
+  std::printf("# dataset missing - running the paper-scale AMR campaign "
+              "(one-time, several minutes)...\n");
+  std::fflush(stdout);
+  amr::CampaignOptions options;
+  const auto records = amr::Campaign(options).run();
+  const data::Dataset dataset =
+      amr::Campaign::to_dataset(records, options.dataset_size);
+  std::filesystem::create_directories("data");
+  data::write_csv(dataset, "data/amr_dataset.csv");
+  std::printf("# cached data/amr_dataset.csv\n");
+  return dataset;
+}
+
+/// Default AL options used across the experiment benches (paper Sec. IV:
+/// n_test = 200; n_init varies per experiment).
+inline core::AlOptions al_options(std::size_t n_init, std::size_t iterations) {
+  core::AlOptions options;
+  options.n_test = 200;
+  options.n_init = n_init;
+  options.max_iterations = env_size("ALAMR_ITERATIONS").value_or(
+      quick_mode() ? std::min<std::size_t>(iterations, 30) : iterations);
+  options.initial_fit.restarts = 2;
+  options.initial_fit.max_opt_iterations = 50;
+  options.refit.restarts = 0;
+  options.refit.max_opt_iterations = 10;
+  options.rmse_stride = 1;
+  return options;
+}
+
+inline std::size_t trajectories(std::size_t wanted) {
+  return env_size("ALAMR_TRAJECTORIES").value_or(quick_mode() ? 1 : wanted);
+}
+
+inline void print_header(const char* experiment, const char* paper_artifact,
+                         const char* expectation) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s  (reproduces %s)\n", experiment, paper_artifact);
+  std::printf("shape expectation: %s\n", expectation);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+}  // namespace alamr::bench

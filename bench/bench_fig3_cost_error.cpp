@@ -1,0 +1,69 @@
+// E4 — paper Fig. 3: the cost-error trade-off. For every algorithm, test
+// RMSE of the cost model versus cumulative cost of the selected samples,
+// averaged over trajectories. This is the figure where cost-aware
+// algorithms win: they reach a given RMSE at a fraction of RandUniform's
+// cumulative cost.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace alamr;
+  bench::print_header(
+      "E4: cost-error trade-off (RMSE vs cumulative cost)", "Fig. 3",
+      "RandGoodness reaches low RMSE at far lower cumulative cost than "
+      "MaxSigma/RandUniform; MinPred stays cheap but plateaus");
+
+  const data::Dataset dataset = bench::load_dataset();
+  const core::AlOptions options = bench::al_options(/*n_init=*/50,
+                                                    /*iterations=*/200);
+  const core::AlSimulator simulator(dataset, options);
+  const std::size_t n_traj = bench::trajectories(3);
+
+  std::vector<std::unique_ptr<core::Strategy>> strategies;
+  strategies.push_back(std::make_unique<core::RandUniform>());
+  strategies.push_back(std::make_unique<core::MaxSigma>());
+  strategies.push_back(std::make_unique<core::MinPred>());
+  strategies.push_back(std::make_unique<core::RandGoodness>());
+  strategies.push_back(
+      std::make_unique<core::Rgma>(simulator.memory_limit_log10()));
+
+  std::printf("\n# %zu trajectories per algorithm, %zu AL iterations each\n",
+              n_traj, options.max_iterations);
+  std::printf("\n%-14s %6s %14s %14s %14s\n", "algorithm", "iter",
+              "cum.cost[nh]", "RMSE(cost)", "RMSE(mem)");
+
+  for (const auto& strategy : strategies) {
+    core::BatchOptions batch;
+    batch.trajectories = n_traj;
+    batch.seed = 4242;
+    const auto results = core::run_batch(simulator, *strategy, batch);
+    const auto cc = core::aggregate_curve(results, core::Metric::kCumulativeCost);
+    const auto rmse_c = core::aggregate_curve(results, core::Metric::kRmseCost);
+    const auto rmse_m = core::aggregate_curve(results, core::Metric::kRmseMem);
+    const std::size_t n = std::min({cc.size(), rmse_c.size(), rmse_m.size()});
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((i + 1) % 20 == 0 || i + 1 == n || i == 0) {
+        std::printf("%-14s %6zu %14.3f %14.4f %14.4f\n",
+                    strategy->name().c_str(), i + 1, cc[i].mean, rmse_c[i].mean,
+                    rmse_m[i].mean);
+      }
+    }
+    // Efficiency headline: cost to reach 2x the algorithm's final RMSE.
+    const double target = 2.0 * rmse_c.back().mean;
+    double cost_at_target = cc.back().mean;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rmse_c[i].mean <= target) {
+        cost_at_target = cc[i].mean;
+        break;
+      }
+    }
+    std::printf("%-14s -> final RMSE %.4f at total cost %.2f nh "
+                "(reached 2x-final RMSE after %.2f nh)\n\n",
+                strategy->name().c_str(), rmse_c.back().mean, cc.back().mean,
+                cost_at_target);
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E5 — paper Fig. 4: cumulative regret (CR, Eq. 11) of RGMA trajectories
+// for nInit in {1, 50, 100}, against a memory-blind RandGoodness baseline.
+// CR counts the node-hours of selected jobs whose ACTUAL memory use meets
+// or exceeds L_mem — cycles that a real run would have burned on crashes.
+//
+// Paper shape: RGMA's CR flattens as the memory model learns; larger
+// nInit gives lower CR from the start; the memory-blind baseline keeps
+// accumulating regret; RGMA trajectories may terminate early when no
+// remaining candidate is predicted safe.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace alamr;
+  bench::print_header(
+      "E5: RGMA cumulative regret vs iteration, nInit in {1, 50, 100}",
+      "Fig. 4",
+      "RGMA CR flattens (learns to avoid violators); larger nInit -> lower "
+      "CR; memory-blind baseline grows steadily");
+
+  const data::Dataset dataset = bench::load_dataset();
+  const std::size_t n_traj = bench::trajectories(3);
+  const std::size_t iterations = 200;
+
+  struct Row {
+    std::string label;
+    std::vector<core::CurvePoint> cr;
+    std::size_t early_stops = 0;
+    double mean_length = 0.0;
+  };
+  std::vector<Row> rows;
+
+  for (const std::size_t n_init : {std::size_t{1}, std::size_t{50},
+                                   std::size_t{100}}) {
+    const core::AlOptions options = bench::al_options(n_init, iterations);
+    const core::AlSimulator simulator(dataset, options);
+    const core::Rgma rgma(simulator.memory_limit_log10());
+    core::BatchOptions batch;
+    batch.trajectories = n_traj;
+    batch.seed = 555 + n_init;
+    const auto results = core::run_batch(simulator, rgma, batch);
+    Row row;
+    row.label = "RGMA nInit=" + std::to_string(n_init);
+    row.cr = core::aggregate_curve(results, core::Metric::kCumulativeRegret);
+    for (const auto& traj : results) {
+      if (traj.early_stopped) ++row.early_stops;
+      row.mean_length += static_cast<double>(traj.iterations.size());
+    }
+    row.mean_length /= static_cast<double>(results.size());
+    rows.push_back(std::move(row));
+  }
+
+  {
+    // Memory-blind baseline at the middle nInit.
+    const core::AlOptions options = bench::al_options(50, iterations);
+    const core::AlSimulator simulator(dataset, options);
+    const core::RandGoodness blind;
+    core::BatchOptions batch;
+    batch.trajectories = n_traj;
+    batch.seed = 606;
+    const auto results = core::run_batch(simulator, blind, batch);
+    Row row;
+    row.label = "RandGoodness nInit=50 (memory-blind)";
+    row.cr = core::aggregate_curve(results, core::Metric::kCumulativeRegret);
+    for (const auto& traj : results) {
+      row.mean_length += static_cast<double>(traj.iterations.size());
+    }
+    row.mean_length /= static_cast<double>(results.size());
+    rows.push_back(std::move(row));
+  }
+
+  const core::AlSimulator probe(dataset, bench::al_options(1, 1));
+  std::printf("\nL_mem = %.2f MB; %zu trajectories per configuration\n",
+              probe.memory_limit_mb(), n_traj);
+
+  std::printf("\n%6s", "iter");
+  for (const Row& row : rows) std::printf(" %26.26s", row.label.c_str());
+  std::printf("\n%6s", "");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::printf(" %26s", "CR mean [min, max] nh");
+  }
+  std::printf("\n");
+  std::size_t longest = 0;
+  for (const Row& row : rows) longest = std::max(longest, row.cr.size());
+  for (std::size_t i = 0; i < longest; ++i) {
+    if ((i + 1) % 20 != 0 && i + 1 != longest && i != 0) continue;
+    std::printf("%6zu", i + 1);
+    for (const Row& row : rows) {
+      if (i < row.cr.size()) {
+        char cell[64];
+        std::snprintf(cell, sizeof(cell), "%.3f [%.3f, %.3f]", row.cr[i].mean,
+                      row.cr[i].lo, row.cr[i].hi);
+        std::printf(" %26s", cell);
+      } else {
+        std::printf(" %26s", "(stopped)");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nTrajectory endings:\n");
+  for (const Row& row : rows) {
+    std::printf("  %-38s mean length %.1f iterations, early stops: %zu/%zu\n",
+                row.label.c_str(), row.mean_length, row.early_stops, n_traj);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E6 — paper Sec. V-C RMSE progression: test RMSE of the cost and memory
+// models versus iteration for RGMA at nInit in {1, 50, 100}, including
+// the paper's observation that the nInit=100 configuration can LOSE
+// memory-model accuracy late in AL (memory-model bias near the
+// constraint) while nInit=1 stays competitive.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace alamr;
+  bench::print_header(
+      "E6: RGMA test-RMSE progression across nInit", "Sec. V-C / Fig. 5",
+      "small-nInit RGMA competitive in final RMSE; watch for late-stage "
+      "memory-RMSE growth at large nInit");
+
+  const data::Dataset dataset = bench::load_dataset();
+  const std::size_t n_traj = bench::trajectories(3);
+  const std::size_t iterations = 200;
+
+  struct Row {
+    std::string label;
+    std::vector<core::CurvePoint> rmse_cost;
+    std::vector<core::CurvePoint> rmse_mem;
+    double initial_rmse_cost = 0.0;
+    double initial_rmse_mem = 0.0;
+  };
+  std::vector<Row> rows;
+
+  for (const std::size_t n_init : {std::size_t{1}, std::size_t{50},
+                                   std::size_t{100}}) {
+    const core::AlOptions options = bench::al_options(n_init, iterations);
+    const core::AlSimulator simulator(dataset, options);
+    const core::Rgma rgma(simulator.memory_limit_log10());
+    core::BatchOptions batch;
+    batch.trajectories = n_traj;
+    batch.seed = 777 + n_init;
+    const auto results = core::run_batch(simulator, rgma, batch);
+    Row row;
+    row.label = "nInit=" + std::to_string(n_init);
+    row.rmse_cost = core::aggregate_curve(results, core::Metric::kRmseCost);
+    row.rmse_mem = core::aggregate_curve(results, core::Metric::kRmseMem);
+    for (const auto& traj : results) {
+      row.initial_rmse_cost += traj.initial_rmse_cost;
+      row.initial_rmse_mem += traj.initial_rmse_mem;
+    }
+    row.initial_rmse_cost /= static_cast<double>(results.size());
+    row.initial_rmse_mem /= static_cast<double>(results.size());
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("\n%6s", "iter");
+  for (const Row& row : rows) {
+    std::printf(" | %10s %10s", (row.label + " cost").c_str(),
+                (row.label + " mem").c_str());
+  }
+  std::printf("\n");
+  std::printf("%6s", "init");
+  for (const Row& row : rows) {
+    std::printf(" | %10.4f %10.4f", row.initial_rmse_cost, row.initial_rmse_mem);
+  }
+  std::printf("\n");
+
+  std::size_t longest = 0;
+  for (const Row& row : rows) longest = std::max(longest, row.rmse_cost.size());
+  for (std::size_t i = 0; i < longest; ++i) {
+    if ((i + 1) % 10 != 0 && i + 1 != longest && i != 0) continue;
+    std::printf("%6zu", i + 1);
+    for (const Row& row : rows) {
+      if (i < row.rmse_cost.size()) {
+        std::printf(" | %10.4f %10.4f", row.rmse_cost[i].mean,
+                    row.rmse_mem[i].mean);
+      } else {
+        std::printf(" | %10s %10s", "-", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nLate-stage memory-model drift (paper's nInit=100 anomaly "
+              "check):\n");
+  for (const Row& row : rows) {
+    if (row.rmse_mem.size() < 4) continue;
+    const std::size_t half = row.rmse_mem.size() / 2;
+    double best_late = 1e300;
+    for (std::size_t i = half; i < row.rmse_mem.size(); ++i) {
+      best_late = std::min(best_late, row.rmse_mem[i].mean);
+    }
+    const double final = row.rmse_mem.back().mean;
+    std::printf("  %-10s memory RMSE: best-after-midpoint %.4f, final %.4f "
+                "(drift %+.1f%%)\n",
+                row.label.c_str(), best_late, final,
+                100.0 * (final - best_late) / best_late);
+  }
+  return 0;
+}

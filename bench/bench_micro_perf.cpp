@@ -1,0 +1,132 @@
+// P1 — microbenchmarks (google-benchmark): the kernels whose cost governs
+// the AL loop (Cholesky, gram construction, GPR fit/predict scaling in n)
+// and the AMR solver's cell-update throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "alamr/amr/solver.hpp"
+#include "alamr/gp/gpr.hpp"
+#include "alamr/linalg/cholesky.hpp"
+#include "alamr/stats/rng.hpp"
+
+namespace {
+
+using namespace alamr;
+
+linalg::Matrix random_points(std::size_t n, std::size_t d, stats::Rng& rng) {
+  linalg::Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.uniform(0.0, 1.0);
+  }
+  return x;
+}
+
+linalg::Matrix random_spd(std::size_t n, stats::Rng& rng) {
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  linalg::Matrix spd = linalg::aat(a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+void BM_Cholesky(benchmark::State& state) {
+  stats::Rng rng(1);
+  const auto a = random_spd(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto factor = linalg::CholeskyFactor::factor(a);
+    benchmark::DoNotOptimize(factor);
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_KernelGram(benchmark::State& state) {
+  stats::Rng rng(2);
+  const auto x = random_points(static_cast<std::size_t>(state.range(0)), 5, rng);
+  const auto kernel = gp::make_paper_kernel();
+  for (auto _ : state) {
+    auto gram = kernel->gram(x);
+    benchmark::DoNotOptimize(gram);
+  }
+}
+BENCHMARK(BM_KernelGram)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_GramWithGradients(benchmark::State& state) {
+  stats::Rng rng(3);
+  const auto x = random_points(static_cast<std::size_t>(state.range(0)), 5, rng);
+  const auto kernel = gp::make_paper_kernel();
+  std::vector<linalg::Matrix> gradients;
+  for (auto _ : state) {
+    auto gram = kernel->gram_with_gradients(x, gradients);
+    benchmark::DoNotOptimize(gram);
+  }
+}
+BENCHMARK(BM_GramWithGradients)->Arg(100)->Arg(200);
+
+void BM_GprFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(4);
+  const auto x = random_points(n, 5, rng);
+  std::vector<double> y(n);
+  for (double& v : y) v = rng.normal();
+  gp::GprOptions options;
+  options.restarts = 0;
+  options.max_opt_iterations = 5;
+  for (auto _ : state) {
+    gp::GaussianProcessRegressor gpr(gp::make_paper_kernel(), options);
+    gpr.fit(x, y, rng);
+    benchmark::DoNotOptimize(gpr);
+  }
+}
+BENCHMARK(BM_GprFit)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_GprPredict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(5);
+  const auto x = random_points(n, 5, rng);
+  std::vector<double> y(n);
+  for (double& v : y) v = rng.normal();
+  gp::GprOptions options;
+  options.optimize = false;
+  gp::GaussianProcessRegressor gpr(gp::make_paper_kernel(), options);
+  gpr.fit(x, y, rng);
+  const auto queries = random_points(200, 5, rng);
+  for (auto _ : state) {
+    auto pred = gpr.predict(queries);
+    benchmark::DoNotOptimize(pred);
+  }
+}
+BENCHMARK(BM_GprPredict)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_AmrStep(benchmark::State& state) {
+  amr::ShockBubbleProblem problem;
+  problem.mx = static_cast<int>(state.range(0));
+  problem.max_level = 3;
+  amr::FvSolver solver(problem);
+  solver.mesh().fill_ghosts();
+  const double dt = solver.mesh().compute_dt();
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    solver.step(dt);
+    cells += solver.mesh().total_cells();
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AmrStep)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_AmrRegrid(benchmark::State& state) {
+  amr::ShockBubbleProblem problem;
+  problem.mx = 8;
+  problem.max_level = static_cast<int>(state.range(0));
+  amr::FvSolver solver(problem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.mesh().regrid());
+  }
+}
+BENCHMARK(BM_AmrRegrid)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

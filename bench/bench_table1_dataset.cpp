@@ -1,0 +1,71 @@
+// E2 — paper Table I: min/median/mean/max of the five features and three
+// responses of the 600-sample dataset, plus the headline dataset facts the
+// paper quotes in Sec. IV-A (cost dynamic range, unique-combination count).
+
+#include <cstdio>
+
+#include "alamr/stats/descriptive.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+void row(const char* label, std::span<const double> values) {
+  const alamr::stats::Summary s = alamr::stats::summarize(values);
+  std::printf("%-44s %10.3f %10.3f %10.3f %10.3f\n", label, s.min, s.median,
+              s.mean, s.max);
+}
+
+}  // namespace
+
+int main() {
+  using namespace alamr;
+  bench::print_header(
+      "E2: dataset summary", "Table I",
+      "cost spans >=3 orders of magnitude; long-tailed responses");
+
+  const data::Dataset dataset = bench::load_dataset();
+
+  std::printf("\n%-44s %10s %10s %10s %10s\n", "", "min", "median", "mean",
+              "max");
+  std::vector<double> column(dataset.size());
+  const char* labels[] = {"Feature: p, # of nodes", "Feature: mx, box size",
+                          "Feature: maxlevel, max refinement level",
+                          "Feature: r0, bubble size",
+                          "Feature: rhoin, bubble density"};
+  for (std::size_t j = 0; j < dataset.dim(); ++j) {
+    for (std::size_t i = 0; i < dataset.size(); ++i) column[i] = dataset.x(i, j);
+    row(j < 5 ? labels[j] : dataset.feature_names[j].c_str(), column);
+  }
+  row("Response: wall clock time, seconds", dataset.wallclock);
+  row("Response: cost, node-hours", dataset.cost);
+  row("Response: memory, MB", dataset.memory);
+
+  const auto [min_cost, max_cost] =
+      std::minmax_element(dataset.cost.begin(), dataset.cost.end());
+  std::printf("\nDataset facts (paper Sec. IV-A analogues):\n");
+  std::printf("  samples: %zu (paper: 600)\n", dataset.size());
+  std::printf("  max/min cost ratio: %.3g (paper: 5.4e3)\n",
+              *max_cost / *min_cost);
+
+  // Unique feature combinations vs replicates.
+  std::size_t unique = 0;
+  std::vector<bool> seen(dataset.size(), false);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (seen[i]) continue;
+    ++unique;
+    for (std::size_t j = i; j < dataset.size(); ++j) {
+      bool same = true;
+      for (std::size_t c = 0; c < dataset.dim(); ++c) {
+        if (dataset.x(i, c) != dataset.x(j, c)) {
+          same = false;
+          break;
+        }
+      }
+      if (same) seen[j] = true;
+    }
+  }
+  std::printf("  unique parameter combinations: %zu, replicate rows: %zu "
+              "(paper: 525 / 75)\n",
+              unique, dataset.size() - unique);
+  return 0;
+}

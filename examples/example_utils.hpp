@@ -1,0 +1,55 @@
+#pragma once
+
+// Shared helpers for the example programs: dataset loading with a
+// small-campaign fallback so every example runs out of the box, plus
+// simple table printing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "alamr/amr/campaign.hpp"
+#include "alamr/data/csv.hpp"
+
+namespace alamr::examples {
+
+/// Loads the paper-scale dataset if it has been generated (see
+/// examples/amr_campaign.cpp), else generates a reduced campaign on the
+/// fly (about a minute) so the example is self-contained.
+inline data::Dataset load_dataset() {
+  const char* override_path = std::getenv("ALAMR_DATASET");
+  const std::filesystem::path candidates[] = {
+      override_path != nullptr ? std::filesystem::path(override_path)
+                               : std::filesystem::path(),
+      "data/amr_dataset.csv",
+      "../data/amr_dataset.csv",
+      "../../data/amr_dataset.csv",
+  };
+  for (const auto& path : candidates) {
+    if (!path.empty() && std::filesystem::exists(path)) {
+      std::printf("Loading dataset from %s\n", path.string().c_str());
+      return data::read_csv(path);
+    }
+  }
+
+  std::printf(
+      "No cached dataset found - generating a reduced AMR campaign\n"
+      "(run examples/amr_campaign to build and cache the full 600-job one).\n");
+  amr::CampaignOptions options;
+  options.mx_values = {8, 16};
+  options.level_values = {2, 3, 4};
+  options.unique_configs = 140;
+  options.dataset_size = 160;
+  options.maxrss_bug_threshold_seconds = 20.0;
+  const auto records = amr::Campaign(options).run();
+  return amr::Campaign::to_dataset(records, options.dataset_size);
+}
+
+inline void print_rule() {
+  std::printf(
+      "--------------------------------------------------------------------"
+      "----------\n");
+}
+
+}  // namespace alamr::examples

@@ -1,0 +1,75 @@
+// Memory-aware experiment planning: the paper's headline scenario.
+//
+// An experimenter moves from a big-memory environment to one with a hard
+// per-process memory limit and lets AL plan further experiments. This
+// example runs RGMA (memory-aware) and RandGoodness (memory-blind) on the
+// same partition and compares cumulative regret: compute cycles burned on
+// jobs that would have crashed into the limit.
+
+#include <cstdio>
+
+#include "alamr/core/simulator.hpp"
+#include "example_utils.hpp"
+
+int main() {
+  using namespace alamr;
+
+  const data::Dataset dataset = examples::load_dataset();
+
+  core::AlOptions options;
+  options.n_test = dataset.size() / 3;
+  options.n_init = 10;
+  options.max_iterations = 60;
+
+  const core::AlSimulator simulator(dataset, options);
+  const double limit_mb = simulator.memory_limit_mb();
+  std::size_t over = 0;
+  for (const double m : dataset.memory) {
+    if (m >= limit_mb) ++over;
+  }
+  std::printf(
+      "Memory limit L_mem = %.2f MB; %zu of %zu dataset jobs exceed it\n",
+      limit_mb, over, dataset.size());
+
+  // Same partition + same strategy-RNG seed isolates the effect of the
+  // memory filter.
+  stats::Rng partition_rng(7);
+  const data::Partition partition = data::make_partition(
+      dataset.size(), options.n_test, options.n_init, partition_rng);
+
+  const core::Rgma rgma(simulator.memory_limit_log10());
+  const core::RandGoodness blind;
+  stats::Rng r1(99);
+  stats::Rng r2(99);
+  const auto aware = simulator.run_with_partition(rgma, partition, r1);
+  const auto unaware = simulator.run_with_partition(blind, partition, r2);
+
+  examples::print_rule();
+  std::printf("%5s | %16s %16s | %16s %16s\n", "iter", "RGMA regret",
+              "RGMA cost", "blind regret", "blind cost");
+  examples::print_rule();
+  const std::size_t n =
+      std::min(aware.iterations.size(), unaware.iterations.size());
+  for (std::size_t i = 0; i < n; i += 10) {
+    std::printf("%5zu | %16.4f %16.4f | %16.4f %16.4f\n", i + 1,
+                aware.iterations[i].cumulative_regret,
+                aware.iterations[i].cumulative_cost,
+                unaware.iterations[i].cumulative_regret,
+                unaware.iterations[i].cumulative_cost);
+  }
+  examples::print_rule();
+
+  const double cr_aware = aware.iterations.back().cumulative_regret;
+  const double cr_blind = unaware.iterations.back().cumulative_regret;
+  std::printf(
+      "\nAfter %zu iterations: RGMA wasted %.4f node-hours on would-crash "
+      "jobs\nversus %.4f for the memory-blind strategy",
+      n, cr_aware, cr_blind);
+  if (aware.early_stopped) {
+    std::printf(
+        " (RGMA terminated early:\nevery remaining candidate was predicted "
+        "to exceed the limit)");
+  }
+  std::printf(".\n");
+  return 0;
+}

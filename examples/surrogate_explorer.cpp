@@ -1,0 +1,135 @@
+// Surrogate exploration: what the paper says trained models are *for*
+// (Sec. II-C): answering inverse questions across the whole input space,
+// not just locating an optimum.
+//
+// Fits cost and memory GPRs on the full dataset, then:
+//   1. reports leave-some-out prediction quality on a holdout;
+//   2. answers "cheapest configuration with maxlevel = 6 that stays under
+//      the memory limit" by scanning the full 1920-point grid through the
+//      surrogates;
+//   3. prints a cost landscape slice over (mx, maxlevel).
+
+#include <cstdio>
+
+#include "alamr/amr/campaign.hpp"
+#include "alamr/core/metrics.hpp"
+#include "alamr/core/simulator.hpp"
+#include "example_utils.hpp"
+
+int main() {
+  using namespace alamr;
+
+  const data::Dataset dataset = examples::load_dataset();
+
+  // Pre-process exactly like the AL pipeline.
+  const data::FeatureScaler scaler = data::FeatureScaler::fit(dataset.x);
+  const linalg::Matrix x_scaled = scaler.transform(dataset.x);
+  const std::vector<double> log_cost = data::log10_transform(dataset.cost);
+  const std::vector<double> log_mem = data::log10_transform(dataset.memory);
+
+  // Holdout split: last fifth for validation.
+  const std::size_t n = dataset.size();
+  const std::size_t n_train = n - n / 5;
+  std::vector<std::size_t> train_rows(n_train);
+  std::vector<std::size_t> test_rows(n - n_train);
+  for (std::size_t i = 0; i < n_train; ++i) train_rows[i] = i;
+  for (std::size_t i = n_train; i < n; ++i) test_rows[i - n_train] = i;
+
+  const auto gather_rows = [&](std::span<const std::size_t> rows) {
+    linalg::Matrix out(rows.size(), x_scaled.cols());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (std::size_t c = 0; c < x_scaled.cols(); ++c) {
+        out(r, c) = x_scaled(rows[r], c);
+      }
+    }
+    return out;
+  };
+  const auto gather_values = [](std::span<const double> v,
+                                std::span<const std::size_t> rows) {
+    std::vector<double> out(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) out[r] = v[rows[r]];
+    return out;
+  };
+
+  gp::GprOptions fit_options;
+  fit_options.restarts = 2;
+  gp::GaussianProcessRegressor gpr_cost(gp::make_paper_kernel(), fit_options);
+  gp::GaussianProcessRegressor gpr_mem(gp::make_paper_kernel(), fit_options);
+  stats::Rng rng(11);
+  const linalg::Matrix x_train = gather_rows(train_rows);
+  gpr_cost.fit(x_train, gather_values(log_cost, train_rows), rng);
+  gpr_mem.fit(x_train, gather_values(log_mem, train_rows), rng);
+
+  std::printf("Cost model:   %s  (LML %.1f)\n", gpr_cost.kernel().describe().c_str(),
+              gpr_cost.log_marginal_likelihood());
+  std::printf("Memory model: %s  (LML %.1f)\n", gpr_mem.kernel().describe().c_str(),
+              gpr_mem.log_marginal_likelihood());
+
+  // 1. Holdout quality.
+  const linalg::Matrix x_test = gather_rows(test_rows);
+  const auto cost_pred = data::exp10_transform(gpr_cost.predict_mean(x_test));
+  const auto mem_pred = data::exp10_transform(gpr_mem.predict_mean(x_test));
+  const auto cost_actual = gather_values(dataset.cost, test_rows);
+  const auto mem_actual = gather_values(dataset.memory, test_rows);
+  std::printf("\nHoldout (%zu rows): RMSE(cost) = %.4f node-hours, "
+              "RMSE(memory) = %.4f MB\n",
+              test_rows.size(), core::rmse(cost_pred, cost_actual),
+              core::rmse(mem_pred, mem_actual));
+
+  // 2. Inverse query over the full grid.
+  const double limit_log10 = core::AlSimulator::paper_memory_limit_log10(dataset);
+  amr::CampaignOptions grid_options;
+  const amr::Campaign campaign(grid_options);
+  const auto grid = campaign.full_grid();
+  linalg::Matrix grid_x(grid.size(), 5);
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    grid_x(g, 0) = grid[g].p;
+    grid_x(g, 1) = grid[g].mx;
+    grid_x(g, 2) = grid[g].max_level;
+    grid_x(g, 3) = grid[g].r0;
+    grid_x(g, 4) = grid[g].rhoin;
+  }
+  const linalg::Matrix grid_scaled = scaler.transform(grid_x);
+  const auto grid_cost = gpr_cost.predict_mean(grid_scaled);
+  const auto grid_mem = gpr_mem.predict_mean(grid_scaled);
+
+  std::size_t best = grid.size();
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    if (grid[g].max_level != 6) continue;
+    if (grid_mem[g] >= limit_log10) continue;
+    if (best == grid.size() || grid_cost[g] < grid_cost[best]) best = g;
+  }
+  if (best < grid.size()) {
+    std::printf(
+        "\nCheapest maxlevel-6 configuration under L_mem = %.2f MB:\n"
+        "  p=%d, mx=%d, r0=%.3f, rhoin=%.2f  ->  predicted %.3f node-hours, "
+        "%.2f MB\n",
+        std::pow(10.0, limit_log10), grid[best].p, grid[best].mx,
+        grid[best].r0, grid[best].rhoin, std::pow(10.0, grid_cost[best]),
+        std::pow(10.0, grid_mem[best]));
+  } else {
+    std::printf("\nNo maxlevel-6 configuration is predicted to fit under the "
+                "memory limit.\n");
+  }
+
+  // 3. Cost landscape slice at p=8, r0=0.35, rhoin=0.1.
+  std::printf("\nPredicted cost [node-hours] at p=8, r0=0.35, rhoin=0.1:\n");
+  std::printf("%10s", "mx \\ lvl");
+  for (const int lvl : grid_options.level_values) std::printf("%10d", lvl);
+  std::printf("\n");
+  for (const int mx : grid_options.mx_values) {
+    std::printf("%10d", mx);
+    for (const int lvl : grid_options.level_values) {
+      linalg::Matrix q(1, 5);
+      q(0, 0) = 8.0;
+      q(0, 1) = mx;
+      q(0, 2) = lvl;
+      q(0, 3) = 0.35;
+      q(0, 4) = 0.1;
+      const auto pred = gpr_cost.predict_mean(scaler.transform(q));
+      std::printf("%10.3f", std::pow(10.0, pred[0]));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

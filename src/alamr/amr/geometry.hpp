@@ -1,0 +1,60 @@
+#pragma once
+
+// Quadtree patch addressing for block-structured AMR, following the
+// forest-of-octrees design of p4est/ForestClaw: the domain is a small
+// "brick" of root patches, each the root of a quadtree; a patch at level L
+// is addressed by integer coordinates (i, j) on the level-L grid.
+
+#include <cstdint>
+#include <functional>
+
+namespace alamr::amr {
+
+/// Address of one patch: level 0 is the root brick; each +1 level halves
+/// the patch edge length. (i, j) index the level's logical patch grid,
+/// which spans bricks_x * 2^level by bricks_y * 2^level patches.
+struct PatchKey {
+  std::int32_t level = 0;
+  std::int32_t i = 0;
+  std::int32_t j = 0;
+
+  bool operator==(const PatchKey&) const = default;
+
+  PatchKey parent() const noexcept { return {level - 1, i >> 1, j >> 1}; }
+
+  /// Child c in Morton order: c = (jy << 1) | ix.
+  PatchKey child(int c) const noexcept {
+    return {level + 1, 2 * i + (c & 1), 2 * j + ((c >> 1) & 1)};
+  }
+
+  /// Which child of its parent this patch is (Morton position 0..3).
+  int child_index() const noexcept { return (i & 1) | ((j & 1) << 1); }
+
+  /// Face-adjacent neighbor at the same level. face: 0=-x, 1=+x, 2=-y, 3=+y.
+  PatchKey face_neighbor(int face) const noexcept {
+    switch (face) {
+      case 0: return {level, i - 1, j};
+      case 1: return {level, i + 1, j};
+      case 2: return {level, i, j - 1};
+      default: return {level, i, j + 1};
+    }
+  }
+};
+
+/// 64-bit Morton (z-order) interleave of two 32-bit coordinates. Orders
+/// same-level patches along a space-filling curve; combined with the
+/// quadtree DFS this yields the p4est leaf order used for partitioning.
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y) noexcept;
+
+struct PatchKeyHash {
+  std::size_t operator()(const PatchKey& k) const noexcept {
+    // Level in high bits; Morton of (i, j) below — collisions across
+    // levels are impossible for level < 16, which is far beyond use.
+    const std::uint64_t m =
+        morton_encode(static_cast<std::uint32_t>(k.i), static_cast<std::uint32_t>(k.j));
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(k.level) << 48) ^ m);
+  }
+};
+
+}  // namespace alamr::amr

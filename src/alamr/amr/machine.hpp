@@ -1,0 +1,72 @@
+#pragma once
+
+// Simulated parallel machine (substitute for NERSC Edison + SLURM).
+//
+// One physics run (SolverStats) is priced under a node count p: leaves are
+// partitioned across MPI ranks along the space-filling curve (p4est
+// style), per-step time is the slowest rank's compute plus its ghost
+// exchange plus a global dt-reduction, and MaxRSS per process is the
+// largest rank's working-set estimate. Constants are calibrated so the
+// resulting dataset spans the same orders of magnitude as the paper's
+// Table I; the *mechanisms* (SFC partition granularity, load imbalance,
+// surface-to-volume communication, startup overhead) are modeled, not
+// curve-fitted.
+
+#include <cstddef>
+#include <vector>
+
+#include "alamr/amr/solver.hpp"
+#include "alamr/stats/rng.hpp"
+
+namespace alamr::amr {
+
+struct MachineSpec {
+  int cores_per_node = 24;            // Edison: two 12-core Ivy Bridge sockets
+  double cell_update_seconds = 4e-4;  // per cell-update per rank (includes
+                                      // the full Clawpack-style flux work the
+                                      // real code performs per cell)
+  double latency_seconds = 2e-5;      // per message (MPI + Aries)
+  double bandwidth_bytes_per_second = 1e9;  // per rank
+  double bytes_per_ghost_cell = 32.0;       // 4 doubles
+  double reduction_latency_seconds = 1e-5;  // allreduce term, x log2(ranks)
+  double regrid_seconds_per_cell = 1e-5;    // flagging + rebuild + repartition
+  double startup_seconds = 1.5;             // srun + MPI_Init + I/O
+  double startup_seconds_per_rank = 0.002;
+
+  // MaxRSS accounting: state + ghosts + workspace + solver tables per cell,
+  // patch metadata, and the partition's share — max over ranks is reported.
+  double bytes_per_cell_memory = 4096.0;
+  double bytes_per_patch_overhead = 2048.0;
+
+  // Run-to-run variability (the paper keeps replicate measurements to
+  // capture machine noise): multiplicative lognormal on wallclock, smaller
+  // on memory.
+  double wallclock_noise_sigma = 0.06;
+  double memory_noise_sigma = 0.02;
+};
+
+/// SLURM-accounting-style record of one job.
+struct JobResult {
+  double wallclock_seconds = 0.0;
+  double cost_node_hours = 0.0;
+  double maxrss_mb = 0.0;
+
+  // Diagnostics (not part of the dataset; used by tests and examples).
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double regrid_seconds = 0.0;
+  double startup_seconds = 0.0;
+  double load_imbalance = 1.0;  // max over ranks / mean, cell-weighted
+};
+
+/// Contiguous SFC partition of leaves into `ranks` parts, balanced by
+/// cell count. Returns the rank of each leaf (leaf order = SFC order).
+std::vector<std::size_t> sfc_partition(const std::vector<std::size_t>& cells,
+                                       std::size_t ranks);
+
+/// Prices one physics run on `nodes` nodes. `rng` drives measurement noise;
+/// pass the same seed to reproduce a "measurement".
+JobResult simulate_job(const SolverStats& stats, int nodes,
+                       const MachineSpec& spec, stats::Rng& rng);
+
+}  // namespace alamr::amr

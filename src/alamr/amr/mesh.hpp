@@ -1,0 +1,142 @@
+#pragma once
+
+// Block-structured quadtree mesh (ForestClaw style): a brick of root
+// patches, each refined adaptively into an mx-by-mx patch hierarchy with
+// 2:1 level balance between face neighbors. Only leaves store state.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "alamr/amr/patch.hpp"
+#include "alamr/amr/problem.hpp"
+
+namespace alamr::amr {
+
+/// Connectivity of one leaf, used by the machine model to price ghost
+/// exchange: each entry is (index of the neighbor in SFC order, number of
+/// ghost cells exchanged across the shared face per step).
+struct LeafEdge {
+  std::size_t neighbor = 0;
+  int ghost_cells = 0;
+};
+
+/// A partition-ready snapshot of the mesh: leaves in SFC (quadtree DFS)
+/// order with their size and face adjacency.
+struct MeshTopology {
+  std::vector<PatchKey> keys;          // SFC order
+  std::vector<std::size_t> cells;      // interior cells per leaf
+  std::vector<std::vector<LeafEdge>> edges;  // per leaf, both directions
+
+  std::size_t total_cells() const noexcept;
+};
+
+class QuadtreeMesh {
+ public:
+  /// Builds the root brick, applies the initial condition, and performs
+  /// max_level rounds of initial refinement (re-evaluating the analytic
+  /// initial condition on newly created fine patches).
+  explicit QuadtreeMesh(const ShockBubbleProblem& problem);
+
+  const ShockBubbleProblem& problem() const noexcept { return problem_; }
+
+  std::size_t leaf_count() const noexcept { return leaves_.size(); }
+  std::size_t total_cells() const noexcept;
+  int finest_level() const noexcept;
+
+  /// Patch edge length / cell size at a level.
+  double patch_size(int level) const noexcept;
+  double cell_size(int level) const noexcept;
+
+  /// Lower-left corner of a patch in domain coordinates.
+  double patch_x0(const PatchKey& key) const noexcept;
+  double patch_y0(const PatchKey& key) const noexcept;
+
+  bool is_leaf(const PatchKey& key) const noexcept;
+  Patch& leaf(const PatchKey& key);
+  const Patch& leaf(const PatchKey& key) const;
+
+  /// True if the key is inside the logical patch grid of its level.
+  bool in_domain(const PatchKey& key) const noexcept;
+
+  /// Fills all ghost layers: same-level copy, coarse-fine interpolation
+  /// (piecewise-constant from coarse, 2x2 conservative average from fine),
+  /// and physical boundary conditions.
+  void fill_ghosts();
+
+  /// CFL-limited global timestep (requires valid interior data).
+  double compute_dt() const;
+
+  /// One regrid pass: flag by the density-jump indicator, enforce 2:1
+  /// balance, refine flagged leaves (piecewise-constant prolongation),
+  /// coarsen eligible sibling quartets (conservative averaging).
+  /// Returns the number of leaves refined + coarsened.
+  std::size_t regrid();
+
+  /// Leaves in quadtree DFS (p4est) order.
+  std::vector<PatchKey> leaves_in_sfc_order() const;
+
+  /// Topology snapshot for the machine model.
+  MeshTopology topology() const;
+
+  /// Per-level leaf counts, index = level (for Fig. 1 reporting).
+  std::vector<std::size_t> leaves_per_level() const;
+
+  /// Total density integral over the domain (sum rho * cell area);
+  /// conserved up to coarse-fine flux mismatch and boundary fluxes.
+  double total_mass() const;
+
+  /// Refinement level of the leaf containing domain point (x, y); -1 when
+  /// the point is outside the domain. Used to render Fig. 1-style maps.
+  int level_at(double x, double y) const;
+
+  /// Cell-value density at the leaf cell containing (x, y); NaN outside.
+  double rho_at(double x, double y) const;
+
+  /// Invokes f(patch) for every leaf (mutable / const overloads).
+  template <typename F>
+  void for_each_leaf(F&& f) {
+    for (auto& [key, patch] : leaves_) f(patch);
+  }
+  template <typename F>
+  void for_each_leaf(F&& f) const {
+    for (const auto& [key, patch] : leaves_) f(patch);
+  }
+
+  /// Applies `f(x_center, y_center) -> Cons` to every interior cell of
+  /// every leaf (used for initial conditions and tests).
+  template <typename F>
+  void for_each_cell_set(F&& f) {
+    for (auto& [key, patch] : leaves_) {
+      const double h = cell_size(key.level);
+      const double x0 = patch_x0(key);
+      const double y0 = patch_y0(key);
+      for (int j = 0; j < patch.mx(); ++j) {
+        for (int i = 0; i < patch.mx(); ++i) {
+          patch.at(i, j) = f(x0 + (i + 0.5) * h, y0 + (j + 0.5) * h);
+        }
+      }
+    }
+  }
+
+ private:
+  /// Applies the problem's analytic initial condition to one patch.
+  void apply_initial_condition(Patch& patch);
+
+  /// Fills one ghost face of `patch`; assumes 2:1 balance.
+  void fill_face(Patch& patch, int face);
+  void fill_physical_face(Patch& patch, int face);
+
+  /// Splits a leaf into 4 children (piecewise-constant prolongation).
+  void refine_leaf(const PatchKey& key);
+
+  /// Merges 4 sibling leaves into their parent (conservative average).
+  void coarsen_quartet(const PatchKey& parent_key);
+
+  void sfc_collect(const PatchKey& key, std::vector<PatchKey>& out) const;
+
+  ShockBubbleProblem problem_;
+  std::unordered_map<PatchKey, Patch, PatchKeyHash> leaves_;
+};
+
+}  // namespace alamr::amr

@@ -1,0 +1,56 @@
+#pragma once
+
+// One AMR patch: an mx-by-mx block of finite-volume cells plus a ghost
+// layer on each side (one cell for the first-order scheme, two for the
+// second-order MUSCL-Hancock scheme).
+
+#include <vector>
+
+#include "alamr/amr/euler.hpp"
+#include "alamr/amr/geometry.hpp"
+
+namespace alamr::amr {
+
+class Patch {
+ public:
+  Patch() = default;
+  Patch(PatchKey key, int mx, int ghosts = 1);
+
+  const PatchKey& key() const noexcept { return key_; }
+  int mx() const noexcept { return mx_; }
+  int ghosts() const noexcept { return ghosts_; }
+  /// Interior cell count (mx^2).
+  std::size_t cells() const noexcept {
+    return static_cast<std::size_t>(mx_) * static_cast<std::size_t>(mx_);
+  }
+
+  /// Access including ghosts: i, j in [-ghosts, mx+ghosts-1]; the range
+  /// (0..mx-1) is interior.
+  Cons& at(int i, int j) noexcept { return data_[index(i, j)]; }
+  const Cons& at(int i, int j) const noexcept { return data_[index(i, j)]; }
+
+  /// Sum of a conserved component over interior cells (conservation tests).
+  double interior_sum_rho() const noexcept;
+  double interior_sum_e() const noexcept;
+
+  /// Maximum of |grad rho| * h / rho over interior cells using one-sided
+  /// differences into the ghost layer — the refinement indicator.
+  double max_relative_density_jump() const noexcept;
+
+  /// Maximum CFL wave speed over interior cells.
+  double max_wave_speed() const noexcept;
+
+ private:
+  std::size_t index(int i, int j) const noexcept {
+    const int stride = mx_ + 2 * ghosts_;
+    return static_cast<std::size_t>(j + ghosts_) * static_cast<std::size_t>(stride) +
+           static_cast<std::size_t>(i + ghosts_);
+  }
+
+  PatchKey key_;
+  int mx_ = 0;
+  int ghosts_ = 1;
+  std::vector<Cons> data_;  // (mx + 2*ghosts)^2, row-major with ghosts
+};
+
+}  // namespace alamr::amr

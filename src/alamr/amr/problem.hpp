@@ -1,0 +1,84 @@
+#pragma once
+
+// The shock-bubble interaction problem (paper Fig. 1): a planar shock
+// sweeps over a circular bubble of different density. Parameters r0
+// (bubble size) and rhoin (bubble density) are two of the paper's five
+// dataset features; mx and maxlevel are the numerical features.
+
+#include "alamr/amr/euler.hpp"
+
+namespace alamr::amr {
+
+/// Boundary condition per domain side.
+enum class BoundaryType { kInflow, kOutflow, kReflect };
+
+/// Approximate Riemann solver used at cell faces. HLL (paper-era default
+/// robustness choice) smears contacts; HLLC restores the contact wave and
+/// resolves the bubble interface more sharply at identical cost class.
+enum class RiemannSolver { kHll, kHllc };
+
+/// Spatial accuracy of the finite-volume update. kSecondOrder is the
+/// dimensional-split MUSCL-Hancock scheme with minmod-limited slopes
+/// (needs a two-cell ghost layer), matching the accuracy class of the
+/// Clawpack-family codes the paper ran.
+enum class SpatialOrder { kFirstOrder, kSecondOrder };
+
+struct ShockBubbleProblem {
+  // --- dataset features -----------------------------------------------
+  int mx = 16;        // cells per patch edge
+  int max_level = 4;  // deepest refinement level (level 0 = root brick)
+  double r0 = 0.3;    // bubble size feature (paper units, 0.2 .. 0.5)
+  double rhoin = 0.1; // bubble density (ambient is 1.0)
+
+  // --- fixed problem definition ----------------------------------------
+  double mach = 2.0;         // shock Mach number
+  double shock_x = 0.12;     // initial shock position
+  double bubble_x = 0.35;    // bubble center
+  double bubble_y = 0.25;
+  /// The r0 feature is expressed in the paper's units (fractions of the
+  /// domain height of their setup); we map it to a radius as r0 * scale.
+  double bubble_radius_scale = 0.25;
+
+  /// Domain [0, width] x [0, height]; root brick is bricks_x x bricks_y
+  /// patches, so patches are square when width/bricks_x == height/bricks_y.
+  double width = 1.0;
+  double height = 0.5;
+  int bricks_x = 2;
+  int bricks_y = 1;
+
+  double final_time = 0.03;  // shock reaches and deforms the bubble
+  double cfl = 0.4;
+  RiemannSolver riemann = RiemannSolver::kHll;
+  SpatialOrder order = SpatialOrder::kFirstOrder;
+
+  /// Ghost-layer width the chosen scheme needs.
+  int ghost_width() const noexcept {
+    return order == SpatialOrder::kSecondOrder ? 2 : 1;
+  }
+
+  /// Refinement control: refine a patch when its relative density-jump
+  /// indicator exceeds refine_threshold; coarsen below coarsen_threshold.
+  double refine_threshold = 0.04;
+  double coarsen_threshold = 0.008;
+  int regrid_interval = 4;  // steps between regrids
+
+  /// Physical bubble radius in domain units.
+  double bubble_radius() const noexcept { return r0 * bubble_radius_scale; }
+
+  /// Initial conserved state at cell center (x, y): post-shock gas left of
+  /// the shock, ambient elsewhere, bubble density inside the circle.
+  Cons initial_state(double x, double y) const noexcept;
+
+  /// Boundary type of face 0=-x, 1=+x, 2=-y, 3=+y: inflow on the left
+  /// (feeding the shock), outflow on the right, reflecting walls top and
+  /// bottom (channel configuration).
+  BoundaryType boundary(int face) const noexcept;
+
+  /// The fixed post-shock state used by the inflow boundary.
+  Prim post_shock() const noexcept;
+
+  /// Throws std::invalid_argument when parameters are out of range.
+  void validate() const;
+};
+
+}  // namespace alamr::amr

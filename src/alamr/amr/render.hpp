@@ -1,0 +1,31 @@
+#pragma once
+
+// Rasterization of mesh fields to PGM images — the quantitative stand-in
+// for the paper's Fig. 1 flow visualizations. PGM (portable graymap) needs
+// no image library and every viewer opens it.
+
+#include <filesystem>
+#include <string>
+
+#include "alamr/amr/mesh.hpp"
+
+namespace alamr::amr {
+
+/// Which field to rasterize.
+enum class RenderField {
+  kDensity,          // rho, linear grayscale between field min/max
+  kRefinementLevel,  // leaf level, coarse = dark
+};
+
+/// Renders the field on a width x height raster covering the domain
+/// (row 0 = top of the domain) and returns it as an ASCII PGM (P2) string.
+/// Throws std::invalid_argument for degenerate sizes.
+std::string render_pgm(const QuadtreeMesh& mesh, RenderField field,
+                       int width = 384, int height = 192);
+
+/// render_pgm + write to disk. Throws std::runtime_error on I/O failure.
+void write_pgm(const QuadtreeMesh& mesh, RenderField field,
+               const std::filesystem::path& path, int width = 384,
+               int height = 192);
+
+}  // namespace alamr::amr

@@ -1,0 +1,71 @@
+#pragma once
+
+// Finite-volume time integrator over the quadtree mesh, instrumented to
+// produce the execution profiles the machine model consumes.
+//
+// Between regrids the mesh topology is constant; the solver records one
+// MeshTopology snapshot per such "epoch" together with the number of steps
+// taken in it. The machine model later prices every epoch under a given
+// node count, so one physics run serves all values of the machine
+// parameter p — exactly how the paper's features factor (p is a machine
+// parameter; mx, maxlevel, r0, rhoin determine the physics).
+
+#include <cstddef>
+#include <vector>
+
+#include "alamr/amr/mesh.hpp"
+
+namespace alamr::amr {
+
+/// Constant-topology phase of the run.
+struct EpochProfile {
+  MeshTopology topology;
+  std::size_t steps = 0;
+};
+
+/// Everything the campaign needs from one physics run.
+struct SolverStats {
+  std::size_t steps = 0;
+  std::size_t total_cell_updates = 0;
+  std::size_t peak_cells = 0;
+  std::size_t peak_leaves = 0;
+  std::size_t regrids = 0;
+  double final_time = 0.0;
+  double initial_mass = 0.0;
+  double final_mass = 0.0;
+  int finest_level = 0;
+  std::vector<std::size_t> final_leaves_per_level;
+  std::vector<EpochProfile> epochs;
+};
+
+class FvSolver {
+ public:
+  explicit FvSolver(const ShockBubbleProblem& problem);
+
+  QuadtreeMesh& mesh() noexcept { return mesh_; }
+  const QuadtreeMesh& mesh() const noexcept { return mesh_; }
+
+  /// Advances to problem.final_time (or max_steps, whichever first) and
+  /// returns the instrumented statistics. Callable once per solver.
+  SolverStats run(std::size_t max_steps = 20000);
+
+  /// One time step of size dt (ghosts must be filled). First-order: an
+  /// unsplit Godunov update. Second-order: two dimensional-split
+  /// MUSCL-Hancock sweeps with a ghost refill in between, alternating the
+  /// sweep order each step. Exposed for tests.
+  void step(double dt);
+
+ private:
+  void step_first_order(double dt);
+  /// One MUSCL-Hancock sweep over every leaf; x_direction selects the
+  /// sweep axis.
+  void sweep_second_order(double dt, bool x_direction);
+
+  QuadtreeMesh mesh_;
+  std::vector<Cons> scratch_;
+  std::vector<Prim> prims_;
+  std::size_t step_parity_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace alamr::amr

@@ -1,0 +1,58 @@
+#pragma once
+
+// Batch execution and aggregation of AL trajectories (paper Sec. IV-B:
+// "By processing a large number of trajectories, we can reason about the
+// statistical properties of the algorithms independent of the initial
+// conditions"). Mirrors the paper's multiprocessing batch mode with a
+// std::thread pool; every trajectory gets an independent derived RNG
+// stream so results do not depend on scheduling.
+
+#include <cstdint>
+#include <vector>
+
+#include "alamr/core/simulator.hpp"
+
+namespace alamr::core {
+
+struct BatchOptions {
+  std::size_t trajectories = 5;
+  /// 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  std::uint64_t seed = 1234;
+};
+
+/// Runs `options.trajectories` independent trajectories of `strategy`
+/// (fresh random partition each). Results are ordered by trajectory index
+/// regardless of thread scheduling.
+std::vector<TrajectoryResult> run_batch(const AlSimulator& simulator,
+                                        const Strategy& strategy,
+                                        const BatchOptions& options);
+
+/// Per-iteration scalar extracted from a trajectory.
+enum class Metric {
+  kRmseCost,
+  kRmseMem,
+  kRmseCostWeighted,
+  kCumulativeCost,
+  kCumulativeRegret,
+  kActualCost,
+};
+
+std::vector<double> extract_series(const TrajectoryResult& trajectory,
+                                   Metric metric);
+
+/// Cross-trajectory aggregate at one iteration.
+struct CurvePoint {
+  std::size_t iteration = 0;
+  double mean = 0.0;
+  double lo = 0.0;       // min across trajectories
+  double hi = 0.0;       // max across trajectories
+  std::size_t count = 0; // trajectories still running at this iteration
+};
+
+/// Mean/min/max of `metric` at each iteration across trajectories
+/// (trajectories that stopped early simply drop out of later points).
+std::vector<CurvePoint> aggregate_curve(
+    std::span<const TrajectoryResult> trajectories, Metric metric);
+
+}  // namespace alamr::core

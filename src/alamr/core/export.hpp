@@ -1,0 +1,31 @@
+#pragma once
+
+// CSV export of AL trajectories and aggregate curves, so users can plot
+// the paper's figures with any external tool (one row per iteration, one
+// file per trajectory/curve).
+
+#include <filesystem>
+#include <string>
+
+#include "alamr/core/batch.hpp"
+
+namespace alamr::core {
+
+/// Serializes a trajectory's per-iteration records:
+/// iteration,dataset_row,actual_cost,actual_memory,predicted_cost_log10,
+/// predicted_cost_sigma,predicted_mem_log10,predicted_mem_sigma,rmse_cost,
+/// rmse_mem,rmse_cost_weighted,cumulative_cost,cumulative_regret
+std::string trajectory_to_csv(const TrajectoryResult& trajectory);
+
+/// trajectory_to_csv + write to disk. Throws std::runtime_error on I/O
+/// failure.
+void write_trajectory_csv(const TrajectoryResult& trajectory,
+                          const std::filesystem::path& path);
+
+/// Serializes an aggregate curve: iteration,mean,lo,hi,count.
+std::string curve_to_csv(std::span<const CurvePoint> curve);
+
+void write_curve_csv(std::span<const CurvePoint> curve,
+                     const std::filesystem::path& path);
+
+}  // namespace alamr::core

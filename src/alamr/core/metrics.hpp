@@ -1,0 +1,31 @@
+#pragma once
+
+// Evaluation metrics of paper Sec. V-B: test RMSE in the original
+// (non-log) response space (Eq. 10), optionally weighted (Eq. 12);
+// cumulative cost; and cumulative regret against a memory limit (Eq. 11).
+
+#include <span>
+#include <vector>
+
+namespace alamr::core {
+
+/// RMSE between predictions and actual values (Eq. 10). Both in the
+/// original response units (callers exponentiate log-space predictions
+/// first, per Sec. IV-A).
+double rmse(std::span<const double> predicted, std::span<const double> actual);
+
+/// Weighted RMSE (Eq. 12): sqrt(e^T rho e / n) with diagonal weights rho.
+/// `weights` must be non-negative and the same length as the residuals;
+/// they are normalized to sum to n so uniform weights reproduce rmse().
+double weighted_rmse(std::span<const double> predicted,
+                     std::span<const double> actual,
+                     std::span<const double> weights);
+
+/// Individual regret (Eq. 11): the full cost is wasted iff the job's
+/// actual memory use meets or exceeds the limit (it would have crashed).
+double individual_regret(double cost, double memory, double memory_limit);
+
+/// Cumulative sums of a per-iteration series (for CC and CR curves).
+std::vector<double> cumulative(std::span<const double> values);
+
+}  // namespace alamr::core

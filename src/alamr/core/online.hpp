@@ -1,0 +1,87 @@
+#pragma once
+
+// Online Active Learning (paper Sec. IV: "an 'online' AL system makes
+// decisions about what experiment to run next").
+//
+// Unlike AlSimulator, which replays a database of precomputed samples,
+// the OnlineAlDriver holds a grid of NOT-yet-run candidate configurations
+// and an oracle that actually executes an experiment (here: the AMR
+// solver + machine model; in production: a job submitted to a cluster).
+// Each iteration predicts over the remaining grid, selects one candidate,
+// runs it, and refits — paying real (simulated) node-hours for every
+// selection, which is exactly the regime the cost-aware strategies are
+// designed for.
+
+#include <functional>
+#include <limits>
+
+#include "alamr/core/strategies.hpp"
+#include "alamr/data/transforms.hpp"
+#include "alamr/gp/gpr.hpp"
+
+namespace alamr::core {
+
+/// Executes the experiment described by a feature row and returns the
+/// measured (cost [node-hours], memory [MB]). Both must be positive.
+using ExperimentOracle =
+    std::function<std::pair<double, double>(std::span<const double> features)>;
+
+struct OnlineAlOptions {
+  /// Experiments run (on oracle rows chosen uniformly at random) before AL
+  /// starts making decisions; the paper's minimal-realistic case is 1.
+  std::size_t n_init = 1;
+  /// AL selections after the initial phase.
+  std::size_t iterations = 25;
+  /// L_mem in log10(MB) for RGMA-style strategies and regret accounting;
+  /// NaN disables regret tracking (no limit).
+  double memory_limit_log10 = std::numeric_limits<double>::quiet_NaN();
+
+  gp::GprOptions initial_fit{.restarts = 2, .max_opt_iterations = 50};
+  gp::GprOptions refit{.restarts = 0, .max_opt_iterations = 10};
+};
+
+/// One executed experiment in an online run.
+struct OnlineRecord {
+  std::size_t grid_row = 0;  // row of the candidate grid that was run
+  double cost = 0.0;         // measured node-hours
+  double memory = 0.0;       // measured MB
+  double predicted_cost_log10 = 0.0;
+  double predicted_mem_log10 = 0.0;
+  double cumulative_cost = 0.0;
+  double cumulative_regret = 0.0;
+  bool initial_phase = false;  // run before AL decisions started
+};
+
+struct OnlineResult {
+  std::vector<OnlineRecord> records;
+  bool exhausted_safe_candidates = false;
+  /// Final models, usable for downstream prediction over the grid.
+  std::unique_ptr<gp::GaussianProcessRegressor> cost_model;
+  std::unique_ptr<gp::GaussianProcessRegressor> memory_model;
+};
+
+/// Drives online AL over `candidate_grid` (raw feature rows; scaled to the
+/// unit cube internally). Every selection calls `oracle` exactly once.
+class OnlineAlDriver {
+ public:
+  OnlineAlDriver(linalg::Matrix candidate_grid, ExperimentOracle oracle,
+                 OnlineAlOptions options);
+
+  std::size_t remaining_candidates() const noexcept {
+    return grid_.rows() - visited_count_;
+  }
+
+  /// Runs the initial phase plus `options.iterations` AL selections.
+  /// Callable once per driver instance.
+  OnlineResult run(const Strategy& strategy, stats::Rng& rng);
+
+ private:
+  linalg::Matrix grid_;          // raw features
+  linalg::Matrix grid_scaled_;   // unit-cube features
+  ExperimentOracle oracle_;
+  OnlineAlOptions options_;
+  std::size_t visited_count_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace alamr::core

@@ -1,0 +1,164 @@
+#pragma once
+
+// The offline Active-Learning simulator (paper Algorithm 1).
+//
+// Drives sequential experiment selection against a database of precomputed
+// AMR performance samples: partition into Init/Active/Test, fit cost and
+// memory GPR models on Init, then repeatedly (predict over remaining
+// Active candidates) -> (select one via a Strategy) -> (reveal its
+// measurements) -> (warm-started refit of both models), recording the
+// evaluation metrics after every iteration.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "alamr/core/strategies.hpp"
+#include "alamr/data/dataset.hpp"
+#include "alamr/data/partition.hpp"
+#include "alamr/data/transforms.hpp"
+#include "alamr/gp/gpr.hpp"
+
+namespace alamr::core {
+
+/// Which kernel family the simulator builds (the paper uses RBF; the
+/// others exist for the future-work kernel ablation).
+enum class KernelChoice { kRbf, kRbfArd, kMatern32, kMatern52 };
+
+/// Optional stopping heuristic (paper Sec. V-D, after Bloodgood &
+/// Vijay-Shanker's "stabilizing predictions"): stop AL once the cost
+/// model's Test-set predictions stop moving — the mean absolute change of
+/// the log10 predictions stays below `tolerance` for `patience`
+/// consecutive iterations (never before `min_iterations`).
+struct StabilizingStopRule {
+  bool enabled = false;
+  double tolerance = 0.01;
+  std::size_t patience = 5;
+  std::size_t min_iterations = 20;
+};
+
+/// Why a trajectory ended.
+enum class StopReason {
+  kActiveExhausted,    // every Active sample was selected
+  kIterationBudget,    // AlOptions::max_iterations reached
+  kNoSafeCandidates,   // RGMA found no candidate under the memory limit
+  kStabilized,         // StabilizingStopRule fired
+};
+
+std::string to_string(StopReason reason);
+
+struct AlOptions {
+  std::size_t n_test = 200;
+  std::size_t n_init = 50;
+
+  /// Per-feature pre-transforms applied before unit-cube scaling (paper
+  /// Sec. V-D: train on log2(p) so powers of two are equidistant). Empty =
+  /// identity for every column.
+  std::vector<data::ColumnTransform> feature_transforms;
+
+  /// Optional stabilizing-predictions early stopping.
+  StabilizingStopRule stopping;
+
+  /// 0 = run until the Active partition is exhausted.
+  std::size_t max_iterations = 0;
+
+  /// L_mem in log10(MB). NaN = use the paper's rule: 95% of the largest
+  /// log10 memory response in the dataset.
+  double memory_limit_log10 = std::numeric_limits<double>::quiet_NaN();
+
+  KernelChoice kernel = KernelChoice::kRbf;
+
+  /// Hyperparameter-fitting effort: the initial fit explores (restarts);
+  /// per-iteration refits warm-start from the previous hyperparameters
+  /// (Algorithm 1's note) with a small iteration budget.
+  gp::GprOptions initial_fit{.restarts = 2, .max_opt_iterations = 60};
+  gp::GprOptions refit{.restarts = 0, .max_opt_iterations = 12};
+
+  /// Evaluate test RMSE every `rmse_stride` iterations (1 = every
+  /// iteration, matching the paper; larger strides speed up big batches —
+  /// intermediate records carry the last computed value).
+  std::size_t rmse_stride = 1;
+};
+
+/// Everything recorded at one AL iteration.
+struct IterationRecord {
+  std::size_t iteration = 0;       // 0-based
+  std::size_t dataset_row = 0;     // row index in the full dataset
+  double actual_cost = 0.0;        // node-hours (non-log)
+  double actual_memory = 0.0;      // MB (non-log)
+  double predicted_cost_log10 = 0.0;   // mu_cost of the chosen candidate
+  double predicted_cost_sigma = 0.0;   // sigma_cost of the chosen candidate
+  double predicted_mem_log10 = 0.0;
+  double predicted_mem_sigma = 0.0;
+  double rmse_cost = 0.0;          // test RMSE, non-log space (Eq. 10)
+  double rmse_mem = 0.0;
+  /// Cost-weighted test RMSE (Eq. 12 with rho_ii proportional to the test
+  /// sample's actual cost — the paper's Sec. V-D argument that errors on
+  /// expensive configurations matter more).
+  double rmse_cost_weighted = 0.0;
+  double cumulative_cost = 0.0;    // CC
+  double cumulative_regret = 0.0;  // CR (Eq. 11)
+  std::size_t candidates_before = 0;
+};
+
+struct TrajectoryResult {
+  std::string strategy_name;
+  data::Partition partition;
+  std::vector<IterationRecord> iterations;
+  bool early_stopped = false;      // RGMA exhausted its safe candidates
+  StopReason stop_reason = StopReason::kActiveExhausted;
+  double memory_limit_mb = 0.0;    // non-log L_mem used for regret
+  double initial_rmse_cost = 0.0;  // test RMSE right after the Init fit
+  double initial_rmse_mem = 0.0;
+};
+
+class AlSimulator {
+ public:
+  /// Pre-processes once: features scaled to the unit cube (fitted on the
+  /// full dataset, as the offline analysis does), responses log10'd.
+  AlSimulator(const data::Dataset& dataset, AlOptions options);
+
+  const AlOptions& options() const noexcept { return options_; }
+  const data::Dataset& dataset() const noexcept { return dataset_; }
+
+  /// L_mem actually in force, log10(MB) / MB.
+  double memory_limit_log10() const noexcept { return limit_log10_; }
+  double memory_limit_mb() const noexcept;
+
+  /// Draws a fresh partition from `rng` and runs one trajectory.
+  TrajectoryResult run(const Strategy& strategy, stats::Rng& rng) const;
+
+  /// Runs one trajectory on a fixed partition (for paired comparisons).
+  TrajectoryResult run_with_partition(const Strategy& strategy,
+                                      const data::Partition& partition,
+                                      stats::Rng& rng) const;
+
+  /// Batch-mode AL (paper Sec. VI future work: "running multiple
+  /// simulations in parallel at each iteration"): each round selects
+  /// `batch_size` candidates WITHOUT intermediate model updates (already
+  /// selected candidates are just excluded from the view), then reveals
+  /// all of them and retrains once. Less greedy than one-at-a-time but
+  /// needs 1/batch_size as many scheduling rounds. Records carry the
+  /// global selection index; a round's records share the same post-round
+  /// RMSE. max_iterations counts selections, not rounds.
+  TrajectoryResult run_batched(const Strategy& strategy,
+                               std::size_t batch_size,
+                               const data::Partition& partition,
+                               stats::Rng& rng) const;
+
+  /// The paper's memory limit rule: 95% of the largest log10 memory
+  /// response (Sec. V-B).
+  static double paper_memory_limit_log10(const data::Dataset& dataset);
+
+ private:
+  std::unique_ptr<gp::Kernel> make_kernel() const;
+
+  data::Dataset dataset_;   // original units (responses used for metrics)
+  AlOptions options_;
+  linalg::Matrix x_scaled_; // unit-cube features
+  std::vector<double> log_cost_;
+  std::vector<double> log_mem_;
+  double limit_log10_ = 0.0;
+};
+
+}  // namespace alamr::core

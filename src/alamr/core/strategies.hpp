@@ -1,0 +1,130 @@
+#pragma once
+
+// The five candidate-selection algorithms of paper Sec. IV-B.
+//
+// Every strategy sees the same inputs Algorithm 1 provides: the remaining
+// candidate rows and the cost/memory GPR predictions (mean and standard
+// deviation, in log10 response space) for each. It returns the index of
+// the chosen candidate, or nothing to terminate AL early (RGMA does this
+// when no remaining candidate is predicted to satisfy the memory limit).
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "alamr/linalg/matrix.hpp"
+#include "alamr/stats/rng.hpp"
+
+namespace alamr::core {
+
+/// What a strategy may inspect at one AL iteration. All vectors are
+/// aligned with the rows of `x` (the remaining Active candidates, scaled
+/// features). Predictions are in log10 response space, matching the
+/// paper's pre-processing.
+struct CandidateView {
+  const linalg::Matrix& x;
+  std::span<const double> mu_cost;
+  std::span<const double> sigma_cost;
+  std::span<const double> mu_mem;
+  std::span<const double> sigma_mem;
+
+  std::size_t size() const noexcept { return mu_cost.size(); }
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual std::string name() const = 0;
+  virtual std::optional<std::size_t> select(const CandidateView& candidates,
+                                            stats::Rng& rng) const = 0;
+  virtual std::unique_ptr<Strategy> clone() const = 0;
+};
+
+/// Uniform random sampling — the reference point that ignores the models.
+class RandUniform final : public Strategy {
+ public:
+  std::string name() const override { return "RandUniform"; }
+  std::optional<std::size_t> select(const CandidateView& candidates,
+                                    stats::Rng& rng) const override;
+  std::unique_ptr<Strategy> clone() const override;
+};
+
+/// Uncertainty sampling: argmax sigma_cost (the paper's earlier
+/// "Variance Reduction").
+class MaxSigma final : public Strategy {
+ public:
+  std::string name() const override { return "MaxSigma"; }
+  std::optional<std::size_t> select(const CandidateView& candidates,
+                                    stats::Rng& rng) const override;
+  std::unique_ptr<Strategy> clone() const override;
+};
+
+/// Greedy argmax (sigma_cost - mu_cost). As the paper observes, the spread
+/// of mu dominates the spread of sigma, so in practice this picks the
+/// cheapest predicted candidate — hence the name.
+class MinPred final : public Strategy {
+ public:
+  std::string name() const override { return "MinPred"; }
+  std::optional<std::size_t> select(const CandidateView& candidates,
+                                    stats::Rng& rng) const override;
+  std::unique_ptr<Strategy> clone() const override;
+};
+
+/// Randomized cost-efficiency: draw from the normalized goodness
+/// distribution g = base^(sigma_cost - mu_cost). base = 10 matches the
+/// log10 pre-processing; higher bases skew selection toward MinPred.
+class RandGoodness final : public Strategy {
+ public:
+  explicit RandGoodness(double base = 10.0);
+  double base() const noexcept { return base_; }
+  std::string name() const override;
+  std::optional<std::size_t> select(const CandidateView& candidates,
+                                    stats::Rng& rng) const override;
+  std::unique_ptr<Strategy> clone() const override;
+
+ private:
+  double base_;
+};
+
+/// RandGoodness with Memory Awareness (Algorithm 2): candidates whose
+/// predicted memory mu_mem meets or exceeds the limit are filtered out
+/// before the goodness draw; if none survive, AL terminates early.
+class Rgma final : public Strategy {
+ public:
+  /// `memory_limit_log10`: L_mem in log10(MB) — the same space as mu_mem.
+  explicit Rgma(double memory_limit_log10, double base = 10.0);
+  double memory_limit_log10() const noexcept { return limit_; }
+  double base() const noexcept { return base_; }
+  std::string name() const override;
+  std::optional<std::size_t> select(const CandidateView& candidates,
+                                    stats::Rng& rng) const override;
+  std::unique_ptr<Strategy> clone() const override;
+
+ private:
+  double limit_;
+  double base_;
+};
+
+/// Bayesian-Optimization contrast strategy (paper Sec. II-C): Expected
+/// Improvement toward the MINIMUM predicted cost,
+///   EI = (best - mu - xi) Phi(z) + sigma phi(z),  z = (best - mu - xi)/sigma,
+/// with the incumbent `best` approximated by the lowest predicted mean
+/// among the remaining candidates (the Strategy interface is memoryless).
+/// Included to demonstrate the paper's AL-vs-BO distinction: EI races to
+/// the global cost minimizer instead of building an accurate surrogate
+/// across the whole input space.
+class ExpectedImprovement final : public Strategy {
+ public:
+  explicit ExpectedImprovement(double xi = 0.01);
+  double xi() const noexcept { return xi_; }
+  std::string name() const override { return "ExpectedImprovement"; }
+  std::optional<std::size_t> select(const CandidateView& candidates,
+                                    stats::Rng& rng) const override;
+  std::unique_ptr<Strategy> clone() const override;
+
+ private:
+  double xi_;
+};
+
+}  // namespace alamr::core

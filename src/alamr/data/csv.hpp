@@ -1,0 +1,32 @@
+#pragma once
+
+// CSV persistence for datasets.
+//
+// The AMR campaign (dataset generation) is the expensive step of the
+// pipeline, so benches generate it once and cache it on disk — the same
+// split the paper has between the supercomputer runs and the local
+// "offline" AL analysis.
+
+#include <filesystem>
+#include <string>
+
+#include "alamr/data/dataset.hpp"
+
+namespace alamr::data {
+
+/// Writes `dataset` with header "<feature...>,wallclock_s,cost_nh,maxrss_mb".
+/// Throws std::runtime_error on I/O failure.
+void write_csv(const Dataset& dataset, const std::filesystem::path& path);
+
+/// Reads a dataset written by write_csv (or any CSV whose last three
+/// columns are wallclock/cost/memory). Throws std::runtime_error on parse
+/// or I/O failure.
+Dataset read_csv(const std::filesystem::path& path);
+
+/// Serializes to a CSV string (used by tests to avoid filesystem churn).
+std::string to_csv_string(const Dataset& dataset);
+
+/// Parses a CSV string in the write_csv format.
+Dataset from_csv_string(const std::string& text);
+
+}  // namespace alamr::data

@@ -1,0 +1,32 @@
+#pragma once
+
+// Init/Active/Test partitioning (paper Sec. IV): in each AL experiment the
+// n = 600 samples are shuffled; n_test = 200 go to the Test partition, and
+// the remaining 400 are split n_init / n_active. Every AL trajectory uses
+// a fresh random partition so cross-partition statistics are meaningful.
+
+#include <vector>
+
+#include "alamr/stats/rng.hpp"
+
+namespace alamr::data {
+
+/// Disjoint row-index sets covering {0, ..., n-1}.
+struct Partition {
+  std::vector<std::size_t> init;
+  std::vector<std::size_t> active;
+  std::vector<std::size_t> test;
+
+  std::size_t total() const noexcept {
+    return init.size() + active.size() + test.size();
+  }
+};
+
+/// Shuffles {0..n-1} with `rng` and deals the first n_test indices to Test,
+/// the next n_init to Init, and the rest to Active.
+/// Requires n_test + n_init <= n and n_init >= 1 (the models need at least
+/// one training sample before AL starts).
+Partition make_partition(std::size_t n, std::size_t n_test, std::size_t n_init,
+                         stats::Rng& rng);
+
+}  // namespace alamr::data

@@ -1,0 +1,103 @@
+#pragma once
+
+// Gaussian Process Regression (paper Sec. III, Eqs. 1-9).
+//
+// Mirrors the scikit-learn 0.18 GaussianProcessRegressor the paper uses:
+//  - fit() maximizes the log marginal likelihood over the kernel's
+//    log-hyperparameters with L-BFGS, optionally with random restarts;
+//  - refitting reuses the current hyperparameters as the starting point
+//    (Algorithm 1: "use old model's parameters as a starting point");
+//  - predict() returns the posterior mean and standard deviation (Eq. 3).
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "alamr/gp/kernels.hpp"
+#include "alamr/linalg/cholesky.hpp"
+#include "alamr/stats/rng.hpp"
+
+namespace alamr::gp {
+
+struct GprOptions {
+  /// Random restarts for hyperparameter optimization on top of the
+  /// warm/default start (sklearn: n_restarts_optimizer).
+  std::size_t restarts = 1;
+  /// Subtract the training-target mean before fitting, add back on predict.
+  bool normalize_y = true;
+  /// Skip hyperparameter optimization entirely (use kernel as configured).
+  bool optimize = true;
+  /// L-BFGS iteration budget per start. AL refits run warm-started, so a
+  /// modest budget converges in practice; the first fit may use more.
+  std::size_t max_opt_iterations = 50;
+  /// Numerical jitter floor added to K_y when Cholesky requires it.
+  double initial_jitter = 1e-12;
+  double max_jitter = 1e-4;
+};
+
+/// Posterior mean and standard deviation at query points.
+struct Prediction {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+};
+
+class GaussianProcessRegressor {
+ public:
+  /// Takes ownership of the kernel; its hyperparameters evolve with fits.
+  GaussianProcessRegressor(std::unique_ptr<Kernel> kernel,
+                           GprOptions options = {});
+
+  GaussianProcessRegressor(const GaussianProcessRegressor& other);
+  GaussianProcessRegressor& operator=(const GaussianProcessRegressor& other);
+  GaussianProcessRegressor(GaussianProcessRegressor&&) noexcept = default;
+  GaussianProcessRegressor& operator=(GaussianProcessRegressor&&) noexcept = default;
+
+  /// Fits the model on (x, y): optimizes hyperparameters (unless disabled)
+  /// starting from the kernel's current values, then precomputes the
+  /// Cholesky factor and alpha = K_y^{-1} y used by predict().
+  /// `rng` drives the optional random restarts.
+  void fit(const Matrix& x, std::span<const double> y, stats::Rng& rng);
+
+  /// Posterior mean and stddev at the rows of `x` (Eq. 3). Requires fit().
+  Prediction predict(const Matrix& x) const;
+
+  /// Posterior mean only (cheaper: skips the variance solves).
+  std::vector<double> predict_mean(const Matrix& x) const;
+
+  /// Log marginal likelihood at the current hyperparameters (Eq. 8, with
+  /// the -n/2 log(2 pi) constant included). Requires fit().
+  double log_marginal_likelihood() const;
+
+  /// LML (and gradient if `grad` non-empty) at arbitrary log-params,
+  /// evaluated against the stored training data. Exposed for testing the
+  /// analytic gradient against finite differences.
+  double log_marginal_likelihood(std::span<const double> log_params,
+                                 std::span<double> grad) const;
+
+  bool fitted() const noexcept { return factor_.has_value(); }
+  const Kernel& kernel() const noexcept { return *kernel_; }
+  std::size_t training_size() const noexcept { return x_train_.rows(); }
+  const GprOptions& options() const noexcept { return options_; }
+
+  /// Adjusts fitting options between fits (e.g. thorough initial fit,
+  /// cheap warm-started refits during AL). Does not invalidate the model.
+  void set_options(const GprOptions& options) noexcept { options_ = options; }
+
+ private:
+  /// Builds K_y, factors it, computes alpha; stores everything needed by
+  /// predict(). Returns the LML value.
+  double compute_posterior();
+
+  std::unique_ptr<Kernel> kernel_;
+  GprOptions options_;
+
+  Matrix x_train_;
+  std::vector<double> y_train_;       // centered targets when normalize_y
+  double y_mean_ = 0.0;
+  std::optional<linalg::CholeskyFactor> factor_;
+  std::vector<double> alpha_;         // K_y^{-1} (y - mean)
+  double lml_ = 0.0;
+};
+
+}  // namespace alamr::gp

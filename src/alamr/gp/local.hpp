@@ -1,0 +1,60 @@
+#pragma once
+
+// Local Gaussian-process ensembles (paper Sec. VI future work: "train
+// multiple local performance models simultaneously ... in the context of
+// Adaptive Mesh Refinement simulations", citing locally-weighted
+// approaches [22]).
+//
+// The input space is split by a user-provided labeling function — for AMR
+// performance data a natural choice is the maxlevel feature, since each
+// level multiplies the work by a near-constant factor — and an
+// independent GPR is fitted per region. Predictions dispatch to the
+// region's model; a global model fitted on everything serves as the
+// fallback for regions unseen during training. Region fits are smaller
+// (O(n_k^3) each), so the ensemble is also cheaper than one big GPR.
+
+#include <functional>
+#include <map>
+
+#include "alamr/gp/gpr.hpp"
+
+namespace alamr::gp {
+
+/// Maps a feature row to a region label.
+using RegionLabeler = std::function<int(std::span<const double>)>;
+
+class LocalGprEnsemble {
+ public:
+  /// `prototype` supplies the kernel structure for every region model
+  /// (each region clones it and evolves its own hyperparameters).
+  LocalGprEnsemble(std::unique_ptr<Kernel> prototype, RegionLabeler labeler,
+                   GprOptions options = {});
+
+  /// Fits one GPR per region with at least `min_region_size` samples
+  /// (smaller regions fold into the global fallback model, which is always
+  /// fitted on all data).
+  void fit(const Matrix& x, std::span<const double> y, stats::Rng& rng,
+           std::size_t min_region_size = 5);
+
+  /// Posterior mean/stddev; each query row dispatches to its region's
+  /// model, or the global fallback when the region has no model.
+  Prediction predict(const Matrix& x) const;
+
+  bool fitted() const noexcept { return global_.has_value(); }
+  std::size_t region_count() const noexcept { return regions_.size(); }
+
+  /// Labels that received their own model (sorted).
+  std::vector<int> region_labels() const;
+
+  /// The region model for a label; throws std::out_of_range if absent.
+  const GaussianProcessRegressor& region_model(int label) const;
+
+ private:
+  std::unique_ptr<Kernel> prototype_;
+  RegionLabeler labeler_;
+  GprOptions options_;
+  std::optional<GaussianProcessRegressor> global_;
+  std::map<int, GaussianProcessRegressor> regions_;
+};
+
+}  // namespace alamr::gp

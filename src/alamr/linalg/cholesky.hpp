@@ -1,0 +1,66 @@
+#pragma once
+
+// Cholesky factorization for the GPR kernel matrix K_y = K + sigma_n^2 I
+// (paper Eq. 3) and the log-determinant term of the LML (Eq. 8).
+//
+// GPR kernel matrices are SPD in exact arithmetic but can be numerically
+// semi-definite when training points nearly coincide (the dataset contains
+// repeated configurations on purpose). `cholesky_with_jitter` escalates a
+// diagonal jitter until factorization succeeds, mirroring what mature GP
+// libraries (GPy, GPflow, scikit-learn) do.
+
+#include <optional>
+
+#include "alamr/linalg/matrix.hpp"
+
+namespace alamr::linalg {
+
+/// Lower-triangular Cholesky factor L with A = L L^T, plus solve helpers.
+class CholeskyFactor {
+ public:
+  /// Factors SPD matrix `a`. Returns std::nullopt if a non-positive pivot
+  /// is encountered (matrix not numerically positive definite).
+  static std::optional<CholeskyFactor> factor(const Matrix& a);
+
+  std::size_t size() const noexcept { return l_.rows(); }
+  const Matrix& lower() const noexcept { return l_; }
+
+  /// Solves L z = b (forward substitution).
+  Vector solve_lower(std::span<const double> b) const;
+
+  /// Solves L^T z = b (backward substitution).
+  Vector solve_upper(std::span<const double> b) const;
+
+  /// Solves A x = b via the two triangular solves.
+  Vector solve(std::span<const double> b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix solve_matrix(const Matrix& b) const;
+
+  /// A^{-1} (needed by the analytic LML gradient, which uses
+  /// K_y^{-1} - alpha alpha^T).
+  Matrix inverse() const;
+
+  /// log|A| = 2 * sum_i log L_ii (the model-complexity term of Eq. 8).
+  double log_det() const;
+
+ private:
+  explicit CholeskyFactor(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+/// Result of jittered factorization: the factor plus the jitter that was
+/// actually added to the diagonal (0 when the clean factorization worked).
+struct JitteredCholesky {
+  CholeskyFactor factor;
+  double jitter = 0.0;
+};
+
+/// Factors `a`, escalating diagonal jitter from `initial_jitter` by x10 up
+/// to `max_jitter` (both relative to the mean diagonal). Throws
+/// std::runtime_error if the matrix cannot be factored even at max jitter.
+JitteredCholesky cholesky_with_jitter(const Matrix& a,
+                                      double initial_jitter = 1e-12,
+                                      double max_jitter = 1e-4);
+
+}  // namespace alamr::linalg

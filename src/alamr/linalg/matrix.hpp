@@ -1,0 +1,104 @@
+#pragma once
+
+// Dense row-major matrix and vector helpers.
+//
+// The GPR core (Eqs. 3, 8) needs only dense symmetric linear algebra at
+// n <= a few hundred, so we implement exactly what is needed rather than
+// depending on an external BLAS: storage, gemv/gemm/syrk-style kernels,
+// and a Cholesky factorization (cholesky.hpp). Kernels are written to
+// vectorize with plain -O2/-O3 (contiguous inner loops, no aliasing
+// surprises).
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace alamr::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of double.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized (or filled with `fill`).
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer list (for tests and small fixtures).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) noexcept {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * cols_ + j];
+  }
+
+  /// Contiguous view of row i.
+  std::span<double> row(std::size_t i) noexcept {
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t i) const noexcept {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  std::span<double> data() noexcept { return data_; }
+  std::span<const double> data() const noexcept { return data_; }
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- vector kernels -------------------------------------------------------
+
+/// Inner product. Requires equal lengths.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm.
+double norm2(std::span<const double> x);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Squared Euclidean distance between two points (rows of a design matrix).
+double squared_distance(std::span<const double> x, std::span<const double> y);
+
+// ---- matrix kernels -------------------------------------------------------
+
+/// y = A x (dimensions checked).
+Vector matvec(const Matrix& a, std::span<const double> x);
+
+/// y = A^T x.
+Vector matvec_transposed(const Matrix& a, std::span<const double> x);
+
+/// C = A B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Symmetric product A A^T (used for building SPD test fixtures and the
+/// rank-k updates inside the LML gradient).
+Matrix aat(const Matrix& a);
+
+/// Frobenius-inner-product trace(A^T B); A, B same shape.
+double frobenius_inner(const Matrix& a, const Matrix& b);
+
+/// Maximum absolute entry difference (test helper).
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace alamr::linalg

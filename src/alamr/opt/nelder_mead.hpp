@@ -1,0 +1,44 @@
+#pragma once
+
+// Derivative-free Nelder–Mead simplex minimizer.
+//
+// Serves two roles: (1) a fallback for objectives without analytic
+// gradients (e.g. experimenting with non-differentiable kernels), and
+// (2) an independent cross-check of the L-BFGS results in tests — both
+// optimizers must land on the same hyperparameters for well-conditioned
+// fixtures.
+
+#include <cstddef>
+#include <vector>
+
+#include "alamr/opt/objective.hpp"
+
+namespace alamr::opt {
+
+struct NelderMeadOptions {
+  std::size_t max_iterations = 500;
+  double initial_step = 0.5;        // simplex edge length
+  double f_tolerance = 1e-10;       // spread of simplex values
+  double x_tolerance = 1e-9;        // spread of simplex vertices
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimizes `f` (gradient never requested). If `bounds.active()`, vertices
+/// are projected into the box after every move.
+NelderMeadResult nelder_mead_minimize(const Objective& f,
+                                      std::span<const double> x0,
+                                      const NelderMeadOptions& options = {},
+                                      const Bounds& bounds = {});
+
+}  // namespace alamr::opt

@@ -1,0 +1,40 @@
+#pragma once
+
+// Objective-function interface shared by the optimizers.
+//
+// GPR hyperparameter fitting (paper Eq. 9) maximizes the log marginal
+// likelihood; we minimize its negation. Objectives expose value and
+// (optionally) analytic gradient in one call because both come out of the
+// same Cholesky factorization.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace alamr::opt {
+
+/// Evaluates f(x) and, if `grad` is non-empty, writes df/dx into it.
+/// `grad.size()` is either 0 (value only) or x.size().
+using Objective =
+    std::function<double(std::span<const double> x, std::span<double> grad)>;
+
+/// Central finite-difference gradient of a value-only function; used to
+/// verify analytic gradients in tests (LML gradient vs FD is one of the
+/// repository's key property tests).
+std::vector<double> finite_difference_gradient(const Objective& f,
+                                               std::span<const double> x,
+                                               double step = 1e-6);
+
+/// Box bounds; empty vectors mean unbounded. When present, sizes must
+/// match the dimension.
+struct Bounds {
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  bool active() const noexcept { return !lower.empty() || !upper.empty(); }
+  /// Clamps x into the box (no-op for unbounded coordinates).
+  void project(std::span<double> x) const;
+  void validate(std::size_t dim) const;
+};
+
+}  // namespace alamr::opt

@@ -1,0 +1,36 @@
+#pragma once
+
+// Bootstrap confidence intervals for cross-trajectory aggregation.
+//
+// The paper reasons about "statistical properties of the algorithms
+// independent of the initial conditions" by averaging many AL trajectories;
+// the benches report bootstrap CIs of per-iteration metrics across
+// trajectories so shape claims (who wins, where curves flatten) come with
+// uncertainty estimates.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "alamr/stats/rng.hpp"
+
+namespace alamr::stats {
+
+/// A two-sided percentile interval around a point estimate.
+struct Interval {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile-bootstrap interval of `statistic` over `values`.
+/// `confidence` in (0, 1), e.g. 0.95.
+Interval bootstrap_interval(std::span<const double> values,
+                            const std::function<double(std::span<const double>)>& statistic,
+                            std::size_t resamples, double confidence, Rng& rng);
+
+/// Convenience wrapper: bootstrap CI of the mean.
+Interval bootstrap_mean(std::span<const double> values, std::size_t resamples,
+                        double confidence, Rng& rng);
+
+}  // namespace alamr::stats

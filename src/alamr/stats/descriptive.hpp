@@ -1,0 +1,75 @@
+#pragma once
+
+// Descriptive statistics used throughout the evaluation: Table I reports
+// min/median/mean/max of features and responses; Fig. 2 reports medians and
+// interquartile ranges of selected-sample cost distributions.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace alamr::stats {
+
+/// min/median/mean/max plus dispersion measures of one column.
+/// Matches the row format of the paper's Table I.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+};
+
+/// Computes a Summary. Throws std::invalid_argument on empty input or
+/// non-finite entries.
+Summary summarize(std::span<const double> values);
+
+/// Sample quantile with linear interpolation between order statistics
+/// (R type-7 / NumPy default). q in [0, 1].
+double quantile(std::span<const double> values, double q);
+
+/// Quantile of an already ascending-sorted sample (no copy).
+double quantile_sorted(std::span<const double> sorted, double q);
+
+double mean(std::span<const double> values);
+double median(std::span<const double> values);
+
+/// Sample variance with n-1 denominator; 0 for n < 2.
+double variance(std::span<const double> values);
+double stddev(std::span<const double> values);
+
+/// Adjusted Fisher–Pearson sample skewness; 0 for n < 3 or zero variance.
+/// Used by the goodness-base ablation to quantify selection-distribution
+/// skew (the paper: "higher bases will lead to more skewed candidate
+/// distributions").
+double skewness(std::span<const double> values);
+
+/// Root-mean-square of a vector of residuals (paper Eq. 10 with e given).
+double rms(std::span<const double> residuals);
+
+/// Standard normal density phi(z).
+double standard_normal_pdf(double z);
+
+/// Standard normal CDF Phi(z) (via erfc; accurate in both tails).
+double standard_normal_cdf(double z);
+
+/// Numerically stable streaming mean/variance accumulator.
+class Welford {
+ public:
+  void add(double value) noexcept;
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1); 0 for n < 2.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace alamr::stats

@@ -1,0 +1,58 @@
+#pragma once
+
+// Discrete sampling from arbitrary weight vectors.
+//
+// RandGoodness and RGMA (paper Sec. IV-B) draw the next experiment from a
+// discrete probability distribution proportional to the candidate
+// "goodness" g = base^(sigma - mu). We provide both a linear-scan CDF
+// sampler (simple, used for tiny candidate sets in tests) and Walker's
+// alias method (O(1) per draw after O(n) setup, used by the AL loop).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "alamr/stats/rng.hpp"
+
+namespace alamr::stats {
+
+/// Normalizes non-negative weights in place so they sum to one.
+/// Throws std::invalid_argument if the weights are empty, contain a
+/// negative or non-finite entry, or all equal zero.
+void normalize_weights(std::span<double> weights);
+
+/// One draw from the categorical distribution given by (not necessarily
+/// normalized) non-negative weights, by inverse-CDF linear scan. O(n).
+std::size_t sample_categorical(std::span<const double> weights, Rng& rng);
+
+/// Walker alias-method sampler: O(n) construction, O(1) per sample.
+class AliasSampler {
+ public:
+  /// Builds the alias table. Weights need not be normalized; same
+  /// preconditions as normalize_weights().
+  explicit AliasSampler(std::span<const double> weights);
+
+  /// Number of categories.
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Draws one category index.
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability assigned to category i (after normalization).
+  double probability(std::size_t i) const noexcept { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;         // acceptance probability per bucket
+  std::vector<std::size_t> alias_;   // alternative category per bucket
+  std::vector<double> normalized_;   // normalized input weights (for queries)
+};
+
+/// Computes the goodness weights g_i = base^(sigma_i - mu_i) used by
+/// RandGoodness/RGMA. The exponent is shifted by max(sigma - mu) before
+/// exponentiation so the result never overflows; the shift cancels after
+/// normalization.
+std::vector<double> goodness_weights(std::span<const double> mu,
+                                     std::span<const double> sigma,
+                                     double base);
+
+}  // namespace alamr::stats

@@ -1,0 +1,45 @@
+#pragma once
+
+// Gaussian kernel density estimation, used to regenerate the violin plots
+// of Fig. 2 (cost distributions of AL-selected samples). The bench prints
+// the density evaluated on a fixed grid; plotted, that is the violin shape.
+
+#include <span>
+#include <vector>
+
+namespace alamr::stats {
+
+/// A density curve sampled on an evenly spaced grid.
+struct DensityCurve {
+  std::vector<double> x;        // grid points
+  std::vector<double> density;  // estimated density at each grid point
+  double bandwidth = 0.0;       // bandwidth actually used
+};
+
+/// Scott's rule bandwidth: sigma_hat * n^(-1/5); robust variant uses
+/// min(stddev, IQR/1.349). Returns a small positive floor for degenerate
+/// (zero-spread) samples so the KDE stays well defined.
+double scott_bandwidth(std::span<const double> values);
+
+/// Evaluates a Gaussian KDE on `grid_size` points spanning
+/// [min - 3h, max + 3h]. If `bandwidth` <= 0, Scott's rule is used.
+DensityCurve gaussian_kde(std::span<const double> values,
+                          std::size_t grid_size = 64,
+                          double bandwidth = 0.0);
+
+/// Histogram with `bins` equal-width bins on [lo, hi]; values outside the
+/// range are clamped into the edge bins. Counts are raw (not normalized).
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  std::size_t total() const noexcept;
+  /// Center of bin i.
+  double center(std::size_t i) const noexcept;
+};
+
+Histogram histogram(std::span<const double> values, std::size_t bins,
+                    double lo, double hi);
+
+}  // namespace alamr::stats

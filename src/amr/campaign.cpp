@@ -1,0 +1,176 @@
+#include "alamr/amr/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "alamr/amr/solver.hpp"
+#include "alamr/stats/distributions.hpp"
+
+namespace alamr::amr {
+
+namespace {
+
+/// Physics key: everything except the machine parameter p.
+using PhysicsKey = std::tuple<int, int, double, double>;
+
+PhysicsKey physics_key(const Config& c) {
+  return {c.mx, c.max_level, c.r0, c.rhoin};
+}
+
+}  // namespace
+
+Campaign::Campaign(CampaignOptions options) : options_(std::move(options)) {
+  if (options_.p_values.empty() || options_.mx_values.empty() ||
+      options_.level_values.empty() || options_.r0_values.empty() ||
+      options_.rhoin_values.empty()) {
+    throw std::invalid_argument("Campaign: empty parameter axis");
+  }
+  if (options_.unique_configs > options_.dataset_size) {
+    throw std::invalid_argument("Campaign: unique_configs exceeds dataset_size");
+  }
+}
+
+std::vector<Config> Campaign::full_grid() const {
+  std::vector<Config> grid;
+  grid.reserve(options_.p_values.size() * options_.mx_values.size() *
+               options_.level_values.size() * options_.r0_values.size() *
+               options_.rhoin_values.size());
+  for (const int p : options_.p_values) {
+    for (const int mx : options_.mx_values) {
+      for (const int level : options_.level_values) {
+        for (const double r0 : options_.r0_values) {
+          for (const double rhoin : options_.rhoin_values) {
+            grid.push_back(Config{p, mx, level, r0, rhoin});
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+double Campaign::work_estimate(const Config& config) {
+  // cells-per-step ~ mx^2 * 4^maxlevel (refined region), steps ~ mx * 2^maxlevel.
+  return std::pow(static_cast<double>(config.mx), 3.0) *
+         std::pow(8.0, static_cast<double>(config.max_level));
+}
+
+ShockBubbleProblem Campaign::make_problem(const Config& config) const {
+  ShockBubbleProblem problem = options_.base_problem;
+  problem.mx = config.mx;
+  problem.max_level = config.max_level;
+  problem.r0 = config.r0;
+  problem.rhoin = config.rhoin;
+  problem.validate();
+  return problem;
+}
+
+std::vector<JobRecord> Campaign::run(const ProgressFn& progress) {
+  stats::Rng rng(options_.seed);
+
+  std::vector<Config> pool = full_grid();
+  if (options_.unique_configs > pool.size()) {
+    throw std::invalid_argument("Campaign: unique_configs exceeds grid size");
+  }
+
+  // Sampling weights: sparser in the expensive regime.
+  std::vector<double> weights(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    weights[i] = std::pow(work_estimate(pool[i]), -options_.expense_bias);
+  }
+
+  std::map<PhysicsKey, std::shared_ptr<SolverStats>> physics_cache;
+  auto solve_physics = [&](const Config& config) -> const SolverStats& {
+    const PhysicsKey key = physics_key(config);
+    auto& slot = physics_cache[key];
+    if (!slot) {
+      FvSolver solver(make_problem(config));
+      slot = std::make_shared<SolverStats>(solver.run(options_.max_steps_per_job));
+    }
+    return *slot;
+  };
+
+  std::vector<JobRecord> records;
+  records.reserve(options_.dataset_size + options_.dataset_size / 2);
+  std::size_t usable = 0;
+  std::size_t unique_usable = 0;
+  std::vector<Config> usable_configs;  // for replicate draws
+
+  auto run_one = [&](const Config& config, bool replicate) {
+    const SolverStats& stats = solve_physics(config);
+    JobRecord record;
+    record.config = config;
+    record.replicate = replicate;
+    record.result = simulate_job(stats, config.p, options_.machine, rng);
+    record.reported_maxrss_mb = record.result.maxrss_mb;
+    if (record.result.wallclock_seconds < options_.maxrss_bug_threshold_seconds &&
+        rng.uniform() < options_.maxrss_bug_probability) {
+      record.reported_maxrss_mb = 0.0;
+      record.maxrss_missing = true;
+    }
+    if (!record.maxrss_missing) {
+      ++usable;
+      if (!replicate) {
+        ++unique_usable;
+        usable_configs.push_back(config);
+      }
+    }
+    records.push_back(record);
+    if (progress) progress(records.size(), options_.dataset_size);
+  };
+
+  // Phase 1: unique configurations, sampled without replacement with
+  // inverse-expense weights, until unique_usable usable rows exist.
+  while (unique_usable < options_.unique_configs && !pool.empty()) {
+    const std::size_t pick =
+        stats::sample_categorical(std::span<const double>(weights), rng);
+    const Config config = pool[pick];
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    weights.erase(weights.begin() + static_cast<std::ptrdiff_t>(pick));
+    run_one(config, /*replicate=*/false);
+  }
+
+  // Phase 2: replicate runs of already-sampled configurations (fresh
+  // measurement noise) until the dataset target is met.
+  while (usable < options_.dataset_size && !usable_configs.empty()) {
+    const Config config =
+        usable_configs[rng.uniform_index(usable_configs.size())];
+    run_one(config, /*replicate=*/true);
+  }
+
+  return records;
+}
+
+data::Dataset Campaign::to_dataset(const std::vector<JobRecord>& records,
+                                   std::size_t limit) {
+  std::vector<const JobRecord*> usable;
+  for (const JobRecord& record : records) {
+    if (!record.maxrss_missing) usable.push_back(&record);
+  }
+  if (limit > 0 && usable.size() > limit) usable.resize(limit);
+
+  data::Dataset dataset;
+  dataset.feature_names = {"p", "mx", "maxlevel", "r0", "rhoin"};
+  dataset.x = linalg::Matrix(usable.size(), 5);
+  dataset.wallclock.reserve(usable.size());
+  dataset.cost.reserve(usable.size());
+  dataset.memory.reserve(usable.size());
+  for (std::size_t n = 0; n < usable.size(); ++n) {
+    const JobRecord& record = *usable[n];
+    dataset.x(n, 0) = static_cast<double>(record.config.p);
+    dataset.x(n, 1) = static_cast<double>(record.config.mx);
+    dataset.x(n, 2) = static_cast<double>(record.config.max_level);
+    dataset.x(n, 3) = record.config.r0;
+    dataset.x(n, 4) = record.config.rhoin;
+    dataset.wallclock.push_back(record.result.wallclock_seconds);
+    dataset.cost.push_back(record.result.cost_node_hours);
+    dataset.memory.push_back(record.reported_maxrss_mb);
+  }
+  dataset.validate();
+  return dataset;
+}
+
+}  // namespace alamr::amr

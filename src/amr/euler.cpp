@@ -1,0 +1,157 @@
+#include "alamr/amr/euler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alamr::amr {
+
+namespace {
+
+constexpr double kFloorRho = 1e-10;
+constexpr double kFloorP = 1e-10;
+
+}  // namespace
+
+Prim to_primitive(const Cons& c) noexcept {
+  Prim w;
+  w.rho = std::max(c.rho, kFloorRho);
+  w.u = c.mx / w.rho;
+  w.v = c.my / w.rho;
+  const double kinetic = 0.5 * w.rho * (w.u * w.u + w.v * w.v);
+  w.p = std::max((kGamma - 1.0) * (c.e - kinetic), kFloorP);
+  return w;
+}
+
+Cons to_conserved(const Prim& w) noexcept {
+  Cons c;
+  c.rho = w.rho;
+  c.mx = w.rho * w.u;
+  c.my = w.rho * w.v;
+  c.e = w.p / (kGamma - 1.0) + 0.5 * w.rho * (w.u * w.u + w.v * w.v);
+  return c;
+}
+
+double sound_speed(const Prim& w) noexcept {
+  return std::sqrt(kGamma * w.p / std::max(w.rho, kFloorRho));
+}
+
+Cons flux_x(const Cons& c) noexcept {
+  const Prim w = to_primitive(c);
+  Cons f;
+  f.rho = c.mx;
+  f.mx = c.mx * w.u + w.p;
+  f.my = c.my * w.u;
+  f.e = (c.e + w.p) * w.u;
+  return f;
+}
+
+Cons flux_x(const Cons& c, const Prim& w) noexcept {
+  Cons f;
+  f.rho = c.mx;
+  f.mx = c.mx * w.u + w.p;
+  f.my = c.my * w.u;
+  f.e = (c.e + w.p) * w.u;
+  return f;
+}
+
+Cons hll_flux_x(const Cons& left, const Prim& wl, const Cons& right,
+                const Prim& wr) noexcept {
+  const double cl = sound_speed(wl);
+  const double cr = sound_speed(wr);
+
+  const double sl = std::min(wl.u - cl, wr.u - cr);
+  const double sr = std::max(wl.u + cl, wr.u + cr);
+
+  if (sl >= 0.0) return flux_x(left, wl);
+  if (sr <= 0.0) return flux_x(right, wr);
+
+  const Cons fl = flux_x(left, wl);
+  const Cons fr = flux_x(right, wr);
+  const double inv = 1.0 / (sr - sl);
+  return (fl * sr - fr * sl + (right - left) * (sr * sl)) * inv;
+}
+
+Cons hll_flux_x(const Cons& left, const Cons& right) noexcept {
+  const Prim wl = to_primitive(left);
+  const Prim wr = to_primitive(right);
+  const double cl = sound_speed(wl);
+  const double cr = sound_speed(wr);
+
+  // Davis wave-speed estimates.
+  const double sl = std::min(wl.u - cl, wr.u - cr);
+  const double sr = std::max(wl.u + cl, wr.u + cr);
+
+  if (sl >= 0.0) return flux_x(left);
+  if (sr <= 0.0) return flux_x(right);
+
+  const Cons fl = flux_x(left);
+  const Cons fr = flux_x(right);
+  const double inv = 1.0 / (sr - sl);
+  return (fl * sr - fr * sl + (right - left) * (sr * sl)) * inv;
+}
+
+Cons hllc_flux_x(const Cons& left, const Prim& wl, const Cons& right,
+                 const Prim& wr) noexcept {
+  const double cl = sound_speed(wl);
+  const double cr = sound_speed(wr);
+  const double sl = std::min(wl.u - cl, wr.u - cr);
+  const double sr = std::max(wl.u + cl, wr.u + cr);
+
+  if (sl >= 0.0) return flux_x(left, wl);
+  if (sr <= 0.0) return flux_x(right, wr);
+
+  // Contact (star) wave speed, Toro Eq. 10.37.
+  const double num = wr.p - wl.p + left.mx * (sl - wl.u) - right.mx * (sr - wr.u);
+  const double den = wl.rho * (sl - wl.u) - wr.rho * (sr - wr.u);
+  const double sm = den != 0.0 ? num / den : 0.0;
+
+  // Star-region state on the upwind side of the contact (Toro Eq. 10.39).
+  const auto star_state = [sm](const Cons& u, const Prim& w, double s) {
+    const double factor = w.rho * (s - w.u) / (s - sm);
+    Cons star;
+    star.rho = factor;
+    star.mx = factor * sm;
+    star.my = factor * w.v;
+    star.e = factor * (u.e / w.rho +
+                       (sm - w.u) * (sm + w.p / (w.rho * (s - w.u))));
+    return star;
+  };
+
+  if (sm >= 0.0) {
+    const Cons star = star_state(left, wl, sl);
+    return flux_x(left, wl) + (star - left) * sl;
+  }
+  const Cons star = star_state(right, wr, sr);
+  return flux_x(right, wr) + (star - right) * sr;
+}
+
+Cons hllc_flux_x(const Cons& left, const Cons& right) noexcept {
+  return hllc_flux_x(left, to_primitive(left), right, to_primitive(right));
+}
+
+Cons hll_flux_y(const Cons& lower, const Cons& upper) noexcept {
+  // Rotate: y-momentum becomes the normal component.
+  const Cons l{lower.rho, lower.my, lower.mx, lower.e};
+  const Cons u{upper.rho, upper.my, upper.mx, upper.e};
+  const Cons f = hll_flux_x(l, u);
+  return {f.rho, f.my, f.mx, f.e};
+}
+
+double max_wave_speed(const Cons& c) noexcept {
+  const Prim w = to_primitive(c);
+  const double a = sound_speed(w);
+  return std::max(std::abs(w.u), std::abs(w.v)) + a;
+}
+
+Prim post_shock_state(double mach, double rho1, double p1) noexcept {
+  const double m2 = mach * mach;
+  Prim post;
+  post.p = p1 * (2.0 * kGamma * m2 - (kGamma - 1.0)) / (kGamma + 1.0);
+  post.rho = rho1 * ((kGamma + 1.0) * m2) / ((kGamma - 1.0) * m2 + 2.0);
+  const double c1 = std::sqrt(kGamma * p1 / rho1);
+  post.u = mach * c1 * (1.0 - rho1 / post.rho);
+  post.v = 0.0;
+  return post;
+}
+
+}  // namespace alamr::amr

@@ -1,0 +1,24 @@
+#include "alamr/amr/geometry.hpp"
+
+namespace alamr::amr {
+
+namespace {
+
+// Spreads the low 32 bits of x so there is a zero bit between each.
+std::uint64_t spread_bits(std::uint64_t x) noexcept {
+  x &= 0xffffffffULL;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y) noexcept {
+  return spread_bits(x) | (spread_bits(y) << 1);
+}
+
+}  // namespace alamr::amr

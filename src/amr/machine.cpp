@@ -1,0 +1,130 @@
+#include "alamr/amr/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace alamr::amr {
+
+std::vector<std::size_t> sfc_partition(const std::vector<std::size_t>& cells,
+                                       std::size_t ranks) {
+  if (ranks == 0) throw std::invalid_argument("sfc_partition: ranks == 0");
+  std::vector<std::size_t> owner(cells.size(), 0);
+  if (cells.empty()) return owner;
+
+  std::size_t total = 0;
+  for (const std::size_t c : cells) total += c;
+  if (total == 0) return owner;
+
+  // p4est-style weighted prefix partition: a leaf belongs to the rank in
+  // whose ideal share its starting offset along the curve falls. Keeps
+  // assignments contiguous and cell-balanced; the first leaf always lands
+  // on rank 0.
+  double accumulated = 0.0;
+  for (std::size_t n = 0; n < cells.size(); ++n) {
+    const auto rank = static_cast<std::size_t>(
+        accumulated * static_cast<double>(ranks) / static_cast<double>(total));
+    owner[n] = std::min(rank, ranks - 1);
+    accumulated += static_cast<double>(cells[n]);
+  }
+  return owner;
+}
+
+JobResult simulate_job(const SolverStats& stats, int nodes,
+                       const MachineSpec& spec, stats::Rng& rng) {
+  if (nodes < 1) throw std::invalid_argument("simulate_job: nodes < 1");
+  const std::size_t ranks =
+      static_cast<std::size_t>(nodes) * static_cast<std::size_t>(spec.cores_per_node);
+
+  JobResult job;
+  double peak_rank_bytes = 0.0;
+  double weighted_imbalance = 0.0;
+  std::size_t weighted_steps = 0;
+
+  const double log2_ranks =
+      std::log2(static_cast<double>(std::max<std::size_t>(ranks, 2)));
+
+  for (const EpochProfile& epoch : stats.epochs) {
+    const MeshTopology& topo = epoch.topology;
+    const std::size_t n_leaves = topo.cells.size();
+    if (n_leaves == 0) continue;
+
+    const std::vector<std::size_t> owner = sfc_partition(topo.cells, ranks);
+
+    // Per-rank compute cells, comm volume, memory.
+    std::vector<std::size_t> rank_cells(ranks, 0);
+    std::vector<std::size_t> rank_patches(ranks, 0);
+    std::vector<double> rank_comm_bytes(ranks, 0.0);
+    std::vector<std::size_t> rank_messages(ranks, 0);
+    for (std::size_t n = 0; n < n_leaves; ++n) {
+      rank_cells[owner[n]] += topo.cells[n];
+      rank_patches[owner[n]] += 1;
+      for (const LeafEdge& edge : topo.edges[n]) {
+        if (owner[edge.neighbor] != owner[n]) {
+          rank_comm_bytes[owner[n]] +=
+              static_cast<double>(edge.ghost_cells) * spec.bytes_per_ghost_cell;
+          rank_messages[owner[n]] += 1;
+        }
+      }
+    }
+
+    std::size_t max_cells = 0;
+    double max_comm = 0.0;
+    for (std::size_t r = 0; r < ranks; ++r) {
+      max_cells = std::max(max_cells, rank_cells[r]);
+      const double comm =
+          static_cast<double>(rank_messages[r]) * spec.latency_seconds +
+          rank_comm_bytes[r] / spec.bandwidth_bytes_per_second;
+      max_comm = std::max(max_comm, comm);
+
+      const double bytes =
+          static_cast<double>(rank_cells[r]) * spec.bytes_per_cell_memory +
+          static_cast<double>(rank_patches[r]) * spec.bytes_per_patch_overhead;
+      peak_rank_bytes = std::max(peak_rank_bytes, bytes);
+    }
+
+    const double compute_per_step =
+        static_cast<double>(max_cells) * spec.cell_update_seconds;
+    const double reduction_per_step = log2_ranks * spec.reduction_latency_seconds;
+    const double steps = static_cast<double>(epoch.steps);
+
+    job.compute_seconds += steps * compute_per_step;
+    job.comm_seconds += steps * (max_comm + reduction_per_step);
+
+    // Imbalance diagnostic, weighted by steps spent in the epoch.
+    const double mean_cells =
+        static_cast<double>(topo.total_cells()) / static_cast<double>(ranks);
+    if (mean_cells > 0.0) {
+      weighted_imbalance +=
+          steps * (static_cast<double>(max_cells) / mean_cells);
+      weighted_steps += epoch.steps;
+    }
+
+    // Regrid cost charged per epoch after the first (each epoch boundary
+    // is one regrid + repartition of the full mesh).
+    if (&epoch != &stats.epochs.front()) {
+      job.regrid_seconds += static_cast<double>(topo.total_cells()) *
+                            spec.regrid_seconds_per_cell;
+    }
+  }
+
+  job.startup_seconds =
+      spec.startup_seconds + spec.startup_seconds_per_rank * static_cast<double>(ranks);
+  job.load_imbalance = weighted_steps > 0
+                           ? weighted_imbalance / static_cast<double>(weighted_steps)
+                           : 1.0;
+
+  double wallclock = job.compute_seconds + job.comm_seconds +
+                     job.regrid_seconds + job.startup_seconds;
+  // Measurement noise: multiplicative lognormal (machine variability).
+  wallclock *= std::exp(rng.normal(0.0, spec.wallclock_noise_sigma));
+  job.wallclock_seconds = wallclock;
+  job.cost_node_hours = wallclock * static_cast<double>(nodes) / 3600.0;
+
+  double rss = peak_rank_bytes / 1.0e6;
+  rss *= std::exp(rng.normal(0.0, spec.memory_noise_sigma));
+  job.maxrss_mb = rss;
+  return job;
+}
+
+}  // namespace alamr::amr

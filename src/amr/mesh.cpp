@@ -1,0 +1,554 @@
+#include "alamr/amr/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace alamr::amr {
+
+namespace {
+
+// Flag values used during regrid.
+enum : int { kCoarsen = 0, kKeep = 1, kRefine = 2 };
+
+}  // namespace
+
+std::size_t MeshTopology::total_cells() const noexcept {
+  std::size_t total = 0;
+  for (const std::size_t c : cells) total += c;
+  return total;
+}
+
+QuadtreeMesh::QuadtreeMesh(const ShockBubbleProblem& problem) : problem_(problem) {
+  problem_.validate();
+  if (problem_.mx % 2 != 0) {
+    throw std::invalid_argument("QuadtreeMesh: mx must be even");
+  }
+
+  // Root brick.
+  for (std::int32_t bj = 0; bj < problem_.bricks_y; ++bj) {
+    for (std::int32_t bi = 0; bi < problem_.bricks_x; ++bi) {
+      const PatchKey key{0, bi, bj};
+      Patch patch(key, problem_.mx, problem_.ghost_width());
+      apply_initial_condition(patch);
+      leaves_.emplace(key, std::move(patch));
+    }
+  }
+
+  // Initial refinement: resolve the initial shock and bubble interface up
+  // to max_level, re-evaluating the analytic initial condition on each new
+  // level instead of prolonging (sharper startup data).
+  for (int round = 0; round < problem_.max_level; ++round) {
+    fill_ghosts();
+    std::vector<PatchKey> to_refine;
+    for (const auto& [key, patch] : leaves_) {
+      if (key.level < problem_.max_level &&
+          patch.max_relative_density_jump() > problem_.refine_threshold) {
+        to_refine.push_back(key);
+      }
+    }
+    if (to_refine.empty()) break;
+
+    // 2:1 balance: refining a leaf requires its coarser face neighbors to
+    // refine as well; iterate to a fixpoint.
+    std::unordered_map<PatchKey, bool, PatchKeyHash> marked;
+    for (const auto& key : to_refine) marked[key] = true;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<PatchKey> snapshot;
+      snapshot.reserve(marked.size());
+      for (const auto& [key, flag] : marked) {
+        if (flag) snapshot.push_back(key);
+      }
+      for (const auto& key : snapshot) {
+        for (int face = 0; face < 4; ++face) {
+          const PatchKey neighbor = key.face_neighbor(face);
+          if (!in_domain(neighbor) || is_leaf(neighbor)) continue;
+          const PatchKey coarse = neighbor.parent();
+          if (is_leaf(coarse) && !marked[coarse]) {
+            marked[coarse] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+
+    std::vector<PatchKey> final_list;
+    for (const auto& [key, flag] : marked) {
+      if (flag && is_leaf(key)) final_list.push_back(key);
+    }
+    // Deterministic order regardless of hash iteration.
+    std::sort(final_list.begin(), final_list.end(),
+              [](const PatchKey& a, const PatchKey& b) {
+                if (a.level != b.level) return a.level < b.level;
+                if (a.j != b.j) return a.j < b.j;
+                return a.i < b.i;
+              });
+    for (const auto& key : final_list) {
+      refine_leaf(key);
+      for (int c = 0; c < 4; ++c) {
+        apply_initial_condition(leaf(key.child(c)));
+      }
+    }
+  }
+  fill_ghosts();
+}
+
+void QuadtreeMesh::apply_initial_condition(Patch& patch) {
+  const PatchKey key = patch.key();
+  const double h = cell_size(key.level);
+  const double x0 = patch_x0(key);
+  const double y0 = patch_y0(key);
+  for (int j = 0; j < patch.mx(); ++j) {
+    for (int i = 0; i < patch.mx(); ++i) {
+      patch.at(i, j) =
+          problem_.initial_state(x0 + (i + 0.5) * h, y0 + (j + 0.5) * h);
+    }
+  }
+}
+
+std::size_t QuadtreeMesh::total_cells() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [key, patch] : leaves_) total += patch.cells();
+  return total;
+}
+
+int QuadtreeMesh::finest_level() const noexcept {
+  int finest = 0;
+  for (const auto& [key, patch] : leaves_) finest = std::max(finest, key.level);
+  return finest;
+}
+
+double QuadtreeMesh::patch_size(int level) const noexcept {
+  return (problem_.width / problem_.bricks_x) / static_cast<double>(1 << level);
+}
+
+double QuadtreeMesh::cell_size(int level) const noexcept {
+  return patch_size(level) / problem_.mx;
+}
+
+double QuadtreeMesh::patch_x0(const PatchKey& key) const noexcept {
+  return key.i * patch_size(key.level);
+}
+
+double QuadtreeMesh::patch_y0(const PatchKey& key) const noexcept {
+  return key.j * patch_size(key.level);
+}
+
+bool QuadtreeMesh::is_leaf(const PatchKey& key) const noexcept {
+  return leaves_.contains(key);
+}
+
+Patch& QuadtreeMesh::leaf(const PatchKey& key) {
+  const auto it = leaves_.find(key);
+  if (it == leaves_.end()) throw std::out_of_range("QuadtreeMesh: not a leaf");
+  return it->second;
+}
+
+const Patch& QuadtreeMesh::leaf(const PatchKey& key) const {
+  const auto it = leaves_.find(key);
+  if (it == leaves_.end()) throw std::out_of_range("QuadtreeMesh: not a leaf");
+  return it->second;
+}
+
+bool QuadtreeMesh::in_domain(const PatchKey& key) const noexcept {
+  if (key.level < 0) return false;
+  const std::int32_t nx = problem_.bricks_x << key.level;
+  const std::int32_t ny = problem_.bricks_y << key.level;
+  return key.i >= 0 && key.i < nx && key.j >= 0 && key.j < ny;
+}
+
+void QuadtreeMesh::fill_physical_face(Patch& patch, int face) {
+  const int mx = patch.mx();
+  const int ghosts = patch.ghosts();
+  const BoundaryType bc = problem_.boundary(face);
+  const Cons inflow = to_conserved(problem_.post_shock());
+  for (int d = 0; d < ghosts; ++d) {
+    for (int t = 0; t < mx; ++t) {
+      // (gi, gj) ghost cell at depth d; (ii, ij) the interior cell it
+      // mirrors (outflow copies the adjacent interior cell for all depths).
+      int gi = 0;
+      int gj = 0;
+      int mi = 0;  // mirror interior (depth d)
+      int mj = 0;
+      int ai = 0;  // adjacent interior (depth 0)
+      int aj = 0;
+      switch (face) {
+        case 0: gi = -1 - d; gj = t; mi = d; mj = t; ai = 0; aj = t; break;
+        case 1: gi = mx + d; gj = t; mi = mx - 1 - d; mj = t; ai = mx - 1; aj = t; break;
+        case 2: gi = t; gj = -1 - d; mi = t; mj = d; ai = t; aj = 0; break;
+        default: gi = t; gj = mx + d; mi = t; mj = mx - 1 - d; ai = t; aj = mx - 1; break;
+      }
+      switch (bc) {
+        case BoundaryType::kInflow:
+          patch.at(gi, gj) = inflow;
+          break;
+        case BoundaryType::kOutflow:
+          patch.at(gi, gj) = patch.at(ai, aj);
+          break;
+        case BoundaryType::kReflect: {
+          Cons mirror = patch.at(mi, mj);
+          if (face < 2) {
+            mirror.mx = -mirror.mx;
+          } else {
+            mirror.my = -mirror.my;
+          }
+          patch.at(gi, gj) = mirror;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void QuadtreeMesh::fill_face(Patch& patch, int face) {
+  const PatchKey key = patch.key();
+  const int mx = patch.mx();
+  const int ghosts = patch.ghosts();
+  const PatchKey neighbor_key = key.face_neighbor(face);
+
+  if (!in_domain(neighbor_key)) {
+    fill_physical_face(patch, face);
+    return;
+  }
+
+  // Writes ghost cell (depth d, tangential t); reads use the lambdas below.
+  const auto ghost_ref = [&](int d, int t) -> Cons& {
+    switch (face) {
+      case 0: return patch.at(-1 - d, t);
+      case 1: return patch.at(mx + d, t);
+      case 2: return patch.at(t, -1 - d);
+      default: return patch.at(t, mx + d);
+    }
+  };
+  // Interior cell of the NEIGHBOR at depth d from the shared face.
+  const auto neighbor_cell = [&](const Patch& nb, int d, int t) -> const Cons& {
+    switch (face) {
+      case 0: return nb.at(mx - 1 - d, t);
+      case 1: return nb.at(d, t);
+      case 2: return nb.at(t, mx - 1 - d);
+      default: return nb.at(t, d);
+    }
+  };
+
+  // Same-level neighbor: direct copy of its interior layers.
+  if (const auto it = leaves_.find(neighbor_key); it != leaves_.end()) {
+    const Patch& nb = it->second;
+    for (int d = 0; d < ghosts; ++d) {
+      for (int t = 0; t < mx; ++t) {
+        ghost_ref(d, t) = neighbor_cell(nb, d, t);
+      }
+    }
+    return;
+  }
+
+  // Coarser neighbor: piecewise-constant sampling from the parent-level
+  // patch. Tangential index t maps to off + t/2 where off selects which
+  // half of the coarse edge this patch covers; ghost depth d falls into
+  // the coarse cell at depth d/2.
+  const PatchKey coarse_key = neighbor_key.parent();
+  if (const auto it = leaves_.find(coarse_key); it != leaves_.end()) {
+    const Patch& nb = it->second;
+    const int off_x = (key.j & 1) * (mx / 2);  // for x-faces, tangential = j
+    const int off_y = (key.i & 1) * (mx / 2);  // for y-faces, tangential = i
+    for (int d = 0; d < ghosts; ++d) {
+      for (int t = 0; t < mx; ++t) {
+        const int off = face < 2 ? off_x : off_y;
+        ghost_ref(d, t) = neighbor_cell(nb, d / 2, off + t / 2);
+      }
+    }
+    return;
+  }
+
+  // Finer neighbors: the same-level neighbor is refined; with 2:1 balance
+  // its two children along this face exist. Ghost value at depth d is the
+  // conservative 2x2 average of the fine cells covering it (fine depths
+  // 2d and 2d+1).
+  for (int d = 0; d < ghosts; ++d) {
+    for (int t = 0; t < mx; ++t) {
+      const int half = t < mx / 2 ? 0 : 1;
+      const int tf = 2 * (t - half * (mx / 2));  // fine tangential base index
+      PatchKey fine_key{};
+      switch (face) {
+        case 0: fine_key = PatchKey{key.level + 1, 2 * neighbor_key.i + 1, 2 * neighbor_key.j + half}; break;
+        case 1: fine_key = PatchKey{key.level + 1, 2 * neighbor_key.i, 2 * neighbor_key.j + half}; break;
+        case 2: fine_key = PatchKey{key.level + 1, 2 * neighbor_key.i + half, 2 * neighbor_key.j + 1}; break;
+        default: fine_key = PatchKey{key.level + 1, 2 * neighbor_key.i + half, 2 * neighbor_key.j}; break;
+      }
+      const auto it = leaves_.find(fine_key);
+      if (it == leaves_.end()) {
+        // 2:1 balance violated - indicates a mesh invariant bug.
+        throw std::logic_error("QuadtreeMesh::fill_face: missing fine neighbor");
+      }
+      const Patch& nb = it->second;
+      ghost_ref(d, t) =
+          (neighbor_cell(nb, 2 * d, tf) + neighbor_cell(nb, 2 * d, tf + 1) +
+           neighbor_cell(nb, 2 * d + 1, tf) +
+           neighbor_cell(nb, 2 * d + 1, tf + 1)) * 0.25;
+    }
+  }
+}
+
+void QuadtreeMesh::fill_ghosts() {
+  for (auto& [key, patch] : leaves_) {
+    for (int face = 0; face < 4; ++face) fill_face(patch, face);
+  }
+}
+
+double QuadtreeMesh::compute_dt() const {
+  double dt = std::numeric_limits<double>::infinity();
+  for (const auto& [key, patch] : leaves_) {
+    const double ws = std::max(patch.max_wave_speed(), 1e-12);
+    dt = std::min(dt, problem_.cfl * cell_size(key.level) / ws);
+  }
+  return dt;
+}
+
+void QuadtreeMesh::refine_leaf(const PatchKey& key) {
+  const Patch parent = leaf(key);  // copy: parent is erased below
+  const int mx = parent.mx();
+  leaves_.erase(key);
+  for (int c = 0; c < 4; ++c) {
+    const PatchKey child_key = key.child(c);
+    Patch child(child_key, mx, parent.ghosts());
+    const int ox = (c & 1) * (mx / 2);
+    const int oy = ((c >> 1) & 1) * (mx / 2);
+    for (int j = 0; j < mx; ++j) {
+      for (int i = 0; i < mx; ++i) {
+        child.at(i, j) = parent.at(ox + i / 2, oy + j / 2);
+      }
+    }
+    leaves_.emplace(child_key, std::move(child));
+  }
+}
+
+void QuadtreeMesh::coarsen_quartet(const PatchKey& parent_key) {
+  const int mx = problem_.mx;
+  Patch parent(parent_key, mx, problem_.ghost_width());
+  for (int c = 0; c < 4; ++c) {
+    const PatchKey child_key = parent_key.child(c);
+    const Patch& child = leaf(child_key);
+    const int ox = (c & 1) * (mx / 2);
+    const int oy = ((c >> 1) & 1) * (mx / 2);
+    for (int j = 0; j < mx / 2; ++j) {
+      for (int i = 0; i < mx / 2; ++i) {
+        parent.at(ox + i, oy + j) =
+            (child.at(2 * i, 2 * j) + child.at(2 * i + 1, 2 * j) +
+             child.at(2 * i, 2 * j + 1) + child.at(2 * i + 1, 2 * j + 1)) * 0.25;
+      }
+    }
+  }
+  for (int c = 0; c < 4; ++c) leaves_.erase(parent_key.child(c));
+  leaves_.emplace(parent_key, std::move(parent));
+}
+
+std::size_t QuadtreeMesh::regrid() {
+  fill_ghosts();
+
+  std::unordered_map<PatchKey, int, PatchKeyHash> flags;
+  flags.reserve(leaves_.size());
+  for (const auto& [key, patch] : leaves_) {
+    const double indicator = patch.max_relative_density_jump();
+    int flag = kKeep;
+    if (indicator > problem_.refine_threshold && key.level < problem_.max_level) {
+      flag = kRefine;
+    } else if (indicator < problem_.coarsen_threshold && key.level > 0) {
+      flag = kCoarsen;
+    }
+    flags[key] = flag;
+  }
+
+  // 2:1 balance: a refining leaf forces its coarser face neighbors to
+  // refine too; also forbids them from coarsening. Fixpoint iteration.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<PatchKey> refining;
+    for (const auto& [key, flag] : flags) {
+      if (flag == kRefine) refining.push_back(key);
+    }
+    for (const auto& key : refining) {
+      for (int face = 0; face < 4; ++face) {
+        const PatchKey neighbor = key.face_neighbor(face);
+        if (!in_domain(neighbor)) continue;
+        if (is_leaf(neighbor)) {
+          // Same-level neighbor of a refining leaf must not coarsen
+          // (its parent would be 2 levels away from my children).
+          if (flags[neighbor] == kCoarsen) flags[neighbor] = kKeep;
+          continue;
+        }
+        const PatchKey coarse = neighbor.parent();
+        if (is_leaf(coarse) && flags[coarse] != kRefine) {
+          flags[coarse] = kRefine;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  std::size_t changes = 0;
+
+  // Refinement pass (deterministic order).
+  std::vector<PatchKey> to_refine;
+  for (const auto& [key, flag] : flags) {
+    if (flag == kRefine) to_refine.push_back(key);
+  }
+  std::sort(to_refine.begin(), to_refine.end(),
+            [](const PatchKey& a, const PatchKey& b) {
+              if (a.level != b.level) return a.level < b.level;
+              if (a.j != b.j) return a.j < b.j;
+              return a.i < b.i;
+            });
+  for (const auto& key : to_refine) {
+    refine_leaf(key);
+    ++changes;
+  }
+
+  // Coarsening pass: all four siblings must be coarsen-flagged leaves, and
+  // merging must not break 2:1 balance against finer leaves outside.
+  std::unordered_map<PatchKey, int, PatchKeyHash> quartet_votes;
+  for (const auto& [key, flag] : flags) {
+    if (flag == kCoarsen && is_leaf(key)) {
+      quartet_votes[key.parent()] += 1;
+    }
+  }
+  std::vector<PatchKey> to_coarsen;
+  for (const auto& [parent_key, votes] : quartet_votes) {
+    if (votes != 4) continue;
+    bool ok = true;
+    for (int c = 0; c < 4 && ok; ++c) {
+      const PatchKey child_key = parent_key.child(c);
+      for (int face = 0; face < 4 && ok; ++face) {
+        const PatchKey neighbor = child_key.face_neighbor(face);
+        if (!in_domain(neighbor)) continue;
+        // Sibling faces are internal to the quartet.
+        if (neighbor.parent() == parent_key) continue;
+        // If the neighbor is refined (children at child level + 1), the
+        // merged parent would face leaves two levels down.
+        if (!is_leaf(neighbor) && !is_leaf(neighbor.parent())) ok = false;
+      }
+    }
+    if (ok) to_coarsen.push_back(parent_key);
+  }
+  std::sort(to_coarsen.begin(), to_coarsen.end(),
+            [](const PatchKey& a, const PatchKey& b) {
+              if (a.level != b.level) return a.level < b.level;
+              if (a.j != b.j) return a.j < b.j;
+              return a.i < b.i;
+            });
+  for (const auto& parent_key : to_coarsen) {
+    coarsen_quartet(parent_key);
+    ++changes;
+  }
+  return changes;
+}
+
+void QuadtreeMesh::sfc_collect(const PatchKey& key,
+                               std::vector<PatchKey>& out) const {
+  if (is_leaf(key)) {
+    out.push_back(key);
+    return;
+  }
+  for (int c = 0; c < 4; ++c) sfc_collect(key.child(c), out);
+}
+
+std::vector<PatchKey> QuadtreeMesh::leaves_in_sfc_order() const {
+  std::vector<PatchKey> out;
+  out.reserve(leaves_.size());
+  for (std::int32_t bj = 0; bj < problem_.bricks_y; ++bj) {
+    for (std::int32_t bi = 0; bi < problem_.bricks_x; ++bi) {
+      sfc_collect(PatchKey{0, bi, bj}, out);
+    }
+  }
+  return out;
+}
+
+MeshTopology QuadtreeMesh::topology() const {
+  MeshTopology topo;
+  topo.keys = leaves_in_sfc_order();
+  topo.cells.resize(topo.keys.size());
+  topo.edges.resize(topo.keys.size());
+
+  std::unordered_map<PatchKey, std::size_t, PatchKeyHash> index;
+  index.reserve(topo.keys.size());
+  for (std::size_t n = 0; n < topo.keys.size(); ++n) index[topo.keys[n]] = n;
+
+  const int mx = problem_.mx;
+  for (std::size_t n = 0; n < topo.keys.size(); ++n) {
+    const PatchKey key = topo.keys[n];
+    topo.cells[n] = leaf(key).cells();
+    for (int face = 0; face < 4; ++face) {
+      const PatchKey neighbor = key.face_neighbor(face);
+      if (!in_domain(neighbor)) continue;
+      if (const auto it = index.find(neighbor); it != index.end()) {
+        topo.edges[n].push_back(LeafEdge{it->second, mx});
+        continue;
+      }
+      if (const auto it = index.find(neighbor.parent()); it != index.end()) {
+        // I receive mx ghost cells sampled from the coarse neighbor.
+        topo.edges[n].push_back(LeafEdge{it->second, mx});
+        continue;
+      }
+      // Fine neighbors: two children across this face, mx/2 ghosts each.
+      for (int half = 0; half < 2; ++half) {
+        PatchKey fine{};
+        switch (face) {
+          case 0: fine = PatchKey{key.level + 1, 2 * neighbor.i + 1, 2 * neighbor.j + half}; break;
+          case 1: fine = PatchKey{key.level + 1, 2 * neighbor.i, 2 * neighbor.j + half}; break;
+          case 2: fine = PatchKey{key.level + 1, 2 * neighbor.i + half, 2 * neighbor.j + 1}; break;
+          default: fine = PatchKey{key.level + 1, 2 * neighbor.i + half, 2 * neighbor.j}; break;
+        }
+        if (const auto it = index.find(fine); it != index.end()) {
+          topo.edges[n].push_back(LeafEdge{it->second, mx / 2});
+        }
+      }
+    }
+  }
+  return topo;
+}
+
+std::vector<std::size_t> QuadtreeMesh::leaves_per_level() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(problem_.max_level) + 1, 0);
+  for (const auto& [key, patch] : leaves_) {
+    counts[static_cast<std::size_t>(key.level)] += 1;
+  }
+  return counts;
+}
+
+int QuadtreeMesh::level_at(double x, double y) const {
+  if (x < 0.0 || y < 0.0 || x >= problem_.width || y >= problem_.height) {
+    return -1;
+  }
+  for (int level = 0; level <= problem_.max_level; ++level) {
+    const double ps = patch_size(level);
+    const PatchKey key{level, static_cast<std::int32_t>(x / ps),
+                       static_cast<std::int32_t>(y / ps)};
+    if (is_leaf(key)) return level;
+  }
+  return -1;
+}
+
+double QuadtreeMesh::rho_at(double x, double y) const {
+  const int level = level_at(x, y);
+  if (level < 0) return std::numeric_limits<double>::quiet_NaN();
+  const double ps = patch_size(level);
+  const PatchKey key{level, static_cast<std::int32_t>(x / ps),
+                     static_cast<std::int32_t>(y / ps)};
+  const Patch& patch = leaf(key);
+  const double h = cell_size(level);
+  const int ci = std::min(static_cast<int>((x - patch_x0(key)) / h), patch.mx() - 1);
+  const int cj = std::min(static_cast<int>((y - patch_y0(key)) / h), patch.mx() - 1);
+  return patch.at(ci, cj).rho;
+}
+
+double QuadtreeMesh::total_mass() const {
+  double mass = 0.0;
+  for (const auto& [key, patch] : leaves_) {
+    const double h = cell_size(key.level);
+    mass += patch.interior_sum_rho() * h * h;
+  }
+  return mass;
+}
+
+}  // namespace alamr::amr

@@ -1,0 +1,56 @@
+#include "alamr/amr/patch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alamr::amr {
+
+Patch::Patch(PatchKey key, int mx, int ghosts)
+    : key_(key),
+      mx_(mx),
+      ghosts_(ghosts),
+      data_(static_cast<std::size_t>(mx + 2 * ghosts) *
+            static_cast<std::size_t>(mx + 2 * ghosts)) {}
+
+double Patch::interior_sum_rho() const noexcept {
+  double total = 0.0;
+  for (int j = 0; j < mx_; ++j) {
+    for (int i = 0; i < mx_; ++i) total += at(i, j).rho;
+  }
+  return total;
+}
+
+double Patch::interior_sum_e() const noexcept {
+  double total = 0.0;
+  for (int j = 0; j < mx_; ++j) {
+    for (int i = 0; i < mx_; ++i) total += at(i, j).e;
+  }
+  return total;
+}
+
+double Patch::max_relative_density_jump() const noexcept {
+  double worst = 0.0;
+  for (int j = 0; j < mx_; ++j) {
+    for (int i = 0; i < mx_; ++i) {
+      const double rho = std::max(at(i, j).rho, 1e-12);
+      const double dx = std::abs(at(i + 1, j).rho - at(i - 1, j).rho);
+      const double dy = std::abs(at(i, j + 1).rho - at(i, j - 1).rho);
+      // Central difference across two cells: normalize by 2 rho so the
+      // indicator is the relative change per cell.
+      worst = std::max(worst, 0.5 * (dx + dy) / rho);
+    }
+  }
+  return worst;
+}
+
+double Patch::max_wave_speed() const noexcept {
+  double worst = 0.0;
+  for (int j = 0; j < mx_; ++j) {
+    for (int i = 0; i < mx_; ++i) {
+      worst = std::max(worst, amr::max_wave_speed(at(i, j)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace alamr::amr

@@ -1,0 +1,66 @@
+#include "alamr/amr/problem.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace alamr::amr {
+
+Cons ShockBubbleProblem::initial_state(double x, double y) const noexcept {
+  if (x < shock_x) {
+    return to_conserved(post_shock());
+  }
+  const double dx = x - bubble_x;
+  const double dy = y - bubble_y;
+  const double r = bubble_radius();
+  Prim ambient{1.0, 0.0, 0.0, 1.0};
+  if (dx * dx + dy * dy < r * r) {
+    ambient.rho = rhoin;
+  }
+  return to_conserved(ambient);
+}
+
+BoundaryType ShockBubbleProblem::boundary(int face) const noexcept {
+  switch (face) {
+    case 0: return BoundaryType::kInflow;
+    case 1: return BoundaryType::kOutflow;
+    default: return BoundaryType::kReflect;
+  }
+}
+
+Prim ShockBubbleProblem::post_shock() const noexcept {
+  return post_shock_state(mach, 1.0, 1.0);
+}
+
+void ShockBubbleProblem::validate() const {
+  if (mx < 4 || mx > 512) {
+    throw std::invalid_argument("ShockBubbleProblem: mx out of range [4, 512]");
+  }
+  if (max_level < 0 || max_level > 12) {
+    throw std::invalid_argument("ShockBubbleProblem: max_level out of range");
+  }
+  if (!(r0 > 0.0) || !(rhoin > 0.0)) {
+    throw std::invalid_argument("ShockBubbleProblem: r0 and rhoin must be positive");
+  }
+  if (!(mach > 1.0)) {
+    throw std::invalid_argument("ShockBubbleProblem: mach must exceed 1");
+  }
+  if (bricks_x < 1 || bricks_y < 1) {
+    throw std::invalid_argument("ShockBubbleProblem: bricks must be >= 1");
+  }
+  if (!(final_time > 0.0) || !(cfl > 0.0) || cfl >= 1.0) {
+    throw std::invalid_argument("ShockBubbleProblem: bad time-stepping parameters");
+  }
+  if (!(refine_threshold > coarsen_threshold) || !(coarsen_threshold > 0.0)) {
+    throw std::invalid_argument("ShockBubbleProblem: bad refinement thresholds");
+  }
+  if (regrid_interval < 1) {
+    throw std::invalid_argument("ShockBubbleProblem: regrid_interval must be >= 1");
+  }
+  const double px = width / bricks_x;
+  const double py = height / bricks_y;
+  if (std::abs(px - py) > 1e-12) {
+    throw std::invalid_argument("ShockBubbleProblem: patches must be square");
+  }
+}
+
+}  // namespace alamr::amr

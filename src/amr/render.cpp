@@ -1,0 +1,63 @@
+#include "alamr/amr/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace alamr::amr {
+
+std::string render_pgm(const QuadtreeMesh& mesh, RenderField field, int width,
+                       int height) {
+  if (width < 2 || height < 2) {
+    throw std::invalid_argument("render_pgm: raster too small");
+  }
+  const ShockBubbleProblem& problem = mesh.problem();
+
+  // Sample the field at pixel centers.
+  std::vector<double> samples(static_cast<std::size_t>(width) *
+                              static_cast<std::size_t>(height));
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (int r = 0; r < height; ++r) {
+    // Row 0 renders the TOP of the domain.
+    const double y = (height - r - 0.5) / height * problem.height;
+    for (int c = 0; c < width; ++c) {
+      const double x = (c + 0.5) / width * problem.width;
+      double value = 0.0;
+      switch (field) {
+        case RenderField::kDensity: value = mesh.rho_at(x, y); break;
+        case RenderField::kRefinementLevel:
+          value = static_cast<double>(mesh.level_at(x, y));
+          break;
+      }
+      samples[static_cast<std::size_t>(r) * width + c] = value;
+      lo = std::min(lo, value);
+      hi = std::max(hi, value);
+    }
+  }
+  const double range = hi > lo ? hi - lo : 1.0;
+
+  std::ostringstream os;
+  os << "P2\n" << width << ' ' << height << "\n255\n";
+  for (int r = 0; r < height; ++r) {
+    for (int c = 0; c < width; ++c) {
+      const double value = samples[static_cast<std::size_t>(r) * width + c];
+      const int gray = static_cast<int>(
+          std::clamp(255.0 * (value - lo) / range, 0.0, 255.0));
+      os << gray << (c + 1 == width ? '\n' : ' ');
+    }
+  }
+  return os.str();
+}
+
+void write_pgm(const QuadtreeMesh& mesh, RenderField field,
+               const std::filesystem::path& path, int width, int height) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path.string());
+  out << render_pgm(mesh, field, width, height);
+  if (!out) throw std::runtime_error("write_pgm: write failed " + path.string());
+}
+
+}  // namespace alamr::amr

@@ -1,0 +1,121 @@
+#include "alamr/core/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace alamr::core {
+
+std::vector<TrajectoryResult> run_batch(const AlSimulator& simulator,
+                                        const Strategy& strategy,
+                                        const BatchOptions& options) {
+  if (options.trajectories == 0) {
+    throw std::invalid_argument("run_batch: trajectories == 0");
+  }
+
+  // Derive one independent RNG per trajectory up front (deterministic
+  // regardless of thread interleaving).
+  stats::Rng master(options.seed);
+  std::vector<stats::Rng> streams;
+  streams.reserve(options.trajectories);
+  for (std::size_t t = 0; t < options.trajectories; ++t) {
+    streams.push_back(master.split());
+  }
+
+  std::vector<TrajectoryResult> results(options.trajectories);
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+
+  const auto worker = [&] {
+    // Each worker owns a clone: Strategy implementations are stateless
+    // but cloning keeps the contract simple if one ever is not.
+    const std::unique_ptr<Strategy> local = strategy.clone();
+    while (true) {
+      const std::size_t t = next.fetch_add(1);
+      if (t >= options.trajectories) return;
+      try {
+        results[t] = simulator.run(*local, streams[t]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::size_t n_threads = options.threads == 0
+                              ? std::max(1u, std::thread::hardware_concurrency())
+                              : options.threads;
+  n_threads = std::min(n_threads, options.trajectories);
+
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+  if (failure) std::rethrow_exception(failure);
+  return results;
+}
+
+std::vector<double> extract_series(const TrajectoryResult& trajectory,
+                                   Metric metric) {
+  std::vector<double> out;
+  out.reserve(trajectory.iterations.size());
+  for (const IterationRecord& record : trajectory.iterations) {
+    switch (metric) {
+      case Metric::kRmseCost: out.push_back(record.rmse_cost); break;
+      case Metric::kRmseMem: out.push_back(record.rmse_mem); break;
+      case Metric::kRmseCostWeighted:
+        out.push_back(record.rmse_cost_weighted);
+        break;
+      case Metric::kCumulativeCost: out.push_back(record.cumulative_cost); break;
+      case Metric::kCumulativeRegret:
+        out.push_back(record.cumulative_regret);
+        break;
+      case Metric::kActualCost: out.push_back(record.actual_cost); break;
+    }
+  }
+  return out;
+}
+
+std::vector<CurvePoint> aggregate_curve(
+    std::span<const TrajectoryResult> trajectories, Metric metric) {
+  std::size_t longest = 0;
+  for (const TrajectoryResult& t : trajectories) {
+    longest = std::max(longest, t.iterations.size());
+  }
+
+  std::vector<std::vector<double>> series;
+  series.reserve(trajectories.size());
+  for (const TrajectoryResult& t : trajectories) {
+    series.push_back(extract_series(t, metric));
+  }
+
+  std::vector<CurvePoint> curve;
+  curve.reserve(longest);
+  for (std::size_t i = 0; i < longest; ++i) {
+    CurvePoint point;
+    point.iteration = i;
+    point.lo = std::numeric_limits<double>::infinity();
+    point.hi = -std::numeric_limits<double>::infinity();
+    double total = 0.0;
+    for (const auto& s : series) {
+      if (i >= s.size()) continue;
+      total += s[i];
+      point.lo = std::min(point.lo, s[i]);
+      point.hi = std::max(point.hi, s[i]);
+      ++point.count;
+    }
+    if (point.count == 0) break;
+    point.mean = total / static_cast<double>(point.count);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace alamr::core

@@ -1,0 +1,64 @@
+#include "alamr/core/export.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace alamr::core {
+
+namespace {
+
+void write_file(const std::string& content, const std::filesystem::path& path,
+                const char* who) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error(std::string(who) + ": cannot open " + path.string());
+  }
+  out << content;
+  if (!out) {
+    throw std::runtime_error(std::string(who) + ": write failed " + path.string());
+  }
+}
+
+}  // namespace
+
+std::string trajectory_to_csv(const TrajectoryResult& trajectory) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "iteration,dataset_row,actual_cost,actual_memory,"
+        "predicted_cost_log10,predicted_cost_sigma,predicted_mem_log10,"
+        "predicted_mem_sigma,rmse_cost,rmse_mem,rmse_cost_weighted,"
+        "cumulative_cost,cumulative_regret\n";
+  for (const IterationRecord& rec : trajectory.iterations) {
+    os << rec.iteration << ',' << rec.dataset_row << ',' << rec.actual_cost
+       << ',' << rec.actual_memory << ',' << rec.predicted_cost_log10 << ','
+       << rec.predicted_cost_sigma << ',' << rec.predicted_mem_log10 << ','
+       << rec.predicted_mem_sigma << ',' << rec.rmse_cost << ','
+       << rec.rmse_mem << ',' << rec.rmse_cost_weighted << ','
+       << rec.cumulative_cost << ',' << rec.cumulative_regret << '\n';
+  }
+  return os.str();
+}
+
+void write_trajectory_csv(const TrajectoryResult& trajectory,
+                          const std::filesystem::path& path) {
+  write_file(trajectory_to_csv(trajectory), path, "write_trajectory_csv");
+}
+
+std::string curve_to_csv(std::span<const CurvePoint> curve) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "iteration,mean,lo,hi,count\n";
+  for (const CurvePoint& point : curve) {
+    os << point.iteration << ',' << point.mean << ',' << point.lo << ','
+       << point.hi << ',' << point.count << '\n';
+  }
+  return os.str();
+}
+
+void write_curve_csv(std::span<const CurvePoint> curve,
+                     const std::filesystem::path& path) {
+  write_file(curve_to_csv(curve), path, "write_curve_csv");
+}
+
+}  // namespace alamr::core

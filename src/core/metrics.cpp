@@ -1,0 +1,59 @@
+#include "alamr/core/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace alamr::core {
+
+double rmse(std::span<const double> predicted, std::span<const double> actual) {
+  if (predicted.size() != actual.size() || predicted.empty()) {
+    throw std::invalid_argument("rmse: size mismatch or empty");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double e = predicted[i] - actual[i];
+    total += e * e;
+  }
+  return std::sqrt(total / static_cast<double>(predicted.size()));
+}
+
+double weighted_rmse(std::span<const double> predicted,
+                     std::span<const double> actual,
+                     std::span<const double> weights) {
+  if (predicted.size() != actual.size() || predicted.size() != weights.size() ||
+      predicted.empty()) {
+    throw std::invalid_argument("weighted_rmse: size mismatch or empty");
+  }
+  double weight_total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("weighted_rmse: negative weight");
+    weight_total += w;
+  }
+  if (weight_total <= 0.0) {
+    throw std::invalid_argument("weighted_rmse: weights sum to zero");
+  }
+  // Normalize so sum(rho) == n; uniform weights then reproduce rmse().
+  const double scale = static_cast<double>(predicted.size()) / weight_total;
+  double total = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double e = predicted[i] - actual[i];
+    total += weights[i] * scale * e * e;
+  }
+  return std::sqrt(total / static_cast<double>(predicted.size()));
+}
+
+double individual_regret(double cost, double memory, double memory_limit) {
+  return memory >= memory_limit ? cost : 0.0;
+}
+
+std::vector<double> cumulative(std::span<const double> values) {
+  std::vector<double> out(values.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    running += values[i];
+    out[i] = running;
+  }
+  return out;
+}
+
+}  // namespace alamr::core

@@ -1,0 +1,128 @@
+#include "alamr/core/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "alamr/core/metrics.hpp"
+
+namespace alamr::core {
+
+OnlineAlDriver::OnlineAlDriver(linalg::Matrix candidate_grid,
+                               ExperimentOracle oracle, OnlineAlOptions options)
+    : grid_(std::move(candidate_grid)),
+      oracle_(std::move(oracle)),
+      options_(options) {
+  if (grid_.rows() == 0) {
+    throw std::invalid_argument("OnlineAlDriver: empty candidate grid");
+  }
+  if (!oracle_) {
+    throw std::invalid_argument("OnlineAlDriver: null oracle");
+  }
+  if (options_.n_init == 0) {
+    throw std::invalid_argument("OnlineAlDriver: n_init must be >= 1");
+  }
+  if (options_.n_init + options_.iterations > grid_.rows()) {
+    throw std::invalid_argument(
+        "OnlineAlDriver: grid smaller than n_init + iterations");
+  }
+  grid_scaled_ = data::FeatureScaler::fit(grid_).transform(grid_);
+}
+
+OnlineResult OnlineAlDriver::run(const Strategy& strategy, stats::Rng& rng) {
+  if (ran_) throw std::logic_error("OnlineAlDriver::run: already ran");
+  ran_ = true;
+
+  OnlineResult result;
+  const bool track_regret = !std::isnan(options_.memory_limit_log10);
+  const double limit_mb =
+      track_regret ? std::pow(10.0, options_.memory_limit_log10) : 0.0;
+
+  std::vector<std::size_t> remaining(grid_.rows());
+  for (std::size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
+
+  std::vector<std::size_t> visited;
+  std::vector<double> log_cost;
+  std::vector<double> log_mem;
+  double cc = 0.0;
+  double cr = 0.0;
+
+  const auto execute = [&](std::size_t local, double mu_c, double mu_m,
+                           bool initial) {
+    const std::size_t row = remaining[local];
+    const auto [cost, memory] = oracle_(grid_.row(row));
+    if (!(cost > 0.0) || !(memory > 0.0)) {
+      throw std::runtime_error("OnlineAlDriver: oracle returned non-positive "
+                               "measurement");
+    }
+    OnlineRecord record;
+    record.grid_row = row;
+    record.cost = cost;
+    record.memory = memory;
+    record.predicted_cost_log10 = mu_c;
+    record.predicted_mem_log10 = mu_m;
+    record.initial_phase = initial;
+    cc += cost;
+    if (track_regret) cr += individual_regret(cost, memory, limit_mb);
+    record.cumulative_cost = cc;
+    record.cumulative_regret = cr;
+    result.records.push_back(record);
+
+    visited.push_back(row);
+    log_cost.push_back(std::log10(cost));
+    log_mem.push_back(std::log10(memory));
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(local));
+    ++visited_count_;
+  };
+
+  // Initial phase: uniformly random picks (experimenter intuition /
+  // verification runs in the paper's workflow).
+  for (std::size_t i = 0; i < options_.n_init; ++i) {
+    execute(rng.uniform_index(remaining.size()), 0.0, 0.0, /*initial=*/true);
+  }
+
+  auto gather_scaled = [&](std::span<const std::size_t> rows) {
+    linalg::Matrix out(rows.size(), grid_scaled_.cols());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (std::size_t c = 0; c < grid_scaled_.cols(); ++c) {
+        out(r, c) = grid_scaled_(rows[r], c);
+      }
+    }
+    return out;
+  };
+
+  gp::GaussianProcessRegressor gpr_cost(gp::make_paper_kernel(),
+                                        options_.initial_fit);
+  gp::GaussianProcessRegressor gpr_mem(gp::make_paper_kernel(),
+                                       options_.initial_fit);
+  gpr_cost.fit(gather_scaled(visited), log_cost, rng);
+  gpr_mem.fit(gather_scaled(visited), log_mem, rng);
+  gpr_cost.set_options(options_.refit);
+  gpr_mem.set_options(options_.refit);
+
+  for (std::size_t iter = 0; iter < options_.iterations && !remaining.empty();
+       ++iter) {
+    const linalg::Matrix x_remaining = gather_scaled(remaining);
+    const gp::Prediction pred_cost = gpr_cost.predict(x_remaining);
+    const gp::Prediction pred_mem = gpr_mem.predict(x_remaining);
+    const CandidateView view{x_remaining, pred_cost.mean, pred_cost.stddev,
+                             pred_mem.mean, pred_mem.stddev};
+    const std::optional<std::size_t> pick = strategy.select(view, rng);
+    if (!pick) {
+      result.exhausted_safe_candidates = true;
+      break;
+    }
+    execute(*pick, pred_cost.mean[*pick], pred_mem.mean[*pick],
+            /*initial=*/false);
+    gpr_cost.fit(gather_scaled(visited), log_cost, rng);
+    gpr_mem.fit(gather_scaled(visited), log_mem, rng);
+  }
+
+  result.cost_model =
+      std::make_unique<gp::GaussianProcessRegressor>(std::move(gpr_cost));
+  result.memory_model =
+      std::make_unique<gp::GaussianProcessRegressor>(std::move(gpr_mem));
+  return result;
+}
+
+}  // namespace alamr::core

@@ -1,0 +1,181 @@
+#include "alamr/core/strategies.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "alamr/stats/descriptive.hpp"
+#include "alamr/stats/distributions.hpp"
+
+namespace alamr::core {
+
+namespace {
+
+void require_candidates(const CandidateView& candidates) {
+  if (candidates.size() == 0) {
+    throw std::invalid_argument("Strategy: empty candidate set");
+  }
+  if (candidates.mu_cost.size() != candidates.sigma_cost.size() ||
+      candidates.mu_cost.size() != candidates.mu_mem.size() ||
+      candidates.mu_cost.size() != candidates.sigma_mem.size() ||
+      candidates.mu_cost.size() != candidates.x.rows()) {
+    throw std::invalid_argument("Strategy: misaligned candidate vectors");
+  }
+}
+
+}  // namespace
+
+std::optional<std::size_t> RandUniform::select(const CandidateView& candidates,
+                                               stats::Rng& rng) const {
+  require_candidates(candidates);
+  return rng.uniform_index(candidates.size());
+}
+
+std::unique_ptr<Strategy> RandUniform::clone() const {
+  return std::make_unique<RandUniform>(*this);
+}
+
+std::optional<std::size_t> MaxSigma::select(const CandidateView& candidates,
+                                            stats::Rng& rng) const {
+  require_candidates(candidates);
+  (void)rng;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates.sigma_cost[i] > candidates.sigma_cost[best]) best = i;
+  }
+  return best;
+}
+
+std::unique_ptr<Strategy> MaxSigma::clone() const {
+  return std::make_unique<MaxSigma>(*this);
+}
+
+std::optional<std::size_t> MinPred::select(const CandidateView& candidates,
+                                           stats::Rng& rng) const {
+  require_candidates(candidates);
+  (void)rng;
+  std::size_t best = 0;
+  double best_score = candidates.sigma_cost[0] - candidates.mu_cost[0];
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double score = candidates.sigma_cost[i] - candidates.mu_cost[i];
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<Strategy> MinPred::clone() const {
+  return std::make_unique<MinPred>(*this);
+}
+
+RandGoodness::RandGoodness(double base) : base_(base) {
+  if (!(base > 1.0)) {
+    throw std::invalid_argument("RandGoodness: base must exceed 1");
+  }
+}
+
+std::string RandGoodness::name() const {
+  if (base_ == 10.0) return "RandGoodness";
+  std::ostringstream os;
+  os << "RandGoodness(base=" << base_ << ")";
+  return os.str();
+}
+
+std::optional<std::size_t> RandGoodness::select(const CandidateView& candidates,
+                                                stats::Rng& rng) const {
+  require_candidates(candidates);
+  const std::vector<double> weights =
+      stats::goodness_weights(candidates.mu_cost, candidates.sigma_cost, base_);
+  return stats::sample_categorical(weights, rng);
+}
+
+std::unique_ptr<Strategy> RandGoodness::clone() const {
+  return std::make_unique<RandGoodness>(*this);
+}
+
+Rgma::Rgma(double memory_limit_log10, double base)
+    : limit_(memory_limit_log10), base_(base) {
+  if (!(base > 1.0)) {
+    throw std::invalid_argument("Rgma: base must exceed 1");
+  }
+}
+
+std::string Rgma::name() const {
+  if (base_ == 10.0) return "RGMA";
+  std::ostringstream os;
+  os << "RGMA(base=" << base_ << ")";
+  return os.str();
+}
+
+std::optional<std::size_t> Rgma::select(const CandidateView& candidates,
+                                        stats::Rng& rng) const {
+  require_candidates(candidates);
+
+  // Algorithm 2, line 1-2: keep candidates predicted to satisfy the limit.
+  std::vector<std::size_t> satisfying;
+  satisfying.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates.mu_mem[i] < limit_) satisfying.push_back(i);
+  }
+  // Early termination (paper Sec. V-D): every remaining sample is likely
+  // to exceed the memory limit.
+  if (satisfying.empty()) return std::nullopt;
+
+  // Lines 3-5: goodness draw restricted to the satisfying set.
+  std::vector<double> mu(satisfying.size());
+  std::vector<double> sigma(satisfying.size());
+  for (std::size_t s = 0; s < satisfying.size(); ++s) {
+    mu[s] = candidates.mu_cost[satisfying[s]];
+    sigma[s] = candidates.sigma_cost[satisfying[s]];
+  }
+  const std::vector<double> weights = stats::goodness_weights(mu, sigma, base_);
+  return satisfying[stats::sample_categorical(weights, rng)];
+}
+
+std::unique_ptr<Strategy> Rgma::clone() const {
+  return std::make_unique<Rgma>(*this);
+}
+
+ExpectedImprovement::ExpectedImprovement(double xi) : xi_(xi) {
+  if (xi < 0.0) {
+    throw std::invalid_argument("ExpectedImprovement: xi must be >= 0");
+  }
+}
+
+std::optional<std::size_t> ExpectedImprovement::select(
+    const CandidateView& candidates, stats::Rng& rng) const {
+  require_candidates(candidates);
+  (void)rng;
+  double best_mu = candidates.mu_cost[0];
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    best_mu = std::min(best_mu, candidates.mu_cost[i]);
+  }
+  std::size_t best = 0;
+  double best_ei = -1.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double sigma = candidates.sigma_cost[i];
+    const double improvement = best_mu - candidates.mu_cost[i] - xi_;
+    double ei = 0.0;
+    if (sigma > 1e-12) {
+      const double z = improvement / sigma;
+      ei = improvement * stats::standard_normal_cdf(z) +
+           sigma * stats::standard_normal_pdf(z);
+    } else if (improvement > 0.0) {
+      ei = improvement;
+    }
+    if (ei > best_ei) {
+      best_ei = ei;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<Strategy> ExpectedImprovement::clone() const {
+  return std::make_unique<ExpectedImprovement>(*this);
+}
+
+}  // namespace alamr::core

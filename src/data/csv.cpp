@@ -1,0 +1,113 @@
+#include "alamr/data/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace alamr::data {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+double parse_double(const std::string& token, std::size_t line_number) {
+  double value = 0.0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::runtime_error("CSV parse error at line " +
+                             std::to_string(line_number) + ": '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string to_csv_string(const Dataset& dataset) {
+  dataset.validate();
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t j = 0; j < dataset.dim(); ++j) {
+    os << (dataset.feature_names.empty() ? ("f" + std::to_string(j))
+                                         : dataset.feature_names[j])
+       << ',';
+  }
+  os << "wallclock_s,cost_nh,maxrss_mb\n";
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    for (std::size_t j = 0; j < dataset.dim(); ++j) os << dataset.x(i, j) << ',';
+    os << dataset.wallclock[i] << ',' << dataset.cost[i] << ','
+       << dataset.memory[i] << '\n';
+  }
+  return os.str();
+}
+
+Dataset from_csv_string(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line)) throw std::runtime_error("CSV: empty input");
+
+  const std::vector<std::string> header = split_line(line);
+  if (header.size() < 4) {
+    throw std::runtime_error("CSV: need at least one feature and 3 responses");
+  }
+  const std::size_t dim = header.size() - 3;
+
+  Dataset dataset;
+  dataset.feature_names.assign(header.begin(),
+                               header.begin() + static_cast<std::ptrdiff_t>(dim));
+
+  std::vector<double> flat;
+  std::size_t rows = 0;
+  std::size_t line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_line(line);
+    if (fields.size() != header.size()) {
+      throw std::runtime_error("CSV: wrong field count at line " +
+                               std::to_string(line_number));
+    }
+    for (std::size_t j = 0; j < dim; ++j) {
+      flat.push_back(parse_double(fields[j], line_number));
+    }
+    dataset.wallclock.push_back(parse_double(fields[dim], line_number));
+    dataset.cost.push_back(parse_double(fields[dim + 1], line_number));
+    dataset.memory.push_back(parse_double(fields[dim + 2], line_number));
+    ++rows;
+  }
+
+  dataset.x = Matrix(rows, dim);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      dataset.x(i, j) = flat[i * dim + j];
+    }
+  }
+  dataset.validate();
+  return dataset;
+}
+
+void write_csv(const Dataset& dataset, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path.string());
+  out << to_csv_string(dataset);
+  if (!out) throw std::runtime_error("write_csv: write failed for " + path.string());
+}
+
+Dataset read_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_csv_string(buffer.str());
+}
+
+}  // namespace alamr::data

@@ -1,0 +1,25 @@
+#include "alamr/data/partition.hpp"
+
+#include <stdexcept>
+
+namespace alamr::data {
+
+Partition make_partition(std::size_t n, std::size_t n_test, std::size_t n_init,
+                         stats::Rng& rng) {
+  if (n_init == 0) {
+    throw std::invalid_argument("make_partition: n_init must be >= 1");
+  }
+  if (n_test + n_init > n) {
+    throw std::invalid_argument("make_partition: n_test + n_init exceeds n");
+  }
+  const std::vector<std::size_t> order = rng.permutation(n);
+  Partition p;
+  p.test.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n_test));
+  p.init.assign(order.begin() + static_cast<std::ptrdiff_t>(n_test),
+                order.begin() + static_cast<std::ptrdiff_t>(n_test + n_init));
+  p.active.assign(order.begin() + static_cast<std::ptrdiff_t>(n_test + n_init),
+                  order.end());
+  return p;
+}
+
+}  // namespace alamr::data

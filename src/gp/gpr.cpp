@@ -1,0 +1,192 @@
+#include "alamr/gp/gpr.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "alamr/opt/multistart.hpp"
+
+namespace alamr::gp {
+
+namespace {
+
+constexpr double kLogTwoPi = 1.8378770664093453;  // log(2*pi)
+
+}  // namespace
+
+GaussianProcessRegressor::GaussianProcessRegressor(std::unique_ptr<Kernel> kernel,
+                                                   GprOptions options)
+    : kernel_(std::move(kernel)), options_(options) {
+  if (!kernel_) throw std::invalid_argument("GPR: kernel must not be null");
+}
+
+GaussianProcessRegressor::GaussianProcessRegressor(
+    const GaussianProcessRegressor& other)
+    : kernel_(other.kernel_->clone()),
+      options_(other.options_),
+      x_train_(other.x_train_),
+      y_train_(other.y_train_),
+      y_mean_(other.y_mean_),
+      factor_(other.factor_),
+      alpha_(other.alpha_),
+      lml_(other.lml_) {}
+
+GaussianProcessRegressor& GaussianProcessRegressor::operator=(
+    const GaussianProcessRegressor& other) {
+  if (this == &other) return *this;
+  kernel_ = other.kernel_->clone();
+  options_ = other.options_;
+  x_train_ = other.x_train_;
+  y_train_ = other.y_train_;
+  y_mean_ = other.y_mean_;
+  factor_ = other.factor_;
+  alpha_ = other.alpha_;
+  lml_ = other.lml_;
+  return *this;
+}
+
+double GaussianProcessRegressor::log_marginal_likelihood(
+    std::span<const double> log_params, std::span<double> grad) const {
+  if (x_train_.empty()) {
+    throw std::logic_error("GPR: no training data stored");
+  }
+  // Evaluate against a scratch clone so the caller-visible kernel state is
+  // untouched (the optimizer probes many parameter vectors).
+  const std::unique_ptr<Kernel> probe = kernel_->clone();
+  probe->set_log_params(log_params);
+
+  const std::size_t n = x_train_.rows();
+  std::vector<Matrix> gradients;
+  Matrix k = grad.empty() ? probe->gram(x_train_)
+                          : probe->gram_with_gradients(x_train_, gradients);
+
+  const auto [factor, jitter] =
+      linalg::cholesky_with_jitter(k, options_.initial_jitter, options_.max_jitter);
+  (void)jitter;
+
+  const linalg::Vector alpha = factor.solve(y_train_);
+  double lml = -0.5 * linalg::dot(y_train_, alpha);
+  lml -= 0.5 * factor.log_det();
+  lml -= 0.5 * static_cast<double>(n) * kLogTwoPi;
+
+  if (!grad.empty()) {
+    if (grad.size() != probe->num_params()) {
+      throw std::invalid_argument("GPR: gradient span size mismatch");
+    }
+    // dLML/dtheta_j = 1/2 tr((alpha alpha^T - K^{-1}) dK/dtheta_j).
+    const Matrix k_inv = factor.inverse();
+    for (std::size_t j = 0; j < gradients.size(); ++j) {
+      const Matrix& dk = gradients[j];
+      double trace = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        const auto dk_row = dk.row(r);
+        const auto kinv_row = k_inv.row(r);
+        double row_acc = 0.0;
+        for (std::size_t c = 0; c < n; ++c) {
+          row_acc += (alpha[r] * alpha[c] - kinv_row[c]) * dk_row[c];
+        }
+        trace += row_acc;
+      }
+      grad[j] = 0.5 * trace;
+    }
+  }
+  return lml;
+}
+
+double GaussianProcessRegressor::compute_posterior() {
+  const Matrix k = kernel_->gram(x_train_);
+  const auto [factor, jitter] =
+      linalg::cholesky_with_jitter(k, options_.initial_jitter, options_.max_jitter);
+  (void)jitter;
+  factor_ = factor;
+  alpha_ = factor_->solve(y_train_);
+  const std::size_t n = x_train_.rows();
+  lml_ = -0.5 * linalg::dot(y_train_, alpha_) - 0.5 * factor_->log_det() -
+         0.5 * static_cast<double>(n) * kLogTwoPi;
+  return lml_;
+}
+
+void GaussianProcessRegressor::fit(const Matrix& x, std::span<const double> y,
+                                   stats::Rng& rng) {
+  if (x.rows() == 0) throw std::invalid_argument("GPR::fit: empty design matrix");
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("GPR::fit: X/y size mismatch");
+  }
+
+  x_train_ = x;
+  y_mean_ = 0.0;
+  if (options_.normalize_y) {
+    for (const double v : y) y_mean_ += v;
+    y_mean_ /= static_cast<double>(y.size());
+  }
+  y_train_.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y_train_[i] = y[i] - y_mean_;
+
+  if (options_.optimize && kernel_->num_params() > 0 && x.rows() >= 2) {
+    const opt::Objective negative_lml =
+        [this](std::span<const double> theta, std::span<double> grad) {
+          const double value = log_marginal_likelihood(theta, grad);
+          for (double& g : grad) g = -g;
+          return -value;
+        };
+
+    opt::MultistartOptions ms;
+    ms.restarts = options_.restarts;
+    ms.lbfgs.max_iterations = options_.max_opt_iterations;
+
+    const std::vector<double> start = kernel_->log_params();
+    opt::Bounds bounds = kernel_->log_bounds();
+    // Keep the warm start feasible even if an earlier fit pushed a
+    // parameter onto (or numerically past) its bound.
+    std::vector<double> feasible_start = start;
+    bounds.project(feasible_start);
+
+    const opt::OptimizeResult best =
+        opt::multistart_minimize(negative_lml, feasible_start, bounds, ms, rng);
+    kernel_->set_log_params(best.x);
+  }
+
+  compute_posterior();
+}
+
+Prediction GaussianProcessRegressor::predict(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("GPR::predict before fit");
+  if (x.cols() != x_train_.cols()) {
+    throw std::invalid_argument("GPR::predict: dimension mismatch");
+  }
+
+  const Matrix k_star = kernel_->cross(x_train_, x);  // n_train x n_query
+  Prediction out;
+  out.mean = linalg::matvec_transposed(k_star, alpha_);
+  for (double& m : out.mean) m += y_mean_;
+
+  out.stddev.resize(x.rows());
+  const std::vector<double> prior_diag = kernel_->diagonal(x);
+  std::vector<double> column(x_train_.rows());
+  for (std::size_t q = 0; q < x.rows(); ++q) {
+    for (std::size_t i = 0; i < x_train_.rows(); ++i) column[i] = k_star(i, q);
+    // sigma^2 = k** - k*^T K_y^{-1} k* via v = L^{-1} k*; sigma^2 = k** - v.v
+    const linalg::Vector v = factor_->solve_lower(column);
+    const double var = prior_diag[q] - linalg::dot(v, v);
+    out.stddev[q] = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> GaussianProcessRegressor::predict_mean(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("GPR::predict_mean before fit");
+  if (x.cols() != x_train_.cols()) {
+    throw std::invalid_argument("GPR::predict_mean: dimension mismatch");
+  }
+  const Matrix k_star = kernel_->cross(x_train_, x);
+  std::vector<double> mean = linalg::matvec_transposed(k_star, alpha_);
+  for (double& m : mean) m += y_mean_;
+  return mean;
+}
+
+double GaussianProcessRegressor::log_marginal_likelihood() const {
+  if (!fitted()) throw std::logic_error("GPR::lml before fit");
+  return lml_;
+}
+
+}  // namespace alamr::gp

@@ -1,0 +1,757 @@
+#include "alamr/gp/kernels.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace alamr::gp {
+
+namespace {
+
+void check_param_count(std::span<const double> theta, std::size_t expected,
+                       const char* who) {
+  if (theta.size() != expected) {
+    throw std::invalid_argument(std::string(who) + ": wrong parameter count");
+  }
+}
+
+double checked_positive(double v, const char* who) {
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    throw std::invalid_argument(std::string(who) + ": value must be positive");
+  }
+  return v;
+}
+
+}  // namespace
+
+// ---- ConstantKernel --------------------------------------------------------
+
+ConstantKernel::ConstantKernel(double value, double lower, double upper)
+    : value_(checked_positive(value, "ConstantKernel")),
+      lower_(checked_positive(lower, "ConstantKernel")),
+      upper_(checked_positive(upper, "ConstantKernel")) {}
+
+std::vector<double> ConstantKernel::log_params() const {
+  return {std::log(value_)};
+}
+
+void ConstantKernel::set_log_params(std::span<const double> theta) {
+  check_param_count(theta, 1, "ConstantKernel");
+  value_ = std::exp(theta[0]);
+}
+
+opt::Bounds ConstantKernel::log_bounds() const {
+  return {{std::log(lower_)}, {std::log(upper_)}};
+}
+
+Matrix ConstantKernel::gram(const Matrix& x) const {
+  return Matrix(x.rows(), x.rows(), value_);
+}
+
+Matrix ConstantKernel::gram_with_gradients(const Matrix& x,
+                                           std::vector<Matrix>& gradients) const {
+  gradients.clear();
+  // d(c)/d(log c) = c everywhere.
+  gradients.emplace_back(x.rows(), x.rows(), value_);
+  return gram(x);
+}
+
+Matrix ConstantKernel::cross(const Matrix& x, const Matrix& y) const {
+  return Matrix(x.rows(), y.rows(), value_);
+}
+
+std::vector<double> ConstantKernel::diagonal(const Matrix& x) const {
+  return std::vector<double>(x.rows(), value_);
+}
+
+std::unique_ptr<Kernel> ConstantKernel::clone() const {
+  return std::make_unique<ConstantKernel>(*this);
+}
+
+std::string ConstantKernel::describe() const {
+  std::ostringstream os;
+  os << "Constant(" << value_ << ")";
+  return os.str();
+}
+
+// ---- WhiteKernel -----------------------------------------------------------
+
+WhiteKernel::WhiteKernel(double noise, double lower, double upper)
+    : noise_(checked_positive(noise, "WhiteKernel")),
+      lower_(checked_positive(lower, "WhiteKernel")),
+      upper_(checked_positive(upper, "WhiteKernel")) {}
+
+std::vector<double> WhiteKernel::log_params() const { return {std::log(noise_)}; }
+
+void WhiteKernel::set_log_params(std::span<const double> theta) {
+  check_param_count(theta, 1, "WhiteKernel");
+  noise_ = std::exp(theta[0]);
+}
+
+opt::Bounds WhiteKernel::log_bounds() const {
+  return {{std::log(lower_)}, {std::log(upper_)}};
+}
+
+Matrix WhiteKernel::gram(const Matrix& x) const {
+  Matrix k(x.rows(), x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) k(i, i) = noise_;
+  return k;
+}
+
+Matrix WhiteKernel::gram_with_gradients(const Matrix& x,
+                                        std::vector<Matrix>& gradients) const {
+  gradients.clear();
+  Matrix g(x.rows(), x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) g(i, i) = noise_;
+  gradients.push_back(g);
+  return g;
+}
+
+Matrix WhiteKernel::cross(const Matrix& x, const Matrix& y) const {
+  return Matrix(x.rows(), y.rows(), 0.0);
+}
+
+std::vector<double> WhiteKernel::diagonal(const Matrix& x) const {
+  return std::vector<double>(x.rows(), noise_);
+}
+
+std::unique_ptr<Kernel> WhiteKernel::clone() const {
+  return std::make_unique<WhiteKernel>(*this);
+}
+
+std::string WhiteKernel::describe() const {
+  std::ostringstream os;
+  os << "White(" << noise_ << ")";
+  return os.str();
+}
+
+// ---- RbfKernel -------------------------------------------------------------
+
+RbfKernel::RbfKernel(double length_scale, double lower, double upper)
+    : length_(checked_positive(length_scale, "RbfKernel")),
+      lower_(checked_positive(lower, "RbfKernel")),
+      upper_(checked_positive(upper, "RbfKernel")) {}
+
+std::vector<double> RbfKernel::log_params() const { return {std::log(length_)}; }
+
+void RbfKernel::set_log_params(std::span<const double> theta) {
+  check_param_count(theta, 1, "RbfKernel");
+  length_ = std::exp(theta[0]);
+}
+
+opt::Bounds RbfKernel::log_bounds() const {
+  return {{std::log(lower_)}, {std::log(upper_)}};
+}
+
+Matrix RbfKernel::gram(const Matrix& x) const {
+  const double inv_2l2 = 1.0 / (2.0 * length_ * length_);
+  Matrix k(x.rows(), x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    k(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      const double v = std::exp(-linalg::squared_distance(x.row(i), x.row(j)) * inv_2l2);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Matrix RbfKernel::gram_with_gradients(const Matrix& x,
+                                      std::vector<Matrix>& gradients) const {
+  const double inv_l2 = 1.0 / (length_ * length_);
+  Matrix k(x.rows(), x.rows());
+  Matrix g(x.rows(), x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    k(i, i) = 1.0;
+    g(i, i) = 0.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      const double r2 = linalg::squared_distance(x.row(i), x.row(j));
+      const double v = std::exp(-0.5 * r2 * inv_l2);
+      // d/d(log l) exp(-r2 / (2 l^2)) = v * r2 / l^2.
+      const double dv = v * r2 * inv_l2;
+      k(i, j) = v;
+      k(j, i) = v;
+      g(i, j) = dv;
+      g(j, i) = dv;
+    }
+  }
+  gradients.clear();
+  gradients.push_back(std::move(g));
+  return k;
+}
+
+Matrix RbfKernel::cross(const Matrix& x, const Matrix& y) const {
+  if (x.cols() != y.cols()) throw std::invalid_argument("RbfKernel::cross: dim mismatch");
+  const double inv_2l2 = 1.0 / (2.0 * length_ * length_);
+  Matrix k(x.rows(), y.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < y.rows(); ++j) {
+      k(i, j) = std::exp(-linalg::squared_distance(x.row(i), y.row(j)) * inv_2l2);
+    }
+  }
+  return k;
+}
+
+std::vector<double> RbfKernel::diagonal(const Matrix& x) const {
+  return std::vector<double>(x.rows(), 1.0);
+}
+
+std::unique_ptr<Kernel> RbfKernel::clone() const {
+  return std::make_unique<RbfKernel>(*this);
+}
+
+std::string RbfKernel::describe() const {
+  std::ostringstream os;
+  os << "RBF(l=" << length_ << ")";
+  return os.str();
+}
+
+// ---- RbfArdKernel ----------------------------------------------------------
+
+RbfArdKernel::RbfArdKernel(std::vector<double> length_scales, double lower,
+                           double upper)
+    : lengths_(std::move(length_scales)),
+      lower_(checked_positive(lower, "RbfArdKernel")),
+      upper_(checked_positive(upper, "RbfArdKernel")) {
+  if (lengths_.empty()) {
+    throw std::invalid_argument("RbfArdKernel: need at least one length scale");
+  }
+  for (const double l : lengths_) checked_positive(l, "RbfArdKernel");
+}
+
+std::vector<double> RbfArdKernel::log_params() const {
+  std::vector<double> theta(lengths_.size());
+  for (std::size_t i = 0; i < lengths_.size(); ++i) theta[i] = std::log(lengths_[i]);
+  return theta;
+}
+
+void RbfArdKernel::set_log_params(std::span<const double> theta) {
+  check_param_count(theta, lengths_.size(), "RbfArdKernel");
+  for (std::size_t i = 0; i < lengths_.size(); ++i) lengths_[i] = std::exp(theta[i]);
+}
+
+opt::Bounds RbfArdKernel::log_bounds() const {
+  return {std::vector<double>(lengths_.size(), std::log(lower_)),
+          std::vector<double>(lengths_.size(), std::log(upper_))};
+}
+
+Matrix RbfArdKernel::gram(const Matrix& x) const {
+  if (x.cols() != lengths_.size()) {
+    throw std::invalid_argument("RbfArdKernel: dimension mismatch");
+  }
+  Matrix k(x.rows(), x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    k(i, i) = 1.0;
+    const auto xi = x.row(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const auto xj = x.row(j);
+      double q = 0.0;
+      for (std::size_t d = 0; d < lengths_.size(); ++d) {
+        const double z = (xi[d] - xj[d]) / lengths_[d];
+        q += z * z;
+      }
+      const double v = std::exp(-0.5 * q);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Matrix RbfArdKernel::gram_with_gradients(const Matrix& x,
+                                         std::vector<Matrix>& gradients) const {
+  if (x.cols() != lengths_.size()) {
+    throw std::invalid_argument("RbfArdKernel: dimension mismatch");
+  }
+  const std::size_t n = x.rows();
+  const std::size_t d = lengths_.size();
+  Matrix k(n, n);
+  gradients.assign(d, Matrix(n, n));
+  std::vector<double> z2(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    const auto xi = x.row(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const auto xj = x.row(j);
+      double q = 0.0;
+      for (std::size_t dim = 0; dim < d; ++dim) {
+        const double z = (xi[dim] - xj[dim]) / lengths_[dim];
+        z2[dim] = z * z;
+        q += z2[dim];
+      }
+      const double v = std::exp(-0.5 * q);
+      k(i, j) = v;
+      k(j, i) = v;
+      for (std::size_t dim = 0; dim < d; ++dim) {
+        // d/d(log l_dim) = v * (x_dim - x'_dim)^2 / l_dim^2.
+        const double g = v * z2[dim];
+        gradients[dim](i, j) = g;
+        gradients[dim](j, i) = g;
+      }
+    }
+  }
+  return k;
+}
+
+Matrix RbfArdKernel::cross(const Matrix& x, const Matrix& y) const {
+  if (x.cols() != lengths_.size() || y.cols() != lengths_.size()) {
+    throw std::invalid_argument("RbfArdKernel::cross: dimension mismatch");
+  }
+  Matrix k(x.rows(), y.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto xi = x.row(i);
+    for (std::size_t j = 0; j < y.rows(); ++j) {
+      const auto yj = y.row(j);
+      double q = 0.0;
+      for (std::size_t dim = 0; dim < lengths_.size(); ++dim) {
+        const double z = (xi[dim] - yj[dim]) / lengths_[dim];
+        q += z * z;
+      }
+      k(i, j) = std::exp(-0.5 * q);
+    }
+  }
+  return k;
+}
+
+std::vector<double> RbfArdKernel::diagonal(const Matrix& x) const {
+  return std::vector<double>(x.rows(), 1.0);
+}
+
+std::unique_ptr<Kernel> RbfArdKernel::clone() const {
+  return std::make_unique<RbfArdKernel>(*this);
+}
+
+std::string RbfArdKernel::describe() const {
+  std::ostringstream os;
+  os << "RBF_ARD(l=[";
+  for (std::size_t i = 0; i < lengths_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << lengths_[i];
+  }
+  os << "])";
+  return os.str();
+}
+
+// ---- MaternKernel ----------------------------------------------------------
+
+MaternKernel::MaternKernel(Nu nu, double length_scale, double lower, double upper)
+    : nu_(nu),
+      length_(checked_positive(length_scale, "MaternKernel")),
+      lower_(checked_positive(lower, "MaternKernel")),
+      upper_(checked_positive(upper, "MaternKernel")) {}
+
+std::vector<double> MaternKernel::log_params() const {
+  return {std::log(length_)};
+}
+
+void MaternKernel::set_log_params(std::span<const double> theta) {
+  check_param_count(theta, 1, "MaternKernel");
+  length_ = std::exp(theta[0]);
+}
+
+opt::Bounds MaternKernel::log_bounds() const {
+  return {{std::log(lower_)}, {std::log(upper_)}};
+}
+
+void MaternKernel::eval(double r2, double& value, double& dlogl) const {
+  const double r = std::sqrt(r2);
+  switch (nu_) {
+    case Nu::kHalf: {
+      // k = exp(-r/l);  dk/d(log l) = k * r / l.
+      const double s = r / length_;
+      value = std::exp(-s);
+      dlogl = value * s;
+      return;
+    }
+    case Nu::kThreeHalves: {
+      // k = (1 + s) exp(-s), s = sqrt(3) r / l;  dk/d(log l) = s^2 exp(-s).
+      const double s = std::sqrt(3.0) * r / length_;
+      const double e = std::exp(-s);
+      value = (1.0 + s) * e;
+      dlogl = s * s * e;
+      return;
+    }
+    case Nu::kFiveHalves: {
+      // k = (1 + s + s^2/3) exp(-s), s = sqrt(5) r / l;
+      // dk/d(log l) = s^2 (1 + s) / 3 * exp(-s).
+      const double s = std::sqrt(5.0) * r / length_;
+      const double e = std::exp(-s);
+      value = (1.0 + s + s * s / 3.0) * e;
+      dlogl = s * s * (1.0 + s) / 3.0 * e;
+      return;
+    }
+  }
+  value = 0.0;
+  dlogl = 0.0;
+}
+
+Matrix MaternKernel::gram(const Matrix& x) const {
+  Matrix k(x.rows(), x.rows());
+  double v = 0.0;
+  double dv = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    k(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      eval(linalg::squared_distance(x.row(i), x.row(j)), v, dv);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Matrix MaternKernel::gram_with_gradients(const Matrix& x,
+                                         std::vector<Matrix>& gradients) const {
+  Matrix k(x.rows(), x.rows());
+  Matrix g(x.rows(), x.rows());
+  double v = 0.0;
+  double dv = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    k(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      eval(linalg::squared_distance(x.row(i), x.row(j)), v, dv);
+      k(i, j) = v;
+      k(j, i) = v;
+      g(i, j) = dv;
+      g(j, i) = dv;
+    }
+  }
+  gradients.clear();
+  gradients.push_back(std::move(g));
+  return k;
+}
+
+Matrix MaternKernel::cross(const Matrix& x, const Matrix& y) const {
+  if (x.cols() != y.cols()) {
+    throw std::invalid_argument("MaternKernel::cross: dim mismatch");
+  }
+  Matrix k(x.rows(), y.rows());
+  double v = 0.0;
+  double dv = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < y.rows(); ++j) {
+      eval(linalg::squared_distance(x.row(i), y.row(j)), v, dv);
+      k(i, j) = v;
+    }
+  }
+  return k;
+}
+
+std::vector<double> MaternKernel::diagonal(const Matrix& x) const {
+  return std::vector<double>(x.rows(), 1.0);
+}
+
+std::unique_ptr<Kernel> MaternKernel::clone() const {
+  return std::make_unique<MaternKernel>(*this);
+}
+
+std::string MaternKernel::describe() const {
+  std::ostringstream os;
+  const char* nu = nu_ == Nu::kHalf          ? "1/2"
+                   : nu_ == Nu::kThreeHalves ? "3/2"
+                                             : "5/2";
+  os << "Matern(nu=" << nu << ", l=" << length_ << ")";
+  return os.str();
+}
+
+// ---- RationalQuadraticKernel -------------------------------------------------
+
+RationalQuadraticKernel::RationalQuadraticKernel(double length_scale,
+                                                 double alpha, double lower,
+                                                 double upper)
+    : length_(checked_positive(length_scale, "RationalQuadraticKernel")),
+      alpha_(checked_positive(alpha, "RationalQuadraticKernel")),
+      lower_(checked_positive(lower, "RationalQuadraticKernel")),
+      upper_(checked_positive(upper, "RationalQuadraticKernel")) {}
+
+std::vector<double> RationalQuadraticKernel::log_params() const {
+  return {std::log(length_), std::log(alpha_)};
+}
+
+void RationalQuadraticKernel::set_log_params(std::span<const double> theta) {
+  check_param_count(theta, 2, "RationalQuadraticKernel");
+  length_ = std::exp(theta[0]);
+  alpha_ = std::exp(theta[1]);
+}
+
+opt::Bounds RationalQuadraticKernel::log_bounds() const {
+  return {{std::log(lower_), std::log(1e-2)}, {std::log(upper_), std::log(1e3)}};
+}
+
+void RationalQuadraticKernel::eval(double r2, double& value, double& dlogl,
+                                   double& dlogalpha) const {
+  const double q = r2 / (2.0 * alpha_ * length_ * length_);
+  const double base = 1.0 + q;
+  value = std::pow(base, -alpha_);
+  // d/d(log l): q scales as l^-2, so dq/d(log l) = -2q.
+  dlogl = 2.0 * alpha_ * q * std::pow(base, -alpha_ - 1.0);
+  // d/d(log alpha) = alpha * k * (q/(1+q) - log(1+q)).
+  dlogalpha = alpha_ * value * (q / base - std::log(base));
+}
+
+Matrix RationalQuadraticKernel::gram(const Matrix& x) const {
+  Matrix k(x.rows(), x.rows());
+  double v = 0.0;
+  double dl = 0.0;
+  double da = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    k(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      eval(linalg::squared_distance(x.row(i), x.row(j)), v, dl, da);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Matrix RationalQuadraticKernel::gram_with_gradients(
+    const Matrix& x, std::vector<Matrix>& gradients) const {
+  const std::size_t n = x.rows();
+  Matrix k(n, n);
+  gradients.assign(2, Matrix(n, n));
+  double v = 0.0;
+  double dl = 0.0;
+  double da = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      eval(linalg::squared_distance(x.row(i), x.row(j)), v, dl, da);
+      k(i, j) = v;
+      k(j, i) = v;
+      gradients[0](i, j) = dl;
+      gradients[0](j, i) = dl;
+      gradients[1](i, j) = da;
+      gradients[1](j, i) = da;
+    }
+  }
+  return k;
+}
+
+Matrix RationalQuadraticKernel::cross(const Matrix& x, const Matrix& y) const {
+  if (x.cols() != y.cols()) {
+    throw std::invalid_argument("RationalQuadraticKernel::cross: dim mismatch");
+  }
+  Matrix k(x.rows(), y.rows());
+  double v = 0.0;
+  double dl = 0.0;
+  double da = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < y.rows(); ++j) {
+      eval(linalg::squared_distance(x.row(i), y.row(j)), v, dl, da);
+      k(i, j) = v;
+    }
+  }
+  return k;
+}
+
+std::vector<double> RationalQuadraticKernel::diagonal(const Matrix& x) const {
+  return std::vector<double>(x.rows(), 1.0);
+}
+
+std::unique_ptr<Kernel> RationalQuadraticKernel::clone() const {
+  return std::make_unique<RationalQuadraticKernel>(*this);
+}
+
+std::string RationalQuadraticKernel::describe() const {
+  std::ostringstream os;
+  os << "RQ(l=" << length_ << ", alpha=" << alpha_ << ")";
+  return os.str();
+}
+
+// ---- SumKernel -------------------------------------------------------------
+
+SumKernel::SumKernel(std::unique_ptr<Kernel> left, std::unique_ptr<Kernel> right)
+    : left_(std::move(left)), right_(std::move(right)) {
+  if (!left_ || !right_) throw std::invalid_argument("SumKernel: null child");
+}
+
+std::size_t SumKernel::num_params() const {
+  return left_->num_params() + right_->num_params();
+}
+
+std::vector<double> SumKernel::log_params() const {
+  std::vector<double> theta = left_->log_params();
+  const std::vector<double> right = right_->log_params();
+  theta.insert(theta.end(), right.begin(), right.end());
+  return theta;
+}
+
+void SumKernel::set_log_params(std::span<const double> theta) {
+  check_param_count(theta, num_params(), "SumKernel");
+  left_->set_log_params(theta.subspan(0, left_->num_params()));
+  right_->set_log_params(theta.subspan(left_->num_params()));
+}
+
+opt::Bounds SumKernel::log_bounds() const {
+  opt::Bounds b = left_->log_bounds();
+  const opt::Bounds rb = right_->log_bounds();
+  b.lower.insert(b.lower.end(), rb.lower.begin(), rb.lower.end());
+  b.upper.insert(b.upper.end(), rb.upper.begin(), rb.upper.end());
+  return b;
+}
+
+Matrix SumKernel::gram(const Matrix& x) const {
+  Matrix k = left_->gram(x);
+  const Matrix r = right_->gram(x);
+  for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] += r.data()[i];
+  return k;
+}
+
+Matrix SumKernel::gram_with_gradients(const Matrix& x,
+                                      std::vector<Matrix>& gradients) const {
+  std::vector<Matrix> left_grads;
+  std::vector<Matrix> right_grads;
+  Matrix k = left_->gram_with_gradients(x, left_grads);
+  const Matrix r = right_->gram_with_gradients(x, right_grads);
+  for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] += r.data()[i];
+  gradients.clear();
+  gradients.reserve(left_grads.size() + right_grads.size());
+  for (auto& g : left_grads) gradients.push_back(std::move(g));
+  for (auto& g : right_grads) gradients.push_back(std::move(g));
+  return k;
+}
+
+Matrix SumKernel::cross(const Matrix& x, const Matrix& y) const {
+  Matrix k = left_->cross(x, y);
+  const Matrix r = right_->cross(x, y);
+  for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] += r.data()[i];
+  return k;
+}
+
+std::vector<double> SumKernel::diagonal(const Matrix& x) const {
+  std::vector<double> d = left_->diagonal(x);
+  const std::vector<double> r = right_->diagonal(x);
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] += r[i];
+  return d;
+}
+
+std::unique_ptr<Kernel> SumKernel::clone() const {
+  return std::make_unique<SumKernel>(left_->clone(), right_->clone());
+}
+
+std::string SumKernel::describe() const {
+  return left_->describe() + " + " + right_->describe();
+}
+
+// ---- ProductKernel ---------------------------------------------------------
+
+ProductKernel::ProductKernel(std::unique_ptr<Kernel> left,
+                             std::unique_ptr<Kernel> right)
+    : left_(std::move(left)), right_(std::move(right)) {
+  if (!left_ || !right_) throw std::invalid_argument("ProductKernel: null child");
+}
+
+std::size_t ProductKernel::num_params() const {
+  return left_->num_params() + right_->num_params();
+}
+
+std::vector<double> ProductKernel::log_params() const {
+  std::vector<double> theta = left_->log_params();
+  const std::vector<double> right = right_->log_params();
+  theta.insert(theta.end(), right.begin(), right.end());
+  return theta;
+}
+
+void ProductKernel::set_log_params(std::span<const double> theta) {
+  check_param_count(theta, num_params(), "ProductKernel");
+  left_->set_log_params(theta.subspan(0, left_->num_params()));
+  right_->set_log_params(theta.subspan(left_->num_params()));
+}
+
+opt::Bounds ProductKernel::log_bounds() const {
+  opt::Bounds b = left_->log_bounds();
+  const opt::Bounds rb = right_->log_bounds();
+  b.lower.insert(b.lower.end(), rb.lower.begin(), rb.lower.end());
+  b.upper.insert(b.upper.end(), rb.upper.begin(), rb.upper.end());
+  return b;
+}
+
+Matrix ProductKernel::gram(const Matrix& x) const {
+  Matrix k = left_->gram(x);
+  const Matrix r = right_->gram(x);
+  for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] *= r.data()[i];
+  return k;
+}
+
+Matrix ProductKernel::gram_with_gradients(const Matrix& x,
+                                          std::vector<Matrix>& gradients) const {
+  std::vector<Matrix> left_grads;
+  std::vector<Matrix> right_grads;
+  const Matrix kl = left_->gram_with_gradients(x, left_grads);
+  const Matrix kr = right_->gram_with_gradients(x, right_grads);
+
+  gradients.clear();
+  gradients.reserve(left_grads.size() + right_grads.size());
+  // Product rule: d(K1 o K2)/dtheta1 = dK1/dtheta1 o K2, and symmetrically.
+  for (auto& g : left_grads) {
+    for (std::size_t i = 0; i < g.data().size(); ++i) g.data()[i] *= kr.data()[i];
+    gradients.push_back(std::move(g));
+  }
+  for (auto& g : right_grads) {
+    for (std::size_t i = 0; i < g.data().size(); ++i) g.data()[i] *= kl.data()[i];
+    gradients.push_back(std::move(g));
+  }
+
+  Matrix k = kl;
+  for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] *= kr.data()[i];
+  return k;
+}
+
+Matrix ProductKernel::cross(const Matrix& x, const Matrix& y) const {
+  Matrix k = left_->cross(x, y);
+  const Matrix r = right_->cross(x, y);
+  for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] *= r.data()[i];
+  return k;
+}
+
+std::vector<double> ProductKernel::diagonal(const Matrix& x) const {
+  std::vector<double> d = left_->diagonal(x);
+  const std::vector<double> r = right_->diagonal(x);
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] *= r[i];
+  return d;
+}
+
+std::unique_ptr<Kernel> ProductKernel::clone() const {
+  return std::make_unique<ProductKernel>(left_->clone(), right_->clone());
+}
+
+std::string ProductKernel::describe() const {
+  return "(" + left_->describe() + ") * (" + right_->describe() + ")";
+}
+
+// ---- builders --------------------------------------------------------------
+
+std::unique_ptr<Kernel> sum(std::unique_ptr<Kernel> a, std::unique_ptr<Kernel> b) {
+  return std::make_unique<SumKernel>(std::move(a), std::move(b));
+}
+
+std::unique_ptr<Kernel> product(std::unique_ptr<Kernel> a,
+                                std::unique_ptr<Kernel> b) {
+  return std::make_unique<ProductKernel>(std::move(a), std::move(b));
+}
+
+std::unique_ptr<Kernel> make_paper_kernel(double amplitude, double length_scale,
+                                          double noise) {
+  return sum(product(std::make_unique<ConstantKernel>(amplitude),
+                     std::make_unique<RbfKernel>(length_scale)),
+             std::make_unique<WhiteKernel>(noise));
+}
+
+std::unique_ptr<Kernel> make_ard_kernel(std::size_t dim, double amplitude,
+                                        double length_scale, double noise) {
+  return sum(product(std::make_unique<ConstantKernel>(amplitude),
+                     std::make_unique<RbfArdKernel>(
+                         std::vector<double>(dim, length_scale))),
+             std::make_unique<WhiteKernel>(noise));
+}
+
+std::unique_ptr<Kernel> make_matern_kernel(MaternKernel::Nu nu, double amplitude,
+                                           double length_scale, double noise) {
+  return sum(product(std::make_unique<ConstantKernel>(amplitude),
+                     std::make_unique<MaternKernel>(nu, length_scale)),
+             std::make_unique<WhiteKernel>(noise));
+}
+
+}  // namespace alamr::gp

@@ -1,0 +1,104 @@
+#include "alamr/gp/local.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace alamr::gp {
+
+LocalGprEnsemble::LocalGprEnsemble(std::unique_ptr<Kernel> prototype,
+                                   RegionLabeler labeler, GprOptions options)
+    : prototype_(std::move(prototype)),
+      labeler_(std::move(labeler)),
+      options_(options) {
+  if (!prototype_) {
+    throw std::invalid_argument("LocalGprEnsemble: null kernel prototype");
+  }
+  if (!labeler_) {
+    throw std::invalid_argument("LocalGprEnsemble: null labeler");
+  }
+}
+
+void LocalGprEnsemble::fit(const Matrix& x, std::span<const double> y,
+                           stats::Rng& rng, std::size_t min_region_size) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    throw std::invalid_argument("LocalGprEnsemble::fit: bad training data");
+  }
+
+  // Group row indices by region label.
+  std::map<int, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    groups[labeler_(x.row(i))].push_back(i);
+  }
+
+  // Global fallback on all data.
+  global_.emplace(prototype_->clone(), options_);
+  global_->fit(x, y, rng);
+
+  regions_.clear();
+  for (const auto& [label, rows] : groups) {
+    if (rows.size() < min_region_size) continue;
+    Matrix x_region(rows.size(), x.cols());
+    std::vector<double> y_region(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        x_region(r, c) = x(rows[r], c);
+      }
+      y_region[r] = y[rows[r]];
+    }
+    GaussianProcessRegressor model(prototype_->clone(), options_);
+    model.fit(x_region, y_region, rng);
+    regions_.emplace(label, std::move(model));
+  }
+}
+
+Prediction LocalGprEnsemble::predict(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("LocalGprEnsemble::predict before fit");
+
+  // Dispatch query rows to their regions, predict per region in one batch,
+  // then scatter results back into query order.
+  std::map<int, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const int label = labeler_(x.row(i));
+    groups[regions_.contains(label) ? label
+                                    : std::numeric_limits<int>::min()]
+        .push_back(i);
+  }
+
+  Prediction out;
+  out.mean.resize(x.rows());
+  out.stddev.resize(x.rows());
+  for (const auto& [label, rows] : groups) {
+    Matrix x_group(rows.size(), x.cols());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        x_group(r, c) = x(rows[r], c);
+      }
+    }
+    const GaussianProcessRegressor& model =
+        label == std::numeric_limits<int>::min() ? *global_
+                                                 : regions_.at(label);
+    const Prediction group = model.predict(x_group);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      out.mean[rows[r]] = group.mean[r];
+      out.stddev[rows[r]] = group.stddev[r];
+    }
+  }
+  return out;
+}
+
+std::vector<int> LocalGprEnsemble::region_labels() const {
+  std::vector<int> labels;
+  labels.reserve(regions_.size());
+  for (const auto& [label, model] : regions_) labels.push_back(label);
+  return labels;
+}
+
+const GaussianProcessRegressor& LocalGprEnsemble::region_model(int label) const {
+  const auto it = regions_.find(label);
+  if (it == regions_.end()) {
+    throw std::out_of_range("LocalGprEnsemble: no model for label");
+  }
+  return it->second;
+}
+
+}  // namespace alamr::gp

@@ -1,0 +1,110 @@
+#include "alamr/linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace alamr::linalg {
+
+std::optional<CholeskyFactor> CholeskyFactor::factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      // Contiguous dot over row prefixes (row-major storage).
+      const auto li = l.row(i);
+      const auto lj = l.row(j);
+      for (std::size_t k = 0; k < j; ++k) v -= li[k] * lj[k];
+      l(i, j) = v * inv;
+    }
+  }
+  return CholeskyFactor(std::move(l));
+}
+
+Vector CholeskyFactor::solve_lower(std::span<const double> b) const {
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("solve_lower: length mismatch");
+  Vector z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    const auto li = l_.row(i);
+    for (std::size_t k = 0; k < i; ++k) v -= li[k] * z[k];
+    z[i] = v / li[i];
+  }
+  return z;
+}
+
+Vector CholeskyFactor::solve_upper(std::span<const double> b) const {
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("solve_upper: length mismatch");
+  Vector z(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= l_(k, ii) * z[k];
+    z[ii] = v / l_(ii, ii);
+  }
+  return z;
+}
+
+Vector CholeskyFactor::solve(std::span<const double> b) const {
+  return solve_upper(solve_lower(b));
+}
+
+Matrix CholeskyFactor::solve_matrix(const Matrix& b) const {
+  if (b.rows() != size()) throw std::invalid_argument("solve_matrix: shape mismatch");
+  Matrix x(b.rows(), b.cols());
+  Vector column(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) column[i] = b(i, j);
+    const Vector solved = solve(column);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = solved[i];
+  }
+  return x;
+}
+
+Matrix CholeskyFactor::inverse() const {
+  return solve_matrix(Matrix::identity(size()));
+}
+
+double CholeskyFactor::log_det() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) total += std::log(l_(i, i));
+  return 2.0 * total;
+}
+
+JitteredCholesky cholesky_with_jitter(const Matrix& a, double initial_jitter,
+                                      double max_jitter) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky_with_jitter: matrix must be square");
+  }
+  if (auto clean = CholeskyFactor::factor(a)) {
+    return JitteredCholesky{std::move(*clean), 0.0};
+  }
+  const std::size_t n = a.rows();
+  double mean_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean_diag += a(i, i);
+  mean_diag = n > 0 ? mean_diag / static_cast<double>(n) : 1.0;
+  const double scale = mean_diag > 0.0 ? mean_diag : 1.0;
+
+  for (double rel = initial_jitter; rel <= max_jitter; rel *= 10.0) {
+    Matrix jittered = a;
+    const double jitter = rel * scale;
+    for (std::size_t i = 0; i < n; ++i) jittered(i, i) += jitter;
+    if (auto factored = CholeskyFactor::factor(jittered)) {
+      return JitteredCholesky{std::move(*factored), jitter};
+    }
+  }
+  throw std::runtime_error(
+      "cholesky_with_jitter: matrix not positive definite even at max jitter");
+}
+
+}  // namespace alamr::linalg

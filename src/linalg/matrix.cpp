@@ -1,0 +1,130 @@
+#include "alamr/linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace alamr::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix eye(n, n);
+  for (std::size_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  return eye;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      t(j, i) = (*this)(i, j);
+    }
+  }
+  return t;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("dot: length mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) total += x[i] * y[i];
+  return total;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double squared_distance(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("squared_distance: length mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    total += d * d;
+  }
+  return total;
+}
+
+Vector matvec(const Matrix& a, std::span<const double> x) {
+  if (a.cols() != x.size()) throw std::invalid_argument("matvec: shape mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    y[i] = dot(a.row(i), x);
+  }
+  return y;
+}
+
+Vector matvec_transposed(const Matrix& a, std::span<const double> x) {
+  if (a.rows() != x.size()) {
+    throw std::invalid_argument("matvec_transposed: shape mismatch");
+  }
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    axpy(x[i], a.row(i), y);
+  }
+  return y;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous in both B and C.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto ci = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      axpy(aik, b.row(k), ci);
+    }
+  }
+  return c;
+}
+
+Matrix aat(const Matrix& a) {
+  Matrix c(a.rows(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = dot(a.row(i), a.row(j));
+      c(i, j) = v;
+      c(j, i) = v;
+    }
+  }
+  return c;
+}
+
+double frobenius_inner(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("frobenius_inner: shape mismatch");
+  }
+  return dot(a.data(), b.data());
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  double worst = 0.0;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    worst = std::max(worst, std::abs(da[i] - db[i]));
+  }
+  return worst;
+}
+
+}  // namespace alamr::linalg

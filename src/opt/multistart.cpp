@@ -1,0 +1,36 @@
+#include "alamr/opt/multistart.hpp"
+
+#include <stdexcept>
+
+namespace alamr::opt {
+
+OptimizeResult multistart_minimize(const Objective& f,
+                                   std::span<const double> x0,
+                                   const Bounds& bounds,
+                                   const MultistartOptions& options,
+                                   stats::Rng& rng) {
+  OptimizeResult best = lbfgs_minimize(f, x0, options.lbfgs, bounds);
+
+  if (options.restarts > 0 &&
+      (bounds.lower.size() != x0.size() || bounds.upper.size() != x0.size())) {
+    throw std::invalid_argument(
+        "multistart_minimize: random restarts need full box bounds");
+  }
+
+  std::vector<double> start(x0.size());
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    for (std::size_t i = 0; i < start.size(); ++i) {
+      start[i] = rng.uniform(bounds.lower[i], bounds.upper[i]);
+    }
+    OptimizeResult candidate = lbfgs_minimize(f, start, options.lbfgs, bounds);
+    candidate.evaluations += best.evaluations;
+    if (candidate.value < best.value) {
+      best = std::move(candidate);
+    } else {
+      best.evaluations = candidate.evaluations;
+    }
+  }
+  return best;
+}
+
+}  // namespace alamr::opt

@@ -1,0 +1,148 @@
+#include "alamr/opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace alamr::opt {
+
+namespace {
+
+struct Vertex {
+  std::vector<double> x;
+  double value = 0.0;
+};
+
+double value_spread(const std::vector<Vertex>& simplex) {
+  const auto [lo, hi] = std::minmax_element(
+      simplex.begin(), simplex.end(),
+      [](const Vertex& a, const Vertex& b) { return a.value < b.value; });
+  return hi->value - lo->value;
+}
+
+double vertex_spread(const std::vector<Vertex>& simplex) {
+  double worst = 0.0;
+  const auto& best = simplex.front().x;
+  for (const auto& v : simplex) {
+    for (std::size_t i = 0; i < best.size(); ++i) {
+      worst = std::max(worst, std::abs(v.x[i] - best[i]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+NelderMeadResult nelder_mead_minimize(const Objective& f,
+                                      std::span<const double> x0,
+                                      const NelderMeadOptions& options,
+                                      const Bounds& bounds) {
+  if (x0.empty()) throw std::invalid_argument("nelder_mead: empty start point");
+  bounds.validate(x0.size());
+  const std::size_t dim = x0.size();
+
+  NelderMeadResult result;
+
+  auto evaluate = [&](std::vector<double>& x) {
+    bounds.project(x);
+    ++result.evaluations;
+    return f(x, {});
+  };
+
+  // Initial simplex: x0 plus one vertex displaced along each axis.
+  std::vector<Vertex> simplex(dim + 1);
+  simplex[0].x.assign(x0.begin(), x0.end());
+  simplex[0].value = evaluate(simplex[0].x);
+  for (std::size_t i = 0; i < dim; ++i) {
+    simplex[i + 1].x.assign(x0.begin(), x0.end());
+    simplex[i + 1].x[i] +=
+        options.initial_step * std::max(1.0, std::abs(x0[i]));
+    simplex[i + 1].value = evaluate(simplex[i + 1].x);
+  }
+
+  std::vector<double> centroid(dim);
+  std::vector<double> probe(dim);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Vertex& a, const Vertex& b) { return a.value < b.value; });
+
+    if (value_spread(simplex) < options.f_tolerance ||
+        vertex_spread(simplex) < options.x_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all vertices except the worst.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (std::size_t v = 0; v < dim; ++v) {
+      for (std::size_t i = 0; i < dim; ++i) centroid[i] += simplex[v].x[i];
+    }
+    for (double& c : centroid) c /= static_cast<double>(dim);
+
+    Vertex& worst = simplex.back();
+
+    // Reflection.
+    for (std::size_t i = 0; i < dim; ++i) {
+      probe[i] = centroid[i] + options.reflection * (centroid[i] - worst.x[i]);
+    }
+    std::vector<double> reflected = probe;
+    const double reflected_value = evaluate(reflected);
+
+    if (reflected_value < simplex.front().value) {
+      // Expansion.
+      for (std::size_t i = 0; i < dim; ++i) {
+        probe[i] = centroid[i] + options.expansion * (reflected[i] - centroid[i]);
+      }
+      std::vector<double> expanded = probe;
+      const double expanded_value = evaluate(expanded);
+      if (expanded_value < reflected_value) {
+        worst.x = std::move(expanded);
+        worst.value = expanded_value;
+      } else {
+        worst.x = std::move(reflected);
+        worst.value = reflected_value;
+      }
+      continue;
+    }
+
+    if (reflected_value < simplex[dim - 1].value) {
+      worst.x = std::move(reflected);
+      worst.value = reflected_value;
+      continue;
+    }
+
+    // Contraction (outside if reflection improved on the worst, else inside).
+    const bool outside = reflected_value < worst.value;
+    const auto& toward = outside ? reflected : worst.x;
+    for (std::size_t i = 0; i < dim; ++i) {
+      probe[i] = centroid[i] + options.contraction * (toward[i] - centroid[i]);
+    }
+    std::vector<double> contracted = probe;
+    const double contracted_value = evaluate(contracted);
+    if (contracted_value < std::min(reflected_value, worst.value)) {
+      worst.x = std::move(contracted);
+      worst.value = contracted_value;
+      continue;
+    }
+
+    // Shrink toward the best vertex.
+    for (std::size_t v = 1; v <= dim; ++v) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        simplex[v].x[i] = simplex[0].x[i] +
+                          options.shrink * (simplex[v].x[i] - simplex[0].x[i]);
+      }
+      simplex[v].value = evaluate(simplex[v].x);
+    }
+  }
+
+  std::sort(simplex.begin(), simplex.end(),
+            [](const Vertex& a, const Vertex& b) { return a.value < b.value; });
+  result.x = simplex.front().x;
+  result.value = simplex.front().value;
+  return result;
+}
+
+}  // namespace alamr::opt

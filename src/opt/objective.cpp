@@ -1,0 +1,52 @@
+#include "alamr/opt/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace alamr::opt {
+
+std::vector<double> finite_difference_gradient(const Objective& f,
+                                               std::span<const double> x,
+                                               double step) {
+  std::vector<double> grad(x.size());
+  std::vector<double> probe(x.begin(), x.end());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // Scale the step with the coordinate magnitude for better conditioning.
+    const double h = step * std::max(1.0, std::abs(x[i]));
+    probe[i] = x[i] + h;
+    const double plus = f(probe, {});
+    probe[i] = x[i] - h;
+    const double minus = f(probe, {});
+    probe[i] = x[i];
+    grad[i] = (plus - minus) / (2.0 * h);
+  }
+  return grad;
+}
+
+void Bounds::project(std::span<double> x) const {
+  if (!lower.empty()) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::max(x[i], lower[i]);
+  }
+  if (!upper.empty()) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::min(x[i], upper[i]);
+  }
+}
+
+void Bounds::validate(std::size_t dim) const {
+  if (!lower.empty() && lower.size() != dim) {
+    throw std::invalid_argument("Bounds: lower size mismatch");
+  }
+  if (!upper.empty() && upper.size() != dim) {
+    throw std::invalid_argument("Bounds: upper size mismatch");
+  }
+  if (!lower.empty() && !upper.empty()) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (lower[i] > upper[i]) {
+        throw std::invalid_argument("Bounds: lower exceeds upper");
+      }
+    }
+  }
+}
+
+}  // namespace alamr::opt

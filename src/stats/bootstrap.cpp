@@ -1,0 +1,46 @@
+#include "alamr/stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "alamr/stats/descriptive.hpp"
+
+namespace alamr::stats {
+
+Interval bootstrap_interval(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t resamples, double confidence, Rng& rng) {
+  if (values.empty()) throw std::invalid_argument("bootstrap: empty input");
+  if (resamples == 0) throw std::invalid_argument("bootstrap: resamples == 0");
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("bootstrap: confidence outside (0,1)");
+  }
+
+  Interval result;
+  result.point = statistic(values);
+
+  std::vector<double> resample(values.size());
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (double& v : resample) {
+      v = values[rng.uniform_index(values.size())];
+    }
+    estimates.push_back(statistic(resample));
+  }
+  std::sort(estimates.begin(), estimates.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  result.lo = quantile_sorted(estimates, alpha);
+  result.hi = quantile_sorted(estimates, 1.0 - alpha);
+  return result;
+}
+
+Interval bootstrap_mean(std::span<const double> values, std::size_t resamples,
+                        double confidence, Rng& rng) {
+  return bootstrap_interval(
+      values, [](std::span<const double> v) { return mean(v); }, resamples,
+      confidence, rng);
+}
+
+}  // namespace alamr::stats

@@ -1,0 +1,130 @@
+#include "alamr/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace alamr::stats {
+
+namespace {
+
+void require_nonempty_finite(std::span<const double> values, const char* what) {
+  if (values.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty input");
+  }
+  for (const double v : values) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument(std::string(what) + ": non-finite input");
+    }
+  }
+}
+
+std::vector<double> sorted_copy(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> values, double q) {
+  require_nonempty_finite(values, "quantile");
+  const auto sorted = sorted_copy(values);
+  return quantile_sorted(sorted, q);
+}
+
+double mean(std::span<const double> values) {
+  require_nonempty_finite(values, "mean");
+  double total = 0.0;
+  for (const double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+double variance(std::span<const double> values) {
+  require_nonempty_finite(values, "variance");
+  if (values.size() < 2) return 0.0;
+  Welford acc;
+  for (const double v : values) acc.add(v);
+  return acc.variance();
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+double skewness(std::span<const double> values) {
+  require_nonempty_finite(values, "skewness");
+  const std::size_t n = values.size();
+  if (n < 3) return 0.0;
+  const double mu = mean(values);
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (const double v : values) {
+    const double d = v - mu;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 <= 0.0) return 0.0;
+  const double g1 = m3 / std::pow(m2, 1.5);
+  const double nd = static_cast<double>(n);
+  return g1 * std::sqrt(nd * (nd - 1.0)) / (nd - 2.0);
+}
+
+double rms(std::span<const double> residuals) {
+  require_nonempty_finite(residuals, "rms");
+  double total = 0.0;
+  for (const double e : residuals) total += e * e;
+  return std::sqrt(total / static_cast<double>(residuals.size()));
+}
+
+double standard_normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double standard_normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+Summary summarize(std::span<const double> values) {
+  require_nonempty_finite(values, "summarize");
+  const auto sorted = sorted_copy(values);
+  Summary s;
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q75 = quantile_sorted(sorted, 0.75);
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  return s;
+}
+
+void Welford::add(double value) noexcept {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Welford::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Welford::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace alamr::stats

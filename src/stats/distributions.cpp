@@ -1,0 +1,115 @@
+#include "alamr/stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace alamr::stats {
+
+namespace {
+
+void validate_weights(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("weights must be non-empty");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      throw std::invalid_argument("weights must be finite and non-negative");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("weights must not all be zero");
+  }
+}
+
+}  // namespace
+
+void normalize_weights(std::span<double> weights) {
+  validate_weights(weights);
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  for (double& w : weights) w /= total;
+}
+
+std::size_t sample_categorical(std::span<const double> weights, Rng& rng) {
+  validate_weights(weights);
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  const double u = rng.uniform() * total;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (u < cumulative) return i;
+  }
+  // Floating-point slack: u can land a hair past the last cumulative sum.
+  return weights.size() - 1;
+}
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+  validate_weights(weights);
+  const std::size_t n = weights.size();
+  normalized_.assign(weights.begin(), weights.end());
+  normalize_weights(std::span<double>(normalized_));
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities: average bucket holds exactly 1.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = normalized_[i] * static_cast<double>(n);
+
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining buckets are full (probability 1) up to rounding error.
+  for (const std::size_t i : small) prob_[i] = 1.0;
+  for (const std::size_t i : large) prob_[i] = 1.0;
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const {
+  const std::size_t bucket = static_cast<std::size_t>(rng.uniform_index(prob_.size()));
+  return rng.uniform() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+std::vector<double> goodness_weights(std::span<const double> mu,
+                                     std::span<const double> sigma,
+                                     double base) {
+  if (mu.size() != sigma.size()) {
+    throw std::invalid_argument("mu and sigma must have equal length");
+  }
+  if (mu.empty()) {
+    throw std::invalid_argument("goodness_weights requires at least one candidate");
+  }
+  if (!(base > 1.0) || !std::isfinite(base)) {
+    throw std::invalid_argument("goodness base must be finite and > 1");
+  }
+  const double log_base = std::log(base);
+  double max_exponent = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    max_exponent = std::max(max_exponent, sigma[i] - mu[i]);
+  }
+  std::vector<double> weights(mu.size());
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    weights[i] = std::exp(log_base * ((sigma[i] - mu[i]) - max_exponent));
+  }
+  return weights;
+}
+
+}  // namespace alamr::stats

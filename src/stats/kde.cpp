@@ -1,0 +1,84 @@
+#include "alamr/stats/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "alamr/stats/descriptive.hpp"
+
+namespace alamr::stats {
+
+double scott_bandwidth(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("scott_bandwidth: empty input");
+  const double sd = stddev(values);
+  const double iqr = quantile(values, 0.75) - quantile(values, 0.25);
+  double spread = sd;
+  if (iqr > 0.0) spread = std::min(sd, iqr / 1.349);
+  if (spread <= 0.0) {
+    // Degenerate sample (all equal): fall back to a scale-aware floor.
+    const double scale = std::abs(values[0]);
+    spread = scale > 0.0 ? 1e-3 * scale : 1e-3;
+  }
+  return spread * std::pow(static_cast<double>(values.size()), -0.2);
+}
+
+DensityCurve gaussian_kde(std::span<const double> values, std::size_t grid_size,
+                          double bandwidth) {
+  if (values.empty()) throw std::invalid_argument("gaussian_kde: empty input");
+  if (grid_size < 2) throw std::invalid_argument("gaussian_kde: grid_size < 2");
+  const double h = bandwidth > 0.0 ? bandwidth : scott_bandwidth(values);
+
+  const auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *min_it - 3.0 * h;
+  const double hi = *max_it + 3.0 * h;
+
+  DensityCurve curve;
+  curve.bandwidth = h;
+  curve.x.resize(grid_size);
+  curve.density.resize(grid_size);
+  const double step = (hi - lo) / static_cast<double>(grid_size - 1);
+  const double norm =
+      1.0 / (static_cast<double>(values.size()) * h * std::sqrt(2.0 * std::numbers::pi));
+  for (std::size_t g = 0; g < grid_size; ++g) {
+    const double x = lo + step * static_cast<double>(g);
+    double total = 0.0;
+    for (const double v : values) {
+      const double z = (x - v) / h;
+      total += std::exp(-0.5 * z * z);
+    }
+    curve.x[g] = x;
+    curve.density[g] = norm * total;
+  }
+  return curve;
+}
+
+std::size_t Histogram::total() const noexcept {
+  std::size_t n = 0;
+  for (const std::size_t c : counts) n += c;
+  return n;
+}
+
+double Histogram::center(std::size_t i) const noexcept {
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  return lo + width * (static_cast<double>(i) + 0.5);
+}
+
+Histogram histogram(std::span<const double> values, std::size_t bins, double lo,
+                    double hi) {
+  if (bins == 0) throw std::invalid_argument("histogram: bins == 0");
+  if (!(hi > lo)) throw std::invalid_argument("histogram: hi must exceed lo");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (const double v : values) {
+    auto idx = static_cast<std::ptrdiff_t>((v - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    ++h.counts[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+}  // namespace alamr::stats

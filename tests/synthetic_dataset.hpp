@@ -1,0 +1,45 @@
+#pragma once
+
+// Shared fixture: a synthetic dataset with the same structure as the AMR
+// campaign output (5 features, multiplicative cost growth, correlated
+// memory, long tails) but cheap to generate, for core/integration tests.
+
+#include <cmath>
+
+#include "alamr/data/dataset.hpp"
+#include "alamr/stats/rng.hpp"
+
+namespace alamr::testing {
+
+inline data::Dataset synthetic_amr_dataset(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  data::Dataset d;
+  d.feature_names = {"p", "mx", "maxlevel", "r0", "rhoin"};
+  d.x = linalg::Matrix(n, 5);
+  d.wallclock.reserve(n);
+  d.cost.reserve(n);
+  d.memory.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = std::pow(2.0, 2.0 + static_cast<double>(rng.uniform_index(4)));
+    const double mx = 8.0 * (1.0 + static_cast<double>(rng.uniform_index(4)));
+    const double level = 3.0 + static_cast<double>(rng.uniform_index(4));
+    const double r0 = rng.uniform(0.2, 0.5);
+    const double rhoin = rng.uniform(0.02, 0.5);
+    d.x(i, 0) = p;
+    d.x(i, 1) = mx;
+    d.x(i, 2) = level;
+    d.x(i, 3) = r0;
+    d.x(i, 4) = rhoin;
+    const double work =
+        std::pow(mx, 3.0) * std::pow(8.0, level) * (0.5 + r0) * 1e-6;
+    const double wallclock =
+        2.0 + work / p * std::exp(rng.normal(0.0, 0.05));
+    d.wallclock.push_back(wallclock);
+    d.cost.push_back(wallclock * p / 3600.0);
+    d.memory.push_back(0.2 +
+                       work * 4e-4 / p * std::exp(rng.normal(0.0, 0.02)));
+  }
+  return d;
+}
+
+}  // namespace alamr::testing

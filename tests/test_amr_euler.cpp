@@ -1,0 +1,195 @@
+// Tests for the Euler physics: conversions, fluxes, HLL properties, and
+// the Rankine-Hugoniot shock relations used by the problem setup.
+
+#include "alamr/amr/euler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alamr/stats/rng.hpp"
+
+namespace {
+
+using namespace alamr::amr;
+using alamr::stats::Rng;
+
+Prim random_state(Rng& rng) {
+  Prim w;
+  w.rho = rng.uniform(0.05, 3.0);
+  w.u = rng.uniform(-2.0, 2.0);
+  w.v = rng.uniform(-2.0, 2.0);
+  w.p = rng.uniform(0.1, 5.0);
+  return w;
+}
+
+TEST(Euler, PrimitiveConservedRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Prim w = random_state(rng);
+    const Prim back = to_primitive(to_conserved(w));
+    EXPECT_NEAR(back.rho, w.rho, 1e-12);
+    EXPECT_NEAR(back.u, w.u, 1e-12);
+    EXPECT_NEAR(back.v, w.v, 1e-12);
+    EXPECT_NEAR(back.p, w.p, 1e-12);
+  }
+}
+
+TEST(Euler, PrimitiveClampsVacuum) {
+  const Cons vacuum{0.0, 0.0, 0.0, 0.0};
+  const Prim w = to_primitive(vacuum);
+  EXPECT_GT(w.rho, 0.0);
+  EXPECT_GT(w.p, 0.0);
+}
+
+TEST(Euler, SoundSpeedKnownValue) {
+  const Prim air{1.0, 0.0, 0.0, 1.0};
+  EXPECT_NEAR(sound_speed(air), std::sqrt(1.4), 1e-14);
+}
+
+TEST(Euler, FluxOfStationaryStateIsPressureOnly) {
+  const Prim still{2.0, 0.0, 0.0, 3.0};
+  const Cons f = flux_x(to_conserved(still));
+  EXPECT_DOUBLE_EQ(f.rho, 0.0);
+  EXPECT_NEAR(f.mx, 3.0, 1e-14);  // pressure term
+  EXPECT_DOUBLE_EQ(f.my, 0.0);
+  EXPECT_DOUBLE_EQ(f.e, 0.0);
+}
+
+TEST(Hll, ConsistencyWithEqualStates) {
+  // k(U, U) must equal the physical flux F(U).
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const Cons u = to_conserved(random_state(rng));
+    const Cons hll = hll_flux_x(u, u);
+    const Cons physical = flux_x(u);
+    EXPECT_NEAR(hll.rho, physical.rho, 1e-12);
+    EXPECT_NEAR(hll.mx, physical.mx, 1e-12);
+    EXPECT_NEAR(hll.my, physical.my, 1e-12);
+    EXPECT_NEAR(hll.e, physical.e, 1e-12);
+  }
+}
+
+TEST(Hll, UpwindsSupersonicFlow) {
+  // Supersonic left-to-right flow: flux equals the left physical flux.
+  Prim left{1.0, 5.0, 0.0, 1.0};
+  Prim right{0.5, 5.0, 0.0, 0.8};
+  const Cons f = hll_flux_x(to_conserved(left), to_conserved(right));
+  const Cons fl = flux_x(to_conserved(left));
+  EXPECT_NEAR(f.rho, fl.rho, 1e-12);
+  EXPECT_NEAR(f.e, fl.e, 1e-12);
+}
+
+TEST(Hll, PrimCachedOverloadMatches) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Cons l = to_conserved(random_state(rng));
+    const Cons r = to_conserved(random_state(rng));
+    const Cons direct = hll_flux_x(l, r);
+    const Cons cached = hll_flux_x(l, to_primitive(l), r, to_primitive(r));
+    EXPECT_NEAR(direct.rho, cached.rho, 1e-14);
+    EXPECT_NEAR(direct.mx, cached.mx, 1e-14);
+    EXPECT_NEAR(direct.my, cached.my, 1e-14);
+    EXPECT_NEAR(direct.e, cached.e, 1e-14);
+  }
+}
+
+TEST(Hll, YFluxMatchesRotatedProblem) {
+  // hll_flux_y on (rho, mx, my, e) must equal hll_flux_x on the states
+  // with u and v swapped, with the momentum components swapped back.
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const Prim a = random_state(rng);
+    const Prim b = random_state(rng);
+    const Cons fy = hll_flux_y(to_conserved(a), to_conserved(b));
+
+    const Prim a_rot{a.rho, a.v, a.u, a.p};
+    const Prim b_rot{b.rho, b.v, b.u, b.p};
+    const Cons fx = hll_flux_x(to_conserved(a_rot), to_conserved(b_rot));
+    EXPECT_NEAR(fy.rho, fx.rho, 1e-13);
+    EXPECT_NEAR(fy.mx, fx.my, 1e-13);
+    EXPECT_NEAR(fy.my, fx.mx, 1e-13);
+    EXPECT_NEAR(fy.e, fx.e, 1e-13);
+  }
+}
+
+TEST(Hllc, ConsistencyWithEqualStates) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Cons u = to_conserved(random_state(rng));
+    const Cons hllc = hllc_flux_x(u, u);
+    const Cons physical = flux_x(u);
+    EXPECT_NEAR(hllc.rho, physical.rho, 1e-11);
+    EXPECT_NEAR(hllc.mx, physical.mx, 1e-11);
+    EXPECT_NEAR(hllc.my, physical.my, 1e-11);
+    EXPECT_NEAR(hllc.e, physical.e, 1e-11);
+  }
+}
+
+TEST(Hllc, ResolvesStationaryContactExactly) {
+  // A stationary contact (u = 0, equal pressure, density jump) is
+  // preserved exactly by HLLC but diffused by HLL — the reason HLLC
+  // sharpens the bubble interface.
+  const Cons left = to_conserved(Prim{1.0, 0.0, 0.0, 1.0});
+  const Cons right = to_conserved(Prim{0.125, 0.0, 0.0, 1.0});
+  const Cons hllc = hllc_flux_x(left, right);
+  EXPECT_NEAR(hllc.rho, 0.0, 1e-13);  // no mass crosses the contact
+  EXPECT_NEAR(hllc.e, 0.0, 1e-13);
+  const Cons hll = hll_flux_x(left, right);
+  EXPECT_GT(std::abs(hll.rho), 0.05);  // HLL leaks mass across it
+}
+
+TEST(Hllc, MatchesHllForSupersonicFlow) {
+  // Outside the wave fan both solvers return the upwind physical flux.
+  const Prim left{1.0, 5.0, 0.3, 1.0};
+  const Prim right{0.5, 5.0, -0.2, 0.8};
+  const Cons f_hll = hll_flux_x(to_conserved(left), to_conserved(right));
+  const Cons f_hllc = hllc_flux_x(to_conserved(left), to_conserved(right));
+  EXPECT_NEAR(f_hll.rho, f_hllc.rho, 1e-12);
+  EXPECT_NEAR(f_hll.mx, f_hllc.mx, 1e-12);
+  EXPECT_NEAR(f_hll.e, f_hllc.e, 1e-12);
+}
+
+TEST(Hllc, TransportsTangentialMomentumUpwind) {
+  // Across a contact moving right, tangential momentum advects from the
+  // left state.
+  const Prim left{1.0, 0.5, 2.0, 1.0};
+  const Prim right{0.5, 0.5, -3.0, 1.0};
+  const Cons f = hllc_flux_x(to_conserved(left), to_conserved(right));
+  // Mass flux is positive (rightward contact), and the tangential
+  // momentum flux carries the LEFT v.
+  EXPECT_GT(f.rho, 0.0);
+  EXPECT_NEAR(f.my / f.rho, 2.0, 1e-10);
+}
+
+TEST(MaxWaveSpeed, AtLeastSoundSpeed) {
+  const Prim still{1.0, 0.0, 0.0, 1.0};
+  EXPECT_NEAR(max_wave_speed(to_conserved(still)), std::sqrt(1.4), 1e-12);
+  const Prim moving{1.0, 2.0, -1.0, 1.0};
+  EXPECT_NEAR(max_wave_speed(to_conserved(moving)), 2.0 + std::sqrt(1.4), 1e-12);
+}
+
+TEST(PostShock, MachTwoTextbookValues) {
+  // gamma = 1.4, Ms = 2 into (rho, p) = (1, 1):
+  // p2 = 4.5, rho2 = 8/3, u2 = 2 c1 (1 - 3/8).
+  const Prim post = post_shock_state(2.0, 1.0, 1.0);
+  EXPECT_NEAR(post.p, 4.5, 1e-12);
+  EXPECT_NEAR(post.rho, 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(post.u, 2.0 * std::sqrt(1.4) * (1.0 - 3.0 / 8.0), 1e-12);
+  EXPECT_DOUBLE_EQ(post.v, 0.0);
+}
+
+TEST(PostShock, StrongShockDensityLimit) {
+  // As Ms -> inf, rho2/rho1 -> (gamma+1)/(gamma-1) = 6 for gamma = 1.4.
+  const Prim post = post_shock_state(100.0, 1.0, 1.0);
+  EXPECT_NEAR(post.rho, 6.0, 0.01);
+}
+
+TEST(PostShock, WeakShockIsNearIdentity) {
+  const Prim post = post_shock_state(1.0001, 1.0, 1.0);
+  EXPECT_NEAR(post.rho, 1.0, 1e-3);
+  EXPECT_NEAR(post.p, 1.0, 1e-3);
+  EXPECT_NEAR(post.u, 0.0, 1e-3);
+}
+
+}  // namespace

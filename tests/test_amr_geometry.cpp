@@ -1,0 +1,94 @@
+// Tests for quadtree patch addressing and Morton encoding.
+
+#include "alamr/amr/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using namespace alamr::amr;
+
+TEST(PatchKey, ParentChildRoundTrip) {
+  const PatchKey key{3, 5, 2};
+  for (int c = 0; c < 4; ++c) {
+    const PatchKey child = key.child(c);
+    EXPECT_EQ(child.level, 4);
+    EXPECT_EQ(child.parent(), key);
+    EXPECT_EQ(child.child_index(), c);
+  }
+}
+
+TEST(PatchKey, ChildrenAreDistinct) {
+  const PatchKey key{1, 0, 0};
+  std::set<std::pair<int, int>> seen;
+  for (int c = 0; c < 4; ++c) {
+    const PatchKey child = key.child(c);
+    seen.insert({child.i, child.j});
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(PatchKey, MortonChildOrder) {
+  // Child order must be z-order: (0,0), (1,0), (0,1), (1,1).
+  const PatchKey key{0, 0, 0};
+  EXPECT_EQ(key.child(0), (PatchKey{1, 0, 0}));
+  EXPECT_EQ(key.child(1), (PatchKey{1, 1, 0}));
+  EXPECT_EQ(key.child(2), (PatchKey{1, 0, 1}));
+  EXPECT_EQ(key.child(3), (PatchKey{1, 1, 1}));
+}
+
+TEST(PatchKey, FaceNeighbors) {
+  const PatchKey key{2, 3, 3};
+  EXPECT_EQ(key.face_neighbor(0), (PatchKey{2, 2, 3}));
+  EXPECT_EQ(key.face_neighbor(1), (PatchKey{2, 4, 3}));
+  EXPECT_EQ(key.face_neighbor(2), (PatchKey{2, 3, 2}));
+  EXPECT_EQ(key.face_neighbor(3), (PatchKey{2, 3, 4}));
+}
+
+TEST(PatchKey, NeighborsAreInvolutions) {
+  const PatchKey key{4, 7, 9};
+  EXPECT_EQ(key.face_neighbor(0).face_neighbor(1), key);
+  EXPECT_EQ(key.face_neighbor(2).face_neighbor(3), key);
+}
+
+TEST(Morton, KnownValues) {
+  EXPECT_EQ(morton_encode(0, 0), 0u);
+  EXPECT_EQ(morton_encode(1, 0), 1u);
+  EXPECT_EQ(morton_encode(0, 1), 2u);
+  EXPECT_EQ(morton_encode(1, 1), 3u);
+  EXPECT_EQ(morton_encode(2, 0), 4u);
+  EXPECT_EQ(morton_encode(0, 2), 8u);
+}
+
+TEST(Morton, InjectiveOnGrid) {
+  std::set<std::uint64_t> codes;
+  for (std::uint32_t x = 0; x < 32; ++x) {
+    for (std::uint32_t y = 0; y < 32; ++y) {
+      codes.insert(morton_encode(x, y));
+    }
+  }
+  EXPECT_EQ(codes.size(), 32u * 32u);
+}
+
+TEST(Morton, LocalityWithinQuadrants) {
+  // All codes of the lower-left 2x2 quadrant precede those of the
+  // upper-right 2x2 quadrant.
+  std::uint64_t max_ll = 0;
+  std::uint64_t min_ur = ~0ULL;
+  for (std::uint32_t x = 0; x < 2; ++x) {
+    for (std::uint32_t y = 0; y < 2; ++y) {
+      max_ll = std::max(max_ll, morton_encode(x, y));
+      min_ur = std::min(min_ur, morton_encode(x + 2, y + 2));
+    }
+  }
+  EXPECT_LT(max_ll, min_ur);
+}
+
+TEST(PatchKeyHash, DistinguishesLevels) {
+  const PatchKeyHash hash;
+  EXPECT_NE(hash(PatchKey{0, 1, 1}), hash(PatchKey{1, 1, 1}));
+}
+
+}  // namespace

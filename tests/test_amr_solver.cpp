@@ -1,0 +1,377 @@
+// Tests for the finite-volume time integrator and its instrumentation.
+
+#include "alamr/amr/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace {
+
+using namespace alamr::amr;
+
+ShockBubbleProblem tiny_problem(int mx = 8, int max_level = 2) {
+  ShockBubbleProblem problem;
+  problem.mx = mx;
+  problem.max_level = max_level;
+  problem.r0 = 0.35;
+  problem.rhoin = 0.1;
+  problem.final_time = 0.01;
+  return problem;
+}
+
+TEST(Solver, RunsToFinalTime) {
+  FvSolver solver(tiny_problem());
+  const SolverStats stats = solver.run();
+  EXPECT_NEAR(stats.final_time, 0.01, 1e-12);
+  EXPECT_GT(stats.steps, 0u);
+  EXPECT_GT(stats.total_cell_updates, 0u);
+}
+
+TEST(Solver, RunTwiceThrows) {
+  FvSolver solver(tiny_problem());
+  solver.run();
+  EXPECT_THROW(solver.run(), std::logic_error);
+}
+
+TEST(Solver, MaxStepsCapRespected) {
+  FvSolver solver(tiny_problem());
+  const SolverStats stats = solver.run(3);
+  EXPECT_EQ(stats.steps, 3u);
+  EXPECT_LT(stats.final_time, 0.01);
+}
+
+TEST(Solver, EpochStepsSumToTotalSteps) {
+  FvSolver solver(tiny_problem(8, 3));
+  const SolverStats stats = solver.run();
+  std::size_t epoch_steps = 0;
+  for (const EpochProfile& epoch : stats.epochs) epoch_steps += epoch.steps;
+  EXPECT_EQ(epoch_steps, stats.steps);
+  EXPECT_EQ(stats.epochs.size(), stats.regrids + 1);
+}
+
+TEST(Solver, PeakCellsAtLeastFinalCells) {
+  FvSolver solver(tiny_problem(8, 3));
+  const std::size_t initial_cells = solver.mesh().total_cells();
+  const SolverStats stats = solver.run();
+  EXPECT_GE(stats.peak_cells, initial_cells);
+  EXPECT_GE(stats.peak_cells, solver.mesh().total_cells());
+}
+
+TEST(Solver, UniformMeshConservesMassWithClosedSides) {
+  // On a uniform (no-AMR) mesh, the only non-conservation comes through
+  // the physical boundaries. With a quiescent field nothing moves and
+  // mass is conserved to machine precision.
+  ShockBubbleProblem problem = tiny_problem(8, 0);
+  FvSolver solver(problem);
+  solver.mesh().for_each_cell_set([&](double, double) {
+    return to_conserved(Prim{1.0, 0.0, 0.0, 1.0});
+  });
+  const double mass_before = solver.mesh().total_mass();
+  solver.mesh().fill_ghosts();
+  solver.step(1e-3);
+  // Quiescent + symmetric BCs: nothing changes except via the inflow
+  // boundary whose state differs. Measure only interior far from it.
+  const double mass_after = solver.mesh().total_mass();
+  EXPECT_NEAR(mass_after, mass_before, 0.05 * mass_before);
+}
+
+TEST(Solver, StationaryUniformFlowIsExactlyPreserved) {
+  // A spatially uniform state is a fixed point of the scheme away from
+  // boundaries that inject different states.
+  ShockBubbleProblem problem = tiny_problem(8, 0);
+  FvSolver solver(problem);
+  const Cons uniform = to_conserved(problem.post_shock());
+  // Entire domain at the inflow state: even the inflow BC injects the
+  // same values, so the field must not change at all.
+  solver.mesh().for_each_cell_set([&](double, double) { return uniform; });
+  solver.mesh().fill_ghosts();
+  solver.step(1e-4);
+  bool reflect_rows_touched = false;
+  solver.mesh().for_each_leaf([&](const Patch& patch) {
+    for (int j = 1; j < patch.mx() - 1; ++j) {
+      for (int i = 0; i < patch.mx(); ++i) {
+        // Interior rows away from the reflecting walls must be unchanged.
+        EXPECT_NEAR(patch.at(i, j).rho, uniform.rho, 1e-13);
+        EXPECT_NEAR(patch.at(i, j).mx, uniform.mx, 1e-13);
+      }
+    }
+    (void)reflect_rows_touched;
+  });
+}
+
+TEST(Solver, ShockAdvancesRight) {
+  ShockBubbleProblem problem = tiny_problem(8, 2);
+  problem.final_time = 0.02;
+  FvSolver solver(problem);
+  // Before: density right of the shock is ambient (1.0) outside the bubble.
+  const double probe_x = problem.shock_x + 0.05;
+  const double probe_y = 0.45;  // above the bubble
+  EXPECT_NEAR(solver.mesh().rho_at(probe_x, probe_y), 1.0, 1e-12);
+  solver.run();
+  // After: the Mach-2 shock (speed ~ 2 sqrt(1.4) ~ 2.37) has passed the
+  // probe, compressing the gas.
+  EXPECT_GT(solver.mesh().rho_at(probe_x, probe_y), 1.5);
+}
+
+TEST(Solver, DensityStaysPositive) {
+  ShockBubbleProblem problem = tiny_problem(8, 3);
+  problem.rhoin = 0.02;  // hardest case: near-vacuum bubble
+  problem.final_time = 0.02;
+  FvSolver solver(problem);
+  solver.run();
+  solver.mesh().for_each_leaf([&](const Patch& patch) {
+    for (int j = 0; j < patch.mx(); ++j) {
+      for (int i = 0; i < patch.mx(); ++i) {
+        EXPECT_GT(patch.at(i, j).rho, 0.0);
+        EXPECT_TRUE(std::isfinite(patch.at(i, j).e));
+      }
+    }
+  });
+}
+
+TEST(Solver, RefinementFollowsTheShock) {
+  ShockBubbleProblem problem = tiny_problem(8, 3);
+  problem.final_time = 0.02;
+  FvSolver solver(problem);
+  solver.run();
+  // The shock has moved right of its initial position; the mesh must be
+  // refined at the current shock location. Mach-2 shock speed is
+  // 2 * sqrt(1.4) ~= 2.366, so x_shock ~= shock_x + 0.047.
+  const double x_now = problem.shock_x + 2.0 * std::sqrt(1.4) * 0.02;
+  EXPECT_EQ(solver.mesh().level_at(x_now, 0.4), problem.max_level);
+}
+
+TEST(Solver, MoreLevelsMoreWork) {
+  ShockBubbleProblem coarse = tiny_problem(8, 1);
+  ShockBubbleProblem fine = tiny_problem(8, 3);
+  FvSolver s1(coarse);
+  FvSolver s2(fine);
+  const SolverStats r1 = s1.run();
+  const SolverStats r2 = s2.run();
+  EXPECT_GT(r2.total_cell_updates, r1.total_cell_updates * 3);
+  EXPECT_GT(r2.steps, r1.steps);
+}
+
+TEST(Solver, SodShockTubeMatchesExactRiemannPlateaus) {
+  // Quasi-1-D Sod problem run on the 2-D solver (uniform in y), compared
+  // against the exact Riemann solution's intermediate states at t = 0.1:
+  //   left star density  rho*L ~= 0.4263 (between rarefaction and contact)
+  //   right star density rho*R ~= 0.2656 (between contact and shock)
+  //   undisturbed right state rho = 0.125 (ahead of the shock)
+  // First-order HLL on a 64x32 grid smears discontinuities over a few
+  // cells, so probes sit mid-plateau with a 15% tolerance.
+  ShockBubbleProblem problem = tiny_problem(32, 0);
+  problem.final_time = 0.1;
+  FvSolver solver(problem);
+  solver.mesh().for_each_cell_set([](double x, double) {
+    return x < 0.5 ? to_conserved(Prim{1.0, 0.0, 0.0, 1.0})
+                   : to_conserved(Prim{0.125, 0.0, 0.0, 0.1});
+  });
+  solver.run();
+
+  const double y_mid = 0.25;
+  EXPECT_NEAR(solver.mesh().rho_at(0.55, y_mid), 0.4263, 0.4263 * 0.15);
+  EXPECT_NEAR(solver.mesh().rho_at(0.63, y_mid), 0.2656, 0.2656 * 0.15);
+  EXPECT_NEAR(solver.mesh().rho_at(0.85, y_mid), 0.125, 0.125 * 0.05);
+  // Inside the rarefaction fan the density lies strictly between the left
+  // state and the left star state.
+  const double fan = solver.mesh().rho_at(0.44, y_mid);
+  EXPECT_LT(fan, 1.0);
+  EXPECT_GT(fan, 0.4263 * 0.9);
+  // The flow is genuinely quasi-1-D: no y-variation develops.
+  EXPECT_NEAR(solver.mesh().rho_at(0.63, 0.1), solver.mesh().rho_at(0.63, 0.4),
+              1e-10);
+}
+
+TEST(Solver, HllcSodPlateausAndSharperContact) {
+  // HLLC must reproduce the same exact-Riemann plateaus, and resolve the
+  // contact discontinuity at least as sharply as HLL (measured by the
+  // density difference across the contact's neighborhood).
+  const auto run_sod = [](RiemannSolver rs) {
+    ShockBubbleProblem problem = tiny_problem(32, 0);
+    problem.final_time = 0.1;
+    problem.riemann = rs;
+    auto solver = std::make_unique<FvSolver>(problem);
+    solver->mesh().for_each_cell_set([](double x, double) {
+      return x < 0.5 ? to_conserved(Prim{1.0, 0.0, 0.0, 1.0})
+                     : to_conserved(Prim{0.125, 0.0, 0.0, 0.1});
+    });
+    solver->run();
+    return solver;
+  };
+  const auto hll = run_sod(RiemannSolver::kHll);
+  const auto hllc = run_sod(RiemannSolver::kHllc);
+
+  EXPECT_NEAR(hllc->mesh().rho_at(0.55, 0.25), 0.4263, 0.4263 * 0.15);
+  EXPECT_NEAR(hllc->mesh().rho_at(0.63, 0.25), 0.2656, 0.2656 * 0.15);
+
+  // Contact sharpness: density drop realized over the contact's
+  // two-cell-wide neighborhood (exact location ~0.593 at t=0.1).
+  const auto contact_drop = [](const QuadtreeMesh& mesh) {
+    return mesh.rho_at(0.57, 0.25) - mesh.rho_at(0.615, 0.25);
+  };
+  EXPECT_GE(contact_drop(hllc->mesh()), contact_drop(hll->mesh()) - 1e-6);
+}
+
+TEST(SolverSecondOrder, SodPlateausTighterThanFirstOrder) {
+  // The MUSCL-Hancock scheme must hit the exact-Riemann plateaus with
+  // smaller error than the first-order scheme on the same grid.
+  const auto run_sod = [](SpatialOrder order) {
+    ShockBubbleProblem problem = tiny_problem(32, 0);
+    problem.final_time = 0.1;
+    problem.order = order;
+    auto solver = std::make_unique<FvSolver>(problem);
+    solver->mesh().for_each_cell_set([](double x, double) {
+      return x < 0.5 ? to_conserved(Prim{1.0, 0.0, 0.0, 1.0})
+                     : to_conserved(Prim{0.125, 0.0, 0.0, 0.1});
+    });
+    solver->run();
+    return solver;
+  };
+  const auto first = run_sod(SpatialOrder::kFirstOrder);
+  const auto second = run_sod(SpatialOrder::kSecondOrder);
+
+  const auto plateau_error = [](const QuadtreeMesh& mesh) {
+    return std::abs(mesh.rho_at(0.55, 0.25) - 0.4263) +
+           std::abs(mesh.rho_at(0.63, 0.25) - 0.2656);
+  };
+  EXPECT_NEAR(second->mesh().rho_at(0.55, 0.25), 0.4263, 0.4263 * 0.10);
+  EXPECT_NEAR(second->mesh().rho_at(0.63, 0.25), 0.2656, 0.2656 * 0.10);
+  EXPECT_LT(plateau_error(second->mesh()), plateau_error(first->mesh()));
+}
+
+TEST(SolverSecondOrder, UniformFlowExactlyPreserved) {
+  ShockBubbleProblem problem = tiny_problem(8, 0);
+  problem.order = SpatialOrder::kSecondOrder;
+  FvSolver solver(problem);
+  const Cons uniform = to_conserved(problem.post_shock());
+  solver.mesh().for_each_cell_set([&](double, double) { return uniform; });
+  solver.mesh().fill_ghosts();
+  solver.step(1e-4);
+  solver.mesh().for_each_leaf([&](const Patch& patch) {
+    for (int j = 2; j < patch.mx() - 2; ++j) {
+      for (int i = 0; i < patch.mx(); ++i) {
+        EXPECT_NEAR(patch.at(i, j).rho, uniform.rho, 1e-13);
+      }
+    }
+  });
+}
+
+TEST(SolverSecondOrder, PositivityWithNearVacuumBubble) {
+  ShockBubbleProblem problem = tiny_problem(8, 3);
+  problem.order = SpatialOrder::kSecondOrder;
+  problem.rhoin = 0.02;
+  problem.final_time = 0.02;
+  FvSolver solver(problem);
+  solver.run();
+  solver.mesh().for_each_leaf([&](const Patch& patch) {
+    for (int j = 0; j < patch.mx(); ++j) {
+      for (int i = 0; i < patch.mx(); ++i) {
+        EXPECT_GT(patch.at(i, j).rho, 0.0);
+        EXPECT_TRUE(std::isfinite(patch.at(i, j).e));
+      }
+    }
+  });
+}
+
+TEST(SolverSecondOrder, RunsOnAmrMeshAndTracksShock) {
+  ShockBubbleProblem problem = tiny_problem(8, 3);
+  problem.order = SpatialOrder::kSecondOrder;
+  problem.final_time = 0.02;
+  FvSolver solver(problem);
+  const SolverStats stats = solver.run();
+  EXPECT_GT(stats.steps, 0u);
+  const double x_now = problem.shock_x + 2.0 * std::sqrt(1.4) * 0.02;
+  EXPECT_EQ(solver.mesh().level_at(x_now, 0.4), problem.max_level);
+}
+
+TEST(SolverSecondOrder, GhostWidthFollowsOrder) {
+  ShockBubbleProblem problem = tiny_problem(8, 1);
+  EXPECT_EQ(problem.ghost_width(), 1);
+  problem.order = SpatialOrder::kSecondOrder;
+  EXPECT_EQ(problem.ghost_width(), 2);
+  QuadtreeMesh mesh(problem);
+  mesh.for_each_leaf([](const Patch& patch) { EXPECT_EQ(patch.ghosts(), 2); });
+}
+
+namespace {
+
+/// L1 error of an advected smooth density bump against the exact solution
+/// (uniform velocity transports the profile unchanged). Quasi-1-D so the
+/// reflecting walls are inert. Returns the error at resolution mx.
+double advection_l1_error(SpatialOrder order, int mx) {
+  ShockBubbleProblem problem;
+  problem.mx = mx;
+  problem.max_level = 0;
+  problem.order = order;
+  problem.final_time = 0.04;
+  problem.cfl = 0.4;
+  FvSolver solver(problem);
+
+  constexpr double kU = 1.0;
+  const auto bump = [](double x) {
+    // Broad profile (~5 cells at the coarsest resolution, so the limiter
+    // is not permanently active), placed away from the inflow boundary
+    // whose mismatch wave travels at ~3 and must not reach the samples.
+    const double d = (x - 0.55) / 0.15;
+    return 1.0 + 0.3 * std::exp(-d * d);
+  };
+  solver.mesh().for_each_cell_set([&](double x, double) {
+    // Uniform pressure and velocity: density is passively advected.
+    return to_conserved(Prim{bump(x), kU, 0.0, 1.0});
+  });
+  solver.run();
+
+  // Compare at cell centers (rho_at returns the containing cell's value;
+  // probing off-center would add an O(h) artifact that masks the scheme's
+  // order).
+  const double h = solver.mesh().cell_size(0);
+  double error = 0.0;
+  int samples = 0;
+  for (double x = 0.35; x < 0.85; x += h) {
+    const double center = (std::floor(x / h) + 0.5) * h;
+    error += std::abs(solver.mesh().rho_at(center, 0.25) -
+                      bump(center - kU * problem.final_time));
+    ++samples;
+  }
+  return error / samples;
+}
+
+}  // namespace
+
+TEST(SolverConvergence, SecondOrderConvergesFasterOnSmoothAdvection) {
+  const double first_coarse = advection_l1_error(SpatialOrder::kFirstOrder, 16);
+  const double first_fine = advection_l1_error(SpatialOrder::kFirstOrder, 64);
+  const double second_coarse =
+      advection_l1_error(SpatialOrder::kSecondOrder, 16);
+  const double second_fine = advection_l1_error(SpatialOrder::kSecondOrder, 64);
+
+  // Both schemes converge under 4x refinement.
+  EXPECT_LT(first_fine, first_coarse);
+  EXPECT_LT(second_fine, second_coarse);
+  // The second-order scheme is more accurate at every resolution, and its
+  // error contraction under 4x refinement is markedly stronger (formal
+  // orders would give 4x vs 16x; minmod clipping at the extremum makes the
+  // thresholds conservative).
+  EXPECT_LT(second_coarse, first_coarse);
+  EXPECT_LT(second_fine, first_fine);
+  const double ratio_first = first_coarse / first_fine;
+  const double ratio_second = second_coarse / second_fine;
+  EXPECT_GT(ratio_first, 2.0);
+  EXPECT_GT(ratio_second, 5.0);
+  EXPECT_GT(ratio_second, 1.5 * ratio_first);
+}
+
+TEST(Solver, DeterministicAcrossRuns) {
+  const auto run = [] {
+    FvSolver solver(tiny_problem(8, 2));
+    const SolverStats stats = solver.run();
+    return std::tuple{stats.steps, stats.total_cell_updates,
+                      solver.mesh().total_mass()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace

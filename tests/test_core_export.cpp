@@ -1,0 +1,79 @@
+// Tests for trajectory/curve CSV export.
+
+#include "alamr/core/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+namespace {
+
+using namespace alamr::core;
+
+TrajectoryResult sample_trajectory() {
+  TrajectoryResult traj;
+  traj.strategy_name = "RandGoodness";
+  for (std::size_t i = 0; i < 3; ++i) {
+    IterationRecord rec;
+    rec.iteration = i;
+    rec.dataset_row = 10 + i;
+    rec.actual_cost = 0.5 * static_cast<double>(i + 1);
+    rec.actual_memory = 1.25;
+    rec.rmse_cost = 0.1;
+    rec.rmse_mem = 0.2;
+    rec.rmse_cost_weighted = 0.3;
+    rec.cumulative_cost = 0.5 * static_cast<double>((i + 1) * (i + 2)) / 2.0;
+    rec.cumulative_regret = 0.0;
+    traj.iterations.push_back(rec);
+  }
+  return traj;
+}
+
+TEST(Export, TrajectoryCsvStructure) {
+  const std::string csv = trajectory_to_csv(sample_trajectory());
+  std::istringstream is(csv);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header.substr(0, 21), "iteration,dataset_row");
+  // 13 columns in the header.
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 12);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    if (!line.empty()) {
+      EXPECT_EQ(std::count(line.begin(), line.end(), ','), 12);
+      ++rows;
+    }
+  }
+  EXPECT_EQ(rows, 3u);
+  EXPECT_NE(csv.find("10,0.5"), std::string::npos);
+}
+
+TEST(Export, EmptyTrajectoryIsHeaderOnly) {
+  TrajectoryResult empty;
+  const std::string csv = trajectory_to_csv(empty);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+}
+
+TEST(Export, CurveCsvStructure) {
+  std::vector<CurvePoint> curve(2);
+  curve[0] = {0, 1.5, 1.0, 2.0, 3};
+  curve[1] = {1, 1.25, 1.1, 1.4, 3};
+  const std::string csv = curve_to_csv(curve);
+  EXPECT_NE(csv.find("iteration,mean,lo,hi,count"), std::string::npos);
+  EXPECT_NE(csv.find("0,1.5,1,2,3"), std::string::npos);
+}
+
+TEST(Export, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "alamr_traj.csv";
+  write_trajectory_csv(sample_trajectory(), path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_GT(std::filesystem::file_size(path), 100u);
+  std::filesystem::remove(path);
+  EXPECT_THROW(
+      write_trajectory_csv(sample_trajectory(), "/nonexistent/dir/x.csv"),
+      std::runtime_error);
+}
+
+}  // namespace

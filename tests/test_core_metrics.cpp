@@ -1,0 +1,91 @@
+// Tests for the evaluation metrics (Eqs. 10-12).
+
+#include "alamr/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace alamr::core;
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> pred{1.0, 2.0, 3.0};
+  const std::vector<double> actual{1.0, 4.0, 3.0};
+  EXPECT_NEAR(rmse(pred, actual), std::sqrt(4.0 / 3.0), 1e-12);
+}
+
+TEST(Rmse, ZeroForPerfectPredictions) {
+  const std::vector<double> v{0.5, 1.5, 2.5};
+  EXPECT_DOUBLE_EQ(rmse(v, v), 0.0);
+}
+
+TEST(Rmse, RejectsBadInput) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(rmse(a, b), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW(rmse(empty, empty), std::invalid_argument);
+}
+
+TEST(WeightedRmse, UniformWeightsReproducePlainRmse) {
+  const std::vector<double> pred{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> actual{2.0, 2.0, 5.0, 3.0};
+  const std::vector<double> uniform{1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(weighted_rmse(pred, actual, uniform), rmse(pred, actual), 1e-12);
+  // Scaling all weights equally changes nothing (normalization).
+  const std::vector<double> scaled{7.0, 7.0, 7.0, 7.0};
+  EXPECT_NEAR(weighted_rmse(pred, actual, scaled), rmse(pred, actual), 1e-12);
+}
+
+TEST(WeightedRmse, UpweightedResidualDominates) {
+  const std::vector<double> pred{0.0, 0.0};
+  const std::vector<double> actual{1.0, 10.0};
+  const std::vector<double> favor_small{1.0, 0.0};
+  const std::vector<double> favor_large{0.0, 1.0};
+  // Weighting only the small residual gives a small error; weighting only
+  // the large residual gives a large one (the paper's Sec. V-D argument
+  // for prioritizing expensive-region accuracy).
+  EXPECT_LT(weighted_rmse(pred, actual, favor_small),
+            weighted_rmse(pred, actual, favor_large));
+}
+
+TEST(WeightedRmse, RejectsInvalidWeights) {
+  const std::vector<double> v{1.0, 2.0};
+  const std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW(weighted_rmse(v, v, negative), std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(weighted_rmse(v, v, zeros), std::invalid_argument);
+  const std::vector<double> short_w{1.0};
+  EXPECT_THROW(weighted_rmse(v, v, short_w), std::invalid_argument);
+}
+
+TEST(IndividualRegret, DefinitionOfEq11) {
+  // Regret equals the full job cost iff memory >= limit.
+  EXPECT_DOUBLE_EQ(individual_regret(3.5, 10.0, 7.5), 3.5);
+  EXPECT_DOUBLE_EQ(individual_regret(3.5, 7.5, 7.5), 3.5);  // boundary: >=
+  EXPECT_DOUBLE_EQ(individual_regret(3.5, 5.0, 7.5), 0.0);
+}
+
+TEST(Cumulative, RunningSums) {
+  const std::vector<double> v{1.0, 0.0, 2.0, 3.0};
+  const auto c = cumulative(v);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  EXPECT_DOUBLE_EQ(c[2], 3.0);
+  EXPECT_DOUBLE_EQ(c[3], 6.0);
+}
+
+TEST(Cumulative, EmptyInput) {
+  EXPECT_TRUE(cumulative(std::vector<double>{}).empty());
+}
+
+TEST(Cumulative, MonotoneForNonNegativeSeries) {
+  const std::vector<double> v{0.5, 0.0, 1.5, 0.25};
+  const auto c = cumulative(v);
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_GE(c[i], c[i - 1]);
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// Tests for the five candidate-selection algorithms (paper Sec. IV-B).
+
+#include "alamr/core/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace alamr::core;
+using alamr::linalg::Matrix;
+using alamr::stats::Rng;
+
+struct Fixture {
+  Matrix x;
+  std::vector<double> mu_cost;
+  std::vector<double> sigma_cost;
+  std::vector<double> mu_mem;
+  std::vector<double> sigma_mem;
+
+  CandidateView view() const {
+    return {x, mu_cost, sigma_cost, mu_mem, sigma_mem};
+  }
+};
+
+Fixture make_fixture(std::vector<double> mu_cost, std::vector<double> sigma_cost,
+                     std::vector<double> mu_mem = {},
+                     std::vector<double> sigma_mem = {}) {
+  Fixture f;
+  const std::size_t n = mu_cost.size();
+  f.x = Matrix(n, 2, 0.5);
+  f.mu_cost = std::move(mu_cost);
+  f.sigma_cost = std::move(sigma_cost);
+  f.mu_mem = mu_mem.empty() ? std::vector<double>(n, 0.0) : std::move(mu_mem);
+  f.sigma_mem =
+      sigma_mem.empty() ? std::vector<double>(n, 0.1) : std::move(sigma_mem);
+  return f;
+}
+
+TEST(RandUniformTest, CoversAllCandidatesUniformly) {
+  const Fixture f = make_fixture({0.0, 1.0, 2.0, 3.0}, {1.0, 1.0, 1.0, 1.0});
+  RandUniform strategy;
+  Rng rng(1);
+  std::vector<std::size_t> counts(4, 0);
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto pick = strategy.select(f.view(), rng);
+    ASSERT_TRUE(pick.has_value());
+    ++counts[*pick];
+  }
+  for (const std::size_t c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(kDraws), 0.25, 0.01);
+  }
+}
+
+TEST(MaxSigmaTest, PicksLargestUncertainty) {
+  const Fixture f = make_fixture({0.0, 0.0, 0.0}, {0.1, 0.9, 0.5});
+  MaxSigma strategy;
+  Rng rng(2);
+  EXPECT_EQ(strategy.select(f.view(), rng), 1u);
+}
+
+TEST(MaxSigmaTest, IgnoresCost) {
+  // Candidate 1 is extremely expensive but most uncertain — still picked.
+  const Fixture f = make_fixture({0.0, 100.0}, {0.1, 0.2});
+  MaxSigma strategy;
+  Rng rng(3);
+  EXPECT_EQ(strategy.select(f.view(), rng), 1u);
+}
+
+TEST(MinPredTest, MaximizesSigmaMinusMu) {
+  const Fixture f = make_fixture({2.0, 1.0, 3.0}, {0.5, 0.1, 2.9});
+  // scores: -1.5, -0.9, -0.1 -> argmax is candidate 2.
+  MinPred strategy;
+  Rng rng(4);
+  EXPECT_EQ(strategy.select(f.view(), rng), 2u);
+}
+
+TEST(MinPredTest, DegeneratesToCheapestWhenSigmaFlat) {
+  // The paper's observation: with mu spread >> sigma spread, the score is
+  // dominated by -mu and the strategy picks the cheapest prediction.
+  const Fixture f =
+      make_fixture({3.0, 0.5, 2.0, 1.0}, {0.01, 0.012, 0.011, 0.013});
+  MinPred strategy;
+  Rng rng(5);
+  EXPECT_EQ(strategy.select(f.view(), rng), 1u);
+}
+
+TEST(RandGoodnessTest, FrequenciesFollowGoodnessWeights) {
+  // g = 10^(sigma - mu): candidate 0 has weight 10^0 = 1, candidate 1 has
+  // 10^-1 -> probabilities 10/11 and 1/11.
+  const Fixture f = make_fixture({0.0, 1.0}, {0.0, 0.0});
+  RandGoodness strategy(10.0);
+  Rng rng(6);
+  int zero = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (strategy.select(f.view(), rng) == 0u) ++zero;
+  }
+  EXPECT_NEAR(zero / static_cast<double>(kDraws), 10.0 / 11.0, 0.01);
+}
+
+TEST(RandGoodnessTest, CanSelectExpensiveCandidates) {
+  // Unlike MinPred, the randomized scheme occasionally explores the
+  // expensive candidate.
+  const Fixture f = make_fixture({0.0, 1.0}, {0.0, 0.0});
+  RandGoodness strategy(10.0);
+  Rng rng(7);
+  bool expensive_seen = false;
+  for (int i = 0; i < 200 && !expensive_seen; ++i) {
+    expensive_seen = strategy.select(f.view(), rng) == 1u;
+  }
+  EXPECT_TRUE(expensive_seen);
+}
+
+TEST(RandGoodnessTest, BaseControlsSkew) {
+  const Fixture f = make_fixture({0.0, 1.0}, {0.0, 0.0});
+  Rng r10(8);
+  Rng r100(8);
+  RandGoodness g10(10.0);
+  RandGoodness g100(100.0);
+  int cheap10 = 0;
+  int cheap100 = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (g10.select(f.view(), r10) == 0u) ++cheap10;
+    if (g100.select(f.view(), r100) == 0u) ++cheap100;
+  }
+  EXPECT_GT(cheap100, cheap10);  // higher base -> more exploitation
+}
+
+TEST(RandGoodnessTest, NameIncludesNonDefaultBase) {
+  EXPECT_EQ(RandGoodness(10.0).name(), "RandGoodness");
+  EXPECT_NE(RandGoodness(2.0).name().find("base=2"), std::string::npos);
+  EXPECT_THROW(RandGoodness(1.0), std::invalid_argument);
+}
+
+TEST(RgmaTest, FiltersPredictedViolators) {
+  // Memory limit 1.0 (log10): candidates 0 and 2 violate; only 1 eligible.
+  Fixture f = make_fixture({0.0, 0.0, 0.0}, {0.1, 0.1, 0.1},
+                           {1.5, 0.5, 1.0});  // mu_mem
+  Rgma strategy(1.0);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(strategy.select(f.view(), rng), 1u);
+  }
+}
+
+TEST(RgmaTest, BoundaryIsExclusive) {
+  // mu_mem == limit counts as exceeding (Algorithm 2: mu_mem < L_mem).
+  Fixture f = make_fixture({0.0, 0.0}, {0.1, 0.1}, {1.0, 0.999});
+  Rgma strategy(1.0);
+  Rng rng(10);
+  EXPECT_EQ(strategy.select(f.view(), rng), 1u);
+}
+
+TEST(RgmaTest, EarlyTerminationWhenNoSafeCandidates) {
+  Fixture f = make_fixture({0.0, 0.0}, {0.1, 0.1}, {2.0, 3.0});
+  Rgma strategy(1.0);
+  Rng rng(11);
+  EXPECT_EQ(strategy.select(f.view(), rng), std::nullopt);
+}
+
+TEST(RgmaTest, GoodnessDrawWithinSafeSet) {
+  // Among safe candidates, cheap ones are preferred like RandGoodness.
+  Fixture f = make_fixture({0.0, 5.0, 0.1}, {0.0, 0.0, 0.0}, {0.5, 0.5, 5.0});
+  Rgma strategy(1.0);
+  Rng rng(12);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 2000; ++i) ++counts[*strategy.select(f.view(), rng)];
+  EXPECT_EQ(counts[2], 0);           // filtered by memory
+  EXPECT_GT(counts[0], counts[1]);   // cheaper preferred
+}
+
+TEST(ExpectedImprovementTest, PrefersLowPredictedCost) {
+  // Equal uncertainty: EI is maximized at the lowest mean (all have the
+  // same improvement term relative to the incumbent proxy, but only the
+  // cheapest has improvement ~0 > negative).
+  const Fixture f = make_fixture({2.0, 0.5, 1.0}, {0.1, 0.1, 0.1});
+  ExpectedImprovement ei;
+  Rng rng(70);
+  EXPECT_EQ(ei.select(f.view(), rng), 1u);
+}
+
+TEST(ExpectedImprovementTest, UncertaintyCanBeatGreed) {
+  // Candidate 0: at the incumbent mean with zero uncertainty (EI ~ 0).
+  // Candidate 1: slightly worse mean but large sigma -> positive EI.
+  const Fixture f = make_fixture({0.0, 0.2}, {1e-13, 1.0});
+  ExpectedImprovement ei(0.0);
+  Rng rng(71);
+  EXPECT_EQ(ei.select(f.view(), rng), 1u);
+}
+
+TEST(ExpectedImprovementTest, DeterministicAndClonable) {
+  const Fixture f = make_fixture({2.0, 0.5, 1.0}, {0.3, 0.2, 0.4});
+  ExpectedImprovement ei;
+  const auto copy = ei.clone();
+  Rng r1(72);
+  Rng r2(73);  // rng unused: selection is deterministic
+  EXPECT_EQ(ei.select(f.view(), r1), copy->select(f.view(), r2));
+  EXPECT_EQ(ei.name(), "ExpectedImprovement");
+  EXPECT_THROW(ExpectedImprovement(-0.1), std::invalid_argument);
+}
+
+TEST(StrategyContracts, EmptyAndMisalignedInputsThrow) {
+  Matrix empty(0, 2);
+  const std::vector<double> none;
+  const CandidateView view{empty, none, none, none, none};
+  Rng rng(13);
+  EXPECT_THROW(RandUniform().select(view, rng), std::invalid_argument);
+
+  Fixture f = make_fixture({0.0, 1.0}, {0.1, 0.1});
+  f.mu_mem.pop_back();
+  EXPECT_THROW(MaxSigma().select(f.view(), rng), std::invalid_argument);
+}
+
+TEST(StrategyContracts, CloneProducesEquivalentBehaviour) {
+  const Fixture f = make_fixture({2.0, 1.0, 3.0}, {0.5, 0.1, 2.9});
+  MinPred original;
+  const auto copy = original.clone();
+  Rng r1(14);
+  Rng r2(14);
+  EXPECT_EQ(original.select(f.view(), r1), copy->select(f.view(), r2));
+  EXPECT_EQ(copy->name(), "MinPred");
+}
+
+TEST(StrategyContracts, NamesMatchPaper) {
+  EXPECT_EQ(RandUniform().name(), "RandUniform");
+  EXPECT_EQ(MaxSigma().name(), "MaxSigma");
+  EXPECT_EQ(MinPred().name(), "MinPred");
+  EXPECT_EQ(RandGoodness().name(), "RandGoodness");
+  EXPECT_EQ(Rgma(1.0).name(), "RGMA");
+}
+
+}  // namespace

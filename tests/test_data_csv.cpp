@@ -1,0 +1,88 @@
+// Tests for CSV persistence of datasets.
+
+#include "alamr/data/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace {
+
+using namespace alamr::data;
+using alamr::linalg::Matrix;
+
+Dataset sample_dataset() {
+  Dataset d;
+  d.feature_names = {"p", "mx", "maxlevel", "r0", "rhoin"};
+  d.x = Matrix{{4.0, 8.0, 3.0, 0.2, 0.02}, {32.0, 32.0, 6.0, 0.5, 0.5}};
+  d.wallclock = {1.97, 4262.73};
+  d.cost = {0.002, 11.853};
+  d.memory = {0.02, 32.56};
+  return d;
+}
+
+TEST(Csv, StringRoundTripPreservesEverything) {
+  const Dataset original = sample_dataset();
+  const Dataset parsed = from_csv_string(to_csv_string(original));
+  EXPECT_EQ(parsed.feature_names, original.feature_names);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    for (std::size_t j = 0; j < original.dim(); ++j) {
+      EXPECT_DOUBLE_EQ(parsed.x(i, j), original.x(i, j));
+    }
+    EXPECT_DOUBLE_EQ(parsed.wallclock[i], original.wallclock[i]);
+    EXPECT_DOUBLE_EQ(parsed.cost[i], original.cost[i]);
+    EXPECT_DOUBLE_EQ(parsed.memory[i], original.memory[i]);
+  }
+}
+
+TEST(Csv, HeaderFormat) {
+  const std::string text = to_csv_string(sample_dataset());
+  EXPECT_EQ(text.substr(0, text.find('\n')),
+            "p,mx,maxlevel,r0,rhoin,wallclock_s,cost_nh,maxrss_mb");
+}
+
+TEST(Csv, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "alamr_test.csv";
+  const Dataset original = sample_dataset();
+  write_csv(original, path);
+  const Dataset loaded = read_csv(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_DOUBLE_EQ(loaded.cost[1], original.cost[1]);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RejectsMalformedInput) {
+  EXPECT_THROW(from_csv_string(""), std::runtime_error);
+  EXPECT_THROW(from_csv_string("a,b\n1,2\n"), std::runtime_error);  // < 4 cols
+  EXPECT_THROW(from_csv_string("a,wallclock_s,cost_nh,maxrss_mb\n1,2,3\n"),
+               std::runtime_error);  // wrong field count
+  EXPECT_THROW(from_csv_string("a,wallclock_s,cost_nh,maxrss_mb\n1,x,3,4\n"),
+               std::runtime_error);  // non-numeric
+}
+
+TEST(Csv, SkipsBlankLines) {
+  const Dataset parsed = from_csv_string(
+      "f0,wallclock_s,cost_nh,maxrss_mb\n1,2,3,4\n\n5,6,7,8\n");
+  EXPECT_EQ(parsed.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.memory[1], 8.0);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/path/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, PreservesPrecision) {
+  Dataset d;
+  d.feature_names = {"f"};
+  d.x = Matrix{{0.1234567890123456}};
+  d.wallclock = {1e-17};
+  d.cost = {3.141592653589793};
+  d.memory = {2.718281828459045};
+  const Dataset parsed = from_csv_string(to_csv_string(d));
+  EXPECT_DOUBLE_EQ(parsed.x(0, 0), d.x(0, 0));
+  EXPECT_DOUBLE_EQ(parsed.cost[0], d.cost[0]);
+}
+
+}  // namespace

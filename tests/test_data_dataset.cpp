@@ -1,0 +1,68 @@
+// Tests for the Dataset container.
+
+#include "alamr/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace alamr::data;
+using alamr::linalg::Matrix;
+
+Dataset small_dataset() {
+  Dataset d;
+  d.feature_names = {"a", "b"};
+  d.x = Matrix{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  d.wallclock = {10.0, 20.0, 30.0};
+  d.cost = {0.1, 0.2, 0.3};
+  d.memory = {1.0, 2.0, 3.0};
+  return d;
+}
+
+TEST(Dataset, ValidatePassesOnConsistentData) {
+  EXPECT_NO_THROW(small_dataset().validate());
+}
+
+TEST(Dataset, ValidateCatchesMismatch) {
+  Dataset d = small_dataset();
+  d.cost.pop_back();
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+
+  Dataset e = small_dataset();
+  e.feature_names.push_back("extra");
+  EXPECT_THROW(e.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, SizeAndDim) {
+  const Dataset d = small_dataset();
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.dim(), 2u);
+}
+
+TEST(Dataset, SubsetSelectsAndReorders) {
+  const Dataset d = small_dataset();
+  const std::vector<std::size_t> rows{2, 0};
+  const Dataset s = d.subset(rows);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.x(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s.x(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cost[0], 0.3);
+  EXPECT_DOUBLE_EQ(s.memory[1], 1.0);
+  EXPECT_EQ(s.feature_names, d.feature_names);
+}
+
+TEST(Dataset, SubsetOutOfRangeThrows) {
+  const Dataset d = small_dataset();
+  const std::vector<std::size_t> rows{5};
+  EXPECT_THROW(d.subset(rows), std::out_of_range);
+}
+
+TEST(Dataset, DesignSubset) {
+  const Dataset d = small_dataset();
+  const std::vector<std::size_t> rows{1};
+  const Matrix m = d.design_subset(rows);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 4.0);
+}
+
+}  // namespace

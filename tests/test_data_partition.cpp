@@ -1,0 +1,91 @@
+// Tests for Init/Active/Test partitioning (paper Sec. IV).
+
+#include "alamr/data/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace {
+
+using namespace alamr::data;
+using alamr::stats::Rng;
+
+TEST(Partition, SizesMatchRequest) {
+  Rng rng(1);
+  const Partition p = make_partition(600, 200, 50, rng);
+  EXPECT_EQ(p.test.size(), 200u);
+  EXPECT_EQ(p.init.size(), 50u);
+  EXPECT_EQ(p.active.size(), 350u);
+  EXPECT_EQ(p.total(), 600u);
+}
+
+TEST(Partition, PaperConfigurations) {
+  // nInit in {1, 50, 100} with nTest = 200 over n = 600 (Sec. IV).
+  for (const std::size_t n_init : {1u, 50u, 100u}) {
+    Rng rng(n_init);
+    const Partition p = make_partition(600, 200, n_init, rng);
+    EXPECT_EQ(p.init.size(), n_init);
+    EXPECT_EQ(p.active.size(), 400u - n_init);
+  }
+}
+
+TEST(Partition, DisjointAndCovering) {
+  Rng rng(2);
+  const Partition p = make_partition(100, 30, 10, rng);
+  std::set<std::size_t> all;
+  all.insert(p.test.begin(), p.test.end());
+  all.insert(p.init.begin(), p.init.end());
+  all.insert(p.active.begin(), p.active.end());
+  EXPECT_EQ(all.size(), 100u);  // no duplicates anywhere
+  EXPECT_EQ(*all.rbegin(), 99u);
+}
+
+TEST(Partition, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  const Partition pa = make_partition(50, 10, 5, a);
+  const Partition pb = make_partition(50, 10, 5, b);
+  EXPECT_EQ(pa.test, pb.test);
+  EXPECT_EQ(pa.init, pb.init);
+  EXPECT_EQ(pa.active, pb.active);
+}
+
+TEST(Partition, DifferentSeedsDiffer) {
+  Rng a(7);
+  Rng b(8);
+  const Partition pa = make_partition(200, 50, 20, a);
+  const Partition pb = make_partition(200, 50, 20, b);
+  EXPECT_NE(pa.test, pb.test);
+}
+
+TEST(Partition, RejectsInvalidRequests) {
+  Rng rng(3);
+  EXPECT_THROW(make_partition(10, 8, 3, rng), std::invalid_argument);
+  EXPECT_THROW(make_partition(10, 5, 0, rng), std::invalid_argument);
+}
+
+TEST(Partition, ActiveMayBeEmpty) {
+  Rng rng(4);
+  const Partition p = make_partition(10, 5, 5, rng);
+  EXPECT_TRUE(p.active.empty());
+}
+
+// Property: over many seeds, every index appears in each partition role
+// with roughly the expected frequency (shuffling is unbiased).
+TEST(Partition, IndexZeroLandsInTestAtExpectedRate) {
+  constexpr int kTrials = 2000;
+  int in_test = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(static_cast<std::uint64_t>(t) + 1000);
+    const Partition p = make_partition(30, 10, 5, rng);
+    if (std::find(p.test.begin(), p.test.end(), 0u) != p.test.end()) {
+      ++in_test;
+    }
+  }
+  // Expected rate 1/3; binomial 5-sigma band.
+  EXPECT_NEAR(in_test / static_cast<double>(kTrials), 1.0 / 3.0, 0.055);
+}
+
+}  // namespace

@@ -1,0 +1,296 @@
+// Tests for the Gaussian Process regressor (paper Eqs. 1-9 behaviours).
+
+#include "alamr/gp/gpr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alamr/stats/rng.hpp"
+
+namespace {
+
+using namespace alamr::gp;
+using alamr::linalg::Matrix;
+using alamr::stats::Rng;
+
+// Smooth 1-D test function on [0, 1].
+double f1(double x) { return std::sin(6.0 * x) + 0.5 * x; }
+
+Matrix grid1d(std::size_t n, double lo = 0.0, double hi = 1.0) {
+  Matrix x(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = lo + (hi - lo) * static_cast<double>(i) /
+                      static_cast<double>(n - 1);
+  }
+  return x;
+}
+
+TEST(Gpr, InterpolatesNoiselessData) {
+  Rng rng(1);
+  const Matrix x = grid1d(10);
+  std::vector<double> y(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) y[i] = f1(x(i, 0));
+
+  // Tiny fixed noise, no optimization: posterior mean must pass through
+  // the training targets.
+  auto kernel = sum(product(std::make_unique<ConstantKernel>(1.0),
+                            std::make_unique<RbfKernel>(0.2)),
+                    std::make_unique<WhiteKernel>(1e-8));
+  GprOptions options;
+  options.optimize = false;
+  GaussianProcessRegressor gpr(std::move(kernel), options);
+  gpr.fit(x, y, rng);
+
+  const Prediction pred = gpr.predict(x);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_NEAR(pred.mean[i], y[i], 1e-4);
+    EXPECT_LT(pred.stddev[i], 1e-2);
+  }
+}
+
+TEST(Gpr, PredictsHeldOutPointsAfterFit) {
+  Rng rng(2);
+  const Matrix x_train = grid1d(25);
+  std::vector<double> y(x_train.rows());
+  for (std::size_t i = 0; i < x_train.rows(); ++i) y[i] = f1(x_train(i, 0));
+
+  GaussianProcessRegressor gpr(make_paper_kernel(), {});
+  gpr.fit(x_train, y, rng);
+
+  const Matrix x_test = grid1d(17, 0.03, 0.97);
+  const Prediction pred = gpr.predict(x_test);
+  for (std::size_t i = 0; i < x_test.rows(); ++i) {
+    EXPECT_NEAR(pred.mean[i], f1(x_test(i, 0)), 0.05) << "x = " << x_test(i, 0);
+  }
+}
+
+TEST(Gpr, UncertaintyGrowsAwayFromData) {
+  Rng rng(3);
+  const Matrix x_train = grid1d(10, 0.0, 0.5);  // data only on [0, 0.5]
+  std::vector<double> y(x_train.rows());
+  for (std::size_t i = 0; i < x_train.rows(); ++i) y[i] = f1(x_train(i, 0));
+
+  GaussianProcessRegressor gpr(make_paper_kernel(), {});
+  gpr.fit(x_train, y, rng);
+
+  const Matrix near{{0.25}};
+  const Matrix far{{0.95}};
+  EXPECT_LT(gpr.predict(near).stddev[0], gpr.predict(far).stddev[0]);
+}
+
+TEST(Gpr, VarianceNeverNegative) {
+  Rng rng(4);
+  // Duplicated training points stress the posterior variance computation.
+  Matrix x(6, 1);
+  x(0, 0) = 0.3; x(1, 0) = 0.3; x(2, 0) = 0.3;
+  x(3, 0) = 0.7; x(4, 0) = 0.7; x(5, 0) = 0.7;
+  const std::vector<double> y{1.0, 1.1, 0.9, -1.0, -0.9, -1.1};
+  GaussianProcessRegressor gpr(make_paper_kernel(), {});
+  gpr.fit(x, y, rng);
+  const Prediction pred = gpr.predict(grid1d(50));
+  for (const double s : pred.stddev) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(Gpr, OptimizationImprovesLml) {
+  Rng rng(5);
+  const Matrix x = grid1d(30);
+  std::vector<double> y(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    y[i] = f1(x(i, 0)) + rng.normal(0.0, 0.05);
+  }
+
+  GprOptions frozen;
+  frozen.optimize = false;
+  GaussianProcessRegressor fixed(make_paper_kernel(1.0, 1.0, 0.5), frozen);
+  Rng r1(7);
+  fixed.fit(x, y, r1);
+
+  GprOptions tuned;
+  tuned.restarts = 1;
+  GaussianProcessRegressor optimized(make_paper_kernel(1.0, 1.0, 0.5), tuned);
+  Rng r2(7);
+  optimized.fit(x, y, r2);
+
+  EXPECT_GT(optimized.log_marginal_likelihood(),
+            fixed.log_marginal_likelihood());
+}
+
+TEST(Gpr, LearnsNoiseLevel) {
+  Rng rng(6);
+  const Matrix x = grid1d(60);
+  constexpr double kNoise = 0.2;
+  std::vector<double> y(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    y[i] = f1(x(i, 0)) + rng.normal(0.0, kNoise);
+  }
+  GprOptions options;
+  options.restarts = 2;
+  GaussianProcessRegressor gpr(make_paper_kernel(), options);
+  gpr.fit(x, y, rng);
+  // The white-noise hyperparameter is the last log-parameter of the paper
+  // kernel; it should recover the injected variance within a factor.
+  const double learned_noise = std::exp(gpr.kernel().log_params()[2]);
+  EXPECT_GT(learned_noise, kNoise * kNoise / 5.0);
+  EXPECT_LT(learned_noise, kNoise * kNoise * 5.0);
+}
+
+TEST(Gpr, NormalizeYHandlesLargeOffsets) {
+  Rng rng(8);
+  const Matrix x = grid1d(20);
+  std::vector<double> y(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) y[i] = 1000.0 + f1(x(i, 0));
+
+  GprOptions options;
+  options.normalize_y = true;
+  GaussianProcessRegressor gpr(make_paper_kernel(), options);
+  gpr.fit(x, y, rng);
+  const Prediction pred = gpr.predict(grid1d(5, 0.1, 0.9));
+  for (std::size_t i = 0; i < pred.mean.size(); ++i) {
+    EXPECT_NEAR(pred.mean[i], 1000.0 + f1(0.1 + 0.8 * i / 4.0), 0.2);
+  }
+}
+
+TEST(Gpr, PredictMeanMatchesPredict) {
+  Rng rng(9);
+  const Matrix x = grid1d(15);
+  std::vector<double> y(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) y[i] = f1(x(i, 0));
+  GaussianProcessRegressor gpr(make_paper_kernel(), {});
+  gpr.fit(x, y, rng);
+
+  const Matrix q = grid1d(9, 0.05, 0.95);
+  const Prediction full = gpr.predict(q);
+  const std::vector<double> mean_only = gpr.predict_mean(q);
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(full.mean[i], mean_only[i]);
+  }
+}
+
+TEST(Gpr, WarmStartRefitIsCheapAndConsistent) {
+  Rng rng(10);
+  const Matrix x = grid1d(25);
+  std::vector<double> y(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    y[i] = f1(x(i, 0)) + rng.normal(0.0, 0.05);
+  }
+  GprOptions initial;
+  initial.restarts = 2;
+  GaussianProcessRegressor gpr(make_paper_kernel(), initial);
+  gpr.fit(x, y, rng);
+  const double lml_first = gpr.log_marginal_likelihood();
+
+  // Refit on the same data with warm start and no restarts: the LML must
+  // not regress materially (hyperparameters start where they ended).
+  GprOptions refit;
+  refit.restarts = 0;
+  refit.max_opt_iterations = 5;
+  gpr.set_options(refit);
+  gpr.fit(x, y, rng);
+  EXPECT_GT(gpr.log_marginal_likelihood(), lml_first - 1e-6);
+}
+
+TEST(Gpr, CopySemanticsAreDeep) {
+  Rng rng(11);
+  const Matrix x = grid1d(10);
+  std::vector<double> y(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) y[i] = f1(x(i, 0));
+  GaussianProcessRegressor a(make_paper_kernel(), {});
+  a.fit(x, y, rng);
+
+  GaussianProcessRegressor b(a);
+  // Refitting the copy on different data must not disturb the original.
+  std::vector<double> y2(y);
+  for (double& v : y2) v += 10.0;
+  b.fit(x, y2, rng);
+  const double mean_a = a.predict(Matrix{{0.5}}).mean[0];
+  const double mean_b = b.predict(Matrix{{0.5}}).mean[0];
+  EXPECT_NEAR(mean_b - mean_a, 10.0, 0.5);
+}
+
+TEST(Gpr, ErrorsOnMisuse) {
+  GaussianProcessRegressor gpr(make_paper_kernel(), {});
+  EXPECT_THROW(gpr.predict(Matrix{{0.5}}), std::logic_error);
+  EXPECT_THROW(gpr.log_marginal_likelihood(), std::logic_error);
+
+  Rng rng(12);
+  const Matrix x = grid1d(4);
+  const std::vector<double> wrong_y{1.0, 2.0};
+  EXPECT_THROW(gpr.fit(x, wrong_y, rng), std::invalid_argument);
+  EXPECT_THROW(GaussianProcessRegressor(nullptr, {}), std::invalid_argument);
+}
+
+TEST(Gpr, SingleTrainingPointWorks) {
+  Rng rng(13);
+  const Matrix x{{0.5}};
+  const std::vector<double> y{2.0};
+  GaussianProcessRegressor gpr(make_paper_kernel(), {});
+  gpr.fit(x, y, rng);  // optimization skipped for n < 2
+  const Prediction pred = gpr.predict(Matrix{{0.5}});
+  EXPECT_NEAR(pred.mean[0], 2.0, 1e-6);
+}
+
+TEST(Gpr, PosteriorVarianceShrinksWithMoreData) {
+  // Adding training points near a query must not increase its posterior
+  // variance (information never hurts in a fixed-hyperparameter GP).
+  Rng rng(14);
+  GprOptions options;
+  options.optimize = false;
+  const Matrix query{{0.52}};
+
+  double previous = std::numeric_limits<double>::infinity();
+  for (const std::size_t n : {3u, 6u, 12u, 24u}) {
+    const Matrix x = grid1d(n);
+    std::vector<double> y(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i) y[i] = f1(x(i, 0));
+    GaussianProcessRegressor gpr(make_paper_kernel(1.0, 0.3, 1e-6), options);
+    gpr.fit(x, y, rng);
+    const double sd = gpr.predict(query).stddev[0];
+    EXPECT_LE(sd, previous + 1e-12) << "n = " << n;
+    previous = sd;
+  }
+}
+
+TEST(Gpr, PriorVarianceRecoveredFarFromData) {
+  // Far from all training data the posterior variance approaches the
+  // prior amplitude sigma_f^2 (plus noise in the diagonal convention).
+  Rng rng(15);
+  const Matrix x = grid1d(10, 0.0, 0.1);  // data clustered near zero
+  std::vector<double> y(x.rows(), 0.5);
+  GprOptions options;
+  options.optimize = false;
+  constexpr double kAmplitude = 2.0;
+  GaussianProcessRegressor gpr(make_paper_kernel(kAmplitude, 0.05, 1e-4),
+                               options);
+  gpr.fit(x, y, rng);
+  const Prediction far = gpr.predict(Matrix{{50.0}});
+  EXPECT_NEAR(far.stddev[0] * far.stddev[0], kAmplitude + 1e-4, 1e-3);
+}
+
+// Property: predictions are deterministic given the seed, across repeats.
+class GprDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GprDeterminism, SameSeedSameModel) {
+  const auto run = [&] {
+    Rng rng(GetParam());
+    const Matrix x = grid1d(20);
+    std::vector<double> y(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      y[i] = f1(x(i, 0)) + rng.normal(0.0, 0.1);
+    }
+    GprOptions options;
+    options.restarts = 1;
+    GaussianProcessRegressor gpr(make_paper_kernel(), options);
+    gpr.fit(x, y, rng);
+    return gpr.predict(grid1d(7, 0.1, 0.9)).mean;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GprDeterminism,
+                         ::testing::Values(21ULL, 22ULL, 23ULL));
+
+}  // namespace

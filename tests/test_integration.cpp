@@ -1,0 +1,148 @@
+// End-to-end integration: AMR campaign -> dataset -> CSV round trip ->
+// Algorithm-1 AL with every strategy -> paper-shaped qualitative checks.
+// Uses a deliberately small campaign so the whole file runs in seconds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alamr/amr/campaign.hpp"
+#include "alamr/core/batch.hpp"
+#include "alamr/core/simulator.hpp"
+#include "alamr/data/csv.hpp"
+
+namespace {
+
+using namespace alamr;
+
+const data::Dataset& campaign_dataset() {
+  static const data::Dataset dataset = [] {
+    amr::CampaignOptions options;
+    options.p_values = {4, 16};
+    options.mx_values = {8};
+    options.level_values = {1, 2, 3};
+    options.r0_values = {0.25, 0.4};
+    options.rhoin_values = {0.05, 0.3};
+    options.unique_configs = 20;
+    options.dataset_size = 26;
+    options.base_problem.final_time = 0.008;
+    options.maxrss_bug_threshold_seconds = 3.0;
+    options.maxrss_bug_probability = 0.25;
+    options.seed = 2718;
+    const auto records = amr::Campaign(options).run();
+    return amr::Campaign::to_dataset(records, options.dataset_size);
+  }();
+  return dataset;
+}
+
+core::AlOptions fast_al_options() {
+  core::AlOptions options;
+  options.n_test = 8;
+  options.n_init = 4;
+  options.max_iterations = 10;
+  options.initial_fit.restarts = 1;
+  options.initial_fit.max_opt_iterations = 20;
+  options.refit.max_opt_iterations = 4;
+  return options;
+}
+
+TEST(Integration, CampaignProducesAnalyzableDataset) {
+  const data::Dataset& dataset = campaign_dataset();
+  EXPECT_EQ(dataset.size(), 26u);
+  EXPECT_EQ(dataset.dim(), 5u);
+  // Responses positive (log10 transform must be applicable).
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_GT(dataset.cost[i], 0.0);
+    EXPECT_GT(dataset.memory[i], 0.0);
+    EXPECT_GT(dataset.wallclock[i], 0.0);
+  }
+  // Cost spans a meaningful range even in this tiny campaign.
+  const auto [min_it, max_it] =
+      std::minmax_element(dataset.cost.begin(), dataset.cost.end());
+  EXPECT_GT(*max_it / *min_it, 3.0);
+}
+
+TEST(Integration, CsvRoundTripPreservesDataset) {
+  const data::Dataset& dataset = campaign_dataset();
+  const data::Dataset parsed = data::from_csv_string(data::to_csv_string(dataset));
+  ASSERT_EQ(parsed.size(), dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed.cost[i], dataset.cost[i]);
+    EXPECT_DOUBLE_EQ(parsed.memory[i], dataset.memory[i]);
+  }
+}
+
+TEST(Integration, EveryStrategyRunsOnCampaignData) {
+  const core::AlSimulator sim(campaign_dataset(), fast_al_options());
+  const std::vector<std::unique_ptr<core::Strategy>> strategies = [] {
+    std::vector<std::unique_ptr<core::Strategy>> s;
+    s.push_back(std::make_unique<core::RandUniform>());
+    s.push_back(std::make_unique<core::MaxSigma>());
+    s.push_back(std::make_unique<core::MinPred>());
+    s.push_back(std::make_unique<core::RandGoodness>());
+    return s;
+  }();
+  for (const auto& strategy : strategies) {
+    stats::Rng rng(5);
+    const auto traj = sim.run(*strategy, rng);
+    EXPECT_EQ(traj.iterations.size(), 10u) << strategy->name();
+    EXPECT_TRUE(std::isfinite(traj.iterations.back().rmse_cost))
+        << strategy->name();
+  }
+}
+
+TEST(Integration, RgmaAvoidsPredictedHighMemoryJobs) {
+  core::AlOptions options = fast_al_options();
+  options.max_iterations = 0;  // run to exhaustion / early stop
+  const core::AlSimulator sim(campaign_dataset(), options);
+  stats::Rng rng(6);
+  const core::Rgma rgma(sim.memory_limit_log10());
+  const auto traj = sim.run(rgma, rng);
+  // RGMA must never pick a candidate it predicted to violate the limit.
+  for (const auto& rec : traj.iterations) {
+    EXPECT_LT(rec.predicted_mem_log10, sim.memory_limit_log10());
+  }
+}
+
+TEST(Integration, BatchAggregationOverCampaignData) {
+  const core::AlSimulator sim(campaign_dataset(), fast_al_options());
+  core::BatchOptions batch;
+  batch.trajectories = 2;
+  batch.threads = 1;
+  const auto results = core::run_batch(sim, core::RandGoodness(), batch);
+  const auto curve =
+      core::aggregate_curve(results, core::Metric::kCumulativeCost);
+  ASSERT_EQ(curve.size(), 10u);
+  // Cumulative cost curves are nondecreasing in the mean as well.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].mean + 1e-12, curve[i - 1].mean);
+  }
+}
+
+TEST(Integration, CheapStrategiesSpendLessThanUniform) {
+  // The paper's core cost-awareness claim, on real (simulated-AMR) data:
+  // MinPred and RandGoodness select far cheaper samples than RandUniform.
+  core::AlOptions options = fast_al_options();
+  options.max_iterations = 12;
+  const core::AlSimulator sim(campaign_dataset(), options);
+  stats::Rng setup(7);
+  const auto partition = data::make_partition(campaign_dataset().size(),
+                                              options.n_test, options.n_init,
+                                              setup);
+  stats::Rng r1(1);
+  stats::Rng r2(1);
+  stats::Rng r3(1);
+  const auto uniform =
+      sim.run_with_partition(core::RandUniform(), partition, r1);
+  const auto greedy = sim.run_with_partition(core::MinPred(), partition, r2);
+  const auto goodness =
+      sim.run_with_partition(core::RandGoodness(), partition, r3);
+
+  const double cc_uniform = uniform.iterations.back().cumulative_cost;
+  const double cc_greedy = greedy.iterations.back().cumulative_cost;
+  const double cc_goodness = goodness.iterations.back().cumulative_cost;
+  EXPECT_LT(cc_greedy, cc_uniform);
+  EXPECT_LT(cc_goodness, cc_uniform);
+}
+
+}  // namespace

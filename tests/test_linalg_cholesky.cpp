@@ -1,0 +1,133 @@
+// Tests for the Cholesky factorization used by the GPR core.
+
+#include "alamr/linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alamr/stats/rng.hpp"
+
+namespace {
+
+using namespace alamr::linalg;
+using alamr::stats::Rng;
+
+Matrix random_spd(std::size_t n, Rng& rng, double diagonal_boost = 0.5) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix spd = aat(a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += diagonal_boost;
+  return spd;
+}
+
+TEST(Cholesky, FactorsKnownMatrix) {
+  // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const auto factor = CholeskyFactor::factor(a);
+  ASSERT_TRUE(factor.has_value());
+  EXPECT_DOUBLE_EQ(factor->lower()(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(factor->lower()(1, 0), 1.0);
+  EXPECT_NEAR(factor->lower()(1, 1), std::sqrt(2.0), 1e-14);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  const Matrix a(2, 3);
+  EXPECT_THROW(CholeskyFactor::factor(a), std::invalid_argument);
+}
+
+TEST(Cholesky, IndefiniteReturnsNullopt) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor::factor(a).has_value());
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const auto factor = CholeskyFactor::factor(a);
+  ASSERT_TRUE(factor.has_value());
+  // x = [1, -1] -> b = A x = [2, -1].
+  const Vector x = factor->solve(std::vector<double>{2.0, -1.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], -1.0, 1e-14);
+}
+
+TEST(Cholesky, LogDetMatchesKnownValue) {
+  const Matrix a{{4.0, 0.0}, {0.0, 9.0}};
+  const auto factor = CholeskyFactor::factor(a);
+  ASSERT_TRUE(factor.has_value());
+  EXPECT_NEAR(factor->log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, InverseTimesMatrixIsIdentity) {
+  Rng rng(5);
+  const Matrix a = random_spd(8, rng);
+  const auto factor = CholeskyFactor::factor(a);
+  ASSERT_TRUE(factor.has_value());
+  const Matrix inv = factor->inverse();
+  EXPECT_LT(max_abs_diff(matmul(a, inv), Matrix::identity(8)), 1e-9);
+}
+
+TEST(CholeskyJitter, CleanMatrixGetsZeroJitter) {
+  Rng rng(6);
+  const Matrix a = random_spd(6, rng);
+  const auto [factor, jitter] = cholesky_with_jitter(a);
+  EXPECT_DOUBLE_EQ(jitter, 0.0);
+  EXPECT_EQ(factor.size(), 6u);
+}
+
+TEST(CholeskyJitter, RepairsSemiDefiniteMatrix) {
+  // Rank-1 gram matrix of duplicated points — exactly the situation the
+  // dataset's replicate measurements create.
+  const Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  const auto [factor, jitter] = cholesky_with_jitter(a);
+  EXPECT_GT(jitter, 0.0);
+  const Vector x = factor.solve(std::vector<double>{1.0, 1.0});
+  EXPECT_TRUE(std::isfinite(x[0]));
+}
+
+TEST(CholeskyJitter, ThrowsOnHopelessMatrix) {
+  const Matrix a{{-1.0, 0.0}, {0.0, -1.0}};
+  EXPECT_THROW(cholesky_with_jitter(a), std::runtime_error);
+}
+
+// Property sweep over sizes and seeds: reconstruction, solve residual,
+// log-det consistency.
+class CholeskyProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(CholeskyProperty, ReconstructsAndSolves) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed);
+  const Matrix a = random_spd(n, rng);
+  const auto factor = CholeskyFactor::factor(a);
+  ASSERT_TRUE(factor.has_value());
+
+  // A == L L^T.
+  const Matrix reconstructed =
+      matmul(factor->lower(), factor->lower().transposed());
+  EXPECT_LT(max_abs_diff(reconstructed, a), 1e-10);
+
+  // Residual of a random solve.
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const Vector x = factor->solve(b);
+  const Vector ax = matvec(a, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+
+  // log|A| via the factor matches the product of eigenvalue magnitudes
+  // computed through a second factorization route (L L^T determinant).
+  double diag_product = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    diag_product += 2.0 * std::log(factor->lower()(i, i));
+  }
+  EXPECT_NEAR(factor->log_det(), diag_product, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, CholeskyProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 5, 10, 25, 60),
+                       ::testing::Values<std::uint64_t>(1, 42, 4242)));
+
+}  // namespace

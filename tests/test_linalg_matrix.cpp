@@ -1,0 +1,159 @@
+// Tests for the dense matrix/vector kernels.
+
+#include "alamr/linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alamr/stats/rng.hpp"
+
+namespace {
+
+using namespace alamr::linalg;
+using alamr::stats::Rng;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+  EXPECT_THROW((Matrix{{1.0}, {2.0, 3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, RowSpanIsContiguousView) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  auto r1 = m.row(1);
+  r1[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+TEST(Matrix, IdentityAndTranspose) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 2), 0.0);
+
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(VectorKernels, DotNormAxpy) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{3.0, 4.0}), 5.0);
+
+  std::vector<double> z{1.0, 1.0, 1.0};
+  axpy(2.0, x, z);
+  EXPECT_DOUBLE_EQ(z[2], 7.0);
+
+  EXPECT_THROW(dot(x, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(VectorKernels, SquaredDistance) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(squared_distance(a, a), 0.0);
+}
+
+TEST(MatVec, KnownProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const std::vector<double> x{1.0, -1.0};
+  const Vector y = matvec(a, x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+
+  const Vector yt = matvec_transposed(a, std::vector<double>{1.0, 1.0, 1.0});
+  ASSERT_EQ(yt.size(), 2u);
+  EXPECT_DOUBLE_EQ(yt[0], 9.0);
+  EXPECT_DOUBLE_EQ(yt[1], 12.0);
+}
+
+TEST(MatMul, IdentityIsNeutral) {
+  Rng rng(1);
+  const Matrix a = random_matrix(4, 4, rng);
+  const Matrix prod = matmul(a, Matrix::identity(4));
+  EXPECT_LT(max_abs_diff(prod, a), 1e-14);
+}
+
+TEST(MatMul, KnownProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(MatMul, ShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Aat, SymmetricAndMatchesMatmul) {
+  Rng rng(2);
+  const Matrix a = random_matrix(5, 3, rng);
+  const Matrix s = aat(a);
+  const Matrix reference = matmul(a, a.transposed());
+  EXPECT_LT(max_abs_diff(s, reference), 1e-12);
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    for (std::size_t j = 0; j < s.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(s(i, j), s(j, i));
+    }
+  }
+}
+
+TEST(FrobeniusInner, MatchesElementwiseSum) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  EXPECT_DOUBLE_EQ(frobenius_inner(a, b), 5.0 + 12.0 + 21.0 + 32.0);
+}
+
+// Property: (AB)x == A(Bx) for random matrices.
+class MatmulAssociativity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatmulAssociativity, MatvecComposition) {
+  Rng rng(GetParam());
+  const std::size_t m = 2 + rng.uniform_index(6);
+  const std::size_t k = 2 + rng.uniform_index(6);
+  const std::size_t n = 2 + rng.uniform_index(6);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform(-2.0, 2.0);
+
+  const Vector lhs = matvec(matmul(a, b), x);
+  const Vector rhs = matvec(a, matvec(b, x));
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatmulAssociativity,
+                         ::testing::Values(3ULL, 17ULL, 23ULL, 5151ULL, 909ULL));
+
+}  // namespace

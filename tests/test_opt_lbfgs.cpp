@@ -1,0 +1,157 @@
+// Tests for the L-BFGS minimizer that drives hyperparameter fitting.
+
+#include "alamr/opt/lbfgs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alamr/stats/rng.hpp"
+
+namespace {
+
+using namespace alamr::opt;
+using alamr::stats::Rng;
+
+// Convex quadratic f(x) = sum c_i (x_i - t_i)^2.
+Objective quadratic(std::vector<double> scale, std::vector<double> target) {
+  return [scale = std::move(scale), target = std::move(target)](
+             std::span<const double> x, std::span<double> grad) {
+    double value = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - target[i];
+      value += scale[i] * d * d;
+      if (!grad.empty()) grad[i] = 2.0 * scale[i] * d;
+    }
+    return value;
+  };
+}
+
+Objective rosenbrock() {
+  return [](std::span<const double> x, std::span<double> grad) {
+    const double a = 1.0;
+    const double b = 100.0;
+    const double f = (a - x[0]) * (a - x[0]) +
+                     b * (x[1] - x[0] * x[0]) * (x[1] - x[0] * x[0]);
+    if (!grad.empty()) {
+      grad[0] = -2.0 * (a - x[0]) - 4.0 * b * x[0] * (x[1] - x[0] * x[0]);
+      grad[1] = 2.0 * b * (x[1] - x[0] * x[0]);
+    }
+    return f;
+  };
+}
+
+TEST(Lbfgs, MinimizesQuadratic) {
+  const auto f = quadratic({1.0, 3.0, 0.5}, {2.0, -1.0, 4.0});
+  const std::vector<double> x0{0.0, 0.0, 0.0};
+  const OptimizeResult result = lbfgs_minimize(f, x0);
+  EXPECT_TRUE(result.converged());
+  EXPECT_NEAR(result.x[0], 2.0, 1e-5);
+  EXPECT_NEAR(result.x[1], -1.0, 1e-5);
+  EXPECT_NEAR(result.x[2], 4.0, 1e-5);
+  EXPECT_NEAR(result.value, 0.0, 1e-9);
+}
+
+TEST(Lbfgs, MinimizesRosenbrock) {
+  LbfgsOptions options;
+  options.max_iterations = 500;
+  const OptimizeResult result =
+      lbfgs_minimize(rosenbrock(), std::vector<double>{-1.2, 1.0}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-4);
+}
+
+TEST(Lbfgs, RespectsBoxBounds) {
+  // Unconstrained minimum at (2, -1) but box is [0,1] x [0,1].
+  const auto f = quadratic({1.0, 1.0}, {2.0, -1.0});
+  Bounds bounds;
+  bounds.lower = {0.0, 0.0};
+  bounds.upper = {1.0, 1.0};
+  const OptimizeResult result =
+      lbfgs_minimize(f, std::vector<double>{0.5, 0.5}, {}, bounds);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(result.x[1], 0.0, 1e-6);
+}
+
+TEST(Lbfgs, StartOutsideBoxGetsProjected) {
+  const auto f = quadratic({1.0}, {0.5});
+  Bounds bounds;
+  bounds.lower = {0.0};
+  bounds.upper = {1.0};
+  const OptimizeResult result =
+      lbfgs_minimize(f, std::vector<double>{50.0}, {}, bounds);
+  EXPECT_NEAR(result.x[0], 0.5, 1e-6);
+}
+
+TEST(Lbfgs, ImmediateConvergenceAtOptimum) {
+  const auto f = quadratic({1.0, 1.0}, {3.0, 3.0});
+  const OptimizeResult result = lbfgs_minimize(f, std::vector<double>{3.0, 3.0});
+  EXPECT_TRUE(result.converged());
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(Lbfgs, HonorsIterationBudget) {
+  LbfgsOptions options;
+  options.max_iterations = 2;
+  options.gradient_tolerance = 0.0;
+  options.relative_f_tolerance = 0.0;
+  const OptimizeResult result =
+      lbfgs_minimize(rosenbrock(), std::vector<double>{-1.2, 1.0}, options);
+  EXPECT_EQ(result.reason, StopReason::kMaxIterations);
+  EXPECT_LE(result.iterations, 2u);
+}
+
+TEST(Lbfgs, EmptyStartThrows) {
+  const auto f = quadratic({}, {});
+  EXPECT_THROW(lbfgs_minimize(f, std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Lbfgs, StopReasonStringsAreHuman) {
+  EXPECT_FALSE(to_string(StopReason::kGradientTolerance).empty());
+  EXPECT_FALSE(to_string(StopReason::kLineSearchFailed).empty());
+}
+
+TEST(FiniteDifference, MatchesAnalyticGradient) {
+  const auto f = quadratic({2.0, 1.0}, {1.0, -2.0});
+  const std::vector<double> x{0.3, 0.7};
+  const std::vector<double> fd = finite_difference_gradient(f, x);
+  std::vector<double> analytic(2);
+  f(x, analytic);
+  EXPECT_NEAR(fd[0], analytic[0], 1e-6);
+  EXPECT_NEAR(fd[1], analytic[1], 1e-6);
+}
+
+TEST(BoundsTest, ValidationCatchesMistakes) {
+  Bounds bounds;
+  bounds.lower = {0.0, 0.0};
+  EXPECT_THROW(bounds.validate(3), std::invalid_argument);
+  bounds.upper = {-1.0, 1.0};
+  EXPECT_THROW(bounds.validate(2), std::invalid_argument);
+}
+
+// Property: from random starting points, L-BFGS lands on the quadratic's
+// known minimizer.
+class LbfgsRandomStarts : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LbfgsRandomStarts, QuadraticAlwaysSolved) {
+  Rng rng(GetParam());
+  const std::size_t dim = 1 + rng.uniform_index(8);
+  std::vector<double> scale(dim);
+  std::vector<double> target(dim);
+  std::vector<double> x0(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    scale[i] = rng.uniform(0.1, 5.0);
+    target[i] = rng.uniform(-3.0, 3.0);
+    x0[i] = rng.uniform(-10.0, 10.0);
+  }
+  const OptimizeResult result = lbfgs_minimize(quadratic(scale, target), x0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(result.x[i], target[i], 1e-4) << "dim " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LbfgsRandomStarts,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 10ULL, 77ULL,
+                                           555ULL));
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Tests for the derivative-free Nelder–Mead fallback optimizer.
+
+#include "alamr/opt/nelder_mead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alamr/stats/rng.hpp"
+
+namespace {
+
+using namespace alamr::opt;
+using alamr::stats::Rng;
+
+Objective sphere(std::vector<double> target) {
+  return [target = std::move(target)](std::span<const double> x,
+                                      std::span<double>) {
+    double value = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - target[i];
+      value += d * d;
+    }
+    return value;
+  };
+}
+
+TEST(NelderMead, MinimizesSphere) {
+  const auto result =
+      nelder_mead_minimize(sphere({1.0, -2.0}), std::vector<double>{5.0, 5.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], -2.0, 1e-3);
+}
+
+TEST(NelderMead, OneDimensional) {
+  const auto result =
+      nelder_mead_minimize(sphere({3.0}), std::vector<double>{-10.0});
+  EXPECT_NEAR(result.x[0], 3.0, 1e-3);
+}
+
+TEST(NelderMead, HandlesNonSmoothObjective) {
+  // |x| + |y| — no gradient at the optimum; NM should still find it.
+  const Objective f = [](std::span<const double> x, std::span<double>) {
+    return std::abs(x[0]) + std::abs(x[1]);
+  };
+  const auto result = nelder_mead_minimize(f, std::vector<double>{2.0, -3.0});
+  EXPECT_NEAR(result.x[0], 0.0, 1e-2);
+  EXPECT_NEAR(result.x[1], 0.0, 1e-2);
+}
+
+TEST(NelderMead, RespectsBounds) {
+  Bounds bounds;
+  bounds.lower = {1.0};
+  bounds.upper = {4.0};
+  const auto result =
+      nelder_mead_minimize(sphere({-5.0}), std::vector<double>{2.0}, {}, bounds);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+}
+
+TEST(NelderMead, HonorsIterationBudget) {
+  NelderMeadOptions options;
+  options.max_iterations = 3;
+  options.f_tolerance = 0.0;
+  options.x_tolerance = 0.0;
+  const auto result =
+      nelder_mead_minimize(sphere({0.0, 0.0}), std::vector<double>{9.0, 9.0},
+                           options);
+  EXPECT_LE(result.iterations, 3u);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(NelderMead, EmptyStartThrows) {
+  EXPECT_THROW(nelder_mead_minimize(sphere({}), std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(NelderMead, CountsEvaluations) {
+  const auto result =
+      nelder_mead_minimize(sphere({0.0}), std::vector<double>{1.0});
+  EXPECT_GT(result.evaluations, 2u);
+}
+
+// Property: NM from random starts reaches the sphere minimum.
+class NelderMeadRandomStarts : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NelderMeadRandomStarts, SphereSolved) {
+  Rng rng(GetParam());
+  const std::size_t dim = 1 + rng.uniform_index(4);
+  std::vector<double> target(dim);
+  std::vector<double> x0(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    target[i] = rng.uniform(-2.0, 2.0);
+    x0[i] = rng.uniform(-5.0, 5.0);
+  }
+  NelderMeadOptions options;
+  options.max_iterations = 2000;
+  const auto result = nelder_mead_minimize(sphere(target), x0, options);
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(result.x[i], target[i], 5e-3) << "dim " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NelderMeadRandomStarts,
+                         ::testing::Values(4ULL, 8ULL, 15ULL, 16ULL, 23ULL));
+
+}  // namespace

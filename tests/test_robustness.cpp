@@ -1,0 +1,139 @@
+// Failure-injection and pathological-input tests: the library must stay
+// numerically sane (no NaNs, no crashes, meaningful exceptions) when fed
+// degenerate data — constant responses, extreme outliers, duplicated
+// configurations, near-empty partitions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alamr/core/simulator.hpp"
+#include "alamr/gp/gpr.hpp"
+#include "synthetic_dataset.hpp"
+
+namespace {
+
+using namespace alamr;
+
+TEST(Robustness, GprWithConstantTargets) {
+  // Zero-variance targets: the fit must not blow up, predictions equal
+  // the constant, and stddev stays finite.
+  stats::Rng rng(1);
+  linalg::Matrix x(12, 2);
+  for (std::size_t i = 0; i < 12; ++i) {
+    x(i, 0) = rng.uniform(0.0, 1.0);
+    x(i, 1) = rng.uniform(0.0, 1.0);
+  }
+  const std::vector<double> y(12, 3.25);
+  gp::GaussianProcessRegressor gpr(gp::make_paper_kernel(), {});
+  gpr.fit(x, y, rng);
+  const gp::Prediction pred = gpr.predict(x);
+  for (std::size_t i = 0; i < pred.mean.size(); ++i) {
+    EXPECT_NEAR(pred.mean[i], 3.25, 1e-3);
+    EXPECT_TRUE(std::isfinite(pred.stddev[i]));
+  }
+}
+
+TEST(Robustness, GprWithExtremeOutlier) {
+  stats::Rng rng(2);
+  linalg::Matrix x(15, 1);
+  std::vector<double> y(15);
+  for (std::size_t i = 0; i < 15; ++i) {
+    x(i, 0) = static_cast<double>(i) / 14.0;
+    y[i] = std::sin(4.0 * x(i, 0));
+  }
+  y[7] = 1e4;  // catastrophic measurement
+  gp::GaussianProcessRegressor gpr(gp::make_paper_kernel(), {});
+  EXPECT_NO_THROW(gpr.fit(x, y, rng));
+  const auto mean = gpr.predict_mean(x);
+  for (const double m : mean) EXPECT_TRUE(std::isfinite(m));
+}
+
+TEST(Robustness, GprWithManyDuplicatedRows) {
+  // Replicate-heavy design matrices make K singular without jitter.
+  stats::Rng rng(3);
+  linalg::Matrix x(20, 2);
+  std::vector<double> y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    // Only 4 distinct locations, 5 copies each, noisy targets.
+    x(i, 0) = static_cast<double>(i % 4) / 3.0;
+    x(i, 1) = 0.5;
+    y[i] = std::cos(x(i, 0)) + rng.normal(0.0, 0.01);
+  }
+  gp::GaussianProcessRegressor gpr(gp::make_paper_kernel(), {});
+  EXPECT_NO_THROW(gpr.fit(x, y, rng));
+  const gp::Prediction pred = gpr.predict(x);
+  for (const double s : pred.stddev) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, 0.0);
+  }
+}
+
+TEST(Robustness, SimulatorWithNearConstantMemoryResponses) {
+  // If memory barely varies, the default limit rule still produces a
+  // usable threshold and RGMA does not crash.
+  auto dataset = alamr::testing::synthetic_amr_dataset(80, 5);
+  for (double& m : dataset.memory) m = 1.0 + 1e-9 * m;
+  core::AlOptions options;
+  options.n_test = 30;
+  options.n_init = 10;
+  options.max_iterations = 5;
+  options.initial_fit.restarts = 0;
+  options.refit.max_opt_iterations = 3;
+  const core::AlSimulator sim(dataset, options);
+  stats::Rng rng(6);
+  const core::Rgma rgma(sim.memory_limit_log10());
+  EXPECT_NO_THROW(sim.run(rgma, rng));
+}
+
+TEST(Robustness, SimulatorWithTinyActiveSet) {
+  // n_active == 1: a single AL step, then exhaustion.
+  auto dataset = alamr::testing::synthetic_amr_dataset(42, 7);
+  core::AlOptions options;
+  options.n_test = 31;
+  options.n_init = 10;
+  options.max_iterations = 0;
+  options.initial_fit.restarts = 0;
+  options.refit.max_opt_iterations = 3;
+  const core::AlSimulator sim(dataset, options);
+  stats::Rng rng(8);
+  const auto traj = sim.run(core::RandGoodness(), rng);
+  EXPECT_EQ(traj.iterations.size(), 1u);
+  EXPECT_EQ(traj.stop_reason, core::StopReason::kActiveExhausted);
+}
+
+TEST(Robustness, StrategiesHandleZeroSigmaEverywhere) {
+  // Degenerate predictions (all sigma = 0) must not divide by zero.
+  linalg::Matrix x(3, 2, 0.5);
+  const std::vector<double> mu{0.2, 0.1, 0.3};
+  const std::vector<double> zeros{0.0, 0.0, 0.0};
+  const core::CandidateView view{x, mu, zeros, mu, zeros};
+  stats::Rng rng(9);
+  EXPECT_NO_THROW(core::RandGoodness().select(view, rng));
+  EXPECT_NO_THROW(core::MaxSigma().select(view, rng));
+  EXPECT_NO_THROW(core::ExpectedImprovement().select(view, rng));
+  EXPECT_EQ(core::MinPred().select(view, rng), 1u);
+}
+
+TEST(Robustness, SimulatorSurvivesHugeDynamicRange) {
+  // Costs spanning 12 orders of magnitude (far beyond the paper's 5.4e3).
+  auto dataset = alamr::testing::synthetic_amr_dataset(60, 11);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    dataset.cost[i] = std::pow(10.0, -6.0 + 12.0 * (i % 10) / 9.0);
+  }
+  core::AlOptions options;
+  options.n_test = 20;
+  options.n_init = 10;
+  options.max_iterations = 5;
+  options.initial_fit.restarts = 0;
+  options.refit.max_opt_iterations = 3;
+  const core::AlSimulator sim(dataset, options);
+  stats::Rng rng(12);
+  const auto traj = sim.run(core::RandGoodness(), rng);
+  for (const auto& rec : traj.iterations) {
+    EXPECT_TRUE(std::isfinite(rec.rmse_cost));
+    EXPECT_TRUE(std::isfinite(rec.cumulative_cost));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Tests for bootstrap confidence intervals (cross-trajectory aggregation).
+
+#include "alamr/stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alamr/stats/descriptive.hpp"
+
+namespace {
+
+using namespace alamr::stats;
+
+TEST(Bootstrap, PointEstimateIsStatisticOfInput) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  Rng rng(1);
+  const Interval ci = bootstrap_mean(v, 500, 0.95, rng);
+  EXPECT_DOUBLE_EQ(ci.point, 2.5);
+}
+
+TEST(Bootstrap, IntervalContainsPointAndIsOrdered) {
+  const std::vector<double> v{5.0, 7.0, 9.0, 4.0, 6.0, 8.0};
+  Rng rng(2);
+  const Interval ci = bootstrap_mean(v, 1000, 0.95, rng);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+}
+
+TEST(Bootstrap, DegenerateSampleHasZeroWidth) {
+  const std::vector<double> v{3.0, 3.0, 3.0};
+  Rng rng(3);
+  const Interval ci = bootstrap_mean(v, 200, 0.9, rng);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}
+
+TEST(Bootstrap, WiderConfidenceGivesWiderInterval) {
+  std::vector<double> v;
+  Rng data_rng(11);
+  for (int i = 0; i < 40; ++i) v.push_back(data_rng.normal(0.0, 1.0));
+  Rng r1(4);
+  Rng r2(4);
+  const Interval narrow = bootstrap_mean(v, 2000, 0.5, r1);
+  const Interval wide = bootstrap_mean(v, 2000, 0.99, r2);
+  EXPECT_LT(narrow.hi - narrow.lo, wide.hi - wide.lo);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  const std::vector<double> v{1.0, 100.0, 2.0, 3.0};
+  Rng rng(5);
+  const Interval ci = bootstrap_interval(
+      v, [](std::span<const double> s) { return quantile(s, 0.5); }, 300, 0.9,
+      rng);
+  EXPECT_GE(ci.lo, 1.0);
+  EXPECT_LE(ci.hi, 100.0);
+}
+
+TEST(Bootstrap, RejectsBadArguments) {
+  const std::vector<double> v{1.0};
+  const std::vector<double> empty;
+  Rng rng(6);
+  EXPECT_THROW(bootstrap_mean(empty, 100, 0.9, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean(v, 0, 0.9, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean(v, 100, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean(v, 100, 1.0, rng), std::invalid_argument);
+}
+
+TEST(Bootstrap, CoverageOfTrueMeanIsReasonable) {
+  // Repeated experiments: the 90% CI of the mean should contain the true
+  // mean most of the time. Loose bound to keep the test stable.
+  Rng meta(7);
+  int covered = 0;
+  constexpr int kTrials = 60;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<double> v(30);
+    for (double& x : v) x = meta.normal(2.0, 1.0);
+    Rng rng(1000 + static_cast<std::uint64_t>(trial));
+    const Interval ci = bootstrap_mean(v, 400, 0.9, rng);
+    if (ci.lo <= 2.0 && 2.0 <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, kTrials * 7 / 10);
+}
+
+}  // namespace

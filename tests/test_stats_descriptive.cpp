@@ -1,0 +1,141 @@
+// Tests for descriptive statistics (Table I / Fig. 2 reporting machinery).
+
+#include "alamr/stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "alamr/stats/rng.hpp"
+
+namespace {
+
+using namespace alamr::stats;
+
+TEST(Quantile, EndpointsAndMedian) {
+  const std::vector<double> v{3.0, 1.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Quantile, InterpolatesLikeNumpyType7) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  // numpy.percentile([1,2,3,4], 25) == 1.75
+  EXPECT_NEAR(quantile(v, 0.25), 1.75, 1e-12);
+  EXPECT_NEAR(quantile(v, 0.75), 3.25, 1e-12);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.3), 42.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.1), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW(quantile(empty, 0.5), std::invalid_argument);
+  const std::vector<double> inf{1.0, INFINITY};
+  EXPECT_THROW(quantile(inf, 0.5), std::invalid_argument);
+}
+
+TEST(MeanVariance, KnownValues) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, 32/7.
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Variance, ZeroForConstantAndSingleton) {
+  const std::vector<double> constant{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(variance(constant), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Skewness, SymmetricIsZeroAndRightTailPositive) {
+  const std::vector<double> symmetric{-2.0, -1.0, 0.0, 1.0, 2.0};
+  EXPECT_NEAR(skewness(symmetric), 0.0, 1e-12);
+  const std::vector<double> right_tailed{1.0, 1.0, 1.0, 1.0, 10.0};
+  EXPECT_GT(skewness(right_tailed), 1.0);
+}
+
+TEST(Rms, MatchesDefinition) {
+  const std::vector<double> e{3.0, 4.0};
+  EXPECT_NEAR(rms(e), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Summarize, MatchesTableIFormat) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 100.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 22.0);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+}
+
+TEST(StandardNormal, KnownValues) {
+  EXPECT_NEAR(standard_normal_pdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_NEAR(standard_normal_cdf(0.0), 0.5, 1e-14);
+  EXPECT_NEAR(standard_normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(standard_normal_cdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+TEST(StandardNormal, CdfIsDerivedFromPdf) {
+  // Finite-difference of the CDF matches the PDF.
+  for (const double z : {-2.0, -0.5, 0.0, 0.7, 2.5}) {
+    const double h = 1e-6;
+    const double fd =
+        (standard_normal_cdf(z + h) - standard_normal_cdf(z - h)) / (2.0 * h);
+    EXPECT_NEAR(fd, standard_normal_pdf(z), 1e-8) << "z = " << z;
+  }
+}
+
+TEST(Welford, MatchesBatchComputation) {
+  Rng rng(6);
+  std::vector<double> v(5000);
+  for (double& x : v) x = rng.normal(3.0, 2.0);
+  Welford acc;
+  for (const double x : v) acc.add(x);
+  EXPECT_EQ(acc.count(), v.size());
+  EXPECT_NEAR(acc.mean(), mean(v), 1e-10);
+  EXPECT_NEAR(acc.variance(), variance(v), 1e-8);
+}
+
+TEST(Welford, EmptyAndSingle) {
+  Welford acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(5.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+// Property: quantiles are monotone in q and bounded by [min, max].
+class QuantileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotone, MonotoneAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> v(101);
+  for (double& x : v) x = rng.uniform(-10.0, 10.0);
+  double previous = quantile(v, 0.0);
+  for (double q = 0.05; q <= 1.0 + 1e-9; q += 0.05) {
+    const double value = quantile(v, std::min(q, 1.0));
+    EXPECT_GE(value, previous - 1e-12);
+    previous = value;
+  }
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), *std::min_element(v.begin(), v.end()));
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), *std::max_element(v.begin(), v.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone,
+                         ::testing::Values(2ULL, 13ULL, 777ULL, 31337ULL));
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Tests for categorical sampling and the goodness-weight computation that
+// RandGoodness/RGMA rely on (paper Sec. IV-B).
+
+#include "alamr/stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using alamr::stats::AliasSampler;
+using alamr::stats::goodness_weights;
+using alamr::stats::normalize_weights;
+using alamr::stats::Rng;
+using alamr::stats::sample_categorical;
+
+TEST(NormalizeWeights, SumsToOne) {
+  std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  normalize_weights(w);
+  double total = 0.0;
+  for (const double v : w) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(w[3], 0.4, 1e-12);
+}
+
+TEST(NormalizeWeights, RejectsBadInput) {
+  std::vector<double> empty;
+  EXPECT_THROW(normalize_weights(empty), std::invalid_argument);
+  std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(normalize_weights(negative), std::invalid_argument);
+  std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(normalize_weights(zeros), std::invalid_argument);
+  std::vector<double> nan{1.0, std::nan("")};
+  EXPECT_THROW(normalize_weights(nan), std::invalid_argument);
+}
+
+TEST(SampleCategorical, ZeroWeightNeverSampled) {
+  const std::vector<double> w{0.0, 1.0, 0.0};
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(sample_categorical(w, rng), 1u);
+  }
+}
+
+TEST(SampleCategorical, FrequenciesMatchWeights) {
+  const std::vector<double> w{1.0, 2.0, 7.0};
+  Rng rng(17);
+  std::vector<std::size_t> counts(3, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sample_categorical(w, rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.7, 0.01);
+}
+
+TEST(AliasSampler, MatchesCategoricalFrequencies) {
+  const std::vector<double> w{0.5, 0.1, 0.1, 0.3};
+  const AliasSampler sampler(w);
+  ASSERT_EQ(sampler.size(), 4u);
+  Rng rng(3);
+  std::vector<std::size_t> counts(4, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.1, 0.005);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.1, 0.005);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(AliasSampler, StoresNormalizedProbabilities) {
+  const std::vector<double> w{2.0, 6.0};
+  const AliasSampler sampler(w);
+  EXPECT_NEAR(sampler.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(sampler.probability(1), 0.75, 1e-12);
+}
+
+TEST(AliasSampler, SingleCategory) {
+  const std::vector<double> w{3.0};
+  const AliasSampler sampler(w);
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(GoodnessWeights, PrefersCheapUncertainCandidates) {
+  // Candidate 0: cheap (low mu); candidate 1: expensive. Same sigma.
+  const std::vector<double> mu{0.0, 2.0};
+  const std::vector<double> sigma{0.1, 0.1};
+  const auto w = goodness_weights(mu, sigma, 10.0);
+  // Ratio should be 10^(mu1 - mu0) = 100.
+  EXPECT_NEAR(w[0] / w[1], 100.0, 1e-9);
+}
+
+TEST(GoodnessWeights, HigherSigmaIncreasesWeight) {
+  const std::vector<double> mu{1.0, 1.0};
+  const std::vector<double> sigma{0.5, 0.1};
+  const auto w = goodness_weights(mu, sigma, 10.0);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_NEAR(w[0] / w[1], std::pow(10.0, 0.4), 1e-9);
+}
+
+TEST(GoodnessWeights, HigherBaseIsMoreSkewed) {
+  const std::vector<double> mu{0.0, 1.0};
+  const std::vector<double> sigma{0.0, 0.0};
+  const auto w10 = goodness_weights(mu, sigma, 10.0);
+  const auto w100 = goodness_weights(mu, sigma, 100.0);
+  // The paper: "higher bases will lead to more skewed candidate
+  // distributions".
+  EXPECT_GT(w100[0] / w100[1], w10[0] / w10[1]);
+}
+
+TEST(GoodnessWeights, StableUnderLargeExponents) {
+  // Without the max-shift this would overflow to inf.
+  const std::vector<double> mu{-400.0, 0.0};
+  const std::vector<double> sigma{0.0, 0.0};
+  const auto w = goodness_weights(mu, sigma, 10.0);
+  EXPECT_TRUE(std::isfinite(w[0]));
+  EXPECT_TRUE(std::isfinite(w[1]));
+  EXPECT_GT(w[0], 0.0);
+  EXPECT_GE(w[1], 0.0);
+}
+
+TEST(GoodnessWeights, RejectsBadBaseAndMismatch) {
+  const std::vector<double> mu{0.0};
+  const std::vector<double> sigma{0.0, 1.0};
+  EXPECT_THROW(goodness_weights(mu, sigma, 10.0), std::invalid_argument);
+  const std::vector<double> s1{0.0};
+  EXPECT_THROW(goodness_weights(mu, s1, 1.0), std::invalid_argument);
+  EXPECT_THROW(goodness_weights(mu, s1, 0.5), std::invalid_argument);
+}
+
+// Property: alias sampler and linear-scan sampler agree in distribution
+// for random weight vectors.
+class SamplerAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SamplerAgreement, AliasMatchesLinearScan) {
+  Rng setup(GetParam());
+  const std::size_t n = 2 + setup.uniform_index(20);
+  std::vector<double> w(n);
+  for (double& v : w) v = setup.uniform(0.01, 1.0);
+
+  const AliasSampler alias(w);
+  Rng r1(GetParam() * 31 + 1);
+  Rng r2(GetParam() * 31 + 2);
+  constexpr int kDraws = 30000;
+  std::vector<double> f_alias(n, 0.0);
+  std::vector<double> f_scan(n, 0.0);
+  for (int i = 0; i < kDraws; ++i) {
+    f_alias[alias.sample(r1)] += 1.0 / kDraws;
+    f_scan[sample_categorical(w, r2)] += 1.0 / kDraws;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(f_alias[i], f_scan[i], 0.02) << "category " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerAgreement,
+                         ::testing::Values(1ULL, 7ULL, 99ULL, 12345ULL));
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Tests for the KDE/histogram machinery behind the Fig. 2 violin output.
+
+#include "alamr/stats/kde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "alamr/stats/rng.hpp"
+
+namespace {
+
+using namespace alamr::stats;
+
+TEST(ScottBandwidth, PositiveAndShrinksWithN) {
+  Rng rng(1);
+  std::vector<double> small(50);
+  std::vector<double> large(5000);
+  for (double& v : small) v = rng.normal();
+  for (double& v : large) v = rng.normal();
+  const double h_small = scott_bandwidth(small);
+  const double h_large = scott_bandwidth(large);
+  EXPECT_GT(h_small, 0.0);
+  EXPECT_GT(h_large, 0.0);
+  EXPECT_LT(h_large, h_small);
+}
+
+TEST(ScottBandwidth, DegenerateSampleGetsFloor) {
+  const std::vector<double> constant{2.0, 2.0, 2.0, 2.0};
+  EXPECT_GT(scott_bandwidth(constant), 0.0);
+}
+
+TEST(GaussianKde, DensityIntegratesToOne) {
+  Rng rng(3);
+  std::vector<double> v(500);
+  for (double& x : v) x = rng.normal(1.0, 2.0);
+  const DensityCurve curve = gaussian_kde(v, 256);
+  // Trapezoid integral over the grid (which extends 3h beyond the data).
+  double integral = 0.0;
+  for (std::size_t i = 1; i < curve.x.size(); ++i) {
+    integral += 0.5 * (curve.density[i] + curve.density[i - 1]) *
+                (curve.x[i] - curve.x[i - 1]);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(GaussianKde, PeakNearTheMode) {
+  Rng rng(4);
+  std::vector<double> v(2000);
+  for (double& x : v) x = rng.normal(5.0, 0.5);
+  const DensityCurve curve = gaussian_kde(v, 128);
+  const std::size_t argmax =
+      static_cast<std::size_t>(std::distance(curve.density.begin(),
+          std::max_element(curve.density.begin(), curve.density.end())));
+  EXPECT_NEAR(curve.x[argmax], 5.0, 0.2);
+}
+
+TEST(GaussianKde, NonNegativeEverywhere) {
+  const std::vector<double> v{0.0, 1.0, 10.0};
+  const DensityCurve curve = gaussian_kde(v, 64);
+  for (const double d : curve.density) EXPECT_GE(d, 0.0);
+}
+
+TEST(GaussianKde, RespectsExplicitBandwidth) {
+  const std::vector<double> v{0.0, 1.0};
+  const DensityCurve curve = gaussian_kde(v, 32, 0.7);
+  EXPECT_DOUBLE_EQ(curve.bandwidth, 0.7);
+}
+
+TEST(GaussianKde, RejectsBadInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW(gaussian_kde(empty), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(gaussian_kde(v, 1), std::invalid_argument);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  const std::vector<double> v{-10.0, 0.1, 0.4, 0.6, 0.9, 15.0};
+  const Histogram h = histogram(v, 2, 0.0, 1.0);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.counts[0], 3u);  // -10 clamped into first bin, plus 0.1, 0.4
+  EXPECT_EQ(h.counts[1], 3u);  // 0.6, 0.9, 15 clamped
+}
+
+TEST(HistogramTest, BinCenters) {
+  const Histogram h = histogram(std::vector<double>{}, 4, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(h.center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.center(3), 3.5);
+}
+
+TEST(HistogramTest, RejectsBadArguments) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(histogram(v, 0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(histogram(v, 4, 1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace

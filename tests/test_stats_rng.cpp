@@ -1,0 +1,176 @@
+// Tests for the deterministic RNG: reproducibility, range contracts,
+// statistical sanity of uniform/normal/index sampling, stream splitting.
+
+#include "alamr/stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "alamr/stats/descriptive.hpp"
+
+namespace {
+
+using alamr::stats::Rng;
+using alamr::stats::SplitMix64;
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 2.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsNearHalf) {
+  Rng rng(11);
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = rng.uniform();
+  EXPECT_NEAR(alamr::stats::mean(samples), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexUnbiasedAcrossBuckets) {
+  Rng rng(4);
+  constexpr std::size_t kBuckets = 10;
+  constexpr std::size_t kDraws = 100000;
+  std::vector<std::size_t> counts(kBuckets, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) ++counts[rng.uniform_index(kBuckets)];
+  for (const std::size_t c : counts) {
+    // Expected 10000 per bucket; 5-sigma band for a binomial.
+    EXPECT_NEAR(static_cast<double>(c), 10000.0, 5.0 * std::sqrt(10000.0 * 0.9));
+  }
+}
+
+TEST(Rng, NormalMatchesMomentsOfStandardGaussian) {
+  Rng rng(2024);
+  std::vector<double> samples(50000);
+  for (double& s : samples) s = rng.normal();
+  EXPECT_NEAR(alamr::stats::mean(samples), 0.0, 0.02);
+  EXPECT_NEAR(alamr::stats::stddev(samples), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScalesAndShifts) {
+  Rng rng(77);
+  std::vector<double> samples(50000);
+  for (double& s : samples) s = rng.normal(5.0, 0.5);
+  EXPECT_NEAR(alamr::stats::mean(samples), 5.0, 0.02);
+  EXPECT_NEAR(alamr::stats::stddev(samples), 0.5, 0.02);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // Child and parent should not produce identical sequences.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(55);
+  Rng b(55);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+TEST(Rng, PermutationIsValidPermutation) {
+  Rng rng(8);
+  const auto perm = rng.permutation(100);
+  ASSERT_EQ(perm.size(), 100u);
+  std::vector<bool> seen(100, false);
+  for (const std::size_t p : perm) {
+    ASSERT_LT(p, 100u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng rng(8);
+  const auto perm = rng.permutation(100);
+  std::size_t fixed_points = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] == i) ++fixed_points;
+  }
+  // Expected number of fixed points of a random permutation is 1.
+  EXPECT_LT(fixed_points, 10u);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(3);
+  std::vector<int> values{1, 2, 2, 3, 3, 3, 4};
+  std::vector<int> shuffled = values;
+  rng.shuffle(std::span<int>(shuffled));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+// Property sweep: determinism and unbiasedness across many seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, IndexAlwaysInRange) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.uniform_index(13), 13u);
+  }
+}
+
+TEST_P(RngSeedSweep, PermutationValidForAnySeed) {
+  Rng rng(GetParam());
+  const auto perm = rng.permutation(37);
+  std::set<std::size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 37u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 1234567ULL,
+                                           0xffffffffffffffffULL,
+                                           0xdeadbeefULL));
+
+}  // namespace
