@@ -13,6 +13,9 @@
 //   ALAMR_QUICK=1          reduced trajectories/iterations for smoke runs
 //   ALAMR_TRAJECTORIES=N   override trajectory count
 //   ALAMR_ITERATIONS=N     override AL iteration cap
+//   ALAMR_THREADS=N        parallel lanes for the trajectory fan-out
+//                          (default hardware_concurrency; results are
+//                          bit-identical for any value)
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +25,7 @@
 
 #include "alamr/amr/campaign.hpp"
 #include "alamr/core/batch.hpp"
+#include "alamr/core/parallel.hpp"
 #include "alamr/core/simulator.hpp"
 #include "alamr/data/csv.hpp"
 
@@ -89,12 +93,25 @@ inline std::size_t trajectories(std::size_t wanted) {
   return env_size("ALAMR_TRAJECTORIES").value_or(quick_mode() ? 1 : wanted);
 }
 
+/// Batch options for the trajectory fan-out: every trajectory gets an
+/// independent derived rng stream, so curves are bit-identical regardless
+/// of ALAMR_THREADS.
+inline core::BatchOptions batch_options(std::size_t n_traj, std::uint64_t seed) {
+  core::BatchOptions batch;
+  batch.trajectories = n_traj;
+  batch.seed = seed;
+  batch.threads = core::configured_parallel_threads();
+  return batch;
+}
+
 inline void print_header(const char* experiment, const char* paper_artifact,
                          const char* expectation) {
   std::printf("==============================================================="
               "=================\n");
   std::printf("%s  (reproduces %s)\n", experiment, paper_artifact);
   std::printf("shape expectation: %s\n", expectation);
+  std::printf("parallel lanes: %zu (override with ALAMR_THREADS)\n",
+              core::configured_parallel_threads());
   std::printf("==============================================================="
               "=================\n");
 }

@@ -37,9 +37,7 @@ int main() {
     const core::AlOptions options = bench::al_options(n_init, iterations);
     const core::AlSimulator simulator(dataset, options);
     const core::Rgma rgma(simulator.memory_limit_log10());
-    core::BatchOptions batch;
-    batch.trajectories = n_traj;
-    batch.seed = 555 + n_init;
+    const core::BatchOptions batch = bench::batch_options(n_traj, 555 + n_init);
     const auto results = core::run_batch(simulator, rgma, batch);
     Row row;
     row.label = "RGMA nInit=" + std::to_string(n_init);
@@ -57,9 +55,7 @@ int main() {
     const core::AlOptions options = bench::al_options(50, iterations);
     const core::AlSimulator simulator(dataset, options);
     const core::RandGoodness blind;
-    core::BatchOptions batch;
-    batch.trajectories = n_traj;
-    batch.seed = 606;
+    const core::BatchOptions batch = bench::batch_options(n_traj, 606);
     const auto results = core::run_batch(simulator, blind, batch);
     Row row;
     row.label = "RandGoodness nInit=50 (memory-blind)";

@@ -33,9 +33,7 @@ int main() {
     const core::AlOptions options = bench::al_options(n_init, iterations);
     const core::AlSimulator simulator(dataset, options);
     const core::Rgma rgma(simulator.memory_limit_log10());
-    core::BatchOptions batch;
-    batch.trajectories = n_traj;
-    batch.seed = 777 + n_init;
+    const core::BatchOptions batch = bench::batch_options(n_traj, 777 + n_init);
     const auto results = core::run_batch(simulator, rgma, batch);
     Row row;
     row.label = "nInit=" + std::to_string(n_init);

@@ -5,9 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include "alamr/amr/solver.hpp"
+#include "alamr/core/batch.hpp"
+#include "alamr/core/strategies.hpp"
 #include "alamr/gp/gpr.hpp"
 #include "alamr/linalg/cholesky.hpp"
 #include "alamr/stats/rng.hpp"
+#include "synthetic_dataset.hpp"
 
 namespace {
 
@@ -40,6 +43,28 @@ void BM_Cholesky(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Cholesky)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+// O(n^2) rank-1 extension vs the O(n^3) BM_Cholesky refactor above. The
+// per-iteration copy of the base factor is itself O(n^2), so the numbers
+// are an upper bound on the real extension cost.
+void BM_CholeskyExtend(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(6);
+  const auto spd = random_spd(n + 1, rng);
+  linalg::Matrix lead(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) lead(i, j) = spd(i, j);
+  }
+  const auto base = *linalg::CholeskyFactor::factor(lead);
+  std::vector<double> row(n);
+  for (std::size_t i = 0; i < n; ++i) row[i] = spd(n, i);
+  const double diag = spd(n, n);
+  for (auto _ : state) {
+    auto factor = base;
+    benchmark::DoNotOptimize(factor.extend(row, diag));
+  }
+}
+BENCHMARK(BM_CholeskyExtend)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
 
 void BM_KernelGram(benchmark::State& state) {
   stats::Rng rng(2);
@@ -81,6 +106,50 @@ void BM_GprFit(benchmark::State& state) {
 }
 BENCHMARK(BM_GprFit)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
 
+// The AL refit pair: posterior update after one new training point, from
+// scratch (n^2 kernel evaluations + O(n^3) factor) vs incrementally
+// (n kernel evaluations + O(n^2) extension). Optimization is disabled in
+// both so the numbers isolate the posterior math the fast path replaces.
+void BM_GprFullRefit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(7);
+  const auto x = random_points(n + 1, 5, rng);
+  std::vector<double> y(n + 1);
+  for (double& v : y) v = rng.normal();
+  gp::GprOptions options;
+  options.optimize = false;
+  for (auto _ : state) {
+    gp::GaussianProcessRegressor gpr(gp::make_paper_kernel(), options);
+    gpr.fit(x, y, rng);
+    benchmark::DoNotOptimize(gpr);
+  }
+}
+BENCHMARK(BM_GprFullRefit)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_GprAddPoint(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(7);  // same data as BM_GprFullRefit
+  const auto x = random_points(n + 1, 5, rng);
+  std::vector<double> y(n + 1);
+  for (double& v : y) v = rng.normal();
+  linalg::Matrix x0(n, 5);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) x0(i, j) = x(i, j);
+  }
+  gp::GprOptions options;
+  options.optimize = false;
+  gp::GaussianProcessRegressor base(gp::make_paper_kernel(), options);
+  base.fit(x0, std::span<const double>(y.data(), n), rng);
+  for (auto _ : state) {
+    // The deep copy of the fitted model is O(n^2), so as with
+    // BM_CholeskyExtend this is an upper bound on the add_point cost.
+    gp::GaussianProcessRegressor gpr = base;
+    gpr.add_point(x.row(n), y[n]);
+    benchmark::DoNotOptimize(gpr);
+  }
+}
+BENCHMARK(BM_GprAddPoint)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
 void BM_GprPredict(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   stats::Rng rng(5);
@@ -98,6 +167,32 @@ void BM_GprPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GprPredict)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+// Trajectory fan-out on the thread pool: 4 independent AL trajectories
+// with Arg() parallel lanes. Results are bit-identical across lane counts
+// (each trajectory has its own derived rng stream); only wall-clock moves.
+void BM_TrajectoryBatch(benchmark::State& state) {
+  const data::Dataset dataset = testing::synthetic_amr_dataset(200, 99);
+  core::AlOptions options;
+  options.n_test = 40;
+  options.n_init = 30;
+  options.max_iterations = 10;
+  options.initial_fit.restarts = 1;
+  options.initial_fit.max_opt_iterations = 30;
+  options.refit.restarts = 0;
+  options.refit.max_opt_iterations = 0;
+  const core::AlSimulator simulator(dataset, options);
+  const core::Rgma rgma(simulator.memory_limit_log10());
+  core::BatchOptions batch;
+  batch.trajectories = 4;
+  batch.seed = 1234;
+  batch.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto results = core::run_batch(simulator, rgma, batch);
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_TrajectoryBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_AmrStep(benchmark::State& state) {
   amr::ShockBubbleProblem problem;

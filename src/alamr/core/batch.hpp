@@ -3,9 +3,10 @@
 // Batch execution and aggregation of AL trajectories (paper Sec. IV-B:
 // "By processing a large number of trajectories, we can reason about the
 // statistical properties of the algorithms independent of the initial
-// conditions"). Mirrors the paper's multiprocessing batch mode with a
-// std::thread pool; every trajectory gets an independent derived RNG
-// stream so results do not depend on scheduling.
+// conditions"). Mirrors the paper's multiprocessing batch mode with the
+// shared ThreadPool (alamr/core/parallel.hpp); every trajectory gets an
+// independent derived RNG stream so results do not depend on scheduling
+// or thread count.
 
 #include <cstdint>
 #include <vector>
@@ -16,7 +17,8 @@ namespace alamr::core {
 
 struct BatchOptions {
   std::size_t trajectories = 5;
-  /// 0 = std::thread::hardware_concurrency().
+  /// 0 = the ALAMR_THREADS env var, falling back to
+  /// std::thread::hardware_concurrency() (see alamr/core/parallel.hpp).
   std::size_t threads = 0;
   std::uint64_t seed = 1234;
 };

@@ -1,0 +1,198 @@
+#pragma once
+
+// Process-wide thread pool for the AL engine's data-parallel loops
+// (multistart hyperparameter restarts, per-query predictive-variance
+// solves, trajectory fan-out in the batch runner and benches).
+//
+// Determinism contract: every parallel_for splits [0, n) into contiguous
+// index ranges and the callback writes only to caller-owned slots indexed
+// by i. Under that contract results are bit-identical for EVERY thread
+// count — parallelism never changes which floating-point operations run,
+// only which thread runs them. `ALAMR_THREADS=1` additionally runs all
+// work inline on the calling thread (no worker threads are ever spawned),
+// which is the fully serial reference path.
+//
+// Pool size: `ALAMR_THREADS` env var when set (>= 1), otherwise
+// std::thread::hardware_concurrency(). Nested parallel_for calls (e.g. a
+// GPR predict inside a trajectory that is itself a pool task) execute
+// serially inline instead of deadlocking on the shared queue.
+//
+// This header is intentionally standalone (standard library only) so the
+// lower layers (opt, gp) can include it without depending on the core
+// module's library.
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alamr::core {
+
+/// Pool size used by the global pool: ALAMR_THREADS when set to a positive
+/// integer, otherwise hardware_concurrency (minimum 1).
+inline std::size_t configured_parallel_threads() {
+  if (const char* env = std::getenv("ALAMR_THREADS")) {
+    if (*env != '\0') {
+      const unsigned long long v = std::strtoull(env, nullptr, 10);
+      if (v >= 1) return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// Fixed-size pool of `threads - 1` workers; the thread that calls
+/// parallel_for always executes the first chunk itself, so `threads`
+/// counts total execution lanes. A pool of 1 lane never spawns a thread.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = configured_parallel_threads()) {
+    const std::size_t extra = threads > 1 ? threads - 1 : 0;
+    workers_.reserve(extra);
+    for (std::size_t t = 0; t < extra; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Execution lanes, including the calling thread.
+  std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// Runs fn(begin, end) over a partition of [0, n) into at most size()
+  /// contiguous ranges. Serial (single inline fn(0, n) call) when the pool
+  /// has one lane, n < 2, or the caller is itself a pool task. The first
+  /// exception thrown by any range is rethrown in the calling thread after
+  /// every range has finished.
+  template <typename Fn>
+  void parallel_for_chunks(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    const std::size_t lanes = std::min(size(), n);
+    if (lanes <= 1 || in_task_) {
+      fn(std::size_t{0}, n);
+      return;
+    }
+
+    struct Job {
+      std::mutex m;
+      std::condition_variable done;
+      std::size_t remaining = 0;
+      std::exception_ptr error;
+    } job;
+    job.remaining = lanes - 1;
+
+    const auto bound = [n, lanes](std::size_t c) { return c * n / lanes; };
+    const auto run_range = [&fn, &job](std::size_t begin, std::size_t end) {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> jl(job.m);
+        if (!job.error) job.error = std::current_exception();
+      }
+    };
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (std::size_t c = 1; c < lanes; ++c) {
+        tasks_.emplace_back([&run_range, &bound, &job, c] {
+          run_range(bound(c), bound(c + 1));
+          // Decrement and notify under the job mutex so the waiter cannot
+          // destroy `job` between our decrement and the notify.
+          const std::lock_guard<std::mutex> jl(job.m);
+          if (--job.remaining == 0) job.done.notify_all();
+        });
+      }
+    }
+    wake_.notify_all();
+
+    // The caller runs its own chunk with the nesting flag set so that any
+    // parallel_for issued from inside fn degrades to serial.
+    in_task_ = true;
+    run_range(bound(0), bound(1));
+    in_task_ = false;
+
+    std::unique_lock<std::mutex> jl(job.m);
+    job.done.wait(jl, [&job] { return job.remaining == 0; });
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+  /// Element-wise form: fn(i) for i in [0, n), same contract as above.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    parallel_for_chunks(n, [&fn](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+
+ private:
+  void worker_loop() {
+    in_task_ = true;  // anything a worker runs is pool work: nest serially
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping, queue drained
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  inline static thread_local bool in_task_ = false;
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+namespace detail {
+inline std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>();
+  return pool;
+}
+}  // namespace detail
+
+/// The process-wide pool, sized from ALAMR_THREADS /
+/// hardware_concurrency on first use.
+inline ThreadPool& global_pool() { return *detail::global_pool_slot(); }
+
+/// Rebuilds the global pool with `threads` lanes (0 = re-read the
+/// environment). Test/bench hook; must not race concurrent parallel_for
+/// calls on the old pool.
+inline void set_global_parallel_threads(std::size_t threads) {
+  detail::global_pool_slot() = std::make_unique<ThreadPool>(
+      threads == 0 ? configured_parallel_threads() : threads);
+}
+
+/// parallel_for on the global pool.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+  global_pool().parallel_for(n, std::forward<Fn>(fn));
+}
+
+/// parallel_for_chunks on the global pool.
+template <typename Fn>
+void parallel_for_chunks(std::size_t n, Fn&& fn) {
+  global_pool().parallel_for_chunks(n, std::forward<Fn>(fn));
+}
+
+}  // namespace alamr::core

@@ -78,6 +78,13 @@ struct AlOptions {
   /// iteration, matching the paper; larger strides speed up big batches —
   /// intermediate records carry the last computed value).
   std::size_t rmse_stride = 1;
+
+  /// Per-iteration refits go through GaussianProcessRegressor::
+  /// fit_add_point: when the warm-started hyperparameter search leaves the
+  /// kernel parameters unchanged, the posterior is extended in O(n^2)
+  /// instead of rebuilt in O(n^3). Bit-identical to the full refit either
+  /// way; the flag exists so tests can compare both paths.
+  bool incremental_refit = true;
 };
 
 /// Everything recorded at one AL iteration.

@@ -59,6 +59,24 @@ class GaussianProcessRegressor {
   /// `rng` drives the optional random restarts.
   void fit(const Matrix& x, std::span<const double> y, stats::Rng& rng);
 
+  /// Appends one training point WITHOUT re-optimizing hyperparameters:
+  /// extends the cached gram by one row/column (n kernel evaluations
+  /// instead of n^2), extends the Cholesky factor in O(n^2) instead of
+  /// O(n^3), and recomputes alpha with two triangular solves. Bit-identical
+  /// to fit() on the concatenated data at the same hyperparameters.
+  /// Requires fit().
+  void add_point(std::span<const double> x, double y);
+
+  /// AL refit step (Algorithm 1): appends one training point and runs the
+  /// warm-started hyperparameter optimization exactly as fit() on the
+  /// concatenated data would. When the optimizer leaves the kernel
+  /// parameters unchanged — the common case for converged warm restarts,
+  /// and always when optimization is disabled — the posterior is updated
+  /// through the incremental O(n^2) path; otherwise it falls back to the
+  /// full rebuild. Either way the result is bit-identical to full fit().
+  /// Returns true when the incremental path was taken. Requires fit().
+  bool fit_add_point(std::span<const double> x, double y, stats::Rng& rng);
+
   /// Posterior mean and stddev at the rows of `x` (Eq. 3). Requires fit().
   Prediction predict(const Matrix& x) const;
 
@@ -89,12 +107,32 @@ class GaussianProcessRegressor {
   /// predict(). Returns the LML value.
   double compute_posterior();
 
+  /// Recomputes y_mean_ from y_raw_ (in-order sum, as fit() does) and
+  /// refreshes the centered targets.
+  void recenter_targets();
+
+  /// Warm-started multistart L-BFGS over the LML; shared by fit() and
+  /// fit_add_point() so both consume the rng stream identically.
+  void optimize_hyperparameters(stats::Rng& rng);
+
+  /// Grows x_train_ / y_raw_ by one point and re-centers the targets.
+  void append_training_point(std::span<const double> x, double y);
+
+  /// Incremental counterpart of compute_posterior() for the last appended
+  /// point: extends gram_ with n new kernel evaluations and the factor in
+  /// O(n^2), falling back to a full (possibly jittered) refactor when the
+  /// stored factor carries jitter or the extension is not positive.
+  void update_posterior_incremental();
+
   std::unique_ptr<Kernel> kernel_;
   GprOptions options_;
 
   Matrix x_train_;
+  std::vector<double> y_raw_;         // targets as given (for re-centering)
   std::vector<double> y_train_;       // centered targets when normalize_y
   double y_mean_ = 0.0;
+  Matrix gram_;                       // K_y at the current hyperparameters
+  double jitter_ = 0.0;               // diagonal jitter baked into factor_
   std::optional<linalg::CholeskyFactor> factor_;
   std::vector<double> alpha_;         // K_y^{-1} (y - mean)
   double lml_ = 0.0;

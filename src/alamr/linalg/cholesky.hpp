@@ -25,6 +25,17 @@ class CholeskyFactor {
   std::size_t size() const noexcept { return l_.rows(); }
   const Matrix& lower() const noexcept { return l_; }
 
+  /// Appends one row/column to the factored matrix in O(n^2): given the new
+  /// off-diagonal block `row` (length size()) and the new diagonal entry
+  /// `diag`, grows L by one row so that it factors the bordered matrix
+  /// [[A, row], [row^T, diag]]. Performs exactly the same floating-point
+  /// operations `factor()` would perform for the last column of the bordered
+  /// matrix, so the result is bit-identical to a from-scratch factorization.
+  /// Returns false — leaving the factor unchanged — when the Schur
+  /// complement diag - ||L^{-1} row||^2 is not numerically positive (the
+  /// caller should fall back to a full, possibly jittered, refactor).
+  bool extend(std::span<const double> row, double diag);
+
   /// Solves L z = b (forward substitution).
   Vector solve_lower(std::span<const double> b) const;
 
@@ -38,7 +49,9 @@ class CholeskyFactor {
   Matrix solve_matrix(const Matrix& b) const;
 
   /// A^{-1} (needed by the analytic LML gradient, which uses
-  /// K_y^{-1} - alpha alpha^T).
+  /// K_y^{-1} - alpha alpha^T). Computes only the lower triangle of the
+  /// symmetric inverse (one scratch vector, no temporary matrices) and
+  /// mirrors it.
   Matrix inverse() const;
 
   /// log|A| = 2 * sum_i log L_ii (the model-complexity term of Eq. 8).

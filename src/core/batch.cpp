@@ -1,9 +1,9 @@
 #include "alamr/core/batch.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <stdexcept>
-#include <thread>
+
+#include "alamr/core/parallel.hpp"
 
 namespace alamr::core {
 
@@ -23,42 +23,25 @@ std::vector<TrajectoryResult> run_batch(const AlSimulator& simulator,
     streams.push_back(master.split());
   }
 
+  const std::size_t n_threads =
+      std::min(options.threads == 0 ? configured_parallel_threads()
+                                    : options.threads,
+               options.trajectories);
+
+  // Trajectory fan-out on the pool. Each chunk owns a Strategy clone
+  // (implementations are stateless, but cloning keeps the contract simple
+  // if one ever is not) and writes only its own result slots; the nested
+  // parallelism inside each trajectory (predict, multistart) degrades to
+  // serial while a chunk runs, so lanes are never oversubscribed.
   std::vector<TrajectoryResult> results(options.trajectories);
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
-
-  const auto worker = [&] {
-    // Each worker owns a clone: Strategy implementations are stateless
-    // but cloning keeps the contract simple if one ever is not.
-    const std::unique_ptr<Strategy> local = strategy.clone();
-    while (true) {
-      const std::size_t t = next.fetch_add(1);
-      if (t >= options.trajectories) return;
-      try {
-        results[t] = simulator.run(*local, streams[t]);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
-        return;
-      }
-    }
-  };
-
-  std::size_t n_threads = options.threads == 0
-                              ? std::max(1u, std::thread::hardware_concurrency())
-                              : options.threads;
-  n_threads = std::min(n_threads, options.trajectories);
-
-  if (n_threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads);
-    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
-    for (std::thread& th : pool) th.join();
-  }
-  if (failure) std::rethrow_exception(failure);
+  ThreadPool pool(n_threads);
+  pool.parallel_for_chunks(
+      options.trajectories, [&](std::size_t begin, std::size_t end) {
+        const std::unique_ptr<Strategy> local = strategy.clone();
+        for (std::size_t t = begin; t < end; ++t) {
+          results[t] = simulator.run(*local, streams[t]);
+        }
+      });
   return results;
 }
 

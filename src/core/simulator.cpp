@@ -198,11 +198,19 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
     active.erase(active.begin() + static_cast<std::ptrdiff_t>(local));
 
     // Lines 10-11: warm-started refit of both models on Init + Learned.
-    x_learned = gather_rows(x_scaled_, learned);
-    c_learned = gather(log_cost_, learned);
-    m_learned = gather(log_mem_, learned);
-    gpr_cost.fit(x_learned, c_learned, rng);
-    gpr_mem.fit(x_learned, m_learned, rng);
+    if (options_.incremental_refit) {
+      // Same optimization, same rng stream, bit-identical posterior — but
+      // the common converged-warm-start case avoids the O(n^2) gram
+      // rebuild and O(n^3) refactor.
+      gpr_cost.fit_add_point(x_scaled_.row(row), log_cost_[row], rng);
+      gpr_mem.fit_add_point(x_scaled_.row(row), log_mem_[row], rng);
+    } else {
+      x_learned = gather_rows(x_scaled_, learned);
+      c_learned = gather(log_cost_, learned);
+      m_learned = gather(log_mem_, learned);
+      gpr_cost.fit(x_learned, c_learned, rng);
+      gpr_mem.fit(x_learned, m_learned, rng);
+    }
 
     // Metrics after this iteration (Eq. 10, non-log space).
     const bool evaluate_now = options_.rmse_stride <= 1 ||

@@ -1,9 +1,11 @@
 #include "alamr/gp/gpr.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
 
+#include "alamr/core/parallel.hpp"
 #include "alamr/opt/multistart.hpp"
 
 namespace alamr::gp {
@@ -25,8 +27,11 @@ GaussianProcessRegressor::GaussianProcessRegressor(
     : kernel_(other.kernel_->clone()),
       options_(other.options_),
       x_train_(other.x_train_),
+      y_raw_(other.y_raw_),
       y_train_(other.y_train_),
       y_mean_(other.y_mean_),
+      gram_(other.gram_),
+      jitter_(other.jitter_),
       factor_(other.factor_),
       alpha_(other.alpha_),
       lml_(other.lml_) {}
@@ -37,8 +42,11 @@ GaussianProcessRegressor& GaussianProcessRegressor::operator=(
   kernel_ = other.kernel_->clone();
   options_ = other.options_;
   x_train_ = other.x_train_;
+  y_raw_ = other.y_raw_;
   y_train_ = other.y_train_;
   y_mean_ = other.y_mean_;
+  gram_ = other.gram_;
+  jitter_ = other.jitter_;
   factor_ = other.factor_;
   alpha_ = other.alpha_;
   lml_ = other.lml_;
@@ -74,6 +82,8 @@ double GaussianProcessRegressor::log_marginal_likelihood(
       throw std::invalid_argument("GPR: gradient span size mismatch");
     }
     // dLML/dtheta_j = 1/2 tr((alpha alpha^T - K^{-1}) dK/dtheta_j).
+    // Both alpha alpha^T - K^{-1} and dK are symmetric, so the trace needs
+    // only the upper triangle: diagonal terms once, off-diagonal doubled.
     const Matrix k_inv = factor.inverse();
     for (std::size_t j = 0; j < gradients.size(); ++j) {
       const Matrix& dk = gradients[j];
@@ -81,11 +91,11 @@ double GaussianProcessRegressor::log_marginal_likelihood(
       for (std::size_t r = 0; r < n; ++r) {
         const auto dk_row = dk.row(r);
         const auto kinv_row = k_inv.row(r);
-        double row_acc = 0.0;
-        for (std::size_t c = 0; c < n; ++c) {
-          row_acc += (alpha[r] * alpha[c] - kinv_row[c]) * dk_row[c];
+        double off_acc = 0.0;
+        for (std::size_t c = r + 1; c < n; ++c) {
+          off_acc += (alpha[r] * alpha[c] - kinv_row[c]) * dk_row[c];
         }
-        trace += row_acc;
+        trace += (alpha[r] * alpha[r] - kinv_row[r]) * dk_row[r] + 2.0 * off_acc;
       }
       grad[j] = 0.5 * trace;
     }
@@ -94,16 +104,52 @@ double GaussianProcessRegressor::log_marginal_likelihood(
 }
 
 double GaussianProcessRegressor::compute_posterior() {
-  const Matrix k = kernel_->gram(x_train_);
-  const auto [factor, jitter] =
-      linalg::cholesky_with_jitter(k, options_.initial_jitter, options_.max_jitter);
-  (void)jitter;
-  factor_ = factor;
+  gram_ = kernel_->gram(x_train_);
+  auto [factor, jitter] = linalg::cholesky_with_jitter(
+      gram_, options_.initial_jitter, options_.max_jitter);
+  factor_ = std::move(factor);
+  jitter_ = jitter;
   alpha_ = factor_->solve(y_train_);
   const std::size_t n = x_train_.rows();
   lml_ = -0.5 * linalg::dot(y_train_, alpha_) - 0.5 * factor_->log_det() -
          0.5 * static_cast<double>(n) * kLogTwoPi;
   return lml_;
+}
+
+void GaussianProcessRegressor::recenter_targets() {
+  y_mean_ = 0.0;
+  if (options_.normalize_y) {
+    for (const double v : y_raw_) y_mean_ += v;
+    y_mean_ /= static_cast<double>(y_raw_.size());
+  }
+  y_train_.resize(y_raw_.size());
+  for (std::size_t i = 0; i < y_raw_.size(); ++i) {
+    y_train_[i] = y_raw_[i] - y_mean_;
+  }
+}
+
+void GaussianProcessRegressor::optimize_hyperparameters(stats::Rng& rng) {
+  const opt::Objective negative_lml =
+      [this](std::span<const double> theta, std::span<double> grad) {
+        const double value = log_marginal_likelihood(theta, grad);
+        for (double& g : grad) g = -g;
+        return -value;
+      };
+
+  opt::MultistartOptions ms;
+  ms.restarts = options_.restarts;
+  ms.lbfgs.max_iterations = options_.max_opt_iterations;
+
+  const std::vector<double> start = kernel_->log_params();
+  opt::Bounds bounds = kernel_->log_bounds();
+  // Keep the warm start feasible even if an earlier fit pushed a
+  // parameter onto (or numerically past) its bound.
+  std::vector<double> feasible_start = start;
+  bounds.project(feasible_start);
+
+  const opt::OptimizeResult best =
+      opt::multistart_minimize(negative_lml, feasible_start, bounds, ms, rng);
+  kernel_->set_log_params(best.x);
 }
 
 void GaussianProcessRegressor::fit(const Matrix& x, std::span<const double> y,
@@ -114,39 +160,116 @@ void GaussianProcessRegressor::fit(const Matrix& x, std::span<const double> y,
   }
 
   x_train_ = x;
-  y_mean_ = 0.0;
-  if (options_.normalize_y) {
-    for (const double v : y) y_mean_ += v;
-    y_mean_ /= static_cast<double>(y.size());
-  }
-  y_train_.resize(y.size());
-  for (std::size_t i = 0; i < y.size(); ++i) y_train_[i] = y[i] - y_mean_;
+  y_raw_.assign(y.begin(), y.end());
+  recenter_targets();
 
   if (options_.optimize && kernel_->num_params() > 0 && x.rows() >= 2) {
-    const opt::Objective negative_lml =
-        [this](std::span<const double> theta, std::span<double> grad) {
-          const double value = log_marginal_likelihood(theta, grad);
-          for (double& g : grad) g = -g;
-          return -value;
-        };
-
-    opt::MultistartOptions ms;
-    ms.restarts = options_.restarts;
-    ms.lbfgs.max_iterations = options_.max_opt_iterations;
-
-    const std::vector<double> start = kernel_->log_params();
-    opt::Bounds bounds = kernel_->log_bounds();
-    // Keep the warm start feasible even if an earlier fit pushed a
-    // parameter onto (or numerically past) its bound.
-    std::vector<double> feasible_start = start;
-    bounds.project(feasible_start);
-
-    const opt::OptimizeResult best =
-        opt::multistart_minimize(negative_lml, feasible_start, bounds, ms, rng);
-    kernel_->set_log_params(best.x);
+    optimize_hyperparameters(rng);
   }
 
   compute_posterior();
+}
+
+void GaussianProcessRegressor::append_training_point(std::span<const double> x,
+                                                     double y) {
+  const std::size_t n = x_train_.rows();
+  const std::size_t d = x_train_.cols();
+  if (x.size() != d) {
+    throw std::invalid_argument("GPR::add_point: dimension mismatch");
+  }
+  Matrix grown(n + 1, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = x_train_.row(i);
+    std::copy(src.begin(), src.end(), grown.row(i).begin());
+  }
+  std::copy(x.begin(), x.end(), grown.row(n).begin());
+  x_train_ = std::move(grown);
+
+  y_raw_.push_back(y);
+  // fit() centers by summing all targets in order; repeat that exactly so
+  // the incremental path stays bit-identical to a full refit.
+  recenter_targets();
+}
+
+void GaussianProcessRegressor::update_posterior_incremental() {
+  const std::size_t n = x_train_.rows() - 1;  // training size before append
+  Matrix x_new(1, x_train_.cols());
+  {
+    const auto last = x_train_.row(n);
+    std::copy(last.begin(), last.end(), x_new.row(0).begin());
+  }
+
+  // n new kernel evaluations instead of the full n^2 gram rebuild. cross()
+  // produces the same bits gram() would for these entries; the diagonal
+  // entry comes from diagonal() so noise terms (White) are included.
+  const Matrix k_new = kernel_->cross(x_train_, x_new);  // (n+1) x 1
+  const double k_diag = kernel_->diagonal(x_new)[0];
+
+  Matrix grown(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = gram_.row(i);
+    const auto dst = grown.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+    dst[n] = k_new(i, 0);
+  }
+  {
+    const auto bottom = grown.row(n);
+    for (std::size_t j = 0; j < n; ++j) bottom[j] = k_new(j, 0);
+    bottom[n] = k_diag;
+  }
+  gram_ = std::move(grown);
+
+  // O(n^2) factor extension. Only valid when the stored factor is of the
+  // clean gram: with jitter baked in, or when the extension is not
+  // positive, fall back to the full jittered refactor — exactly the path
+  // a from-scratch fit() would take on this gram.
+  bool extended = false;
+  if (jitter_ == 0.0) {
+    extended = factor_->extend(gram_.row(n).first(n), k_diag);
+  }
+  if (!extended) {
+    auto [factor, jitter] = linalg::cholesky_with_jitter(
+        gram_, options_.initial_jitter, options_.max_jitter);
+    factor_ = std::move(factor);
+    jitter_ = jitter;
+  }
+
+  alpha_ = factor_->solve(y_train_);
+  const std::size_t m = x_train_.rows();
+  lml_ = -0.5 * linalg::dot(y_train_, alpha_) - 0.5 * factor_->log_det() -
+         0.5 * static_cast<double>(m) * kLogTwoPi;
+}
+
+void GaussianProcessRegressor::add_point(std::span<const double> x, double y) {
+  if (!fitted()) throw std::logic_error("GPR::add_point before fit");
+  append_training_point(x, y);
+  update_posterior_incremental();
+}
+
+bool GaussianProcessRegressor::fit_add_point(std::span<const double> x, double y,
+                                             stats::Rng& rng) {
+  if (!fitted()) throw std::logic_error("GPR::fit_add_point before fit");
+
+  const std::vector<double> params_before = kernel_->log_params();
+  append_training_point(x, y);
+
+  bool params_changed = false;
+  if (options_.optimize && kernel_->num_params() > 0 && x_train_.rows() >= 2) {
+    // Run the warm-started optimization exactly as fit() on the
+    // concatenated data would (same rng stream, same starts). Converged
+    // warm restarts return the start point bit-for-bit, so an exact
+    // comparison detects "parameters unchanged".
+    optimize_hyperparameters(rng);
+    params_changed = kernel_->log_params() != params_before;
+  }
+
+  if (params_changed) {
+    // New hyperparameters invalidate the cached gram: full rebuild.
+    compute_posterior();
+    return false;
+  }
+  update_posterior_incremental();
+  return true;
 }
 
 Prediction GaussianProcessRegressor::predict(const Matrix& x) const {
@@ -162,14 +285,18 @@ Prediction GaussianProcessRegressor::predict(const Matrix& x) const {
 
   out.stddev.resize(x.rows());
   const std::vector<double> prior_diag = kernel_->diagonal(x);
-  std::vector<double> column(x_train_.rows());
-  for (std::size_t q = 0; q < x.rows(); ++q) {
-    for (std::size_t i = 0; i < x_train_.rows(); ++i) column[i] = k_star(i, q);
-    // sigma^2 = k** - k*^T K_y^{-1} k* via v = L^{-1} k*; sigma^2 = k** - v.v
-    const linalg::Vector v = factor_->solve_lower(column);
-    const double var = prior_diag[q] - linalg::dot(v, v);
-    out.stddev[q] = var > 0.0 ? std::sqrt(var) : 0.0;
-  }
+  // Each query's variance solve is independent; chunks write disjoint
+  // stddev slots, so the result is identical for any thread count.
+  core::parallel_for_chunks(x.rows(), [&](std::size_t begin, std::size_t end) {
+    std::vector<double> column(x_train_.rows());
+    for (std::size_t q = begin; q < end; ++q) {
+      for (std::size_t i = 0; i < x_train_.rows(); ++i) column[i] = k_star(i, q);
+      // sigma^2 = k** - k*^T K_y^{-1} k* via v = L^{-1} k*; sigma^2 = k** - v.v
+      const linalg::Vector v = factor_->solve_lower(column);
+      const double var = prior_diag[q] - linalg::dot(v, v);
+      out.stddev[q] = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+  });
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "alamr/linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -30,6 +31,38 @@ std::optional<CholeskyFactor> CholeskyFactor::factor(const Matrix& a) {
   return CholeskyFactor(std::move(l));
 }
 
+bool CholeskyFactor::extend(std::span<const double> row, double diag) {
+  const std::size_t n = size();
+  if (row.size() != n) throw std::invalid_argument("extend: length mismatch");
+  // New bottom row of L. This repeats, operation for operation, what
+  // factor() computes for row n of the bordered matrix: the same dot
+  // products over row prefixes and the same `v * (1.0 / l_jj)` scaling, so
+  // extending is bit-identical to refactoring from scratch (the first n
+  // rows of a factorization depend only on the leading n x n block).
+  Vector z(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double v = row[j];
+    const auto lj = l_.row(j);
+    for (std::size_t k = 0; k < j; ++k) v -= z[k] * lj[k];
+    z[j] = v * (1.0 / lj[j]);
+  }
+  double d = diag;
+  for (std::size_t k = 0; k < n; ++k) d -= z[k] * z[k];
+  if (!(d > 0.0) || !std::isfinite(d)) return false;
+
+  Matrix grown(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = l_.row(i);
+    const auto dst = grown.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  const auto last = grown.row(n);
+  std::copy(z.begin(), z.end(), last.begin());
+  last[n] = std::sqrt(d);
+  l_ = std::move(grown);
+  return true;
+}
+
 Vector CholeskyFactor::solve_lower(std::span<const double> b) const {
   const std::size_t n = size();
   if (b.size() != n) throw std::invalid_argument("solve_lower: length mismatch");
@@ -46,11 +79,16 @@ Vector CholeskyFactor::solve_lower(std::span<const double> b) const {
 Vector CholeskyFactor::solve_upper(std::span<const double> b) const {
   const std::size_t n = size();
   if (b.size() != n) throw std::invalid_argument("solve_upper: length mismatch");
-  Vector z(n);
-  for (std::size_t ii = n; ii-- > 0;) {
-    double v = b[ii];
-    for (std::size_t k = ii + 1; k < n; ++k) v -= l_(k, ii) * z[k];
-    z[ii] = v / l_(ii, ii);
+  // Saxpy (outer-product) form: once z[k] is final, eliminate its
+  // contribution from all remaining rows by walking l_.row(k) — contiguous
+  // in row-major storage, unlike the column stride l_(k, ii) of the
+  // dot-product form.
+  Vector z(b.begin(), b.end());
+  for (std::size_t k = n; k-- > 0;) {
+    const auto lk = l_.row(k);
+    const double zk = z[k] / lk[k];
+    z[k] = zk;
+    for (std::size_t j = 0; j < k; ++j) z[j] -= lk[j] * zk;
   }
   return z;
 }
@@ -72,7 +110,37 @@ Matrix CholeskyFactor::solve_matrix(const Matrix& b) const {
 }
 
 Matrix CholeskyFactor::inverse() const {
-  return solve_matrix(Matrix::identity(size()));
+  // Column j of A^{-1} solves A x = e_j. The forward solve of e_j has a
+  // zero prefix (entries before j stay zero), and by symmetry only the
+  // entries at or below the diagonal are needed — the upper triangle is
+  // mirrored. One scratch vector, no identity matrix, no per-column heap
+  // allocations.
+  const std::size_t n = size();
+  Matrix inv(n, n);
+  Vector z(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // Forward solve L z = e_j, skipping the known-zero prefix.
+    for (std::size_t i = j; i < n; ++i) {
+      double v = i == j ? 1.0 : 0.0;
+      const auto li = l_.row(i);
+      for (std::size_t k = j; k < i; ++k) v -= li[k] * z[k];
+      z[i] = v / li[i];
+    }
+    // In-place backward solve L^T x = z, only down to row j (entries above
+    // the diagonal of column j come from the mirror).
+    for (std::size_t k = n; k-- > j;) {
+      const auto lk = l_.row(k);
+      const double zk = z[k] / lk[k];
+      z[k] = zk;
+      for (std::size_t i = j; i < k; ++i) z[i] -= lk[i] * zk;
+    }
+    inv(j, j) = z[j];
+    for (std::size_t i = j + 1; i < n; ++i) {
+      inv(i, j) = z[i];
+      inv(j, i) = z[i];
+    }
+  }
+  return inv;
 }
 
 double CholeskyFactor::log_det() const {
@@ -95,11 +163,17 @@ JitteredCholesky cholesky_with_jitter(const Matrix& a, double initial_jitter,
   mean_diag = n > 0 ? mean_diag / static_cast<double>(n) : 1.0;
   const double scale = mean_diag > 0.0 ? mean_diag : 1.0;
 
+  // Single working copy across all retries: factor() never mutates its
+  // input, so only the diagonal needs resetting. Restoring from the saved
+  // pristine diagonal (rather than deducting the previous jitter) keeps
+  // each attempt exactly a(i, i) + jitter with no accumulated rounding.
+  Matrix work = a;
+  Vector pristine_diag(n);
+  for (std::size_t i = 0; i < n; ++i) pristine_diag[i] = a(i, i);
   for (double rel = initial_jitter; rel <= max_jitter; rel *= 10.0) {
-    Matrix jittered = a;
     const double jitter = rel * scale;
-    for (std::size_t i = 0; i < n; ++i) jittered(i, i) += jitter;
-    if (auto factored = CholeskyFactor::factor(jittered)) {
+    for (std::size_t i = 0; i < n; ++i) work(i, i) = pristine_diag[i] + jitter;
+    if (auto factored = CholeskyFactor::factor(work)) {
       return JitteredCholesky{std::move(*factored), jitter};
     }
   }

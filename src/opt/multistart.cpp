@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "alamr/core/parallel.hpp"
+
 namespace alamr::opt {
 
 OptimizeResult multistart_minimize(const Objective& f,
@@ -9,27 +11,44 @@ OptimizeResult multistart_minimize(const Objective& f,
                                    const Bounds& bounds,
                                    const MultistartOptions& options,
                                    stats::Rng& rng) {
-  OptimizeResult best = lbfgs_minimize(f, x0, options.lbfgs, bounds);
-
   if (options.restarts > 0 &&
       (bounds.lower.size() != x0.size() || bounds.upper.size() != x0.size())) {
     throw std::invalid_argument(
         "multistart_minimize: random restarts need full box bounds");
   }
 
-  std::vector<double> start(x0.size());
+  // Draw every random start up-front, in restart order, so the rng stream
+  // is consumed exactly as the serial loop consumed it — results do not
+  // depend on the thread count.
+  std::vector<std::vector<double>> starts;
+  starts.reserve(options.restarts + 1);
+  starts.emplace_back(x0.begin(), x0.end());
   for (std::size_t r = 0; r < options.restarts; ++r) {
+    std::vector<double> start(x0.size());
     for (std::size_t i = 0; i < start.size(); ++i) {
       start[i] = rng.uniform(bounds.lower[i], bounds.upper[i]);
     }
-    OptimizeResult candidate = lbfgs_minimize(f, start, options.lbfgs, bounds);
-    candidate.evaluations += best.evaluations;
-    if (candidate.value < best.value) {
-      best = std::move(candidate);
-    } else {
-      best.evaluations = candidate.evaluations;
-    }
+    starts.push_back(std::move(start));
   }
+
+  // The runs are independent; `f` may be called from several threads at
+  // once (the GPR objective only reads the stored training data).
+  std::vector<OptimizeResult> results(starts.size());
+  core::parallel_for(starts.size(), [&](std::size_t r) {
+    results[r] = lbfgs_minimize(f, starts[r], options.lbfgs, bounds);
+  });
+
+  // Reduce in start order with a strict '<' so ties keep the earliest run
+  // (the warm start in particular), matching the serial loop; evaluation
+  // counts add up across all runs.
+  std::size_t best_index = 0;
+  std::size_t evaluations = results[0].evaluations;
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    evaluations += results[r].evaluations;
+    if (results[r].value < results[best_index].value) best_index = r;
+  }
+  OptimizeResult best = std::move(results[best_index]);
+  best.evaluations = evaluations;
   return best;
 }
 

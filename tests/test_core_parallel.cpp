@@ -1,0 +1,125 @@
+// Tests for the thread-pool subsystem: index coverage, chunk partitioning,
+// nesting, exception propagation, and the ALAMR_THREADS configuration.
+
+#include "alamr/core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace alamr::core;
+
+TEST(ThreadPool, SizeCountsCallingThread) {
+  EXPECT_EQ(ThreadPool(1).size(), 1u);
+  EXPECT_EQ(ThreadPool(4).size(), 4u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ChunksAreContiguousDisjointAndComplete) {
+  ThreadPool pool(4);
+  const std::size_t n = 103;
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+    EXPECT_LT(begin, end);
+    const std::lock_guard<std::mutex> lock(m);
+    chunks.emplace_back(begin, end);
+  });
+  EXPECT_LE(chunks.size(), pool.size());
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expected_begin = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, expected_begin);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, n);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for_chunks(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SmallRangeUsesFewerLanesThanPoolSize) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.parallel_for_chunks(3, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_LE(calls.load(), 3);
+}
+
+TEST(ThreadPool, NestedParallelForRunsSerialWithoutDeadlock) {
+  ThreadPool pool(4);
+  const std::size_t outer = 8;
+  const std::size_t inner = 50;
+  std::vector<std::vector<int>> marks(outer, std::vector<int>(inner, 0));
+  pool.parallel_for(outer, [&](std::size_t o) {
+    // Nested call on the same pool must degrade to serial inline execution
+    // instead of queuing behind the outer tasks.
+    pool.parallel_for(inner, [&](std::size_t i) { ++marks[o][i]; });
+  });
+  for (const auto& row : marks) {
+    for (const int v : row) EXPECT_EQ(v, 1);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 57) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionInCallerChunkAlsoPropagates) {
+  ThreadPool pool(4);
+  // Chunk 0 runs on the calling thread; the throw must still arrive after
+  // the other chunks drained.
+  EXPECT_THROW(pool.parallel_for_chunks(
+                   100,
+                   [&](std::size_t begin, std::size_t) {
+                     if (begin == 0) throw std::logic_error("caller chunk");
+                   }),
+               std::logic_error);
+}
+
+TEST(ParallelConfig, EnvVarOverridesThreadCount) {
+  ASSERT_EQ(setenv("ALAMR_THREADS", "3", 1), 0);
+  EXPECT_EQ(configured_parallel_threads(), 3u);
+  ASSERT_EQ(setenv("ALAMR_THREADS", "0", 1), 0);  // invalid -> fallback
+  EXPECT_GE(configured_parallel_threads(), 1u);
+  ASSERT_EQ(unsetenv("ALAMR_THREADS"), 0);
+  EXPECT_GE(configured_parallel_threads(), 1u);
+}
+
+TEST(ParallelConfig, GlobalPoolCanBeResized) {
+  set_global_parallel_threads(3);
+  EXPECT_EQ(global_pool().size(), 3u);
+  std::vector<int> hits(64, 0);
+  parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+  set_global_parallel_threads(0);  // back to the environment default
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 #include "alamr/core/simulator.hpp"
 
 #include "alamr/core/batch.hpp"
+#include "alamr/core/parallel.hpp"
 
 #include <gtest/gtest.h>
 
@@ -434,5 +435,87 @@ INSTANTIATE_TEST_SUITE_P(Kernels, SimulatorKernelSweep,
                            }
                            return "unknown";
                          });
+
+// --- Incremental refit and thread-count invariance ------------------------
+
+void expect_identical_records(const TrajectoryResult& a,
+                              const TrajectoryResult& b) {
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    const IterationRecord& ra = a.iterations[i];
+    const IterationRecord& rb = b.iterations[i];
+    EXPECT_EQ(ra.dataset_row, rb.dataset_row) << "iteration " << i;
+    EXPECT_EQ(ra.candidates_before, rb.candidates_before);
+    EXPECT_DOUBLE_EQ(ra.actual_cost, rb.actual_cost);
+    EXPECT_DOUBLE_EQ(ra.actual_memory, rb.actual_memory);
+    EXPECT_DOUBLE_EQ(ra.predicted_cost_log10, rb.predicted_cost_log10);
+    EXPECT_DOUBLE_EQ(ra.predicted_cost_sigma, rb.predicted_cost_sigma);
+    EXPECT_DOUBLE_EQ(ra.predicted_mem_log10, rb.predicted_mem_log10);
+    EXPECT_DOUBLE_EQ(ra.predicted_mem_sigma, rb.predicted_mem_sigma);
+    EXPECT_DOUBLE_EQ(ra.rmse_cost, rb.rmse_cost);
+    EXPECT_DOUBLE_EQ(ra.rmse_mem, rb.rmse_mem);
+    EXPECT_DOUBLE_EQ(ra.rmse_cost_weighted, rb.rmse_cost_weighted);
+    EXPECT_DOUBLE_EQ(ra.cumulative_cost, rb.cumulative_cost);
+    EXPECT_DOUBLE_EQ(ra.cumulative_regret, rb.cumulative_regret);
+  }
+}
+
+TEST(AlSimulator, IncrementalRefitMatchesFullRefit) {
+  // The default per-iteration refit (fit_add_point) must reproduce the
+  // full-gather-and-fit trajectory exactly, both with warm-started
+  // optimization budgets and in the pure-incremental (0-iteration) mode.
+  for (const std::size_t refit_iters : {std::size_t{0}, std::size_t{5}}) {
+    AlOptions options = fast_options(10, 12);
+    options.refit.max_opt_iterations = refit_iters;
+
+    options.incremental_refit = true;
+    const AlSimulator incremental(dataset(), options);
+    options.incremental_refit = false;
+    const AlSimulator full(dataset(), options);
+
+    Rng setup(41);
+    const auto partition = alamr::data::make_partition(
+        dataset().size(), options.n_test, options.n_init, setup);
+    Rng r1(17);
+    Rng r2(17);
+    const auto a = incremental.run_with_partition(Rgma(incremental.memory_limit_log10()),
+                                                  partition, r1);
+    const auto b = full.run_with_partition(Rgma(full.memory_limit_log10()),
+                                           partition, r2);
+    expect_identical_records(a, b);
+  }
+}
+
+TEST(AlSimulatorParallel, ThreadCountDoesNotChangeTrajectory) {
+  // The pool parallelizes predict-variance solves and multistart restarts
+  // inside the trajectory; records must be bit-identical for 1 vs 4 lanes.
+  const AlSimulator sim(dataset(), fast_options(10, 8));
+  const auto run = [&] {
+    Rng rng(23);
+    return sim.run(Rgma(sim.memory_limit_log10()), rng);
+  };
+  alamr::core::set_global_parallel_threads(1);
+  const TrajectoryResult serial = run();
+  alamr::core::set_global_parallel_threads(4);
+  const TrajectoryResult threaded = run();
+  alamr::core::set_global_parallel_threads(0);  // env/hardware default
+  expect_identical_records(serial, threaded);
+}
+
+TEST(AlSimulatorParallel, BatchThreadCountDoesNotChangeResults) {
+  const AlSimulator sim(dataset(), fast_options(10, 5));
+  const Rgma rgma(sim.memory_limit_log10());
+  BatchOptions batch;
+  batch.trajectories = 3;
+  batch.seed = 99;
+  batch.threads = 1;
+  const auto serial = run_batch(sim, rgma, batch);
+  batch.threads = 4;
+  const auto threaded = run_batch(sim, rgma, batch);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t t = 0; t < serial.size(); ++t) {
+    expect_identical_records(serial[t], threaded[t]);
+  }
+}
 
 }  // namespace

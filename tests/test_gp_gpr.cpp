@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 
 #include "alamr/stats/rng.hpp"
 
@@ -292,5 +293,141 @@ TEST_P(GprDeterminism, SameSeedSameModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GprDeterminism,
                          ::testing::Values(21ULL, 22ULL, 23ULL));
+
+// --- Incremental posterior updates ---------------------------------------
+
+/// 2-D training data with a mild nonlinear response.
+void make_training(std::size_t n, Rng& rng, Matrix* x, std::vector<double>* y) {
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*x)(i, 0) = rng.uniform(0.0, 1.0);
+    (*x)(i, 1) = rng.uniform(0.0, 1.0);
+    (*y)[i] = std::sin(4.0 * (*x)(i, 0)) + (*x)(i, 1) * (*x)(i, 1) +
+              rng.normal(0.0, 0.05);
+  }
+}
+
+Matrix leading_rows(const Matrix& x, std::size_t n) {
+  Matrix out(n, x.cols());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < x.cols(); ++c) out(i, c) = x(i, c);
+  }
+  return out;
+}
+
+TEST(GprIncremental, AddPointMatchesFitOnConcatenatedData) {
+  Rng data_rng(31);
+  Matrix x;
+  std::vector<double> y;
+  make_training(31, data_rng, &x, &y);
+
+  GprOptions options;
+  options.optimize = false;  // isolate the posterior math
+  Rng r1(5);
+  Rng r2(5);
+
+  GaussianProcessRegressor incremental(make_paper_kernel(), options);
+  incremental.fit(leading_rows(x, 30), std::span<const double>(y.data(), 30),
+                  r1);
+  incremental.add_point(x.row(30), y[30]);
+
+  GaussianProcessRegressor full(make_paper_kernel(), options);
+  full.fit(x, y, r2);
+
+  ASSERT_EQ(incremental.training_size(), full.training_size());
+  EXPECT_NEAR(incremental.log_marginal_likelihood(),
+              full.log_marginal_likelihood(), 1e-10);
+  const Matrix queries = leading_rows(x, 8);
+  const Prediction a = incremental.predict(queries);
+  const Prediction b = full.predict(queries);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    EXPECT_NEAR(a.mean[q], b.mean[q], 1e-10);
+    EXPECT_NEAR(a.stddev[q], b.stddev[q], 1e-10);
+  }
+}
+
+TEST(GprIncremental, FitAddPointMatchesFullRefitWithOptimization) {
+  // With the warm-started optimization enabled both paths must consume the
+  // rng identically and land on the same model — whether or not the
+  // optimizer moves the hyperparameters.
+  Rng data_rng(32);
+  Matrix x;
+  std::vector<double> y;
+  make_training(26, data_rng, &x, &y);
+
+  for (const std::size_t refit_iters : {std::size_t{0}, std::size_t{8}}) {
+    GprOptions initial{.restarts = 1, .max_opt_iterations = 40};
+    GprOptions refit{.restarts = 0, .max_opt_iterations = refit_iters};
+
+    Rng r1(6);
+    GaussianProcessRegressor incremental(make_paper_kernel(), initial);
+    incremental.fit(leading_rows(x, 25), std::span<const double>(y.data(), 25),
+                    r1);
+    incremental.set_options(refit);
+    incremental.fit_add_point(x.row(25), y[25], r1);
+
+    Rng r2(6);
+    GaussianProcessRegressor full(make_paper_kernel(), initial);
+    full.fit(leading_rows(x, 25), std::span<const double>(y.data(), 25), r2);
+    full.set_options(refit);
+    full.fit(x, y, r2);
+
+    EXPECT_DOUBLE_EQ(incremental.log_marginal_likelihood(),
+                     full.log_marginal_likelihood());
+    const Matrix queries = leading_rows(x, 6);
+    const Prediction a = incremental.predict(queries);
+    const Prediction b = full.predict(queries);
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+      EXPECT_DOUBLE_EQ(a.mean[q], b.mean[q]);
+      EXPECT_DOUBLE_EQ(a.stddev[q], b.stddev[q]);
+    }
+  }
+}
+
+TEST(GprIncremental, ZeroIterationRefitTakesFastPath) {
+  Rng data_rng(33);
+  Matrix x;
+  std::vector<double> y;
+  make_training(21, data_rng, &x, &y);
+
+  GprOptions initial{.restarts = 1, .max_opt_iterations = 40};
+  Rng rng(7);
+  GaussianProcessRegressor gpr(make_paper_kernel(), initial);
+  gpr.fit(leading_rows(x, 20), std::span<const double>(y.data(), 20), rng);
+  gpr.set_options(GprOptions{.restarts = 0, .max_opt_iterations = 0});
+  EXPECT_TRUE(gpr.fit_add_point(x.row(20), y[20], rng));
+  EXPECT_EQ(gpr.training_size(), 21u);
+}
+
+TEST(GprIncremental, DuplicatePointStaysUsable) {
+  // Adding an exact duplicate of a training point drives the extended gram
+  // toward singularity (only the White noise on the diagonal keeps it
+  // positive); the incremental update must stay finite, falling back to
+  // the jittered refactor if the extension fails.
+  Rng data_rng(34);
+  Matrix x;
+  std::vector<double> y;
+  make_training(15, data_rng, &x, &y);
+
+  GprOptions options;
+  options.optimize = false;
+  Rng rng(8);
+  GaussianProcessRegressor gpr(make_paper_kernel(), options);
+  gpr.fit(x, y, rng);
+  gpr.add_point(x.row(3), y[3]);
+  EXPECT_EQ(gpr.training_size(), 16u);
+  const Prediction pred = gpr.predict(leading_rows(x, 4));
+  for (const double v : pred.mean) EXPECT_TRUE(std::isfinite(v));
+  for (const double v : pred.stddev) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(GprIncremental, AddPointBeforeFitThrows) {
+  GaussianProcessRegressor gpr(make_paper_kernel(), {});
+  Rng rng(9);
+  EXPECT_THROW(gpr.add_point(std::vector<double>{0.5}, 1.0), std::logic_error);
+  EXPECT_THROW(gpr.fit_add_point(std::vector<double>{0.5}, 1.0, rng),
+               std::logic_error);
+}
 
 }  // namespace

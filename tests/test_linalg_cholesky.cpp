@@ -130,4 +130,167 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 5, 10, 25, 60),
                        ::testing::Values<std::uint64_t>(1, 42, 4242)));
 
+// --- Rank-1 extension -----------------------------------------------------
+
+/// Splits an (n+1)x(n+1) SPD matrix into its leading block factor plus the
+/// border (row, diag) that extend() consumes.
+struct Bordered {
+  CholeskyFactor base;
+  std::vector<double> row;
+  double diag = 0.0;
+  Matrix full;
+};
+
+Bordered make_bordered(std::size_t n, Rng& rng, double diagonal_boost = 0.5) {
+  Matrix full = random_spd(n + 1, rng, diagonal_boost);
+  Matrix lead(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) lead(i, j) = full(i, j);
+  }
+  auto base = CholeskyFactor::factor(lead);
+  EXPECT_TRUE(base.has_value());
+  std::vector<double> row(n);
+  for (std::size_t i = 0; i < n; ++i) row[i] = full(n, i);
+  return Bordered{std::move(*base), std::move(row), full(n, n),
+                  std::move(full)};
+}
+
+TEST(CholeskyExtend, MatchesFullFactorizationBitForBit) {
+  Rng rng(7);
+  Bordered b = make_bordered(12, rng);
+  ASSERT_TRUE(b.base.extend(b.row, b.diag));
+
+  const auto full = CholeskyFactor::factor(b.full);
+  ASSERT_TRUE(full.has_value());
+  ASSERT_EQ(b.base.size(), full->size());
+  // extend() repeats factor()'s exact operation sequence for the last
+  // column, so every entry must match exactly, not just approximately.
+  for (std::size_t i = 0; i <= 12; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_EQ(b.base.lower()(i, j), full->lower()(i, j))
+          << "entry (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(CholeskyExtend, RepeatedExtensionSolvesLikeFullFactor) {
+  // Grow a factor one row at a time from 4x4 to 24x24 and check the solve
+  // residual against the directly factored matrix at the final size.
+  Rng rng(8);
+  const std::size_t target = 24;
+  const Matrix full = random_spd(target, rng);
+  Matrix lead(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) lead(i, j) = full(i, j);
+  }
+  auto factor = CholeskyFactor::factor(lead);
+  ASSERT_TRUE(factor.has_value());
+  for (std::size_t n = 4; n < target; ++n) {
+    std::vector<double> row(n);
+    for (std::size_t j = 0; j < n; ++j) row[j] = full(n, j);
+    ASSERT_TRUE(factor->extend(row, full(n, n))) << "at size " << n;
+  }
+  std::vector<double> b(target);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const Vector x = factor->solve(b);
+  const Vector ax = matvec(full, x);
+  for (std::size_t i = 0; i < target; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST(CholeskyExtend, RejectsSingularBorderLeavingFactorUnchanged) {
+  Rng rng(9);
+  const std::size_t n = 8;
+  const Matrix a = random_spd(n, rng);
+  auto factor = CholeskyFactor::factor(a);
+  ASSERT_TRUE(factor.has_value());
+  const Matrix before = factor->lower();
+
+  // Border equal to an existing row makes the bordered matrix singular:
+  // the Schur complement is exactly zero.
+  std::vector<double> row(n);
+  for (std::size_t j = 0; j < n; ++j) row[j] = a(0, j);
+  EXPECT_FALSE(factor->extend(row, a(0, 0)));
+  EXPECT_EQ(factor->size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(factor->lower()(i, j), before(i, j));
+    }
+  }
+}
+
+TEST(CholeskyExtend, IllConditionedNearSingularBorder) {
+  // Border almost parallel to an existing row: the Schur complement is
+  // tiny but positive, and the extension must still reproduce the full
+  // factorization.
+  Rng rng(10);
+  const std::size_t n = 10;
+  Bordered b = make_bordered(n, rng);
+  for (std::size_t j = 0; j < n; ++j) {
+    b.row[j] = b.full(0, j) * (1.0 + 1e-9);
+    b.full(n, j) = b.row[j];
+    b.full(j, n) = b.row[j];
+  }
+  b.diag = b.full(0, 0) * (1.0 + 1e-6);
+  b.full(n, n) = b.diag;
+
+  const auto full = CholeskyFactor::factor(b.full);
+  const bool extended = b.base.extend(b.row, b.diag);
+  ASSERT_EQ(extended, full.has_value());
+  if (extended) {
+    for (std::size_t i = 0; i <= n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        EXPECT_EQ(b.base.lower()(i, j), full->lower()(i, j));
+      }
+    }
+  }
+}
+
+TEST(CholeskyExtend, JitterFallbackFlowRepairsDuplicateBorder) {
+  // The caller-side fallback contract: when extend() refuses (duplicated
+  // training point -> singular bordered gram), cholesky_with_jitter on the
+  // bordered matrix must still produce a usable factor.
+  Rng rng(11);
+  const std::size_t n = 6;
+  Bordered b = make_bordered(n, rng);
+  for (std::size_t j = 0; j < n; ++j) {
+    b.row[j] = b.full(2, j);
+    b.full(n, j) = b.row[j];
+    b.full(j, n) = b.row[j];
+  }
+  // With an exact duplicate the Schur complement is zero up to rounding
+  // (either sign); shrinking the diagonal slightly makes the rejection
+  // deterministic while keeping the matrix jitter-repairable.
+  b.diag = b.full(2, 2) * (1.0 - 1e-6);
+  b.full(n, n) = b.diag;
+
+  ASSERT_FALSE(b.base.extend(b.row, b.diag));
+  const auto [repaired, jitter] = cholesky_with_jitter(b.full);
+  EXPECT_GT(jitter, 0.0);
+  EXPECT_EQ(repaired.size(), n + 1);
+  std::vector<double> rhs(n + 1, 1.0);
+  for (const double v : repaired.solve(rhs)) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(CholeskyExtend, LengthMismatchThrows) {
+  Rng rng(12);
+  const Matrix a = random_spd(5, rng);
+  auto factor = CholeskyFactor::factor(a);
+  ASSERT_TRUE(factor.has_value());
+  const std::vector<double> wrong(4, 0.0);
+  EXPECT_THROW(factor->extend(wrong, 1.0), std::invalid_argument);
+}
+
+TEST(Cholesky, InverseIsSymmetric) {
+  Rng rng(13);
+  const Matrix a = random_spd(9, rng);
+  const auto factor = CholeskyFactor::factor(a);
+  ASSERT_TRUE(factor.has_value());
+  const Matrix inv = factor->inverse();
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      EXPECT_EQ(inv(i, j), inv(j, i));
+    }
+  }
+}
+
 }  // namespace
