@@ -16,6 +16,8 @@
 //   ALAMR_THREADS=N        parallel lanes for the trajectory fan-out
 //                          (default hardware_concurrency; results are
 //                          bit-identical for any value)
+//   ALAMR_TRACE=1          enable the observability layer (or pass
+//                          --trace <path> to also write the report)
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +32,22 @@
 #include "alamr/data/csv.hpp"
 
 namespace alamr::bench {
+
+/// `--trace <path>` wiring: call at the top of main. Enables tracing
+/// process-wide when the flag is present (core/trace.hpp) and returns the
+/// output path for finish_trace().
+inline std::optional<std::string> trace_flag(int argc, char** argv) {
+  return core::trace::parse_trace_flag(argc, argv);
+}
+
+/// Writes the aggregated trace report (JSON at `path`, CSV at
+/// `path`.csv). No-op when --trace was not given.
+inline void finish_trace(const std::optional<std::string>& path) {
+  if (!path) return;
+  core::trace::write_global_trace(*path);
+  std::printf("\n# trace report: %s (and %s.csv)\n", path->c_str(),
+              path->c_str());
+}
 
 inline std::optional<std::size_t> env_size(const char* name) {
   const char* value = std::getenv(name);

@@ -12,8 +12,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alamr;
+  const std::optional<std::string> trace_path = bench::trace_flag(argc, argv);
   bench::print_header(
       "E5: RGMA cumulative regret vs iteration, nInit in {1, 50, 100}",
       "Fig. 4",
@@ -101,5 +102,6 @@ int main() {
     std::printf("  %-38s mean length %.1f iterations, early stops: %zu/%zu\n",
                 row.label.c_str(), row.mean_length, row.early_stops, n_traj);
   }
+  bench::finish_trace(trace_path);
   return 0;
 }

@@ -8,8 +8,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alamr;
+  const std::optional<std::string> trace_path = bench::trace_flag(argc, argv);
   bench::print_header(
       "E6: RGMA test-RMSE progression across nInit", "Sec. V-C / Fig. 5",
       "small-nInit RGMA competitive in final RMSE; watch for late-stage "
@@ -91,5 +92,6 @@ int main() {
                 row.label.c_str(), best_late, final,
                 100.0 * (final - best_late) / best_late);
   }
+  bench::finish_trace(trace_path);
   return 0;
 }

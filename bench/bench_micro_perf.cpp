@@ -194,6 +194,48 @@ void BM_TrajectoryBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_TrajectoryBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// P2: cost of the observability layer on a 100-iteration RGMA trajectory.
+// Arg(0) = tracing disabled (every instrumentation call reduces to one
+// relaxed atomic load — must be within noise, <= 2%, of the pre-trace
+// numbers), Arg(1) = enabled (counters + per-phase timers + per-trajectory
+// report). The refit budget is 0 so every iteration takes the incremental
+// fast path — the configuration where fixed per-iteration overhead is the
+// largest fraction of the work.
+void BM_TraceOverhead(benchmark::State& state) {
+  const bool tracing = state.range(0) != 0;
+  const data::Dataset dataset = testing::synthetic_amr_dataset(200, 99);
+  core::AlOptions options;
+  options.n_test = 40;
+  options.n_init = 30;
+  options.max_iterations = 100;
+  options.initial_fit.restarts = 1;
+  options.initial_fit.max_opt_iterations = 30;
+  options.refit.restarts = 0;
+  options.refit.max_opt_iterations = 0;
+  const core::AlSimulator simulator(dataset, options);
+  const core::Rgma rgma(simulator.memory_limit_log10());
+  stats::Rng partition_rng(31);
+  const data::Partition partition = data::make_partition(
+      dataset.size(), options.n_test, options.n_init, partition_rng);
+  const bool was_enabled = core::trace::enabled();
+  core::trace::set_enabled(tracing);
+  std::uint64_t incremental = 0;
+  std::uint64_t full = 0;
+  for (auto _ : state) {
+    stats::Rng rng(77);
+    auto result = simulator.run_with_partition(rgma, partition, rng);
+    incremental = result.trace.counter("gpr.fit_incremental");
+    full = result.trace.counter("gpr.fit_full");
+    benchmark::DoNotOptimize(result);
+  }
+  core::trace::set_enabled(was_enabled);
+  if (tracing) {
+    state.counters["fit_incremental"] = static_cast<double>(incremental);
+    state.counters["fit_full"] = static_cast<double>(full);
+  }
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_AmrStep(benchmark::State& state) {
   amr::ShockBubbleProblem problem;
   problem.mx = static_cast<int>(state.range(0));

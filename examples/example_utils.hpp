@@ -7,12 +7,30 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <optional>
 #include <string>
 
 #include "alamr/amr/campaign.hpp"
+#include "alamr/core/trace.hpp"
 #include "alamr/data/csv.hpp"
 
 namespace alamr::examples {
+
+/// `--trace <path>` wiring shared by the examples: enables the
+/// observability layer (core/trace.hpp) when the flag is present and
+/// returns the report path for finish_trace().
+inline std::optional<std::string> trace_flag(int argc, char** argv) {
+  return core::trace::parse_trace_flag(argc, argv);
+}
+
+/// Writes the aggregated trace report (JSON at `path`, CSV at
+/// `path`.csv). No-op when --trace was not given.
+inline void finish_trace(const std::optional<std::string>& path) {
+  if (!path) return;
+  core::trace::write_global_trace(*path);
+  std::printf("\nTrace report written to %s (and %s.csv)\n", path->c_str(),
+              path->c_str());
+}
 
 /// Loads the paper-scale dataset if it has been generated (see
 /// examples/amr_campaign.cpp), else generates a reduced campaign on the

@@ -16,8 +16,10 @@
 #include "alamr/core/online.hpp"
 #include "example_utils.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alamr;
+  const std::optional<std::string> trace_path =
+      examples::trace_flag(argc, argv);
 
   amr::CampaignOptions grid_options;
   grid_options.mx_values = {8, 16};
@@ -108,5 +110,6 @@ int main() {
               "(predicted %.4f nh)\n",
               grid[cheapest].p, grid[cheapest].mx, grid[cheapest].max_level,
               std::pow(10.0, pred.mean[cheapest]));
+  examples::finish_trace(trace_path);
   return 0;
 }

@@ -12,8 +12,10 @@
 #include "alamr/core/simulator.hpp"
 #include "example_utils.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alamr;
+  const std::optional<std::string> trace_path =
+      examples::trace_flag(argc, argv);
 
   const data::Dataset dataset = examples::load_dataset();
   std::printf("Dataset: %zu samples, %zu features\n", dataset.size(),
@@ -67,5 +69,6 @@ int main() {
       aware.iterations.size(), last_aware.cumulative_cost,
       last_aware.rmse_cost, last_blind.cumulative_cost, last_blind.rmse_cost,
       last_blind.cumulative_cost / last_aware.cumulative_cost);
+  examples::finish_trace(trace_path);
   return 0;
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Pre-PR gate: builds and runs the full test suite in three configurations
+# and fails on the first broken one.
+#
+#   1. plain       — the default release build (build-check/plain)
+#   2. sanitized   — ALAMR_SANITIZE=address,undefined (build-check/asan)
+#   3. threaded    — plain binaries, ctest with ALAMR_THREADS=4 so every
+#                    suite (not just tests_core_threads4) exercises the
+#                    4-lane pool
+#
+# Usage: scripts/check.sh [jobs]     (default: nproc)
+#
+# Build trees live under build-check/ to leave the main build/ alone.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+run_config() {
+  local name="$1"
+  local build_dir="build-check/$name"
+  shift
+  echo "=== [$name] configure + build ==="
+  cmake -B "$build_dir" -S . "$@" > /dev/null
+  cmake --build "$build_dir" -j "$jobs" > /dev/null
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" > /tmp/check_"$name".log 2>&1 || {
+    tail -50 /tmp/check_"$name".log
+    echo "FAILED: $name (full log: /tmp/check_$name.log)"
+    exit 1
+  }
+  tail -2 /tmp/check_"$name".log
+}
+
+run_config plain
+run_config asan -DALAMR_SANITIZE=address,undefined
+
+echo "=== [threads4] ctest with ALAMR_THREADS=4 on the plain build ==="
+ALAMR_THREADS=4 ctest --test-dir build-check/plain --output-on-failure -j "$jobs" \
+  > /tmp/check_threads4.log 2>&1 || {
+  tail -50 /tmp/check_threads4.log
+  echo "FAILED: threads4 (full log: /tmp/check_threads4.log)"
+  exit 1
+}
+tail -2 /tmp/check_threads4.log
+
+echo "All checks passed."

@@ -17,9 +17,9 @@
 // GPR predict inside a trajectory that is itself a pool task) execute
 // serially inline instead of deadlocking on the shared queue.
 //
-// This header is intentionally standalone (standard library only) so the
-// lower layers (opt, gp) can include it without depending on the core
-// module's library.
+// This header is intentionally standalone (standard library plus the
+// equally standalone trace.hpp) so the lower layers (opt, gp) can include
+// it without depending on the core module's library.
 
 #include <condition_variable>
 #include <cstdlib>
@@ -30,6 +30,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "alamr/core/trace.hpp"
 
 namespace alamr::core {
 
@@ -105,6 +107,10 @@ class ThreadPool {
         if (!job.error) job.error = std::current_exception();
       }
     };
+
+    // Counted on the submitting thread so a traced trajectory's collector
+    // sees its own fan-out.
+    trace::count("pool.tasks", lanes - 1);
 
     {
       const std::lock_guard<std::mutex> lock(mutex_);

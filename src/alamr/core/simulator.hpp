@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "alamr/core/strategies.hpp"
+#include "alamr/core/trace.hpp"
 #include "alamr/data/dataset.hpp"
 #include "alamr/data/partition.hpp"
 #include "alamr/data/transforms.hpp"
@@ -76,7 +77,8 @@ struct AlOptions {
 
   /// Evaluate test RMSE every `rmse_stride` iterations (1 = every
   /// iteration, matching the paper; larger strides speed up big batches —
-  /// intermediate records carry the last computed value).
+  /// intermediate records carry the last computed value). The final record
+  /// of a trajectory is always freshly evaluated, whatever the stride.
   std::size_t rmse_stride = 1;
 
   /// Per-iteration refits go through GaussianProcessRegressor::
@@ -85,6 +87,12 @@ struct AlOptions {
   /// instead of rebuilt in O(n^3). Bit-identical to the full refit either
   /// way; the flag exists so tests can compare both paths.
   bool incremental_refit = true;
+
+  /// Turns on the process-wide observability layer (core/trace.hpp) from
+  /// the AlSimulator constructor — equivalent to setting ALAMR_TRACE or
+  /// calling trace::set_enabled(true), and sticky like both. While tracing
+  /// is enabled every run* call fills TrajectoryResult::trace.
+  bool trace = false;
 };
 
 /// Everything recorded at one AL iteration.
@@ -117,6 +125,10 @@ struct TrajectoryResult {
   double memory_limit_mb = 0.0;    // non-log L_mem used for regret
   double initial_rmse_cost = 0.0;  // test RMSE right after the Init fit
   double initial_rmse_mem = 0.0;
+  /// Per-trajectory counters, phase timings, and the options/partition
+  /// fingerprint. Empty (no counters/phases) unless tracing was enabled
+  /// while the trajectory ran; the fingerprint is always filled.
+  trace::TraceReport trace;
 };
 
 class AlSimulator {
@@ -159,6 +171,13 @@ class AlSimulator {
 
  private:
   std::unique_ptr<gp::Kernel> make_kernel() const;
+
+  /// Hex digest over every option, the memory limit, the strategy
+  /// identity (including batch size), and the full partition contents
+  /// (the partition is what the seed determines, so hashing it captures
+  /// the seed's effect).
+  std::string trajectory_fingerprint(std::string_view strategy_name,
+                                     const data::Partition& partition) const;
 
   data::Dataset dataset_;   // original units (responses used for metrics)
   AlOptions options_;

@@ -1,0 +1,322 @@
+#pragma once
+
+// Lightweight, thread-safe observability for the AL engine: named
+// monotonic counters (how often the O(n^2) incremental-refit fast path
+// fires vs the O(n^3) rebuild, Cholesky jitter retries, RGMA filtering,
+// pool dispatches) and scoped wall-clock timers aggregated into per-phase
+// histograms (predict / select / reveal / refit / rmse). Per-trajectory
+// results attach to TrajectoryResult as a TraceReport with an
+// options/partition fingerprint, and export to JSON/CSV (core/trace.cpp).
+//
+// Cost model: tracing is compiled in but OFF by default. Every
+// instrumentation call is gated on one relaxed atomic load
+// (trace::enabled()), so the disabled path adds no measurable overhead to
+// the hot loops (verified by BM_TraceOverhead). Enable with the
+// ALAMR_TRACE env var, trace::set_enabled(true), or AlOptions::trace.
+//
+// Like parallel.hpp, this header is intentionally standalone (standard
+// library only) and everything on the instrumentation path is inline, so
+// the lower layers (linalg, gp) can instrument without linking the core
+// module's library. Only report serialization lives in src/core/trace.cpp.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alamr::core::trace {
+
+/// Log-scale duration histogram: bucket 0 holds durations below 1 us,
+/// bucket b >= 1 holds [4^(b-1), 4^b) us, the last bucket is open-ended
+/// (16 buckets reach ~18 minutes).
+inline constexpr std::size_t kHistogramBuckets = 16;
+
+inline std::size_t histogram_bucket(double seconds) noexcept {
+  double us = seconds * 1e6;
+  std::size_t bucket = 0;
+  while (us >= 1.0 && bucket + 1 < kHistogramBuckets) {
+    us *= 0.25;
+    ++bucket;
+  }
+  return bucket;
+}
+
+/// Aggregated wall-clock statistics for one named phase.
+struct PhaseStats {
+  std::uint64_t calls = 0;
+  double total_seconds = 0.0;
+  double min_seconds = std::numeric_limits<double>::infinity();
+  double max_seconds = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> histogram{};
+
+  void add(double seconds) noexcept {
+    ++calls;
+    total_seconds += seconds;
+    if (seconds < min_seconds) min_seconds = seconds;
+    if (seconds > max_seconds) max_seconds = seconds;
+    ++histogram[histogram_bucket(seconds)];
+  }
+};
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct PhaseValue {
+  std::string name;
+  PhaseStats stats;
+};
+
+/// Snapshot of one collector: counters and phase timings sorted by name,
+/// plus the reproducibility fingerprint of the run that produced them.
+struct TraceReport {
+  std::string fingerprint;
+  std::vector<CounterValue> counters;
+  std::vector<PhaseValue> phases;
+
+  /// Value of a counter, 0 when it was never incremented.
+  std::uint64_t counter(std::string_view name) const noexcept {
+    for (const CounterValue& c : counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  }
+
+  /// Stats for a phase, nullptr when it was never timed.
+  const PhaseStats* phase(std::string_view name) const noexcept {
+    for (const PhaseValue& p : phases) {
+      if (p.name == name) return &p.stats;
+    }
+    return nullptr;
+  }
+};
+
+/// Thread-safe accumulation sink. One instance lives per traced
+/// trajectory (installed thread-locally via ScopedCollector) and one
+/// process-wide instance aggregates everything (global_collector()).
+/// Concurrent count()/record() calls from pool workers sum exactly.
+class TraceCollector {
+ public:
+  void count(std::string_view name, std::uint64_t delta = 1) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+      it->second += delta;
+    } else {
+      counters_.emplace(std::string(name), delta);
+    }
+  }
+
+  void record(std::string_view phase, double seconds) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = timers_.find(phase);
+    if (it != timers_.end()) {
+      it->second.add(seconds);
+    } else {
+      timers_.emplace(std::string(phase), PhaseStats{}).first->second.add(seconds);
+    }
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    timers_.clear();
+  }
+
+  TraceReport report() const {
+    TraceReport out;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.counters.reserve(counters_.size());
+    for (const auto& [name, value] : counters_) out.counters.push_back({name, value});
+    out.phases.reserve(timers_.size());
+    for (const auto& [name, stats] : timers_) out.phases.push_back({name, stats});
+    return out;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, PhaseStats, std::less<>> timers_;
+};
+
+namespace detail {
+
+inline bool env_default_enabled() {
+  const char* env = std::getenv("ALAMR_TRACE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+inline std::atomic<bool> g_enabled{env_default_enabled()};
+inline TraceCollector g_global;
+inline thread_local TraceCollector* t_current = nullptr;
+
+}  // namespace detail
+
+/// The master switch: one relaxed atomic load — the entire cost of every
+/// instrumentation call while tracing is off.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+inline void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Process-wide sink: receives every count()/record_time() while enabled.
+inline TraceCollector& global_collector() noexcept { return detail::g_global; }
+
+/// Snapshot of the process-wide sink.
+inline TraceReport global_report() { return detail::g_global.report(); }
+
+/// The collector installed on this thread (nullptr outside a traced
+/// trajectory).
+inline TraceCollector* current_collector() noexcept { return detail::t_current; }
+
+/// Bumps a named monotonic counter in the global sink and, when one is
+/// installed, the current thread's collector. No-op while disabled.
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (!enabled()) return;
+  detail::g_global.count(name, delta);
+  if (TraceCollector* local = detail::t_current) local->count(name, delta);
+}
+
+/// Adds one duration sample to a named phase (same fan-out as count()).
+inline void record_time(std::string_view phase, double seconds) {
+  if (!enabled()) return;
+  detail::g_global.record(phase, seconds);
+  if (TraceCollector* local = detail::t_current) local->record(phase, seconds);
+}
+
+/// Installs `collector` as this thread's sink for the current scope.
+/// Scopes nest; the previous sink is restored on destruction.
+class ScopedCollector {
+ public:
+  explicit ScopedCollector(TraceCollector& collector) noexcept
+      : previous_(detail::t_current) {
+    detail::t_current = &collector;
+  }
+  ScopedCollector(const ScopedCollector&) = delete;
+  ScopedCollector& operator=(const ScopedCollector&) = delete;
+  ~ScopedCollector() { detail::t_current = previous_; }
+
+ private:
+  TraceCollector* previous_;
+};
+
+/// RAII wall-clock timer: measures the enclosing scope and records it
+/// under `phase`. `phase` must outlive the timer (callers pass literals).
+/// When tracing is disabled at construction, neither clock is read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view phase) noexcept
+      : phase_(phase), armed_(enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (!armed_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    record_time(phase_,
+                std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+                    .count());
+  }
+
+ private:
+  std::string_view phase_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// FNV-1a accumulator for the options/seed fingerprint attached to every
+/// TraceReport ("Survey of AL Hyperparameters": conclusions flip with
+/// harness settings, so each run must carry its configuration identity).
+class Fingerprint {
+ public:
+  Fingerprint& add(std::string_view text) noexcept {
+    for (const char c : text) mix(static_cast<unsigned char>(c));
+    mix(0xffu);  // length separator: add("ab").add("c") != add("a").add("bc")
+    return *this;
+  }
+
+  // Without this overload a string literal would convert pointer-to-bool
+  // (a standard conversion, which beats the user-defined one to
+  // string_view) and silently hash as `true`.
+  Fingerprint& add(const char* text) noexcept {
+    return add(std::string_view(text));
+  }
+
+  Fingerprint& add(std::uint64_t value) noexcept {
+    for (int b = 0; b < 8; ++b) mix(static_cast<unsigned char>(value >> (8 * b)));
+    return *this;
+  }
+
+  Fingerprint& add(double value) noexcept {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    __builtin_memcpy(&bits, &value, sizeof(bits));
+    return add(bits);
+  }
+
+  Fingerprint& add(bool value) noexcept {
+    mix(value ? 1u : 0u);
+    return *this;
+  }
+
+  std::uint64_t value() const noexcept { return hash_; }
+
+  /// 16-hex-digit digest.
+  std::string hex() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i) {
+      out[15 - i] = kDigits[(hash_ >> (4 * i)) & 0xf];
+    }
+    return out;
+  }
+
+ private:
+  void mix(unsigned char byte) noexcept {
+    hash_ ^= byte;
+    hash_ *= 1099511628211ULL;
+  }
+
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+// --- Report serialization (defined in src/core/trace.cpp; callers link
+// --- alamr::core) ---------------------------------------------------------
+
+/// JSON object: {"fingerprint": ..., "counters": {...}, "phases": {name:
+/// {calls, total_s, mean_s, min_s, max_s, histogram_us: [...]}}}.
+std::string trace_report_to_json(const TraceReport& report);
+
+/// Flat CSV: kind,name,value,calls,total_s,mean_s,min_s,max_s — counter
+/// rows fill value, phase rows fill the timing columns (histograms are
+/// JSON-only).
+std::string trace_report_to_csv(const TraceReport& report);
+
+void write_trace_json(const TraceReport& report,
+                      const std::filesystem::path& path);
+void write_trace_csv(const TraceReport& report,
+                     const std::filesystem::path& path);
+
+/// CLI helper shared by benches/examples: scans argv for "--trace <path>"
+/// or "--trace=<path>". When found, enables tracing process-wide and
+/// returns the path; otherwise leaves the enabled state alone.
+std::optional<std::string> parse_trace_flag(int argc, char** argv);
+
+/// Writes the process-wide report to <path> (JSON) and <path>.csv.
+void write_global_trace(const std::string& path);
+
+}  // namespace alamr::core::trace

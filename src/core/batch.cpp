@@ -34,14 +34,19 @@ std::vector<TrajectoryResult> run_batch(const AlSimulator& simulator,
   // parallelism inside each trajectory (predict, multistart) degrades to
   // serial while a chunk runs, so lanes are never oversubscribed.
   std::vector<TrajectoryResult> results(options.trajectories);
-  ThreadPool pool(n_threads);
-  pool.parallel_for_chunks(
-      options.trajectories, [&](std::size_t begin, std::size_t end) {
-        const std::unique_ptr<Strategy> local = strategy.clone();
-        for (std::size_t t = begin; t < end; ++t) {
-          results[t] = simulator.run(*local, streams[t]);
-        }
-      });
+  trace::count("batch.runs");
+  trace::count("batch.trajectories", options.trajectories);
+  {
+    const trace::ScopedTimer timer("batch");
+    ThreadPool pool(n_threads);
+    pool.parallel_for_chunks(
+        options.trajectories, [&](std::size_t begin, std::size_t end) {
+          const std::unique_ptr<Strategy> local = strategy.clone();
+          for (std::size_t t = begin; t < end; ++t) {
+            results[t] = simulator.run(*local, streams[t]);
+          }
+        });
+  }
   return results;
 }
 

@@ -55,6 +55,50 @@ AlSimulator::AlSimulator(const data::Dataset& dataset, AlOptions options)
   limit_log10_ = std::isnan(options_.memory_limit_log10)
                      ? paper_memory_limit_log10(dataset_)
                      : options_.memory_limit_log10;
+
+  if (options_.trace) trace::set_enabled(true);
+}
+
+std::string AlSimulator::trajectory_fingerprint(
+    std::string_view strategy_name, const data::Partition& partition) const {
+  trace::Fingerprint fp;
+  fp.add("alamr.trajectory.v1");
+  fp.add(strategy_name);
+  fp.add(static_cast<std::uint64_t>(dataset_.size()));
+  fp.add(static_cast<std::uint64_t>(x_scaled_.cols()));
+  fp.add(limit_log10_);
+  fp.add(static_cast<std::uint64_t>(options_.n_test));
+  fp.add(static_cast<std::uint64_t>(options_.n_init));
+  fp.add(static_cast<std::uint64_t>(options_.max_iterations));
+  fp.add(static_cast<std::uint64_t>(options_.feature_transforms.size()));
+  for (const data::ColumnTransform t : options_.feature_transforms) {
+    fp.add(static_cast<std::uint64_t>(t));
+  }
+  fp.add(options_.stopping.enabled);
+  fp.add(options_.stopping.tolerance);
+  fp.add(static_cast<std::uint64_t>(options_.stopping.patience));
+  fp.add(static_cast<std::uint64_t>(options_.stopping.min_iterations));
+  fp.add(static_cast<std::uint64_t>(options_.kernel));
+  const auto add_gpr_options = [&fp](const gp::GprOptions& o) {
+    fp.add(static_cast<std::uint64_t>(o.restarts));
+    fp.add(o.normalize_y);
+    fp.add(o.optimize);
+    fp.add(static_cast<std::uint64_t>(o.max_opt_iterations));
+    fp.add(o.initial_jitter);
+    fp.add(o.max_jitter);
+  };
+  add_gpr_options(options_.initial_fit);
+  add_gpr_options(options_.refit);
+  fp.add(static_cast<std::uint64_t>(options_.rmse_stride));
+  fp.add(options_.incremental_refit);
+  const auto add_rows = [&fp](std::span<const std::size_t> rows) {
+    fp.add(static_cast<std::uint64_t>(rows.size()));
+    for (const std::size_t row : rows) fp.add(static_cast<std::uint64_t>(row));
+  };
+  add_rows(partition.test);
+  add_rows(partition.init);
+  add_rows(partition.active);
+  return fp.hex();
 }
 
 double AlSimulator::memory_limit_mb() const noexcept {
@@ -101,6 +145,13 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
   result.partition = partition;
   result.memory_limit_mb = memory_limit_mb();
 
+  // Everything counted/timed on this thread lands in this trajectory's
+  // collector (and the process-wide one); nested parallel_for sections run
+  // their fan-out counters on this thread too, so per-trajectory reports
+  // stay exact even inside run_batch.
+  trace::TraceCollector collector;
+  const trace::ScopedCollector trace_scope(collector);
+
   // Test set fixtures (original units for Eq. 10).
   const linalg::Matrix x_test = gather_rows(x_scaled_, partition.test);
   const std::vector<double> cost_test = gather(dataset_.cost, partition.test);
@@ -114,8 +165,11 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
   linalg::Matrix x_learned = gather_rows(x_scaled_, learned);
   std::vector<double> c_learned = gather(log_cost_, learned);
   std::vector<double> m_learned = gather(log_mem_, learned);
-  gpr_cost.fit(x_learned, c_learned, rng);
-  gpr_mem.fit(x_learned, m_learned, rng);
+  {
+    const trace::ScopedTimer timer("init");
+    gpr_cost.fit(x_learned, c_learned, rng);
+    gpr_mem.fit(x_learned, m_learned, rng);
+  }
   gpr_cost.set_options(options_.refit);
   gpr_mem.set_options(options_.refit);
 
@@ -131,8 +185,11 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
     if (mu_log_out != nullptr) *mu_log_out = std::move(mu_log);
     return err;
   };
-  result.initial_rmse_cost = test_rmse(gpr_cost, cost_test, &cost_mu_log);
-  result.initial_rmse_mem = test_rmse(gpr_mem, mem_test);
+  {
+    const trace::ScopedTimer timer("rmse");
+    result.initial_rmse_cost = test_rmse(gpr_cost, cost_test, &cost_mu_log);
+    result.initial_rmse_mem = test_rmse(gpr_mem, mem_test);
+  }
 
   std::vector<double> previous_cost_mu_log = cost_mu_log;
   std::size_t stable_streak = 0;
@@ -153,18 +210,30 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
                                  ? active.size()
                                  : std::min(options_.max_iterations, active.size());
   result.iterations.reserve(budget);
+  bool last_record_evaluated = true;
 
   for (std::size_t iter = 0; iter < budget; ++iter) {
+    trace::count("sim.iterations");
+
     // Algorithm 1, lines 3-4: predict over remaining candidates.
     const linalg::Matrix x_active = gather_rows(x_scaled_, active);
-    const gp::Prediction pred_cost = gpr_cost.predict(x_active);
-    const gp::Prediction pred_mem = gpr_mem.predict(x_active);
+    gp::Prediction pred_cost;
+    gp::Prediction pred_mem;
+    {
+      const trace::ScopedTimer timer("predict");
+      pred_cost = gpr_cost.predict(x_active);
+      pred_mem = gpr_mem.predict(x_active);
+    }
 
     const CandidateView view{x_active, pred_cost.mean, pred_cost.stddev,
                              pred_mem.mean, pred_mem.stddev};
 
     // Line 5: strategy decision.
-    const std::optional<std::size_t> pick = strategy.select(view, rng);
+    std::optional<std::size_t> pick;
+    {
+      const trace::ScopedTimer timer("select");
+      pick = strategy.select(view, rng);
+    }
     if (!pick) {
       result.early_stopped = true;
       result.stop_reason = StopReason::kNoSafeCandidates;
@@ -180,47 +249,59 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
     record.iteration = iter;
     record.dataset_row = row;
     record.candidates_before = active.size();
-    record.actual_cost = dataset_.cost[row];
-    record.actual_memory = dataset_.memory[row];
-    record.predicted_cost_log10 = pred_cost.mean[local];
-    record.predicted_cost_sigma = pred_cost.stddev[local];
-    record.predicted_mem_log10 = pred_mem.mean[local];
-    record.predicted_mem_sigma = pred_mem.stddev[local];
+    {
+      // Lines 6-9: reveal the sample's measurements and move it from
+      // Active to Learned.
+      const trace::ScopedTimer timer("reveal");
+      record.actual_cost = dataset_.cost[row];
+      record.actual_memory = dataset_.memory[row];
+      record.predicted_cost_log10 = pred_cost.mean[local];
+      record.predicted_cost_sigma = pred_cost.stddev[local];
+      record.predicted_mem_log10 = pred_mem.mean[local];
+      record.predicted_mem_sigma = pred_mem.stddev[local];
 
-    cc += record.actual_cost;
-    cr += individual_regret(record.actual_cost, record.actual_memory,
-                            result.memory_limit_mb);
-    record.cumulative_cost = cc;
-    record.cumulative_regret = cr;
+      cc += record.actual_cost;
+      cr += individual_regret(record.actual_cost, record.actual_memory,
+                              result.memory_limit_mb);
+      record.cumulative_cost = cc;
+      record.cumulative_regret = cr;
 
-    // Lines 6-9: move the sample from Active to Learned.
-    learned.push_back(row);
-    active.erase(active.begin() + static_cast<std::ptrdiff_t>(local));
-
-    // Lines 10-11: warm-started refit of both models on Init + Learned.
-    if (options_.incremental_refit) {
-      // Same optimization, same rng stream, bit-identical posterior — but
-      // the common converged-warm-start case avoids the O(n^2) gram
-      // rebuild and O(n^3) refactor.
-      gpr_cost.fit_add_point(x_scaled_.row(row), log_cost_[row], rng);
-      gpr_mem.fit_add_point(x_scaled_.row(row), log_mem_[row], rng);
-    } else {
-      x_learned = gather_rows(x_scaled_, learned);
-      c_learned = gather(log_cost_, learned);
-      m_learned = gather(log_mem_, learned);
-      gpr_cost.fit(x_learned, c_learned, rng);
-      gpr_mem.fit(x_learned, m_learned, rng);
+      learned.push_back(row);
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(local));
     }
 
-    // Metrics after this iteration (Eq. 10, non-log space).
+    // Lines 10-11: warm-started refit of both models on Init + Learned.
+    {
+      const trace::ScopedTimer timer("refit");
+      if (options_.incremental_refit) {
+        // Same optimization, same rng stream, bit-identical posterior —
+        // but the common converged-warm-start case avoids the O(n^2) gram
+        // rebuild and O(n^3) refactor.
+        gpr_cost.fit_add_point(x_scaled_.row(row), log_cost_[row], rng);
+        gpr_mem.fit_add_point(x_scaled_.row(row), log_mem_[row], rng);
+      } else {
+        x_learned = gather_rows(x_scaled_, learned);
+        c_learned = gather(log_cost_, learned);
+        m_learned = gather(log_mem_, learned);
+        gpr_cost.fit(x_learned, c_learned, rng);
+        gpr_mem.fit(x_learned, m_learned, rng);
+      }
+    }
+
+    // Metrics after this iteration (Eq. 10, non-log space). The final
+    // planned iteration always evaluates so the trajectory never ends on
+    // a carried-over value.
     const bool evaluate_now = options_.rmse_stride <= 1 ||
                               iter % options_.rmse_stride == 0 ||
+                              iter + 1 == budget ||
                               active.empty() || options_.stopping.enabled;
     if (evaluate_now) {
+      const trace::ScopedTimer timer("rmse");
       last_rmse_cost = test_rmse(gpr_cost, cost_test, &cost_mu_log);
       last_rmse_mem = test_rmse(gpr_mem, mem_test);
       last_rmse_cost_weighted = weighted(cost_mu_log);
     }
+    last_record_evaluated = evaluate_now;
     record.rmse_cost = last_rmse_cost;
     record.rmse_mem = last_rmse_mem;
     record.rmse_cost_weighted = last_rmse_cost_weighted;
@@ -241,14 +322,31 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
           stable_streak >= options_.stopping.patience) {
         result.early_stopped = true;
         result.stop_reason = StopReason::kStabilized;
-        return result;
+        break;
       }
     }
   }
-  if (result.stop_reason != StopReason::kNoSafeCandidates) {
+  if (result.stop_reason != StopReason::kNoSafeCandidates &&
+      result.stop_reason != StopReason::kStabilized) {
     result.stop_reason = active.empty() ? StopReason::kActiveExhausted
                                         : StopReason::kIterationBudget;
   }
+
+  // An early stop between stride points would otherwise leave the last
+  // record with a carried-over RMSE; the models have not changed since
+  // that iteration's refit, so evaluating now yields exactly the value a
+  // per-iteration evaluation would have recorded.
+  if (!last_record_evaluated && !result.iterations.empty()) {
+    const trace::ScopedTimer timer("rmse");
+    IterationRecord& last = result.iterations.back();
+    last.rmse_cost = test_rmse(gpr_cost, cost_test, &cost_mu_log);
+    last.rmse_mem = test_rmse(gpr_mem, mem_test);
+    last.rmse_cost_weighted = weighted(cost_mu_log);
+  }
+
+  if (trace::enabled()) result.trace = collector.report();
+  result.trace.fingerprint =
+      trajectory_fingerprint(result.strategy_name, partition);
   return result;
 }
 
@@ -266,6 +364,9 @@ TrajectoryResult AlSimulator::run_batched(const Strategy& strategy,
   result.partition = partition;
   result.memory_limit_mb = memory_limit_mb();
 
+  trace::TraceCollector collector;
+  const trace::ScopedCollector trace_scope(collector);
+
   const linalg::Matrix x_test = gather_rows(x_scaled_, partition.test);
   const std::vector<double> cost_test = gather(dataset_.cost, partition.test);
   const std::vector<double> mem_test = gather(dataset_.memory, partition.test);
@@ -277,8 +378,11 @@ TrajectoryResult AlSimulator::run_batched(const Strategy& strategy,
   linalg::Matrix x_learned = gather_rows(x_scaled_, learned);
   std::vector<double> c_learned = gather(log_cost_, learned);
   std::vector<double> m_learned = gather(log_mem_, learned);
-  gpr_cost.fit(x_learned, c_learned, rng);
-  gpr_mem.fit(x_learned, m_learned, rng);
+  {
+    const trace::ScopedTimer timer("init");
+    gpr_cost.fit(x_learned, c_learned, rng);
+    gpr_mem.fit(x_learned, m_learned, rng);
+  }
   gpr_cost.set_options(options_.refit);
   gpr_mem.set_options(options_.refit);
 
@@ -287,8 +391,11 @@ TrajectoryResult AlSimulator::run_batched(const Strategy& strategy,
     const std::vector<double> mu = data::exp10_transform(model.predict_mean(x_test));
     return rmse(mu, actual);
   };
-  result.initial_rmse_cost = test_rmse(gpr_cost, cost_test);
-  result.initial_rmse_mem = test_rmse(gpr_mem, mem_test);
+  {
+    const trace::ScopedTimer timer("rmse");
+    result.initial_rmse_cost = test_rmse(gpr_cost, cost_test);
+    result.initial_rmse_mem = test_rmse(gpr_mem, mem_test);
+  }
 
   std::vector<std::size_t> active(partition.active);
   double cc = 0.0;
@@ -299,11 +406,18 @@ TrajectoryResult AlSimulator::run_batched(const Strategy& strategy,
   std::size_t selected_total = 0;
 
   while (selected_total < budget && !active.empty()) {
+    trace::count("sim.rounds");
+
     // One prediction pass per round; within the round the model is frozen
     // and already-picked candidates are simply excluded from the view.
     const linalg::Matrix x_active = gather_rows(x_scaled_, active);
-    const gp::Prediction pred_cost = gpr_cost.predict(x_active);
-    const gp::Prediction pred_mem = gpr_mem.predict(x_active);
+    gp::Prediction pred_cost;
+    gp::Prediction pred_mem;
+    {
+      const trace::ScopedTimer timer("predict");
+      pred_cost = gpr_cost.predict(x_active);
+      pred_mem = gpr_mem.predict(x_active);
+    }
 
     std::vector<std::size_t> remaining(active.size());
     for (std::size_t i = 0; i < active.size(); ++i) remaining[i] = i;
@@ -312,30 +426,33 @@ TrajectoryResult AlSimulator::run_batched(const Strategy& strategy,
     bool exhausted = false;
     const std::size_t round_quota =
         std::min(batch_size, budget - selected_total);
-    while (picked_locals.size() < round_quota && !remaining.empty()) {
-      linalg::Matrix x_view(remaining.size(), x_scaled_.cols());
-      std::vector<double> mu_c(remaining.size());
-      std::vector<double> sd_c(remaining.size());
-      std::vector<double> mu_m(remaining.size());
-      std::vector<double> sd_m(remaining.size());
-      for (std::size_t v = 0; v < remaining.size(); ++v) {
-        const std::size_t local = remaining[v];
-        for (std::size_t c = 0; c < x_scaled_.cols(); ++c) {
-          x_view(v, c) = x_active(local, c);
+    {
+      const trace::ScopedTimer timer("select");
+      while (picked_locals.size() < round_quota && !remaining.empty()) {
+        linalg::Matrix x_view(remaining.size(), x_scaled_.cols());
+        std::vector<double> mu_c(remaining.size());
+        std::vector<double> sd_c(remaining.size());
+        std::vector<double> mu_m(remaining.size());
+        std::vector<double> sd_m(remaining.size());
+        for (std::size_t v = 0; v < remaining.size(); ++v) {
+          const std::size_t local = remaining[v];
+          for (std::size_t c = 0; c < x_scaled_.cols(); ++c) {
+            x_view(v, c) = x_active(local, c);
+          }
+          mu_c[v] = pred_cost.mean[local];
+          sd_c[v] = pred_cost.stddev[local];
+          mu_m[v] = pred_mem.mean[local];
+          sd_m[v] = pred_mem.stddev[local];
         }
-        mu_c[v] = pred_cost.mean[local];
-        sd_c[v] = pred_cost.stddev[local];
-        mu_m[v] = pred_mem.mean[local];
-        sd_m[v] = pred_mem.stddev[local];
+        const CandidateView view{x_view, mu_c, sd_c, mu_m, sd_m};
+        const std::optional<std::size_t> pick = strategy.select(view, rng);
+        if (!pick) {
+          exhausted = true;
+          break;
+        }
+        picked_locals.push_back(remaining[*pick]);
+        remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(*pick));
       }
-      const CandidateView view{x_view, mu_c, sd_c, mu_m, sd_m};
-      const std::optional<std::size_t> pick = strategy.select(view, rng);
-      if (!pick) {
-        exhausted = true;
-        break;
-      }
-      picked_locals.push_back(remaining[*pick]);
-      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(*pick));
     }
     if (picked_locals.empty()) {
       result.early_stopped = true;
@@ -344,48 +461,60 @@ TrajectoryResult AlSimulator::run_batched(const Strategy& strategy,
     }
 
     // Reveal the whole batch, then retrain once.
+    trace::count("sim.iterations", picked_locals.size());
     std::vector<IterationRecord> round_records;
-    for (const std::size_t local : picked_locals) {
-      const std::size_t row = active[local];
-      IterationRecord record;
-      record.iteration = selected_total + round_records.size();
-      record.dataset_row = row;
-      record.candidates_before = active.size();
-      record.actual_cost = dataset_.cost[row];
-      record.actual_memory = dataset_.memory[row];
-      record.predicted_cost_log10 = pred_cost.mean[local];
-      record.predicted_cost_sigma = pred_cost.stddev[local];
-      record.predicted_mem_log10 = pred_mem.mean[local];
-      record.predicted_mem_sigma = pred_mem.stddev[local];
-      cc += record.actual_cost;
-      cr += individual_regret(record.actual_cost, record.actual_memory,
-                              result.memory_limit_mb);
-      record.cumulative_cost = cc;
-      record.cumulative_regret = cr;
-      learned.push_back(row);
-      round_records.push_back(record);
+    {
+      const trace::ScopedTimer timer("reveal");
+      for (const std::size_t local : picked_locals) {
+        const std::size_t row = active[local];
+        IterationRecord record;
+        record.iteration = selected_total + round_records.size();
+        record.dataset_row = row;
+        record.candidates_before = active.size();
+        record.actual_cost = dataset_.cost[row];
+        record.actual_memory = dataset_.memory[row];
+        record.predicted_cost_log10 = pred_cost.mean[local];
+        record.predicted_cost_sigma = pred_cost.stddev[local];
+        record.predicted_mem_log10 = pred_mem.mean[local];
+        record.predicted_mem_sigma = pred_mem.stddev[local];
+        cc += record.actual_cost;
+        cr += individual_regret(record.actual_cost, record.actual_memory,
+                                result.memory_limit_mb);
+        record.cumulative_cost = cc;
+        record.cumulative_regret = cr;
+        learned.push_back(row);
+        round_records.push_back(record);
+      }
+      // Remove picked rows from Active (descending local order keeps
+      // indices valid).
+      std::vector<std::size_t> sorted_locals(picked_locals);
+      std::sort(sorted_locals.rbegin(), sorted_locals.rend());
+      for (const std::size_t local : sorted_locals) {
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(local));
+      }
+      selected_total += picked_locals.size();
     }
-    // Remove picked rows from Active (descending local order keeps
-    // indices valid).
-    std::vector<std::size_t> sorted_locals(picked_locals);
-    std::sort(sorted_locals.rbegin(), sorted_locals.rend());
-    for (const std::size_t local : sorted_locals) {
-      active.erase(active.begin() + static_cast<std::ptrdiff_t>(local));
+
+    {
+      const trace::ScopedTimer timer("refit");
+      x_learned = gather_rows(x_scaled_, learned);
+      c_learned = gather(log_cost_, learned);
+      m_learned = gather(log_mem_, learned);
+      gpr_cost.fit(x_learned, c_learned, rng);
+      gpr_mem.fit(x_learned, m_learned, rng);
     }
-    selected_total += picked_locals.size();
 
-    x_learned = gather_rows(x_scaled_, learned);
-    c_learned = gather(log_cost_, learned);
-    m_learned = gather(log_mem_, learned);
-    gpr_cost.fit(x_learned, c_learned, rng);
-    gpr_mem.fit(x_learned, m_learned, rng);
-
-    const std::vector<double> round_mu_log = gpr_cost.predict_mean(x_test);
-    const std::vector<double> round_mu = data::exp10_transform(round_mu_log);
-    const double rmse_cost_now = rmse(round_mu, cost_test);
-    const double rmse_mem_now = test_rmse(gpr_mem, mem_test);
-    const double rmse_weighted_now =
-        weighted_rmse(round_mu, cost_test, cost_test);
+    double rmse_cost_now = 0.0;
+    double rmse_mem_now = 0.0;
+    double rmse_weighted_now = 0.0;
+    {
+      const trace::ScopedTimer timer("rmse");
+      const std::vector<double> round_mu =
+          data::exp10_transform(gpr_cost.predict_mean(x_test));
+      rmse_cost_now = rmse(round_mu, cost_test);
+      rmse_mem_now = test_rmse(gpr_mem, mem_test);
+      rmse_weighted_now = weighted_rmse(round_mu, cost_test, cost_test);
+    }
     for (IterationRecord& record : round_records) {
       record.rmse_cost = rmse_cost_now;
       record.rmse_mem = rmse_mem_now;
@@ -402,6 +531,10 @@ TrajectoryResult AlSimulator::run_batched(const Strategy& strategy,
     result.stop_reason = active.empty() ? StopReason::kActiveExhausted
                                         : StopReason::kIterationBudget;
   }
+
+  if (trace::enabled()) result.trace = collector.report();
+  result.trace.fingerprint =
+      trajectory_fingerprint(result.strategy_name, partition);
   return result;
 }
 

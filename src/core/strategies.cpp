@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "alamr/core/trace.hpp"
 #include "alamr/stats/descriptive.hpp"
 #include "alamr/stats/distributions.hpp"
 
@@ -120,9 +121,13 @@ std::optional<std::size_t> Rgma::select(const CandidateView& candidates,
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (candidates.mu_mem[i] < limit_) satisfying.push_back(i);
   }
+  trace::count("strategy.rgma_filtered", candidates.size() - satisfying.size());
   // Early termination (paper Sec. V-D): every remaining sample is likely
   // to exceed the memory limit.
-  if (satisfying.empty()) return std::nullopt;
+  if (satisfying.empty()) {
+    trace::count("strategy.rgma_exhausted");
+    return std::nullopt;
+  }
 
   // Lines 3-5: goodness draw restricted to the satisfying set.
   std::vector<double> mu(satisfying.size());

@@ -1,0 +1,151 @@
+#include "alamr/core/trace.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace alamr::core::trace {
+
+namespace {
+
+// Shortest round-trippable representation, like export.cpp.
+void append_double(std::ostringstream& out, double value) {
+  out << std::setprecision(17) << value;
+}
+
+void json_escaped(std::ostringstream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open file for writing: " + path.string());
+  }
+  out << content;
+  if (!out) {
+    throw std::runtime_error("failed writing file: " + path.string());
+  }
+}
+
+double mean_seconds(const PhaseStats& stats) {
+  return stats.calls == 0 ? 0.0
+                          : stats.total_seconds / static_cast<double>(stats.calls);
+}
+
+// min_seconds is +inf until the first sample; serialize untouched stats as 0.
+double min_or_zero(const PhaseStats& stats) {
+  return stats.calls == 0 ? 0.0 : stats.min_seconds;
+}
+
+}  // namespace
+
+std::string trace_report_to_json(const TraceReport& report) {
+  std::ostringstream out;
+  out << "{\n  \"fingerprint\": ";
+  json_escaped(out, report.fingerprint);
+  out << ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < report.counters.size(); ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ");
+    json_escaped(out, report.counters[i].name);
+    out << ": " << report.counters[i].value;
+  }
+  out << (report.counters.empty() ? "}" : "\n  }");
+  out << ",\n  \"phases\": {";
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    const PhaseStats& stats = report.phases[i].stats;
+    out << (i == 0 ? "\n    " : ",\n    ");
+    json_escaped(out, report.phases[i].name);
+    out << ": {\"calls\": " << stats.calls << ", \"total_s\": ";
+    append_double(out, stats.total_seconds);
+    out << ", \"mean_s\": ";
+    append_double(out, mean_seconds(stats));
+    out << ", \"min_s\": ";
+    append_double(out, min_or_zero(stats));
+    out << ", \"max_s\": ";
+    append_double(out, stats.max_seconds);
+    out << ", \"histogram_us\": [";
+    for (std::size_t b = 0; b < stats.histogram.size(); ++b) {
+      if (b != 0) out << ", ";
+      out << stats.histogram[b];
+    }
+    out << "]}";
+  }
+  out << (report.phases.empty() ? "}" : "\n  }");
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string trace_report_to_csv(const TraceReport& report) {
+  std::ostringstream out;
+  out << "kind,name,value,calls,total_s,mean_s,min_s,max_s\n";
+  out << "fingerprint," << report.fingerprint << ",,,,,,\n";
+  for (const CounterValue& counter : report.counters) {
+    out << "counter," << counter.name << ',' << counter.value << ",,,,,\n";
+  }
+  for (const PhaseValue& phase : report.phases) {
+    out << "phase," << phase.name << ",," << phase.stats.calls << ',';
+    append_double(out, phase.stats.total_seconds);
+    out << ',';
+    append_double(out, mean_seconds(phase.stats));
+    out << ',';
+    append_double(out, min_or_zero(phase.stats));
+    out << ',';
+    append_double(out, phase.stats.max_seconds);
+    out << '\n';
+  }
+  return out.str();
+}
+
+void write_trace_json(const TraceReport& report,
+                      const std::filesystem::path& path) {
+  write_file(path, trace_report_to_json(report));
+}
+
+void write_trace_csv(const TraceReport& report,
+                     const std::filesystem::path& path) {
+  write_file(path, trace_report_to_csv(report));
+}
+
+std::optional<std::string> parse_trace_flag(int argc, char** argv) {
+  static constexpr std::string_view kFlag = "--trace";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == kFlag && i + 1 < argc) {
+      set_enabled(true);
+      return std::string(argv[i + 1]);
+    }
+    if (arg.size() > kFlag.size() + 1 && arg.substr(0, kFlag.size()) == kFlag &&
+        arg[kFlag.size()] == '=') {
+      set_enabled(true);
+      return std::string(arg.substr(kFlag.size() + 1));
+    }
+  }
+  return std::nullopt;
+}
+
+void write_global_trace(const std::string& path) {
+  const TraceReport report = global_report();
+  write_trace_json(report, path);
+  write_trace_csv(report, path + ".csv");
+}
+
+}  // namespace alamr::core::trace

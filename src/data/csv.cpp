@@ -1,6 +1,7 @@
 #include "alamr/data/csv.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -9,6 +10,12 @@
 namespace alamr::data {
 
 namespace {
+
+/// Drops a trailing '\r' so files written on Windows (CRLF line endings)
+/// parse identically to LF files.
+void strip_carriage_return(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
 
 std::vector<std::string> split_line(const std::string& line) {
   std::vector<std::string> fields;
@@ -26,6 +33,32 @@ double parse_double(const std::string& token, std::size_t line_number) {
   if (ec != std::errc{} || ptr != end) {
     throw std::runtime_error("CSV parse error at line " +
                              std::to_string(line_number) + ": '" + token + "'");
+  }
+  return value;
+}
+
+/// from_chars happily parses "nan" and "inf"; features must at least be
+/// finite for the unit-cube scaler to be meaningful.
+double parse_feature(const std::string& token, std::size_t line_number) {
+  const double value = parse_double(token, line_number);
+  if (!std::isfinite(value)) {
+    throw std::runtime_error("CSV: non-finite feature at line " +
+                             std::to_string(line_number) + ": '" + token + "'");
+  }
+  return value;
+}
+
+/// Responses feed log10 transforms downstream (log-space GPR targets,
+/// goodness weights), where zero, negative, or non-finite values would
+/// silently poison the models with -inf/NaN. Reject them at the boundary.
+double parse_response(const std::string& token, std::size_t line_number,
+                      const char* column) {
+  const double value = parse_double(token, line_number);
+  if (!std::isfinite(value) || value <= 0.0) {
+    throw std::runtime_error("CSV: " + std::string(column) + " at line " +
+                             std::to_string(line_number) +
+                             " must be finite and positive, got '" + token +
+                             "'");
   }
   return value;
 }
@@ -54,6 +87,7 @@ Dataset from_csv_string(const std::string& text) {
   std::istringstream is(text);
   std::string line;
   if (!std::getline(is, line)) throw std::runtime_error("CSV: empty input");
+  strip_carriage_return(line);
 
   const std::vector<std::string> header = split_line(line);
   if (header.size() < 4) {
@@ -70,6 +104,7 @@ Dataset from_csv_string(const std::string& text) {
   std::size_t line_number = 1;
   while (std::getline(is, line)) {
     ++line_number;
+    strip_carriage_return(line);
     if (line.empty()) continue;
     const std::vector<std::string> fields = split_line(line);
     if (fields.size() != header.size()) {
@@ -77,11 +112,13 @@ Dataset from_csv_string(const std::string& text) {
                                std::to_string(line_number));
     }
     for (std::size_t j = 0; j < dim; ++j) {
-      flat.push_back(parse_double(fields[j], line_number));
+      flat.push_back(parse_feature(fields[j], line_number));
     }
-    dataset.wallclock.push_back(parse_double(fields[dim], line_number));
-    dataset.cost.push_back(parse_double(fields[dim + 1], line_number));
-    dataset.memory.push_back(parse_double(fields[dim + 2], line_number));
+    dataset.wallclock.push_back(
+        parse_response(fields[dim], line_number, "wallclock"));
+    dataset.cost.push_back(parse_response(fields[dim + 1], line_number, "cost"));
+    dataset.memory.push_back(
+        parse_response(fields[dim + 2], line_number, "memory"));
     ++rows;
   }
 

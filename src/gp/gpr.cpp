@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "alamr/core/parallel.hpp"
+#include "alamr/core/trace.hpp"
 #include "alamr/opt/multistart.hpp"
 
 namespace alamr::gp {
@@ -104,6 +105,9 @@ double GaussianProcessRegressor::log_marginal_likelihood(
 }
 
 double GaussianProcessRegressor::compute_posterior() {
+  // Full O(n^2) gram rebuild + O(n^3) refactor — the slow path that
+  // fit_add_point's incremental update exists to avoid.
+  core::trace::count("gpr.fit_full");
   gram_ = kernel_->gram(x_train_);
   auto [factor, jitter] = linalg::cholesky_with_jitter(
       gram_, options_.initial_jitter, options_.max_jitter);
@@ -192,6 +196,7 @@ void GaussianProcessRegressor::append_training_point(std::span<const double> x,
 }
 
 void GaussianProcessRegressor::update_posterior_incremental() {
+  core::trace::count("gpr.fit_incremental");
   const std::size_t n = x_train_.rows() - 1;  // training size before append
   Matrix x_new(1, x_train_.cols());
   {

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+// Header-only instrumentation (standard library only), so linking stays
+// within this module — see the layering note in core/trace.hpp.
+#include "alamr/core/trace.hpp"
+
 namespace alamr::linalg {
 
 std::optional<CholeskyFactor> CholeskyFactor::factor(const Matrix& a) {
@@ -34,6 +38,7 @@ std::optional<CholeskyFactor> CholeskyFactor::factor(const Matrix& a) {
 bool CholeskyFactor::extend(std::span<const double> row, double diag) {
   const std::size_t n = size();
   if (row.size() != n) throw std::invalid_argument("extend: length mismatch");
+  core::trace::count("cholesky.extend");
   // New bottom row of L. This repeats, operation for operation, what
   // factor() computes for row n of the bordered matrix: the same dot
   // products over row prefixes and the same `v * (1.0 / l_jj)` scaling, so
@@ -48,7 +53,10 @@ bool CholeskyFactor::extend(std::span<const double> row, double diag) {
   }
   double d = diag;
   for (std::size_t k = 0; k < n; ++k) d -= z[k] * z[k];
-  if (!(d > 0.0) || !std::isfinite(d)) return false;
+  if (!(d > 0.0) || !std::isfinite(d)) {
+    core::trace::count("cholesky.extend_rejected");
+    return false;
+  }
 
   Matrix grown(n + 1, n + 1);
   for (std::size_t i = 0; i < n; ++i) {
@@ -171,6 +179,7 @@ JitteredCholesky cholesky_with_jitter(const Matrix& a, double initial_jitter,
   Vector pristine_diag(n);
   for (std::size_t i = 0; i < n; ++i) pristine_diag[i] = a(i, i);
   for (double rel = initial_jitter; rel <= max_jitter; rel *= 10.0) {
+    core::trace::count("cholesky.jitter_retries");
     const double jitter = rel * scale;
     for (std::size_t i = 0; i < n; ++i) work(i, i) = pristine_diag[i] + jitter;
     if (auto factored = CholeskyFactor::factor(work)) {

@@ -1,10 +1,17 @@
-// Tests for the evaluation metrics (Eqs. 10-12).
+// Tests for the evaluation metrics (Eqs. 10-12), including randomized
+// property tests (100+ seeded cases each) for the algebraic identities
+// the definitions promise.
 
 #include "alamr/core/metrics.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "alamr/stats/rng.hpp"
 
 namespace {
 
@@ -86,6 +93,120 @@ TEST(Cumulative, MonotoneForNonNegativeSeries) {
   const std::vector<double> v{0.5, 0.0, 1.5, 0.25};
   const auto c = cumulative(v);
   for (std::size_t i = 1; i < c.size(); ++i) EXPECT_GE(c[i], c[i - 1]);
+}
+
+// --- Randomized property tests -------------------------------------------
+//
+// Each property runs over 100+ independently seeded cases with random
+// lengths and values, so the identities hold across the input space, not
+// just on the hand-picked examples above.
+
+std::vector<double> random_vector(alamr::stats::Rng& rng, std::size_t n,
+                                  double lo, double hi) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+TEST(MetricsProperty, UniformWeightsEqualPlainRmse) {
+  for (std::uint64_t seed = 0; seed < 120; ++seed) {
+    alamr::stats::Rng rng(1000 + seed);
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(0.0, 40.0));
+    const auto pred = random_vector(rng, n, -50.0, 50.0);
+    const auto actual = random_vector(rng, n, -50.0, 50.0);
+    // Any constant weight vector normalizes back to all-ones, so the
+    // weighted form must agree with the plain one up to roundoff.
+    const double w = rng.uniform(0.1, 10.0);
+    const std::vector<double> weights(n, w);
+    EXPECT_NEAR(weighted_rmse(pred, actual, weights), rmse(pred, actual),
+                1e-10 * (1.0 + rmse(pred, actual)))
+        << "seed " << seed;
+  }
+}
+
+TEST(MetricsProperty, CumulativeInvertsAdjacentDifference) {
+  for (std::uint64_t seed = 0; seed < 120; ++seed) {
+    alamr::stats::Rng rng(2000 + seed);
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(0.0, 60.0));
+    const auto values = random_vector(rng, n, -5.0, 5.0);
+    const auto sums = cumulative(values);
+    ASSERT_EQ(sums.size(), values.size());
+    // adjacent_difference of the prefix sums recovers the series exactly:
+    // each step is one addition undone by the matching subtraction.
+    std::vector<double> recovered(sums.size());
+    std::adjacent_difference(sums.begin(), sums.end(), recovered.begin());
+    EXPECT_DOUBLE_EQ(recovered.front(), values.front()) << "seed " << seed;
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      EXPECT_NEAR(recovered[i], values[i], 1e-12 * (1.0 + std::abs(sums[i])))
+          << "seed " << seed << " index " << i;
+    }
+  }
+}
+
+TEST(MetricsProperty, IndividualRegretIsAllOrNothingAtTheLimit) {
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    alamr::stats::Rng rng(3000 + seed);
+    const double cost = rng.uniform(0.0, 100.0);
+    const double limit = rng.uniform(0.5, 50.0);
+    const double memory = rng.uniform(0.0, 100.0);
+    const double regret = individual_regret(cost, memory, limit);
+    if (memory >= limit) {
+      EXPECT_DOUBLE_EQ(regret, cost) << "seed " << seed;
+    } else {
+      EXPECT_DOUBLE_EQ(regret, 0.0) << "seed " << seed;
+    }
+    // The boundary itself counts as a violation (Eq. 11 uses >=).
+    EXPECT_DOUBLE_EQ(individual_regret(cost, limit, limit), cost);
+    // And regret is never negative or above the job's cost.
+    EXPECT_GE(regret, 0.0);
+    EXPECT_LE(regret, cost);
+  }
+}
+
+TEST(MetricsProperty, RmseIsTranslationBounded) {
+  // Triangle inequality on the residual vector: shifting every prediction
+  // by t moves the RMSE by at most |t|, in both directions.
+  for (std::uint64_t seed = 0; seed < 120; ++seed) {
+    alamr::stats::Rng rng(4000 + seed);
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(0.0, 30.0));
+    const auto pred = random_vector(rng, n, -20.0, 20.0);
+    const auto actual = random_vector(rng, n, -20.0, 20.0);
+    const double t = rng.uniform(-10.0, 10.0);
+    std::vector<double> shifted(pred);
+    for (double& x : shifted) x += t;
+    const double base = rmse(pred, actual);
+    const double moved = rmse(shifted, actual);
+    EXPECT_LE(moved, base + std::abs(t) + 1e-10) << "seed " << seed;
+    EXPECT_GE(moved, std::abs(base - std::abs(t)) - 1e-10) << "seed " << seed;
+  }
+}
+
+TEST(MetricsProperty, RmseIsPermutationInvariantAndNonNegative) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    alamr::stats::Rng rng(5000 + seed);
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform(0.0, 30.0));
+    const auto pred = random_vector(rng, n, -20.0, 20.0);
+    const auto actual = random_vector(rng, n, -20.0, 20.0);
+    const double base = rmse(pred, actual);
+    EXPECT_GE(base, 0.0);
+
+    // Apply the same random permutation to both vectors.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    for (std::size_t i = n; i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(i)));
+      std::swap(order[i - 1], order[std::min(j, i - 1)]);
+    }
+    std::vector<double> pred_p(n);
+    std::vector<double> actual_p(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pred_p[i] = pred[order[i]];
+      actual_p[i] = actual[order[i]];
+    }
+    EXPECT_NEAR(rmse(pred_p, actual_p), base, 1e-10 * (1.0 + base))
+        << "seed " << seed;
+  }
 }
 
 }  // namespace

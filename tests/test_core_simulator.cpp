@@ -212,6 +212,91 @@ TEST(AlSimulator, RmseStrideCarriesLastValue) {
   EXPECT_DOUBLE_EQ(traj.iterations[2].rmse_cost, traj.iterations[0].rmse_cost);
 }
 
+TEST(AlSimulator, RmseStrideFinalRecordIsFreshlyEvaluated) {
+  // RMSE evaluation draws nothing from the rng, so a strided run selects
+  // the exact same rows as a dense (stride=1) run on the same partition —
+  // the dense run's records are the ground truth for what "fresh" means.
+  AlOptions dense_options = fast_options(10, 10);
+  AlOptions strided_options = dense_options;
+  strided_options.rmse_stride = 4;  // budget 10 is NOT a multiple of 4
+
+  const AlSimulator dense_sim(dataset(), dense_options);
+  const AlSimulator strided_sim(dataset(), strided_options);
+  Rng setup(51);
+  const auto partition = alamr::data::make_partition(
+      dataset().size(), dense_options.n_test, dense_options.n_init, setup);
+  Rng r1(9);
+  Rng r2(9);
+  const auto dense = dense_sim.run_with_partition(RandUniform(), partition, r1);
+  const auto strided =
+      strided_sim.run_with_partition(RandUniform(), partition, r2);
+  ASSERT_EQ(dense.iterations.size(), 10u);
+  ASSERT_EQ(strided.iterations.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(strided.iterations[i].dataset_row, dense.iterations[i].dataset_row);
+  }
+
+  // Evaluated iterations (0, 4, 8) and the final one (9) match the dense
+  // run bit-for-bit; the final record is fresh even though 9 % 4 != 0.
+  for (const std::size_t i : {0u, 4u, 8u, 9u}) {
+    EXPECT_DOUBLE_EQ(strided.iterations[i].rmse_cost,
+                     dense.iterations[i].rmse_cost)
+        << "iteration " << i;
+    EXPECT_DOUBLE_EQ(strided.iterations[i].rmse_mem,
+                     dense.iterations[i].rmse_mem)
+        << "iteration " << i;
+    EXPECT_DOUBLE_EQ(strided.iterations[i].rmse_cost_weighted,
+                     dense.iterations[i].rmse_cost_weighted)
+        << "iteration " << i;
+  }
+  // In-between iterations carry the previous evaluated value instead.
+  for (const std::size_t i : {1u, 2u, 3u}) {
+    EXPECT_DOUBLE_EQ(strided.iterations[i].rmse_cost,
+                     strided.iterations[0].rmse_cost);
+  }
+  for (const std::size_t i : {5u, 6u, 7u}) {
+    EXPECT_DOUBLE_EQ(strided.iterations[i].rmse_cost,
+                     strided.iterations[4].rmse_cost);
+  }
+  // The carried values genuinely differ from a fresh evaluation (if they
+  // did not, the stride would be untestable on this configuration).
+  EXPECT_NE(strided.iterations[3].rmse_cost, dense.iterations[3].rmse_cost);
+}
+
+TEST(AlSimulator, RmseStrideFreshFinalOnEarlyStopToo) {
+  // RGMA exhaustion ends the trajectory off the stride grid; the last
+  // record must still be re-evaluated, not left carrying a stale value.
+  // n_init = 20 gives a memory model accurate enough that RGMA's filter
+  // engages mid-run instead of at iteration 0 or never.
+  AlOptions dense_options = fast_options(20, 0);  // run until nothing is safe
+  const auto log_mem = alamr::data::log10_transform(dataset().memory);
+  std::vector<double> sorted(log_mem);
+  std::sort(sorted.begin(), sorted.end());
+  dense_options.memory_limit_log10 = sorted[(3 * sorted.size()) / 5];
+  AlOptions strided_options = dense_options;
+  strided_options.rmse_stride = 7;
+
+  const AlSimulator dense_sim(dataset(), dense_options);
+  const AlSimulator strided_sim(dataset(), strided_options);
+  Rng setup(52);
+  const auto partition = alamr::data::make_partition(
+      dataset().size(), dense_options.n_test, dense_options.n_init, setup);
+  const Rgma rgma(dense_options.memory_limit_log10);
+  Rng r1(10);
+  Rng r2(10);
+  const auto dense = dense_sim.run_with_partition(rgma, partition, r1);
+  const auto strided = strided_sim.run_with_partition(rgma, partition, r2);
+  ASSERT_TRUE(strided.early_stopped);
+  ASSERT_EQ(strided.iterations.size(), dense.iterations.size());
+  ASSERT_FALSE(strided.iterations.empty());
+  EXPECT_DOUBLE_EQ(strided.iterations.back().rmse_cost,
+                   dense.iterations.back().rmse_cost);
+  EXPECT_DOUBLE_EQ(strided.iterations.back().rmse_mem,
+                   dense.iterations.back().rmse_mem);
+  EXPECT_DOUBLE_EQ(strided.iterations.back().rmse_cost_weighted,
+                   dense.iterations.back().rmse_cost_weighted);
+}
+
 TEST(AlSimulator, StopReasonsAreReported) {
   // Iteration budget.
   {

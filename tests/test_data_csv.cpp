@@ -85,4 +85,103 @@ TEST(Csv, PreservesPrecision) {
   EXPECT_DOUBLE_EQ(parsed.cost[0], d.cost[0]);
 }
 
+// --- Robustness: hostile inputs must fail with a clean runtime_error, and
+// --- benign formatting variants (CRLF, trailing newline) must parse. -----
+
+constexpr const char* kHeader = "f0,wallclock_s,cost_nh,maxrss_mb\n";
+
+TEST(CsvRobustness, RejectsNonFiniteResponses) {
+  // from_chars accepts "nan"/"inf" spellings, so the loader must reject
+  // them explicitly — they would poison the log10 transform downstream.
+  EXPECT_THROW(from_csv_string(std::string(kHeader) + "1,nan,3,4\n"),
+               std::runtime_error);
+  EXPECT_THROW(from_csv_string(std::string(kHeader) + "1,2,inf,4\n"),
+               std::runtime_error);
+  EXPECT_THROW(from_csv_string(std::string(kHeader) + "1,2,3,-inf\n"),
+               std::runtime_error);
+}
+
+TEST(CsvRobustness, RejectsZeroAndNegativeResponses) {
+  EXPECT_THROW(from_csv_string(std::string(kHeader) + "1,0,3,4\n"),
+               std::runtime_error);  // zero wallclock
+  EXPECT_THROW(from_csv_string(std::string(kHeader) + "1,2,-3,4\n"),
+               std::runtime_error);  // negative cost
+  EXPECT_THROW(from_csv_string(std::string(kHeader) + "1,2,3,0\n"),
+               std::runtime_error);  // zero memory
+}
+
+TEST(CsvRobustness, RejectsNonFiniteFeatures) {
+  EXPECT_THROW(from_csv_string(std::string(kHeader) + "nan,2,3,4\n"),
+               std::runtime_error);
+  EXPECT_THROW(from_csv_string(std::string(kHeader) + "inf,2,3,4\n"),
+               std::runtime_error);
+  // Negative and zero FEATURES are fine — only responses must be positive.
+  const Dataset ok = from_csv_string(std::string(kHeader) + "-1.5,2,3,4\n");
+  EXPECT_DOUBLE_EQ(ok.x(0, 0), -1.5);
+}
+
+TEST(CsvRobustness, RejectsMissingAndExtraColumns) {
+  EXPECT_THROW(from_csv_string(std::string(kHeader) + "1,2,3\n"),
+               std::runtime_error);  // missing a response column
+  EXPECT_THROW(from_csv_string(std::string(kHeader) + "1,2,3,4,5\n"),
+               std::runtime_error);  // extra column
+  EXPECT_THROW(from_csv_string("wallclock_s,cost_nh,maxrss_mb\n1,2,3\n"),
+               std::runtime_error);  // no feature columns at all
+}
+
+TEST(CsvRobustness, RejectsJunkNumericFields) {
+  EXPECT_THROW(from_csv_string(std::string(kHeader) + "1,2,3,4abc\n"),
+               std::runtime_error);  // trailing garbage after the number
+  EXPECT_THROW(from_csv_string(std::string(kHeader) + "1, 2,3,4\n"),
+               std::runtime_error);  // interior whitespace
+  EXPECT_THROW(from_csv_string(std::string(kHeader) + "1,,3,4\n"),
+               std::runtime_error);  // empty field
+}
+
+TEST(CsvRobustness, ErrorMessagesNameTheLineAndColumn) {
+  try {
+    from_csv_string(std::string(kHeader) + "1,2,3,4\n1,2,-1,4\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("cost"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+}
+
+TEST(CsvRobustness, ParsesCrlfLineEndings) {
+  const Dataset parsed = from_csv_string(
+      "f0,wallclock_s,cost_nh,maxrss_mb\r\n1,2,3,4\r\n5,6,7,8\r\n");
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.feature_names[0], "f0");  // no stray '\r' in names
+  EXPECT_DOUBLE_EQ(parsed.x(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(parsed.memory[1], 8.0);
+}
+
+TEST(CsvRobustness, TrailingNewlineVariantsAreEquivalent) {
+  const std::string body = std::string(kHeader) + "1,2,3,4";
+  const Dataset without = from_csv_string(body);
+  const Dataset with_lf = from_csv_string(body + "\n");
+  const Dataset with_crlf = from_csv_string(body + "\r\n");
+  EXPECT_EQ(without.size(), 1u);
+  EXPECT_EQ(with_lf.size(), 1u);
+  EXPECT_EQ(with_crlf.size(), 1u);
+  EXPECT_DOUBLE_EQ(without.cost[0], with_crlf.cost[0]);
+}
+
+TEST(CsvRobustness, RoundTripSurvivesTheStricterLoader) {
+  // The generator writes positive responses, so its own output must keep
+  // loading after the validation tightening.
+  Dataset d;
+  d.feature_names = {"a", "b"};
+  d.x = Matrix{{1.0, 2.0}, {3.0, 4.0}};
+  d.wallclock = {1e-300, 1e300};  // extreme but finite and positive
+  d.cost = {5e-17, 2.5};
+  d.memory = {0.001, 4096.0};
+  const Dataset parsed = from_csv_string(to_csv_string(d));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.wallclock[0], 1e-300);
+  EXPECT_DOUBLE_EQ(parsed.wallclock[1], 1e300);
+}
+
 }  // namespace

@@ -1,0 +1,112 @@
+// Golden-trajectory regression test: a fixed-seed 50-iteration RGMA run,
+// serialized with trajectory_to_csv, compared byte-for-byte against a
+// checked-in reference. This locks in the repo's determinism contract —
+// the trajectory must be bit-identical whatever the thread count and
+// whether the incremental-refit fast path or the full O(n^3) rebuild
+// produced each posterior.
+//
+// To regenerate after an INTENTIONAL numerics change:
+//   ALAMR_REGEN_GOLDEN=1 ./build/tests/tests_golden
+// and commit the updated tests/golden/rgma_seed2024.csv with an
+// explanation of why the trajectory moved.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "alamr/core/export.hpp"
+#include "alamr/core/parallel.hpp"
+#include "alamr/core/simulator.hpp"
+#include "alamr/core/strategies.hpp"
+#include "synthetic_dataset.hpp"
+
+namespace {
+
+using namespace alamr;
+using namespace alamr::core;
+
+constexpr std::size_t kIterations = 50;
+
+const std::filesystem::path kGoldenPath =
+    std::filesystem::path(ALAMR_GOLDEN_DIR) / "rgma_seed2024.csv";
+
+/// The one configuration the golden file pins down. Everything is seeded;
+/// nothing reads the environment.
+AlOptions golden_options() {
+  AlOptions options;
+  options.n_test = 60;
+  options.n_init = 25;
+  options.max_iterations = kIterations;
+  options.initial_fit.restarts = 1;
+  options.initial_fit.max_opt_iterations = 40;
+  options.refit.restarts = 0;
+  options.refit.max_opt_iterations = 4;
+  return options;
+}
+
+std::string golden_csv(std::size_t threads, bool incremental_refit) {
+  const data::Dataset dataset = alamr::testing::synthetic_amr_dataset(320, 2024);
+  AlOptions options = golden_options();
+  options.incremental_refit = incremental_refit;
+  const AlSimulator simulator(dataset, options);
+  const Rgma rgma(simulator.memory_limit_log10());
+
+  stats::Rng partition_rng(11);
+  const data::Partition partition = data::make_partition(
+      dataset.size(), options.n_test, options.n_init, partition_rng);
+
+  set_global_parallel_threads(threads);
+  stats::Rng rng(2024);
+  const TrajectoryResult result =
+      simulator.run_with_partition(rgma, partition, rng);
+  set_global_parallel_threads(0);  // restore the configured default
+
+  EXPECT_EQ(result.iterations.size(), kIterations)
+      << "stop_reason=" << static_cast<int>(result.stop_reason);
+  return trajectory_to_csv(result);
+}
+
+std::string read_golden_file() {
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing golden file " << kGoldenPath;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool regenerating() {
+  const char* env = std::getenv("ALAMR_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+TEST(GoldenTrajectory, SingleThreadIncrementalMatchesGolden) {
+  const std::string csv = golden_csv(1, true);
+  if (regenerating()) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << kGoldenPath;
+    out << csv;
+    GTEST_SKIP() << "regenerated " << kGoldenPath;
+  }
+  EXPECT_EQ(csv, read_golden_file());
+}
+
+TEST(GoldenTrajectory, FourThreadsMatchesGolden) {
+  if (regenerating()) GTEST_SKIP();
+  EXPECT_EQ(golden_csv(4, true), read_golden_file());
+}
+
+TEST(GoldenTrajectory, FullRefitMatchesGolden) {
+  if (regenerating()) GTEST_SKIP();
+  EXPECT_EQ(golden_csv(1, false), read_golden_file());
+}
+
+TEST(GoldenTrajectory, FourThreadsFullRefitMatchesGolden) {
+  if (regenerating()) GTEST_SKIP();
+  EXPECT_EQ(golden_csv(4, false), read_golden_file());
+}
+
+}  // namespace
