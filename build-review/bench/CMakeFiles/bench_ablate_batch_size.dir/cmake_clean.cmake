@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_batch_size.dir/bench_ablate_batch_size.cpp.o"
+  "CMakeFiles/bench_ablate_batch_size.dir/bench_ablate_batch_size.cpp.o.d"
+  "bench_ablate_batch_size"
+  "bench_ablate_batch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

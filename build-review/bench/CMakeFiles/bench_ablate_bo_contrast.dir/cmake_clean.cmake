@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_bo_contrast.dir/bench_ablate_bo_contrast.cpp.o"
+  "CMakeFiles/bench_ablate_bo_contrast.dir/bench_ablate_bo_contrast.cpp.o.d"
+  "bench_ablate_bo_contrast"
+  "bench_ablate_bo_contrast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_bo_contrast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

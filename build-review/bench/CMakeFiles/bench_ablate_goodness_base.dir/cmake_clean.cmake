@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_goodness_base.dir/bench_ablate_goodness_base.cpp.o"
+  "CMakeFiles/bench_ablate_goodness_base.dir/bench_ablate_goodness_base.cpp.o.d"
+  "bench_ablate_goodness_base"
+  "bench_ablate_goodness_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_goodness_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

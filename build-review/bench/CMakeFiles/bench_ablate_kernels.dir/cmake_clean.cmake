@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_kernels.dir/bench_ablate_kernels.cpp.o"
+  "CMakeFiles/bench_ablate_kernels.dir/bench_ablate_kernels.cpp.o.d"
+  "bench_ablate_kernels"
+  "bench_ablate_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

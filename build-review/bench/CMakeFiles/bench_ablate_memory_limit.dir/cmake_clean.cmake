@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_memory_limit.dir/bench_ablate_memory_limit.cpp.o"
+  "CMakeFiles/bench_ablate_memory_limit.dir/bench_ablate_memory_limit.cpp.o.d"
+  "bench_ablate_memory_limit"
+  "bench_ablate_memory_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_memory_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

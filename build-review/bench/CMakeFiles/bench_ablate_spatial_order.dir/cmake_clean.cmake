@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_spatial_order.dir/bench_ablate_spatial_order.cpp.o"
+  "CMakeFiles/bench_ablate_spatial_order.dir/bench_ablate_spatial_order.cpp.o.d"
+  "bench_ablate_spatial_order"
+  "bench_ablate_spatial_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_spatial_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

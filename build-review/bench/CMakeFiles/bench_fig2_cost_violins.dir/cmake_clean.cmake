@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cost_violins.dir/bench_fig2_cost_violins.cpp.o"
+  "CMakeFiles/bench_fig2_cost_violins.dir/bench_fig2_cost_violins.cpp.o.d"
+  "bench_fig2_cost_violins"
+  "bench_fig2_cost_violins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cost_violins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_rmse_progress.dir/bench_fig5_rmse_progress.cpp.o"
+  "CMakeFiles/bench_fig5_rmse_progress.dir/bench_fig5_rmse_progress.cpp.o.d"
+  "bench_fig5_rmse_progress"
+  "bench_fig5_rmse_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_rmse_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

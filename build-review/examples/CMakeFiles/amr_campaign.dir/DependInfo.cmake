@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/amr_campaign.cpp" "examples/CMakeFiles/amr_campaign.dir/amr_campaign.cpp.o" "gcc" "examples/CMakeFiles/amr_campaign.dir/amr_campaign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/alamr_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/amr/CMakeFiles/alamr_amr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gp/CMakeFiles/alamr_gp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/opt/CMakeFiles/alamr_opt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/alamr_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/alamr_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/alamr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_campaign.dir/amr_campaign.cpp.o"
+  "CMakeFiles/amr_campaign.dir/amr_campaign.cpp.o.d"
+  "amr_campaign"
+  "amr_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

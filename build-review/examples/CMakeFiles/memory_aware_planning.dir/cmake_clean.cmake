@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_aware_planning.dir/memory_aware_planning.cpp.o"
+  "CMakeFiles/memory_aware_planning.dir/memory_aware_planning.cpp.o.d"
+  "memory_aware_planning"
+  "memory_aware_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_aware_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_al.dir/online_al.cpp.o"
+  "CMakeFiles/online_al.dir/online_al.cpp.o.d"
+  "online_al"
+  "online_al.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_al.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

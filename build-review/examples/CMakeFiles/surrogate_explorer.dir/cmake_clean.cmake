@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surrogate_explorer.dir/surrogate_explorer.cpp.o"
+  "CMakeFiles/surrogate_explorer.dir/surrogate_explorer.cpp.o.d"
+  "surrogate_explorer"
+  "surrogate_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surrogate_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

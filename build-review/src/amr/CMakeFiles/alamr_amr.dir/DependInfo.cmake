@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/campaign.cpp" "src/amr/CMakeFiles/alamr_amr.dir/campaign.cpp.o" "gcc" "src/amr/CMakeFiles/alamr_amr.dir/campaign.cpp.o.d"
+  "/root/repo/src/amr/euler.cpp" "src/amr/CMakeFiles/alamr_amr.dir/euler.cpp.o" "gcc" "src/amr/CMakeFiles/alamr_amr.dir/euler.cpp.o.d"
+  "/root/repo/src/amr/geometry.cpp" "src/amr/CMakeFiles/alamr_amr.dir/geometry.cpp.o" "gcc" "src/amr/CMakeFiles/alamr_amr.dir/geometry.cpp.o.d"
+  "/root/repo/src/amr/machine.cpp" "src/amr/CMakeFiles/alamr_amr.dir/machine.cpp.o" "gcc" "src/amr/CMakeFiles/alamr_amr.dir/machine.cpp.o.d"
+  "/root/repo/src/amr/mesh.cpp" "src/amr/CMakeFiles/alamr_amr.dir/mesh.cpp.o" "gcc" "src/amr/CMakeFiles/alamr_amr.dir/mesh.cpp.o.d"
+  "/root/repo/src/amr/patch.cpp" "src/amr/CMakeFiles/alamr_amr.dir/patch.cpp.o" "gcc" "src/amr/CMakeFiles/alamr_amr.dir/patch.cpp.o.d"
+  "/root/repo/src/amr/problem.cpp" "src/amr/CMakeFiles/alamr_amr.dir/problem.cpp.o" "gcc" "src/amr/CMakeFiles/alamr_amr.dir/problem.cpp.o.d"
+  "/root/repo/src/amr/render.cpp" "src/amr/CMakeFiles/alamr_amr.dir/render.cpp.o" "gcc" "src/amr/CMakeFiles/alamr_amr.dir/render.cpp.o.d"
+  "/root/repo/src/amr/solver.cpp" "src/amr/CMakeFiles/alamr_amr.dir/solver.cpp.o" "gcc" "src/amr/CMakeFiles/alamr_amr.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/data/CMakeFiles/alamr_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/alamr_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/alamr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

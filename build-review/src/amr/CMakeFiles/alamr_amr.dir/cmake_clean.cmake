@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alamr_amr.dir/campaign.cpp.o"
+  "CMakeFiles/alamr_amr.dir/campaign.cpp.o.d"
+  "CMakeFiles/alamr_amr.dir/euler.cpp.o"
+  "CMakeFiles/alamr_amr.dir/euler.cpp.o.d"
+  "CMakeFiles/alamr_amr.dir/geometry.cpp.o"
+  "CMakeFiles/alamr_amr.dir/geometry.cpp.o.d"
+  "CMakeFiles/alamr_amr.dir/machine.cpp.o"
+  "CMakeFiles/alamr_amr.dir/machine.cpp.o.d"
+  "CMakeFiles/alamr_amr.dir/mesh.cpp.o"
+  "CMakeFiles/alamr_amr.dir/mesh.cpp.o.d"
+  "CMakeFiles/alamr_amr.dir/patch.cpp.o"
+  "CMakeFiles/alamr_amr.dir/patch.cpp.o.d"
+  "CMakeFiles/alamr_amr.dir/problem.cpp.o"
+  "CMakeFiles/alamr_amr.dir/problem.cpp.o.d"
+  "CMakeFiles/alamr_amr.dir/render.cpp.o"
+  "CMakeFiles/alamr_amr.dir/render.cpp.o.d"
+  "CMakeFiles/alamr_amr.dir/solver.cpp.o"
+  "CMakeFiles/alamr_amr.dir/solver.cpp.o.d"
+  "libalamr_amr.a"
+  "libalamr_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alamr_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

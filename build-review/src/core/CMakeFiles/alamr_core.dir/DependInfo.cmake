@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch.cpp" "src/core/CMakeFiles/alamr_core.dir/batch.cpp.o" "gcc" "src/core/CMakeFiles/alamr_core.dir/batch.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/alamr_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/alamr_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/alamr_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/alamr_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/alamr_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/alamr_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/alamr_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/alamr_core.dir/simulator.cpp.o.d"
+  "/root/repo/src/core/strategies.cpp" "src/core/CMakeFiles/alamr_core.dir/strategies.cpp.o" "gcc" "src/core/CMakeFiles/alamr_core.dir/strategies.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/alamr_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/alamr_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/gp/CMakeFiles/alamr_gp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/alamr_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/alamr_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/alamr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/opt/CMakeFiles/alamr_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

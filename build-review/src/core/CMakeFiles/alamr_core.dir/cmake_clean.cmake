@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alamr_core.dir/batch.cpp.o"
+  "CMakeFiles/alamr_core.dir/batch.cpp.o.d"
+  "CMakeFiles/alamr_core.dir/export.cpp.o"
+  "CMakeFiles/alamr_core.dir/export.cpp.o.d"
+  "CMakeFiles/alamr_core.dir/metrics.cpp.o"
+  "CMakeFiles/alamr_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/alamr_core.dir/online.cpp.o"
+  "CMakeFiles/alamr_core.dir/online.cpp.o.d"
+  "CMakeFiles/alamr_core.dir/simulator.cpp.o"
+  "CMakeFiles/alamr_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/alamr_core.dir/strategies.cpp.o"
+  "CMakeFiles/alamr_core.dir/strategies.cpp.o.d"
+  "CMakeFiles/alamr_core.dir/trace.cpp.o"
+  "CMakeFiles/alamr_core.dir/trace.cpp.o.d"
+  "libalamr_core.a"
+  "libalamr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alamr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

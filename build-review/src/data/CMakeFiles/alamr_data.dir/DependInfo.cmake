@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/alamr_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/alamr_data.dir/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/alamr_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/alamr_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/data/CMakeFiles/alamr_data.dir/partition.cpp.o" "gcc" "src/data/CMakeFiles/alamr_data.dir/partition.cpp.o.d"
+  "/root/repo/src/data/transforms.cpp" "src/data/CMakeFiles/alamr_data.dir/transforms.cpp.o" "gcc" "src/data/CMakeFiles/alamr_data.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/linalg/CMakeFiles/alamr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/alamr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alamr_data.dir/csv.cpp.o"
+  "CMakeFiles/alamr_data.dir/csv.cpp.o.d"
+  "CMakeFiles/alamr_data.dir/dataset.cpp.o"
+  "CMakeFiles/alamr_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/alamr_data.dir/partition.cpp.o"
+  "CMakeFiles/alamr_data.dir/partition.cpp.o.d"
+  "CMakeFiles/alamr_data.dir/transforms.cpp.o"
+  "CMakeFiles/alamr_data.dir/transforms.cpp.o.d"
+  "libalamr_data.a"
+  "libalamr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alamr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gp/gpr.cpp" "src/gp/CMakeFiles/alamr_gp.dir/gpr.cpp.o" "gcc" "src/gp/CMakeFiles/alamr_gp.dir/gpr.cpp.o.d"
+  "/root/repo/src/gp/kernels.cpp" "src/gp/CMakeFiles/alamr_gp.dir/kernels.cpp.o" "gcc" "src/gp/CMakeFiles/alamr_gp.dir/kernels.cpp.o.d"
+  "/root/repo/src/gp/local.cpp" "src/gp/CMakeFiles/alamr_gp.dir/local.cpp.o" "gcc" "src/gp/CMakeFiles/alamr_gp.dir/local.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/linalg/CMakeFiles/alamr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/opt/CMakeFiles/alamr_opt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/alamr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alamr_gp.dir/gpr.cpp.o"
+  "CMakeFiles/alamr_gp.dir/gpr.cpp.o.d"
+  "CMakeFiles/alamr_gp.dir/kernels.cpp.o"
+  "CMakeFiles/alamr_gp.dir/kernels.cpp.o.d"
+  "CMakeFiles/alamr_gp.dir/local.cpp.o"
+  "CMakeFiles/alamr_gp.dir/local.cpp.o.d"
+  "libalamr_gp.a"
+  "libalamr_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alamr_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

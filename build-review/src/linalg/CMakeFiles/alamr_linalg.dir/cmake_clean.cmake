@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alamr_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/alamr_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/alamr_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/alamr_linalg.dir/matrix.cpp.o.d"
+  "libalamr_linalg.a"
+  "libalamr_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alamr_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/lbfgs.cpp" "src/opt/CMakeFiles/alamr_opt.dir/lbfgs.cpp.o" "gcc" "src/opt/CMakeFiles/alamr_opt.dir/lbfgs.cpp.o.d"
+  "/root/repo/src/opt/multistart.cpp" "src/opt/CMakeFiles/alamr_opt.dir/multistart.cpp.o" "gcc" "src/opt/CMakeFiles/alamr_opt.dir/multistart.cpp.o.d"
+  "/root/repo/src/opt/nelder_mead.cpp" "src/opt/CMakeFiles/alamr_opt.dir/nelder_mead.cpp.o" "gcc" "src/opt/CMakeFiles/alamr_opt.dir/nelder_mead.cpp.o.d"
+  "/root/repo/src/opt/objective.cpp" "src/opt/CMakeFiles/alamr_opt.dir/objective.cpp.o" "gcc" "src/opt/CMakeFiles/alamr_opt.dir/objective.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/linalg/CMakeFiles/alamr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/alamr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alamr_opt.dir/lbfgs.cpp.o"
+  "CMakeFiles/alamr_opt.dir/lbfgs.cpp.o.d"
+  "CMakeFiles/alamr_opt.dir/multistart.cpp.o"
+  "CMakeFiles/alamr_opt.dir/multistart.cpp.o.d"
+  "CMakeFiles/alamr_opt.dir/nelder_mead.cpp.o"
+  "CMakeFiles/alamr_opt.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/alamr_opt.dir/objective.cpp.o"
+  "CMakeFiles/alamr_opt.dir/objective.cpp.o.d"
+  "libalamr_opt.a"
+  "libalamr_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alamr_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

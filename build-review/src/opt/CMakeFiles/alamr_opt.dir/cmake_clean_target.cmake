@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalamr_opt.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alamr_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/alamr_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/alamr_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/alamr_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/alamr_stats.dir/distributions.cpp.o"
+  "CMakeFiles/alamr_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/alamr_stats.dir/kde.cpp.o"
+  "CMakeFiles/alamr_stats.dir/kde.cpp.o.d"
+  "CMakeFiles/alamr_stats.dir/rng.cpp.o"
+  "CMakeFiles/alamr_stats.dir/rng.cpp.o.d"
+  "libalamr_stats.a"
+  "libalamr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alamr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_amr_campaign.cpp" "tests/CMakeFiles/tests_amr.dir/test_amr_campaign.cpp.o" "gcc" "tests/CMakeFiles/tests_amr.dir/test_amr_campaign.cpp.o.d"
+  "/root/repo/tests/test_amr_euler.cpp" "tests/CMakeFiles/tests_amr.dir/test_amr_euler.cpp.o" "gcc" "tests/CMakeFiles/tests_amr.dir/test_amr_euler.cpp.o.d"
+  "/root/repo/tests/test_amr_geometry.cpp" "tests/CMakeFiles/tests_amr.dir/test_amr_geometry.cpp.o" "gcc" "tests/CMakeFiles/tests_amr.dir/test_amr_geometry.cpp.o.d"
+  "/root/repo/tests/test_amr_machine.cpp" "tests/CMakeFiles/tests_amr.dir/test_amr_machine.cpp.o" "gcc" "tests/CMakeFiles/tests_amr.dir/test_amr_machine.cpp.o.d"
+  "/root/repo/tests/test_amr_mesh.cpp" "tests/CMakeFiles/tests_amr.dir/test_amr_mesh.cpp.o" "gcc" "tests/CMakeFiles/tests_amr.dir/test_amr_mesh.cpp.o.d"
+  "/root/repo/tests/test_amr_solver.cpp" "tests/CMakeFiles/tests_amr.dir/test_amr_solver.cpp.o" "gcc" "tests/CMakeFiles/tests_amr.dir/test_amr_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/amr/CMakeFiles/alamr_amr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/alamr_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/alamr_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/alamr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

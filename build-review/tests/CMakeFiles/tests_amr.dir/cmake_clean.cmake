@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_amr.dir/test_amr_campaign.cpp.o"
+  "CMakeFiles/tests_amr.dir/test_amr_campaign.cpp.o.d"
+  "CMakeFiles/tests_amr.dir/test_amr_euler.cpp.o"
+  "CMakeFiles/tests_amr.dir/test_amr_euler.cpp.o.d"
+  "CMakeFiles/tests_amr.dir/test_amr_geometry.cpp.o"
+  "CMakeFiles/tests_amr.dir/test_amr_geometry.cpp.o.d"
+  "CMakeFiles/tests_amr.dir/test_amr_machine.cpp.o"
+  "CMakeFiles/tests_amr.dir/test_amr_machine.cpp.o.d"
+  "CMakeFiles/tests_amr.dir/test_amr_mesh.cpp.o"
+  "CMakeFiles/tests_amr.dir/test_amr_mesh.cpp.o.d"
+  "CMakeFiles/tests_amr.dir/test_amr_solver.cpp.o"
+  "CMakeFiles/tests_amr.dir/test_amr_solver.cpp.o.d"
+  "tests_amr"
+  "tests_amr.pdb"
+  "tests_amr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

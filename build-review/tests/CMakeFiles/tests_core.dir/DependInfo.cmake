@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_batch.cpp" "tests/CMakeFiles/tests_core.dir/test_core_batch.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_core_batch.cpp.o.d"
+  "/root/repo/tests/test_core_export.cpp" "tests/CMakeFiles/tests_core.dir/test_core_export.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_core_export.cpp.o.d"
+  "/root/repo/tests/test_core_metrics.cpp" "tests/CMakeFiles/tests_core.dir/test_core_metrics.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_core_metrics.cpp.o.d"
+  "/root/repo/tests/test_core_online.cpp" "tests/CMakeFiles/tests_core.dir/test_core_online.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_core_online.cpp.o.d"
+  "/root/repo/tests/test_core_parallel.cpp" "tests/CMakeFiles/tests_core.dir/test_core_parallel.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_core_parallel.cpp.o.d"
+  "/root/repo/tests/test_core_simulator.cpp" "tests/CMakeFiles/tests_core.dir/test_core_simulator.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_core_simulator.cpp.o.d"
+  "/root/repo/tests/test_core_strategies.cpp" "tests/CMakeFiles/tests_core.dir/test_core_strategies.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_core_strategies.cpp.o.d"
+  "/root/repo/tests/test_core_trace.cpp" "tests/CMakeFiles/tests_core.dir/test_core_trace.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_core_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/alamr_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/amr/CMakeFiles/alamr_amr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gp/CMakeFiles/alamr_gp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/opt/CMakeFiles/alamr_opt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/alamr_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/alamr_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/alamr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

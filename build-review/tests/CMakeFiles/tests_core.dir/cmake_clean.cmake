@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/test_core_batch.cpp.o"
+  "CMakeFiles/tests_core.dir/test_core_batch.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_core_export.cpp.o"
+  "CMakeFiles/tests_core.dir/test_core_export.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_core_metrics.cpp.o"
+  "CMakeFiles/tests_core.dir/test_core_metrics.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_core_online.cpp.o"
+  "CMakeFiles/tests_core.dir/test_core_online.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_core_parallel.cpp.o"
+  "CMakeFiles/tests_core.dir/test_core_parallel.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_core_simulator.cpp.o"
+  "CMakeFiles/tests_core.dir/test_core_simulator.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_core_strategies.cpp.o"
+  "CMakeFiles/tests_core.dir/test_core_strategies.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_core_trace.cpp.o"
+  "CMakeFiles/tests_core.dir/test_core_trace.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

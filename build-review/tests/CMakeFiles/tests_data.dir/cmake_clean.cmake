@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_data.dir/test_data_csv.cpp.o"
+  "CMakeFiles/tests_data.dir/test_data_csv.cpp.o.d"
+  "CMakeFiles/tests_data.dir/test_data_dataset.cpp.o"
+  "CMakeFiles/tests_data.dir/test_data_dataset.cpp.o.d"
+  "CMakeFiles/tests_data.dir/test_data_partition.cpp.o"
+  "CMakeFiles/tests_data.dir/test_data_partition.cpp.o.d"
+  "CMakeFiles/tests_data.dir/test_data_transforms.cpp.o"
+  "CMakeFiles/tests_data.dir/test_data_transforms.cpp.o.d"
+  "tests_data"
+  "tests_data.pdb"
+  "tests_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_golden.dir/test_golden_trajectory.cpp.o"
+  "CMakeFiles/tests_golden.dir/test_golden_trajectory.cpp.o.d"
+  "tests_golden"
+  "tests_golden.pdb"
+  "tests_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_gp.dir/test_gp_gpr.cpp.o"
+  "CMakeFiles/tests_gp.dir/test_gp_gpr.cpp.o.d"
+  "CMakeFiles/tests_gp.dir/test_gp_gradients.cpp.o"
+  "CMakeFiles/tests_gp.dir/test_gp_gradients.cpp.o.d"
+  "CMakeFiles/tests_gp.dir/test_gp_kernels.cpp.o"
+  "CMakeFiles/tests_gp.dir/test_gp_kernels.cpp.o.d"
+  "CMakeFiles/tests_gp.dir/test_gp_local.cpp.o"
+  "CMakeFiles/tests_gp.dir/test_gp_local.cpp.o.d"
+  "tests_gp"
+  "tests_gp.pdb"
+  "tests_gp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

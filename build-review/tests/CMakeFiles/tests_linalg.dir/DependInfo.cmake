@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_linalg_cholesky.cpp" "tests/CMakeFiles/tests_linalg.dir/test_linalg_cholesky.cpp.o" "gcc" "tests/CMakeFiles/tests_linalg.dir/test_linalg_cholesky.cpp.o.d"
+  "/root/repo/tests/test_linalg_matrix.cpp" "tests/CMakeFiles/tests_linalg.dir/test_linalg_matrix.cpp.o" "gcc" "tests/CMakeFiles/tests_linalg.dir/test_linalg_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/linalg/CMakeFiles/alamr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/alamr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

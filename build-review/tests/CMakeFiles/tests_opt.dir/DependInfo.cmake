@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_opt_lbfgs.cpp" "tests/CMakeFiles/tests_opt.dir/test_opt_lbfgs.cpp.o" "gcc" "tests/CMakeFiles/tests_opt.dir/test_opt_lbfgs.cpp.o.d"
+  "/root/repo/tests/test_opt_multistart.cpp" "tests/CMakeFiles/tests_opt.dir/test_opt_multistart.cpp.o" "gcc" "tests/CMakeFiles/tests_opt.dir/test_opt_multistart.cpp.o.d"
+  "/root/repo/tests/test_opt_nelder_mead.cpp" "tests/CMakeFiles/tests_opt.dir/test_opt_nelder_mead.cpp.o" "gcc" "tests/CMakeFiles/tests_opt.dir/test_opt_nelder_mead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/opt/CMakeFiles/alamr_opt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/alamr_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/alamr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_opt.dir/test_opt_lbfgs.cpp.o"
+  "CMakeFiles/tests_opt.dir/test_opt_lbfgs.cpp.o.d"
+  "CMakeFiles/tests_opt.dir/test_opt_multistart.cpp.o"
+  "CMakeFiles/tests_opt.dir/test_opt_multistart.cpp.o.d"
+  "CMakeFiles/tests_opt.dir/test_opt_nelder_mead.cpp.o"
+  "CMakeFiles/tests_opt.dir/test_opt_nelder_mead.cpp.o.d"
+  "tests_opt"
+  "tests_opt.pdb"
+  "tests_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_robustness.dir/test_robustness.cpp.o"
+  "CMakeFiles/tests_robustness.dir/test_robustness.cpp.o.d"
+  "tests_robustness"
+  "tests_robustness.pdb"
+  "tests_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

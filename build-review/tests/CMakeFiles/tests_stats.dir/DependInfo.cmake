@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stats_bootstrap.cpp" "tests/CMakeFiles/tests_stats.dir/test_stats_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/tests_stats.dir/test_stats_bootstrap.cpp.o.d"
+  "/root/repo/tests/test_stats_descriptive.cpp" "tests/CMakeFiles/tests_stats.dir/test_stats_descriptive.cpp.o" "gcc" "tests/CMakeFiles/tests_stats.dir/test_stats_descriptive.cpp.o.d"
+  "/root/repo/tests/test_stats_distributions.cpp" "tests/CMakeFiles/tests_stats.dir/test_stats_distributions.cpp.o" "gcc" "tests/CMakeFiles/tests_stats.dir/test_stats_distributions.cpp.o.d"
+  "/root/repo/tests/test_stats_kde.cpp" "tests/CMakeFiles/tests_stats.dir/test_stats_kde.cpp.o" "gcc" "tests/CMakeFiles/tests_stats.dir/test_stats_kde.cpp.o.d"
+  "/root/repo/tests/test_stats_rng.cpp" "tests/CMakeFiles/tests_stats.dir/test_stats_rng.cpp.o" "gcc" "tests/CMakeFiles/tests_stats.dir/test_stats_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/stats/CMakeFiles/alamr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_stats.dir/test_stats_bootstrap.cpp.o"
+  "CMakeFiles/tests_stats.dir/test_stats_bootstrap.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/test_stats_descriptive.cpp.o"
+  "CMakeFiles/tests_stats.dir/test_stats_descriptive.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/test_stats_distributions.cpp.o"
+  "CMakeFiles/tests_stats.dir/test_stats_distributions.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/test_stats_kde.cpp.o"
+  "CMakeFiles/tests_stats.dir/test_stats_kde.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/test_stats_rng.cpp.o"
+  "CMakeFiles/tests_stats.dir/test_stats_rng.cpp.o.d"
+  "tests_stats"
+  "tests_stats.pdb"
+  "tests_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

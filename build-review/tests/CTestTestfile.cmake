@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/tests_stats[1]_include.cmake")
+include("/root/repo/build-review/tests/tests_linalg[1]_include.cmake")
+include("/root/repo/build-review/tests/tests_opt[1]_include.cmake")
+include("/root/repo/build-review/tests/tests_gp[1]_include.cmake")
+include("/root/repo/build-review/tests/tests_data[1]_include.cmake")
+include("/root/repo/build-review/tests/tests_amr[1]_include.cmake")
+include("/root/repo/build-review/tests/tests_core[1]_include.cmake")
+include("/root/repo/build-review/tests/tests_golden[1]_include.cmake")
+include("/root/repo/build-review/tests/tests_integration[1]_include.cmake")
+include("/root/repo/build-review/tests/tests_robustness[1]_include.cmake")
+add_test(tests_core_threads4 "/root/repo/build-review/tests/tests_core" "--gtest_filter=AlSimulatorParallel.*:AlSimulator.IncrementalRefitMatchesFullRefit:RunBatch.*:Trace.Concurrent*:Trace.PoolTask*")
+set_tests_properties(tests_core_threads4 PROPERTIES  ENVIRONMENT "ALAMR_THREADS=4" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")
