@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "alamr/amr/solver.hpp"
 #include "alamr/core/batch.hpp"
 #include "alamr/core/strategies.hpp"
@@ -89,6 +91,169 @@ void BM_GramWithGradients(benchmark::State& state) {
 }
 BENCHMARK(BM_GramWithGradients)->Arg(100)->Arg(200);
 
+// P3 — the distance cache: kernel-matrix + gradient construction (the body
+// of every L-BFGS objective probe) from raw features (Arg 0) vs from a
+// prebuilt PairwiseDistances (Arg 1, what refits actually run). Cache
+// construction is outside the loop: it happens once per training set, not
+// once per probe.
+void BM_KernelDistanceCache(benchmark::State& state) {
+  const bool cached = state.range(1) != 0;
+  stats::Rng rng(3);
+  const auto x = random_points(static_cast<std::size_t>(state.range(0)), 5, rng);
+  const auto kernel = gp::make_paper_kernel();
+  gp::PairwiseDistances dist = gp::PairwiseDistances::train(x);
+  kernel->prepare_distances(dist);
+  std::vector<linalg::Matrix> gradients;
+  for (auto _ : state) {
+    auto gram = cached ? kernel->gram_with_gradients_cached(dist, gradients)
+                       : kernel->gram_with_gradients(x, gradients);
+    benchmark::DoNotOptimize(gram);
+  }
+}
+BENCHMARK(BM_KernelDistanceCache)
+    ->Args({300, 0})
+    ->Args({300, 1})
+    ->Args({600, 0})
+    ->Args({600, 1});
+
+// P3 — blocked right-looking Cholesky (factor) vs the unblocked
+// left-looking seed algorithm (factor_reference). Same bits, different
+// cache behavior: the blocked panels keep the working set resident.
+void BM_BlockedCholesky(benchmark::State& state) {
+  const bool blocked = state.range(1) != 0;
+  stats::Rng rng(1);
+  const auto a = random_spd(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto factor = blocked ? linalg::CholeskyFactor::factor(a)
+                          : linalg::CholeskyFactor::factor_reference(a);
+    benchmark::DoNotOptimize(factor);
+  }
+}
+BENCHMARK(BM_BlockedCholesky)
+    ->Args({300, 0})
+    ->Args({300, 1})
+    ->Args({600, 0})
+    ->Args({600, 1});
+
+// P3 — blocked panel inverse (the LML gradient's K^{-1}) vs the
+// column-at-a-time reference.
+void BM_CholeskyInverse(benchmark::State& state) {
+  const bool blocked = state.range(1) != 0;
+  stats::Rng rng(1);
+  const auto a = random_spd(static_cast<std::size_t>(state.range(0)), rng);
+  const auto factor = *linalg::CholeskyFactor::factor(a);
+  for (auto _ : state) {
+    auto inv = blocked ? factor.inverse() : factor.inverse_reference();
+    benchmark::DoNotOptimize(inv);
+  }
+}
+BENCHMARK(BM_CholeskyInverse)->Args({300, 0})->Args({300, 1});
+
+// P3 — one full hyperparameter-refit objective evaluation (LML value +
+// gradient) at fixed n. Arg 1 is the real path refits run:
+// log_marginal_likelihood consuming the training-distance cache and the
+// blocked factorization. Arg 0 replays the pre-cache recipe through public
+// API: direct gram_with_gradients from features plus the unblocked
+// reference factorization, followed by the identical solve/inverse/trace
+// tail. The ratio is what each L-BFGS iteration gained.
+void BM_RefitObjective(benchmark::State& state) {
+  const bool optimized = state.range(1) != 0;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(4);
+  const auto x = random_points(n, 5, rng);
+  std::vector<double> y(n);
+  for (double& v : y) v = rng.normal();
+  gp::GprOptions options;
+  options.optimize = false;
+  gp::GaussianProcessRegressor gpr(gp::make_paper_kernel(), options);
+  gpr.fit(x, y, rng);
+  const std::vector<double> theta = gpr.kernel().log_params();
+  std::vector<double> grad(theta.size());
+
+  if (optimized) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(gpr.log_marginal_likelihood(theta, grad));
+    }
+    return;
+  }
+  // Center y the way fit(normalize_y) does, so both arms factor the same K.
+  double mean = 0.0;
+  for (const double v : y) mean += v;
+  mean /= static_cast<double>(n);
+  std::vector<double> yc(n);
+  for (std::size_t i = 0; i < n; ++i) yc[i] = y[i] - mean;
+  for (auto _ : state) {
+    const std::unique_ptr<gp::Kernel> probe = gpr.kernel().clone();
+    probe->set_log_params(theta);
+    std::vector<linalg::Matrix> gradients;
+    const linalg::Matrix k = probe->gram_with_gradients(x, gradients);
+    const auto factor = linalg::CholeskyFactor::factor_reference(k);
+    const linalg::Vector alpha = factor->solve(yc);
+    double lml = -0.5 * linalg::dot(yc, alpha) - 0.5 * factor->log_det();
+    const linalg::Matrix k_inv = factor->inverse_reference();
+    for (std::size_t j = 0; j < gradients.size(); ++j) {
+      const linalg::Matrix& dk = gradients[j];
+      double trace = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        const auto dk_row = dk.row(r);
+        const auto kinv_row = k_inv.row(r);
+        double off_acc = 0.0;
+        for (std::size_t c = r + 1; c < n; ++c) {
+          off_acc += (alpha[r] * alpha[c] - kinv_row[c]) * dk_row[c];
+        }
+        trace += (alpha[r] * alpha[r] - kinv_row[r]) * dk_row[r] + 2.0 * off_acc;
+      }
+      grad[j] = 0.5 * trace;
+    }
+    benchmark::DoNotOptimize(lml);
+    benchmark::DoNotOptimize(grad);
+  }
+}
+BENCHMARK(BM_RefitObjective)->Args({300, 0})->Args({300, 1});
+
+// The value-only refit objective — what every multistart scoring probe and
+// every L-BFGS line-search trial evaluates when no gradient is requested.
+// Skips the gradient matrices and the O(n^3) inverse, so the distance-cache
+// and blocked-factor gains dominate the measurement.
+void BM_RefitObjectiveValue(benchmark::State& state) {
+  const bool optimized = state.range(1) != 0;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(4);
+  const auto x = random_points(n, 5, rng);
+  std::vector<double> y(n);
+  for (double& v : y) v = rng.normal();
+  gp::GprOptions options;
+  options.optimize = false;
+  gp::GaussianProcessRegressor gpr(gp::make_paper_kernel(), options);
+  gpr.fit(x, y, rng);
+  const std::vector<double> theta = gpr.kernel().log_params();
+
+  if (optimized) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(gpr.log_marginal_likelihood(theta, {}));
+    }
+    return;
+  }
+  // Seed recipe: rebuild the Gram matrix from raw features and factor with
+  // the unblocked reference algorithm, as the pre-optimization code did on
+  // every objective probe.
+  double mean = 0.0;
+  for (const double v : y) mean += v;
+  mean /= static_cast<double>(n);
+  std::vector<double> yc(n);
+  for (std::size_t i = 0; i < n; ++i) yc[i] = y[i] - mean;
+  for (auto _ : state) {
+    const std::unique_ptr<gp::Kernel> probe = gpr.kernel().clone();
+    probe->set_log_params(theta);
+    const linalg::Matrix k = probe->gram(x);
+    const auto factor = linalg::CholeskyFactor::factor_reference(k);
+    const linalg::Vector alpha = factor->solve(yc);
+    double lml = -0.5 * linalg::dot(yc, alpha) - 0.5 * factor->log_det();
+    benchmark::DoNotOptimize(lml);
+  }
+}
+BENCHMARK(BM_RefitObjectiveValue)->Args({300, 0})->Args({300, 1});
+
 void BM_GprFit(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   stats::Rng rng(4);
@@ -167,6 +332,55 @@ void BM_GprPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GprPredict)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+// P3 — the AL per-iteration predict phase at n = 300 training points and
+// 300 candidates. Arg 0 replays the seed recipe: rebuild K(X_train, X_q)
+// from features, then one triangular solve + dot per candidate column
+// (re-streaming the whole factor once per column). Arg 1 is the simulator's
+// path with AlOptions::incremental_cross: the maintained cross-covariance
+// goes straight into predict_from_cross, whose chunked multi-column solves
+// stream the factor once.
+void BM_IncrementalPredict(benchmark::State& state) {
+  const bool incremental = state.range(1) != 0;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(5);
+  const auto x = random_points(n, 5, rng);
+  std::vector<double> y(n);
+  for (double& v : y) v = rng.normal();
+  gp::GprOptions options;
+  options.optimize = false;
+  gp::GaussianProcessRegressor gpr(gp::make_paper_kernel(), options);
+  gpr.fit(x, y, rng);
+  const auto queries = random_points(300, 5, rng);
+
+  if (incremental) {
+    const linalg::Matrix k_star = gpr.kernel().cross(x, queries);
+    for (auto _ : state) {
+      auto pred = gpr.predict_from_cross(k_star, queries);
+      benchmark::DoNotOptimize(pred);
+    }
+    return;
+  }
+  const std::vector<double> prior = gpr.kernel().diagonal(queries);
+  const auto gram = gpr.kernel().gram(x);
+  const auto factor = *linalg::CholeskyFactor::factor(gram);
+  const linalg::Vector alpha = factor.solve(y);
+  for (auto _ : state) {
+    const linalg::Matrix k_star = gpr.kernel().cross(x, queries);
+    gp::Prediction pred;
+    pred.mean = linalg::matvec_transposed(k_star, alpha);
+    pred.stddev.resize(queries.rows());
+    std::vector<double> col(n);
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+      for (std::size_t i = 0; i < n; ++i) col[i] = k_star(i, q);
+      const linalg::Vector z = factor.solve_lower(col);
+      const double var = prior[q] - linalg::dot(z, z);
+      pred.stddev[q] = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+    benchmark::DoNotOptimize(pred);
+  }
+}
+BENCHMARK(BM_IncrementalPredict)->Args({300, 0})->Args({300, 1});
 
 // Trajectory fan-out on the thread pool: 4 independent AL trajectories
 // with Arg() parallel lanes. Results are bit-identical across lane counts

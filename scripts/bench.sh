@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Records the PR-3 micro-benchmark results into BENCH_PR3.json.
+#
+# Each benchmark in the set is registered twice: /0 replays the seed
+# (pre-PR) recipe through the public reference APIs, /1 runs the
+# optimized path.  Both arms live in the same binary so they share the
+# compiler, flags, and process state.  We take the median over several
+# repetitions because this box is a 1-vCPU VM with 10-30% run-to-run
+# drift; medians over >= 5 repetitions are stable to a few percent.
+#
+# Usage: scripts/bench.sh [build-dir]     (default: build)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+repetitions="${ALAMR_BENCH_REPS:-7}"
+
+if [[ ! -x "$build_dir/bench/bench_micro_perf" ]]; then
+  cmake -B "$build_dir" -S . > /dev/null
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_micro_perf > /dev/null
+fi
+
+raw=$(mktemp /tmp/bench_pr3.XXXXXX.json)
+trap 'rm -f "$raw"' EXIT
+
+"$build_dir/bench/bench_micro_perf" \
+  --benchmark_filter='BM_(KernelDistanceCache|BlockedCholesky|CholeskyInverse|RefitObjective|RefitObjectiveValue|IncrementalPredict)/' \
+  --benchmark_repetitions="$repetitions" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_min_time=0.3 \
+  --benchmark_out="$raw" --benchmark_out_format=json
+
+python3 - "$raw" "$repetitions" <<'EOF'
+import json, sys
+
+raw_path, reps = sys.argv[1], int(sys.argv[2])
+with open(raw_path) as f:
+    report = json.load(f)
+
+# Collect medians, keyed by "BM_Name/size" with the trailing /0 (seed
+# recipe) or /1 (optimized) arm split off.
+arms = {}
+for b in report["benchmarks"]:
+    name = b["name"]
+    if not name.endswith("_median"):
+        continue
+    base = name[: -len("_median")]
+    family, size, arm = base.rsplit("/", 2)
+    arms.setdefault(f"{family}/{size}", {})[arm] = b["real_time"]
+
+out = {
+    "generated_by": "scripts/bench.sh",
+    "repetitions": reps,
+    "statistic": "median real_time, ns/op",
+    "context": {
+        "host": report["context"].get("host_name", ""),
+        "num_cpus": report["context"].get("num_cpus"),
+        "mhz_per_cpu": report["context"].get("mhz_per_cpu"),
+    },
+    "benchmarks": {},
+}
+for key in sorted(arms):
+    pair = arms[key]
+    if "0" not in pair or "1" not in pair:
+        continue
+    base_ns, opt_ns = pair["0"], pair["1"]
+    out["benchmarks"][key] = {
+        "seed_recipe_ns": round(base_ns, 1),
+        "optimized_ns": round(opt_ns, 1),
+        "speedup": round(base_ns / opt_ns, 2),
+    }
+
+with open("BENCH_PR3.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+width = max(len(k) for k in out["benchmarks"])
+print(f"\n{'benchmark':{width}}  {'seed ns/op':>12}  {'opt ns/op':>12}  speedup")
+for key, row in out["benchmarks"].items():
+    print(f"{key:{width}}  {row['seed_recipe_ns']:>12.0f}  "
+          f"{row['optimized_ns']:>12.0f}  {row['speedup']:>6.2f}x")
+print("\nwrote BENCH_PR3.json")
+EOF

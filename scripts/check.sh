@@ -1,12 +1,22 @@
 #!/usr/bin/env bash
-# Pre-PR gate: builds and runs the full test suite in three configurations
+# Pre-PR gate: builds and runs the full test suite in four configurations
 # and fails on the first broken one.
 #
 #   1. plain       — the default release build (build-check/plain)
-#   2. sanitized   — ALAMR_SANITIZE=address,undefined (build-check/asan)
-#   3. threaded    — plain binaries, ctest with ALAMR_THREADS=4 so every
+#   2. asan        — ALAMR_SANITIZE=address,undefined with the throwing
+#                    ALAMR_ASSERT checks forced on (ALAMR_DEBUG_ASSERTS)
+#   3. native      — ALAMR_NATIVE=ON (-march=native, FP contraction off);
+#                    proves host-tuned codegen stays bit-identical
+#   4. threaded    — plain binaries, ctest with ALAMR_THREADS=4 so every
 #                    suite (not just tests_core_threads4) exercises the
 #                    4-lane pool
+#
+# Finally an explicit golden gate re-runs the golden-trajectory byte
+# comparisons (which sweep the cached-kernel / incremental-refit /
+# incremental-cross configurations internally) on the plain and native
+# builds, serial and with ALAMR_THREADS=4.  They already ran as part of
+# the full suites above; the separate step makes a golden break impossible
+# to miss in the output.
 #
 # Usage: scripts/check.sh [jobs]     (default: nproc)
 #
@@ -33,8 +43,23 @@ run_config() {
   tail -2 /tmp/check_"$name".log
 }
 
+run_golden() {
+  local name="$1"
+  local build_dir="$2"
+  local threads="$3"
+  echo "=== [golden/$name] trajectory byte comparisons (ALAMR_THREADS=$threads) ==="
+  ALAMR_THREADS="$threads" ctest --test-dir "$build_dir" --output-on-failure \
+    -R 'GoldenTrajectory' > /tmp/check_golden_"$name".log 2>&1 || {
+    tail -50 /tmp/check_golden_"$name".log
+    echo "FAILED: golden/$name (full log: /tmp/check_golden_$name.log)"
+    exit 1
+  }
+  tail -2 /tmp/check_golden_"$name".log
+}
+
 run_config plain
-run_config asan -DALAMR_SANITIZE=address,undefined
+run_config asan -DALAMR_SANITIZE=address,undefined -DALAMR_DEBUG_ASSERTS=ON
+run_config native -DALAMR_NATIVE=ON
 
 echo "=== [threads4] ctest with ALAMR_THREADS=4 on the plain build ==="
 ALAMR_THREADS=4 ctest --test-dir build-check/plain --output-on-failure -j "$jobs" \
@@ -44,5 +69,10 @@ ALAMR_THREADS=4 ctest --test-dir build-check/plain --output-on-failure -j "$jobs
   exit 1
 }
 tail -2 /tmp/check_threads4.log
+
+run_golden plain build-check/plain 1
+run_golden plain4 build-check/plain 4
+run_golden native build-check/native 1
+run_golden native4 build-check/native 4
 
 echo "All checks passed."

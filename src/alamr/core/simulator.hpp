@@ -88,6 +88,15 @@ struct AlOptions {
   /// way; the flag exists so tests can compare both paths.
   bool incremental_refit = true;
 
+  /// Keep K(X_train, X_active) alive across AL iterations: each step
+  /// erases the chosen candidate's column, appends one row for the
+  /// acquired point (sharing one pairwise-distance pass between the cost
+  /// and memory kernels), and falls back to a full rebuild only for models
+  /// whose refit moved the hyperparameters. Every retained entry keeps the
+  /// bits the full rebuild would produce, so trajectories are identical
+  /// either way; the flag exists so tests can compare both paths.
+  bool incremental_cross = true;
+
   /// Turns on the process-wide observability layer (core/trace.hpp) from
   /// the AlSimulator constructor — equivalent to setting ALAMR_TRACE or
   /// calling trace::set_enabled(true), and sticky like both. While tracing

@@ -1,0 +1,81 @@
+#pragma once
+
+// Hyperparameter-independent pairwise-distance caches for kernel matrices.
+//
+// Every RBF/Matern/RQ gram or cross-covariance entry is a scalar function
+// of the squared Euclidean distance between two points, and the distances
+// do not depend on the hyperparameters the LML optimizer moves. A
+// PairwiseDistances object therefore factors the O(n^2 d) feature passes
+// out of the refit loop: it is built once per training set (and appended
+// to in O(n d) when active learning acquires a point), after which every
+// L-BFGS objective evaluation reduces to an elementwise transform of the
+// cached buffer via Kernel::gram_cached / gram_with_gradients_cached.
+//
+// ARD kernels need the per-dimension squared differences, not just their
+// sum; those are materialized on demand by ensure_components(), which
+// Kernel::prepare_distances() calls eagerly BEFORE optimization starts so
+// the cache is strictly read-only while multistart workers share it.
+
+#include <span>
+#include <vector>
+
+#include "alamr/linalg/matrix.hpp"
+
+namespace alamr::gp {
+
+using linalg::Matrix;
+
+/// Cache of squared pairwise distances between two point sets (train x
+/// train when symmetric, train x query otherwise). Entries are computed
+/// with exactly linalg::squared_distance, in the same (i, j) orientation
+/// the kernels use, so cached kernel evaluations are bit-identical to the
+/// direct ones.
+class PairwiseDistances {
+ public:
+  /// Symmetric train x train cache (diagonal is exactly 0, lower triangle
+  /// computed, upper mirrored — matching the kernels' gram() loops).
+  static PairwiseDistances train(const Matrix& x);
+
+  /// Rectangular x-by-y cache (row i = point i of x, column j = point j
+  /// of y — matching the kernels' cross() loops).
+  static PairwiseDistances cross(const Matrix& x, const Matrix& y);
+
+  bool symmetric() const noexcept { return symmetric_; }
+  std::size_t rows() const noexcept { return sq_.rows(); }
+  std::size_t cols() const noexcept { return sq_.cols(); }
+  std::size_t dim() const noexcept { return x_.cols(); }
+
+  /// The point sets the cache was built from (y() aliases x() when
+  /// symmetric). Used by the base-class fallbacks for kernels that do not
+  /// implement a cached path.
+  const Matrix& x() const noexcept { return x_; }
+  const Matrix& y() const noexcept { return symmetric_ ? x_ : y_; }
+
+  /// Squared distances; (i, j) = |x_i - y_j|^2.
+  const Matrix& squared() const noexcept { return sq_; }
+
+  /// Builds the per-dimension squared-difference matrices
+  /// component(d)(i, j) = (x_i[d] - y_j[d])^2 if not already built. Must
+  /// be called before any parallel phase that reads component() (see
+  /// Kernel::prepare_distances) — it is NOT thread-safe against readers.
+  void ensure_components();
+  bool has_components() const noexcept { return !components_.empty(); }
+  const Matrix& component(std::size_t d) const { return components_[d]; }
+
+  /// Appends one point to the x side in O(rows * dim): the symmetric cache
+  /// grows by a row and a column, the rectangular cache by one row. New
+  /// entries use the same squared_distance orientation as construction
+  /// (new point first), so the grown cache equals a from-scratch rebuild.
+  void append_x_row(std::span<const double> row);
+
+ private:
+  PairwiseDistances() = default;
+
+  bool symmetric_ = true;
+  Matrix x_;
+  Matrix y_;  // empty when symmetric_
+  Matrix sq_;
+  std::vector<Matrix> components_;
+};
+
+}  // namespace alamr::gp

@@ -34,6 +34,11 @@ struct GprOptions {
   /// Numerical jitter floor added to K_y when Cholesky requires it.
   double initial_jitter = 1e-12;
   double max_jitter = 1e-4;
+  /// Cache pairwise squared distances at fit() and evaluate optimizer
+  /// probes as elementwise transforms of the cache (DESIGN.md §8). Off
+  /// forces the direct-gram path everywhere; results are bit-identical
+  /// either way (golden-tested), so this exists for A/B testing only.
+  bool use_distance_cache = true;
 };
 
 /// Posterior mean and standard deviation at query points.
@@ -79,6 +84,13 @@ class GaussianProcessRegressor {
 
   /// Posterior mean and stddev at the rows of `x` (Eq. 3). Requires fit().
   Prediction predict(const Matrix& x) const;
+
+  /// predict() with a caller-supplied cross-covariance K(X_train, x)
+  /// (n_train x n_query, exactly what kernel().cross(x_train, x) returns).
+  /// The AL simulator maintains this matrix incrementally across
+  /// iterations; passing it here skips the O(n m d) rebuild. Bit-identical
+  /// to predict() when k_star holds the same bits. Requires fit().
+  Prediction predict_from_cross(const Matrix& k_star, const Matrix& x) const;
 
   /// Posterior mean only (cheaper: skips the variance solves).
   std::vector<double> predict_mean(const Matrix& x) const;
@@ -128,6 +140,13 @@ class GaussianProcessRegressor {
   GprOptions options_;
 
   Matrix x_train_;
+  // Hyperparameter-independent squared-distance cache over x_train_. Built
+  // by fit() (and prepared for the kernel, e.g. ARD components) BEFORE
+  // optimization starts, extended in O(n d) on append_training_point, so
+  // every LML objective evaluation reads it instead of re-walking
+  // features. Invalidated only by new training data, never by
+  // hyperparameter moves.
+  std::optional<PairwiseDistances> train_dist_;
   std::vector<double> y_raw_;         // targets as given (for re-centering)
   std::vector<double> y_train_;       // centered targets when normalize_y
   double y_mean_ = 0.0;

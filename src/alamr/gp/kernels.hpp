@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "alamr/gp/distances.hpp"
 #include "alamr/linalg/matrix.hpp"
 #include "alamr/opt/objective.hpp"
 
@@ -54,6 +55,31 @@ class Kernel {
   /// K(X, Y) — cross-covariance (WhiteKernel contributes zero here).
   virtual Matrix cross(const Matrix& x, const Matrix& y) const = 0;
 
+  // ---- distance-cached evaluation ------------------------------------------
+  //
+  // The cached variants consume a PairwiseDistances built from the same
+  // point sets the direct calls would take, replacing every O(d) feature
+  // pass with one cached load. Results are bit-identical to the direct
+  // calls: the per-entry arithmetic after the distance lookup is the same,
+  // expression for expression. Base-class defaults fall back to the direct
+  // path (using the points the cache retains) so kernels without a cached
+  // implementation keep working; all built-in kernels override.
+
+  /// Requests whatever derived data this kernel needs from the cache (ARD
+  /// needs per-dimension components). Called eagerly before optimization
+  /// so the cache is read-only while multistart workers share it.
+  virtual void prepare_distances(PairwiseDistances& dist) const;
+
+  /// gram(X) from a symmetric cache built over X.
+  virtual Matrix gram_cached(const PairwiseDistances& dist) const;
+
+  /// gram_with_gradients(X) from a symmetric cache built over X.
+  virtual Matrix gram_with_gradients_cached(
+      const PairwiseDistances& dist, std::vector<Matrix>& gradients) const;
+
+  /// cross(X, Y) from a rectangular cache built over (X, Y).
+  virtual Matrix cross_cached(const PairwiseDistances& dist) const;
+
   /// diag(K(X, X)) without forming the full gram matrix.
   virtual std::vector<double> diagonal(const Matrix& x) const = 0;
 
@@ -81,6 +107,11 @@ class ConstantKernel final : public Kernel {
   Matrix gram_with_gradients(const Matrix& x,
                              std::vector<Matrix>& gradients) const override;
   Matrix cross(const Matrix& x, const Matrix& y) const override;
+  Matrix gram_cached(const PairwiseDistances& dist) const override;
+  Matrix gram_with_gradients_cached(
+      const PairwiseDistances& dist,
+      std::vector<Matrix>& gradients) const override;
+  Matrix cross_cached(const PairwiseDistances& dist) const override;
   std::vector<double> diagonal(const Matrix& x) const override;
   std::unique_ptr<Kernel> clone() const override;
   std::string describe() const override;
@@ -108,6 +139,11 @@ class WhiteKernel final : public Kernel {
   Matrix gram_with_gradients(const Matrix& x,
                              std::vector<Matrix>& gradients) const override;
   Matrix cross(const Matrix& x, const Matrix& y) const override;
+  Matrix gram_cached(const PairwiseDistances& dist) const override;
+  Matrix gram_with_gradients_cached(
+      const PairwiseDistances& dist,
+      std::vector<Matrix>& gradients) const override;
+  Matrix cross_cached(const PairwiseDistances& dist) const override;
   std::vector<double> diagonal(const Matrix& x) const override;
   std::unique_ptr<Kernel> clone() const override;
   std::string describe() const override;
@@ -135,6 +171,11 @@ class RbfKernel final : public Kernel {
   Matrix gram_with_gradients(const Matrix& x,
                              std::vector<Matrix>& gradients) const override;
   Matrix cross(const Matrix& x, const Matrix& y) const override;
+  Matrix gram_cached(const PairwiseDistances& dist) const override;
+  Matrix gram_with_gradients_cached(
+      const PairwiseDistances& dist,
+      std::vector<Matrix>& gradients) const override;
+  Matrix cross_cached(const PairwiseDistances& dist) const override;
   std::vector<double> diagonal(const Matrix& x) const override;
   std::unique_ptr<Kernel> clone() const override;
   std::string describe() const override;
@@ -155,6 +196,7 @@ class RbfArdKernel final : public Kernel {
   std::span<const double> length_scales() const noexcept { return lengths_; }
 
   std::size_t num_params() const override { return lengths_.size(); }
+  void prepare_distances(PairwiseDistances& dist) const override;
   std::vector<double> log_params() const override;
   void set_log_params(std::span<const double> theta) override;
   opt::Bounds log_bounds() const override;
@@ -162,6 +204,11 @@ class RbfArdKernel final : public Kernel {
   Matrix gram_with_gradients(const Matrix& x,
                              std::vector<Matrix>& gradients) const override;
   Matrix cross(const Matrix& x, const Matrix& y) const override;
+  Matrix gram_cached(const PairwiseDistances& dist) const override;
+  Matrix gram_with_gradients_cached(
+      const PairwiseDistances& dist,
+      std::vector<Matrix>& gradients) const override;
+  Matrix cross_cached(const PairwiseDistances& dist) const override;
   std::vector<double> diagonal(const Matrix& x) const override;
   std::unique_ptr<Kernel> clone() const override;
   std::string describe() const override;
@@ -193,6 +240,11 @@ class MaternKernel final : public Kernel {
   Matrix gram_with_gradients(const Matrix& x,
                              std::vector<Matrix>& gradients) const override;
   Matrix cross(const Matrix& x, const Matrix& y) const override;
+  Matrix gram_cached(const PairwiseDistances& dist) const override;
+  Matrix gram_with_gradients_cached(
+      const PairwiseDistances& dist,
+      std::vector<Matrix>& gradients) const override;
+  Matrix cross_cached(const PairwiseDistances& dist) const override;
   std::vector<double> diagonal(const Matrix& x) const override;
   std::unique_ptr<Kernel> clone() const override;
   std::string describe() const override;
@@ -227,6 +279,11 @@ class RationalQuadraticKernel final : public Kernel {
   Matrix gram_with_gradients(const Matrix& x,
                              std::vector<Matrix>& gradients) const override;
   Matrix cross(const Matrix& x, const Matrix& y) const override;
+  Matrix gram_cached(const PairwiseDistances& dist) const override;
+  Matrix gram_with_gradients_cached(
+      const PairwiseDistances& dist,
+      std::vector<Matrix>& gradients) const override;
+  Matrix cross_cached(const PairwiseDistances& dist) const override;
   std::vector<double> diagonal(const Matrix& x) const override;
   std::unique_ptr<Kernel> clone() const override;
   std::string describe() const override;
@@ -247,6 +304,7 @@ class SumKernel final : public Kernel {
   SumKernel(std::unique_ptr<Kernel> left, std::unique_ptr<Kernel> right);
 
   std::size_t num_params() const override;
+  void prepare_distances(PairwiseDistances& dist) const override;
   std::vector<double> log_params() const override;
   void set_log_params(std::span<const double> theta) override;
   opt::Bounds log_bounds() const override;
@@ -254,6 +312,11 @@ class SumKernel final : public Kernel {
   Matrix gram_with_gradients(const Matrix& x,
                              std::vector<Matrix>& gradients) const override;
   Matrix cross(const Matrix& x, const Matrix& y) const override;
+  Matrix gram_cached(const PairwiseDistances& dist) const override;
+  Matrix gram_with_gradients_cached(
+      const PairwiseDistances& dist,
+      std::vector<Matrix>& gradients) const override;
+  Matrix cross_cached(const PairwiseDistances& dist) const override;
   std::vector<double> diagonal(const Matrix& x) const override;
   std::unique_ptr<Kernel> clone() const override;
   std::string describe() const override;
@@ -269,6 +332,7 @@ class ProductKernel final : public Kernel {
   ProductKernel(std::unique_ptr<Kernel> left, std::unique_ptr<Kernel> right);
 
   std::size_t num_params() const override;
+  void prepare_distances(PairwiseDistances& dist) const override;
   std::vector<double> log_params() const override;
   void set_log_params(std::span<const double> theta) override;
   opt::Bounds log_bounds() const override;
@@ -276,6 +340,11 @@ class ProductKernel final : public Kernel {
   Matrix gram_with_gradients(const Matrix& x,
                              std::vector<Matrix>& gradients) const override;
   Matrix cross(const Matrix& x, const Matrix& y) const override;
+  Matrix gram_cached(const PairwiseDistances& dist) const override;
+  Matrix gram_with_gradients_cached(
+      const PairwiseDistances& dist,
+      std::vector<Matrix>& gradients) const override;
+  Matrix cross_cached(const PairwiseDistances& dist) const override;
   std::vector<double> diagonal(const Matrix& x) const override;
   std::unique_ptr<Kernel> clone() const override;
   std::string describe() const override;

@@ -15,12 +15,29 @@
 
 namespace alamr::linalg {
 
+/// Column-block width of the blocked (right-looking) factorization. Exposed
+/// so tests can probe the boundaries (n = B-1, B, B+1, ...).
+inline constexpr std::size_t kCholeskyBlock = 48;
+
 /// Lower-triangular Cholesky factor L with A = L L^T, plus solve helpers.
 class CholeskyFactor {
  public:
   /// Factors SPD matrix `a`. Returns std::nullopt if a non-positive pivot
   /// is encountered (matrix not numerically positive definite).
+  ///
+  /// Blocked right-looking algorithm: columns are processed in panels of
+  /// kCholeskyBlock; after a panel is factored, its contribution is
+  /// subtracted from the trailing submatrix with a register-tiled rank-B
+  /// update whose inner loops are contiguous row prefixes. Every matrix
+  /// entry still receives its k-contributions strictly in ascending order
+  /// — first from earlier panels' trailing updates (ascending block by
+  /// block), then from its own panel — so the result is bit-identical to
+  /// the unblocked left-looking factor_reference().
   static std::optional<CholeskyFactor> factor(const Matrix& a);
+
+  /// Textbook unblocked left-looking factorization. Kept as the validation
+  /// and benchmark baseline for factor(); identical results bit-for-bit.
+  static std::optional<CholeskyFactor> factor_reference(const Matrix& a);
 
   std::size_t size() const noexcept { return l_.rows(); }
   const Matrix& lower() const noexcept { return l_; }
@@ -45,14 +62,34 @@ class CholeskyFactor {
   /// Solves A x = b via the two triangular solves.
   Vector solve(std::span<const double> b) const;
 
-  /// Solves A X = B column-by-column.
+  /// Solves A X = B for all columns of B at once. Row-major blocked
+  /// forward + backward substitution: the inner loops sweep contiguous
+  /// solution rows (multi-RHS trsm) instead of strided columns, while each
+  /// scalar entry sees exactly the operations solve_lower/solve_upper would
+  /// perform on its column — bit-identical to the column-by-column path.
   Matrix solve_matrix(const Matrix& b) const;
 
+  /// Multi-RHS forward substitution: solves L Z = B[:, col_begin:col_end)
+  /// and returns Z (size() x (col_end - col_begin)). Each column of the
+  /// result is bit-identical to solve_lower() of that column of B. Used by
+  /// the batched predictive-variance path in gp/gpr.
+  Matrix solve_lower_block(const Matrix& b, std::size_t col_begin,
+                           std::size_t col_end) const;
+
   /// A^{-1} (needed by the analytic LML gradient, which uses
-  /// K_y^{-1} - alpha alpha^T). Computes only the lower triangle of the
-  /// symmetric inverse (one scratch vector, no temporary matrices) and
-  /// mirrors it.
+  /// K_y^{-1} - alpha alpha^T). Blocked multi-column solves: each panel of
+  /// kCholeskyBlock identity columns goes through one forward + backward
+  /// substitution whose inner loops are contiguous over the panel, so the
+  /// factor is streamed once per panel instead of once per column. Per
+  /// scalar the operations (and therefore the bits) are exactly those of
+  /// the column-at-a-time inverse_reference(); only the lower triangle is
+  /// computed and mirrored.
   Matrix inverse() const;
+
+  /// Unblocked column-by-column inverse (one scratch vector, zero-prefix
+  /// forward solves). Kept as the validation and benchmark baseline for
+  /// inverse(); identical results bit-for-bit.
+  Matrix inverse_reference() const;
 
   /// log|A| = 2 * sum_i log L_ii (the model-complexity term of Eq. 8).
   double log_det() const;

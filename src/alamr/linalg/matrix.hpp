@@ -7,14 +7,40 @@
 // depending on an external BLAS: storage, gemv/gemm/syrk-style kernels,
 // and a Cholesky factorization (cholesky.hpp). Kernels are written to
 // vectorize with plain -O2/-O3 (contiguous inner loops, no aliasing
-// surprises).
+// surprises); matmul/aat additionally use small register tiles that keep
+// several independent accumulation chains in flight without changing any
+// individual chain's floating-point order.
 
 #include <cstddef>
 #include <initializer_list>
 #include <span>
 #include <vector>
 
+// ---- ALAMR_ASSERT ---------------------------------------------------------
+//
+// Debug-only precondition checks for the hot-path vector kernels (dot,
+// axpy, squared_distance and the blocked solves). These run O(n^2)-O(n^3)
+// times per GPR fit, so in release builds (NDEBUG) the checks compile to
+// nothing and the kernels inline into their callers branch-free. Building
+// without NDEBUG, or configuring with -DALAMR_DEBUG_ASSERTS=ON (as the
+// sanitizer leg of scripts/check.sh does), restores throwing checks
+// (std::invalid_argument, so tests can assert on them).
+#if defined(ALAMR_DEBUG_ASSERTS) || !defined(NDEBUG)
+#define ALAMR_ASSERTS_ENABLED 1
+#define ALAMR_ASSERT(cond, msg) \
+  ((cond) ? static_cast<void>(0) : ::alamr::linalg::detail::assert_fail(msg))
+#else
+#define ALAMR_ASSERTS_ENABLED 0
+#define ALAMR_ASSERT(cond, msg) static_cast<void>(0)
+#endif
+
 namespace alamr::linalg {
+
+namespace detail {
+/// Throws std::invalid_argument(msg). Out of line so the cold failure path
+/// never bloats an inlined kernel.
+[[noreturn]] void assert_fail(const char* msg);
+}  // namespace detail
 
 using Vector = std::vector<double>;
 
@@ -67,18 +93,39 @@ class Matrix {
 };
 
 // ---- vector kernels -------------------------------------------------------
+//
+// Inline: these are the innermost loops of every kernel-matrix build and
+// triangular solve. Shape checks are ALAMR_ASSERTs (debug-only) rather
+// than throws so the release-mode loops carry no branch.
 
 /// Inner product. Requires equal lengths.
-double dot(std::span<const double> x, std::span<const double> y);
+inline double dot(std::span<const double> x, std::span<const double> y) {
+  ALAMR_ASSERT(x.size() == y.size(), "dot: length mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) total += x[i] * y[i];
+  return total;
+}
 
 /// Euclidean norm.
 double norm2(std::span<const double> x);
 
 /// y += alpha * x.
-void axpy(double alpha, std::span<const double> x, std::span<double> y);
+inline void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  ALAMR_ASSERT(x.size() == y.size(), "axpy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
 
 /// Squared Euclidean distance between two points (rows of a design matrix).
-double squared_distance(std::span<const double> x, std::span<const double> y);
+inline double squared_distance(std::span<const double> x,
+                               std::span<const double> y) {
+  ALAMR_ASSERT(x.size() == y.size(), "squared_distance: length mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    total += d * d;
+  }
+  return total;
+}
 
 // ---- matrix kernels -------------------------------------------------------
 
@@ -88,11 +135,16 @@ Vector matvec(const Matrix& a, std::span<const double> x);
 /// y = A^T x.
 Vector matvec_transposed(const Matrix& a, std::span<const double> x);
 
-/// C = A B.
+/// C = A B. Register-tiled i-k-j kernel: contiguous inner loops over B and
+/// C rows, several C rows in flight. Each C entry accumulates its k
+/// contributions strictly in ascending order (IEEE semantics: zeros, NaNs
+/// and infinities in either operand propagate per element — there is no
+/// sparsity short-circuit).
 Matrix matmul(const Matrix& a, const Matrix& b);
 
 /// Symmetric product A A^T (used for building SPD test fixtures and the
-/// rank-k updates inside the LML gradient).
+/// rank-k updates inside the LML gradient). Register-tiled over 2x2 output
+/// blocks; every entry remains an ascending-k dot of two rows.
 Matrix aat(const Matrix& a);
 
 /// Frobenius-inner-product trace(A^T B); A, B same shape.

@@ -27,6 +27,32 @@ std::vector<double> gather(std::span<const double> values,
   return out;
 }
 
+/// Copy of `m` with column `col` removed (entries keep their bits; memory
+/// round-trips do not perturb doubles).
+linalg::Matrix erase_column(const linalg::Matrix& m, std::size_t col) {
+  linalg::Matrix out(m.rows(), m.cols() - 1);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto src = m.row(i);
+    const auto dst = out.row(i);
+    std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(col),
+              dst.begin());
+    std::copy(src.begin() + static_cast<std::ptrdiff_t>(col + 1), src.end(),
+              dst.begin() + static_cast<std::ptrdiff_t>(col));
+  }
+  return out;
+}
+
+/// Copy of `m` with `row` appended at the bottom.
+linalg::Matrix append_row(const linalg::Matrix& m, std::span<const double> row) {
+  linalg::Matrix out(m.rows() + 1, m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto src = m.row(i);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  std::copy(row.begin(), row.end(), out.row(m.rows()).begin());
+  return out;
+}
+
 }  // namespace
 
 std::string to_string(StopReason reason) {
@@ -91,6 +117,7 @@ std::string AlSimulator::trajectory_fingerprint(
   add_gpr_options(options_.refit);
   fp.add(static_cast<std::uint64_t>(options_.rmse_stride));
   fp.add(options_.incremental_refit);
+  fp.add(options_.incremental_cross);
   const auto add_rows = [&fp](std::span<const std::size_t> rows) {
     fp.add(static_cast<std::uint64_t>(rows.size()));
     for (const std::size_t row : rows) fp.add(static_cast<std::uint64_t>(row));
@@ -173,6 +200,19 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
   gpr_cost.set_options(options_.refit);
   gpr_mem.set_options(options_.refit);
 
+  // Incremental cross-covariance K(X_learned, X_active), one matrix per
+  // model (the kernels' hyperparameters diverge). A matrix stays valid as
+  // long as its model's hyperparameters have not moved since it was
+  // built: acquisitions only erase the chosen column and append one row
+  // for the new training point (one shared distance pass serves both
+  // kernels). A refit that moves the hyperparameters invalidates that
+  // model's matrix and the next predict rebuilds it — entries either way
+  // carry exactly the bits kernel.cross(x_train, x_active) would produce.
+  linalg::Matrix k_star_cost;
+  linalg::Matrix k_star_mem;
+  bool k_star_cost_valid = false;
+  bool k_star_mem_valid = false;
+
   // Test predictions in log space are reused by both the RMSE metric and
   // the stabilizing-predictions stopping rule.
   std::vector<double> cost_mu_log;
@@ -221,8 +261,35 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
     gp::Prediction pred_mem;
     {
       const trace::ScopedTimer timer("predict");
-      pred_cost = gpr_cost.predict(x_active);
-      pred_mem = gpr_mem.predict(x_active);
+      if (options_.incremental_cross) {
+        const bool rebuild_cost = !k_star_cost_valid;
+        const bool rebuild_mem = !k_star_mem_valid;
+        if (rebuild_cost || rebuild_mem) {
+          // One pairwise-distance pass shared by every kernel that needs
+          // a rebuild (both, on the first iteration).
+          gp::PairwiseDistances dist =
+              gp::PairwiseDistances::cross(x_learned, x_active);
+          if (rebuild_cost) {
+            trace::count("sim.kstar_rebuild");
+            gpr_cost.kernel().prepare_distances(dist);
+            k_star_cost = gpr_cost.kernel().cross_cached(dist);
+            k_star_cost_valid = true;
+          }
+          if (rebuild_mem) {
+            trace::count("sim.kstar_rebuild");
+            gpr_mem.kernel().prepare_distances(dist);
+            k_star_mem = gpr_mem.kernel().cross_cached(dist);
+            k_star_mem_valid = true;
+          }
+        }
+        if (!rebuild_cost) trace::count("sim.kstar_reuse");
+        if (!rebuild_mem) trace::count("sim.kstar_reuse");
+        pred_cost = gpr_cost.predict_from_cross(k_star_cost, x_active);
+        pred_mem = gpr_mem.predict_from_cross(k_star_mem, x_active);
+      } else {
+        pred_cost = gpr_cost.predict(x_active);
+        pred_mem = gpr_mem.predict(x_active);
+      }
     }
 
     const CandidateView view{x_active, pred_cost.mean, pred_cost.stddev,
@@ -267,7 +334,12 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
       record.cumulative_regret = cr;
 
       learned.push_back(row);
+      x_learned = append_row(x_learned, x_scaled_.row(row));
       active.erase(active.begin() + static_cast<std::ptrdiff_t>(local));
+      // Drop the acquired candidate's column from the live cross
+      // matrices; remaining entries keep their bits.
+      if (k_star_cost_valid) k_star_cost = erase_column(k_star_cost, local);
+      if (k_star_mem_valid) k_star_mem = erase_column(k_star_mem, local);
     }
 
     // Lines 10-11: warm-started refit of both models on Init + Learned.
@@ -277,14 +349,48 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
         // Same optimization, same rng stream, bit-identical posterior —
         // but the common converged-warm-start case avoids the O(n^2) gram
         // rebuild and O(n^3) refactor.
-        gpr_cost.fit_add_point(x_scaled_.row(row), log_cost_[row], rng);
-        gpr_mem.fit_add_point(x_scaled_.row(row), log_mem_[row], rng);
+        const bool cost_kept =
+            gpr_cost.fit_add_point(x_scaled_.row(row), log_cost_[row], rng);
+        const bool mem_kept =
+            gpr_mem.fit_add_point(x_scaled_.row(row), log_mem_[row], rng);
+        if (k_star_cost_valid && !cost_kept) trace::count("sim.kstar_invalidate");
+        if (k_star_mem_valid && !mem_kept) trace::count("sim.kstar_invalidate");
+        k_star_cost_valid = k_star_cost_valid && cost_kept;
+        k_star_mem_valid = k_star_mem_valid && mem_kept;
       } else {
-        x_learned = gather_rows(x_scaled_, learned);
         c_learned = gather(log_cost_, learned);
         m_learned = gather(log_mem_, learned);
         gpr_cost.fit(x_learned, c_learned, rng);
         gpr_mem.fit(x_learned, m_learned, rng);
+        // fit() re-optimizes from scratch; assume the hyperparameters
+        // moved and rebuild the cross matrices next iteration.
+        k_star_cost_valid = false;
+        k_star_mem_valid = false;
+      }
+      // Surviving cross matrices gain the acquired point's row: a 1 x m
+      // kernel evaluation against the remaining candidates, with the
+      // distance pass shared between the two kernels.
+      if ((k_star_cost_valid || k_star_mem_valid) && !active.empty()) {
+        linalg::Matrix x_new(1, x_scaled_.cols());
+        {
+          const auto src = x_scaled_.row(row);
+          std::copy(src.begin(), src.end(), x_new.row(0).begin());
+        }
+        const linalg::Matrix x_active_next = gather_rows(x_scaled_, active);
+        gp::PairwiseDistances dist =
+            gp::PairwiseDistances::cross(x_new, x_active_next);
+        if (k_star_cost_valid) {
+          trace::count("sim.kstar_append");
+          gpr_cost.kernel().prepare_distances(dist);
+          const linalg::Matrix new_row = gpr_cost.kernel().cross_cached(dist);
+          k_star_cost = append_row(k_star_cost, new_row.row(0));
+        }
+        if (k_star_mem_valid) {
+          trace::count("sim.kstar_append");
+          gpr_mem.kernel().prepare_distances(dist);
+          const linalg::Matrix new_row = gpr_mem.kernel().cross_cached(dist);
+          k_star_mem = append_row(k_star_mem, new_row.row(0));
+        }
       }
     }
 

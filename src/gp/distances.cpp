@@ -1,0 +1,149 @@
+#include "alamr/gp/distances.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "alamr/core/trace.hpp"
+
+namespace alamr::gp {
+
+PairwiseDistances PairwiseDistances::train(const Matrix& x) {
+  core::trace::count("gp.dist_cache_build");
+  PairwiseDistances d;
+  d.symmetric_ = true;
+  d.x_ = x;
+  const std::size_t n = x.rows();
+  d.sq_ = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double r2 = linalg::squared_distance(x.row(i), x.row(j));
+      d.sq_(i, j) = r2;
+      d.sq_(j, i) = r2;
+    }
+  }
+  return d;
+}
+
+PairwiseDistances PairwiseDistances::cross(const Matrix& x, const Matrix& y) {
+  if (x.cols() != y.cols()) {
+    throw std::invalid_argument("PairwiseDistances::cross: dim mismatch");
+  }
+  core::trace::count("gp.dist_cache_build");
+  PairwiseDistances d;
+  d.symmetric_ = false;
+  d.x_ = x;
+  d.y_ = y;
+  d.sq_ = Matrix(x.rows(), y.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto xi = x.row(i);
+    for (std::size_t j = 0; j < y.rows(); ++j) {
+      d.sq_(i, j) = linalg::squared_distance(xi, y.row(j));
+    }
+  }
+  return d;
+}
+
+void PairwiseDistances::ensure_components() {
+  if (!components_.empty()) return;
+  core::trace::count("gp.dist_components_build");
+  const std::size_t ndim = dim();
+  const Matrix& ys = y();
+  components_.assign(ndim, Matrix(rows(), cols()));
+  if (symmetric_) {
+    for (std::size_t i = 0; i < rows(); ++i) {
+      const auto xi = x_.row(i);
+      for (std::size_t j = 0; j < i; ++j) {
+        const auto xj = x_.row(j);
+        for (std::size_t d = 0; d < ndim; ++d) {
+          const double diff = xi[d] - xj[d];
+          const double v = diff * diff;
+          components_[d](i, j) = v;
+          components_[d](j, i) = v;
+        }
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < rows(); ++i) {
+      const auto xi = x_.row(i);
+      for (std::size_t j = 0; j < cols(); ++j) {
+        const auto yj = ys.row(j);
+        for (std::size_t d = 0; d < ndim; ++d) {
+          const double diff = xi[d] - yj[d];
+          components_[d](i, j) = diff * diff;
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+Matrix with_extra_row(const Matrix& m, std::size_t extra_cols = 0) {
+  Matrix grown(m.rows() + 1, m.cols() + extra_cols);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto src = m.row(i);
+    const auto dst = grown.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return grown;
+}
+
+}  // namespace
+
+void PairwiseDistances::append_x_row(std::span<const double> row) {
+  if (row.size() != dim()) {
+    throw std::invalid_argument("PairwiseDistances::append_x_row: dim mismatch");
+  }
+  core::trace::count("gp.dist_cache_extend");
+  const std::size_t n = x_.rows();
+  Matrix grown_x = with_extra_row(x_);
+  std::copy(row.begin(), row.end(), grown_x.row(n).begin());
+
+  if (symmetric_) {
+    Matrix grown_sq = with_extra_row(sq_, 1);
+    const auto last = grown_sq.row(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      // New point first: the same orientation gram() uses for row i > j.
+      const double r2 = linalg::squared_distance(row, x_.row(j));
+      last[j] = r2;
+      grown_sq(j, n) = r2;
+    }
+    last[n] = 0.0;
+    sq_ = std::move(grown_sq);
+    if (!components_.empty()) {
+      for (std::size_t d = 0; d < components_.size(); ++d) {
+        Matrix grown_c = with_extra_row(components_[d], 1);
+        const auto clast = grown_c.row(n);
+        for (std::size_t j = 0; j < n; ++j) {
+          const double diff = row[d] - x_(j, d);
+          const double v = diff * diff;
+          clast[j] = v;
+          grown_c(j, n) = v;
+        }
+        clast[n] = 0.0;
+        components_[d] = std::move(grown_c);
+      }
+    }
+  } else {
+    Matrix grown_sq = with_extra_row(sq_);
+    const auto last = grown_sq.row(n);
+    for (std::size_t j = 0; j < y_.rows(); ++j) {
+      last[j] = linalg::squared_distance(row, y_.row(j));
+    }
+    sq_ = std::move(grown_sq);
+    if (!components_.empty()) {
+      for (std::size_t d = 0; d < components_.size(); ++d) {
+        Matrix grown_c = with_extra_row(components_[d]);
+        const auto clast = grown_c.row(n);
+        for (std::size_t j = 0; j < y_.rows(); ++j) {
+          const double diff = row[d] - y_(j, d);
+          clast[j] = diff * diff;
+        }
+        components_[d] = std::move(grown_c);
+      }
+    }
+  }
+  x_ = std::move(grown_x);
+}
+
+}  // namespace alamr::gp

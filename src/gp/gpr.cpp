@@ -28,6 +28,7 @@ GaussianProcessRegressor::GaussianProcessRegressor(
     : kernel_(other.kernel_->clone()),
       options_(other.options_),
       x_train_(other.x_train_),
+      train_dist_(other.train_dist_),
       y_raw_(other.y_raw_),
       y_train_(other.y_train_),
       y_mean_(other.y_mean_),
@@ -43,6 +44,7 @@ GaussianProcessRegressor& GaussianProcessRegressor::operator=(
   kernel_ = other.kernel_->clone();
   options_ = other.options_;
   x_train_ = other.x_train_;
+  train_dist_ = other.train_dist_;
   y_raw_ = other.y_raw_;
   y_train_ = other.y_train_;
   y_mean_ = other.y_mean_;
@@ -66,8 +68,21 @@ double GaussianProcessRegressor::log_marginal_likelihood(
 
   const std::size_t n = x_train_.rows();
   std::vector<Matrix> gradients;
-  Matrix k = grad.empty() ? probe->gram(x_train_)
-                          : probe->gram_with_gradients(x_train_, gradients);
+  Matrix k;
+  if (train_dist_ && train_dist_->rows() == n) {
+    // Hot path for every optimizer probe: elementwise transform of the
+    // cached squared distances; no feature passes. Bit-identical to the
+    // direct evaluation below. Thread-safe: the cache is read-only here
+    // (fit() prepared it before optimization), so concurrent multistart
+    // workers share it freely.
+    core::trace::count("gpr.dist_cache_hit");
+    k = grad.empty() ? probe->gram_cached(*train_dist_)
+                     : probe->gram_with_gradients_cached(*train_dist_, gradients);
+  } else {
+    core::trace::count("gpr.dist_cache_miss");
+    k = grad.empty() ? probe->gram(x_train_)
+                     : probe->gram_with_gradients(x_train_, gradients);
+  }
 
   const auto [factor, jitter] =
       linalg::cholesky_with_jitter(k, options_.initial_jitter, options_.max_jitter);
@@ -85,21 +100,32 @@ double GaussianProcessRegressor::log_marginal_likelihood(
     // dLML/dtheta_j = 1/2 tr((alpha alpha^T - K^{-1}) dK/dtheta_j).
     // Both alpha alpha^T - K^{-1} and dK are symmetric, so the trace needs
     // only the upper triangle: diagonal terms once, off-diagonal doubled.
+    // All parameters share one pass: the alpha alpha^T - K^{-1} entry is
+    // computed once per (r, c) and fed to every gradient's accumulator,
+    // each of which sums the same terms in the same ascending-c order a
+    // per-parameter pass would.
     const Matrix k_inv = factor.inverse();
-    for (std::size_t j = 0; j < gradients.size(); ++j) {
-      const Matrix& dk = gradients[j];
-      double trace = 0.0;
-      for (std::size_t r = 0; r < n; ++r) {
-        const auto dk_row = dk.row(r);
-        const auto kinv_row = k_inv.row(r);
-        double off_acc = 0.0;
-        for (std::size_t c = r + 1; c < n; ++c) {
-          off_acc += (alpha[r] * alpha[c] - kinv_row[c]) * dk_row[c];
-        }
-        trace += (alpha[r] * alpha[r] - kinv_row[r]) * dk_row[r] + 2.0 * off_acc;
+    const std::size_t np = gradients.size();
+    std::vector<double> traces(np, 0.0);
+    std::vector<double> off(np);
+    std::vector<const double*> dk_rows(np);
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto kinv_row = k_inv.row(r);
+      const double ar = alpha[r];
+      for (std::size_t j = 0; j < np; ++j) {
+        dk_rows[j] = gradients[j].row(r).data();
+        off[j] = 0.0;
       }
-      grad[j] = 0.5 * trace;
+      for (std::size_t c = r + 1; c < n; ++c) {
+        const double s = ar * alpha[c] - kinv_row[c];
+        for (std::size_t j = 0; j < np; ++j) off[j] += s * dk_rows[j][c];
+      }
+      const double sd = ar * ar - kinv_row[r];
+      for (std::size_t j = 0; j < np; ++j) {
+        traces[j] += sd * dk_rows[j][r] + 2.0 * off[j];
+      }
     }
+    for (std::size_t j = 0; j < np; ++j) grad[j] = 0.5 * traces[j];
   }
   return lml;
 }
@@ -108,7 +134,9 @@ double GaussianProcessRegressor::compute_posterior() {
   // Full O(n^2) gram rebuild + O(n^3) refactor — the slow path that
   // fit_add_point's incremental update exists to avoid.
   core::trace::count("gpr.fit_full");
-  gram_ = kernel_->gram(x_train_);
+  gram_ = train_dist_ && train_dist_->rows() == x_train_.rows()
+              ? kernel_->gram_cached(*train_dist_)
+              : kernel_->gram(x_train_);
   auto [factor, jitter] = linalg::cholesky_with_jitter(
       gram_, options_.initial_jitter, options_.max_jitter);
   factor_ = std::move(factor);
@@ -164,6 +192,15 @@ void GaussianProcessRegressor::fit(const Matrix& x, std::span<const double> y,
   }
 
   x_train_ = x;
+  // Build the distance cache (and whatever the kernel derives from it,
+  // e.g. ARD components) up front: optimization below shares it across
+  // multistart workers, so it must be complete and read-only by then.
+  if (options_.use_distance_cache) {
+    train_dist_ = PairwiseDistances::train(x_train_);
+    kernel_->prepare_distances(*train_dist_);
+  } else {
+    train_dist_.reset();
+  }
   y_raw_.assign(y.begin(), y.end());
   recenter_targets();
 
@@ -188,6 +225,7 @@ void GaussianProcessRegressor::append_training_point(std::span<const double> x,
   }
   std::copy(x.begin(), x.end(), grown.row(n).begin());
   x_train_ = std::move(grown);
+  if (train_dist_) train_dist_->append_x_row(x);
 
   y_raw_.push_back(y);
   // fit() centers by summing all targets in order; repeat that exactly so
@@ -282,8 +320,17 @@ Prediction GaussianProcessRegressor::predict(const Matrix& x) const {
   if (x.cols() != x_train_.cols()) {
     throw std::invalid_argument("GPR::predict: dimension mismatch");
   }
+  return predict_from_cross(kernel_->cross(x_train_, x), x);
+}
 
-  const Matrix k_star = kernel_->cross(x_train_, x);  // n_train x n_query
+Prediction GaussianProcessRegressor::predict_from_cross(const Matrix& k_star,
+                                                        const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("GPR::predict before fit");
+  if (k_star.rows() != x_train_.rows() || k_star.cols() != x.rows()) {
+    throw std::invalid_argument("GPR::predict_from_cross: shape mismatch");
+  }
+
+  const std::size_t n = x_train_.rows();
   Prediction out;
   out.mean = linalg::matvec_transposed(k_star, alpha_);
   for (double& m : out.mean) m += y_mean_;
@@ -291,15 +338,22 @@ Prediction GaussianProcessRegressor::predict(const Matrix& x) const {
   out.stddev.resize(x.rows());
   const std::vector<double> prior_diag = kernel_->diagonal(x);
   // Each query's variance solve is independent; chunks write disjoint
-  // stddev slots, so the result is identical for any thread count.
+  // stddev slots, so the result is identical for any thread count. Within
+  // a chunk the forward substitution runs over all columns at once
+  // (contiguous inner loops) — per scalar it performs exactly the
+  // operations a per-column solve_lower + dot(v, v) would.
   core::parallel_for_chunks(x.rows(), [&](std::size_t begin, std::size_t end) {
-    std::vector<double> column(x_train_.rows());
-    for (std::size_t q = begin; q < end; ++q) {
-      for (std::size_t i = 0; i < x_train_.rows(); ++i) column[i] = k_star(i, q);
-      // sigma^2 = k** - k*^T K_y^{-1} k* via v = L^{-1} k*; sigma^2 = k** - v.v
-      const linalg::Vector v = factor_->solve_lower(column);
-      const double var = prior_diag[q] - linalg::dot(v, v);
-      out.stddev[q] = var > 0.0 ? std::sqrt(var) : 0.0;
+    // sigma^2 = k** - k*^T K_y^{-1} k* via Z = L^{-1} K*; sigma^2_q = k** - |z_q|^2
+    const Matrix z = factor_->solve_lower_block(k_star, begin, end);
+    const std::size_t nc = end - begin;
+    std::vector<double> acc(nc, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto zi = z.row(i);
+      for (std::size_t q = 0; q < nc; ++q) acc[q] += zi[q] * zi[q];
+    }
+    for (std::size_t q = 0; q < nc; ++q) {
+      const double var = prior_diag[begin + q] - acc[q];
+      out.stddev[begin + q] = var > 0.0 ? std::sqrt(var) : 0.0;
     }
   });
   return out;

@@ -24,6 +24,28 @@ double checked_positive(double v, const char* who) {
 
 }  // namespace
 
+// ---- Kernel: distance-cached defaults --------------------------------------
+//
+// Fallbacks for kernels without a bespoke cached path: evaluate directly on
+// the point sets the cache retains. Correct (and still bit-identical, since
+// it IS the direct path) but without the refit speedup; every built-in
+// kernel overrides these.
+
+void Kernel::prepare_distances(PairwiseDistances&) const {}
+
+Matrix Kernel::gram_cached(const PairwiseDistances& dist) const {
+  return gram(dist.x());
+}
+
+Matrix Kernel::gram_with_gradients_cached(const PairwiseDistances& dist,
+                                          std::vector<Matrix>& gradients) const {
+  return gram_with_gradients(dist.x(), gradients);
+}
+
+Matrix Kernel::cross_cached(const PairwiseDistances& dist) const {
+  return cross(dist.x(), dist.y());
+}
+
 // ---- ConstantKernel --------------------------------------------------------
 
 ConstantKernel::ConstantKernel(double value, double lower, double upper)
@@ -58,6 +80,21 @@ Matrix ConstantKernel::gram_with_gradients(const Matrix& x,
 
 Matrix ConstantKernel::cross(const Matrix& x, const Matrix& y) const {
   return Matrix(x.rows(), y.rows(), value_);
+}
+
+Matrix ConstantKernel::gram_cached(const PairwiseDistances& dist) const {
+  return Matrix(dist.rows(), dist.rows(), value_);
+}
+
+Matrix ConstantKernel::gram_with_gradients_cached(
+    const PairwiseDistances& dist, std::vector<Matrix>& gradients) const {
+  gradients.clear();
+  gradients.emplace_back(dist.rows(), dist.rows(), value_);
+  return Matrix(dist.rows(), dist.rows(), value_);
+}
+
+Matrix ConstantKernel::cross_cached(const PairwiseDistances& dist) const {
+  return Matrix(dist.rows(), dist.cols(), value_);
 }
 
 std::vector<double> ConstantKernel::diagonal(const Matrix& x) const {
@@ -109,6 +146,25 @@ Matrix WhiteKernel::gram_with_gradients(const Matrix& x,
 
 Matrix WhiteKernel::cross(const Matrix& x, const Matrix& y) const {
   return Matrix(x.rows(), y.rows(), 0.0);
+}
+
+Matrix WhiteKernel::gram_cached(const PairwiseDistances& dist) const {
+  Matrix k(dist.rows(), dist.rows());
+  for (std::size_t i = 0; i < dist.rows(); ++i) k(i, i) = noise_;
+  return k;
+}
+
+Matrix WhiteKernel::gram_with_gradients_cached(
+    const PairwiseDistances& dist, std::vector<Matrix>& gradients) const {
+  gradients.clear();
+  Matrix g(dist.rows(), dist.rows());
+  for (std::size_t i = 0; i < dist.rows(); ++i) g(i, i) = noise_;
+  gradients.push_back(g);
+  return g;
+}
+
+Matrix WhiteKernel::cross_cached(const PairwiseDistances& dist) const {
+  return Matrix(dist.rows(), dist.cols(), 0.0);
 }
 
 std::vector<double> WhiteKernel::diagonal(const Matrix& x) const {
@@ -193,6 +249,68 @@ Matrix RbfKernel::cross(const Matrix& x, const Matrix& y) const {
   return k;
 }
 
+// The cached variants replay the exact per-entry expressions of the direct
+// paths above on the cached squared distances: gram/cross use
+// (-r2) * inv_2l2, gram_with_gradients uses -0.5 * r2 * inv_l2 — the two
+// direct paths deliberately differ and the cached ones match each op for
+// op, so results are bit-identical either way.
+
+Matrix RbfKernel::gram_cached(const PairwiseDistances& dist) const {
+  const double inv_2l2 = 1.0 / (2.0 * length_ * length_);
+  const Matrix& r2 = dist.squared();
+  const std::size_t n = dist.rows();
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    const auto r2i = r2.row(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double v = std::exp(-r2i[j] * inv_2l2);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Matrix RbfKernel::gram_with_gradients_cached(
+    const PairwiseDistances& dist, std::vector<Matrix>& gradients) const {
+  const double inv_l2 = 1.0 / (length_ * length_);
+  const Matrix& r2 = dist.squared();
+  const std::size_t n = dist.rows();
+  Matrix k(n, n);
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    g(i, i) = 0.0;
+    const auto r2i = r2.row(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double v = std::exp(-0.5 * r2i[j] * inv_l2);
+      const double dv = v * r2i[j] * inv_l2;
+      k(i, j) = v;
+      k(j, i) = v;
+      g(i, j) = dv;
+      g(j, i) = dv;
+    }
+  }
+  gradients.clear();
+  gradients.push_back(std::move(g));
+  return k;
+}
+
+Matrix RbfKernel::cross_cached(const PairwiseDistances& dist) const {
+  const double inv_2l2 = 1.0 / (2.0 * length_ * length_);
+  const Matrix& r2 = dist.squared();
+  Matrix k(dist.rows(), dist.cols());
+  for (std::size_t i = 0; i < dist.rows(); ++i) {
+    const auto r2i = r2.row(i);
+    const auto ki = k.row(i);
+    for (std::size_t j = 0; j < dist.cols(); ++j) {
+      ki[j] = std::exp(-r2i[j] * inv_2l2);
+    }
+  }
+  return k;
+}
+
 std::vector<double> RbfKernel::diagonal(const Matrix& x) const {
   return std::vector<double>(x.rows(), 1.0);
 }
@@ -236,10 +354,26 @@ opt::Bounds RbfArdKernel::log_bounds() const {
           std::vector<double>(lengths_.size(), std::log(upper_))};
 }
 
+namespace {
+
+// Reciprocal squared length scales, hoisted out of the pair loops. Both the
+// direct and the cached ARD paths accumulate q += (diff * diff) * inv_l2[d]
+// — the same expression shape — so they agree bit for bit.
+std::vector<double> inverse_squared(std::span<const double> lengths) {
+  std::vector<double> inv_l2(lengths.size());
+  for (std::size_t d = 0; d < lengths.size(); ++d) {
+    inv_l2[d] = 1.0 / (lengths[d] * lengths[d]);
+  }
+  return inv_l2;
+}
+
+}  // namespace
+
 Matrix RbfArdKernel::gram(const Matrix& x) const {
   if (x.cols() != lengths_.size()) {
     throw std::invalid_argument("RbfArdKernel: dimension mismatch");
   }
+  const std::vector<double> inv_l2 = inverse_squared(lengths_);
   Matrix k(x.rows(), x.rows());
   for (std::size_t i = 0; i < x.rows(); ++i) {
     k(i, i) = 1.0;
@@ -248,8 +382,8 @@ Matrix RbfArdKernel::gram(const Matrix& x) const {
       const auto xj = x.row(j);
       double q = 0.0;
       for (std::size_t d = 0; d < lengths_.size(); ++d) {
-        const double z = (xi[d] - xj[d]) / lengths_[d];
-        q += z * z;
+        const double diff = xi[d] - xj[d];
+        q += (diff * diff) * inv_l2[d];
       }
       const double v = std::exp(-0.5 * q);
       k(i, j) = v;
@@ -266,6 +400,7 @@ Matrix RbfArdKernel::gram_with_gradients(const Matrix& x,
   }
   const std::size_t n = x.rows();
   const std::size_t d = lengths_.size();
+  const std::vector<double> inv_l2 = inverse_squared(lengths_);
   Matrix k(n, n);
   gradients.assign(d, Matrix(n, n));
   std::vector<double> z2(d);
@@ -276,8 +411,8 @@ Matrix RbfArdKernel::gram_with_gradients(const Matrix& x,
       const auto xj = x.row(j);
       double q = 0.0;
       for (std::size_t dim = 0; dim < d; ++dim) {
-        const double z = (xi[dim] - xj[dim]) / lengths_[dim];
-        z2[dim] = z * z;
+        const double diff = xi[dim] - xj[dim];
+        z2[dim] = (diff * diff) * inv_l2[dim];
         q += z2[dim];
       }
       const double v = std::exp(-0.5 * q);
@@ -298,6 +433,7 @@ Matrix RbfArdKernel::cross(const Matrix& x, const Matrix& y) const {
   if (x.cols() != lengths_.size() || y.cols() != lengths_.size()) {
     throw std::invalid_argument("RbfArdKernel::cross: dimension mismatch");
   }
+  const std::vector<double> inv_l2 = inverse_squared(lengths_);
   Matrix k(x.rows(), y.rows());
   for (std::size_t i = 0; i < x.rows(); ++i) {
     const auto xi = x.row(i);
@@ -305,8 +441,101 @@ Matrix RbfArdKernel::cross(const Matrix& x, const Matrix& y) const {
       const auto yj = y.row(j);
       double q = 0.0;
       for (std::size_t dim = 0; dim < lengths_.size(); ++dim) {
-        const double z = (xi[dim] - yj[dim]) / lengths_[dim];
-        q += z * z;
+        const double diff = xi[dim] - yj[dim];
+        q += (diff * diff) * inv_l2[dim];
+      }
+      k(i, j) = std::exp(-0.5 * q);
+    }
+  }
+  return k;
+}
+
+void RbfArdKernel::prepare_distances(PairwiseDistances& dist) const {
+  dist.ensure_components();
+}
+
+Matrix RbfArdKernel::gram_cached(const PairwiseDistances& dist) const {
+  if (dist.dim() != lengths_.size()) {
+    throw std::invalid_argument("RbfArdKernel: dimension mismatch");
+  }
+  if (!dist.has_components()) {
+    throw std::invalid_argument(
+        "RbfArdKernel: cache lacks per-dimension components; call "
+        "prepare_distances first");
+  }
+  const std::size_t n = dist.rows();
+  const std::size_t d = lengths_.size();
+  const std::vector<double> inv_l2 = inverse_squared(lengths_);
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      double q = 0.0;
+      for (std::size_t dim = 0; dim < d; ++dim) {
+        q += dist.component(dim)(i, j) * inv_l2[dim];
+      }
+      const double v = std::exp(-0.5 * q);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Matrix RbfArdKernel::gram_with_gradients_cached(
+    const PairwiseDistances& dist, std::vector<Matrix>& gradients) const {
+  if (dist.dim() != lengths_.size()) {
+    throw std::invalid_argument("RbfArdKernel: dimension mismatch");
+  }
+  if (!dist.has_components()) {
+    throw std::invalid_argument(
+        "RbfArdKernel: cache lacks per-dimension components; call "
+        "prepare_distances first");
+  }
+  const std::size_t n = dist.rows();
+  const std::size_t d = lengths_.size();
+  const std::vector<double> inv_l2 = inverse_squared(lengths_);
+  Matrix k(n, n);
+  gradients.assign(d, Matrix(n, n));
+  std::vector<double> z2(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      double q = 0.0;
+      for (std::size_t dim = 0; dim < d; ++dim) {
+        z2[dim] = dist.component(dim)(i, j) * inv_l2[dim];
+        q += z2[dim];
+      }
+      const double v = std::exp(-0.5 * q);
+      k(i, j) = v;
+      k(j, i) = v;
+      for (std::size_t dim = 0; dim < d; ++dim) {
+        const double g = v * z2[dim];
+        gradients[dim](i, j) = g;
+        gradients[dim](j, i) = g;
+      }
+    }
+  }
+  return k;
+}
+
+Matrix RbfArdKernel::cross_cached(const PairwiseDistances& dist) const {
+  if (dist.dim() != lengths_.size()) {
+    throw std::invalid_argument("RbfArdKernel: dimension mismatch");
+  }
+  if (!dist.has_components()) {
+    throw std::invalid_argument(
+        "RbfArdKernel: cache lacks per-dimension components; call "
+        "prepare_distances first");
+  }
+  const std::size_t d = lengths_.size();
+  const std::vector<double> inv_l2 = inverse_squared(lengths_);
+  Matrix k(dist.rows(), dist.cols());
+  for (std::size_t i = 0; i < dist.rows(); ++i) {
+    for (std::size_t j = 0; j < dist.cols(); ++j) {
+      double q = 0.0;
+      for (std::size_t dim = 0; dim < d; ++dim) {
+        q += dist.component(dim)(i, j) * inv_l2[dim];
       }
       k(i, j) = std::exp(-0.5 * q);
     }
@@ -438,6 +667,60 @@ Matrix MaternKernel::cross(const Matrix& x, const Matrix& y) const {
   return k;
 }
 
+Matrix MaternKernel::gram_cached(const PairwiseDistances& dist) const {
+  const Matrix& r2 = dist.squared();
+  const std::size_t n = dist.rows();
+  Matrix k(n, n);
+  double v = 0.0;
+  double dv = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      eval(r2(i, j), v, dv);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Matrix MaternKernel::gram_with_gradients_cached(
+    const PairwiseDistances& dist, std::vector<Matrix>& gradients) const {
+  const Matrix& r2 = dist.squared();
+  const std::size_t n = dist.rows();
+  Matrix k(n, n);
+  Matrix g(n, n);
+  double v = 0.0;
+  double dv = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      eval(r2(i, j), v, dv);
+      k(i, j) = v;
+      k(j, i) = v;
+      g(i, j) = dv;
+      g(j, i) = dv;
+    }
+  }
+  gradients.clear();
+  gradients.push_back(std::move(g));
+  return k;
+}
+
+Matrix MaternKernel::cross_cached(const PairwiseDistances& dist) const {
+  const Matrix& r2 = dist.squared();
+  Matrix k(dist.rows(), dist.cols());
+  double v = 0.0;
+  double dv = 0.0;
+  for (std::size_t i = 0; i < dist.rows(); ++i) {
+    for (std::size_t j = 0; j < dist.cols(); ++j) {
+      eval(r2(i, j), v, dv);
+      k(i, j) = v;
+    }
+  }
+  return k;
+}
+
 std::vector<double> MaternKernel::diagonal(const Matrix& x) const {
   return std::vector<double>(x.rows(), 1.0);
 }
@@ -546,6 +829,63 @@ Matrix RationalQuadraticKernel::cross(const Matrix& x, const Matrix& y) const {
   return k;
 }
 
+Matrix RationalQuadraticKernel::gram_cached(const PairwiseDistances& dist) const {
+  const Matrix& r2 = dist.squared();
+  const std::size_t n = dist.rows();
+  Matrix k(n, n);
+  double v = 0.0;
+  double dl = 0.0;
+  double da = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      eval(r2(i, j), v, dl, da);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Matrix RationalQuadraticKernel::gram_with_gradients_cached(
+    const PairwiseDistances& dist, std::vector<Matrix>& gradients) const {
+  const Matrix& r2 = dist.squared();
+  const std::size_t n = dist.rows();
+  Matrix k(n, n);
+  gradients.assign(2, Matrix(n, n));
+  double v = 0.0;
+  double dl = 0.0;
+  double da = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      eval(r2(i, j), v, dl, da);
+      k(i, j) = v;
+      k(j, i) = v;
+      gradients[0](i, j) = dl;
+      gradients[0](j, i) = dl;
+      gradients[1](i, j) = da;
+      gradients[1](j, i) = da;
+    }
+  }
+  return k;
+}
+
+Matrix RationalQuadraticKernel::cross_cached(const PairwiseDistances& dist) const {
+  const Matrix& r2 = dist.squared();
+  Matrix k(dist.rows(), dist.cols());
+  double v = 0.0;
+  double dl = 0.0;
+  double da = 0.0;
+  for (std::size_t i = 0; i < dist.rows(); ++i) {
+    for (std::size_t j = 0; j < dist.cols(); ++j) {
+      eval(r2(i, j), v, dl, da);
+      k(i, j) = v;
+    }
+  }
+  return k;
+}
+
 std::vector<double> RationalQuadraticKernel::diagonal(const Matrix& x) const {
   return std::vector<double>(x.rows(), 1.0);
 }
@@ -616,6 +956,56 @@ Matrix SumKernel::gram_with_gradients(const Matrix& x,
 Matrix SumKernel::cross(const Matrix& x, const Matrix& y) const {
   Matrix k = left_->cross(x, y);
   const Matrix r = right_->cross(x, y);
+  for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] += r.data()[i];
+  return k;
+}
+
+void SumKernel::prepare_distances(PairwiseDistances& dist) const {
+  left_->prepare_distances(dist);
+  right_->prepare_distances(dist);
+}
+
+Matrix SumKernel::gram_cached(const PairwiseDistances& dist) const {
+  // Fast path: a White addend only touches the diagonal, so the dense
+  // allocate-then-add pass collapses to n diagonal additions. Bit-identical
+  // to the generic pass: off-diagonal entries would add +0.0 (a no-op for
+  // every value a kernel gram produces — none emit -0), and the diagonal
+  // addition is commutative, hence exact in either operand order.
+  if (const auto* white = dynamic_cast<const WhiteKernel*>(right_.get())) {
+    Matrix k = left_->gram_cached(dist);
+    const double noise = white->noise();
+    for (std::size_t i = 0; i < k.rows(); ++i) k(i, i) += noise;
+    return k;
+  }
+  if (const auto* white = dynamic_cast<const WhiteKernel*>(left_.get())) {
+    Matrix k = right_->gram_cached(dist);
+    const double noise = white->noise();
+    for (std::size_t i = 0; i < k.rows(); ++i) k(i, i) += noise;
+    return k;
+  }
+  Matrix k = left_->gram_cached(dist);
+  const Matrix r = right_->gram_cached(dist);
+  for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] += r.data()[i];
+  return k;
+}
+
+Matrix SumKernel::gram_with_gradients_cached(
+    const PairwiseDistances& dist, std::vector<Matrix>& gradients) const {
+  std::vector<Matrix> left_grads;
+  std::vector<Matrix> right_grads;
+  Matrix k = left_->gram_with_gradients_cached(dist, left_grads);
+  const Matrix r = right_->gram_with_gradients_cached(dist, right_grads);
+  for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] += r.data()[i];
+  gradients.clear();
+  gradients.reserve(left_grads.size() + right_grads.size());
+  for (auto& g : left_grads) gradients.push_back(std::move(g));
+  for (auto& g : right_grads) gradients.push_back(std::move(g));
+  return k;
+}
+
+Matrix SumKernel::cross_cached(const PairwiseDistances& dist) const {
+  Matrix k = left_->cross_cached(dist);
+  const Matrix r = right_->cross_cached(dist);
   for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] += r.data()[i];
   return k;
 }
@@ -702,6 +1092,65 @@ Matrix ProductKernel::gram_with_gradients(const Matrix& x,
 Matrix ProductKernel::cross(const Matrix& x, const Matrix& y) const {
   Matrix k = left_->cross(x, y);
   const Matrix r = right_->cross(x, y);
+  for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] *= r.data()[i];
+  return k;
+}
+
+void ProductKernel::prepare_distances(PairwiseDistances& dist) const {
+  left_->prepare_distances(dist);
+  right_->prepare_distances(dist);
+}
+
+Matrix ProductKernel::gram_cached(const PairwiseDistances& dist) const {
+  // Fast path: a Constant factor is a scalar scale — no dense constant
+  // matrix, one multiply per entry. FP multiplication is commutative
+  // bit-for-bit, so c * k and k * c agree with the generic elementwise
+  // product exactly.
+  if (const auto* c = dynamic_cast<const ConstantKernel*>(left_.get())) {
+    Matrix k = right_->gram_cached(dist);
+    const double v = c->value();
+    for (double& e : k.data()) e *= v;
+    return k;
+  }
+  if (const auto* c = dynamic_cast<const ConstantKernel*>(right_.get())) {
+    Matrix k = left_->gram_cached(dist);
+    const double v = c->value();
+    for (double& e : k.data()) e *= v;
+    return k;
+  }
+  Matrix k = left_->gram_cached(dist);
+  const Matrix r = right_->gram_cached(dist);
+  for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] *= r.data()[i];
+  return k;
+}
+
+Matrix ProductKernel::gram_with_gradients_cached(
+    const PairwiseDistances& dist, std::vector<Matrix>& gradients) const {
+  std::vector<Matrix> left_grads;
+  std::vector<Matrix> right_grads;
+  const Matrix kl = left_->gram_with_gradients_cached(dist, left_grads);
+  const Matrix kr = right_->gram_with_gradients_cached(dist, right_grads);
+
+  gradients.clear();
+  gradients.reserve(left_grads.size() + right_grads.size());
+  // Product rule, same combine order as the direct path.
+  for (auto& g : left_grads) {
+    for (std::size_t i = 0; i < g.data().size(); ++i) g.data()[i] *= kr.data()[i];
+    gradients.push_back(std::move(g));
+  }
+  for (auto& g : right_grads) {
+    for (std::size_t i = 0; i < g.data().size(); ++i) g.data()[i] *= kl.data()[i];
+    gradients.push_back(std::move(g));
+  }
+
+  Matrix k = kl;
+  for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] *= kr.data()[i];
+  return k;
+}
+
+Matrix ProductKernel::cross_cached(const PairwiseDistances& dist) const {
+  Matrix k = left_->cross_cached(dist);
+  const Matrix r = right_->cross_cached(dist);
   for (std::size_t i = 0; i < k.data().size(); ++i) k.data()[i] *= r.data()[i];
   return k;
 }

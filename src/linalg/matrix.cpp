@@ -6,6 +6,12 @@
 
 namespace alamr::linalg {
 
+namespace detail {
+
+void assert_fail(const char* msg) { throw std::invalid_argument(msg); }
+
+}  // namespace detail
+
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = rows.size();
   cols_ = rows_ == 0 ? 0 : rows.begin()->size();
@@ -26,39 +32,26 @@ Matrix Matrix::identity(std::size_t n) {
 
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t j = 0; j < cols_; ++j) {
-      t(j, i) = (*this)(i, j);
+  // Tiled copy: a straight row sweep writes (or reads) with stride
+  // rows_ * 8 bytes, touching a fresh cache line per element. 16x16 tiles
+  // (2 KiB working set) keep both the source and destination lines resident
+  // while they are reused. Pure data movement — bit-exact by construction.
+  constexpr std::size_t kTile = 16;
+  for (std::size_t ib = 0; ib < rows_; ib += kTile) {
+    const std::size_t ie = std::min(ib + kTile, rows_);
+    for (std::size_t jb = 0; jb < cols_; jb += kTile) {
+      const std::size_t je = std::min(jb + kTile, cols_);
+      for (std::size_t i = ib; i < ie; ++i) {
+        for (std::size_t j = jb; j < je; ++j) {
+          t(j, i) = (*this)(i, j);
+        }
+      }
     }
   }
   return t;
 }
 
-double dot(std::span<const double> x, std::span<const double> y) {
-  if (x.size() != y.size()) throw std::invalid_argument("dot: length mismatch");
-  double total = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) total += x[i] * y[i];
-  return total;
-}
-
 double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
-
-void axpy(double alpha, std::span<const double> x, std::span<double> y) {
-  if (x.size() != y.size()) throw std::invalid_argument("axpy: length mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
-}
-
-double squared_distance(std::span<const double> x, std::span<const double> y) {
-  if (x.size() != y.size()) {
-    throw std::invalid_argument("squared_distance: length mismatch");
-  }
-  double total = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - y[i];
-    total += d * d;
-  }
-  return total;
-}
 
 Vector matvec(const Matrix& a, std::span<const double> x) {
   if (a.cols() != x.size()) throw std::invalid_argument("matvec: shape mismatch");
@@ -82,24 +75,77 @@ Vector matvec_transposed(const Matrix& a, std::span<const double> x) {
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
-  Matrix c(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop contiguous in both B and C.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    auto ci = c.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      axpy(aik, b.row(k), ci);
+  const std::size_t n = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t m = b.cols();
+  Matrix c(n, m);
+  // Register-tiled i-k-j: two C rows and two B rows in flight, so every
+  // load of b.row(k) feeds two accumulation chains. Each C entry still
+  // receives its k contributions one at a time in ascending order — no
+  // value-dependent skips (a zero or NaN in A participates per IEEE rules)
+  // and no reassociation, so the result is independent of tile shape.
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const auto c0 = c.row(i);
+    const auto c1 = c.row(i + 1);
+    std::size_t k = 0;
+    for (; k + 2 <= kk; k += 2) {
+      const double a00 = a(i, k);
+      const double a01 = a(i, k + 1);
+      const double a10 = a(i + 1, k);
+      const double a11 = a(i + 1, k + 1);
+      const auto b0 = b.row(k);
+      const auto b1 = b.row(k + 1);
+      for (std::size_t j = 0; j < m; ++j) {
+        double v0 = c0[j];
+        v0 += a00 * b0[j];
+        v0 += a01 * b1[j];
+        c0[j] = v0;
+        double v1 = c1[j];
+        v1 += a10 * b0[j];
+        v1 += a11 * b1[j];
+        c1[j] = v1;
+      }
+    }
+    for (; k < kk; ++k) {
+      axpy(a(i, k), b.row(k), c0);
+      axpy(a(i + 1, k), b.row(k), c1);
+    }
+  }
+  for (; i < n; ++i) {
+    const auto ci = c.row(i);
+    for (std::size_t k = 0; k < kk; ++k) {
+      axpy(a(i, k), b.row(k), ci);
     }
   }
   return c;
 }
 
 Matrix aat(const Matrix& a) {
-  Matrix c(a.rows(), a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j <= i; ++j) {
-      const double v = dot(a.row(i), a.row(j));
+  const std::size_t n = a.rows();
+  const std::size_t d = a.cols();
+  Matrix c(n, n);
+  // Pairs of output columns share the load of a.row(i): two independent
+  // ascending-k dot chains per pass, each bit-identical to dot(ai, aj).
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ai = a.row(i);
+    std::size_t j = 0;
+    for (; j + 1 < i + 1; j += 2) {
+      const auto aj0 = a.row(j);
+      const auto aj1 = a.row(j + 1);
+      double s0 = 0.0;
+      double s1 = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        s0 += ai[k] * aj0[k];
+        s1 += ai[k] * aj1[k];
+      }
+      c(i, j) = s0;
+      c(j, i) = s0;
+      c(i, j + 1) = s1;
+      c(j + 1, i) = s1;
+    }
+    for (; j <= i; ++j) {
+      const double v = dot(ai, a.row(j));
       c(i, j) = v;
       c(j, i) = v;
     }

@@ -348,6 +348,73 @@ TEST(TraceSimulator, FullRefitCountsWhenIncrementalDisabled) {
   EXPECT_EQ(result.trace.counter("gpr.fit_full"), 2u + 2 * kIterations);
 }
 
+TEST(TraceSimulator, CrossCovarianceCountersMatchIncrementalPath) {
+  const EnabledGuard guard(true);
+  const data::Dataset dataset = alamr::testing::synthetic_amr_dataset(120, 4242);
+  constexpr std::size_t kIterations = 8;
+
+  AlOptions options = trace_test_options(kIterations);
+  options.incremental_refit = true;
+  options.incremental_cross = true;
+  const AlSimulator simulator(dataset, options);
+  const RandGoodness strategy;
+  stats::Rng rng(7);
+  const TrajectoryResult result = simulator.run(strategy, rng);
+  ASSERT_EQ(result.iterations.size(), kIterations);
+
+  // Iteration 0 builds K(X_train, X_active) for both models; the
+  // zero-budget warm-started refits never move the hyperparameters, so
+  // every later iteration reuses the matrices (column erase + row append)
+  // and nothing is ever invalidated.
+  EXPECT_EQ(result.trace.counter("sim.kstar_rebuild"), 2u);
+  EXPECT_EQ(result.trace.counter("sim.kstar_reuse"), 2 * (kIterations - 1));
+  EXPECT_EQ(result.trace.counter("sim.kstar_append"), 2 * kIterations);
+  EXPECT_EQ(result.trace.counter("sim.kstar_invalidate"), 0u);
+  // Every fit/refit objective evaluation consumed the training-distance
+  // cache.
+  EXPECT_GT(result.trace.counter("gpr.dist_cache_hit"), 0u);
+  EXPECT_EQ(result.trace.counter("gpr.dist_cache_miss"), 0u);
+}
+
+TEST(TraceSimulator, CrossCovarianceRebuildsWhenDisabled) {
+  const EnabledGuard guard(true);
+  const data::Dataset dataset = alamr::testing::synthetic_amr_dataset(120, 4242);
+  constexpr std::size_t kIterations = 8;
+
+  AlOptions options = trace_test_options(kIterations);
+  options.incremental_cross = false;
+  const AlSimulator simulator(dataset, options);
+  const RandGoodness strategy;
+  stats::Rng rng(7);
+  const TrajectoryResult result = simulator.run(strategy, rng);
+  ASSERT_EQ(result.iterations.size(), kIterations);
+
+  EXPECT_EQ(result.trace.counter("sim.kstar_rebuild"), 0u);
+  EXPECT_EQ(result.trace.counter("sim.kstar_reuse"), 0u);
+  EXPECT_EQ(result.trace.counter("sim.kstar_append"), 0u);
+}
+
+TEST(TraceSimulator, FullRefitInvalidatesCrossCovariance) {
+  const EnabledGuard guard(true);
+  const data::Dataset dataset = alamr::testing::synthetic_amr_dataset(120, 4242);
+  constexpr std::size_t kIterations = 8;
+
+  AlOptions options = trace_test_options(kIterations);
+  options.incremental_refit = false;  // fit() from scratch each iteration
+  options.incremental_cross = true;
+  const AlSimulator simulator(dataset, options);
+  const RandGoodness strategy;
+  stats::Rng rng(7);
+  const TrajectoryResult result = simulator.run(strategy, rng);
+  ASSERT_EQ(result.iterations.size(), kIterations);
+
+  // Every refit re-optimizes from scratch, so each predict phase rebuilds
+  // both matrices and nothing survives long enough to append to.
+  EXPECT_EQ(result.trace.counter("sim.kstar_rebuild"), 2 * kIterations);
+  EXPECT_EQ(result.trace.counter("sim.kstar_reuse"), 0u);
+  EXPECT_EQ(result.trace.counter("sim.kstar_append"), 0u);
+}
+
 TEST(TraceSimulator, PhaseTimersCoverTheLoop) {
   const EnabledGuard guard(true);
   const data::Dataset dataset = alamr::testing::synthetic_amr_dataset(120, 4242);

@@ -48,10 +48,15 @@ AlOptions golden_options() {
   return options;
 }
 
-std::string golden_csv(std::size_t threads, bool incremental_refit) {
+std::string golden_csv(std::size_t threads, bool incremental_refit,
+                       bool incremental_cross = true,
+                       bool use_distance_cache = true) {
   const data::Dataset dataset = alamr::testing::synthetic_amr_dataset(320, 2024);
   AlOptions options = golden_options();
   options.incremental_refit = incremental_refit;
+  options.incremental_cross = incremental_cross;
+  options.initial_fit.use_distance_cache = use_distance_cache;
+  options.refit.use_distance_cache = use_distance_cache;
   const AlSimulator simulator(dataset, options);
   const Rgma rgma(simulator.memory_limit_log10());
 
@@ -107,6 +112,49 @@ TEST(GoldenTrajectory, FullRefitMatchesGolden) {
 TEST(GoldenTrajectory, FourThreadsFullRefitMatchesGolden) {
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(4, false), read_golden_file());
+}
+
+// The incremental cross-covariance path (AlOptions::incremental_cross)
+// erases/appends K(X_train, X_active) columns in place instead of
+// rebuilding the matrix each iteration. Both settings must reproduce the
+// same bytes — with and without the incremental-refit fast path, and
+// under a parallel predict phase.
+
+TEST(GoldenTrajectory, RebuiltCrossCovarianceMatchesGolden) {
+  if (regenerating()) GTEST_SKIP();
+  EXPECT_EQ(golden_csv(1, true, /*incremental_cross=*/false),
+            read_golden_file());
+}
+
+TEST(GoldenTrajectory, RebuiltCrossCovarianceFullRefitMatchesGolden) {
+  if (regenerating()) GTEST_SKIP();
+  EXPECT_EQ(golden_csv(1, false, /*incremental_cross=*/false),
+            read_golden_file());
+}
+
+TEST(GoldenTrajectory, FourThreadsRebuiltCrossCovarianceMatchesGolden) {
+  if (regenerating()) GTEST_SKIP();
+  EXPECT_EQ(golden_csv(4, true, /*incremental_cross=*/false),
+            read_golden_file());
+}
+
+// GprOptions::use_distance_cache = false bypasses the PairwiseDistances
+// cache entirely: every optimizer probe and posterior rebuild takes the
+// direct-gram path. The cached transforms are constructed to replay the
+// direct path's FP sequence, so the bytes must not move.
+
+TEST(GoldenTrajectory, NoDistanceCacheMatchesGolden) {
+  if (regenerating()) GTEST_SKIP();
+  EXPECT_EQ(golden_csv(1, true, /*incremental_cross=*/true,
+                       /*use_distance_cache=*/false),
+            read_golden_file());
+}
+
+TEST(GoldenTrajectory, NoCachesAtAllMatchesGolden) {
+  if (regenerating()) GTEST_SKIP();
+  EXPECT_EQ(golden_csv(1, false, /*incremental_cross=*/false,
+                       /*use_distance_cache=*/false),
+            read_golden_file());
 }
 
 }  // namespace

@@ -1,0 +1,302 @@
+// PairwiseDistances and the distance-cached kernel paths.
+//
+// The contract under test is BITWISE: every cached evaluation must
+// reproduce exactly the doubles the direct path produces, because the
+// golden-trajectory suite compares serialized trajectories byte-for-byte
+// with the caches enabled by default. Comparisons here therefore go
+// through the raw bit patterns, not a tolerance.
+
+#include "alamr/gp/distances.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "alamr/core/trace.hpp"
+#include "alamr/gp/gpr.hpp"
+#include "alamr/gp/kernels.hpp"
+#include "alamr/linalg/matrix.hpp"
+#include "alamr/stats/rng.hpp"
+
+namespace {
+
+using namespace alamr::gp;
+using alamr::linalg::Matrix;
+using alamr::stats::Rng;
+namespace trace = alamr::core::trace;
+
+Matrix random_points(std::size_t n, std::size_t d, Rng& rng) {
+  Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.uniform(0.0, 1.0);
+  }
+  return x;
+}
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+::testing::AssertionResult bitwise_equal(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
+           << b.rows() << "x" << b.cols();
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (!same_bits(a(i, j), b(i, j))) {
+        return ::testing::AssertionFailure()
+               << "entry (" << i << ", " << j << ") differs: " << a(i, j)
+               << " vs " << b(i, j);
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// --- cache construction ----------------------------------------------------
+
+TEST(PairwiseDistances, TrainMatchesSquaredDistance) {
+  Rng rng(17);
+  const Matrix x = random_points(9, 3, rng);
+  const PairwiseDistances dist = PairwiseDistances::train(x);
+  ASSERT_TRUE(dist.symmetric());
+  ASSERT_EQ(dist.rows(), 9u);
+  ASSERT_EQ(dist.cols(), 9u);
+  ASSERT_EQ(dist.dim(), 3u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_TRUE(same_bits(dist.squared()(i, i), 0.0));
+    for (std::size_t j = 0; j < i; ++j) {
+      const double direct = alamr::linalg::squared_distance(x.row(i), x.row(j));
+      EXPECT_TRUE(same_bits(dist.squared()(i, j), direct)) << i << "," << j;
+      EXPECT_TRUE(same_bits(dist.squared()(j, i), direct)) << j << "," << i;
+    }
+  }
+}
+
+TEST(PairwiseDistances, CrossMatchesSquaredDistance) {
+  Rng rng(18);
+  const Matrix x = random_points(5, 4, rng);
+  const Matrix y = random_points(7, 4, rng);
+  const PairwiseDistances dist = PairwiseDistances::cross(x, y);
+  ASSERT_FALSE(dist.symmetric());
+  ASSERT_EQ(dist.rows(), 5u);
+  ASSERT_EQ(dist.cols(), 7u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      const double direct = alamr::linalg::squared_distance(x.row(i), y.row(j));
+      EXPECT_TRUE(same_bits(dist.squared()(i, j), direct)) << i << "," << j;
+    }
+  }
+}
+
+TEST(PairwiseDistances, ComponentsMatchPerDimensionDifferences) {
+  Rng rng(19);
+  const Matrix x = random_points(6, 3, rng);
+  const Matrix y = random_points(4, 3, rng);
+  PairwiseDistances dist = PairwiseDistances::cross(x, y);
+  EXPECT_FALSE(dist.has_components());
+  dist.ensure_components();
+  ASSERT_TRUE(dist.has_components());
+  for (std::size_t d = 0; d < 3; ++d) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        const double diff = x(i, d) - y(j, d);
+        EXPECT_TRUE(same_bits(dist.component(d)(i, j), diff * diff));
+      }
+    }
+  }
+}
+
+TEST(PairwiseDistances, AppendRowEqualsRebuildSymmetric) {
+  Rng rng(20);
+  const Matrix x = random_points(8, 3, rng);
+  const Matrix grown = random_points(1, 3, rng);
+
+  PairwiseDistances incremental = PairwiseDistances::train(x);
+  incremental.ensure_components();
+  incremental.append_x_row(grown.row(0));
+
+  Matrix all(9, 3);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) all(i, j) = x(i, j);
+  }
+  for (std::size_t j = 0; j < 3; ++j) all(8, j) = grown(0, j);
+  PairwiseDistances rebuilt = PairwiseDistances::train(all);
+  rebuilt.ensure_components();
+
+  EXPECT_TRUE(bitwise_equal(incremental.squared(), rebuilt.squared()));
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_TRUE(bitwise_equal(incremental.component(d), rebuilt.component(d)))
+        << "component " << d;
+  }
+}
+
+TEST(PairwiseDistances, AppendRowEqualsRebuildRectangular) {
+  Rng rng(21);
+  const Matrix x = random_points(5, 2, rng);
+  const Matrix y = random_points(6, 2, rng);
+  const Matrix grown = random_points(1, 2, rng);
+
+  PairwiseDistances incremental = PairwiseDistances::cross(x, y);
+  incremental.append_x_row(grown.row(0));
+
+  Matrix all(6, 2);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) all(i, j) = x(i, j);
+  }
+  for (std::size_t j = 0; j < 2; ++j) all(5, j) = grown(0, j);
+  const PairwiseDistances rebuilt = PairwiseDistances::cross(all, y);
+
+  EXPECT_TRUE(bitwise_equal(incremental.squared(), rebuilt.squared()));
+}
+
+// --- cached kernel evaluation ---------------------------------------------
+
+std::vector<std::unique_ptr<Kernel>> all_kernels() {
+  std::vector<std::unique_ptr<Kernel>> kernels;
+  kernels.push_back(std::make_unique<ConstantKernel>(2.5));
+  kernels.push_back(std::make_unique<WhiteKernel>(0.3));
+  kernels.push_back(std::make_unique<RbfKernel>(0.8));
+  kernels.push_back(
+      std::make_unique<RbfArdKernel>(std::vector<double>{0.5, 1.7, 0.9}));
+  kernels.push_back(
+      std::make_unique<MaternKernel>(MaternKernel::Nu::kThreeHalves, 1.2));
+  kernels.push_back(
+      std::make_unique<MaternKernel>(MaternKernel::Nu::kFiveHalves, 0.6));
+  kernels.push_back(std::make_unique<RationalQuadraticKernel>(1.1, 0.7));
+  // The paper's composite: amplitude * RBF + noise.
+  kernels.push_back(std::make_unique<SumKernel>(
+      std::make_unique<ProductKernel>(std::make_unique<ConstantKernel>(1.4),
+                                      std::make_unique<RbfKernel>(0.9)),
+      std::make_unique<WhiteKernel>(0.05)));
+  // An ARD composite, so Sum/Product prepare_distances forwarding is hit.
+  kernels.push_back(std::make_unique<ProductKernel>(
+      std::make_unique<ConstantKernel>(0.8),
+      std::make_unique<RbfArdKernel>(std::vector<double>{1.3, 0.4, 2.0})));
+  return kernels;
+}
+
+TEST(CachedKernels, GramBitwiseEqualsDirect) {
+  Rng rng(22);
+  const Matrix x = random_points(10, 3, rng);
+  for (const auto& kernel : all_kernels()) {
+    PairwiseDistances dist = PairwiseDistances::train(x);
+    kernel->prepare_distances(dist);
+    EXPECT_TRUE(bitwise_equal(kernel->gram_cached(dist), kernel->gram(x)))
+        << kernel->describe();
+  }
+}
+
+TEST(CachedKernels, GramWithGradientsBitwiseEqualsDirect) {
+  Rng rng(23);
+  const Matrix x = random_points(10, 3, rng);
+  for (const auto& kernel : all_kernels()) {
+    PairwiseDistances dist = PairwiseDistances::train(x);
+    kernel->prepare_distances(dist);
+    std::vector<Matrix> direct_grads;
+    std::vector<Matrix> cached_grads;
+    const Matrix direct = kernel->gram_with_gradients(x, direct_grads);
+    const Matrix cached =
+        kernel->gram_with_gradients_cached(dist, cached_grads);
+    EXPECT_TRUE(bitwise_equal(cached, direct)) << kernel->describe();
+    ASSERT_EQ(cached_grads.size(), direct_grads.size()) << kernel->describe();
+    for (std::size_t g = 0; g < direct_grads.size(); ++g) {
+      EXPECT_TRUE(bitwise_equal(cached_grads[g], direct_grads[g]))
+          << kernel->describe() << " grad " << g;
+    }
+  }
+}
+
+TEST(CachedKernels, CrossBitwiseEqualsDirect) {
+  Rng rng(24);
+  const Matrix x = random_points(8, 3, rng);
+  const Matrix y = random_points(5, 3, rng);
+  for (const auto& kernel : all_kernels()) {
+    PairwiseDistances dist = PairwiseDistances::cross(x, y);
+    kernel->prepare_distances(dist);
+    EXPECT_TRUE(
+        bitwise_equal(kernel->cross_cached(dist), kernel->cross(x, y)))
+        << kernel->describe();
+  }
+}
+
+TEST(CachedKernels, ArdRejectsMismatchedCache) {
+  const RbfArdKernel kernel(std::vector<double>{1.0, 1.0});
+  Rng rng(25);
+  const Matrix wrong_dim = random_points(4, 3, rng);
+  PairwiseDistances dist = PairwiseDistances::train(wrong_dim);
+  kernel.prepare_distances(dist);
+  EXPECT_THROW(kernel.gram_cached(dist), std::invalid_argument);
+
+  // Right dimension but components never prepared.
+  const Matrix right_dim = random_points(4, 2, rng);
+  PairwiseDistances bare = PairwiseDistances::train(right_dim);
+  EXPECT_THROW(kernel.gram_cached(bare), std::invalid_argument);
+}
+
+// --- GPR integration -------------------------------------------------------
+
+std::unique_ptr<Kernel> paper_kernel(std::size_t /*dim*/) {
+  return std::make_unique<SumKernel>(
+      std::make_unique<ProductKernel>(std::make_unique<ConstantKernel>(1.0),
+                                      std::make_unique<RbfKernel>(1.0)),
+      std::make_unique<WhiteKernel>(1e-2));
+}
+
+TEST(GprDistanceCache, PredictFromCrossMatchesPredict) {
+  Rng rng(26);
+  const Matrix x = random_points(30, 3, rng);
+  std::vector<double> y(30);
+  for (double& v : y) v = rng.uniform(-1.0, 1.0);
+  const Matrix q = random_points(12, 3, rng);
+
+  GaussianProcessRegressor gpr(paper_kernel(3), {.restarts = 0});
+  gpr.fit(x, y, rng);
+
+  const Prediction direct = gpr.predict(q);
+  const Matrix k_star = gpr.kernel().cross(x, q);
+  const Prediction via_cross = gpr.predict_from_cross(k_star, q);
+  ASSERT_EQ(via_cross.mean.size(), direct.mean.size());
+  for (std::size_t i = 0; i < direct.mean.size(); ++i) {
+    EXPECT_TRUE(same_bits(via_cross.mean[i], direct.mean[i])) << i;
+    EXPECT_TRUE(same_bits(via_cross.stddev[i], direct.stddev[i])) << i;
+  }
+
+  EXPECT_THROW(gpr.predict_from_cross(Matrix(3, 12), q),
+               std::invalid_argument);
+}
+
+TEST(GprDistanceCache, FitEvaluationsHitTheCache) {
+  const bool was_enabled = trace::enabled();
+  trace::set_enabled(true);
+  trace::TraceCollector collector;
+  {
+    const trace::ScopedCollector scope(collector);
+    Rng rng(27);
+    const Matrix x = random_points(24, 3, rng);
+    std::vector<double> y(24);
+    for (double& v : y) v = rng.uniform(-1.0, 1.0);
+
+    GaussianProcessRegressor gpr(
+        paper_kernel(3), {.restarts = 1, .max_opt_iterations = 15});
+    gpr.fit(x, y, rng);
+    gpr.fit_add_point(x.row(0), 0.25, rng);
+  }
+  trace::set_enabled(was_enabled);
+
+  const trace::TraceReport report = collector.report();
+  // fit() builds the train cache once; fit_add_point extends it instead of
+  // rebuilding.
+  EXPECT_EQ(report.counter("gp.dist_cache_build"), 1u);
+  EXPECT_EQ(report.counter("gp.dist_cache_extend"), 1u);
+  // Every L-BFGS objective evaluation consumed the cache; none fell back
+  // to the direct feature-walking path.
+  EXPECT_GT(report.counter("gpr.dist_cache_hit"), 0u);
+  EXPECT_EQ(report.counter("gpr.dist_cache_miss"), 0u);
+}
+
+}  // namespace

@@ -280,6 +280,96 @@ TEST(CholeskyExtend, LengthMismatchThrows) {
   EXPECT_THROW(factor->extend(wrong, 1.0), std::invalid_argument);
 }
 
+// The blocked right-looking factor() must agree with the unblocked
+// left-looking factor_reference() — the acceptance bar is 1e-12, but the
+// panel/trailing-update split was arranged so every entry accumulates its
+// subtractions in the same ascending-k order, giving bitwise equality.
+// Sizes bracket the block edge (kCholeskyBlock = 48) and a multi-block
+// case with remainder.
+TEST(CholeskyBlocked, MatchesReferenceAroundBlockEdges) {
+  ASSERT_EQ(kCholeskyBlock, 48u);
+  Rng rng(31);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, kCholeskyBlock - 1, kCholeskyBlock,
+        kCholeskyBlock + 1, 2 * kCholeskyBlock + 3}) {
+    const Matrix a = random_spd(n, rng);
+    const auto blocked = CholeskyFactor::factor(a);
+    const auto reference = CholeskyFactor::factor_reference(a);
+    ASSERT_TRUE(blocked.has_value()) << "n=" << n;
+    ASSERT_TRUE(reference.has_value()) << "n=" << n;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double diff =
+            std::abs(blocked->lower()(i, j) - reference->lower()(i, j));
+        worst = std::max(worst, diff);
+        EXPECT_EQ(blocked->lower()(i, j), reference->lower()(i, j))
+            << "n=" << n << " (" << i << ", " << j << ")";
+      }
+    }
+    EXPECT_LE(worst, 1e-12) << "n=" << n;
+  }
+}
+
+// Same contract for the blocked inverse: identical bits to the
+// column-at-a-time reference at sizes bracketing the panel edge.
+TEST(CholeskyBlocked, InverseMatchesReferenceAroundBlockEdges) {
+  Rng rng(33);
+  // The last two sizes reach past one and two of the inverse's 64-row
+  // k-chunks below the first panel, exercising the chunked interior
+  // updates (triangular finish + full-chunk consumers) bitwise.
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{3}, kCholeskyBlock - 1, kCholeskyBlock,
+        kCholeskyBlock + 1, 2 * kCholeskyBlock + 3, std::size_t{150},
+        std::size_t{233}}) {
+    const Matrix a = random_spd(n, rng);
+    const auto factor = CholeskyFactor::factor(a);
+    ASSERT_TRUE(factor.has_value()) << "n=" << n;
+    const Matrix blocked = factor->inverse();
+    const Matrix reference = factor->inverse_reference();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(blocked(i, j), reference(i, j))
+            << "n=" << n << " (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(CholeskyBlocked, ReferenceRejectsIndefiniteLikeBlocked) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_FALSE(CholeskyFactor::factor(a).has_value());
+  EXPECT_FALSE(CholeskyFactor::factor_reference(a).has_value());
+}
+
+TEST(CholeskyBlocked, SolveLowerBlockMatchesColumnSolves) {
+  Rng rng(32);
+  const std::size_t n = 20;
+  const Matrix a = random_spd(n, rng);
+  const auto factor = CholeskyFactor::factor(a);
+  ASSERT_TRUE(factor.has_value());
+
+  Matrix b(n, 6);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) b(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  // A column slice of the multi-RHS solve equals the vector solve of that
+  // column, bit for bit.
+  const Matrix mid = factor->solve_lower_block(b, 2, 5);
+  ASSERT_EQ(mid.rows(), n);
+  ASSERT_EQ(mid.cols(), 3u);
+  for (std::size_t c = 2; c < 5; ++c) {
+    std::vector<double> col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, c);
+    const Vector z = factor->solve_lower(col);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(mid(i, c - 2), z[i]) << "col " << c << " row " << i;
+    }
+  }
+  EXPECT_THROW(factor->solve_lower_block(b, 5, 2), std::invalid_argument);
+  EXPECT_THROW(factor->solve_lower_block(b, 0, 7), std::invalid_argument);
+}
+
 TEST(Cholesky, InverseIsSymmetric) {
   Rng rng(13);
   const Matrix a = random_spd(9, rng);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "alamr/stats/rng.hpp"
@@ -66,7 +68,9 @@ TEST(VectorKernels, DotNormAxpy) {
   axpy(2.0, x, z);
   EXPECT_DOUBLE_EQ(z[2], 7.0);
 
+#if ALAMR_ASSERTS_ENABLED
   EXPECT_THROW(dot(x, std::vector<double>{1.0}), std::invalid_argument);
+#endif
 }
 
 TEST(VectorKernels, SquaredDistance) {
@@ -111,6 +115,76 @@ TEST(MatMul, ShapeMismatchThrows) {
   const Matrix a(2, 3);
   const Matrix b(2, 3);
   EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+// Regression: an earlier matmul skipped the inner update when a(i, k) was
+// exactly zero. IEEE multiplication is not skippable — 0 * NaN = NaN and
+// 0 * inf = NaN must reach the output.
+TEST(MatMul, ZeroTimesNanPropagates) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const Matrix a{{0.0, 1.0}, {0.0, 0.0}};
+  const Matrix b{{nan, inf}, {2.0, 3.0}};
+  const Matrix c = matmul(a, b);
+  // Row 0: 0 * nan + 1 * 2 = nan; 0 * inf + 1 * 3 = nan.
+  EXPECT_TRUE(std::isnan(c(0, 0)));
+  EXPECT_TRUE(std::isnan(c(0, 1)));
+  // Row 1: 0 * nan + 0 * 2 = nan as well — the all-zero row is not "free".
+  EXPECT_TRUE(std::isnan(c(1, 0)));
+  EXPECT_TRUE(std::isnan(c(1, 1)));
+}
+
+// The register-tiled matmul/aat and the 2-wide remainder paths all have to
+// agree with a naive triple loop for every size around the tile edges.
+TEST(MatMul, TiledMatchesNaiveAroundTileEdges) {
+  Rng rng(77);
+  for (const std::size_t m : {1u, 2u, 3u, 5u, 8u}) {
+    for (const std::size_t k : {1u, 2u, 3u, 7u}) {
+      for (const std::size_t n : {1u, 2u, 4u, 9u}) {
+        const Matrix a = random_matrix(m, k, rng);
+        const Matrix b = random_matrix(k, n, rng);
+        const Matrix c = matmul(a, b);
+        for (std::size_t i = 0; i < m; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            double want = 0.0;
+            for (std::size_t kk = 0; kk < k; ++kk) want += a(i, kk) * b(kk, j);
+            EXPECT_NEAR(c(i, j), want, 1e-13)
+                << m << "x" << k << "x" << n << " @(" << i << "," << j << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- degenerate shapes -----------------------------------------------------
+
+TEST(EdgeCases, EmptyMatrixOperations) {
+  const Matrix empty(0, 0);
+  EXPECT_EQ(matvec(empty, std::vector<double>{}).size(), 0u);
+  EXPECT_EQ(matvec_transposed(empty, std::vector<double>{}).size(), 0u);
+  EXPECT_EQ(aat(empty).rows(), 0u);
+  EXPECT_EQ(matmul(empty, empty).rows(), 0u);
+
+  // Zero rows with nonzero cols: matvec_transposed still yields cols zeros.
+  const Matrix wide(0, 3);
+  const Vector yt = matvec_transposed(wide, std::vector<double>{});
+  ASSERT_EQ(yt.size(), 3u);
+  EXPECT_DOUBLE_EQ(yt[0], 0.0);
+  const Matrix outer = aat(wide);
+  EXPECT_EQ(outer.rows(), 0u);
+}
+
+TEST(EdgeCases, OneByOneOperations) {
+  const Matrix m{{2.5}};
+  const Vector y = matvec(m, std::vector<double>{2.0});
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  const Vector yt = matvec_transposed(m, std::vector<double>{2.0});
+  ASSERT_EQ(yt.size(), 1u);
+  EXPECT_DOUBLE_EQ(yt[0], 5.0);
+  EXPECT_DOUBLE_EQ(aat(m)(0, 0), 6.25);
+  EXPECT_DOUBLE_EQ(matmul(m, m)(0, 0), 6.25);
 }
 
 TEST(Aat, SymmetricAndMatchesMatmul) {
