@@ -24,6 +24,8 @@
 #include <filesystem>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "alamr/amr/campaign.hpp"
 #include "alamr/core/batch.hpp"
@@ -47,6 +49,77 @@ inline void finish_trace(const std::optional<std::string>& path) {
   core::trace::write_global_trace(*path);
   std::printf("\n# trace report: %s (and %s.csv)\n", path->c_str(),
               path->c_str());
+}
+
+/// `--fault-plan <spec>` wiring (core/faults.hpp grammar, e.g.
+/// "seed=7;acquire.oom:p=0.05;data.nan_row:hits=3|9"): returns the parsed
+/// plan for the bench to install into AlOptions::failures.plan. Announces
+/// the schedule on stdout so runs are self-describing.
+inline std::optional<core::faults::FaultPlan> fault_plan_flag(int argc,
+                                                             char** argv) {
+  const std::optional<core::faults::FaultPlan> plan =
+      core::faults::parse_fault_flag(argc, argv);
+  if (plan) {
+    std::printf("# fault plan:\n%s", core::faults::describe(*plan).c_str());
+  }
+  return plan;
+}
+
+/// `--checkpoint <dir>` / `--resume` wiring for the long benches. With a
+/// checkpoint dir each batch runs trajectory-isolated and resumable; with
+/// --resume an interrupted run picks up from the saved per-trajectory
+/// state (byte-identical to never having been interrupted).
+struct CheckpointFlags {
+  std::filesystem::path dir;  // empty = checkpointing off
+  bool resume = false;
+};
+
+inline CheckpointFlags checkpoint_flags(int argc, char** argv) {
+  CheckpointFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--checkpoint" && i + 1 < argc) {
+      flags.dir = argv[i + 1];
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      flags.dir = std::string(arg.substr(std::string_view("--checkpoint=").size()));
+    } else if (arg == "--resume") {
+      flags.resume = true;
+    }
+  }
+  if (!flags.dir.empty()) {
+    std::printf("# checkpointing to %s%s\n", flags.dir.string().c_str(),
+                flags.resume ? " (resume)" : "");
+  }
+  return flags;
+}
+
+/// Batch runner honoring the checkpoint flags: plain run_batch when
+/// checkpointing is off, fault-isolated + resumable otherwise (each
+/// configuration gets its own subdirectory via `tag`; failed trajectories
+/// are reported and dropped from the aggregated curves instead of killing
+/// the bench).
+inline std::vector<core::TrajectoryResult> run_bench_batch(
+    const core::AlSimulator& simulator, const core::Strategy& strategy,
+    core::BatchOptions batch, const CheckpointFlags& checkpoint,
+    const std::string& tag) {
+  if (checkpoint.dir.empty()) {
+    return core::run_batch(simulator, strategy, batch);
+  }
+  batch.checkpoint_dir = checkpoint.dir / tag;
+  batch.resume = checkpoint.resume;
+  const std::vector<core::BatchTrajectory> slots =
+      core::run_batch_isolated(simulator, strategy, batch);
+  std::vector<core::TrajectoryResult> results;
+  results.reserve(slots.size());
+  for (std::size_t t = 0; t < slots.size(); ++t) {
+    if (slots[t].ok) {
+      results.push_back(slots[t].result);
+    } else {
+      std::printf("# [%s] trajectory %zu FAILED: %s\n", tag.c_str(), t,
+                  slots[t].error.c_str());
+    }
+  }
+  return results;
 }
 
 inline std::optional<std::size_t> env_size(const char* name) {

@@ -15,6 +15,9 @@
 int main(int argc, char** argv) {
   using namespace alamr;
   const std::optional<std::string> trace_path = bench::trace_flag(argc, argv);
+  const std::optional<core::faults::FaultPlan> fault_plan =
+      bench::fault_plan_flag(argc, argv);
+  const bench::CheckpointFlags checkpoint = bench::checkpoint_flags(argc, argv);
   bench::print_header(
       "E5: RGMA cumulative regret vs iteration, nInit in {1, 50, 100}",
       "Fig. 4",
@@ -35,11 +38,14 @@ int main(int argc, char** argv) {
 
   for (const std::size_t n_init : {std::size_t{1}, std::size_t{50},
                                    std::size_t{100}}) {
-    const core::AlOptions options = bench::al_options(n_init, iterations);
+    core::AlOptions options = bench::al_options(n_init, iterations);
+    if (fault_plan) options.failures.plan = *fault_plan;
     const core::AlSimulator simulator(dataset, options);
     const core::Rgma rgma(simulator.memory_limit_log10());
     const core::BatchOptions batch = bench::batch_options(n_traj, 555 + n_init);
-    const auto results = core::run_batch(simulator, rgma, batch);
+    const auto results =
+        bench::run_bench_batch(simulator, rgma, batch, checkpoint,
+                               "rgma_ninit_" + std::to_string(n_init));
     Row row;
     row.label = "RGMA nInit=" + std::to_string(n_init);
     row.cr = core::aggregate_curve(results, core::Metric::kCumulativeRegret);
@@ -47,24 +53,30 @@ int main(int argc, char** argv) {
       if (traj.early_stopped) ++row.early_stops;
       row.mean_length += static_cast<double>(traj.iterations.size());
     }
-    row.mean_length /= static_cast<double>(results.size());
+    if (!results.empty()) {
+      row.mean_length /= static_cast<double>(results.size());
+    }
     rows.push_back(std::move(row));
   }
 
   {
     // Memory-blind baseline at the middle nInit.
-    const core::AlOptions options = bench::al_options(50, iterations);
+    core::AlOptions options = bench::al_options(50, iterations);
+    if (fault_plan) options.failures.plan = *fault_plan;
     const core::AlSimulator simulator(dataset, options);
     const core::RandGoodness blind;
     const core::BatchOptions batch = bench::batch_options(n_traj, 606);
-    const auto results = core::run_batch(simulator, blind, batch);
+    const auto results = bench::run_bench_batch(simulator, blind, batch,
+                                                checkpoint, "randgoodness");
     Row row;
     row.label = "RandGoodness nInit=50 (memory-blind)";
     row.cr = core::aggregate_curve(results, core::Metric::kCumulativeRegret);
     for (const auto& traj : results) {
       row.mean_length += static_cast<double>(traj.iterations.size());
     }
-    row.mean_length /= static_cast<double>(results.size());
+    if (!results.empty()) {
+      row.mean_length /= static_cast<double>(results.size());
+    }
     rows.push_back(std::move(row));
   }
 

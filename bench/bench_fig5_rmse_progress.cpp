@@ -11,6 +11,9 @@
 int main(int argc, char** argv) {
   using namespace alamr;
   const std::optional<std::string> trace_path = bench::trace_flag(argc, argv);
+  const std::optional<core::faults::FaultPlan> fault_plan =
+      bench::fault_plan_flag(argc, argv);
+  const bench::CheckpointFlags checkpoint = bench::checkpoint_flags(argc, argv);
   bench::print_header(
       "E6: RGMA test-RMSE progression across nInit", "Sec. V-C / Fig. 5",
       "small-nInit RGMA competitive in final RMSE; watch for late-stage "
@@ -31,11 +34,14 @@ int main(int argc, char** argv) {
 
   for (const std::size_t n_init : {std::size_t{1}, std::size_t{50},
                                    std::size_t{100}}) {
-    const core::AlOptions options = bench::al_options(n_init, iterations);
+    core::AlOptions options = bench::al_options(n_init, iterations);
+    if (fault_plan) options.failures.plan = *fault_plan;
     const core::AlSimulator simulator(dataset, options);
     const core::Rgma rgma(simulator.memory_limit_log10());
     const core::BatchOptions batch = bench::batch_options(n_traj, 777 + n_init);
-    const auto results = core::run_batch(simulator, rgma, batch);
+    const auto results =
+        bench::run_bench_batch(simulator, rgma, batch, checkpoint,
+                               "rgma_ninit_" + std::to_string(n_init));
     Row row;
     row.label = "nInit=" + std::to_string(n_init);
     row.rmse_cost = core::aggregate_curve(results, core::Metric::kRmseCost);
@@ -44,8 +50,10 @@ int main(int argc, char** argv) {
       row.initial_rmse_cost += traj.initial_rmse_cost;
       row.initial_rmse_mem += traj.initial_rmse_mem;
     }
-    row.initial_rmse_cost /= static_cast<double>(results.size());
-    row.initial_rmse_mem /= static_cast<double>(results.size());
+    if (!results.empty()) {
+      row.initial_rmse_cost /= static_cast<double>(results.size());
+      row.initial_rmse_mem /= static_cast<double>(results.size());
+    }
     rows.push_back(std::move(row));
   }
 

@@ -5,11 +5,19 @@
 #   1. plain       — the default release build (build-check/plain)
 #   2. asan        — ALAMR_SANITIZE=address,undefined with the throwing
 #                    ALAMR_ASSERT checks forced on (ALAMR_DEBUG_ASSERTS)
-#   3. native      — ALAMR_NATIVE=ON (-march=native, FP contraction off);
+#   3. ubsan       — ALAMR_SANITIZE=undefined alone: UBSan at full
+#                    optimization without ASan's instrumentation, which
+#                    surfaces UB that the combined build can mask
+#   4. native      — ALAMR_NATIVE=ON (-march=native, FP contraction off);
 #                    proves host-tuned codegen stays bit-identical
-#   4. threaded    — plain binaries, ctest with ALAMR_THREADS=4 so every
+#   5. threaded    — plain binaries, ctest with ALAMR_THREADS=4 so every
 #                    suite (not just tests_core_threads4) exercises the
 #                    4-lane pool
+#   6. faults      — plain binaries, fault/robustness/checkpoint suites
+#                    under a live ALAMR_FAULT_PLAN (5% OOM, 5% timeout,
+#                    3% NaN rows): the recovery ladder and censoring
+#                    accounting must hold with the injector armed
+#                    process-wide, not just under test-installed scopes
 #
 # Finally an explicit golden gate re-runs the golden-trajectory byte
 # comparisons (which sweep the cached-kernel / incremental-refit /
@@ -59,6 +67,7 @@ run_golden() {
 
 run_config plain
 run_config asan -DALAMR_SANITIZE=address,undefined -DALAMR_DEBUG_ASSERTS=ON
+run_config ubsan -DALAMR_SANITIZE=undefined
 run_config native -DALAMR_NATIVE=ON
 
 echo "=== [threads4] ctest with ALAMR_THREADS=4 on the plain build ==="
@@ -69,6 +78,22 @@ ALAMR_THREADS=4 ctest --test-dir build-check/plain --output-on-failure -j "$jobs
   exit 1
 }
 tail -2 /tmp/check_threads4.log
+
+# Fault-plan leg: the injector answers every un-scoped consultation in the
+# process, so the robustness suites prove the recovery ladder holds when
+# failures really do happen at these rates.  Explicit per-test plans
+# override the environment plan, so the determinism and byte-equality
+# assertions inside these suites remain valid.
+echo "=== [faults] robustness suites under ALAMR_FAULT_PLAN ==="
+ALAMR_FAULT_PLAN='seed=19;acquire.oom:p=0.05;acquire.timeout:p=0.05;data.nan_row:p=0.03' \
+  ctest --test-dir build-check/plain --output-on-failure -j "$jobs" \
+  -R 'Fault|Robustness|Checkpoint|BatchIsolation' \
+  > /tmp/check_faults.log 2>&1 || {
+  tail -50 /tmp/check_faults.log
+  echo "FAILED: faults (full log: /tmp/check_faults.log)"
+  exit 1
+}
+tail -2 /tmp/check_faults.log
 
 run_golden plain build-check/plain 1
 run_golden plain4 build-check/plain 4

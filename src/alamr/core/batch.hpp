@@ -9,6 +9,8 @@
 // or thread count.
 
 #include <cstdint>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "alamr/core/simulator.hpp"
@@ -21,6 +23,17 @@ struct BatchOptions {
   /// std::thread::hardware_concurrency() (see alamr/core/parallel.hpp).
   std::size_t threads = 0;
   std::uint64_t seed = 1234;
+
+  /// Per-trajectory checkpointing for run_batch_isolated: trajectory t
+  /// saves to <checkpoint_dir>/trajectory_<t>.json every
+  /// `checkpoint_stride` passes. Empty = no checkpointing. The directory
+  /// is created if missing.
+  std::filesystem::path checkpoint_dir;
+  std::size_t checkpoint_stride = 10;
+  /// Resume trajectories whose checkpoint file exists (completed
+  /// trajectories deleted theirs, so a re-run after a crash redoes only
+  /// the unfinished ones — and redoes them byte-identically).
+  bool resume = false;
 };
 
 /// Runs `options.trajectories` independent trajectories of `strategy`
@@ -29,6 +42,23 @@ struct BatchOptions {
 std::vector<TrajectoryResult> run_batch(const AlSimulator& simulator,
                                         const Strategy& strategy,
                                         const BatchOptions& options);
+
+/// One slot of a fault-isolated batch.
+struct BatchTrajectory {
+  bool ok = false;
+  std::string error;        // what() of the poisoning exception when !ok
+  TrajectoryResult result;  // valid only when ok
+};
+
+/// run_batch with trajectory-level fault isolation: a trajectory that
+/// throws (model blow-up, checkpoint mismatch, injected fault escalation)
+/// yields a failed slot carrying the error text instead of killing the
+/// whole batch. Honors BatchOptions::checkpoint_dir/stride/resume via
+/// AlSimulator::run_resumable. Slot order is by trajectory index
+/// regardless of thread scheduling.
+std::vector<BatchTrajectory> run_batch_isolated(const AlSimulator& simulator,
+                                                const Strategy& strategy,
+                                                const BatchOptions& options);
 
 /// Per-iteration scalar extracted from a trajectory.
 enum class Metric {

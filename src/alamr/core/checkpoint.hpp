@@ -1,0 +1,93 @@
+#pragma once
+
+// Trajectory checkpointing: the complete mid-trajectory state of the AL
+// driver, serialized to JSON with doubles stored as exact 64-bit hex bit
+// patterns and written by atomic rename (write .tmp, fsync-free rename),
+// so a reader never observes a torn file and a resumed run continues
+// byte-for-byte identically to an uninterrupted one.
+//
+// Byte-identical resume leans on two repo invariants: (1) the posterior
+// is a pure function of (X_learned, labels, theta) and the incremental and
+// full rebuild paths produce the same bits (golden-tested), so rebuilding
+// the models at the saved theta reproduces the live state exactly; and
+// (2) all randomness flows through the trajectory's Rng, whose full state
+// (including the Marsaglia-polar cache) is captured here.
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alamr/core/faults.hpp"
+#include "alamr/core/simulator.hpp"
+#include "alamr/stats/rng.hpp"
+
+namespace alamr::core {
+
+/// Everything run_trajectory needs to continue mid-flight.
+struct TrajectoryCheckpoint {
+  /// Compatibility fingerprint: the trajectory fingerprint (options +
+  /// strategy + partition) plus the canonical fault-plan spec. Resume
+  /// refuses a checkpoint whose fingerprint differs — a different config
+  /// could silently produce a chimera trajectory.
+  std::string fingerprint;
+
+  std::uint64_t passes = 0;   // loop passes recorded (== iterations.size())
+  std::uint64_t trained = 0;  // successful (uncensored) acquisitions
+
+  std::vector<std::uint64_t> learned;  // Init + acquired dataset rows
+  std::vector<std::uint64_t> active;   // remaining Active dataset rows
+  /// Training labels in learned order (penalized labels included — they
+  /// are NOT recoverable from the dataset).
+  std::vector<double> c_learned;
+  std::vector<double> m_learned;
+
+  /// Kernel log-hyperparameters of the two models at the checkpoint.
+  std::vector<double> theta_cost;
+  std::vector<double> theta_mem;
+
+  stats::Rng::State rng;
+
+  double cc = 0.0;
+  double cr = 0.0;
+  double last_rmse_cost = 0.0;
+  double last_rmse_mem = 0.0;
+  double last_rmse_weighted = 0.0;
+  bool last_record_evaluated = true;
+  double initial_rmse_cost = 0.0;
+  double initial_rmse_mem = 0.0;
+
+  // Stabilizing-predictions stopping-rule state.
+  std::uint64_t stable_streak = 0;
+  std::vector<double> previous_cost_mu_log;
+
+  std::uint64_t censored_count = 0;
+  double censored_cost = 0.0;
+
+  // Fault-injector counters, so the continuation consults schedules at
+  // the same hit numbers the uninterrupted run would have.
+  std::array<std::uint64_t, faults::kSiteCount> fault_hits{};
+  std::array<std::uint64_t, faults::kSiteCount> fault_fires{};
+
+  std::vector<IterationRecord> iterations;
+};
+
+/// Serializes `state` to JSON (doubles as hex bit patterns).
+std::string checkpoint_to_json(const TrajectoryCheckpoint& state);
+
+/// Parses what checkpoint_to_json produced. Throws std::runtime_error on
+/// malformed input.
+TrajectoryCheckpoint checkpoint_from_json(const std::string& json);
+
+/// Atomic save: writes `path` + ".tmp" then renames over `path`.
+void save_checkpoint(const TrajectoryCheckpoint& state,
+                     const std::filesystem::path& path);
+
+/// Loads `path`; std::nullopt when the file does not exist. Throws
+/// std::runtime_error when it exists but cannot be parsed.
+std::optional<TrajectoryCheckpoint> load_checkpoint(
+    const std::filesystem::path& path);
+
+}  // namespace alamr::core

@@ -1,0 +1,430 @@
+#pragma once
+
+// Deterministic, seeded fault injection for the AL engine (the "chaos"
+// counterpart of trace.hpp): named injection sites threaded through
+// linalg -> opt -> gp -> core let tests and the scripts/check.sh `faults`
+// leg exercise the failure/recovery paths — Cholesky non-PSD retries and
+// exhaustion, optimizer divergence, corrupted acquisition labels, and
+// crashed/timed-out acquisitions — on schedules that are reproducible
+// bit-for-bit given (plan, seed).
+//
+// Cost model: injection is compiled in but DISARMED by default. Every
+// site is one `faults::fire(Site)` call whose disarmed path is a
+// thread-local pointer load plus one (cached) global pointer load — no
+// locks, no clock reads, and no floating-point effects, so disarmed runs
+// are byte-for-byte identical to a build without the calls (the golden
+// trajectory suite pins this down).
+//
+// Determinism contract: whether hit number k at a site fires is a pure
+// function of (plan seed, site, k) — a counter-based SplitMix64 hash, not
+// a stateful stream — so schedules do not depend on what other sites do.
+// Hit counters live in a FaultInjector instance. The AL simulator installs
+// a fresh injector per trajectory (thread-locally, like
+// trace::ScopedCollector), so batch trajectories see identical schedules
+// regardless of thread count or scheduling. Sites reached from pool
+// workers (e.g. LML probes inside parallel multistart) only consult the
+// injector when they run on the installing thread; within run_batch and
+// under ALAMR_THREADS=1 all nested work is inline, so every consultation
+// is deterministic there.
+//
+// Arming:
+//  - explicitly: AlOptions::failures.plan, or a ScopedFaultInjector;
+//  - globally: the ALAMR_FAULT_PLAN environment variable (parsed once).
+//    Simulator trajectories instantiate the env plan per trajectory; code
+//    outside a trajectory (bare GPR fits, linalg calls) consults a shared
+//    process-wide injector whose counters are atomic (deterministic for
+//    serial callers, best-effort under concurrency).
+//
+// Like parallel.hpp/trace.hpp this header is standalone (standard library
+// only) and fully inline, so the lower layers (linalg, opt, gp) can
+// inject without linking the core module's library. Only the CLI helper
+// and the human-readable plan description live in src/core/faults.cpp.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alamr::core::faults {
+
+/// Named injection sites. Keep detail::kSiteNames in sync.
+enum class Site : std::size_t {
+  kCholeskyNonPsd,   // "cholesky.non_psd": a factorization attempt fails
+  kOptDiverge,       // "opt.diverge": hyperparameter search diverges
+  kDataNanRow,       // "data.nan_row": acquired labels come back NaN
+  kAcquireOom,       // "acquire.oom": acquisition crashes over the limit
+  kAcquireTimeout,   // "acquire.timeout": acquisition never finishes
+};
+inline constexpr std::size_t kSiteCount = 5;
+
+namespace detail {
+inline constexpr std::array<std::string_view, kSiteCount> kSiteNames{
+    "cholesky.non_psd", "opt.diverge", "data.nan_row", "acquire.oom",
+    "acquire.timeout"};
+}  // namespace detail
+
+inline std::string_view site_name(Site site) noexcept {
+  return detail::kSiteNames[static_cast<std::size_t>(site)];
+}
+
+inline std::optional<Site> parse_site(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (detail::kSiteNames[i] == name) return static_cast<Site>(i);
+  }
+  return std::nullopt;
+}
+
+/// When (which 0-based hit numbers) one site fires. `hits` lists explicit
+/// occurrences; independently, every hit fires with `probability` (a
+/// counter-hashed Bernoulli draw, see schedule_fires). `max_fires` caps
+/// the total across both mechanisms.
+struct SiteSchedule {
+  std::vector<std::uint64_t> hits;
+  double probability = 0.0;
+  std::uint64_t max_fires = ~std::uint64_t{0};
+
+  bool inert() const noexcept { return hits.empty() && probability <= 0.0; }
+};
+
+namespace detail {
+
+inline std::uint64_t parse_u64(std::string_view text, const char* what) {
+  if (text.empty()) {
+    throw std::invalid_argument(std::string("FaultPlan: empty ") + what);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::string owned(text);
+  const unsigned long long v = std::strtoull(owned.c_str(), &end, 10);
+  if (errno != 0 || end != owned.c_str() + owned.size()) {
+    throw std::invalid_argument("FaultPlan: bad " + std::string(what) + " '" +
+                                owned + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+inline double parse_probability(std::string_view text) {
+  errno = 0;
+  char* end = nullptr;
+  const std::string owned(text);
+  const double v = std::strtod(owned.c_str(), &end);
+  if (errno != 0 || end != owned.c_str() + owned.size() || !(v >= 0.0) ||
+      !(v <= 1.0)) {
+    throw std::invalid_argument(
+        "FaultPlan: probability must be in [0, 1], got '" + owned + "'");
+  }
+  return v;
+}
+
+inline std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(sep, begin);
+    if (end == std::string_view::npos) {
+      parts.push_back(text.substr(begin));
+      break;
+    }
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+/// SplitMix64 finalizer — the counter-based hash behind probability
+/// schedules (duplicated from stats to keep this header dependency-free).
+inline std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+/// A full injection plan: one schedule per site plus the hash seed.
+/// Value-semantic and cheap to copy; an empty plan can never fire.
+class FaultPlan {
+ public:
+  SiteSchedule& at(Site site) noexcept {
+    return sites_[static_cast<std::size_t>(site)];
+  }
+  const SiteSchedule& at(Site site) const noexcept {
+    return sites_[static_cast<std::size_t>(site)];
+  }
+
+  void set_seed(std::uint64_t seed) noexcept { seed_ = seed; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// True when no site can ever fire (the disarmed state).
+  bool empty() const noexcept {
+    for (const SiteSchedule& s : sites_) {
+      if (!s.inert()) return false;
+    }
+    return true;
+  }
+
+  /// Parses the spec grammar used by ALAMR_FAULT_PLAN and --fault-plan:
+  ///   spec    := segment (';' segment)*
+  ///   segment := "seed=" uint64
+  ///            | site ':' option (',' option)*
+  ///   option  := "p=" double | "hits=" uint64 ('|' uint64)* | "max=" uint64
+  /// e.g. "seed=7;acquire.oom:p=0.05;opt.diverge:hits=3|9;cholesky.non_psd:p=1,max=2"
+  /// Throws std::invalid_argument on malformed input.
+  static FaultPlan parse(std::string_view spec) {
+    FaultPlan plan;
+    for (const std::string_view segment : detail::split(spec, ';')) {
+      if (segment.empty()) continue;
+      if (segment.starts_with("seed=")) {
+        plan.set_seed(detail::parse_u64(segment.substr(5), "seed"));
+        continue;
+      }
+      const std::size_t colon = segment.find(':');
+      if (colon == std::string_view::npos) {
+        throw std::invalid_argument("FaultPlan: segment '" +
+                                    std::string(segment) +
+                                    "' is not seed=N or site:options");
+      }
+      const std::optional<Site> site = parse_site(segment.substr(0, colon));
+      if (!site) {
+        throw std::invalid_argument("FaultPlan: unknown site '" +
+                                    std::string(segment.substr(0, colon)) +
+                                    "'");
+      }
+      SiteSchedule& schedule = plan.at(*site);
+      for (const std::string_view option :
+           detail::split(segment.substr(colon + 1), ',')) {
+        if (option.starts_with("p=")) {
+          schedule.probability = detail::parse_probability(option.substr(2));
+        } else if (option.starts_with("hits=")) {
+          for (const std::string_view h : detail::split(option.substr(5), '|')) {
+            schedule.hits.push_back(detail::parse_u64(h, "hit index"));
+          }
+          std::sort(schedule.hits.begin(), schedule.hits.end());
+        } else if (option.starts_with("max=")) {
+          schedule.max_fires = detail::parse_u64(option.substr(4), "max fires");
+        } else {
+          throw std::invalid_argument("FaultPlan: unknown option '" +
+                                      std::string(option) + "'");
+        }
+      }
+    }
+    return plan;
+  }
+
+  /// Canonical spec string; parse(to_string()) reproduces the plan. Used
+  /// by checkpoints to refuse resuming under a different plan.
+  std::string to_string() const {
+    std::ostringstream os;
+    os << "seed=" << seed_;
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+      const SiteSchedule& s = sites_[i];
+      if (s.inert() && s.max_fires == ~std::uint64_t{0}) continue;
+      os << ';' << detail::kSiteNames[i] << ':';
+      bool first = true;
+      if (s.probability > 0.0) {
+        os.precision(17);
+        os << "p=" << s.probability;
+        first = false;
+      }
+      if (!s.hits.empty()) {
+        os << (first ? "" : ",") << "hits=";
+        for (std::size_t h = 0; h < s.hits.size(); ++h) {
+          os << (h == 0 ? "" : "|") << s.hits[h];
+        }
+        first = false;
+      }
+      if (s.max_fires != ~std::uint64_t{0}) {
+        os << (first ? "" : ",") << "max=" << s.max_fires;
+      }
+    }
+    return os.str();
+  }
+
+ private:
+  std::array<SiteSchedule, kSiteCount> sites_{};
+  std::uint64_t seed_ = 0;
+};
+
+/// Decides, deterministically, whether hit number `hit` at `site` fires
+/// under `plan` — a pure function, shared by the per-trajectory and the
+/// process-wide injectors.
+inline bool schedule_fires(const FaultPlan& plan, Site site,
+                           std::uint64_t hit) noexcept {
+  const SiteSchedule& s = plan.at(site);
+  for (const std::uint64_t h : s.hits) {
+    if (h == hit) return true;
+  }
+  if (s.probability > 0.0) {
+    const std::uint64_t h = detail::mix64(
+        plan.seed() ^
+        detail::mix64((static_cast<std::uint64_t>(site) + 1) *
+                      0x9e3779b97f4a7c15ULL) ^
+        detail::mix64(hit + 0x2545f4914f6cdd1dULL));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < s.probability) return true;
+  }
+  return false;
+}
+
+/// Live injector: a plan plus per-site hit/fire counters. One instance per
+/// trajectory (installed via ScopedFaultInjector); counters make the k-th
+/// consultation of a site identifiable, which is what the schedules key on.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  bool should_fire(Site site) noexcept {
+    const std::size_t i = static_cast<std::size_t>(site);
+    const std::uint64_t hit = hits_[i]++;
+    if (fires_[i] >= plan_.at(site).max_fires) return false;
+    if (!schedule_fires(plan_, site, hit)) return false;
+    ++fires_[i];
+    return true;
+  }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  std::uint64_t hits(Site site) const noexcept {
+    return hits_[static_cast<std::size_t>(site)];
+  }
+  std::uint64_t fires(Site site) const noexcept {
+    return fires_[static_cast<std::size_t>(site)];
+  }
+  std::span<const std::uint64_t, kSiteCount> hit_counters() const noexcept {
+    return hits_;
+  }
+  std::span<const std::uint64_t, kSiteCount> fire_counters() const noexcept {
+    return fires_;
+  }
+
+  /// Checkpoint support: a resumed trajectory restores the counters so the
+  /// continuation consults the schedule at the same hit numbers the
+  /// uninterrupted run would have.
+  void restore_counters(std::span<const std::uint64_t> hits,
+                        std::span<const std::uint64_t> fires) noexcept {
+    for (std::size_t i = 0; i < kSiteCount && i < hits.size(); ++i) {
+      hits_[i] = hits[i];
+    }
+    for (std::size_t i = 0; i < kSiteCount && i < fires.size(); ++i) {
+      fires_[i] = fires[i];
+    }
+  }
+
+ private:
+  FaultPlan plan_;
+  std::array<std::uint64_t, kSiteCount> hits_{};
+  std::array<std::uint64_t, kSiteCount> fires_{};
+};
+
+/// Process-wide injector for code running outside any trajectory while
+/// ALAMR_FAULT_PLAN is set. Counters are atomic so concurrent callers do
+/// not race; ordering under concurrency is best-effort by design.
+class SharedFaultInjector {
+ public:
+  explicit SharedFaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  bool should_fire(Site site) noexcept {
+    const std::size_t i = static_cast<std::size_t>(site);
+    const std::uint64_t hit = hits_[i].fetch_add(1, std::memory_order_relaxed);
+    if (fires_[i].load(std::memory_order_relaxed) >= plan_.at(site).max_fires) {
+      return false;
+    }
+    if (!schedule_fires(plan_, site, hit)) return false;
+    fires_[i].fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::array<std::atomic<std::uint64_t>, kSiteCount> hits_{};
+  std::array<std::atomic<std::uint64_t>, kSiteCount> fires_{};
+};
+
+namespace detail {
+
+inline thread_local FaultInjector* t_injector = nullptr;
+
+/// Parsed once from ALAMR_FAULT_PLAN; intentionally leaked so injection
+/// stays valid during static destruction. A malformed env spec fails fast
+/// with a clear message rather than silently running without faults.
+inline SharedFaultInjector* env_injector() noexcept {
+  static SharedFaultInjector* injector = []() -> SharedFaultInjector* {
+    const char* env = std::getenv("ALAMR_FAULT_PLAN");
+    if (env == nullptr || env[0] == '\0') return nullptr;
+    FaultPlan plan = FaultPlan::parse(env);
+    if (plan.empty()) return nullptr;
+    return new SharedFaultInjector(std::move(plan));
+  }();
+  return injector;
+}
+
+}  // namespace detail
+
+/// The plan ALAMR_FAULT_PLAN carries, if any — simulator trajectories
+/// instantiate it per trajectory so env-driven schedules are deterministic
+/// per trajectory, like explicit plans.
+inline const FaultPlan* env_plan() noexcept {
+  SharedFaultInjector* shared = detail::env_injector();
+  return shared == nullptr ? nullptr : &shared->plan();
+}
+
+/// The ONE call every injection site makes. Consults this thread's
+/// injector when one is installed, else the process-wide env injector.
+/// Disarmed cost: a thread-local load and a cached-pointer load.
+inline bool fire(Site site) noexcept {
+  if (FaultInjector* local = detail::t_injector) {
+    return local->should_fire(site);
+  }
+  if (SharedFaultInjector* shared = detail::env_injector()) {
+    return shared->should_fire(site);
+  }
+  return false;
+}
+
+/// True when any injector (thread-local or env) is reachable from this
+/// thread — i.e. fire() could return true.
+inline bool armed() noexcept {
+  return detail::t_injector != nullptr || detail::env_injector() != nullptr;
+}
+
+/// The injector installed on this thread (nullptr outside a scope).
+inline FaultInjector* current_injector() noexcept { return detail::t_injector; }
+
+/// Installs `injector` as this thread's fault source for the current
+/// scope. Scopes nest; the previous injector is restored on destruction.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector& injector) noexcept
+      : previous_(detail::t_injector) {
+    detail::t_injector = &injector;
+  }
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+  ~ScopedFaultInjector() { detail::t_injector = previous_; }
+
+ private:
+  FaultInjector* previous_;
+};
+
+// --- Core-side conveniences (defined in src/core/faults.cpp; callers
+// --- link alamr::core) ----------------------------------------------------
+
+/// CLI helper shared by benches/examples: scans argv for "--fault-plan
+/// <spec>" or "--fault-plan=<spec>" and returns the parsed plan. Does NOT
+/// install anything; callers put the plan into AlOptions::failures.
+std::optional<FaultPlan> parse_fault_flag(int argc, char** argv);
+
+/// Multi-line human-readable summary of a plan, for bench headers.
+std::string describe(const FaultPlan& plan);
+
+}  // namespace alamr::core::faults

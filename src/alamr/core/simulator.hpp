@@ -10,9 +10,11 @@
 // evaluation metrics after every iteration.
 
 #include <cmath>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "alamr/core/faults.hpp"
 #include "alamr/core/strategies.hpp"
 #include "alamr/core/trace.hpp"
 #include "alamr/data/dataset.hpp"
@@ -44,9 +46,84 @@ enum class StopReason {
   kIterationBudget,    // AlOptions::max_iterations reached
   kNoSafeCandidates,   // RGMA found no candidate under the memory limit
   kStabilized,         // StabilizingStopRule fired
+  kCheckpointHalt,     // CheckpointConfig::halt_after_iterations reached
 };
 
 std::string to_string(StopReason reason);
+
+/// Why an acquisition was censored (returned no usable label).
+enum class CensorKind {
+  kNone,
+  kOverLimit,  // true memory exceeded L_mem and the run crashed (real OOM)
+  kOom,        // injected acquire.oom fault
+  kTimeout,    // injected acquire.timeout fault
+  kNanRow,     // injected data.nan_row fault (labels came back corrupted)
+};
+
+std::string to_string(CensorKind kind);
+
+/// What the simulator does with a censored acquisition. Every policy burns
+/// the candidate's true cost into CC and CR (the core-hours were spent
+/// either way) and removes it from Active; they differ in what, if
+/// anything, the models learn from the failure.
+enum class CensorPolicy {
+  /// Nothing is learned: the point vanishes, models stay as they were,
+  /// the iteration's budget is consumed.
+  kDropCensored,
+  /// The failure itself is a label: train on the observed cost and a
+  /// memory label of L_mem + penalty_offset ("it crashed above the
+  /// limit"), steering the memory model away from the region.
+  kPenalizedLabel,
+  /// The iteration retries with the next strategy pick (model unchanged,
+  /// censored candidate excluded) until an acquisition succeeds or Active
+  /// empties; only successful acquisitions consume max_iterations budget.
+  kRetryNextCandidate,
+};
+
+std::string to_string(CensorPolicy policy);
+
+/// Failure-awareness knobs. Default-constructed = the historical behavior:
+/// every acquisition yields a clean label, no faults, byte-for-byte
+/// identical trajectories.
+struct FailureOptions {
+  /// Censor acquisitions whose TRUE memory exceeds L_mem (the paper's
+  /// motivating failure: those runs crash and burn their core-hours).
+  /// Off by default because the baseline strategies must be allowed to
+  /// observe over-limit labels for the paper's main comparison.
+  bool failure_aware = false;
+
+  CensorPolicy policy = CensorPolicy::kDropCensored;
+
+  /// kPenalizedLabel: the censored memory label is L_mem + this offset
+  /// (log10 space).
+  double penalty_offset = 0.5;
+
+  /// Explicit fault-injection plan for this simulator's trajectories
+  /// (empty = fall back to the ALAMR_FAULT_PLAN env plan, if any). Each
+  /// trajectory instantiates a fresh injector from the plan, so schedules
+  /// are per-trajectory deterministic whatever the batch threading.
+  faults::FaultPlan plan;
+};
+
+/// Periodic trajectory checkpointing (atomic-rename JSON) and resume.
+struct CheckpointConfig {
+  /// Checkpoint file. Empty = checkpointing disabled.
+  std::filesystem::path path;
+
+  /// Save every `stride` recorded passes (0 = never save mid-run; with a
+  /// non-empty path the final state is still saved on completion).
+  std::size_t stride = 10;
+
+  /// Load `path` (when it exists) and continue from it instead of
+  /// starting over. A checkpoint whose compatibility fingerprint does not
+  /// match the current options/partition/plan is rejected with an error.
+  bool resume = false;
+
+  /// Stop after this many NEW passes this process (0 = run to
+  /// completion), saving a checkpoint at the halt. For sharding long
+  /// trajectories across job allocations — and for kill/resume tests.
+  std::size_t halt_after_iterations = 0;
+};
 
 struct AlOptions {
   std::size_t n_test = 200;
@@ -102,6 +179,10 @@ struct AlOptions {
   /// calling trace::set_enabled(true), and sticky like both. While tracing
   /// is enabled every run* call fills TrajectoryResult::trace.
   bool trace = false;
+
+  /// Failure model: censoring policy, real-OOM awareness, fault plan.
+  /// Defaults are inert (see FailureOptions).
+  FailureOptions failures;
 };
 
 /// Everything recorded at one AL iteration.
@@ -123,6 +204,10 @@ struct IterationRecord {
   double cumulative_cost = 0.0;    // CC
   double cumulative_regret = 0.0;  // CR (Eq. 11)
   std::size_t candidates_before = 0;
+  /// kNone for a clean acquisition. A censored record's cost/regret are
+  /// already folded into the cumulative columns; its rmse columns carry
+  /// the last computed values (the models did not change).
+  CensorKind censor = CensorKind::kNone;
 };
 
 struct TrajectoryResult {
@@ -134,6 +219,11 @@ struct TrajectoryResult {
   double memory_limit_mb = 0.0;    // non-log L_mem used for regret
   double initial_rmse_cost = 0.0;  // test RMSE right after the Init fit
   double initial_rmse_mem = 0.0;
+  /// Failure-model accounting: acquisitions that returned no usable label
+  /// and the true cost they burned (already included in the cumulative
+  /// CC/CR columns). Zero when the failure model is inert.
+  std::size_t censored_count = 0;
+  double censored_cost = 0.0;
   /// Per-trajectory counters, phase timings, and the options/partition
   /// fingerprint. Empty (no counters/phases) unless tracing was enabled
   /// while the trajectory ran; the fingerprint is always filled.
@@ -161,6 +251,18 @@ class AlSimulator {
                                       const data::Partition& partition,
                                       stats::Rng& rng) const;
 
+  /// run_with_partition with periodic checkpointing and resume: state is
+  /// saved to `checkpoint.path` by atomic rename every `checkpoint.stride`
+  /// passes, and with `checkpoint.resume` a matching existing checkpoint
+  /// is loaded and continued — to a result byte-identical to an
+  /// uninterrupted run (golden-tested). The completed run deletes its
+  /// checkpoint file. `rng` is consumed exactly as run_with_partition
+  /// would on a fresh run; on resume the saved stream state replaces it.
+  TrajectoryResult run_resumable(const Strategy& strategy,
+                                 const data::Partition& partition,
+                                 stats::Rng& rng,
+                                 const CheckpointConfig& checkpoint) const;
+
   /// Batch-mode AL (paper Sec. VI future work: "running multiple
   /// simulations in parallel at each iteration"): each round selects
   /// `batch_size` candidates WITHOUT intermediate model updates (already
@@ -180,6 +282,13 @@ class AlSimulator {
 
  private:
   std::unique_ptr<gp::Kernel> make_kernel() const;
+
+  /// The trajectory driver behind run_with_partition and run_resumable
+  /// (checkpoint == nullptr disables checkpointing entirely).
+  TrajectoryResult run_trajectory(const Strategy& strategy,
+                                  const data::Partition& partition,
+                                  stats::Rng& rng,
+                                  const CheckpointConfig* checkpoint) const;
 
   /// Hex digest over every option, the memory limit, the strategy
   /// identity (including batch size), and the full partition contents

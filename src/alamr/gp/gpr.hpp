@@ -114,10 +114,24 @@ class GaussianProcessRegressor {
   /// cheap warm-started refits during AL). Does not invalidate the model.
   void set_options(const GprOptions& options) noexcept { options_ = options; }
 
+  /// Places the kernel at explicit log-hyperparameters. Used by checkpoint
+  /// resume to rebuild a model at its saved theta (followed by a fit with
+  /// optimization disabled); does not touch the cached posterior by
+  /// itself.
+  void set_kernel_log_params(std::span<const double> theta) {
+    kernel_->set_log_params(theta);
+  }
+
  private:
   /// Builds K_y, factors it, computes alpha; stores everything needed by
-  /// predict(). Returns the LML value.
+  /// predict(). Returns the LML value. On factorization failure (the
+  /// jitter ladder exhausted), reverts to the last hyperparameters that
+  /// produced a valid posterior and retries once (recovery ladder rung 3,
+  /// DESIGN.md §9) before letting the exception escape.
   double compute_posterior();
+
+  /// The raw posterior build with no recovery — throws on failure.
+  double compute_posterior_unchecked();
 
   /// Recomputes y_mean_ from y_raw_ (in-order sum, as fit() does) and
   /// refreshes the centered targets.
@@ -155,6 +169,9 @@ class GaussianProcessRegressor {
   std::optional<linalg::CholeskyFactor> factor_;
   std::vector<double> alpha_;         // K_y^{-1} (y - mean)
   double lml_ = 0.0;
+  // Last log-hyperparameters that produced a valid posterior — the final
+  // rung of the recovery ladder when a fresh theta breaks factorization.
+  std::vector<double> last_good_params_;
 };
 
 }  // namespace alamr::gp

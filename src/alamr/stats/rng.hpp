@@ -84,6 +84,25 @@ class Rng {
   /// A random permutation of {0, 1, ..., n-1}.
   std::vector<std::size_t> permutation(std::size_t n);
 
+  /// Complete generator snapshot — the 256-bit xoshiro state plus the
+  /// Marsaglia-polar cache — so a checkpointed trajectory can resume its
+  /// stream mid-pair and stay bit-identical to an uninterrupted run.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  State save_state() const noexcept {
+    return State{state_, cached_normal_, has_cached_normal_};
+  }
+
+  void restore_state(const State& state) noexcept {
+    state_ = state.words;
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;

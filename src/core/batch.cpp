@@ -1,9 +1,12 @@
 #include "alamr/core/batch.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <stdexcept>
+#include <string>
 
 #include "alamr/core/parallel.hpp"
+#include "alamr/data/partition.hpp"
 
 namespace alamr::core {
 
@@ -48,6 +51,74 @@ std::vector<TrajectoryResult> run_batch(const AlSimulator& simulator,
         });
   }
   return results;
+}
+
+std::vector<BatchTrajectory> run_batch_isolated(const AlSimulator& simulator,
+                                                const Strategy& strategy,
+                                                const BatchOptions& options) {
+  if (options.trajectories == 0) {
+    throw std::invalid_argument("run_batch_isolated: trajectories == 0");
+  }
+
+  // Same stream derivation as run_batch, so slot t of an isolated batch is
+  // the same trajectory as slot t of a plain one.
+  stats::Rng master(options.seed);
+  std::vector<stats::Rng> streams;
+  streams.reserve(options.trajectories);
+  for (std::size_t t = 0; t < options.trajectories; ++t) {
+    streams.push_back(master.split());
+  }
+
+  const bool checkpointing = !options.checkpoint_dir.empty();
+  if (checkpointing) {
+    std::filesystem::create_directories(options.checkpoint_dir);
+  }
+
+  const std::size_t n_threads =
+      std::min(options.threads == 0 ? configured_parallel_threads()
+                                    : options.threads,
+               options.trajectories);
+
+  std::vector<BatchTrajectory> slots(options.trajectories);
+  trace::count("batch.isolated_runs");
+  trace::count("batch.trajectories", options.trajectories);
+  {
+    const trace::ScopedTimer timer("batch");
+    ThreadPool pool(n_threads);
+    pool.parallel_for_chunks(
+        options.trajectories, [&](std::size_t begin, std::size_t end) {
+          const std::unique_ptr<Strategy> local = strategy.clone();
+          for (std::size_t t = begin; t < end; ++t) {
+            try {
+              // Partition drawn from the stream exactly as run() would —
+              // byte-identical whether or not the trajectory later resumes,
+              // because the stream state is redrawn from the same split and
+              // the checkpoint replaces the rng state afterwards.
+              const data::Partition partition = data::make_partition(
+                  simulator.dataset().size(), simulator.options().n_test,
+                  simulator.options().n_init, streams[t]);
+              if (checkpointing) {
+                CheckpointConfig cfg;
+                cfg.path = options.checkpoint_dir /
+                           ("trajectory_" + std::to_string(t) + ".json");
+                cfg.stride = options.checkpoint_stride;
+                cfg.resume = options.resume;
+                slots[t].result = simulator.run_resumable(
+                    *local, partition, streams[t], cfg);
+              } else {
+                slots[t].result = simulator.run_with_partition(
+                    *local, partition, streams[t]);
+              }
+              slots[t].ok = true;
+            } catch (const std::exception& e) {
+              slots[t].ok = false;
+              slots[t].error = e.what();
+              trace::count("batch.failed_trajectories");
+            }
+          }
+        });
+  }
+  return slots;
 }
 
 std::vector<double> extract_series(const TrajectoryResult& trajectory,

@@ -1,0 +1,439 @@
+#include "alamr/core/checkpoint.hpp"
+
+#include <bit>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace alamr::core {
+
+namespace {
+
+// ---- JSON writing --------------------------------------------------------
+// Doubles are stored as the hex image of their 64 bits ("0x3ff0..."): text
+// round-trips are exact, NaN/inf included, independent of locale and
+// printf precision.
+
+std::string hex_bits(double v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+  return buffer;
+}
+
+double bits_from_hex(const std::string& text) {
+  if (text.size() != 18 || text[0] != '0' || text[1] != 'x') {
+    throw std::runtime_error("checkpoint: bad double bit pattern '" + text +
+                             "'");
+  }
+  std::uint64_t bits = 0;
+  for (std::size_t i = 2; i < text.size(); ++i) {
+    const char c = text[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') digit = static_cast<std::uint64_t>(c - 'A' + 10);
+    else throw std::runtime_error("checkpoint: bad hex digit in '" + text + "'");
+    bits = (bits << 4) | digit;
+  }
+  return std::bit_cast<double>(bits);
+}
+
+void write_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default: os << c; break;
+    }
+  }
+  os << '"';
+}
+
+template <typename T>
+void write_u64_array(std::ostringstream& os, const char* key,
+                     const T& values) {
+  os << '"' << key << "\":[";
+  bool first = true;
+  for (const auto v : values) {
+    os << (first ? "" : ",") << static_cast<std::uint64_t>(v);
+    first = false;
+  }
+  os << ']';
+}
+
+void write_double_array(std::ostringstream& os, const char* key,
+                        const std::vector<double>& values) {
+  os << '"' << key << "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << (i == 0 ? "" : ",") << '"' << hex_bits(values[i]) << '"';
+  }
+  os << ']';
+}
+
+// ---- JSON parsing --------------------------------------------------------
+// A minimal recursive-descent parser for the subset this file emits:
+// objects, arrays, strings, unsigned integers, true/false. Good enough to
+// reject truncated or hand-mangled files with a clear error.
+
+struct JsonValue {
+  enum class Type { kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNumber;
+  bool boolean = false;
+  std::uint64_t number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue& at(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return v;
+    }
+    throw std::runtime_error("checkpoint: missing key '" + key + "'");
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("checkpoint: JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.str = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+          v.boolean = true;
+          pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+          v.boolean = false;
+          pos_ += 5;
+        } else {
+          fail("bad literal");
+        }
+        return v;
+      }
+      default: {
+        JsonValue v;
+        v.type = JsonValue::Type::kNumber;
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("bad value");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          v.number = v.number * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+          ++pos_;
+        }
+        return v;
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: fail("unsupported escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double read_double(const JsonValue& v) {
+  if (v.type != JsonValue::Type::kString) {
+    throw std::runtime_error("checkpoint: double must be a hex-bits string");
+  }
+  return bits_from_hex(v.str);
+}
+
+std::vector<double> read_double_array(const JsonValue& v) {
+  std::vector<double> out;
+  out.reserve(v.array.size());
+  for (const JsonValue& e : v.array) out.push_back(read_double(e));
+  return out;
+}
+
+std::vector<std::uint64_t> read_u64_array(const JsonValue& v) {
+  std::vector<std::uint64_t> out;
+  out.reserve(v.array.size());
+  for (const JsonValue& e : v.array) {
+    if (e.type != JsonValue::Type::kNumber) {
+      throw std::runtime_error("checkpoint: expected unsigned integer");
+    }
+    out.push_back(e.number);
+  }
+  return out;
+}
+
+constexpr std::uint64_t kVersion = 1;
+
+}  // namespace
+
+std::string checkpoint_to_json(const TrajectoryCheckpoint& s) {
+  std::ostringstream os;
+  os << "{\"version\":" << kVersion << ",";
+  os << "\"fingerprint\":";
+  write_escaped(os, s.fingerprint);
+  os << ",\"passes\":" << s.passes << ",\"trained\":" << s.trained << ',';
+  write_u64_array(os, "learned", s.learned);
+  os << ',';
+  write_u64_array(os, "active", s.active);
+  os << ',';
+  write_double_array(os, "c_learned", s.c_learned);
+  os << ',';
+  write_double_array(os, "m_learned", s.m_learned);
+  os << ',';
+  write_double_array(os, "theta_cost", s.theta_cost);
+  os << ',';
+  write_double_array(os, "theta_mem", s.theta_mem);
+  os << ",\"rng\":{";
+  write_u64_array(os, "words", s.rng.words);
+  os << ",\"cached_normal\":\"" << hex_bits(s.rng.cached_normal) << '"'
+     << ",\"has_cached_normal\":"
+     << (s.rng.has_cached_normal ? "true" : "false") << '}';
+  os << ",\"cc\":\"" << hex_bits(s.cc) << '"';
+  os << ",\"cr\":\"" << hex_bits(s.cr) << '"';
+  os << ",\"last_rmse_cost\":\"" << hex_bits(s.last_rmse_cost) << '"';
+  os << ",\"last_rmse_mem\":\"" << hex_bits(s.last_rmse_mem) << '"';
+  os << ",\"last_rmse_weighted\":\"" << hex_bits(s.last_rmse_weighted) << '"';
+  os << ",\"last_record_evaluated\":"
+     << (s.last_record_evaluated ? "true" : "false");
+  os << ",\"initial_rmse_cost\":\"" << hex_bits(s.initial_rmse_cost) << '"';
+  os << ",\"initial_rmse_mem\":\"" << hex_bits(s.initial_rmse_mem) << '"';
+  os << ",\"stable_streak\":" << s.stable_streak << ',';
+  write_double_array(os, "previous_cost_mu_log", s.previous_cost_mu_log);
+  os << ",\"censored_count\":" << s.censored_count;
+  os << ",\"censored_cost\":\"" << hex_bits(s.censored_cost) << "\",";
+  write_u64_array(os, "fault_hits", s.fault_hits);
+  os << ',';
+  write_u64_array(os, "fault_fires", s.fault_fires);
+  os << ",\"iterations\":[";
+  for (std::size_t i = 0; i < s.iterations.size(); ++i) {
+    const IterationRecord& r = s.iterations[i];
+    os << (i == 0 ? "" : ",") << "{\"iteration\":" << r.iteration
+       << ",\"dataset_row\":" << r.dataset_row
+       << ",\"actual_cost\":\"" << hex_bits(r.actual_cost) << '"'
+       << ",\"actual_memory\":\"" << hex_bits(r.actual_memory) << '"'
+       << ",\"predicted_cost_log10\":\"" << hex_bits(r.predicted_cost_log10)
+       << '"' << ",\"predicted_cost_sigma\":\""
+       << hex_bits(r.predicted_cost_sigma) << '"'
+       << ",\"predicted_mem_log10\":\"" << hex_bits(r.predicted_mem_log10)
+       << '"' << ",\"predicted_mem_sigma\":\""
+       << hex_bits(r.predicted_mem_sigma) << '"'
+       << ",\"rmse_cost\":\"" << hex_bits(r.rmse_cost) << '"'
+       << ",\"rmse_mem\":\"" << hex_bits(r.rmse_mem) << '"'
+       << ",\"rmse_cost_weighted\":\"" << hex_bits(r.rmse_cost_weighted) << '"'
+       << ",\"cumulative_cost\":\"" << hex_bits(r.cumulative_cost) << '"'
+       << ",\"cumulative_regret\":\"" << hex_bits(r.cumulative_regret) << '"'
+       << ",\"candidates_before\":" << r.candidates_before
+       << ",\"censor\":" << static_cast<std::uint64_t>(r.censor) << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+TrajectoryCheckpoint checkpoint_from_json(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  if (root.at("version").number != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(root.at("version").number));
+  }
+  TrajectoryCheckpoint s;
+  s.fingerprint = root.at("fingerprint").str;
+  s.passes = root.at("passes").number;
+  s.trained = root.at("trained").number;
+  s.learned = read_u64_array(root.at("learned"));
+  s.active = read_u64_array(root.at("active"));
+  s.c_learned = read_double_array(root.at("c_learned"));
+  s.m_learned = read_double_array(root.at("m_learned"));
+  s.theta_cost = read_double_array(root.at("theta_cost"));
+  s.theta_mem = read_double_array(root.at("theta_mem"));
+  {
+    const JsonValue& rng = root.at("rng");
+    const std::vector<std::uint64_t> words = read_u64_array(rng.at("words"));
+    if (words.size() != s.rng.words.size()) {
+      throw std::runtime_error("checkpoint: rng state must have 4 words");
+    }
+    std::copy(words.begin(), words.end(), s.rng.words.begin());
+    s.rng.cached_normal = read_double(rng.at("cached_normal"));
+    s.rng.has_cached_normal = rng.at("has_cached_normal").boolean;
+  }
+  s.cc = read_double(root.at("cc"));
+  s.cr = read_double(root.at("cr"));
+  s.last_rmse_cost = read_double(root.at("last_rmse_cost"));
+  s.last_rmse_mem = read_double(root.at("last_rmse_mem"));
+  s.last_rmse_weighted = read_double(root.at("last_rmse_weighted"));
+  s.last_record_evaluated = root.at("last_record_evaluated").boolean;
+  s.initial_rmse_cost = read_double(root.at("initial_rmse_cost"));
+  s.initial_rmse_mem = read_double(root.at("initial_rmse_mem"));
+  s.stable_streak = root.at("stable_streak").number;
+  s.previous_cost_mu_log = read_double_array(root.at("previous_cost_mu_log"));
+  s.censored_count = root.at("censored_count").number;
+  s.censored_cost = read_double(root.at("censored_cost"));
+  const std::vector<std::uint64_t> hits = read_u64_array(root.at("fault_hits"));
+  const std::vector<std::uint64_t> fires =
+      read_u64_array(root.at("fault_fires"));
+  if (hits.size() != faults::kSiteCount || fires.size() != faults::kSiteCount) {
+    throw std::runtime_error("checkpoint: fault counter arity mismatch");
+  }
+  std::copy(hits.begin(), hits.end(), s.fault_hits.begin());
+  std::copy(fires.begin(), fires.end(), s.fault_fires.begin());
+  for (const JsonValue& rec : root.at("iterations").array) {
+    IterationRecord r;
+    r.iteration = rec.at("iteration").number;
+    r.dataset_row = rec.at("dataset_row").number;
+    r.actual_cost = read_double(rec.at("actual_cost"));
+    r.actual_memory = read_double(rec.at("actual_memory"));
+    r.predicted_cost_log10 = read_double(rec.at("predicted_cost_log10"));
+    r.predicted_cost_sigma = read_double(rec.at("predicted_cost_sigma"));
+    r.predicted_mem_log10 = read_double(rec.at("predicted_mem_log10"));
+    r.predicted_mem_sigma = read_double(rec.at("predicted_mem_sigma"));
+    r.rmse_cost = read_double(rec.at("rmse_cost"));
+    r.rmse_mem = read_double(rec.at("rmse_mem"));
+    r.rmse_cost_weighted = read_double(rec.at("rmse_cost_weighted"));
+    r.cumulative_cost = read_double(rec.at("cumulative_cost"));
+    r.cumulative_regret = read_double(rec.at("cumulative_regret"));
+    r.candidates_before = rec.at("candidates_before").number;
+    const std::uint64_t censor = rec.at("censor").number;
+    if (censor > static_cast<std::uint64_t>(CensorKind::kNanRow)) {
+      throw std::runtime_error("checkpoint: bad censor kind");
+    }
+    r.censor = static_cast<CensorKind>(censor);
+    s.iterations.push_back(std::move(r));
+  }
+  return s;
+}
+
+void save_checkpoint(const TrajectoryCheckpoint& state,
+                     const std::filesystem::path& path) {
+  const std::filesystem::path tmp =
+      std::filesystem::path(path).concat(".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      throw std::runtime_error("save_checkpoint: cannot open " + tmp.string());
+    }
+    out << checkpoint_to_json(state);
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("save_checkpoint: write failed for " +
+                               tmp.string());
+    }
+  }
+  // Atomic publish: a concurrent reader sees either the old complete file
+  // or the new complete file, never a partial write.
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<TrajectoryCheckpoint> load_checkpoint(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return checkpoint_from_json(buffer.str());
+}
+
+}  // namespace alamr::core

@@ -1,5 +1,6 @@
 #include "alamr/core/export.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -25,17 +26,30 @@ void write_file(const std::string& content, const std::filesystem::path& path,
 std::string trajectory_to_csv(const TrajectoryResult& trajectory) {
   std::ostringstream os;
   os.precision(17);
+  // The censor column is appended only when at least one record was
+  // censored, so trajectories under the inert failure model serialize to
+  // exactly the historical bytes (the golden files depend on that).
+  const bool any_censored = std::any_of(
+      trajectory.iterations.begin(), trajectory.iterations.end(),
+      [](const IterationRecord& r) { return r.censor != CensorKind::kNone; });
   os << "iteration,dataset_row,actual_cost,actual_memory,"
         "predicted_cost_log10,predicted_cost_sigma,predicted_mem_log10,"
         "predicted_mem_sigma,rmse_cost,rmse_mem,rmse_cost_weighted,"
-        "cumulative_cost,cumulative_regret\n";
+        "cumulative_cost,cumulative_regret";
+  if (any_censored) os << ",censored,censor_kind";
+  os << '\n';
   for (const IterationRecord& rec : trajectory.iterations) {
     os << rec.iteration << ',' << rec.dataset_row << ',' << rec.actual_cost
        << ',' << rec.actual_memory << ',' << rec.predicted_cost_log10 << ','
        << rec.predicted_cost_sigma << ',' << rec.predicted_mem_log10 << ','
        << rec.predicted_mem_sigma << ',' << rec.rmse_cost << ','
        << rec.rmse_mem << ',' << rec.rmse_cost_weighted << ','
-       << rec.cumulative_cost << ',' << rec.cumulative_regret << '\n';
+       << rec.cumulative_cost << ',' << rec.cumulative_regret;
+    if (any_censored) {
+      os << ',' << (rec.censor != CensorKind::kNone ? 1 : 0) << ','
+         << to_string(rec.censor);
+    }
+    os << '\n';
   }
   return os.str();
 }

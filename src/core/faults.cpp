@@ -1,0 +1,45 @@
+#include "alamr/core/faults.hpp"
+
+#include <sstream>
+#include <string>
+
+namespace alamr::core::faults {
+
+std::optional<FaultPlan> parse_fault_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--fault-plan" && i + 1 < argc) {
+      return FaultPlan::parse(argv[i + 1]);
+    }
+    if (arg.starts_with("--fault-plan=")) {
+      return FaultPlan::parse(arg.substr(13));
+    }
+  }
+  return std::nullopt;
+}
+
+std::string describe(const FaultPlan& plan) {
+  std::ostringstream os;
+  os << "fault plan (seed " << plan.seed() << "):\n";
+  bool any = false;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const Site site = static_cast<Site>(i);
+    const SiteSchedule& s = plan.at(site);
+    if (s.inert()) continue;
+    any = true;
+    os << "  " << site_name(site) << ":";
+    if (s.probability > 0.0) os << " p=" << s.probability;
+    if (!s.hits.empty()) {
+      os << " hits=";
+      for (std::size_t h = 0; h < s.hits.size(); ++h) {
+        os << (h == 0 ? "" : "|") << s.hits[h];
+      }
+    }
+    if (s.max_fires != ~std::uint64_t{0}) os << " max=" << s.max_fires;
+    os << '\n';
+  }
+  if (!any) os << "  (no armed sites)\n";
+  return os.str();
+}
+
+}  // namespace alamr::core::faults

@@ -1,8 +1,10 @@
 #include "alamr/core/simulator.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
+#include "alamr/core/checkpoint.hpp"
 #include "alamr/core/metrics.hpp"
 #include "alamr/stats/descriptive.hpp"
 
@@ -61,6 +63,27 @@ std::string to_string(StopReason reason) {
     case StopReason::kIterationBudget: return "iteration budget reached";
     case StopReason::kNoSafeCandidates: return "no safe candidates remain";
     case StopReason::kStabilized: return "predictions stabilized";
+    case StopReason::kCheckpointHalt: return "halted at checkpoint";
+  }
+  return "unknown";
+}
+
+std::string to_string(CensorKind kind) {
+  switch (kind) {
+    case CensorKind::kNone: return "none";
+    case CensorKind::kOverLimit: return "over_limit";
+    case CensorKind::kOom: return "oom";
+    case CensorKind::kTimeout: return "timeout";
+    case CensorKind::kNanRow: return "nan_row";
+  }
+  return "unknown";
+}
+
+std::string to_string(CensorPolicy policy) {
+  switch (policy) {
+    case CensorPolicy::kDropCensored: return "drop_censored";
+    case CensorPolicy::kPenalizedLabel: return "penalized_label";
+    case CensorPolicy::kRetryNextCandidate: return "retry_next_candidate";
   }
   return "unknown";
 }
@@ -88,7 +111,7 @@ AlSimulator::AlSimulator(const data::Dataset& dataset, AlOptions options)
 std::string AlSimulator::trajectory_fingerprint(
     std::string_view strategy_name, const data::Partition& partition) const {
   trace::Fingerprint fp;
-  fp.add("alamr.trajectory.v1");
+  fp.add("alamr.trajectory.v2");
   fp.add(strategy_name);
   fp.add(static_cast<std::uint64_t>(dataset_.size()));
   fp.add(static_cast<std::uint64_t>(x_scaled_.cols()));
@@ -118,6 +141,10 @@ std::string AlSimulator::trajectory_fingerprint(
   fp.add(static_cast<std::uint64_t>(options_.rmse_stride));
   fp.add(options_.incremental_refit);
   fp.add(options_.incremental_cross);
+  fp.add(options_.failures.failure_aware);
+  fp.add(static_cast<std::uint64_t>(options_.failures.policy));
+  fp.add(options_.failures.penalty_offset);
+  fp.add(options_.failures.plan.to_string());
   const auto add_rows = [&fp](std::span<const std::size_t> rows) {
     fp.add(static_cast<std::uint64_t>(rows.size()));
     for (const std::size_t row : rows) fp.add(static_cast<std::uint64_t>(row));
@@ -167,10 +194,42 @@ TrajectoryResult AlSimulator::run(const Strategy& strategy,
 TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
                                                  const data::Partition& partition,
                                                  stats::Rng& rng) const {
+  return run_trajectory(strategy, partition, rng, nullptr);
+}
+
+TrajectoryResult AlSimulator::run_resumable(const Strategy& strategy,
+                                            const data::Partition& partition,
+                                            stats::Rng& rng,
+                                            const CheckpointConfig& checkpoint) const {
+  return run_trajectory(strategy, partition, rng, &checkpoint);
+}
+
+TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
+                                             const data::Partition& partition,
+                                             stats::Rng& rng,
+                                             const CheckpointConfig* checkpoint) const {
   TrajectoryResult result;
   result.strategy_name = strategy.name();
   result.partition = partition;
   result.memory_limit_mb = memory_limit_mb();
+
+  // Per-trajectory fault injection: an explicit plan in the options wins,
+  // else the ALAMR_FAULT_PLAN env plan is instantiated per trajectory.
+  // Installing the injector thread-locally also routes the cholesky/opt
+  // sites exercised by this trajectory's fits through it (run_batch
+  // trajectories execute all nested work inline on their own thread).
+  const faults::FaultPlan* plan_source = nullptr;
+  if (!options_.failures.plan.empty()) {
+    plan_source = &options_.failures.plan;
+  } else {
+    plan_source = faults::env_plan();
+  }
+  std::optional<faults::FaultInjector> injector;
+  std::optional<faults::ScopedFaultInjector> fault_scope;
+  if (plan_source != nullptr) {
+    injector.emplace(*plan_source);
+    fault_scope.emplace(*injector);
+  }
 
   // Everything counted/timed on this thread lands in this trajectory's
   // collector (and the process-wide one); nested parallel_for sections run
@@ -178,6 +237,27 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
   // stay exact even inside run_batch.
   trace::TraceCollector collector;
   const trace::ScopedCollector trace_scope(collector);
+
+  // Checkpoint compatibility identity: the options/strategy/partition
+  // fingerprint plus the plan ACTUALLY in force (which may come from the
+  // environment rather than the options).
+  const std::string fingerprint =
+      trajectory_fingerprint(result.strategy_name, partition);
+  const std::string compat =
+      fingerprint + "|plan=" +
+      (plan_source != nullptr ? plan_source->to_string() : std::string());
+
+  std::optional<TrajectoryCheckpoint> resumed;
+  if (checkpoint != nullptr && checkpoint->resume && !checkpoint->path.empty()) {
+    resumed = load_checkpoint(checkpoint->path);
+    if (resumed && resumed->fingerprint != compat) {
+      throw std::runtime_error(
+          "run_resumable: checkpoint at " + checkpoint->path.string() +
+          " was written by an incompatible configuration (fingerprint "
+          "mismatch); refusing to resume");
+    }
+    if (resumed) trace::count("sim.resumed");
+  }
 
   // Test set fixtures (original units for Eq. 10).
   const linalg::Matrix x_test = gather_rows(x_scaled_, partition.test);
@@ -188,14 +268,50 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
   gp::GaussianProcessRegressor gpr_cost(make_kernel(), options_.initial_fit);
   gp::GaussianProcessRegressor gpr_mem(make_kernel(), options_.initial_fit);
 
-  std::vector<std::size_t> learned(partition.init);  // Init + selected rows
-  linalg::Matrix x_learned = gather_rows(x_scaled_, learned);
-  std::vector<double> c_learned = gather(log_cost_, learned);
-  std::vector<double> m_learned = gather(log_mem_, learned);
-  {
-    const trace::ScopedTimer timer("init");
-    gpr_cost.fit(x_learned, c_learned, rng);
-    gpr_mem.fit(x_learned, m_learned, rng);
+  std::vector<std::size_t> learned;
+  std::vector<std::size_t> active;
+  std::vector<double> c_learned;
+  std::vector<double> m_learned;
+  linalg::Matrix x_learned;
+
+  if (!resumed) {
+    learned = partition.init;  // Init + selected rows
+    active = partition.active;
+    x_learned = gather_rows(x_scaled_, learned);
+    c_learned = gather(log_cost_, learned);
+    m_learned = gather(log_mem_, learned);
+    {
+      const trace::ScopedTimer timer("init");
+      gpr_cost.fit(x_learned, c_learned, rng);
+      gpr_mem.fit(x_learned, m_learned, rng);
+    }
+  } else {
+    // Rebuild the exact mid-trajectory state: training set and labels
+    // (penalized labels included) from the checkpoint, models refit AT the
+    // saved hyperparameters with optimization disabled (no rng draws) —
+    // the posterior is a pure function of (X, y, theta), and the full
+    // rebuild produces the same bits the live incremental path had
+    // (golden-tested), so the continuation cannot diverge.
+    learned.assign(resumed->learned.begin(), resumed->learned.end());
+    active.assign(resumed->active.begin(), resumed->active.end());
+    c_learned = resumed->c_learned;
+    m_learned = resumed->m_learned;
+    x_learned = gather_rows(x_scaled_, learned);
+    gp::GprOptions rebuild = options_.refit;
+    rebuild.optimize = false;
+    gpr_cost.set_options(rebuild);
+    gpr_mem.set_options(rebuild);
+    gpr_cost.set_kernel_log_params(resumed->theta_cost);
+    gpr_mem.set_kernel_log_params(resumed->theta_mem);
+    {
+      const trace::ScopedTimer timer("init");
+      gpr_cost.fit(x_learned, c_learned, rng);
+      gpr_mem.fit(x_learned, m_learned, rng);
+    }
+    rng.restore_state(resumed->rng);
+    if (injector) {
+      injector->restore_counters(resumed->fault_hits, resumed->fault_fires);
+    }
   }
   gpr_cost.set_options(options_.refit);
   gpr_mem.set_options(options_.refit);
@@ -225,34 +341,112 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
     if (mu_log_out != nullptr) *mu_log_out = std::move(mu_log);
     return err;
   };
-  {
-    const trace::ScopedTimer timer("rmse");
-    result.initial_rmse_cost = test_rmse(gpr_cost, cost_test, &cost_mu_log);
-    result.initial_rmse_mem = test_rmse(gpr_mem, mem_test);
-  }
-
-  std::vector<double> previous_cost_mu_log = cost_mu_log;
+  std::vector<double> previous_cost_mu_log;
   std::size_t stable_streak = 0;
   // Cost-weighted RMSE (Eq. 12): weight each test residual by the test
   // sample's actual cost.
   const auto weighted = [&](std::span<const double> mu_log) {
     return weighted_rmse(data::exp10_transform(mu_log), cost_test, cost_test);
   };
-  double last_rmse_cost_weighted = weighted(cost_mu_log);
-
-  std::vector<std::size_t> active(partition.active);
+  double last_rmse_cost_weighted = 0.0;
   double cc = 0.0;
   double cr = 0.0;
-  double last_rmse_cost = result.initial_rmse_cost;
-  double last_rmse_mem = result.initial_rmse_mem;
-
-  const std::size_t budget = options_.max_iterations == 0
-                                 ? active.size()
-                                 : std::min(options_.max_iterations, active.size());
-  result.iterations.reserve(budget);
+  double last_rmse_cost = 0.0;
+  double last_rmse_mem = 0.0;
+  std::size_t passes = 0;   // loop passes recorded (censored included)
+  std::size_t trained = 0;  // successful (uncensored or penalized) refits
   bool last_record_evaluated = true;
 
-  for (std::size_t iter = 0; iter < budget; ++iter) {
+  if (!resumed) {
+    {
+      const trace::ScopedTimer timer("rmse");
+      result.initial_rmse_cost = test_rmse(gpr_cost, cost_test, &cost_mu_log);
+      result.initial_rmse_mem = test_rmse(gpr_mem, mem_test);
+    }
+    previous_cost_mu_log = cost_mu_log;
+    last_rmse_cost_weighted = weighted(cost_mu_log);
+    last_rmse_cost = result.initial_rmse_cost;
+    last_rmse_mem = result.initial_rmse_mem;
+  } else {
+    result.initial_rmse_cost = resumed->initial_rmse_cost;
+    result.initial_rmse_mem = resumed->initial_rmse_mem;
+    previous_cost_mu_log = resumed->previous_cost_mu_log;
+    stable_streak = static_cast<std::size_t>(resumed->stable_streak);
+    last_rmse_cost_weighted = resumed->last_rmse_weighted;
+    cc = resumed->cc;
+    cr = resumed->cr;
+    last_rmse_cost = resumed->last_rmse_cost;
+    last_rmse_mem = resumed->last_rmse_mem;
+    last_record_evaluated = resumed->last_record_evaluated;
+    passes = static_cast<std::size_t>(resumed->passes);
+    trained = static_cast<std::size_t>(resumed->trained);
+    result.iterations = resumed->iterations;
+    result.censored_count = static_cast<std::size_t>(resumed->censored_count);
+    result.censored_cost = resumed->censored_cost;
+  }
+
+  // Budget counts successful acquisitions under kRetryNextCandidate and
+  // total passes otherwise (censored passes then consume budget too, as a
+  // wasted allocation would).
+  const bool retry_policy =
+      options_.failures.policy == CensorPolicy::kRetryNextCandidate;
+  const std::size_t budget =
+      options_.max_iterations == 0
+          ? partition.active.size()
+          : std::min(options_.max_iterations, partition.active.size());
+  result.iterations.reserve(budget);
+
+  // Captures the complete driver state for checkpoint/resume.
+  const auto snapshot = [&]() {
+    TrajectoryCheckpoint s;
+    s.fingerprint = compat;
+    s.passes = passes;
+    s.trained = trained;
+    s.learned.assign(learned.begin(), learned.end());
+    s.active.assign(active.begin(), active.end());
+    s.c_learned = c_learned;
+    s.m_learned = m_learned;
+    s.theta_cost = gpr_cost.kernel().log_params();
+    s.theta_mem = gpr_mem.kernel().log_params();
+    s.rng = rng.save_state();
+    s.cc = cc;
+    s.cr = cr;
+    s.last_rmse_cost = last_rmse_cost;
+    s.last_rmse_mem = last_rmse_mem;
+    s.last_rmse_weighted = last_rmse_cost_weighted;
+    s.last_record_evaluated = last_record_evaluated;
+    s.initial_rmse_cost = result.initial_rmse_cost;
+    s.initial_rmse_mem = result.initial_rmse_mem;
+    s.stable_streak = stable_streak;
+    s.previous_cost_mu_log = previous_cost_mu_log;
+    s.censored_count = result.censored_count;
+    s.censored_cost = result.censored_cost;
+    if (injector) {
+      const auto hits = injector->hit_counters();
+      const auto fires = injector->fire_counters();
+      std::copy(hits.begin(), hits.end(), s.fault_hits.begin());
+      std::copy(fires.begin(), fires.end(), s.fault_fires.begin());
+    }
+    s.iterations = result.iterations;
+    return s;
+  };
+  std::size_t new_passes = 0;  // passes executed by THIS process
+  const auto maybe_checkpoint = [&]() {
+    if (checkpoint == nullptr || checkpoint->path.empty()) return;
+    if (checkpoint->stride == 0 || new_passes % checkpoint->stride != 0) return;
+    const trace::ScopedTimer timer("checkpoint");
+    trace::count("sim.checkpoints");
+    save_checkpoint(snapshot(), checkpoint->path);
+  };
+
+  bool halted = false;
+  while (!active.empty()) {
+    if ((retry_policy ? trained : passes) >= budget) break;
+    if (checkpoint != nullptr && checkpoint->halt_after_iterations != 0 &&
+        new_passes >= checkpoint->halt_after_iterations) {
+      halted = true;
+      break;
+    }
     trace::count("sim.iterations");
 
     // Algorithm 1, lines 3-4: predict over remaining candidates.
@@ -312,13 +506,41 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
     }
     const std::size_t row = active[local];
 
+    // Failure decision for this acquisition. Each injectable site is
+    // consulted exactly once per pass (whatever fired earlier), so hit
+    // counters advance in lockstep with the pass count — schedules stay
+    // simple to reason about and to restore from a checkpoint. When no
+    // injector is armed and failure awareness is off, every branch is
+    // false and the pass is byte-identical to the historical loop.
+    CensorKind censor = CensorKind::kNone;
+    {
+      const bool injected_oom = faults::fire(faults::Site::kAcquireOom);
+      const bool injected_timeout = faults::fire(faults::Site::kAcquireTimeout);
+      const bool injected_nan = faults::fire(faults::Site::kDataNanRow);
+      if (injected_oom) {
+        censor = CensorKind::kOom;
+      } else if (injected_timeout) {
+        censor = CensorKind::kTimeout;
+      } else if (injected_nan) {
+        censor = CensorKind::kNanRow;
+      } else if (options_.failures.failure_aware &&
+                 log_mem_[row] > limit_log10_) {
+        censor = CensorKind::kOverLimit;
+      }
+    }
+    const bool train = censor == CensorKind::kNone ||
+                       options_.failures.policy == CensorPolicy::kPenalizedLabel;
+
     IterationRecord record;
-    record.iteration = iter;
+    record.iteration = result.iterations.size();
     record.dataset_row = row;
     record.candidates_before = active.size();
+    record.censor = censor;
     {
       // Lines 6-9: reveal the sample's measurements and move it from
-      // Active to Learned.
+      // Active to Learned. A censored acquisition still burned its true
+      // cost (the core-hours were spent before the failure), so CC — and
+      // CR, since nothing usable came back — absorb the full cost.
       const trace::ScopedTimer timer("reveal");
       record.actual_cost = dataset_.cost[row];
       record.actual_memory = dataset_.memory[row];
@@ -328,19 +550,56 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
       record.predicted_mem_sigma = pred_mem.stddev[local];
 
       cc += record.actual_cost;
-      cr += individual_regret(record.actual_cost, record.actual_memory,
-                              result.memory_limit_mb);
+      if (censor == CensorKind::kNone) {
+        cr += individual_regret(record.actual_cost, record.actual_memory,
+                                result.memory_limit_mb);
+      } else {
+        cr += record.actual_cost;
+      }
       record.cumulative_cost = cc;
       record.cumulative_regret = cr;
 
-      learned.push_back(row);
-      x_learned = append_row(x_learned, x_scaled_.row(row));
       active.erase(active.begin() + static_cast<std::ptrdiff_t>(local));
       // Drop the acquired candidate's column from the live cross
       // matrices; remaining entries keep their bits.
       if (k_star_cost_valid) k_star_cost = erase_column(k_star_cost, local);
       if (k_star_mem_valid) k_star_mem = erase_column(k_star_mem, local);
     }
+
+    if (censor != CensorKind::kNone) {
+      trace::count("sim.censored");
+      ++result.censored_count;
+      result.censored_cost += record.actual_cost;
+    }
+
+    if (!train) {
+      // kDropCensored / kRetryNextCandidate: the models never see the
+      // point. RMSE columns carry the last computed values (the models
+      // did not change, so nothing new to evaluate); last_record_evaluated
+      // is deliberately untouched — whether the carried value is current
+      // depends on the last TRAINED pass, which already set it.
+      record.rmse_cost = last_rmse_cost;
+      record.rmse_mem = last_rmse_mem;
+      record.rmse_cost_weighted = last_rmse_cost_weighted;
+      result.iterations.push_back(record);
+      ++passes;
+      ++new_passes;
+      maybe_checkpoint();
+      continue;
+    }
+
+    // Labels the models train on: the true measurements for a clean
+    // acquisition; under kPenalizedLabel a censored run contributes its
+    // observed cost and a memory label just above the limit ("it crashed
+    // up there"), steering the memory model away from the region.
+    const double c_label = log_cost_[row];
+    const double m_label = censor == CensorKind::kNone
+                               ? log_mem_[row]
+                               : limit_log10_ + options_.failures.penalty_offset;
+    learned.push_back(row);
+    x_learned = append_row(x_learned, x_scaled_.row(row));
+    c_learned.push_back(c_label);
+    m_learned.push_back(m_label);
 
     // Lines 10-11: warm-started refit of both models on Init + Learned.
     {
@@ -350,16 +609,17 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
         // but the common converged-warm-start case avoids the O(n^2) gram
         // rebuild and O(n^3) refactor.
         const bool cost_kept =
-            gpr_cost.fit_add_point(x_scaled_.row(row), log_cost_[row], rng);
+            gpr_cost.fit_add_point(x_scaled_.row(row), c_label, rng);
         const bool mem_kept =
-            gpr_mem.fit_add_point(x_scaled_.row(row), log_mem_[row], rng);
+            gpr_mem.fit_add_point(x_scaled_.row(row), m_label, rng);
         if (k_star_cost_valid && !cost_kept) trace::count("sim.kstar_invalidate");
         if (k_star_mem_valid && !mem_kept) trace::count("sim.kstar_invalidate");
         k_star_cost_valid = k_star_cost_valid && cost_kept;
         k_star_mem_valid = k_star_mem_valid && mem_kept;
       } else {
-        c_learned = gather(log_cost_, learned);
-        m_learned = gather(log_mem_, learned);
+        // c_learned/m_learned are maintained in learned order (holding
+        // exactly the values gather() from the label arrays would, plus
+        // any penalized labels), so the full refit sees the same bits.
         gpr_cost.fit(x_learned, c_learned, rng);
         gpr_mem.fit(x_learned, m_learned, rng);
         // fit() re-optimizes from scratch; assume the hyperparameters
@@ -396,10 +656,13 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
 
     // Metrics after this iteration (Eq. 10, non-log space). The final
     // planned iteration always evaluates so the trajectory never ends on
-    // a carried-over value.
+    // a carried-over value. `passes` here still holds this pass's 0-based
+    // index (incremented below), matching the historical `iter`.
+    const bool final_pass =
+        (retry_policy ? trained : passes) + 1 == budget;
     const bool evaluate_now = options_.rmse_stride <= 1 ||
-                              iter % options_.rmse_stride == 0 ||
-                              iter + 1 == budget ||
+                              passes % options_.rmse_stride == 0 ||
+                              final_pass ||
                               active.empty() || options_.stopping.enabled;
     if (evaluate_now) {
       const trace::ScopedTimer timer("rmse");
@@ -413,6 +676,9 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
     record.rmse_cost_weighted = last_rmse_cost_weighted;
 
     result.iterations.push_back(record);
+    ++trained;
+    ++passes;
+    ++new_passes;
 
     // Stabilizing-predictions stopping rule (paper Sec. V-D).
     if (options_.stopping.enabled && evaluate_now) {
@@ -424,16 +690,22 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
       previous_cost_mu_log = cost_mu_log;
       stable_streak =
           mean_abs_change < options_.stopping.tolerance ? stable_streak + 1 : 0;
-      if (iter + 1 >= options_.stopping.min_iterations &&
+      if (passes >= options_.stopping.min_iterations &&
           stable_streak >= options_.stopping.patience) {
         result.early_stopped = true;
         result.stop_reason = StopReason::kStabilized;
         break;
       }
     }
+    maybe_checkpoint();
   }
-  if (result.stop_reason != StopReason::kNoSafeCandidates &&
-      result.stop_reason != StopReason::kStabilized) {
+  if (halted) {
+    result.stop_reason = StopReason::kCheckpointHalt;
+    if (checkpoint != nullptr && !checkpoint->path.empty()) {
+      save_checkpoint(snapshot(), checkpoint->path);
+    }
+  } else if (result.stop_reason != StopReason::kNoSafeCandidates &&
+             result.stop_reason != StopReason::kStabilized) {
     result.stop_reason = active.empty() ? StopReason::kActiveExhausted
                                         : StopReason::kIterationBudget;
   }
@@ -442,7 +714,7 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
   // record with a carried-over RMSE; the models have not changed since
   // that iteration's refit, so evaluating now yields exactly the value a
   // per-iteration evaluation would have recorded.
-  if (!last_record_evaluated && !result.iterations.empty()) {
+  if (!halted && !last_record_evaluated && !result.iterations.empty()) {
     const trace::ScopedTimer timer("rmse");
     IterationRecord& last = result.iterations.back();
     last.rmse_cost = test_rmse(gpr_cost, cost_test, &cost_mu_log);
@@ -450,9 +722,15 @@ TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
     last.rmse_cost_weighted = weighted(cost_mu_log);
   }
 
+  // A completed trajectory retires its checkpoint; a halted one leaves the
+  // file in place for the next shard to resume.
+  if (!halted && checkpoint != nullptr && !checkpoint->path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(checkpoint->path, ec);
+  }
+
   if (trace::enabled()) result.trace = collector.report();
-  result.trace.fingerprint =
-      trajectory_fingerprint(result.strategy_name, partition);
+  result.trace.fingerprint = fingerprint;
   return result;
 }
 

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
 
+#include "alamr/core/faults.hpp"
 #include "alamr/core/parallel.hpp"
 #include "alamr/core/trace.hpp"
 #include "alamr/opt/multistart.hpp"
+#include "alamr/opt/nelder_mead.hpp"
 
 namespace alamr::gp {
 
@@ -36,7 +39,8 @@ GaussianProcessRegressor::GaussianProcessRegressor(
       jitter_(other.jitter_),
       factor_(other.factor_),
       alpha_(other.alpha_),
-      lml_(other.lml_) {}
+      lml_(other.lml_),
+      last_good_params_(other.last_good_params_) {}
 
 GaussianProcessRegressor& GaussianProcessRegressor::operator=(
     const GaussianProcessRegressor& other) {
@@ -53,6 +57,7 @@ GaussianProcessRegressor& GaussianProcessRegressor::operator=(
   factor_ = other.factor_;
   alpha_ = other.alpha_;
   lml_ = other.lml_;
+  last_good_params_ = other.last_good_params_;
   return *this;
 }
 
@@ -130,7 +135,7 @@ double GaussianProcessRegressor::log_marginal_likelihood(
   return lml;
 }
 
-double GaussianProcessRegressor::compute_posterior() {
+double GaussianProcessRegressor::compute_posterior_unchecked() {
   // Full O(n^2) gram rebuild + O(n^3) refactor — the slow path that
   // fit_add_point's incremental update exists to avoid.
   core::trace::count("gpr.fit_full");
@@ -145,7 +150,27 @@ double GaussianProcessRegressor::compute_posterior() {
   const std::size_t n = x_train_.rows();
   lml_ = -0.5 * linalg::dot(y_train_, alpha_) - 0.5 * factor_->log_det() -
          0.5 * static_cast<double>(n) * kLogTwoPi;
+  last_good_params_ = kernel_->log_params();
   return lml_;
+}
+
+double GaussianProcessRegressor::compute_posterior() {
+  try {
+    return compute_posterior_unchecked();
+  } catch (const std::exception&) {
+    // Recovery ladder rung 3 (DESIGN.md §9): the optimizer accepted a
+    // theta whose gram cannot be factored even at max jitter. Rather than
+    // killing the trajectory, revert to the last theta known to produce a
+    // valid posterior and rebuild there. Rethrow when there is no previous
+    // theta (first fit) or it IS the failing theta.
+    if (last_good_params_.empty() ||
+        last_good_params_ == kernel_->log_params()) {
+      throw;
+    }
+    core::trace::count("gpr.posterior_recover");
+    kernel_->set_log_params(last_good_params_);
+    return compute_posterior_unchecked();
+  }
 }
 
 void GaussianProcessRegressor::recenter_targets() {
@@ -179,9 +204,56 @@ void GaussianProcessRegressor::optimize_hyperparameters(stats::Rng& rng) {
   std::vector<double> feasible_start = start;
   bounds.project(feasible_start);
 
-  const opt::OptimizeResult best =
-      opt::multistart_minimize(negative_lml, feasible_start, bounds, ms, rng);
-  kernel_->set_log_params(best.x);
+  // Recovery ladder (DESIGN.md §9). Rung 1: multistart L-BFGS — the only
+  // path ever taken when nothing fails, so healthy runs are bit-identical
+  // to the pre-ladder code. A non-finite best value (diverged line search,
+  // injected opt.diverge) or a thrown factorization during probing falls
+  // through to rung 2: derivative-free Nelder-Mead on a guarded objective
+  // that maps non-finite/throwing evaluations to +inf. If that also fails,
+  // rung 3: keep the previous hyperparameters (the kernel is untouched).
+  std::optional<std::vector<double>> winner;
+  try {
+    const opt::OptimizeResult best =
+        opt::multistart_minimize(negative_lml, feasible_start, bounds, ms, rng);
+    if (std::isfinite(best.value)) winner = best.x;
+  } catch (const std::exception&) {
+  }
+
+  if (!winner) {
+    core::trace::count("gpr.opt_degrade_nm");
+    // The same fault site that poisoned the L-BFGS starts can veto the
+    // Nelder-Mead rung, so tests can drive the ladder to the bottom.
+    if (!core::faults::fire(core::faults::Site::kOptDiverge)) {
+      const opt::Objective guarded = [this](std::span<const double> theta,
+                                            std::span<double> grad) -> double {
+        for (double& g : grad) g = 0.0;  // NM never uses the gradient
+        try {
+          const double value =
+              log_marginal_likelihood(theta, std::span<double>{});
+          return std::isfinite(value)
+                     ? -value
+                     : std::numeric_limits<double>::infinity();
+        } catch (const std::exception&) {
+          return std::numeric_limits<double>::infinity();
+        }
+      };
+      opt::NelderMeadOptions nm;
+      nm.max_iterations =
+          std::max<std::size_t>(100, options_.max_opt_iterations * 10);
+      try {
+        const opt::NelderMeadResult fallback =
+            opt::nelder_mead_minimize(guarded, feasible_start, nm, bounds);
+        if (std::isfinite(fallback.value)) winner = fallback.x;
+      } catch (const std::exception&) {
+      }
+    }
+  }
+
+  if (!winner) {
+    core::trace::count("gpr.opt_keep_previous");
+    return;  // kernel_ still holds the pre-optimization hyperparameters
+  }
+  kernel_->set_log_params(*winner);
 }
 
 void GaussianProcessRegressor::fit(const Matrix& x, std::span<const double> y,
@@ -281,6 +353,7 @@ void GaussianProcessRegressor::update_posterior_incremental() {
   const std::size_t m = x_train_.rows();
   lml_ = -0.5 * linalg::dot(y_train_, alpha_) - 0.5 * factor_->log_det() -
          0.5 * static_cast<double>(m) * kLogTwoPi;
+  last_good_params_ = kernel_->log_params();
 }
 
 void GaussianProcessRegressor::add_point(std::span<const double> x, double y) {

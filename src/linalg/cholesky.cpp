@@ -4,8 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
-// Header-only instrumentation (standard library only), so linking stays
-// within this module — see the layering note in core/trace.hpp.
+// Header-only instrumentation and fault injection (standard library only),
+// so linking stays within this module — see the layering notes in
+// core/trace.hpp and core/faults.hpp.
+#include "alamr/core/faults.hpp"
 #include "alamr/core/trace.hpp"
 
 namespace alamr::linalg {
@@ -510,7 +512,18 @@ JitteredCholesky cholesky_with_jitter(const Matrix& a, double initial_jitter,
   if (a.rows() != a.cols()) {
     throw std::invalid_argument("cholesky_with_jitter: matrix must be square");
   }
-  if (auto clean = CholeskyFactor::factor(a)) {
+  // Fault site "cholesky.non_psd": an armed plan can veto any attempt,
+  // driving the ladder (and its exhaustion path) without crafting an
+  // actually-indefinite matrix. Disarmed, attempt() is factor() plus two
+  // pointer loads — no FP effect.
+  const auto attempt = [](const Matrix& m) -> std::optional<CholeskyFactor> {
+    if (core::faults::fire(core::faults::Site::kCholeskyNonPsd)) {
+      core::trace::count("cholesky.fault_injected");
+      return std::nullopt;
+    }
+    return CholeskyFactor::factor(m);
+  };
+  if (auto clean = attempt(a)) {
     return JitteredCholesky{std::move(*clean), 0.0};
   }
   const std::size_t n = a.rows();
@@ -526,11 +539,27 @@ JitteredCholesky cholesky_with_jitter(const Matrix& a, double initial_jitter,
   Matrix work = a;
   Vector pristine_diag(n);
   for (std::size_t i = 0; i < n; ++i) pristine_diag[i] = a(i, i);
+  double largest_attempted = -1.0;
   for (double rel = initial_jitter; rel <= max_jitter; rel *= 10.0) {
     core::trace::count("cholesky.jitter_retries");
+    largest_attempted = rel;
     const double jitter = rel * scale;
     for (std::size_t i = 0; i < n; ++i) work(i, i) = pristine_diag[i] + jitter;
-    if (auto factored = CholeskyFactor::factor(work)) {
+    if (auto factored = attempt(work)) {
+      return JitteredCholesky{std::move(*factored), jitter};
+    }
+  }
+  // The *10 ladder accumulates rounding: from 1e-12 it tops out at
+  // 9.9999999999999978e-05, one ulp-cluster short of a 1e-4 max_jitter,
+  // and the next step overshoots — so the promised max rung was never
+  // tried. Always attempt exactly max_jitter before declaring defeat.
+  // (Only previously-throwing executions reach this, so succeeding runs
+  // keep their exact byte-for-byte behavior.)
+  if (largest_attempted < max_jitter) {
+    core::trace::count("cholesky.jitter_retries");
+    const double jitter = max_jitter * scale;
+    for (std::size_t i = 0; i < n; ++i) work(i, i) = pristine_diag[i] + jitter;
+    if (auto factored = attempt(work)) {
       return JitteredCholesky{std::move(*factored), jitter};
     }
   }

@@ -1,7 +1,10 @@
 #include "alamr/opt/multistart.hpp"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "alamr/core/faults.hpp"
 #include "alamr/core/parallel.hpp"
 
 namespace alamr::opt {
@@ -31,10 +34,29 @@ OptimizeResult multistart_minimize(const Objective& f,
     starts.push_back(std::move(start));
   }
 
+  // Fault site "opt.diverge": consulted once per start HERE, on the
+  // calling thread (never inside pool tasks), so the schedule is
+  // deterministic whatever the thread count. A fired start is poisoned to
+  // a NaN objective value, as if its line search diverged; callers that
+  // see a non-finite best value walk the recovery ladder in gpr.cpp.
+  std::vector<char> diverged;
+  if (core::faults::armed()) {
+    diverged.resize(starts.size(), 0);
+    for (std::size_t r = 0; r < starts.size(); ++r) {
+      diverged[r] = core::faults::fire(core::faults::Site::kOptDiverge) ? 1 : 0;
+    }
+  }
+
   // The runs are independent; `f` may be called from several threads at
   // once (the GPR objective only reads the stored training data).
   std::vector<OptimizeResult> results(starts.size());
   core::parallel_for(starts.size(), [&](std::size_t r) {
+    if (!diverged.empty() && diverged[r] != 0) {
+      results[r].x = starts[r];
+      results[r].value = std::numeric_limits<double>::quiet_NaN();
+      results[r].reason = StopReason::kLineSearchFailed;
+      return;
+    }
     results[r] = lbfgs_minimize(f, starts[r], options.lbfgs, bounds);
   });
 
@@ -45,7 +67,13 @@ OptimizeResult multistart_minimize(const Objective& f,
   std::size_t evaluations = results[0].evaluations;
   for (std::size_t r = 1; r < results.size(); ++r) {
     evaluations += results[r].evaluations;
-    if (results[r].value < results[best_index].value) best_index = r;
+    // NaN never wins a '<', so without the isnan escape a diverged warm
+    // start would shadow every later finite restart.
+    if ((std::isnan(results[best_index].value) &&
+         !std::isnan(results[r].value)) ||
+        results[r].value < results[best_index].value) {
+      best_index = r;
+    }
   }
   OptimizeResult best = std::move(results[best_index]);
   best.evaluations = evaluations;

@@ -100,14 +100,51 @@ std::vector<double> goodness_weights(std::span<const double> mu,
   if (!(base > 1.0) || !std::isfinite(base)) {
     throw std::invalid_argument("goodness base must be finite and > 1");
   }
+  // Max-shifted exponentiation: g_i = base^(e_i) with e_i = sigma_i - mu_i
+  // is sampled through base^(e_i - max_j e_j), which lives in (0, 1] for
+  // any finite spread — so e ~ 400 (where the naive 10^e overflowed to inf
+  // and tripped the "weights must be finite" throw mid-trajectory) is safe.
   const double log_base = std::log(base);
   double max_exponent = -std::numeric_limits<double>::infinity();
+  bool any_nonfinite = false;
+  bool any_pos_inf = false;
   for (std::size_t i = 0; i < mu.size(); ++i) {
-    max_exponent = std::max(max_exponent, sigma[i] - mu[i]);
+    const double e = sigma[i] - mu[i];
+    if (std::isfinite(e)) {
+      max_exponent = std::max(max_exponent, e);
+    } else {
+      any_nonfinite = true;
+      if (e > 0.0) any_pos_inf = true;  // +inf (NaN comparisons are false)
+    }
   }
   std::vector<double> weights(mu.size());
+  if (!any_nonfinite && std::isfinite(max_exponent)) {
+    for (std::size_t i = 0; i < mu.size(); ++i) {
+      weights[i] = std::exp(log_base * ((sigma[i] - mu[i]) - max_exponent));
+    }
+    return weights;
+  }
+  // Degenerate scores (a corrupted or diverged model can emit ±inf/NaN
+  // predictions): keep the weights valid instead of poisoning them with
+  // NaN. NaN scores get no mass; a +inf score dominates everything finite;
+  // with no usable scores at all fall back to uniform so the strategy can
+  // still make a deterministic pick and the trajectory survives.
+  bool any_mass = false;
   for (std::size_t i = 0; i < mu.size(); ++i) {
-    weights[i] = std::exp(log_base * ((sigma[i] - mu[i]) - max_exponent));
+    const double e = sigma[i] - mu[i];
+    double w = 0.0;
+    if (std::isnan(e)) {
+      w = 0.0;
+    } else if (any_pos_inf) {
+      w = e > 0.0 && std::isinf(e) ? 1.0 : 0.0;
+    } else if (std::isfinite(e) && std::isfinite(max_exponent)) {
+      w = std::exp(log_base * (e - max_exponent));
+    }
+    any_mass = any_mass || w > 0.0;
+    weights[i] = w;
+  }
+  if (!any_mass) {
+    std::fill(weights.begin(), weights.end(), 1.0);
   }
   return weights;
 }

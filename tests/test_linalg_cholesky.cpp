@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "alamr/core/faults.hpp"
 #include "alamr/stats/rng.hpp"
 
 namespace {
@@ -90,6 +91,58 @@ TEST(CholeskyJitter, RepairsSemiDefiniteMatrix) {
 TEST(CholeskyJitter, ThrowsOnHopelessMatrix) {
   const Matrix a{{-1.0, 0.0}, {0.0, -1.0}};
   EXPECT_THROW(cholesky_with_jitter(a), std::runtime_error);
+}
+
+TEST(CholeskyJitter, MaxJitterRungIsAlwaysAttempted) {
+  // The *10 ladder from 1e-12 accumulates rounding and tops out one
+  // ulp-cluster SHORT of a 1e-4 max_jitter...
+  double rel = 1e-12;
+  std::size_t rungs = 0;
+  for (; rel <= 1e-4; rel *= 10.0) ++rungs;
+  EXPECT_EQ(rungs, 9u);
+  // ...so without the explicit final attempt, exactly-max_jitter was never
+  // tried. Drive the ladder with fault injection: veto the clean attempt
+  // plus all 9 ladder rungs (max=10 fires), so only the boundary attempt at
+  // exactly max_jitter can succeed.
+  namespace faults = alamr::core::faults;
+  faults::FaultInjector injector(
+      faults::FaultPlan::parse("cholesky.non_psd:p=1,max=10"));
+  const faults::ScopedFaultInjector scope(injector);
+  const Matrix eye = Matrix::identity(4);
+  const auto [factor, jitter] = cholesky_with_jitter(eye, 1e-12, 1e-4);
+  EXPECT_EQ(injector.fires(faults::Site::kCholeskyNonPsd), 10u);
+  EXPECT_EQ(injector.hits(faults::Site::kCholeskyNonPsd), 11u);
+  // scale = mean diagonal = 1, so the boundary rung applies exactly 1e-4 —
+  // strictly above where the rounded ladder stopped.
+  EXPECT_EQ(jitter, 1e-4);
+  EXPECT_GT(jitter, 9.9999999999999978e-05);
+  EXPECT_EQ(factor.size(), 4u);
+}
+
+TEST(CholeskyJitter, InjectedExhaustionThrows) {
+  // An unbounded p=1 plan vetoes every attempt including the boundary
+  // rung: the ladder must exhaust with the documented error, exercising
+  // the path GPR's recovery ladder catches.
+  namespace faults = alamr::core::faults;
+  faults::FaultInjector injector(
+      faults::FaultPlan::parse("cholesky.non_psd:p=1"));
+  const faults::ScopedFaultInjector scope(injector);
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_THROW(cholesky_with_jitter(eye), std::runtime_error);
+  // clean + 9 ladder rungs + boundary attempt, every one consulted.
+  EXPECT_EQ(injector.hits(faults::Site::kCholeskyNonPsd), 11u);
+}
+
+TEST(CholeskyJitter, InjectedNonPsdFallsToFirstJitterRung) {
+  // A single vetoed clean attempt degrades to the smallest jitter rung.
+  namespace faults = alamr::core::faults;
+  faults::FaultInjector injector(
+      faults::FaultPlan::parse("cholesky.non_psd:hits=0"));
+  const faults::ScopedFaultInjector scope(injector);
+  const Matrix eye = Matrix::identity(3);
+  const auto [factor, jitter] = cholesky_with_jitter(eye, 1e-12, 1e-4);
+  EXPECT_EQ(jitter, 1e-12);
+  EXPECT_EQ(factor.size(), 3u);
 }
 
 // Property sweep over sizes and seeds: reconstruction, solve residual,

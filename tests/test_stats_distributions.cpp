@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <span>
 #include <vector>
 
 namespace {
@@ -119,6 +121,65 @@ TEST(GoodnessWeights, StableUnderLargeExponents) {
   EXPECT_TRUE(std::isfinite(w[1]));
   EXPECT_GT(w[0], 0.0);
   EXPECT_GE(w[1], 0.0);
+}
+
+TEST(GoodnessWeights, Regression_SigmaMinusMuNear400) {
+  // The mid-trajectory overflow that motivated the log-space rewrite:
+  // sigma - mu ~ 400 made the naive 10^e hit inf and trip the "weights
+  // must be finite" validation inside sample_categorical. The shifted form
+  // must give the dominant candidate all practical mass and stay
+  // normalizable.
+  const std::vector<double> mu{-400.0, -399.0, 0.0};
+  const std::vector<double> sigma{0.0, 0.5, 0.1};
+  auto w = goodness_weights(mu, sigma, 10.0);
+  for (const double v : w) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+  EXPECT_EQ(w[0], 1.0);  // max-shifted winner is exactly base^0
+  EXPECT_NO_THROW(alamr::stats::normalize_weights(std::span<double>(w)));
+  Rng rng(4);
+  EXPECT_EQ(alamr::stats::sample_categorical(w, rng), 0u);
+}
+
+TEST(GoodnessWeights, NanScoresGetNoMass) {
+  // A corrupted model can emit NaN predictions; those candidates must get
+  // zero weight without poisoning the rest.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> mu{0.0, nan, 1.0};
+  const std::vector<double> sigma{0.1, 0.1, 0.1};
+  const auto w = goodness_weights(mu, sigma, 10.0);
+  EXPECT_GT(w[0], 0.0);
+  EXPECT_EQ(w[1], 0.0);
+  EXPECT_GT(w[2], 0.0);
+  EXPECT_GT(w[0], w[2]);  // cheap candidate still preferred
+}
+
+TEST(GoodnessWeights, PositiveInfinityDominates) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> mu{-inf, 0.0, 5.0};
+  const std::vector<double> sigma{0.0, 0.1, 0.1};
+  const auto w = goodness_weights(mu, sigma, 10.0);
+  EXPECT_EQ(w[0], 1.0);
+  EXPECT_EQ(w[1], 0.0);
+  EXPECT_EQ(w[2], 0.0);
+}
+
+TEST(GoodnessWeights, NegativeInfinityGetsZeroNotNan) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> mu{inf, 0.0};  // e = sigma - mu = -inf
+  const std::vector<double> sigma{0.0, 0.1};
+  const auto w = goodness_weights(mu, sigma, 10.0);
+  EXPECT_EQ(w[0], 0.0);
+  EXPECT_GT(w[1], 0.0);
+}
+
+TEST(GoodnessWeights, AllDegenerateFallsBackToUniform) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> mu{nan, nan, nan};
+  const std::vector<double> sigma{0.0, 0.0, 0.0};
+  const auto w = goodness_weights(mu, sigma, 10.0);
+  for (const double v : w) EXPECT_EQ(v, 1.0);
 }
 
 TEST(GoodnessWeights, RejectsBadBaseAndMismatch) {
