@@ -4,15 +4,44 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 
 #include "alamr/amr/solver.hpp"
 #include "alamr/core/batch.hpp"
 #include "alamr/core/strategies.hpp"
 #include "alamr/gp/gpr.hpp"
 #include "alamr/linalg/cholesky.hpp"
+#include "alamr/linalg/simd.hpp"
+#include "alamr/linalg/workspace.hpp"
 #include "alamr/stats/rng.hpp"
 #include "synthetic_dataset.hpp"
+
+// P5 — BM_ArenaPass reports heap allocations per AL pass, so this binary
+// counts every operator new. One relaxed atomic increment per allocation:
+// noise for the other benchmarks, decisive data for the arena ones.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -381,6 +410,137 @@ void BM_IncrementalPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IncrementalPredict)->Args({300, 0})->Args({300, 1});
+
+// P5 — the fused batched posterior vs the per-candidate path it
+// supersedes, at n = 300 training points and 300 candidates. Arg 0 is the
+// historical per-candidate recipe: one 1-row predict() per candidate,
+// each rebuilding its own 1-column cross-covariance and re-streaming the
+// factor. Arg 1 is one GEMM-shaped predict_batch over a prebuilt cross
+// matrix with every temporary in a reused arena. The acceptance bar is
+// arm 1 >= 1.5x arm 0 (BENCH_PR5.json: BM_PredictBatch).
+void BM_PredictBatch(benchmark::State& state) {
+  const bool fused = state.range(1) != 0;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 300;
+  stats::Rng rng(5);
+  const auto x = random_points(n, 5, rng);
+  std::vector<double> y(n);
+  for (double& v : y) v = rng.normal();
+  gp::GprOptions options;
+  options.optimize = false;
+  gp::GaussianProcessRegressor gpr(gp::make_paper_kernel(), options);
+  gpr.fit(x, y, rng);
+  const auto queries = random_points(m, 5, rng);
+
+  if (fused) {
+    const linalg::Matrix k_star = gpr.kernel().cross(x, queries);
+    const std::vector<double> prior = gpr.kernel().diagonal(queries);
+    linalg::Workspace ws;
+    std::vector<double> mean(m);
+    std::vector<double> stddev(m);
+    for (auto _ : state) {
+      gpr.predict_batch(k_star, prior, ws, mean, stddev);
+      benchmark::DoNotOptimize(mean);
+      benchmark::DoNotOptimize(stddev);
+    }
+    return;
+  }
+  linalg::Matrix xq(1, 5);
+  std::vector<double> mean(m);
+  std::vector<double> stddev(m);
+  for (auto _ : state) {
+    for (std::size_t q = 0; q < m; ++q) {
+      const auto src = queries.row(q);
+      std::copy(src.begin(), src.end(), xq.row(0).begin());
+      const gp::Prediction pred = gpr.predict(xq);
+      mean[q] = pred.mean[0];
+      stddev[q] = pred.stddev[0];
+    }
+    benchmark::DoNotOptimize(mean);
+    benchmark::DoNotOptimize(stddev);
+  }
+}
+BENCHMARK(BM_PredictBatch)->Args({300, 0})->Args({300, 1});
+
+// P5 — one full AL pass through the public simulator API, with heap
+// allocations counted by this binary's operator-new override. Arg 0 runs
+// the scalar per-pass posterior (batched_predict = false); Arg 1 the
+// fused arena path. allocs_per_iter is the decisive counter: the arena
+// path's steady-state predict phase contributes zero.
+void BM_ArenaPass(benchmark::State& state) {
+  const bool arena = state.range(1) != 0;
+  const data::Dataset dataset = testing::synthetic_amr_dataset(200, 99);
+  core::AlOptions options;
+  options.n_test = 40;
+  options.n_init = 30;
+  options.max_iterations = 50;
+  options.initial_fit.restarts = 1;
+  options.initial_fit.max_opt_iterations = 30;
+  options.refit.restarts = 0;
+  options.refit.max_opt_iterations = 0;
+  options.batched_predict = arena;
+  const core::AlSimulator simulator(dataset, options);
+  const core::Rgma rgma(simulator.memory_limit_log10());
+  stats::Rng partition_rng(31);
+  const data::Partition partition = data::make_partition(
+      dataset.size(), options.n_test, options.n_init, partition_rng);
+  std::uint64_t allocs = 0;
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    stats::Rng rng(77);
+    const std::uint64_t before = g_alloc_count.load();
+    auto result = simulator.run_with_partition(rgma, partition, rng);
+    allocs += g_alloc_count.load() - before;
+    iterations += result.iterations.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(allocs) / static_cast<double>(iterations);
+}
+BENCHMARK(BM_ArenaPass)->Args({200, 0})->Args({200, 1})->Unit(benchmark::kMillisecond);
+
+// P5 — the raw kernels behind ALAMR_SIMD: strictly-sequential scalar
+// loops (Arg 0, the default build's bits) vs the 4-chain FMA versions in
+// simd.hpp (Arg 1). In a default build both arms compile without -mfma,
+// so the Arg 1 numbers show the reassociation win alone; under
+// -DALAMR_SIMD=ON (which adds -mfma/-mavx2) they show the full effect.
+void BM_SimdKernels(benchmark::State& state) {
+  const bool vectorized = state.range(1) != 0;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(9);
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  std::vector<double> acc(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.uniform(-1.0, 1.0);
+    b[i] = rng.uniform(-1.0, 1.0);
+  }
+  if (vectorized) {
+    for (auto _ : state) {
+      double d = linalg::simd::dot(a.data(), b.data(), n);
+      double r2 = linalg::simd::squared_distance(a.data(), b.data(), n);
+      linalg::simd::axpy(0.5, a.data(), acc.data(), n);
+      benchmark::DoNotOptimize(d);
+      benchmark::DoNotOptimize(r2);
+      benchmark::DoNotOptimize(acc);
+    }
+    return;
+  }
+  for (auto _ : state) {
+    double d = 0.0;
+    double r2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d += a[i] * b[i];
+      const double diff = a[i] - b[i];
+      r2 += diff * diff;
+    }
+    for (std::size_t i = 0; i < n; ++i) acc[i] += 0.5 * a[i];
+    benchmark::DoNotOptimize(d);
+    benchmark::DoNotOptimize(r2);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SimdKernels)->Args({256, 0})->Args({256, 1})->Args({4096, 0})->Args({4096, 1});
 
 // Trajectory fan-out on the thread pool: 4 independent AL trajectories
 // with Arg() parallel lanes. Results are bit-identical across lane counts

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Records the PR-3 micro-benchmark results into BENCH_PR3.json.
+# Records the seed-vs-optimized micro-benchmark medians into per-PR JSON
+# files: BENCH_PR3.json (distance cache / blocked linalg / incremental
+# predict) and BENCH_PR5.json (fused batched posterior / arena pass /
+# SIMD kernels).
 #
-# Each benchmark in the set is registered twice: /0 replays the seed
+# Each benchmark in the sets is registered twice: /0 replays the seed
 # (pre-PR) recipe through the public reference APIs, /1 runs the
 # optimized path.  Both arms live in the same binary so they share the
 # compiler, flags, and process state.  We take the median over several
@@ -21,25 +24,32 @@ if [[ ! -x "$build_dir/bench/bench_micro_perf" ]]; then
   cmake --build "$build_dir" -j "$(nproc)" --target bench_micro_perf > /dev/null
 fi
 
-raw=$(mktemp /tmp/bench_pr3.XXXXXX.json)
-trap 'rm -f "$raw"' EXIT
+# record_set <output.json> <benchmark-filter-regex>
+record_set() {
+  local out_json="$1"
+  local filter="$2"
+  local raw
+  raw=$(mktemp /tmp/bench_set.XXXXXX.json)
 
-"$build_dir/bench/bench_micro_perf" \
-  --benchmark_filter='BM_(KernelDistanceCache|BlockedCholesky|CholeskyInverse|RefitObjective|RefitObjectiveValue|IncrementalPredict)/' \
-  --benchmark_repetitions="$repetitions" \
-  --benchmark_report_aggregates_only=true \
-  --benchmark_min_time=0.3 \
-  --benchmark_out="$raw" --benchmark_out_format=json
+  "$build_dir/bench/bench_micro_perf" \
+    --benchmark_filter="$filter" \
+    --benchmark_repetitions="$repetitions" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_min_time=0.3 \
+    --benchmark_out="$raw" --benchmark_out_format=json
 
-python3 - "$raw" "$repetitions" <<'EOF'
+  python3 - "$raw" "$repetitions" "$out_json" <<'EOF'
 import json, sys
 
-raw_path, reps = sys.argv[1], int(sys.argv[2])
+raw_path, reps, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
 with open(raw_path) as f:
     report = json.load(f)
 
 # Collect medians, keyed by "BM_Name/size" with the trailing /0 (seed
-# recipe) or /1 (optimized) arm split off.
+# recipe) or /1 (optimized) arm split off. Median aggregates carry any
+# user counters (e.g. BM_ArenaPass's allocs_per_iter) along. real_time
+# is reported in each benchmark's own time_unit; normalize to ns.
+TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 arms = {}
 for b in report["benchmarks"]:
     name = b["name"]
@@ -47,7 +57,10 @@ for b in report["benchmarks"]:
         continue
     base = name[: -len("_median")]
     family, size, arm = base.rsplit("/", 2)
-    arms.setdefault(f"{family}/{size}", {})[arm] = b["real_time"]
+    entry = {"real_time": b["real_time"] * TO_NS[b.get("time_unit", "ns")]}
+    entry.update({k: v for k, v in b.items()
+                  if k == "allocs_per_iter"})
+    arms.setdefault(f"{family}/{size}", {})[arm] = entry
 
 out = {
     "generated_by": "scripts/bench.sh",
@@ -64,14 +77,19 @@ for key in sorted(arms):
     pair = arms[key]
     if "0" not in pair or "1" not in pair:
         continue
-    base_ns, opt_ns = pair["0"], pair["1"]
-    out["benchmarks"][key] = {
+    base_ns, opt_ns = pair["0"]["real_time"], pair["1"]["real_time"]
+    row = {
         "seed_recipe_ns": round(base_ns, 1),
         "optimized_ns": round(opt_ns, 1),
         "speedup": round(base_ns / opt_ns, 2),
     }
+    if "allocs_per_iter" in pair["0"]:
+        row["seed_allocs_per_iter"] = round(pair["0"]["allocs_per_iter"], 1)
+    if "allocs_per_iter" in pair["1"]:
+        row["optimized_allocs_per_iter"] = round(pair["1"]["allocs_per_iter"], 1)
+    out["benchmarks"][key] = row
 
-with open("BENCH_PR3.json", "w") as f:
+with open(out_path, "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
 
@@ -80,5 +98,13 @@ print(f"\n{'benchmark':{width}}  {'seed ns/op':>12}  {'opt ns/op':>12}  speedup"
 for key, row in out["benchmarks"].items():
     print(f"{key:{width}}  {row['seed_recipe_ns']:>12.0f}  "
           f"{row['optimized_ns']:>12.0f}  {row['speedup']:>6.2f}x")
-print("\nwrote BENCH_PR3.json")
+print(f"\nwrote {out_path}")
 EOF
+  rm -f "$raw"
+}
+
+record_set BENCH_PR3.json \
+  'BM_(KernelDistanceCache|BlockedCholesky|CholeskyInverse|RefitObjective|RefitObjectiveValue|IncrementalPredict)/'
+
+record_set BENCH_PR5.json \
+  'BM_(PredictBatch|ArenaPass|SimdKernels)/'

@@ -18,6 +18,15 @@
 #                    3% NaN rows): the recovery ladder and censoring
 #                    accounting must hold with the injector armed
 #                    process-wide, not just under test-installed scopes
+#   7. simd        — ALAMR_SIMD=ON (FMA kernels in the linalg hot loops).
+#                    Byte-for-byte goldens self-skip in this build; the
+#                    tolerance golden comparisons (rel <= 1e-12) and the
+#                    full unit suite carry the correctness load
+#   8. arena gate  — zero-allocation gate on the plain build: the
+#                    counting-allocator suite plus the ArenaGate trace
+#                    assertions (steady_growth == 0, scope_leaks == 0)
+#                    must hold, i.e. the steady-state AL pass is heap-free
+#                    and the arena footprint stops growing after pass 0
 #
 # Finally an explicit golden gate re-runs the golden-trajectory byte
 # comparisons (which sweep the cached-kernel / incremental-refit /
@@ -69,6 +78,7 @@ run_config plain
 run_config asan -DALAMR_SANITIZE=address,undefined -DALAMR_DEBUG_ASSERTS=ON
 run_config ubsan -DALAMR_SANITIZE=undefined
 run_config native -DALAMR_NATIVE=ON
+run_config simd -DALAMR_SIMD=ON
 
 echo "=== [threads4] ctest with ALAMR_THREADS=4 on the plain build ==="
 ALAMR_THREADS=4 ctest --test-dir build-check/plain --output-on-failure -j "$jobs" \
@@ -94,6 +104,19 @@ ALAMR_FAULT_PLAN='seed=19;acquire.oom:p=0.05;acquire.timeout:p=0.05;data.nan_row
   exit 1
 }
 tail -2 /tmp/check_faults.log
+
+# Zero-allocation gate: the counting-allocator suite (tests_alloc) proves
+# the steady-state predict cycle never touches the heap, and the ArenaGate
+# suite asserts via trace counters that the arena's capacity stays flat
+# after the first pass (arena.steady_growth == 0) with no leaked scopes.
+echo "=== [arena] zero-allocation + arena-footprint gate ==="
+ctest --test-dir build-check/plain --output-on-failure \
+  -R 'AllocFree|ArenaGate' > /tmp/check_arena.log 2>&1 || {
+  tail -50 /tmp/check_arena.log
+  echo "FAILED: arena (full log: /tmp/check_arena.log)"
+  exit 1
+}
+tail -2 /tmp/check_arena.log
 
 run_golden plain build-check/plain 1
 run_golden plain4 build-check/plain 4

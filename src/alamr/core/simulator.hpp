@@ -174,6 +174,15 @@ struct AlOptions {
   /// either way; the flag exists so tests can compare both paths.
   bool incremental_cross = true;
 
+  /// Predict over the remaining candidates through the fused batched
+  /// posterior (GaussianProcessRegressor::predict_batch): one pass over
+  /// the incremental K(X_train, X_active) cache with every temporary in
+  /// the per-trajectory workspace arena, so steady-state predict passes
+  /// perform zero heap allocations. Off = the historical per-call
+  /// Prediction path. Bit-identical either way (golden-tested); the flag
+  /// exists so tests and benches can compare both paths.
+  bool batched_predict = true;
+
   /// Turns on the process-wide observability layer (core/trace.hpp) from
   /// the AlSimulator constructor — equivalent to setting ALAMR_TRACE or
   /// calling trace::set_enabled(true), and sticky like both. While tracing

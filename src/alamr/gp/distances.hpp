@@ -66,7 +66,13 @@ class PairwiseDistances {
   /// grows by a row and a column, the rectangular cache by one row. New
   /// entries use the same squared_distance orientation as construction
   /// (new point first), so the grown cache equals a from-scratch rebuild.
+  /// Grows every buffer in place — allocation-free within reserve()d
+  /// capacity (DESIGN.md §10).
   void append_x_row(std::span<const double> row);
+
+  /// Reserves storage so append_x_row() stays allocation-free until the x
+  /// side exceeds max_rows points.
+  void reserve(std::size_t max_rows);
 
  private:
   PairwiseDistances() = default;

@@ -16,6 +16,7 @@
 
 #include "alamr/gp/kernels.hpp"
 #include "alamr/linalg/cholesky.hpp"
+#include "alamr/linalg/workspace.hpp"
 #include "alamr/stats/rng.hpp"
 
 namespace alamr::gp {
@@ -94,6 +95,30 @@ class GaussianProcessRegressor {
 
   /// Posterior mean only (cheaper: skips the variance solves).
   std::vector<double> predict_mean(const Matrix& x) const;
+
+  /// Fused batched posterior (DESIGN.md §10): all candidate means and
+  /// stddevs in one pass over a caller-maintained cross-covariance, with
+  /// every temporary carved from `ws` — a steady-state call performs zero
+  /// heap allocations. `prior_diag` is kernel().diagonal(x) for the query
+  /// rows (the AL simulator caches it alongside k_star). Uses the cached
+  /// alpha = K_y^{-1}(y - mean), which is recomputed only on (re)fit.
+  /// Writes mean_out/stddev_out (both length k_star.cols()); per scalar
+  /// the operations are exactly predict_from_cross()'s, so the results
+  /// are bit-identical. Requires fit().
+  void predict_batch(const Matrix& k_star, std::span<const double> prior_diag,
+                     linalg::Workspace& ws, std::span<double> mean_out,
+                     std::span<double> stddev_out) const;
+
+  /// Convenience predict_batch(): builds k_star and the prior diagonal
+  /// itself (allocating) and returns a Prediction. Bit-identical to
+  /// predict(); exists for tests and benchmarks of the fused path.
+  Prediction predict_batch(const Matrix& x, linalg::Workspace& ws) const;
+
+  /// Pre-sizes every posterior container (training matrix, targets,
+  /// gram, factor, alpha, distance cache) for `extra` future add_point /
+  /// fit_add_point appends, so incremental updates stay allocation-free
+  /// until the reserve is exceeded. Requires fit().
+  void reserve_additional(std::size_t extra);
 
   /// Log marginal likelihood at the current hyperparameters (Eq. 8, with
   /// the -n/2 log(2 pi) constant included). Requires fit().

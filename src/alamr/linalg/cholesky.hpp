@@ -42,6 +42,11 @@ class CholeskyFactor {
   std::size_t size() const noexcept { return l_.rows(); }
   const Matrix& lower() const noexcept { return l_; }
 
+  /// Reserves storage so extend() stays allocation-free until the factor
+  /// exceeds n x n (DESIGN.md §10: the AL loop reserves the trajectory
+  /// bound once up front).
+  void reserve(std::size_t n) { l_.reserve(n, n); }
+
   /// Appends one row/column to the factored matrix in O(n^2): given the new
   /// off-diagonal block `row` (length size()) and the new diagonal entry
   /// `diag`, grows L by one row so that it factors the bordered matrix
@@ -62,6 +67,13 @@ class CholeskyFactor {
   /// Solves A x = b via the two triangular solves.
   Vector solve(std::span<const double> b) const;
 
+  /// solve() overwriting `b` with the solution instead of allocating a
+  /// result vector. Bit-identical to solve(): the forward pass reads b[i]
+  /// before writing it and only consumes already-finalized prefix entries,
+  /// and the backward pass is the same in-place saxpy solve_upper() runs
+  /// on its copy. Used by the alpha refresh in gp/gpr (arena path).
+  void solve_in_place(std::span<double> b) const;
+
   /// Solves A X = B for all columns of B at once. Row-major blocked
   /// forward + backward substitution: the inner loops sweep contiguous
   /// solution rows (multi-RHS trsm) instead of strided columns, while each
@@ -75,6 +87,15 @@ class CholeskyFactor {
   /// the batched predictive-variance path in gp/gpr.
   Matrix solve_lower_block(const Matrix& b, std::size_t col_begin,
                            std::size_t col_end) const;
+
+  /// solve_lower_block() writing into caller-owned storage: row i of the
+  /// solution lands at z + i * ld (ld >= col_end - col_begin). The fused
+  /// batched posterior passes an arena span here so the steady-state
+  /// variance solve performs no allocation. Bit-identical to
+  /// solve_lower_block() — same loops, destination storage aside.
+  void solve_lower_block_to(const Matrix& b, std::size_t col_begin,
+                            std::size_t col_end, double* z,
+                            std::size_t ld) const;
 
   /// A^{-1} (needed by the analytic LML gradient, which uses
   /// K_y^{-1} - alpha alpha^T). Blocked multi-column solves: each panel of

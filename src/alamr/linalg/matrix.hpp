@@ -16,6 +16,10 @@
 #include <span>
 #include <vector>
 
+#if defined(ALAMR_SIMD)
+#include "alamr/linalg/simd.hpp"
+#endif
+
 // ---- ALAMR_ASSERT ---------------------------------------------------------
 //
 // Debug-only precondition checks for the hot-path vector kernels (dot,
@@ -84,6 +88,44 @@ class Matrix {
   /// Transposed copy.
   Matrix transposed() const;
 
+  // ---- in-place shape management (DESIGN.md §10) --------------------------
+  //
+  // The AL inner loop maintains growing training matrices and a shrinking
+  // cross-covariance in place: reserve() once up front with the trajectory
+  // bound, then push_row/remove_column/grow never touch the heap. All of
+  // these are pure data movement — no floating-point arithmetic — so they
+  // cannot perturb a single bit of any stored value.
+
+  /// Reserves storage for a rows x cols matrix without changing the shape
+  /// or contents.
+  void reserve(std::size_t rows, std::size_t cols) {
+    data_.reserve(rows * cols);
+  }
+  /// Element capacity of the underlying storage.
+  std::size_t capacity() const noexcept { return data_.capacity(); }
+
+  /// Reshapes to rows x cols; existing element values are NOT preserved
+  /// (contents unspecified, like a freshly alloc'd buffer). Never shrinks
+  /// capacity; allocates only when rows*cols exceeds capacity().
+  void resize_discard(std::size_t rows, std::size_t cols);
+
+  /// Appends one row (row.size() must equal cols(), or define cols() for
+  /// an empty matrix). Allocation-free within reserved capacity.
+  void push_row(std::span<const double> row);
+
+  /// Removes column `col`, compacting rows forward in place.
+  void remove_column(std::size_t col);
+
+  /// Grows in place to new_rows x new_cols (both >= current), preserving
+  /// existing entries at their (i, j) positions and zero-filling the new
+  /// cells — same result as copying into Matrix(new_rows, new_cols).
+  /// Allocation-free within reserved capacity.
+  void grow(std::size_t new_rows, std::size_t new_cols);
+
+  /// Shrinks in place to new_rows x new_cols (both <= current), keeping
+  /// the leading block. Exact inverse of a grow() that only zero-filled.
+  void shrink(std::size_t new_rows, std::size_t new_cols);
+
   bool operator==(const Matrix&) const = default;
 
  private:
@@ -101,9 +143,13 @@ class Matrix {
 /// Inner product. Requires equal lengths.
 inline double dot(std::span<const double> x, std::span<const double> y) {
   ALAMR_ASSERT(x.size() == y.size(), "dot: length mismatch");
+#if defined(ALAMR_SIMD)
+  return simd::dot(x.data(), y.data(), x.size());
+#else
   double total = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) total += x[i] * y[i];
   return total;
+#endif
 }
 
 /// Euclidean norm.
@@ -112,19 +158,27 @@ double norm2(std::span<const double> x);
 /// y += alpha * x.
 inline void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   ALAMR_ASSERT(x.size() == y.size(), "axpy: length mismatch");
+#if defined(ALAMR_SIMD)
+  simd::axpy(alpha, x.data(), y.data(), x.size());
+#else
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+#endif
 }
 
 /// Squared Euclidean distance between two points (rows of a design matrix).
 inline double squared_distance(std::span<const double> x,
                                std::span<const double> y) {
   ALAMR_ASSERT(x.size() == y.size(), "squared_distance: length mismatch");
+#if defined(ALAMR_SIMD)
+  return simd::squared_distance(x.data(), y.data(), x.size());
+#else
   double total = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
     const double d = x[i] - y[i];
     total += d * d;
   }
   return total;
+#endif
 }
 
 // ---- matrix kernels -------------------------------------------------------

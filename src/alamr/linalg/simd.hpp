@@ -1,0 +1,113 @@
+#pragma once
+
+// Explicitly vectorized hot-loop kernels (DESIGN.md §10).
+//
+// The default build keeps the strictly-sequential scalar kernels in
+// matrix.hpp so every accumulation is a single ascending IEEE chain and
+// the golden trajectories stay byte-for-byte reproducible. Configuring
+// with -DALAMR_SIMD=ON reroutes dot / squared_distance (reductions) and
+// axpy / rank-1 updates (elementwise) through these kernels instead:
+//
+//  - reductions run four independent accumulator chains (i, i+1, i+2,
+//    i+3 interleaved) combined pairwise at the end, which is the shape
+//    compilers turn into 256-bit FMA vector code;
+//  - every multiply-add goes through fmadd(), which is a fused
+//    std::fma when the target has hardware FMA (-mfma, set by the CMake
+//    option) and an unfused mul+add otherwise.
+//
+// Numerics contract: results differ from the scalar kernels only by
+// reassociation of the reduction order and by fusion of the rounding
+// step in multiply-adds — both backward-stable, no change to magnitude
+// of the error bound beyond small-constant factors. End-to-end this is
+// validated by the tolerance-based golden comparison (tests_golden,
+// GoldenTrajectoryTolerance) and a dedicated scripts/check.sh leg; the
+// byte-for-byte goldens are skipped under ALAMR_SIMD by design.
+//
+// This header is freestanding (no matrix.hpp dependency) so the kernels
+// stay testable in both build modes: matrix.hpp dispatches to them only
+// under ALAMR_SIMD, but the symbols always exist.
+
+#include <cmath>
+#include <cstddef>
+
+namespace alamr::linalg::simd {
+
+/// Fused multiply-add a*b + c when the target has hardware FMA; plain
+/// mul+add otherwise (std::fma without hardware support is a slow
+/// libm soft-float path, which would defeat the point).
+inline double fmadd(double a, double b, double c) {
+#if defined(__FMA__)
+  return std::fma(a, b, c);
+#else
+  return a * b + c;
+#endif
+}
+
+/// Inner product with four independent accumulator chains.
+inline double dot(const double* x, const double* y, std::size_t n) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 = fmadd(x[i + 0], y[i + 0], a0);
+    a1 = fmadd(x[i + 1], y[i + 1], a1);
+    a2 = fmadd(x[i + 2], y[i + 2], a2);
+    a3 = fmadd(x[i + 3], y[i + 3], a3);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail = fmadd(x[i], y[i], tail);
+  return ((a0 + a1) + (a2 + a3)) + tail;
+}
+
+/// Squared Euclidean distance with four independent accumulator chains.
+inline double squared_distance(const double* x, const double* y,
+                               std::size_t n) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = x[i + 0] - y[i + 0];
+    const double d1 = x[i + 1] - y[i + 1];
+    const double d2 = x[i + 2] - y[i + 2];
+    const double d3 = x[i + 3] - y[i + 3];
+    a0 = fmadd(d0, d0, a0);
+    a1 = fmadd(d1, d1, a1);
+    a2 = fmadd(d2, d2, a2);
+    a3 = fmadd(d3, d3, a3);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = x[i] - y[i];
+    tail = fmadd(d, d, tail);
+  }
+  return ((a0 + a1) + (a2 + a3)) + tail;
+}
+
+/// y += alpha * x. Elementwise (no reduction), so the only numeric
+/// difference from the scalar kernel is the fused rounding; unrolled by
+/// four to keep independent FMA chains in flight.
+inline void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    y[i + 0] = fmadd(alpha, x[i + 0], y[i + 0]);
+    y[i + 1] = fmadd(alpha, x[i + 1], y[i + 1]);
+    y[i + 2] = fmadd(alpha, x[i + 2], y[i + 2]);
+    y[i + 3] = fmadd(alpha, x[i + 3], y[i + 3]);
+  }
+  for (; i < n; ++i) y[i] = fmadd(alpha, x[i], y[i]);
+}
+
+/// y -= alpha * x (the rank-1 update inside triangular solves and the
+/// Cholesky trailing update), as a single fused negative-multiply-add
+/// per element.
+inline void rank1_sub(double alpha, const double* x, double* y,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    y[i + 0] = fmadd(-alpha, x[i + 0], y[i + 0]);
+    y[i + 1] = fmadd(-alpha, x[i + 1], y[i + 1]);
+    y[i + 2] = fmadd(-alpha, x[i + 2], y[i + 2]);
+    y[i + 3] = fmadd(-alpha, x[i + 3], y[i + 3]);
+  }
+  for (; i < n; ++i) y[i] = fmadd(-alpha, x[i], y[i]);
+}
+
+}  // namespace alamr::linalg::simd

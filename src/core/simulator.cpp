@@ -29,30 +29,15 @@ std::vector<double> gather(std::span<const double> values,
   return out;
 }
 
-/// Copy of `m` with column `col` removed (entries keep their bits; memory
-/// round-trips do not perturb doubles).
-linalg::Matrix erase_column(const linalg::Matrix& m, std::size_t col) {
-  linalg::Matrix out(m.rows(), m.cols() - 1);
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    const auto src = m.row(i);
-    const auto dst = out.row(i);
-    std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(col),
-              dst.begin());
-    std::copy(src.begin() + static_cast<std::ptrdiff_t>(col + 1), src.end(),
-              dst.begin() + static_cast<std::ptrdiff_t>(col));
+/// Refills `out` with the given rows of `x` in place: same values as a
+/// freshly gathered matrix, no allocation within reserved capacity.
+void gather_rows_into(const linalg::Matrix& x,
+                      std::span<const std::size_t> rows, linalg::Matrix& out) {
+  out.resize_discard(rows.size(), x.cols());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto src = x.row(rows[r]);
+    std::copy(src.begin(), src.end(), out.row(r).begin());
   }
-  return out;
-}
-
-/// Copy of `m` with `row` appended at the bottom.
-linalg::Matrix append_row(const linalg::Matrix& m, std::span<const double> row) {
-  linalg::Matrix out(m.rows() + 1, m.cols());
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    const auto src = m.row(i);
-    std::copy(src.begin(), src.end(), out.row(i).begin());
-  }
-  std::copy(row.begin(), row.end(), out.row(m.rows()).begin());
-  return out;
 }
 
 }  // namespace
@@ -141,6 +126,7 @@ std::string AlSimulator::trajectory_fingerprint(
   fp.add(static_cast<std::uint64_t>(options_.rmse_stride));
   fp.add(options_.incremental_refit);
   fp.add(options_.incremental_cross);
+  fp.add(options_.batched_predict);
   fp.add(options_.failures.failure_aware);
   fp.add(static_cast<std::uint64_t>(options_.failures.policy));
   fp.add(options_.failures.penalty_offset);
@@ -328,6 +314,13 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
   linalg::Matrix k_star_mem;
   bool k_star_cost_valid = false;
   bool k_star_mem_valid = false;
+  // Cached prior diagonals kernel().diagonal(x_active) for the fused
+  // batched posterior; they share k_star's lifecycle exactly (rebuilt on
+  // invalidation, chosen candidate's entry erased on acquisition — each
+  // entry is a per-row function of theta, so surviving entries keep the
+  // bits a fresh diagonal() of the shrunken set would produce).
+  std::vector<double> diag_cost;
+  std::vector<double> diag_mem;
 
   // Test predictions in log space are reused by both the RMSE metric and
   // the stabilizing-predictions stopping rule.
@@ -396,6 +389,43 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
           : std::min(options_.max_iterations, partition.active.size());
   result.iterations.reserve(budget);
 
+  // Steady-state allocation avoidance (DESIGN.md §10): every container
+  // that grows with the trajectory is reserved at its bound once, so
+  // per-pass bookkeeping (training append, cross-matrix row/column
+  // maintenance) is pure in-place data movement from here on.
+  const std::size_t n_train_max = learned.size() + budget;
+  learned.reserve(n_train_max);
+  c_learned.reserve(n_train_max);
+  m_learned.reserve(n_train_max);
+  x_learned.reserve(n_train_max, x_scaled_.cols());
+  gpr_cost.reserve_additional(budget);
+  gpr_mem.reserve_additional(budget);
+
+  // Per-trajectory workspace arena plus the persistent candidate-feature
+  // buffer (CandidateView needs a Matrix&, so it cannot live in the
+  // arena; it shrinks monotonically, so one reservation serves the run).
+  linalg::Matrix x_active_buf;
+  x_active_buf.reserve(active.size(), x_scaled_.cols());
+  linalg::Workspace ws;
+  if (options_.batched_predict) {
+    // Pre-size one chunk at the worst-case pass footprint — four
+    // prediction vectors plus the n x m variance scratch, maximized over
+    // the pass index (the training side grows while the candidate side
+    // shrinks) — so no pass ever touches the heap and the arena's
+    // footprint is flat from the first pass (the check.sh gate).
+    const std::size_t m0 = active.size();
+    const std::size_t n0 = learned.size();
+    std::size_t z_peak = 0;
+    for (std::size_t p = 0; p <= budget && p <= m0; ++p) {
+      z_peak = std::max(z_peak, (n0 + p) * (m0 - p));
+    }
+    ws.alloc(4 * m0 + z_peak);
+    ws.reset();
+  }
+  std::size_t arena_cap_prev = ws.capacity_doubles();
+  std::size_t arena_steady_growth = 0;
+  std::size_t arena_passes = 0;
+
   // Captures the complete driver state for checkpoint/resume.
   const auto snapshot = [&]() {
     TrajectoryCheckpoint s;
@@ -449,10 +479,28 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
     }
     trace::count("sim.iterations");
 
+    // Arena steadiness bookkeeping: after the pre-warmed first pass the
+    // arena's owned capacity must stay flat — any growth past pass 0 is a
+    // sizing bug and trips the check.sh zero-allocation gate via the
+    // arena.steady_growth counter (DESIGN.md §10).
+    if (arena_passes > 0 && ws.capacity_doubles() > arena_cap_prev) {
+      ++arena_steady_growth;
+    }
+    arena_cap_prev = ws.capacity_doubles();
+    ++arena_passes;
+    const linalg::Workspace::Scope pass_scope(ws);
+
     // Algorithm 1, lines 3-4: predict over remaining candidates.
-    const linalg::Matrix x_active = gather_rows(x_scaled_, active);
+    gather_rows_into(x_scaled_, active, x_active_buf);
     gp::Prediction pred_cost;
     gp::Prediction pred_mem;
+    // All four paths land their outputs in these spans; CandidateView and
+    // the iteration record read through them so the selection code below
+    // is identical whether the storage is a Prediction or the arena.
+    std::span<const double> mu_c;
+    std::span<const double> sd_c;
+    std::span<const double> mu_m;
+    std::span<const double> sd_m;
     {
       const trace::ScopedTimer timer("predict");
       if (options_.incremental_cross) {
@@ -462,32 +510,67 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
           // One pairwise-distance pass shared by every kernel that needs
           // a rebuild (both, on the first iteration).
           gp::PairwiseDistances dist =
-              gp::PairwiseDistances::cross(x_learned, x_active);
+              gp::PairwiseDistances::cross(x_learned, x_active_buf);
           if (rebuild_cost) {
             trace::count("sim.kstar_rebuild");
             gpr_cost.kernel().prepare_distances(dist);
             k_star_cost = gpr_cost.kernel().cross_cached(dist);
+            k_star_cost.reserve(n_train_max, k_star_cost.cols());
+            if (options_.batched_predict) {
+              diag_cost = gpr_cost.kernel().diagonal(x_active_buf);
+            }
             k_star_cost_valid = true;
           }
           if (rebuild_mem) {
             trace::count("sim.kstar_rebuild");
             gpr_mem.kernel().prepare_distances(dist);
             k_star_mem = gpr_mem.kernel().cross_cached(dist);
+            k_star_mem.reserve(n_train_max, k_star_mem.cols());
+            if (options_.batched_predict) {
+              diag_mem = gpr_mem.kernel().diagonal(x_active_buf);
+            }
             k_star_mem_valid = true;
           }
         }
         if (!rebuild_cost) trace::count("sim.kstar_reuse");
         if (!rebuild_mem) trace::count("sim.kstar_reuse");
-        pred_cost = gpr_cost.predict_from_cross(k_star_cost, x_active);
-        pred_mem = gpr_mem.predict_from_cross(k_star_mem, x_active);
+        if (options_.batched_predict) {
+          // Fused batched posterior over the live cross matrices: all
+          // outputs live in the pass arena, so the steady-state pass is
+          // allocation-free (verified by tests_alloc).
+          const std::size_t m = active.size();
+          const std::span<double> muc = ws.alloc(m);
+          const std::span<double> sdc = ws.alloc(m);
+          const std::span<double> mum = ws.alloc(m);
+          const std::span<double> sdm = ws.alloc(m);
+          gpr_cost.predict_batch(k_star_cost, diag_cost, ws, muc, sdc);
+          gpr_mem.predict_batch(k_star_mem, diag_mem, ws, mum, sdm);
+          mu_c = muc;
+          sd_c = sdc;
+          mu_m = mum;
+          sd_m = sdm;
+        } else {
+          pred_cost = gpr_cost.predict_from_cross(k_star_cost, x_active_buf);
+          pred_mem = gpr_mem.predict_from_cross(k_star_mem, x_active_buf);
+        }
+      } else if (options_.batched_predict) {
+        // No cross-matrix cache to batch over: build it fresh each pass
+        // but still run the fused posterior (bit-identical outputs).
+        pred_cost = gpr_cost.predict_batch(x_active_buf, ws);
+        pred_mem = gpr_mem.predict_batch(x_active_buf, ws);
       } else {
-        pred_cost = gpr_cost.predict(x_active);
-        pred_mem = gpr_mem.predict(x_active);
+        pred_cost = gpr_cost.predict(x_active_buf);
+        pred_mem = gpr_mem.predict(x_active_buf);
       }
     }
+    if (mu_c.empty() && !active.empty()) {
+      mu_c = pred_cost.mean;
+      sd_c = pred_cost.stddev;
+      mu_m = pred_mem.mean;
+      sd_m = pred_mem.stddev;
+    }
 
-    const CandidateView view{x_active, pred_cost.mean, pred_cost.stddev,
-                             pred_mem.mean, pred_mem.stddev};
+    const CandidateView view{x_active_buf, mu_c, sd_c, mu_m, sd_m};
 
     // Line 5: strategy decision.
     std::optional<std::size_t> pick;
@@ -544,10 +627,10 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
       const trace::ScopedTimer timer("reveal");
       record.actual_cost = dataset_.cost[row];
       record.actual_memory = dataset_.memory[row];
-      record.predicted_cost_log10 = pred_cost.mean[local];
-      record.predicted_cost_sigma = pred_cost.stddev[local];
-      record.predicted_mem_log10 = pred_mem.mean[local];
-      record.predicted_mem_sigma = pred_mem.stddev[local];
+      record.predicted_cost_log10 = mu_c[local];
+      record.predicted_cost_sigma = sd_c[local];
+      record.predicted_mem_log10 = mu_m[local];
+      record.predicted_mem_sigma = sd_m[local];
 
       cc += record.actual_cost;
       if (censor == CensorKind::kNone) {
@@ -561,9 +644,22 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
 
       active.erase(active.begin() + static_cast<std::ptrdiff_t>(local));
       // Drop the acquired candidate's column from the live cross
-      // matrices; remaining entries keep their bits.
-      if (k_star_cost_valid) k_star_cost = erase_column(k_star_cost, local);
-      if (k_star_mem_valid) k_star_mem = erase_column(k_star_mem, local);
+      // matrices (and its cached prior-diagonal entry); remaining entries
+      // keep their bits — remove_column is pure data movement.
+      if (k_star_cost_valid) {
+        k_star_cost.remove_column(local);
+        if (options_.batched_predict) {
+          diag_cost.erase(diag_cost.begin() +
+                          static_cast<std::ptrdiff_t>(local));
+        }
+      }
+      if (k_star_mem_valid) {
+        k_star_mem.remove_column(local);
+        if (options_.batched_predict) {
+          diag_mem.erase(diag_mem.begin() +
+                         static_cast<std::ptrdiff_t>(local));
+        }
+      }
     }
 
     if (censor != CensorKind::kNone) {
@@ -597,7 +693,7 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
                                ? log_mem_[row]
                                : limit_log10_ + options_.failures.penalty_offset;
     learned.push_back(row);
-    x_learned = append_row(x_learned, x_scaled_.row(row));
+    x_learned.push_row(x_scaled_.row(row));
     c_learned.push_back(c_label);
     m_learned.push_back(m_label);
 
@@ -636,20 +732,23 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
           const auto src = x_scaled_.row(row);
           std::copy(src.begin(), src.end(), x_new.row(0).begin());
         }
-        const linalg::Matrix x_active_next = gather_rows(x_scaled_, active);
+        // x_active_buf is free for reuse here: the CandidateView and its
+        // record reads are done for this pass, and the buffer must hold
+        // the POST-acquisition candidate set for the appended row.
+        gather_rows_into(x_scaled_, active, x_active_buf);
         gp::PairwiseDistances dist =
-            gp::PairwiseDistances::cross(x_new, x_active_next);
+            gp::PairwiseDistances::cross(x_new, x_active_buf);
         if (k_star_cost_valid) {
           trace::count("sim.kstar_append");
           gpr_cost.kernel().prepare_distances(dist);
           const linalg::Matrix new_row = gpr_cost.kernel().cross_cached(dist);
-          k_star_cost = append_row(k_star_cost, new_row.row(0));
+          k_star_cost.push_row(new_row.row(0));
         }
         if (k_star_mem_valid) {
           trace::count("sim.kstar_append");
           gpr_mem.kernel().prepare_distances(dist);
           const linalg::Matrix new_row = gpr_mem.kernel().cross_cached(dist);
-          k_star_mem = append_row(k_star_mem, new_row.row(0));
+          k_star_mem.push_row(new_row.row(0));
         }
       }
     }
@@ -727,6 +826,26 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
   if (!halted && checkpoint != nullptr && !checkpoint->path.empty()) {
     std::error_code ec;
     std::filesystem::remove(checkpoint->path, ec);
+  }
+
+  // Arena instrumentation. Counters exist only when counted, and every
+  // count below is guarded on nonzero, so pre-existing golden trace
+  // bytes are untouched when the arena was never used.
+  if (const std::size_t cap_bytes = ws.capacity_doubles() * sizeof(double);
+      cap_bytes != 0) {
+    trace::count("arena.bytes_peak", cap_bytes);
+  }
+  if (const std::size_t peak = ws.bytes_peak(); peak != 0) {
+    trace::count("arena.inuse_peak_bytes", peak);
+  }
+  if (ws.heap_allocations() != 0) {
+    trace::count("arena.chunk_allocs", ws.heap_allocations());
+  }
+  if (arena_steady_growth != 0) {
+    trace::count("arena.steady_growth", arena_steady_growth);
+  }
+  if (ws.open_scopes() != 0) {
+    trace::count("arena.scope_leaks", ws.open_scopes());
   }
 
   if (trace::enabled()) result.trace = collector.report();

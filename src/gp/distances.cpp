@@ -76,74 +76,62 @@ void PairwiseDistances::ensure_components() {
   }
 }
 
-namespace {
-
-Matrix with_extra_row(const Matrix& m, std::size_t extra_cols = 0) {
-  Matrix grown(m.rows() + 1, m.cols() + extra_cols);
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    const auto src = m.row(i);
-    const auto dst = grown.row(i);
-    std::copy(src.begin(), src.end(), dst.begin());
+void PairwiseDistances::reserve(std::size_t max_rows) {
+  x_.reserve(max_rows, x_.cols());
+  sq_.reserve(max_rows, symmetric_ ? max_rows : sq_.cols());
+  for (Matrix& c : components_) {
+    c.reserve(max_rows, symmetric_ ? max_rows : c.cols());
   }
-  return grown;
 }
-
-}  // namespace
 
 void PairwiseDistances::append_x_row(std::span<const double> row) {
   if (row.size() != dim()) {
     throw std::invalid_argument("PairwiseDistances::append_x_row: dim mismatch");
   }
   core::trace::count("gp.dist_cache_extend");
+  // All buffers grow in place (pure data movement, allocation-free within
+  // reserve()d capacity); the new entries are computed against the
+  // pre-append x_, exactly as the old copy-into-grown-matrix recipe did.
   const std::size_t n = x_.rows();
-  Matrix grown_x = with_extra_row(x_);
-  std::copy(row.begin(), row.end(), grown_x.row(n).begin());
-
   if (symmetric_) {
-    Matrix grown_sq = with_extra_row(sq_, 1);
-    const auto last = grown_sq.row(n);
+    sq_.grow(n + 1, n + 1);
+    const auto last = sq_.row(n);
     for (std::size_t j = 0; j < n; ++j) {
       // New point first: the same orientation gram() uses for row i > j.
       const double r2 = linalg::squared_distance(row, x_.row(j));
       last[j] = r2;
-      grown_sq(j, n) = r2;
+      sq_(j, n) = r2;
     }
     last[n] = 0.0;
-    sq_ = std::move(grown_sq);
-    if (!components_.empty()) {
-      for (std::size_t d = 0; d < components_.size(); ++d) {
-        Matrix grown_c = with_extra_row(components_[d], 1);
-        const auto clast = grown_c.row(n);
-        for (std::size_t j = 0; j < n; ++j) {
-          const double diff = row[d] - x_(j, d);
-          const double v = diff * diff;
-          clast[j] = v;
-          grown_c(j, n) = v;
-        }
-        clast[n] = 0.0;
-        components_[d] = std::move(grown_c);
+    for (std::size_t d = 0; d < components_.size(); ++d) {
+      Matrix& comp = components_[d];
+      comp.grow(n + 1, n + 1);
+      const auto clast = comp.row(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double diff = row[d] - x_(j, d);
+        const double v = diff * diff;
+        clast[j] = v;
+        comp(j, n) = v;
       }
+      clast[n] = 0.0;
     }
   } else {
-    Matrix grown_sq = with_extra_row(sq_);
-    const auto last = grown_sq.row(n);
+    sq_.grow(n + 1, sq_.cols());
+    const auto last = sq_.row(n);
     for (std::size_t j = 0; j < y_.rows(); ++j) {
       last[j] = linalg::squared_distance(row, y_.row(j));
     }
-    sq_ = std::move(grown_sq);
-    if (!components_.empty()) {
-      for (std::size_t d = 0; d < components_.size(); ++d) {
-        Matrix grown_c = with_extra_row(components_[d]);
-        const auto clast = grown_c.row(n);
-        for (std::size_t j = 0; j < y_.rows(); ++j) {
-          const double diff = row[d] - y_(j, d);
-          clast[j] = diff * diff;
-        }
-        components_[d] = std::move(grown_c);
+    for (std::size_t d = 0; d < components_.size(); ++d) {
+      Matrix& comp = components_[d];
+      comp.grow(n + 1, comp.cols());
+      const auto clast = comp.row(n);
+      for (std::size_t j = 0; j < y_.rows(); ++j) {
+        const double diff = row[d] - y_(j, d);
+        clast[j] = diff * diff;
       }
     }
   }
-  x_ = std::move(grown_x);
+  x_.push_row(row);
 }
 
 }  // namespace alamr::gp

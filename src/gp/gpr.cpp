@@ -146,7 +146,13 @@ double GaussianProcessRegressor::compute_posterior_unchecked() {
       gram_, options_.initial_jitter, options_.max_jitter);
   factor_ = std::move(factor);
   jitter_ = jitter;
-  alpha_ = factor_->solve(y_train_);
+  // alpha refresh in place (no solve-result temporaries); assign() reuses
+  // alpha_'s capacity. This is the ONLY place besides the incremental
+  // update that recomputes alpha — predict/predict_batch always read the
+  // cache, which the gpr.alpha_solve counter lets tests pin down.
+  core::trace::count("gpr.alpha_solve");
+  alpha_.assign(y_train_.begin(), y_train_.end());
+  factor_->solve_in_place(alpha_);
   const std::size_t n = x_train_.rows();
   lml_ = -0.5 * linalg::dot(y_train_, alpha_) - 0.5 * factor_->log_det() -
          0.5 * static_cast<double>(n) * kLogTwoPi;
@@ -285,18 +291,10 @@ void GaussianProcessRegressor::fit(const Matrix& x, std::span<const double> y,
 
 void GaussianProcessRegressor::append_training_point(std::span<const double> x,
                                                      double y) {
-  const std::size_t n = x_train_.rows();
-  const std::size_t d = x_train_.cols();
-  if (x.size() != d) {
+  if (x.size() != x_train_.cols()) {
     throw std::invalid_argument("GPR::add_point: dimension mismatch");
   }
-  Matrix grown(n + 1, d);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto src = x_train_.row(i);
-    std::copy(src.begin(), src.end(), grown.row(i).begin());
-  }
-  std::copy(x.begin(), x.end(), grown.row(n).begin());
-  x_train_ = std::move(grown);
+  x_train_.push_row(x);  // in place; allocation-free within reserve
   if (train_dist_) train_dist_->append_x_row(x);
 
   y_raw_.push_back(y);
@@ -320,19 +318,13 @@ void GaussianProcessRegressor::update_posterior_incremental() {
   const Matrix k_new = kernel_->cross(x_train_, x_new);  // (n+1) x 1
   const double k_diag = kernel_->diagonal(x_new)[0];
 
-  Matrix grown(n + 1, n + 1);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto src = gram_.row(i);
-    const auto dst = grown.row(i);
-    std::copy(src.begin(), src.end(), dst.begin());
-    dst[n] = k_new(i, 0);
-  }
+  gram_.grow(n + 1, n + 1);  // in place; allocation-free within reserve
+  for (std::size_t i = 0; i < n; ++i) gram_(i, n) = k_new(i, 0);
   {
-    const auto bottom = grown.row(n);
+    const auto bottom = gram_.row(n);
     for (std::size_t j = 0; j < n; ++j) bottom[j] = k_new(j, 0);
     bottom[n] = k_diag;
   }
-  gram_ = std::move(grown);
 
   // O(n^2) factor extension. Only valid when the stored factor is of the
   // clean gram: with jitter baked in, or when the extension is not
@@ -349,7 +341,9 @@ void GaussianProcessRegressor::update_posterior_incremental() {
     jitter_ = jitter;
   }
 
-  alpha_ = factor_->solve(y_train_);
+  core::trace::count("gpr.alpha_solve");
+  alpha_.assign(y_train_.begin(), y_train_.end());
+  factor_->solve_in_place(alpha_);
   const std::size_t m = x_train_.rows();
   lml_ = -0.5 * linalg::dot(y_train_, alpha_) - 0.5 * factor_->log_det() -
          0.5 * static_cast<double>(m) * kLogTwoPi;
@@ -430,6 +424,84 @@ Prediction GaussianProcessRegressor::predict_from_cross(const Matrix& k_star,
     }
   });
   return out;
+}
+
+void GaussianProcessRegressor::predict_batch(const Matrix& k_star,
+                                             std::span<const double> prior_diag,
+                                             linalg::Workspace& ws,
+                                             std::span<double> mean_out,
+                                             std::span<double> stddev_out) const {
+  if (!fitted()) throw std::logic_error("GPR::predict_batch before fit");
+  const std::size_t n = x_train_.rows();
+  const std::size_t m = k_star.cols();
+  if (k_star.rows() != n || prior_diag.size() != m || mean_out.size() != m ||
+      stddev_out.size() != m) {
+    throw std::invalid_argument("GPR::predict_batch: shape mismatch");
+  }
+  if (m == 0) return;
+  core::trace::count("predict.batch_calls");
+  core::trace::count("predict.batch_queries", m);
+
+  // Mean: zero-init + ascending-row axpy of the cached alpha — exactly
+  // matvec_transposed(k_star, alpha_), written into the caller's span.
+  std::fill(mean_out.begin(), mean_out.end(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    linalg::axpy(alpha_[i], k_star.row(i), mean_out);
+  }
+  for (double& v : mean_out) v += y_mean_;
+
+  // Variance: one arena-owned n x m scratch for Z = L^{-1} K*. Allocated
+  // before the parallel region (the Workspace is single-threaded by
+  // contract); each chunk solves and squares a disjoint column stripe, so
+  // lane writes never overlap and — because every column's substitution
+  // chain is independent of the chunking — each scalar sees exactly the
+  // operations predict_from_cross() performs on it.
+  const linalg::Workspace::Scope scope(ws);
+  const std::span<double> z = ws.alloc(n * m);
+  double* zb = z.data();
+  const double* diag = prior_diag.data();
+  double* sd = stddev_out.data();
+  core::parallel_for_chunks(m, [&](std::size_t begin, std::size_t end) {
+    factor_->solve_lower_block_to(k_star, begin, end, zb + begin, m);
+    const std::size_t nc = end - begin;
+    double* acc = sd + begin;
+    std::fill(acc, acc + nc, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* zi = zb + i * m + begin;
+      for (std::size_t q = 0; q < nc; ++q) acc[q] += zi[q] * zi[q];
+    }
+    for (std::size_t q = 0; q < nc; ++q) {
+      const double var = diag[begin + q] - acc[q];
+      acc[q] = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+  });
+}
+
+Prediction GaussianProcessRegressor::predict_batch(const Matrix& x,
+                                                   linalg::Workspace& ws) const {
+  if (!fitted()) throw std::logic_error("GPR::predict_batch before fit");
+  if (x.cols() != x_train_.cols()) {
+    throw std::invalid_argument("GPR::predict_batch: dimension mismatch");
+  }
+  const Matrix k_star = kernel_->cross(x_train_, x);
+  const std::vector<double> prior_diag = kernel_->diagonal(x);
+  Prediction out;
+  out.mean.resize(x.rows());
+  out.stddev.resize(x.rows());
+  predict_batch(k_star, prior_diag, ws, out.mean, out.stddev);
+  return out;
+}
+
+void GaussianProcessRegressor::reserve_additional(std::size_t extra) {
+  if (!fitted()) throw std::logic_error("GPR::reserve_additional before fit");
+  const std::size_t n_max = x_train_.rows() + extra;
+  x_train_.reserve(n_max, x_train_.cols());
+  y_raw_.reserve(n_max);
+  y_train_.reserve(n_max);
+  alpha_.reserve(n_max);
+  gram_.reserve(n_max, n_max);
+  factor_->reserve(n_max);
+  if (train_dist_) train_dist_->reserve(n_max);
 }
 
 std::vector<double> GaussianProcessRegressor::predict_mean(const Matrix& x) const {

@@ -204,7 +204,14 @@ bool CholeskyFactor::extend(std::span<const double> row, double diag) {
   // products over row prefixes and the same `v * (1.0 / l_jj)` scaling, so
   // extending is bit-identical to refactoring from scratch (the first n
   // rows of a factorization depend only on the leading n x n block).
-  Vector z(n);
+  //
+  // The factor grows in place (allocation-free within reserve()d
+  // capacity) and the new row is computed directly in its final storage;
+  // grow/shrink are pure data movement, so the surviving entries — and
+  // the rejected-extension rollback — are bit-identical to the old
+  // copy-into-fresh-matrix recipe.
+  l_.grow(n + 1, n + 1);
+  const auto z = l_.row(n);
   for (std::size_t j = 0; j < n; ++j) {
     double v = row[j];
     const auto lj = l_.row(j);
@@ -214,20 +221,11 @@ bool CholeskyFactor::extend(std::span<const double> row, double diag) {
   double d = diag;
   for (std::size_t k = 0; k < n; ++k) d -= z[k] * z[k];
   if (!(d > 0.0) || !std::isfinite(d)) {
+    l_.shrink(n, n);
     core::trace::count("cholesky.extend_rejected");
     return false;
   }
-
-  Matrix grown(n + 1, n + 1);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto src = l_.row(i);
-    const auto dst = grown.row(i);
-    std::copy(src.begin(), src.end(), dst.begin());
-  }
-  const auto last = grown.row(n);
-  std::copy(z.begin(), z.end(), last.begin());
-  last[n] = std::sqrt(d);
-  l_ = std::move(grown);
+  z[n] = std::sqrt(d);
   return true;
 }
 
@@ -265,6 +263,28 @@ Vector CholeskyFactor::solve(std::span<const double> b) const {
   return solve_upper(solve_lower(b));
 }
 
+void CholeskyFactor::solve_in_place(std::span<double> b) const {
+  const std::size_t n = size();
+  if (b.size() != n) {
+    throw std::invalid_argument("solve_in_place: length mismatch");
+  }
+  // Forward: identical chain to solve_lower() — b[i] is read before it is
+  // overwritten and positions k < i already hold the finalized prefix.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    const auto li = l_.row(i);
+    for (std::size_t k = 0; k < i; ++k) v -= li[k] * b[k];
+    b[i] = v / li[i];
+  }
+  // Backward: solve_upper() already works in place on its copy.
+  for (std::size_t k = n; k-- > 0;) {
+    const auto lk = l_.row(k);
+    const double zk = b[k] / lk[k];
+    b[k] = zk;
+    for (std::size_t j = 0; j < k; ++j) b[j] -= lk[j] * zk;
+  }
+}
+
 Matrix CholeskyFactor::solve_lower_block(const Matrix& b,
                                          std::size_t col_begin,
                                          std::size_t col_end) const {
@@ -274,24 +294,40 @@ Matrix CholeskyFactor::solve_lower_block(const Matrix& b,
   }
   const std::size_t nc = col_end - col_begin;
   Matrix z(n, nc);
+  solve_lower_block_to(b, col_begin, col_end, z.data().data(), nc);
+  return z;
+}
+
+void CholeskyFactor::solve_lower_block_to(const Matrix& b,
+                                          std::size_t col_begin,
+                                          std::size_t col_end, double* z,
+                                          std::size_t ld) const {
+  const std::size_t n = size();
+  const std::size_t nc = col_end - col_begin;
+  if (b.rows() != n || col_begin > col_end || col_end > b.cols() || ld < nc) {
+    throw std::invalid_argument("solve_lower_block_to: shape mismatch");
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const auto li = l_.row(i);
-    const auto zi = z.row(i);
+    double* zi = z + i * ld;
     const auto bi = b.row(i);
     std::copy(bi.begin() + static_cast<std::ptrdiff_t>(col_begin),
-              bi.begin() + static_cast<std::ptrdiff_t>(col_end), zi.begin());
+              bi.begin() + static_cast<std::ptrdiff_t>(col_end), zi);
     // Eliminate finished rows k < i across all right-hand sides at once:
     // the inner loop is contiguous over the solution row. Per scalar this
     // is the same ascending-k chain solve_lower() runs on one column.
     for (std::size_t k = 0; k < i; ++k) {
       const double lik = li[k];
-      const auto zk = z.row(k);
+      const double* zk = z + k * ld;
+#if defined(ALAMR_SIMD)
+      simd::rank1_sub(lik, zk, zi, nc);
+#else
       for (std::size_t q = 0; q < nc; ++q) zi[q] -= lik * zk[q];
+#endif
     }
     const double lii = li[i];
     for (std::size_t q = 0; q < nc; ++q) zi[q] /= lii;
   }
-  return z;
 }
 
 Matrix CholeskyFactor::solve_matrix(const Matrix& b) const {

@@ -24,6 +24,81 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   }
 }
 
+void Matrix::resize_discard(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+void Matrix::push_row(std::span<const double> row) {
+  if (data_.empty() && rows_ == 0) {
+    cols_ = row.size();
+  } else if (row.size() != cols_) {
+    throw std::invalid_argument("push_row: column-count mismatch");
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+void Matrix::remove_column(std::size_t col) {
+  if (col >= cols_) throw std::invalid_argument("remove_column: out of range");
+  const std::size_t nc = cols_ - 1;
+  // Forward compaction: each row's surviving elements move to their new
+  // packed position. Destinations never overtake sources (new offsets are
+  // strictly smaller), so a forward copy is safe.
+  double* base = data_.data();
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* src = base + i * cols_;
+    double* dst = base + i * nc;
+    if (dst != src) std::copy(src, src + col, dst);
+    std::copy(src + col + 1, src + cols_, dst + col);
+  }
+  cols_ = nc;
+  data_.resize(rows_ * nc);  // trims, never reallocates
+}
+
+void Matrix::grow(std::size_t new_rows, std::size_t new_cols) {
+  if (new_rows < rows_ || new_cols < cols_) {
+    throw std::invalid_argument("grow: new shape smaller than current");
+  }
+  const std::size_t oc = cols_;
+  data_.resize(new_rows * new_cols);  // zero-fills the tail
+  if (new_cols != oc && rows_ > 0) {
+    // Relayout descending so each row's destination only overwrites rows
+    // that were already moved; copy_backward handles the self-overlap of
+    // a single row. Gap cells between old and new column counts are
+    // zero-filled explicitly (the vector only zeroed the resize tail).
+    double* base = data_.data();
+    for (std::size_t i = rows_; i-- > 0;) {
+      const double* src = base + i * oc;
+      double* dst = base + i * new_cols;
+      if (dst != src) std::copy_backward(src, src + oc, dst + oc);
+      std::fill(dst + oc, dst + new_cols, 0.0);
+    }
+  }
+  rows_ = new_rows;
+  cols_ = new_cols;
+}
+
+void Matrix::shrink(std::size_t new_rows, std::size_t new_cols) {
+  if (new_rows > rows_ || new_cols > cols_) {
+    throw std::invalid_argument("shrink: new shape larger than current");
+  }
+  const std::size_t oc = cols_;
+  if (new_cols != oc) {
+    // Ascending forward compaction (destinations trail sources).
+    double* base = data_.data();
+    for (std::size_t i = 0; i < new_rows; ++i) {
+      const double* src = base + i * oc;
+      double* dst = base + i * new_cols;
+      if (dst != src) std::copy(src, src + new_cols, dst);
+    }
+  }
+  rows_ = new_rows;
+  cols_ = new_cols;
+  data_.resize(new_rows * new_cols);
+}
+
 Matrix Matrix::identity(std::size_t n) {
   Matrix eye(n, n);
   for (std::size_t i = 0; i < n; ++i) eye(i, i) = 1.0;

@@ -1,0 +1,75 @@
+#include "alamr/linalg/workspace.hpp"
+
+#include <algorithm>
+
+namespace alamr::linalg {
+
+Workspace::Workspace(std::size_t initial_doubles) {
+  if (initial_doubles > 0) ensure_room(initial_doubles);
+}
+
+void Workspace::ensure_room(std::size_t n) {
+  // Advance past chunks that cannot hold the request. A monotonic bump
+  // allocator never backfills skipped tail space until a rewind exposes
+  // it again; the waste is bounded by one request per chunk and keeps
+  // marks O(1).
+  while (active_ < chunks_.size() &&
+         chunks_[active_].used + n > chunks_[active_].capacity) {
+    ++active_;
+  }
+  if (active_ == chunks_.size()) {
+    const std::size_t prev_cap =
+        chunks_.empty() ? 0 : chunks_.back().capacity;
+    const std::size_t cap =
+        std::max({n, prev_cap * 2, kMinChunkDoubles});
+    Chunk c;
+    c.data = std::make_unique<double[]>(cap);
+    c.capacity = cap;
+    chunks_.push_back(std::move(c));
+    ++heap_allocations_;
+  }
+}
+
+std::span<double> Workspace::alloc(std::size_t n) {
+  if (n == 0) return {};
+  ensure_room(n);
+  Chunk& c = chunks_[active_];
+  double* p = c.data.get() + c.used;
+  c.used += n;
+  in_use_ += n;
+  peak_ = std::max(peak_, in_use_);
+  return {p, n};
+}
+
+std::span<double> Workspace::zeros(std::size_t n) {
+  const std::span<double> s = alloc(n);
+  std::fill(s.begin(), s.end(), 0.0);
+  return s;
+}
+
+Workspace::Mark Workspace::mark() const noexcept {
+  Mark m;
+  m.chunk = active_;
+  m.used = active_ < chunks_.size() ? chunks_[active_].used : 0;
+  m.in_use = in_use_;
+  return m;
+}
+
+void Workspace::rewind(const Mark& m) noexcept {
+  for (std::size_t i = m.chunk + 1; i < chunks_.size(); ++i) {
+    chunks_[i].used = 0;
+  }
+  if (m.chunk < chunks_.size()) chunks_[m.chunk].used = m.used;
+  active_ = m.chunk;
+  in_use_ = m.in_use;
+}
+
+void Workspace::reset() noexcept { rewind(Mark{}); }
+
+std::size_t Workspace::capacity_doubles() const noexcept {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.capacity;
+  return total;
+}
+
+}  // namespace alamr::linalg

@@ -1,0 +1,137 @@
+// Tests for the workspace-arena integration in the AL pass loop
+// (ISSUE 5): the batched posterior path must be byte-identical to the
+// per-candidate path, the arena's footprint must be flat after the
+// pre-warmed first pass (the check.sh zero-allocation gate reads the
+// arena.* counters this suite pins), and no exit path — censored
+// continue, kRetryNextCandidate, early stop — may leak arena scopes.
+
+#include "alamr/core/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "alamr/core/export.hpp"
+#include "alamr/core/faults.hpp"
+#include "synthetic_dataset.hpp"
+
+namespace {
+
+using namespace alamr::core;
+using alamr::stats::Rng;
+namespace faults = alamr::core::faults;
+
+AlOptions arena_options(std::size_t max_iters = 12) {
+  AlOptions options;
+  options.n_test = 40;
+  options.n_init = 10;
+  options.max_iterations = max_iters;
+  options.initial_fit.restarts = 1;
+  options.initial_fit.max_opt_iterations = 25;
+  options.refit.max_opt_iterations = 5;
+  return options;
+}
+
+const alamr::data::Dataset& dataset() {
+  static const auto d = alamr::testing::synthetic_amr_dataset(120, 4242);
+  return d;
+}
+
+TEST(ArenaGate, SteadyStateFootprintIsFlat) {
+  AlOptions options = arena_options();
+  options.trace = true;
+  const AlSimulator sim(dataset(), options);
+  Rng rng(7);
+  const TrajectoryResult traj = sim.run(MaxSigma(), rng);
+
+  // The fused path ran and its temporaries lived in the arena.
+  EXPECT_GT(traj.trace.counter("predict.batch_calls"), 0u);
+  EXPECT_GT(traj.trace.counter("predict.batch_queries"), 0u);
+  EXPECT_GT(traj.trace.counter("arena.bytes_peak"), 0u);
+  EXPECT_GE(traj.trace.counter("arena.bytes_peak"),
+            traj.trace.counter("arena.inuse_peak_bytes"));
+
+  // The gate itself: the pre-warm sizes the arena once, so capacity
+  // never grows after the first pass and every pass scope was closed.
+  EXPECT_EQ(traj.trace.counter("arena.steady_growth"), 0u);
+  EXPECT_EQ(traj.trace.counter("arena.scope_leaks"), 0u);
+  EXPECT_EQ(traj.trace.counter("arena.chunk_allocs"), 1u)
+      << "pre-warm should cover the whole trajectory in one chunk";
+}
+
+TEST(ArenaGate, BatchedOffDisablesArenaCounters) {
+  AlOptions options = arena_options();
+  options.trace = true;
+  options.batched_predict = false;
+  const AlSimulator sim(dataset(), options);
+  Rng rng(7);
+  const TrajectoryResult traj = sim.run(MaxSigma(), rng);
+  EXPECT_EQ(traj.trace.counter("predict.batch_calls"), 0u);
+  EXPECT_EQ(traj.trace.counter("arena.bytes_peak"), 0u);
+  EXPECT_EQ(traj.trace.counter("arena.chunk_allocs"), 0u);
+}
+
+// The load-bearing equivalence: batched_predict only changes WHERE the
+// posterior is computed (fused kernels + arena vs per-candidate heap
+// path), never the bits. Byte-compare the full trajectory CSV across the
+// flag, on both cross-matrix maintenance modes.
+TEST(ArenaGate, BatchedPredictIsByteIdenticalToScalarPath) {
+  for (const bool incremental_cross : {true, false}) {
+    AlOptions batched = arena_options();
+    batched.incremental_cross = incremental_cross;
+    batched.batched_predict = true;
+    AlOptions scalar = batched;
+    scalar.batched_predict = false;
+
+    Rng rng_a(11);
+    const TrajectoryResult t_batched =
+        AlSimulator(dataset(), batched).run(MaxSigma(), rng_a);
+    Rng rng_b(11);
+    const TrajectoryResult t_scalar =
+        AlSimulator(dataset(), scalar).run(MaxSigma(), rng_b);
+
+    EXPECT_EQ(trajectory_to_csv(t_batched), trajectory_to_csv(t_scalar))
+        << "incremental_cross=" << incremental_cross;
+  }
+}
+
+// kRetryNextCandidate exercises the pass loop's `continue` exit: the
+// censored pass must release its arena scope (the satellite regression)
+// and the retry trajectory must stay byte-identical across the flag.
+TEST(ArenaGate, RetryPolicyLeaksNoScopesAndStaysByteIdentical) {
+  AlOptions batched = arena_options(8);
+  batched.trace = true;
+  batched.failures.plan = faults::FaultPlan::parse("acquire.oom:hits=1|3");
+  batched.failures.policy = CensorPolicy::kRetryNextCandidate;
+  AlOptions scalar = batched;
+  scalar.batched_predict = false;
+
+  Rng rng_a(13);
+  const TrajectoryResult t_batched =
+      AlSimulator(dataset(), batched).run(RandGoodness(), rng_a);
+  Rng rng_b(13);
+  const TrajectoryResult t_scalar =
+      AlSimulator(dataset(), scalar).run(RandGoodness(), rng_b);
+
+  EXPECT_GT(t_batched.censored_count, 0u) << "fault plan did not fire";
+  EXPECT_EQ(t_batched.trace.counter("arena.scope_leaks"), 0u);
+  EXPECT_EQ(t_batched.trace.counter("arena.steady_growth"), 0u);
+  EXPECT_EQ(trajectory_to_csv(t_batched), trajectory_to_csv(t_scalar));
+}
+
+// Censored passes under kDropCensored take the same early `continue`;
+// cover it too so both censor exits pin the scope bookkeeping.
+TEST(ArenaGate, DropCensoredLeaksNoScopes) {
+  AlOptions options = arena_options(8);
+  options.trace = true;
+  options.failures.plan = faults::FaultPlan::parse("acquire.timeout:hits=0|2");
+  options.failures.policy = CensorPolicy::kDropCensored;
+  const AlSimulator sim(dataset(), options);
+  Rng rng(17);
+  const TrajectoryResult traj = sim.run(RandGoodness(), rng);
+  EXPECT_GT(traj.censored_count, 0u) << "fault plan did not fire";
+  EXPECT_EQ(traj.trace.counter("arena.scope_leaks"), 0u);
+  EXPECT_EQ(traj.trace.counter("arena.steady_growth"), 0u);
+}
+
+}  // namespace

@@ -12,11 +12,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "alamr/core/export.hpp"
 #include "alamr/core/parallel.hpp"
@@ -50,13 +52,15 @@ AlOptions golden_options() {
 
 std::string golden_csv(std::size_t threads, bool incremental_refit,
                        bool incremental_cross = true,
-                       bool use_distance_cache = true) {
+                       bool use_distance_cache = true,
+                       bool batched_predict = true) {
   const data::Dataset dataset = alamr::testing::synthetic_amr_dataset(320, 2024);
   AlOptions options = golden_options();
   options.incremental_refit = incremental_refit;
   options.incremental_cross = incremental_cross;
   options.initial_fit.use_distance_cache = use_distance_cache;
   options.refit.use_distance_cache = use_distance_cache;
+  options.batched_predict = batched_predict;
   const AlSimulator simulator(dataset, options);
   const Rgma rgma(simulator.memory_limit_log10());
 
@@ -88,7 +92,28 @@ bool regenerating() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+// ALAMR_SIMD reroutes the linalg reductions through FMA kernels with a
+// different reduction tree — deliberately NOT bit-identical (simd.hpp
+// numerics contract). The byte-for-byte goldens skip in that build and
+// the tolerance comparison below carries the regression load instead.
+bool simd_build() {
+#if defined(ALAMR_SIMD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#define ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD()                              \
+  do {                                                                   \
+    if (simd_build()) {                                                  \
+      GTEST_SKIP() << "byte goldens require the scalar kernels "         \
+                      "(ALAMR_SIMD=OFF); see GoldenTrajectoryTolerance"; \
+    }                                                                    \
+  } while (false)
+
 TEST(GoldenTrajectory, SingleThreadIncrementalMatchesGolden) {
+  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
   const std::string csv = golden_csv(1, true);
   if (regenerating()) {
     std::ofstream out(kGoldenPath, std::ios::binary);
@@ -100,16 +125,19 @@ TEST(GoldenTrajectory, SingleThreadIncrementalMatchesGolden) {
 }
 
 TEST(GoldenTrajectory, FourThreadsMatchesGolden) {
+  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(4, true), read_golden_file());
 }
 
 TEST(GoldenTrajectory, FullRefitMatchesGolden) {
+  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(1, false), read_golden_file());
 }
 
 TEST(GoldenTrajectory, FourThreadsFullRefitMatchesGolden) {
+  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(4, false), read_golden_file());
 }
@@ -121,18 +149,21 @@ TEST(GoldenTrajectory, FourThreadsFullRefitMatchesGolden) {
 // under a parallel predict phase.
 
 TEST(GoldenTrajectory, RebuiltCrossCovarianceMatchesGolden) {
+  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(1, true, /*incremental_cross=*/false),
             read_golden_file());
 }
 
 TEST(GoldenTrajectory, RebuiltCrossCovarianceFullRefitMatchesGolden) {
+  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(1, false, /*incremental_cross=*/false),
             read_golden_file());
 }
 
 TEST(GoldenTrajectory, FourThreadsRebuiltCrossCovarianceMatchesGolden) {
+  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(4, true, /*incremental_cross=*/false),
             read_golden_file());
@@ -144,6 +175,7 @@ TEST(GoldenTrajectory, FourThreadsRebuiltCrossCovarianceMatchesGolden) {
 // direct path's FP sequence, so the bytes must not move.
 
 TEST(GoldenTrajectory, NoDistanceCacheMatchesGolden) {
+  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(1, true, /*incremental_cross=*/true,
                        /*use_distance_cache=*/false),
@@ -151,10 +183,116 @@ TEST(GoldenTrajectory, NoDistanceCacheMatchesGolden) {
 }
 
 TEST(GoldenTrajectory, NoCachesAtAllMatchesGolden) {
+  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(1, false, /*incremental_cross=*/false,
                        /*use_distance_cache=*/false),
             read_golden_file());
+}
+
+// AlOptions::batched_predict = false disables the fused batched posterior
+// and the workspace arena, taking the historical per-candidate predict
+// path instead. The fused path is constructed to replay the scalar path's
+// FP sequence exactly (DESIGN.md §10), so the bytes must not move.
+
+TEST(GoldenTrajectory, ScalarPredictPathMatchesGolden) {
+  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
+  if (regenerating()) GTEST_SKIP();
+  EXPECT_EQ(golden_csv(1, true, /*incremental_cross=*/true,
+                       /*use_distance_cache=*/true,
+                       /*batched_predict=*/false),
+            read_golden_file());
+}
+
+TEST(GoldenTrajectory, FourThreadsScalarPredictPathMatchesGolden) {
+  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
+  if (regenerating()) GTEST_SKIP();
+  EXPECT_EQ(golden_csv(4, true, /*incremental_cross=*/true,
+                       /*use_distance_cache=*/true,
+                       /*batched_predict=*/false),
+            read_golden_file());
+}
+
+// --- Tolerance comparison (carries the goldens under ALAMR_SIMD) -------
+//
+// The SIMD kernels reassociate reductions and fuse multiply-adds, so the
+// trajectory's floating-point columns may drift while every discrete
+// decision (which row was acquired, in which order) must still match.
+// Each kernel is within rel 1e-12 of the scalar reference
+// (test_linalg_simd.cpp), but a trajectory compounds that through ~50
+// refit/factor/solve chains: the worst observed whole-trajectory cell
+// drift on this golden is 1.7e-7 relative (a small-magnitude RMSE cell
+// at iteration 50). kSimdTrajectoryTol = 1e-6 gives ~6x headroom over
+// that measurement while still failing loudly on any real numerical
+// regression (which shows up orders of magnitude above rounding drift).
+// Non-numeric cells — headers, row indices, censor kinds — must be
+// identical. In the default build the tolerance is 1e-12 and every cell
+// compares bit-equal anyway, which validates the comparator itself.
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool parse_double(const std::string& token, double& value) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  value = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+void expect_csv_near(const std::string& got, const std::string& expect,
+                     double rel_tol) {
+  const auto got_lines = split(got, '\n');
+  const auto expect_lines = split(expect, '\n');
+  ASSERT_EQ(got_lines.size(), expect_lines.size()) << "row count moved";
+  for (std::size_t line = 0; line < got_lines.size(); ++line) {
+    const auto got_cells = split(got_lines[line], ',');
+    const auto expect_cells = split(expect_lines[line], ',');
+    ASSERT_EQ(got_cells.size(), expect_cells.size()) << "line " << line;
+    for (std::size_t col = 0; col < got_cells.size(); ++col) {
+      double g = 0.0;
+      double e = 0.0;
+      if (parse_double(got_cells[col], g) &&
+          parse_double(expect_cells[col], e)) {
+        if (g == e) continue;  // covers exact integers and -0.0 == 0.0
+        const double scale = std::max(std::abs(e), std::abs(g));
+        EXPECT_LE(std::abs(g - e), rel_tol * scale)
+            << "line " << line << " col " << col << ": " << got_cells[col]
+            << " vs " << expect_cells[col];
+      } else {
+        EXPECT_EQ(got_cells[col], expect_cells[col])
+            << "line " << line << " col " << col;
+      }
+    }
+  }
+}
+
+#if defined(ALAMR_SIMD)
+constexpr double kSimdTrajectoryTol = 1e-6;
+#else
+constexpr double kSimdTrajectoryTol = 1e-12;
+#endif
+
+TEST(GoldenTrajectoryTolerance, SingleThreadIncrementalWithinTolerance) {
+  if (regenerating()) GTEST_SKIP();
+  expect_csv_near(golden_csv(1, true), read_golden_file(),
+                  kSimdTrajectoryTol);
+}
+
+TEST(GoldenTrajectoryTolerance, FourThreadsFullRefitWithinTolerance) {
+  if (regenerating()) GTEST_SKIP();
+  expect_csv_near(golden_csv(4, false), read_golden_file(),
+                  kSimdTrajectoryTol);
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+// Tests for the explicitly vectorized kernels in <alamr/linalg/simd.hpp>.
+//
+// The header is freestanding, so these tests run in every build mode —
+// they validate the kernels themselves, independently of whether
+// matrix.hpp dispatches to them (ALAMR_SIMD). Each kernel is compared
+// against a local strictly-sequential scalar reference: exact equality
+// is NOT required (the SIMD kernels reassociate reductions and fuse
+// multiply-adds by design), but agreement must be at working precision.
+
+#include "alamr/linalg/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "alamr/stats/rng.hpp"
+
+namespace {
+
+namespace simd = alamr::linalg::simd;
+using alamr::stats::Rng;
+
+double ref_dot(const double* x, const double* y, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double ref_sqdist(const double* x, const double* y, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::vector<double> random_vec(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& e : v) e = rng.uniform(-3.0, 3.0);
+  return v;
+}
+
+// Edge sizes around the 4-wide unroll: empty, sub-width, exact multiples,
+// and every tail length.
+const std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 257};
+
+TEST(SimdKernels, DotMatchesScalarReference) {
+  Rng rng(31);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vec(n, rng);
+    const auto y = random_vec(n, rng);
+    const double expect = ref_dot(x.data(), y.data(), n);
+    const double got = simd::dot(x.data(), y.data(), n);
+    const double scale = std::max(1.0, std::abs(expect));
+    EXPECT_NEAR(got, expect, 1e-12 * scale) << "n=" << n;
+  }
+}
+
+TEST(SimdKernels, SquaredDistanceMatchesScalarReference) {
+  Rng rng(32);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vec(n, rng);
+    const auto y = random_vec(n, rng);
+    const double expect = ref_sqdist(x.data(), y.data(), n);
+    const double got = simd::squared_distance(x.data(), y.data(), n);
+    EXPECT_NEAR(got, expect, 1e-12 * std::max(1.0, expect)) << "n=" << n;
+    EXPECT_GE(got, 0.0);
+  }
+}
+
+TEST(SimdKernels, SquaredDistanceOfIdenticalVectorsIsExactlyZero) {
+  Rng rng(33);
+  const auto x = random_vec(37, rng);
+  EXPECT_EQ(simd::squared_distance(x.data(), x.data(), x.size()), 0.0);
+}
+
+TEST(SimdKernels, AxpyMatchesScalarReference) {
+  Rng rng(34);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vec(n, rng);
+    const auto y0 = random_vec(n, rng);
+    const double alpha = rng.uniform(-2.0, 2.0);
+
+    std::vector<double> expect = y0;
+    for (std::size_t i = 0; i < n; ++i) expect[i] += alpha * x[i];
+
+    std::vector<double> got = y0;
+    simd::axpy(alpha, x.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(got[i], expect[i], 1e-13 * std::max(1.0, std::abs(expect[i])))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdKernels, Rank1SubMatchesScalarReference) {
+  Rng rng(35);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vec(n, rng);
+    const auto y0 = random_vec(n, rng);
+    const double alpha = rng.uniform(-2.0, 2.0);
+
+    std::vector<double> expect = y0;
+    for (std::size_t i = 0; i < n; ++i) expect[i] -= alpha * x[i];
+
+    std::vector<double> got = y0;
+    simd::rank1_sub(alpha, x.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(got[i], expect[i], 1e-13 * std::max(1.0, std::abs(expect[i])))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdKernels, AxpyWithZeroAlphaIsIdentity) {
+  Rng rng(36);
+  const auto x = random_vec(19, rng);
+  const auto y0 = random_vec(19, rng);
+  std::vector<double> got = y0;
+  simd::axpy(0.0, x.data(), got.data(), got.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], y0[i]);
+}
+
+TEST(SimdKernels, FmaddBasicIdentity) {
+  // Whether fused or not, exact-representable inputs give exact results.
+  EXPECT_EQ(simd::fmadd(2.0, 3.0, 4.0), 10.0);
+  EXPECT_EQ(simd::fmadd(-1.0, 5.0, 5.0), 0.0);
+}
+
+}  // namespace
