@@ -499,11 +499,11 @@ void BM_ArenaPass(benchmark::State& state) {
 }
 BENCHMARK(BM_ArenaPass)->Args({200, 0})->Args({200, 1})->Unit(benchmark::kMillisecond);
 
-// P5 — the raw kernels behind ALAMR_SIMD: strictly-sequential scalar
-// loops (Arg 0, the default build's bits) vs the 4-chain FMA versions in
-// simd.hpp (Arg 1). In a default build both arms compile without -mfma,
-// so the Arg 1 numbers show the reassociation win alone; under
-// -DALAMR_SIMD=ON (which adds -mfma/-mavx2) they show the full effect.
+// P6 — the raw dispatch kernels: a strictly-sequential inline loop
+// (Arg 0, the bits the scalar table reproduces) vs the runtime-selected
+// kernel table (Arg 1). Arg 1 measures whatever level the process
+// selected at startup — pin it with ALAMR_SIMD_LEVEL to compare tiers;
+// the active level is recorded in the JSON context block (simd_level).
 void BM_SimdKernels(benchmark::State& state) {
   const bool vectorized = state.range(1) != 0;
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -543,14 +543,21 @@ void BM_SimdKernels(benchmark::State& state) {
 BENCHMARK(BM_SimdKernels)->Args({256, 0})->Args({256, 1})->Args({4096, 0})->Args({4096, 1});
 
 // Trajectory fan-out on the thread pool: 4 independent AL trajectories
-// with Arg() parallel lanes. Results are bit-identical across lane counts
-// (each trajectory has its own derived rng stream); only wall-clock moves.
+// with Args({lanes, shared}). Results are bit-identical across lane
+// counts (each trajectory has its own derived rng stream) and across the
+// shared flag (gathered distances carry the same bits); only wall-clock
+// moves. The shared arms build the dataset-wide DistanceBase once and
+// hand it to every trajectory, replacing each member's from-scratch
+// distance passes with gathers — the P6 acceptance bar is shared >=
+// unshared at equal lanes (BENCH_PR6.json: BM_TrajectoryBatch). The
+// 50-pass trajectories mirror the paper's fig4/fig5 workload, where
+// per-pass cross/test evaluations dominate the one-time initial fit.
 void BM_TrajectoryBatch(benchmark::State& state) {
   const data::Dataset dataset = testing::synthetic_amr_dataset(200, 99);
   core::AlOptions options;
   options.n_test = 40;
   options.n_init = 30;
-  options.max_iterations = 10;
+  options.max_iterations = 50;
   options.initial_fit.restarts = 1;
   options.initial_fit.max_opt_iterations = 30;
   options.refit.restarts = 0;
@@ -561,12 +568,18 @@ void BM_TrajectoryBatch(benchmark::State& state) {
   batch.trajectories = 4;
   batch.seed = 1234;
   batch.threads = static_cast<std::size_t>(state.range(0));
+  batch.shared_context = state.range(1) != 0;
   for (auto _ : state) {
     auto results = core::run_batch(simulator, rgma, batch);
     benchmark::DoNotOptimize(results);
   }
 }
-BENCHMARK(BM_TrajectoryBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrajectoryBatch)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
 
 // P2: cost of the observability layer on a 100-iteration RGMA trajectory.
 // Arg(0) = tracing disabled (every instrumentation call reduces to one
@@ -640,4 +653,21 @@ BENCHMARK(BM_AmrRegrid)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so every JSON/console report carries the dispatch decision
+// in its context block: which kernel tier this process selected at
+// startup (after the ALAMR_SIMD_LEVEL override) and the CPU feature
+// flags it was derived from. scripts/bench.sh copies both keys into the
+// BENCH_PR*.json context so recorded numbers stay attributable to a
+// kernel tier after the host is gone.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "simd_level",
+      alamr::linalg::simd::to_string(alamr::linalg::simd::active_level()));
+  benchmark::AddCustomContext("cpu_features",
+                              alamr::linalg::simd::cpu_features());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

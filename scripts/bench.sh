@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Records the seed-vs-optimized micro-benchmark medians into per-PR JSON
 # files: BENCH_PR3.json (distance cache / blocked linalg / incremental
-# predict) and BENCH_PR5.json (fused batched posterior / arena pass /
-# SIMD kernels).
+# predict), BENCH_PR5.json (fused batched posterior / arena pass / SIMD
+# kernels) and BENCH_PR6.json (shared-context trajectory batches, plus
+# end-to-end fig4/fig5 wallclock at every runtime dispatch level).
 #
 # Each benchmark in the sets is registered twice: /0 replays the seed
 # (pre-PR) recipe through the public reference APIs, /1 runs the
@@ -25,9 +26,18 @@ if [[ ! -x "$build_dir/bench/bench_micro_perf" ]]; then
 fi
 
 # record_set <output.json> <benchmark-filter-regex>
+#
+# Per-PR records are write-once: an existing file documents the numbers
+# measured when that PR landed and later reruns must not rewrite history
+# (the bench-trend gate compares against them). Delete the file or set
+# ALAMR_BENCH_FORCE=1 to re-record.
 record_set() {
   local out_json="$1"
   local filter="$2"
+  if [[ -f "$out_json" && "${ALAMR_BENCH_FORCE:-0}" != "1" ]]; then
+    echo "$out_json exists; skipping (ALAMR_BENCH_FORCE=1 re-records)"
+    return 0
+  fi
   local raw
   raw=$(mktemp /tmp/bench_set.XXXXXX.json)
 
@@ -70,6 +80,11 @@ out = {
         "host": report["context"].get("host_name", ""),
         "num_cpus": report["context"].get("num_cpus"),
         "mhz_per_cpu": report["context"].get("mhz_per_cpu"),
+        # Dispatch decision this process made at startup (bench main()
+        # registers both as custom context): numbers from different hosts
+        # are only comparable at the same kernel tier.
+        "simd_level": report["context"].get("simd_level", ""),
+        "cpu_features": report["context"].get("cpu_features", ""),
     },
     "benchmarks": {},
 }
@@ -103,8 +118,87 @@ EOF
   rm -f "$raw"
 }
 
+# active_level <requested-level>: what the dispatcher actually selects
+# under ALAMR_SIMD_LEVEL=<requested> (requests above the host's ceiling
+# clamp down). Read from the bench binary's own context block so the
+# answer comes from the exact dispatch code being measured.
+active_level() {
+  ALAMR_SIMD_LEVEL="$1" "$build_dir/bench/bench_micro_perf" \
+    --benchmark_filter='BM_SimdKernels/256/0$' --benchmark_min_time=0.01 \
+    --benchmark_format=json 2> /dev/null |
+    python3 -c 'import json,sys; print(json.load(sys.stdin)["context"].get("simd_level",""))'
+}
+
+# record_fig_wallclock <output.json>: appends a "fig_wallclock" section —
+# end-to-end seconds for the paper-figure drivers (fig4 regret, fig5 RMSE
+# progression; ALAMR_QUICK with the P5-protocol 3 trajectories x 60
+# iterations) at every dispatch level this host supports. Clamped
+# duplicate levels are skipped, so an avx2-only host records scalar and
+# avx2. Requires data/amr_dataset.csv to exist already (run any fig
+# bench once first) so the one-time campaign generation never lands in a
+# timing.
+record_fig_wallclock() {
+  local out_json="$1"
+  if [[ "${ALAMR_BENCH_FORCE:-0}" != "1" ]] &&
+    python3 -c 'import json,sys; sys.exit(0 if "fig_wallclock" in json.load(open(sys.argv[1])) else 1)' \
+      "$out_json" 2> /dev/null; then
+    echo "$out_json already has fig_wallclock; skipping"
+    return 0
+  fi
+  local tmp
+  tmp=$(mktemp /tmp/bench_fig.XXXXXX.json)
+  echo "{}" > "$tmp"
+  for level in scalar avx2 avx512; do
+    local active
+    active=$(active_level "$level")
+    if [[ "$active" != "$level" ]]; then
+      echo "fig wallclock: skipping $level (host clamps to $active)"
+      continue
+    fi
+    for fig in bench_fig4_regret bench_fig5_rmse_progress; do
+      local secs
+      secs=$( { TIMEFORMAT=%R; time ALAMR_QUICK=1 ALAMR_TRAJECTORIES=3 \
+        ALAMR_ITERATIONS=60 ALAMR_SIMD_LEVEL="$level" \
+        "$build_dir/bench/$fig" > /dev/null; } 2>&1 | tail -1 )
+      echo "fig wallclock: $fig @ $level: ${secs}s"
+      python3 - "$tmp" "$fig" "$level" "$secs" <<'EOF'
+import json, sys
+path, fig, level, secs = sys.argv[1:]
+with open(path) as f:
+    d = json.load(f)
+d.setdefault(fig, {})[level] = float(secs)
+with open(path, "w") as f:
+    json.dump(d, f)
+EOF
+    done
+  done
+  python3 - "$out_json" "$tmp" <<'EOF'
+import json, sys
+out_path, fig_path = sys.argv[1:]
+with open(out_path) as f:
+    out = json.load(f)
+with open(fig_path) as f:
+    out["fig_wallclock"] = json.load(f)
+out["fig_wallclock_statistic"] = (
+    "end-to-end seconds, ALAMR_QUICK=1 ALAMR_TRAJECTORIES=3 "
+    "ALAMR_ITERATIONS=60, one run")
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(f"appended fig_wallclock to {out_path}")
+EOF
+  rm -f "$tmp"
+}
+
 record_set BENCH_PR3.json \
   'BM_(KernelDistanceCache|BlockedCholesky|CholeskyInverse|RefitObjective|RefitObjectiveValue|IncrementalPredict)/'
 
 record_set BENCH_PR5.json \
   'BM_(PredictBatch|ArenaPass|SimdKernels)/'
+
+# PR6: /0 arm = PR5 recipe (every trajectory recomputes its own distance
+# caches), /1 arm = shared immutable DistanceBase built once per batch.
+record_set BENCH_PR6.json \
+  'BM_TrajectoryBatch/'
+
+record_fig_wallclock BENCH_PR6.json

@@ -18,15 +18,29 @@
 #                    3% NaN rows): the recovery ladder and censoring
 #                    accounting must hold with the injector armed
 #                    process-wide, not just under test-installed scopes
-#   7. simd        — ALAMR_SIMD=ON (FMA kernels in the linalg hot loops).
-#                    Byte-for-byte goldens self-skip in this build; the
-#                    tolerance golden comparisons (rel <= 1e-12) and the
-#                    full unit suite carry the correctness load
-#   8. arena gate  — zero-allocation gate on the plain build: the
+#   7. simd levels — the full suite on the plain build pinned to each
+#                    runtime dispatch tier via ALAMR_SIMD_LEVEL: scalar
+#                    (byte-golden bits), avx2, and native-best (no
+#                    override — whatever CPUID selected, the production
+#                    configuration). Byte goldens pin scalar internally,
+#                    so they pass at every level; tolerance goldens and
+#                    the all-levels-agree kernel tests carry the
+#                    vector-tier correctness load
+#   8. tsan        — ALAMR_SANITIZE=thread on the shared-structure
+#                    concurrency surface: batches where every worker
+#                    reads one SharedBatchContext, plus the trace and
+#                    pool suites, under ALAMR_THREADS=4
+#   9. arena gate  — zero-allocation gate on the plain build: the
 #                    counting-allocator suite plus the ArenaGate trace
 #                    assertions (steady_growth == 0, scope_leaks == 0)
 #                    must hold, i.e. the steady-state AL pass is heap-free
 #                    and the arena footprint stops growing after pass 0
+#  10. bench trend — scripts/bench_trend.py runs the gate benchmarks
+#                    (BM_PredictBatch, BM_TrajectoryBatch) fresh and
+#                    fails on a >10% slowdown against the medians
+#                    recorded in BENCH_PR*.json. Skip on hosts whose
+#                    numbers are not comparable to the records with
+#                    ALAMR_SKIP_BENCH_TREND=1
 #
 # Finally an explicit golden gate re-runs the golden-trajectory byte
 # comparisons (which sweep the cached-kernel / incremental-refit /
@@ -74,11 +88,48 @@ run_golden() {
   tail -2 /tmp/check_golden_"$name".log
 }
 
+# run_level <name> <ALAMR_SIMD_LEVEL value or "">: the full suite on the
+# plain build pinned to one runtime dispatch tier. An empty value runs
+# whatever CPUID selects (native-best, the production configuration);
+# requests above the host's ceiling clamp down, so every leg is safe on
+# any machine.
+run_level() {
+  local name="$1"
+  local level="$2"
+  echo "=== [simd/$name] full suite at ALAMR_SIMD_LEVEL=${level:-<native-best>} ==="
+  ALAMR_SIMD_LEVEL="$level" ctest --test-dir build-check/plain --output-on-failure \
+    -j "$jobs" > /tmp/check_simd_"$name".log 2>&1 || {
+    tail -50 /tmp/check_simd_"$name".log
+    echo "FAILED: simd/$name (full log: /tmp/check_simd_$name.log)"
+    exit 1
+  }
+  tail -2 /tmp/check_simd_"$name".log
+}
+
 run_config plain
 run_config asan -DALAMR_SANITIZE=address,undefined -DALAMR_DEBUG_ASSERTS=ON
 run_config ubsan -DALAMR_SANITIZE=undefined
 run_config native -DALAMR_NATIVE=ON
-run_config simd -DALAMR_SIMD=ON
+
+run_level scalar scalar
+run_level avx2 avx2
+run_level best ""
+
+# Thread-sanitizer leg, scoped to the concurrency surface: the
+# shared-batch-context suites (every pool worker reads one immutable
+# DistanceBase), the trace collectors, and the thread pool itself. TSan
+# slows execution ~10x, so the full suite stays on the plain legs.
+echo "=== [tsan] shared-context + concurrency suites under ThreadSanitizer ==="
+cmake -B build-check/tsan -S . -DALAMR_SANITIZE=thread > /dev/null
+cmake --build build-check/tsan -j "$jobs" > /dev/null
+ALAMR_THREADS=4 ctest --test-dir build-check/tsan --output-on-failure \
+  -R 'RunBatch|BatchIsolation|Trace|ThreadPool|ParallelFor' \
+  > /tmp/check_tsan.log 2>&1 || {
+  tail -50 /tmp/check_tsan.log
+  echo "FAILED: tsan (full log: /tmp/check_tsan.log)"
+  exit 1
+}
+tail -2 /tmp/check_tsan.log
 
 echo "=== [threads4] ctest with ALAMR_THREADS=4 on the plain build ==="
 ALAMR_THREADS=4 ctest --test-dir build-check/plain --output-on-failure -j "$jobs" \
@@ -122,5 +173,16 @@ run_golden plain build-check/plain 1
 run_golden plain4 build-check/plain 4
 run_golden native build-check/native 1
 run_golden native4 build-check/native 4
+
+# Bench-trend gate: fresh optimized-arm medians for the gate benchmarks
+# must stay within 10% of the BENCH_PR*.json records. The records carry
+# their dispatch level; bench_trend.py skips pairs measured at a
+# different tier, and unrelated CI hosts skip the whole gate via env.
+if [[ "${ALAMR_SKIP_BENCH_TREND:-0}" == "1" ]]; then
+  echo "=== [bench-trend] skipped (ALAMR_SKIP_BENCH_TREND=1) ==="
+else
+  echo "=== [bench-trend] fresh medians vs BENCH_PR*.json ==="
+  python3 scripts/bench_trend.py build-check/plain/bench/bench_micro_perf
+fi
 
 echo "All checks passed."

@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -239,6 +240,27 @@ struct TrajectoryResult {
   trace::TraceReport trace;
 };
 
+/// Immutable per-dataset structure shared by every trajectory of a batch
+/// run: today, the dataset-wide pairwise-distance base over the scaled
+/// features (gp::DistanceBase). Built once via
+/// AlSimulator::make_shared_context() and handed to run* calls by const
+/// pointer; after construction it is strictly read-only, so concurrent
+/// trajectories share one instance with no synchronization. Trajectories
+/// layer their own mutable state (training caches, cross matrices,
+/// workspace arenas) on top — every gathered value is bitwise identical
+/// to the recomputed one, so results do not depend on whether a context
+/// was supplied.
+class SharedBatchContext {
+ public:
+  explicit SharedBatchContext(std::shared_ptr<const gp::DistanceBase> base)
+      : base_(std::move(base)) {}
+
+  const gp::DistanceBase& distance_base() const noexcept { return *base_; }
+
+ private:
+  std::shared_ptr<const gp::DistanceBase> base_;
+};
+
 class AlSimulator {
  public:
   /// Pre-processes once: features scaled to the unit cube (fitted on the
@@ -252,13 +274,22 @@ class AlSimulator {
   double memory_limit_log10() const noexcept { return limit_log10_; }
   double memory_limit_mb() const noexcept;
 
-  /// Draws a fresh partition from `rng` and runs one trajectory.
-  TrajectoryResult run(const Strategy& strategy, stats::Rng& rng) const;
+  /// Builds the shared immutable batch context for this simulator's
+  /// dataset: one O(N^2 d) pairwise-distance pass over the scaled
+  /// features that every trajectory sharing it then gathers from in
+  /// O(k^2) copies per cache (re)build.
+  SharedBatchContext make_shared_context() const;
+
+  /// Draws a fresh partition from `rng` and runs one trajectory. `shared`
+  /// (optional) supplies the precomputed batch context; results are
+  /// bitwise identical with or without it.
+  TrajectoryResult run(const Strategy& strategy, stats::Rng& rng,
+                       const SharedBatchContext* shared = nullptr) const;
 
   /// Runs one trajectory on a fixed partition (for paired comparisons).
-  TrajectoryResult run_with_partition(const Strategy& strategy,
-                                      const data::Partition& partition,
-                                      stats::Rng& rng) const;
+  TrajectoryResult run_with_partition(
+      const Strategy& strategy, const data::Partition& partition,
+      stats::Rng& rng, const SharedBatchContext* shared = nullptr) const;
 
   /// run_with_partition with periodic checkpointing and resume: state is
   /// saved to `checkpoint.path` by atomic rename every `checkpoint.stride`
@@ -270,7 +301,8 @@ class AlSimulator {
   TrajectoryResult run_resumable(const Strategy& strategy,
                                  const data::Partition& partition,
                                  stats::Rng& rng,
-                                 const CheckpointConfig& checkpoint) const;
+                                 const CheckpointConfig& checkpoint,
+                                 const SharedBatchContext* shared = nullptr) const;
 
   /// Batch-mode AL (paper Sec. VI future work: "running multiple
   /// simulations in parallel at each iteration"): each round selects
@@ -293,11 +325,13 @@ class AlSimulator {
   std::unique_ptr<gp::Kernel> make_kernel() const;
 
   /// The trajectory driver behind run_with_partition and run_resumable
-  /// (checkpoint == nullptr disables checkpointing entirely).
+  /// (checkpoint == nullptr disables checkpointing entirely; shared ==
+  /// nullptr recomputes every distance cache locally).
   TrajectoryResult run_trajectory(const Strategy& strategy,
                                   const data::Partition& partition,
                                   stats::Rng& rng,
-                                  const CheckpointConfig* checkpoint) const;
+                                  const CheckpointConfig* checkpoint,
+                                  const SharedBatchContext* shared) const;
 
   /// Hex digest over every option, the memory limit, the strategy
   /// identity (including batch size), and the full partition contents

@@ -25,6 +25,42 @@ namespace alamr::gp {
 
 using linalg::Matrix;
 
+/// Immutable dataset-wide distance base: a copy of the (scaled) feature
+/// matrix plus the full N x N squared-distance matrix over it, built ONCE
+/// per dataset and then shared read-only — e.g. across every trajectory
+/// of a batch run (core::SharedBatchContext). Row-subset caches gather
+/// from it in O(k^2) copies instead of O(k^2 d) squared_distance FLOPs,
+/// and because linalg::squared_distance(a, b) is bit-equal to (b, a)
+/// (negation is exact, squares identical), a gathered cache is bitwise
+/// identical to one built from scratch on the subset — whatever order the
+/// subset lists the rows in.
+///
+/// After construction the object is strictly read-only, so concurrent
+/// trajectories may gather from one instance without synchronization.
+class DistanceBase {
+ public:
+  /// Builds the base over all rows of x (counter: gp.dist_base_build).
+  explicit DistanceBase(const Matrix& x);
+
+  /// Number of points.
+  std::size_t size() const noexcept { return x_.rows(); }
+  std::size_t dim() const noexcept { return x_.cols(); }
+
+  const Matrix& x() const noexcept { return x_; }
+  std::span<const double> point(std::size_t i) const noexcept {
+    return x_.row(i);
+  }
+
+  /// |x_i - x_j|^2, exactly as linalg::squared_distance computes it.
+  double squared(std::size_t i, std::size_t j) const noexcept {
+    return sq_(i, j);
+  }
+
+ private:
+  Matrix x_;
+  Matrix sq_;
+};
+
 /// Cache of squared pairwise distances between two point sets (train x
 /// train when symmetric, train x query otherwise). Entries are computed
 /// with exactly linalg::squared_distance, in the same (i, j) orientation
@@ -39,6 +75,19 @@ class PairwiseDistances {
   /// Rectangular x-by-y cache (row i = point i of x, column j = point j
   /// of y — matching the kernels' cross() loops).
   static PairwiseDistances cross(const Matrix& x, const Matrix& y);
+
+  /// Symmetric cache over the subset base.x()[rows], gathered from the
+  /// precomputed base in O(k^2) copies (counter: gp.dist_cache_gather).
+  /// Bitwise identical to train() on the gathered point matrix.
+  static PairwiseDistances train_from_base(const DistanceBase& base,
+                                           std::span<const std::size_t> rows);
+
+  /// Rectangular base.x()[rows_x] by base.x()[rows_y] cache, gathered from
+  /// the precomputed base (counter: gp.dist_cache_gather). Bitwise
+  /// identical to cross() on the gathered point matrices.
+  static PairwiseDistances cross_from_base(const DistanceBase& base,
+                                           std::span<const std::size_t> rows_x,
+                                           std::span<const std::size_t> rows_y);
 
   bool symmetric() const noexcept { return symmetric_; }
   std::size_t rows() const noexcept { return sq_.rows(); }

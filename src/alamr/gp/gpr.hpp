@@ -63,7 +63,16 @@ class GaussianProcessRegressor {
   /// starting from the kernel's current values, then precomputes the
   /// Cholesky factor and alpha = K_y^{-1} y used by predict().
   /// `rng` drives the optional random restarts.
-  void fit(const Matrix& x, std::span<const double> y, stats::Rng& rng);
+  ///
+  /// When `base` is non-null (and the distance cache is enabled), the
+  /// train-distance cache is GATHERED from the shared dataset-wide base
+  /// instead of recomputed: `rows` must list, for each row of x, its index
+  /// in base.x() (so x == base.x()[rows] bit for bit). The gathered cache
+  /// is bitwise identical to the recomputed one, so results do not depend
+  /// on which path was taken.
+  void fit(const Matrix& x, std::span<const double> y, stats::Rng& rng,
+           const DistanceBase* base = nullptr,
+           std::span<const std::size_t> rows = {});
 
   /// Appends one training point WITHOUT re-optimizing hyperparameters:
   /// extends the cached gram by one row/column (n kernel evaluations
@@ -95,6 +104,13 @@ class GaussianProcessRegressor {
 
   /// Posterior mean only (cheaper: skips the variance solves).
   std::vector<double> predict_mean(const Matrix& x) const;
+
+  /// predict_mean() with a caller-supplied cross-covariance, mirroring
+  /// predict_from_cross(): the AL simulator gathers the test-set
+  /// distances from a shared DistanceBase instead of recomputing them
+  /// from features each evaluation. Bit-identical to predict_mean() when
+  /// k_star holds the same bits. Requires fit().
+  std::vector<double> predict_mean_from_cross(const Matrix& k_star) const;
 
   /// Fused batched posterior (DESIGN.md §10): all candidate means and
   /// stddevs in one pass over a caller-maintained cross-covariance, with

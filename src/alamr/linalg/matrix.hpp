@@ -16,9 +16,7 @@
 #include <span>
 #include <vector>
 
-#if defined(ALAMR_SIMD)
 #include "alamr/linalg/simd.hpp"
-#endif
 
 // ---- ALAMR_ASSERT ---------------------------------------------------------
 //
@@ -139,17 +137,29 @@ class Matrix {
 // Inline: these are the innermost loops of every kernel-matrix build and
 // triangular solve. Shape checks are ALAMR_ASSERTs (debug-only) rather
 // than throws so the release-mode loops carry no branch.
+//
+// Dispatch policy (simd.hpp): the REDUCTION kernels (dot,
+// squared_distance) route through the runtime-selected kernel table only
+// for lengths >= simd::kDispatchMin — shorter calls (feature-dimension
+// work, mostly) keep the inlined sequential loop, which is bit-identical
+// to the scalar table entry, so the threshold never changes scalar-level
+// results. The ELEMENTWISE kernels (axpy, rank1_sub) ALWAYS dispatch,
+// with no length threshold: element i's result depends only on the
+// dispatch level — never on the call length — which makes them
+// chunk-splittable. That property is load-bearing: the blocked solves
+// behind the batched posterior split their RHS columns into
+// thread-count-dependent stripes, and a length threshold there would make
+// trajectory bits depend on the thread count at the vector levels.
 
 /// Inner product. Requires equal lengths.
 inline double dot(std::span<const double> x, std::span<const double> y) {
   ALAMR_ASSERT(x.size() == y.size(), "dot: length mismatch");
-#if defined(ALAMR_SIMD)
-  return simd::dot(x.data(), y.data(), x.size());
-#else
+  if (x.size() >= simd::kDispatchMin) {
+    return simd::dot(x.data(), y.data(), x.size());
+  }
   double total = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) total += x[i] * y[i];
   return total;
-#endif
 }
 
 /// Euclidean norm.
@@ -158,27 +168,30 @@ double norm2(std::span<const double> x);
 /// y += alpha * x.
 inline void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   ALAMR_ASSERT(x.size() == y.size(), "axpy: length mismatch");
-#if defined(ALAMR_SIMD)
   simd::axpy(alpha, x.data(), y.data(), x.size());
-#else
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
-#endif
+}
+
+/// y -= alpha * x (the rank-1 update inside triangular solves and the
+/// Cholesky trailing update).
+inline void rank1_sub(double alpha, std::span<const double> x,
+                      std::span<double> y) {
+  ALAMR_ASSERT(x.size() == y.size(), "rank1_sub: length mismatch");
+  simd::rank1_sub(alpha, x.data(), y.data(), x.size());
 }
 
 /// Squared Euclidean distance between two points (rows of a design matrix).
 inline double squared_distance(std::span<const double> x,
                                std::span<const double> y) {
   ALAMR_ASSERT(x.size() == y.size(), "squared_distance: length mismatch");
-#if defined(ALAMR_SIMD)
-  return simd::squared_distance(x.data(), y.data(), x.size());
-#else
+  if (x.size() >= simd::kDispatchMin) {
+    return simd::squared_distance(x.data(), y.data(), x.size());
+  }
   double total = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
     const double d = x[i] - y[i];
     total += d * d;
   }
   return total;
-#endif
 }
 
 // ---- matrix kernels -------------------------------------------------------

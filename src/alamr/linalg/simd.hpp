@@ -1,40 +1,113 @@
 #pragma once
 
-// Explicitly vectorized hot-loop kernels (DESIGN.md §10).
+// Runtime-dispatched hot-loop kernels (DESIGN.md §10-§11).
 //
-// The default build keeps the strictly-sequential scalar kernels in
-// matrix.hpp so every accumulation is a single ascending IEEE chain and
-// the golden trajectories stay byte-for-byte reproducible. Configuring
-// with -DALAMR_SIMD=ON reroutes dot / squared_distance (reductions) and
-// axpy / rank-1 updates (elementwise) through these kernels instead:
+// One binary carries three implementations of the innermost linalg
+// kernels — dot / squared_distance (reductions), axpy / rank1_sub
+// (elementwise multiply-adds) — compiled in dedicated translation units
+// with per-TU target options:
 //
-//  - reductions run four independent accumulator chains (i, i+1, i+2,
-//    i+3 interleaved) combined pairwise at the end, which is the shape
-//    compilers turn into 256-bit FMA vector code;
-//  - every multiply-add goes through fmadd(), which is a fused
-//    std::fma when the target has hardware FMA (-mfma, set by the CMake
-//    option) and an unfused mul+add otherwise.
+//  - scalar  : strictly-sequential single-chain IEEE loops, byte-identical
+//              to the historical inline kernels in matrix.hpp (the seed
+//              recipe). This is the level the byte-for-byte golden
+//              trajectories pin.
+//  - avx2    : four independent accumulator chains combined pairwise, with
+//              fused multiply-adds (std::fma compiles to vfmadd under the
+//              TU's -march=x86-64-v3). The shape GCC turns into 256-bit
+//              FMA vector code.
+//  - avx512  : the same recipe widened to eight chains for 512-bit
+//              registers (-march=x86-64-v4).
 //
-// Numerics contract: results differ from the scalar kernels only by
-// reassociation of the reduction order and by fusion of the rounding
-// step in multiply-adds — both backward-stable, no change to magnitude
-// of the error bound beyond small-constant factors. End-to-end this is
-// validated by the tolerance-based golden comparison (tests_golden,
-// GoldenTrajectoryTolerance) and a dedicated scripts/check.sh leg; the
-// byte-for-byte goldens are skipped under ALAMR_SIMD by design.
+// The active implementation is a function-pointer table selected once at
+// startup: CPUID (__builtin_cpu_supports) picks the best level the host
+// executes, and the ALAMR_SIMD_LEVEL environment variable
+// (scalar|avx2|avx512) overrides it — requests above the host's ceiling
+// clamp down, so "ALAMR_SIMD_LEVEL=avx512 ctest" is safe on any machine.
+// Tests switch levels directly with set_level().
 //
-// This header is freestanding (no matrix.hpp dependency) so the kernels
-// stay testable in both build modes: matrix.hpp dispatches to them only
-// under ALAMR_SIMD, but the symbols always exist.
+// Numerics contract: the vector levels differ from scalar only by
+// reassociation of the reduction order (pairwise chain combine) and by
+// fusion of the multiply-add rounding step — both backward-stable. Per
+// kernel the levels agree within rel 1e-12 (test_linalg_simd.cpp); a whole
+// 50-iteration trajectory compounds to ~1e-7, bounded at 1e-6 by the
+// tolerance golden comparison. Byte goldens force Level::kScalar for the
+// duration of the run, so they pass whatever level the process started at.
+//
+// Thread safety: table() and active_level() are single relaxed atomic
+// loads, safe from any thread. set_level() is intended for startup and
+// test setup; switching while kernels are in flight is race-free but a
+// caller observing mid-switch may mix levels across calls.
 
+#include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <string>
 
 namespace alamr::linalg::simd {
 
-/// Fused multiply-add a*b + c when the target has hardware FMA; plain
-/// mul+add otherwise (std::fma without hardware support is a slow
-/// libm soft-float path, which would defeat the point).
+/// Kernel implementation tiers, ordered by width. Values are stable (used
+/// in fingerprints and bench context blocks via to_string).
+enum class Level { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// "scalar" | "avx2" | "avx512".
+const char* to_string(Level level) noexcept;
+
+/// The dispatch table: one function pointer per hot kernel.
+struct KernelTable {
+  double (*dot)(const double* x, const double* y, std::size_t n);
+  double (*squared_distance)(const double* x, const double* y, std::size_t n);
+  void (*axpy)(double alpha, const double* x, double* y, std::size_t n);
+  void (*rank1_sub)(double alpha, const double* x, double* y, std::size_t n);
+};
+
+namespace detail {
+// Scalar table: defined in simd_scalar.cpp, constant-initialized, and the
+// constinit default for g_active — a call reaching the kernels before the
+// dispatch initializer runs (static-init order) safely gets scalar.
+extern const KernelTable kScalarTable;
+extern std::atomic<const KernelTable*> g_active;
+extern std::atomic<Level> g_level;
+}  // namespace detail
+
+/// The active kernel table (one relaxed atomic load).
+inline const KernelTable& table() noexcept {
+  return *detail::g_active.load(std::memory_order_relaxed);
+}
+
+/// The level table() currently dispatches to.
+inline Level active_level() noexcept {
+  return detail::g_level.load(std::memory_order_relaxed);
+}
+
+/// Best level this host can execute AND this binary carries (a build
+/// whose compiler lacks the target options ships scalar-only).
+Level max_supported_level() noexcept;
+
+/// Switches the active table. Returns false (and changes nothing) when
+/// the level exceeds max_supported_level().
+bool set_level(Level level) noexcept;
+
+/// Comma-separated CPU feature flags relevant to the dispatch decision
+/// (e.g. "sse2,avx,avx2,fma,avx512f,avx512vl"), for bench context blocks
+/// and trace fingerprints. Empty on non-x86 hosts.
+std::string cpu_features() noexcept;
+
+/// REDUCTION calls (dot, squared_distance) below this length use the
+/// caller-inlined sequential loop instead of an indirect call through the
+/// table: feature-dimension work (d ~ 5) never pays dispatch overhead,
+/// and because the scalar table entries are bit-identical to the inline
+/// loops the threshold cannot change scalar-level results. The
+/// elementwise kernels (axpy, rank1_sub) deliberately take NO threshold —
+/// their per-element bits must depend only on the dispatch level so that
+/// splitting a call into arbitrary sub-ranges (as the thread-chunked
+/// blocked solves do) never changes results (see matrix.hpp).
+inline constexpr std::size_t kDispatchMin = 16;
+
+/// Fused multiply-add a*b + c when the INCLUDING translation unit is
+/// compiled with hardware FMA; plain mul+add otherwise (std::fma without
+/// hardware support is a slow libm soft-float path). The kernel TUs use
+/// their own internal copy compiled under their target options; this one
+/// exists for tests and ad-hoc callers.
 inline double fmadd(double a, double b, double c) {
 #if defined(__FMA__)
   return std::fma(a, b, c);
@@ -43,71 +116,22 @@ inline double fmadd(double a, double b, double c) {
 #endif
 }
 
-/// Inner product with four independent accumulator chains.
+/// Convenience wrappers over the active table (always dispatch, no
+/// kDispatchMin threshold — threshold logic lives in the matrix.hpp
+/// span kernels).
 inline double dot(const double* x, const double* y, std::size_t n) {
-  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    a0 = fmadd(x[i + 0], y[i + 0], a0);
-    a1 = fmadd(x[i + 1], y[i + 1], a1);
-    a2 = fmadd(x[i + 2], y[i + 2], a2);
-    a3 = fmadd(x[i + 3], y[i + 3], a3);
-  }
-  double tail = 0.0;
-  for (; i < n; ++i) tail = fmadd(x[i], y[i], tail);
-  return ((a0 + a1) + (a2 + a3)) + tail;
+  return table().dot(x, y, n);
 }
-
-/// Squared Euclidean distance with four independent accumulator chains.
 inline double squared_distance(const double* x, const double* y,
                                std::size_t n) {
-  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const double d0 = x[i + 0] - y[i + 0];
-    const double d1 = x[i + 1] - y[i + 1];
-    const double d2 = x[i + 2] - y[i + 2];
-    const double d3 = x[i + 3] - y[i + 3];
-    a0 = fmadd(d0, d0, a0);
-    a1 = fmadd(d1, d1, a1);
-    a2 = fmadd(d2, d2, a2);
-    a3 = fmadd(d3, d3, a3);
-  }
-  double tail = 0.0;
-  for (; i < n; ++i) {
-    const double d = x[i] - y[i];
-    tail = fmadd(d, d, tail);
-  }
-  return ((a0 + a1) + (a2 + a3)) + tail;
+  return table().squared_distance(x, y, n);
 }
-
-/// y += alpha * x. Elementwise (no reduction), so the only numeric
-/// difference from the scalar kernel is the fused rounding; unrolled by
-/// four to keep independent FMA chains in flight.
 inline void axpy(double alpha, const double* x, double* y, std::size_t n) {
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    y[i + 0] = fmadd(alpha, x[i + 0], y[i + 0]);
-    y[i + 1] = fmadd(alpha, x[i + 1], y[i + 1]);
-    y[i + 2] = fmadd(alpha, x[i + 2], y[i + 2]);
-    y[i + 3] = fmadd(alpha, x[i + 3], y[i + 3]);
-  }
-  for (; i < n; ++i) y[i] = fmadd(alpha, x[i], y[i]);
+  table().axpy(alpha, x, y, n);
 }
-
-/// y -= alpha * x (the rank-1 update inside triangular solves and the
-/// Cholesky trailing update), as a single fused negative-multiply-add
-/// per element.
 inline void rank1_sub(double alpha, const double* x, double* y,
                       std::size_t n) {
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    y[i + 0] = fmadd(-alpha, x[i + 0], y[i + 0]);
-    y[i + 1] = fmadd(-alpha, x[i + 1], y[i + 1]);
-    y[i + 2] = fmadd(-alpha, x[i + 2], y[i + 2]);
-    y[i + 3] = fmadd(-alpha, x[i + 3], y[i + 3]);
-  }
-  for (; i < n; ++i) y[i] = fmadd(-alpha, x[i], y[i]);
+  table().rank1_sub(alpha, x, y, n);
 }
 
 }  // namespace alamr::linalg::simd

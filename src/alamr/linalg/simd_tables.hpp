@@ -1,0 +1,17 @@
+#pragma once
+
+// Internal: per-level kernel tables, one per translation unit
+// (simd_scalar.cpp / simd_avx2.cpp / simd_avx512.cpp). Only the dispatch
+// machinery in simd_dispatch.cpp includes this; everything else goes
+// through simd::table().
+
+#include "alamr/linalg/simd.hpp"
+
+namespace alamr::linalg::simd::detail {
+
+/// nullptr when the build's compiler could not target the level (the TU
+/// then compiles empty and the level is reported unsupported).
+const KernelTable* avx2_table() noexcept;
+const KernelTable* avx512_table() noexcept;
+
+}  // namespace alamr::linalg::simd::detail

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -31,6 +32,12 @@ std::vector<TrajectoryResult> run_batch(const AlSimulator& simulator,
                                     : options.threads,
                options.trajectories);
 
+  // One dataset-wide context serves every trajectory (they all run
+  // against the same scaled features); the workers only read it.
+  std::optional<SharedBatchContext> shared;
+  if (options.shared_context) shared.emplace(simulator.make_shared_context());
+  const SharedBatchContext* shared_ptr = shared ? &*shared : nullptr;
+
   // Trajectory fan-out on the pool. Each chunk owns a Strategy clone
   // (implementations are stateless, but cloning keeps the contract simple
   // if one ever is not) and writes only its own result slots; the nested
@@ -46,7 +53,7 @@ std::vector<TrajectoryResult> run_batch(const AlSimulator& simulator,
         options.trajectories, [&](std::size_t begin, std::size_t end) {
           const std::unique_ptr<Strategy> local = strategy.clone();
           for (std::size_t t = begin; t < end; ++t) {
-            results[t] = simulator.run(*local, streams[t]);
+            results[t] = simulator.run(*local, streams[t], shared_ptr);
           }
         });
   }
@@ -79,6 +86,10 @@ std::vector<BatchTrajectory> run_batch_isolated(const AlSimulator& simulator,
                                     : options.threads,
                options.trajectories);
 
+  std::optional<SharedBatchContext> shared;
+  if (options.shared_context) shared.emplace(simulator.make_shared_context());
+  const SharedBatchContext* shared_ptr = shared ? &*shared : nullptr;
+
   std::vector<BatchTrajectory> slots(options.trajectories);
   trace::count("batch.isolated_runs");
   trace::count("batch.trajectories", options.trajectories);
@@ -104,10 +115,10 @@ std::vector<BatchTrajectory> run_batch_isolated(const AlSimulator& simulator,
                 cfg.stride = options.checkpoint_stride;
                 cfg.resume = options.resume;
                 slots[t].result = simulator.run_resumable(
-                    *local, partition, streams[t], cfg);
+                    *local, partition, streams[t], cfg, shared_ptr);
               } else {
                 slots[t].result = simulator.run_with_partition(
-                    *local, partition, streams[t]);
+                    *local, partition, streams[t], shared_ptr);
               }
               slots[t].ok = true;
             } catch (const std::exception& e) {

@@ -6,6 +6,7 @@
 
 #include "alamr/core/checkpoint.hpp"
 #include "alamr/core/metrics.hpp"
+#include "alamr/linalg/simd.hpp"
 #include "alamr/stats/descriptive.hpp"
 
 namespace alamr::core {
@@ -96,7 +97,12 @@ AlSimulator::AlSimulator(const data::Dataset& dataset, AlOptions options)
 std::string AlSimulator::trajectory_fingerprint(
     std::string_view strategy_name, const data::Partition& partition) const {
   trace::Fingerprint fp;
-  fp.add("alamr.trajectory.v2");
+  fp.add("alamr.trajectory.v3");
+  // The active SIMD dispatch level is part of the numerical identity: the
+  // vector levels reassociate reductions, so a trajectory produced at one
+  // level is not byte-comparable to (or resumable at) another. Scalar
+  // checkpoints keep resuming at scalar on any host.
+  fp.add(linalg::simd::to_string(linalg::simd::active_level()));
   fp.add(strategy_name);
   fp.add(static_cast<std::uint64_t>(dataset_.size()));
   fp.add(static_cast<std::uint64_t>(x_scaled_.cols()));
@@ -170,30 +176,49 @@ std::unique_ptr<gp::Kernel> AlSimulator::make_kernel() const {
   throw std::logic_error("AlSimulator: unknown kernel choice");
 }
 
-TrajectoryResult AlSimulator::run(const Strategy& strategy,
-                                  stats::Rng& rng) const {
+SharedBatchContext AlSimulator::make_shared_context() const {
+  const trace::ScopedTimer timer("shared_context");
+  return SharedBatchContext(std::make_shared<const gp::DistanceBase>(x_scaled_));
+}
+
+TrajectoryResult AlSimulator::run(const Strategy& strategy, stats::Rng& rng,
+                                  const SharedBatchContext* shared) const {
   const data::Partition partition =
       data::make_partition(dataset_.size(), options_.n_test, options_.n_init, rng);
-  return run_with_partition(strategy, partition, rng);
+  return run_with_partition(strategy, partition, rng, shared);
 }
 
 TrajectoryResult AlSimulator::run_with_partition(const Strategy& strategy,
                                                  const data::Partition& partition,
-                                                 stats::Rng& rng) const {
-  return run_trajectory(strategy, partition, rng, nullptr);
+                                                 stats::Rng& rng,
+                                                 const SharedBatchContext* shared) const {
+  return run_trajectory(strategy, partition, rng, nullptr, shared);
 }
 
 TrajectoryResult AlSimulator::run_resumable(const Strategy& strategy,
                                             const data::Partition& partition,
                                             stats::Rng& rng,
-                                            const CheckpointConfig& checkpoint) const {
-  return run_trajectory(strategy, partition, rng, &checkpoint);
+                                            const CheckpointConfig& checkpoint,
+                                            const SharedBatchContext* shared) const {
+  return run_trajectory(strategy, partition, rng, &checkpoint, shared);
 }
 
 TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
                                              const data::Partition& partition,
                                              stats::Rng& rng,
-                                             const CheckpointConfig* checkpoint) const {
+                                             const CheckpointConfig* checkpoint,
+                                             const SharedBatchContext* shared) const {
+  // The shared context is dataset identity: a context built by another
+  // simulator (different dataset or transforms) would silently gather
+  // wrong distances, so shape mismatches are rejected up front.
+  const gp::DistanceBase* base =
+      shared != nullptr ? &shared->distance_base() : nullptr;
+  if (base != nullptr &&
+      (base->size() != x_scaled_.rows() || base->dim() != x_scaled_.cols())) {
+    throw std::invalid_argument(
+        "run_trajectory: SharedBatchContext does not match this simulator's "
+        "dataset");
+  }
   TrajectoryResult result;
   result.strategy_name = strategy.name();
   result.partition = partition;
@@ -223,6 +248,7 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
   // stay exact even inside run_batch.
   trace::TraceCollector collector;
   const trace::ScopedCollector trace_scope(collector);
+  if (base != nullptr) trace::count("sim.shared_context_runs");
 
   // Checkpoint compatibility identity: the options/strategy/partition
   // fingerprint plus the plan ACTUALLY in force (which may come from the
@@ -268,8 +294,8 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
     m_learned = gather(log_mem_, learned);
     {
       const trace::ScopedTimer timer("init");
-      gpr_cost.fit(x_learned, c_learned, rng);
-      gpr_mem.fit(x_learned, m_learned, rng);
+      gpr_cost.fit(x_learned, c_learned, rng, base, learned);
+      gpr_mem.fit(x_learned, m_learned, rng, base, learned);
     }
   } else {
     // Rebuild the exact mid-trajectory state: training set and labels
@@ -291,8 +317,8 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
     gpr_mem.set_kernel_log_params(resumed->theta_mem);
     {
       const trace::ScopedTimer timer("init");
-      gpr_cost.fit(x_learned, c_learned, rng);
-      gpr_mem.fit(x_learned, m_learned, rng);
+      gpr_cost.fit(x_learned, c_learned, rng, base, learned);
+      gpr_mem.fit(x_learned, m_learned, rng, base, learned);
     }
     rng.restore_state(resumed->rng);
     if (injector) {
@@ -324,11 +350,34 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
 
   // Test predictions in log space are reused by both the RMSE metric and
   // the stabilizing-predictions stopping rule.
+  //
+  // Shared-context trajectories route the test-set cross-covariance
+  // through the batch's DistanceBase: the train-to-test distance slab
+  // depends only on the learned rows (hyperparameters enter in the
+  // kernel transform, not the distances), so it is regathered when the
+  // training set grew and shared by both models — no per-evaluation
+  // feature passes. Gathered entries are bitwise identical to the
+  // recomputed ones, so both branches produce the same bits.
   std::vector<double> cost_mu_log;
+  std::optional<gp::PairwiseDistances> test_dist;
+  std::size_t test_dist_rows = 0;
   const auto test_rmse = [&](const gp::GaussianProcessRegressor& model,
                              std::span<const double> actual,
                              std::vector<double>* mu_log_out = nullptr) {
-    std::vector<double> mu_log = model.predict_mean(x_test);
+    std::vector<double> mu_log;
+    if (base != nullptr) {
+      if (!test_dist || test_dist_rows != learned.size()) {
+        test_dist =
+            gp::PairwiseDistances::cross_from_base(*base, learned,
+                                                   partition.test);
+        test_dist_rows = learned.size();
+      }
+      model.kernel().prepare_distances(*test_dist);
+      mu_log = model.predict_mean_from_cross(
+          model.kernel().cross_cached(*test_dist));
+    } else {
+      mu_log = model.predict_mean(x_test);
+    }
     const std::vector<double> mu = data::exp10_transform(mu_log);
     const double err = rmse(mu, actual);
     if (mu_log_out != nullptr) *mu_log_out = std::move(mu_log);
@@ -508,9 +557,14 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
         const bool rebuild_mem = !k_star_mem_valid;
         if (rebuild_cost || rebuild_mem) {
           // One pairwise-distance pass shared by every kernel that needs
-          // a rebuild (both, on the first iteration).
+          // a rebuild (both, on the first iteration). With a shared
+          // context the pass is a gather from the precomputed base —
+          // bitwise identical entries, no squared_distance FLOPs.
           gp::PairwiseDistances dist =
-              gp::PairwiseDistances::cross(x_learned, x_active_buf);
+              base != nullptr
+                  ? gp::PairwiseDistances::cross_from_base(*base, learned,
+                                                           active)
+                  : gp::PairwiseDistances::cross(x_learned, x_active_buf);
           if (rebuild_cost) {
             trace::count("sim.kstar_rebuild");
             gpr_cost.kernel().prepare_distances(dist);
@@ -716,8 +770,8 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
         // c_learned/m_learned are maintained in learned order (holding
         // exactly the values gather() from the label arrays would, plus
         // any penalized labels), so the full refit sees the same bits.
-        gpr_cost.fit(x_learned, c_learned, rng);
-        gpr_mem.fit(x_learned, m_learned, rng);
+        gpr_cost.fit(x_learned, c_learned, rng, base, learned);
+        gpr_mem.fit(x_learned, m_learned, rng, base, learned);
         // fit() re-optimizes from scratch; assume the hyperparameters
         // moved and rebuild the cross matrices next iteration.
         k_star_cost_valid = false;
@@ -727,17 +781,23 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
       // kernel evaluation against the remaining candidates, with the
       // distance pass shared between the two kernels.
       if ((k_star_cost_valid || k_star_mem_valid) && !active.empty()) {
-        linalg::Matrix x_new(1, x_scaled_.cols());
-        {
+        const std::size_t appended_row[1] = {row};
+        gp::PairwiseDistances dist = [&] {
+          if (base != nullptr) {
+            // The base already holds every acquired-point-to-candidate
+            // distance; gather the 1 x m slice directly.
+            return gp::PairwiseDistances::cross_from_base(*base, appended_row,
+                                                          active);
+          }
+          linalg::Matrix x_new(1, x_scaled_.cols());
           const auto src = x_scaled_.row(row);
           std::copy(src.begin(), src.end(), x_new.row(0).begin());
-        }
-        // x_active_buf is free for reuse here: the CandidateView and its
-        // record reads are done for this pass, and the buffer must hold
-        // the POST-acquisition candidate set for the appended row.
-        gather_rows_into(x_scaled_, active, x_active_buf);
-        gp::PairwiseDistances dist =
-            gp::PairwiseDistances::cross(x_new, x_active_buf);
+          // x_active_buf is free for reuse here: the CandidateView and its
+          // record reads are done for this pass, and the buffer must hold
+          // the POST-acquisition candidate set for the appended row.
+          gather_rows_into(x_scaled_, active, x_active_buf);
+          return gp::PairwiseDistances::cross(x_new, x_active_buf);
+        }();
         if (k_star_cost_valid) {
           trace::count("sim.kstar_append");
           gpr_cost.kernel().prepare_distances(dist);

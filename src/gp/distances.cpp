@@ -7,6 +7,82 @@
 
 namespace alamr::gp {
 
+DistanceBase::DistanceBase(const Matrix& x) : x_(x) {
+  core::trace::count("gp.dist_base_build");
+  const std::size_t n = x_.rows();
+  sq_ = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double r2 = linalg::squared_distance(x_.row(i), x_.row(j));
+      sq_(i, j) = r2;
+      sq_(j, i) = r2;
+    }
+  }
+}
+
+namespace {
+
+linalg::Matrix gather_rows(const Matrix& x, std::span<const std::size_t> rows) {
+  Matrix out(rows.size(), x.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto src = x.row(rows[i]);
+    const auto dst = out.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+void check_rows_in_range(std::span<const std::size_t> rows, std::size_t n,
+                         const char* what) {
+  for (const std::size_t r : rows) {
+    if (r >= n) throw std::out_of_range(what);
+  }
+}
+
+}  // namespace
+
+PairwiseDistances PairwiseDistances::train_from_base(
+    const DistanceBase& base, std::span<const std::size_t> rows) {
+  check_rows_in_range(rows, base.size(),
+                      "PairwiseDistances::train_from_base: row out of range");
+  core::trace::count("gp.dist_cache_gather");
+  PairwiseDistances d;
+  d.symmetric_ = true;
+  d.x_ = gather_rows(base.x(), rows);
+  const std::size_t k = rows.size();
+  d.sq_ = Matrix(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double r2 = base.squared(rows[i], rows[j]);
+      d.sq_(i, j) = r2;
+      d.sq_(j, i) = r2;
+    }
+  }
+  return d;
+}
+
+PairwiseDistances PairwiseDistances::cross_from_base(
+    const DistanceBase& base, std::span<const std::size_t> rows_x,
+    std::span<const std::size_t> rows_y) {
+  check_rows_in_range(rows_x, base.size(),
+                      "PairwiseDistances::cross_from_base: row out of range");
+  check_rows_in_range(rows_y, base.size(),
+                      "PairwiseDistances::cross_from_base: row out of range");
+  core::trace::count("gp.dist_cache_gather");
+  PairwiseDistances d;
+  d.symmetric_ = false;
+  d.x_ = gather_rows(base.x(), rows_x);
+  d.y_ = gather_rows(base.x(), rows_y);
+  d.sq_ = Matrix(rows_x.size(), rows_y.size());
+  for (std::size_t i = 0; i < rows_x.size(); ++i) {
+    const auto out = d.sq_.row(i);
+    for (std::size_t j = 0; j < rows_y.size(); ++j) {
+      out[j] = base.squared(rows_x[i], rows_y[j]);
+    }
+  }
+  return d;
+}
+
 PairwiseDistances PairwiseDistances::train(const Matrix& x) {
   core::trace::count("gp.dist_cache_build");
   PairwiseDistances d;

@@ -210,6 +210,21 @@ void GaussianProcessRegressor::optimize_hyperparameters(stats::Rng& rng) {
   std::vector<double> feasible_start = start;
   bounds.project(feasible_start);
 
+  // A zero-budget call (no restarts, no L-BFGS iterations) cannot move
+  // the hyperparameters: the only candidate the optimizer can return is
+  // the warm start itself. Skip the probe entirely — it costs a full
+  // O(n^3) gradient LML evaluation per kernel per refit just to
+  // rediscover the start point, which dominated zero-refit AL passes
+  // (BM_ArenaPass). Guarded so the skip is unobservable: restarts == 0
+  // consumes no rng draws, an out-of-bounds warm start still goes
+  // through the optimizer (the projection clamp is the old behavior),
+  // and an armed fault injector keeps the historical path so the
+  // opt.diverge hit schedule is unchanged.
+  if (options_.restarts == 0 && options_.max_opt_iterations == 0 &&
+      feasible_start == start && !core::faults::armed()) {
+    return;
+  }
+
   // Recovery ladder (DESIGN.md §9). Rung 1: multistart L-BFGS — the only
   // path ever taken when nothing fails, so healthy runs are bit-identical
   // to the pre-ladder code. A non-finite best value (diverged line search,
@@ -263,18 +278,26 @@ void GaussianProcessRegressor::optimize_hyperparameters(stats::Rng& rng) {
 }
 
 void GaussianProcessRegressor::fit(const Matrix& x, std::span<const double> y,
-                                   stats::Rng& rng) {
+                                   stats::Rng& rng, const DistanceBase* base,
+                                   std::span<const std::size_t> rows) {
   if (x.rows() == 0) throw std::invalid_argument("GPR::fit: empty design matrix");
   if (x.rows() != y.size()) {
     throw std::invalid_argument("GPR::fit: X/y size mismatch");
+  }
+  if (base != nullptr && rows.size() != x.rows()) {
+    throw std::invalid_argument("GPR::fit: base rows/X size mismatch");
   }
 
   x_train_ = x;
   // Build the distance cache (and whatever the kernel derives from it,
   // e.g. ARD components) up front: optimization below shares it across
   // multistart workers, so it must be complete and read-only by then.
+  // With a shared base the cache is gathered (O(n^2) copies) rather than
+  // recomputed (O(n^2 d) FLOPs); the bits are identical either way.
   if (options_.use_distance_cache) {
-    train_dist_ = PairwiseDistances::train(x_train_);
+    train_dist_ = base != nullptr
+                      ? PairwiseDistances::train_from_base(*base, rows)
+                      : PairwiseDistances::train(x_train_);
     kernel_->prepare_distances(*train_dist_);
   } else {
     train_dist_.reset();
@@ -510,6 +533,17 @@ std::vector<double> GaussianProcessRegressor::predict_mean(const Matrix& x) cons
     throw std::invalid_argument("GPR::predict_mean: dimension mismatch");
   }
   const Matrix k_star = kernel_->cross(x_train_, x);
+  std::vector<double> mean = linalg::matvec_transposed(k_star, alpha_);
+  for (double& m : mean) m += y_mean_;
+  return mean;
+}
+
+std::vector<double> GaussianProcessRegressor::predict_mean_from_cross(
+    const Matrix& k_star) const {
+  if (!fitted()) throw std::logic_error("GPR::predict_mean before fit");
+  if (k_star.rows() != x_train_.rows()) {
+    throw std::invalid_argument("GPR::predict_mean_from_cross: shape mismatch");
+  }
   std::vector<double> mean = linalg::matvec_transposed(k_star, alpha_);
   for (double& m : mean) m += y_mean_;
   return mean;

@@ -319,11 +319,7 @@ void CholeskyFactor::solve_lower_block_to(const Matrix& b,
     for (std::size_t k = 0; k < i; ++k) {
       const double lik = li[k];
       const double* zk = z + k * ld;
-#if defined(ALAMR_SIMD)
-      simd::rank1_sub(lik, zk, zi, nc);
-#else
-      for (std::size_t q = 0; q < nc; ++q) zi[q] -= lik * zk[q];
-#endif
+      rank1_sub(lik, {zk, nc}, {zi, nc});
     }
     const double lii = li[i];
     for (std::size_t q = 0; q < nc; ++q) zi[q] /= lii;

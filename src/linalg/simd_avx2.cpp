@@ -1,0 +1,27 @@
+// AVX2/FMA kernel table. CMake compiles this TU with -march=x86-64-v3
+// (AVX2 + FMA + BMI) and defines ALAMR_SIMD_TU_AVX2 when the compiler
+// accepts the flag; otherwise the TU compiles to a null table and the
+// level reports unsupported. Four independent accumulator chains fill one
+// 256-bit register; std::fma is a single vfmadd here.
+
+#include <cmath>
+#include <cstddef>
+
+#include "alamr/linalg/simd_tables.hpp"
+
+#if defined(ALAMR_SIMD_TU_AVX2)
+
+#define ALAMR_SIMD_TU_CHAINS 4
+#include "alamr/linalg/simd_kernels.inc"
+
+namespace alamr::linalg::simd::detail {
+const KernelTable* avx2_table() noexcept { return &kTuTable; }
+}  // namespace alamr::linalg::simd::detail
+
+#else
+
+namespace alamr::linalg::simd::detail {
+const KernelTable* avx2_table() noexcept { return nullptr; }
+}  // namespace alamr::linalg::simd::detail
+
+#endif

@@ -1,0 +1,28 @@
+// AVX-512 kernel table. CMake compiles this TU with -march=x86-64-v4
+// (AVX-512 F/BW/CD/DQ/VL) and defines ALAMR_SIMD_TU_AVX512 when the
+// compiler accepts the flag; otherwise the TU compiles to a null table
+// and the level reports unsupported. Eight independent accumulator chains
+// fill one 512-bit register — same recipe as AVX2, one combine level
+// wider.
+
+#include <cmath>
+#include <cstddef>
+
+#include "alamr/linalg/simd_tables.hpp"
+
+#if defined(ALAMR_SIMD_TU_AVX512)
+
+#define ALAMR_SIMD_TU_CHAINS 8
+#include "alamr/linalg/simd_kernels.inc"
+
+namespace alamr::linalg::simd::detail {
+const KernelTable* avx512_table() noexcept { return &kTuTable; }
+}  // namespace alamr::linalg::simd::detail
+
+#else
+
+namespace alamr::linalg::simd::detail {
+const KernelTable* avx512_table() noexcept { return nullptr; }
+}  // namespace alamr::linalg::simd::detail
+
+#endif

@@ -1,0 +1,123 @@
+// Runtime dispatch for the SIMD kernel tables (DESIGN.md §11).
+//
+// Selection happens once, in a dynamic initializer of this TU: CPUID
+// (__builtin_cpu_supports against the x86-64-v3/v4 micro-architecture
+// levels, matching exactly what the kernel TUs were compiled for) picks
+// the best level the host executes, and ALAMR_SIMD_LEVEL overrides it —
+// clamped to the host's ceiling, so over-asking degrades instead of
+// crashing. Before that initializer runs, g_active constinit-points at
+// the scalar table, so static-init-order callers are always safe.
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "alamr/linalg/simd_tables.hpp"
+
+namespace alamr::linalg::simd {
+
+namespace detail {
+constinit std::atomic<const KernelTable*> g_active{&kScalarTable};
+constinit std::atomic<Level> g_level{Level::kScalar};
+}  // namespace detail
+
+const char* to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ALAMR_SIMD_HAVE_CPUID 1
+#else
+#define ALAMR_SIMD_HAVE_CPUID 0
+#endif
+
+const KernelTable* table_for(Level level) noexcept {
+  switch (level) {
+    case Level::kScalar: return &detail::kScalarTable;
+    case Level::kAvx2: return detail::avx2_table();
+    case Level::kAvx512: return detail::avx512_table();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Level max_supported_level() noexcept {
+#if ALAMR_SIMD_HAVE_CPUID
+  // The v3/v4 micro-architecture levels bundle exactly the feature sets
+  // the kernel TUs are compiled against (-march=x86-64-v3/-v4), so one
+  // probe answers "can every instruction the TU may contain execute here".
+  if (detail::avx512_table() != nullptr &&
+      __builtin_cpu_supports("x86-64-v4")) {
+    return Level::kAvx512;
+  }
+  if (detail::avx2_table() != nullptr && __builtin_cpu_supports("x86-64-v3")) {
+    return Level::kAvx2;
+  }
+#endif
+  return Level::kScalar;
+}
+
+bool set_level(Level level) noexcept {
+  if (level > max_supported_level()) return false;
+  const KernelTable* table = table_for(level);
+  if (table == nullptr) return false;
+  detail::g_level.store(level, std::memory_order_relaxed);
+  detail::g_active.store(table, std::memory_order_relaxed);
+  return true;
+}
+
+std::string cpu_features() noexcept {
+  std::string out;
+#if ALAMR_SIMD_HAVE_CPUID
+  const auto append = [&out](const char* name, bool present) {
+    if (!present) return;
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  append("sse2", __builtin_cpu_supports("sse2"));
+  append("avx", __builtin_cpu_supports("avx"));
+  append("avx2", __builtin_cpu_supports("avx2"));
+  append("fma", __builtin_cpu_supports("fma"));
+  append("avx512f", __builtin_cpu_supports("avx512f"));
+  append("avx512dq", __builtin_cpu_supports("avx512dq"));
+  append("avx512bw", __builtin_cpu_supports("avx512bw"));
+  append("avx512vl", __builtin_cpu_supports("avx512vl"));
+#endif
+  return out;
+}
+
+namespace {
+
+Level startup_level() noexcept {
+  const Level best = max_supported_level();
+  const char* env = std::getenv("ALAMR_SIMD_LEVEL");
+  if (env == nullptr || *env == '\0') return best;
+  const std::string_view request(env);
+  Level requested = best;  // unrecognized values fall back to auto
+  if (request == "scalar") {
+    requested = Level::kScalar;
+  } else if (request == "avx2") {
+    requested = Level::kAvx2;
+  } else if (request == "avx512") {
+    requested = Level::kAvx512;
+  }
+  return std::min(requested, best);
+}
+
+[[maybe_unused]] const bool g_dispatch_initialized = [] {
+  set_level(startup_level());
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace alamr::linalg::simd

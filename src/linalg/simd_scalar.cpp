@@ -1,0 +1,45 @@
+// Scalar kernel table: strictly-sequential single-chain IEEE loops,
+// byte-identical to the historical inline kernels in matrix.hpp (the seed
+// recipe). Compiled with the project-wide -ffp-contract=off, so no FMA
+// contraction can sneak in even under -march=native — this is what makes
+// ALAMR_SIMD_LEVEL=scalar reproduce the byte goldens whatever the build.
+
+#include <cstddef>
+
+#include "alamr/linalg/simd.hpp"
+
+namespace alamr::linalg::simd::detail {
+
+namespace {
+
+double scalar_dot(const double* x, const double* y, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+double scalar_squared_distance(const double* x, const double* y,
+                               std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = x[i] - y[i];
+    total += d * d;
+  }
+  return total;
+}
+
+void scalar_axpy(double alpha, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scalar_rank1_sub(double alpha, const double* x, double* y,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] -= alpha * x[i];
+}
+
+}  // namespace
+
+constinit const KernelTable kScalarTable = {
+    scalar_dot, scalar_squared_distance, scalar_axpy, scalar_rank1_sub};
+
+}  // namespace alamr::linalg::simd::detail

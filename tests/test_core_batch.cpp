@@ -4,11 +4,43 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "synthetic_dataset.hpp"
 
 namespace {
 
 using namespace alamr::core;
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// Bitwise comparison of everything a trajectory records — the shared-
+// context path must not perturb a single bit.
+void expect_trajectories_identical(const TrajectoryResult& a,
+                                   const TrajectoryResult& b) {
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  EXPECT_EQ(a.partition.test, b.partition.test);
+  EXPECT_EQ(a.partition.init, b.partition.init);
+  EXPECT_EQ(a.partition.active, b.partition.active);
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    const IterationRecord& ra = a.iterations[i];
+    const IterationRecord& rb = b.iterations[i];
+    EXPECT_EQ(ra.dataset_row, rb.dataset_row) << i;
+    EXPECT_TRUE(same_bits(ra.predicted_cost_log10, rb.predicted_cost_log10))
+        << i;
+    EXPECT_TRUE(same_bits(ra.predicted_cost_sigma, rb.predicted_cost_sigma))
+        << i;
+    EXPECT_TRUE(same_bits(ra.predicted_mem_log10, rb.predicted_mem_log10))
+        << i;
+    EXPECT_TRUE(same_bits(ra.predicted_mem_sigma, rb.predicted_mem_sigma))
+        << i;
+    EXPECT_TRUE(same_bits(ra.rmse_cost, rb.rmse_cost)) << i;
+    EXPECT_TRUE(same_bits(ra.rmse_mem, rb.rmse_mem)) << i;
+    EXPECT_TRUE(same_bits(ra.cumulative_regret, rb.cumulative_regret)) << i;
+  }
+}
 
 AlOptions fast_options() {
   AlOptions options;
@@ -74,6 +106,77 @@ TEST(RunBatch, ZeroTrajectoriesThrows) {
   BatchOptions batch;
   batch.trajectories = 0;
   EXPECT_THROW(run_batch(sim, RandUniform(), batch), std::invalid_argument);
+}
+
+TEST(RunBatch, SharedContextMatchesUnshared) {
+  const AlSimulator sim(dataset(), fast_options());
+  BatchOptions shared;
+  shared.trajectories = 3;
+  shared.threads = 1;
+  shared.seed = 404;
+  shared.shared_context = true;
+  BatchOptions unshared = shared;
+  unshared.shared_context = false;
+
+  const auto a = run_batch(sim, RandGoodness(), shared);
+  const auto b = run_batch(sim, RandGoodness(), unshared);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    expect_trajectories_identical(a[t], b[t]);
+  }
+}
+
+TEST(RunBatch, SharedContextDeterministicAcrossThreadCounts) {
+  // The context is read concurrently by every worker; results must not
+  // depend on scheduling (also the tsan target for the shared structure).
+  const AlSimulator sim(dataset(), fast_options());
+  BatchOptions serial;
+  serial.trajectories = 4;
+  serial.threads = 1;
+  serial.seed = 505;
+  serial.shared_context = true;
+  BatchOptions parallel = serial;
+  parallel.threads = 4;
+
+  const auto a = run_batch(sim, RandGoodness(), serial);
+  const auto b = run_batch(sim, RandGoodness(), parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    expect_trajectories_identical(a[t], b[t]);
+  }
+}
+
+TEST(RunBatch, SharedContextTrajectoriesOnlyGatherDistances) {
+  namespace trace = alamr::core::trace;
+  const bool was_enabled = trace::enabled();
+  trace::set_enabled(true);
+
+  const AlSimulator sim(dataset(), fast_options());
+  const SharedBatchContext ctx = sim.make_shared_context();
+  alamr::stats::Rng rng(808);
+  const auto partition = alamr::data::make_partition(
+      sim.dataset().size(), sim.options().n_test, sim.options().n_init, rng);
+  const RandUniform strategy;
+  const TrajectoryResult traj =
+      sim.run_with_partition(strategy, partition, rng, &ctx);
+  trace::set_enabled(was_enabled);
+
+  // A batch member never recomputes a distance cache from features: the
+  // train cache is gathered at fit, the cross cache gathered on (re)build
+  // and append — the from-scratch counters stay at zero.
+  EXPECT_EQ(traj.trace.counter("gp.dist_cache_build"), 0u);
+  EXPECT_EQ(traj.trace.counter("gp.dist_base_build"), 0u);
+  EXPECT_GT(traj.trace.counter("gp.dist_cache_gather"), 0u);
+  EXPECT_GT(traj.trace.counter("sim.shared_context_runs"), 0u);
+}
+
+TEST(RunBatch, MismatchedSharedContextRejected) {
+  const AlSimulator sim(dataset(), fast_options());
+  const auto other_data = alamr::testing::synthetic_amr_dataset(70, 123);
+  const AlSimulator other(other_data, fast_options());
+  const SharedBatchContext wrong = other.make_shared_context();
+  alamr::stats::Rng rng(9);
+  EXPECT_THROW(sim.run(RandUniform(), rng, &wrong), std::invalid_argument);
 }
 
 TEST(ExtractSeries, PullsTheRightField) {

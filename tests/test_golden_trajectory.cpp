@@ -24,6 +24,7 @@
 #include "alamr/core/parallel.hpp"
 #include "alamr/core/simulator.hpp"
 #include "alamr/core/strategies.hpp"
+#include "alamr/linalg/simd.hpp"
 #include "synthetic_dataset.hpp"
 
 namespace {
@@ -92,28 +93,33 @@ bool regenerating() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-// ALAMR_SIMD reroutes the linalg reductions through FMA kernels with a
-// different reduction tree — deliberately NOT bit-identical (simd.hpp
-// numerics contract). The byte-for-byte goldens skip in that build and
-// the tolerance comparison below carries the regression load instead.
-bool simd_build() {
-#if defined(ALAMR_SIMD)
-  return true;
-#else
-  return false;
-#endif
-}
+namespace simd = alamr::linalg::simd;
 
-#define ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD()                              \
-  do {                                                                   \
-    if (simd_build()) {                                                  \
-      GTEST_SKIP() << "byte goldens require the scalar kernels "         \
-                      "(ALAMR_SIMD=OFF); see GoldenTrajectoryTolerance"; \
-    }                                                                    \
-  } while (false)
+// The vector dispatch levels (avx2/avx512) reroute the linalg reductions
+// through FMA kernels with a different reduction tree — deliberately NOT
+// bit-identical (simd.hpp numerics contract). The byte-for-byte goldens
+// therefore pin the scalar level for the duration of the run — whatever
+// level the process started at (so "ALAMR_SIMD_LEVEL=avx512 ctest" still
+// passes them) — and the tolerance comparisons below run at the ambient
+// level to carry the vector kernels' regression load.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::Level level) : saved_(simd::active_level()) {
+    EXPECT_TRUE(simd::set_level(level));
+  }
+  ~ScopedSimdLevel() { simd::set_level(saved_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  simd::Level saved_;
+};
+
+#define ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN() \
+  const ScopedSimdLevel pin_scalar_level(simd::Level::kScalar)
 
 TEST(GoldenTrajectory, SingleThreadIncrementalMatchesGolden) {
-  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
   const std::string csv = golden_csv(1, true);
   if (regenerating()) {
     std::ofstream out(kGoldenPath, std::ios::binary);
@@ -125,19 +131,19 @@ TEST(GoldenTrajectory, SingleThreadIncrementalMatchesGolden) {
 }
 
 TEST(GoldenTrajectory, FourThreadsMatchesGolden) {
-  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(4, true), read_golden_file());
 }
 
 TEST(GoldenTrajectory, FullRefitMatchesGolden) {
-  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(1, false), read_golden_file());
 }
 
 TEST(GoldenTrajectory, FourThreadsFullRefitMatchesGolden) {
-  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(4, false), read_golden_file());
 }
@@ -149,21 +155,21 @@ TEST(GoldenTrajectory, FourThreadsFullRefitMatchesGolden) {
 // under a parallel predict phase.
 
 TEST(GoldenTrajectory, RebuiltCrossCovarianceMatchesGolden) {
-  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(1, true, /*incremental_cross=*/false),
             read_golden_file());
 }
 
 TEST(GoldenTrajectory, RebuiltCrossCovarianceFullRefitMatchesGolden) {
-  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(1, false, /*incremental_cross=*/false),
             read_golden_file());
 }
 
 TEST(GoldenTrajectory, FourThreadsRebuiltCrossCovarianceMatchesGolden) {
-  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(4, true, /*incremental_cross=*/false),
             read_golden_file());
@@ -175,7 +181,7 @@ TEST(GoldenTrajectory, FourThreadsRebuiltCrossCovarianceMatchesGolden) {
 // direct path's FP sequence, so the bytes must not move.
 
 TEST(GoldenTrajectory, NoDistanceCacheMatchesGolden) {
-  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(1, true, /*incremental_cross=*/true,
                        /*use_distance_cache=*/false),
@@ -183,7 +189,7 @@ TEST(GoldenTrajectory, NoDistanceCacheMatchesGolden) {
 }
 
 TEST(GoldenTrajectory, NoCachesAtAllMatchesGolden) {
-  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(1, false, /*incremental_cross=*/false,
                        /*use_distance_cache=*/false),
@@ -196,7 +202,7 @@ TEST(GoldenTrajectory, NoCachesAtAllMatchesGolden) {
 // FP sequence exactly (DESIGN.md §10), so the bytes must not move.
 
 TEST(GoldenTrajectory, ScalarPredictPathMatchesGolden) {
-  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(1, true, /*incremental_cross=*/true,
                        /*use_distance_cache=*/true,
@@ -205,7 +211,7 @@ TEST(GoldenTrajectory, ScalarPredictPathMatchesGolden) {
 }
 
 TEST(GoldenTrajectory, FourThreadsScalarPredictPathMatchesGolden) {
-  ALAMR_SKIP_BYTE_GOLDEN_UNDER_SIMD();
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
   if (regenerating()) GTEST_SKIP();
   EXPECT_EQ(golden_csv(4, true, /*incremental_cross=*/true,
                        /*use_distance_cache=*/true,
@@ -213,20 +219,20 @@ TEST(GoldenTrajectory, FourThreadsScalarPredictPathMatchesGolden) {
             read_golden_file());
 }
 
-// --- Tolerance comparison (carries the goldens under ALAMR_SIMD) -------
+// --- Tolerance comparison (carries the goldens at the vector levels) ---
 //
-// The SIMD kernels reassociate reductions and fuse multiply-adds, so the
-// trajectory's floating-point columns may drift while every discrete
+// The vector kernels reassociate reductions and fuse multiply-adds, so
+// the trajectory's floating-point columns may drift while every discrete
 // decision (which row was acquired, in which order) must still match.
 // Each kernel is within rel 1e-12 of the scalar reference
 // (test_linalg_simd.cpp), but a trajectory compounds that through ~50
 // refit/factor/solve chains: the worst observed whole-trajectory cell
 // drift on this golden is 1.7e-7 relative (a small-magnitude RMSE cell
-// at iteration 50). kSimdTrajectoryTol = 1e-6 gives ~6x headroom over
+// at iteration 50). kVectorTrajectoryTol = 1e-6 gives ~6x headroom over
 // that measurement while still failing loudly on any real numerical
 // regression (which shows up orders of magnitude above rounding drift).
 // Non-numeric cells — headers, row indices, censor kinds — must be
-// identical. In the default build the tolerance is 1e-12 and every cell
+// identical. At the scalar level the tolerance is 1e-12 and every cell
 // compares bit-equal anyway, which validates the comparator itself.
 
 std::vector<std::string> split(const std::string& text, char sep) {
@@ -277,22 +283,38 @@ void expect_csv_near(const std::string& got, const std::string& expect,
   }
 }
 
-#if defined(ALAMR_SIMD)
-constexpr double kSimdTrajectoryTol = 1e-6;
-#else
-constexpr double kSimdTrajectoryTol = 1e-12;
-#endif
+constexpr double kVectorTrajectoryTol = 1e-6;
+
+double trajectory_tolerance_for(simd::Level level) {
+  return level == simd::Level::kScalar ? 1e-12 : kVectorTrajectoryTol;
+}
 
 TEST(GoldenTrajectoryTolerance, SingleThreadIncrementalWithinTolerance) {
   if (regenerating()) GTEST_SKIP();
   expect_csv_near(golden_csv(1, true), read_golden_file(),
-                  kSimdTrajectoryTol);
+                  trajectory_tolerance_for(simd::active_level()));
 }
 
 TEST(GoldenTrajectoryTolerance, FourThreadsFullRefitWithinTolerance) {
   if (regenerating()) GTEST_SKIP();
   expect_csv_near(golden_csv(4, false), read_golden_file(),
-                  kSimdTrajectoryTol);
+                  trajectory_tolerance_for(simd::active_level()));
+}
+
+// Every dispatch level this host supports reproduces the golden within
+// its tolerance gate, in one process — the in-binary counterpart of the
+// per-level ALAMR_SIMD_LEVEL legs in scripts/check.sh.
+TEST(GoldenTrajectoryTolerance, EveryDispatchLevelWithinTolerance) {
+  if (regenerating()) GTEST_SKIP();
+  const std::string golden = read_golden_file();
+  const simd::Level best = simd::max_supported_level();
+  for (int l = 0; l <= static_cast<int>(best); ++l) {
+    const simd::Level level = static_cast<simd::Level>(l);
+    const ScopedSimdLevel pin(level);
+    SCOPED_TRACE(std::string("level=") + simd::to_string(level));
+    expect_csv_near(golden_csv(1, true), golden,
+                    trajectory_tolerance_for(level));
+  }
 }
 
 }  // namespace

@@ -247,6 +247,129 @@ std::unique_ptr<Kernel> paper_kernel(std::size_t /*dim*/) {
       std::make_unique<WhiteKernel>(1e-2));
 }
 
+// --- dataset-wide base + gathered subset caches ----------------------------
+
+Matrix gather(const Matrix& x, std::span<const std::size_t> rows) {
+  Matrix out(rows.size(), x.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) out(i, j) = x(rows[i], j);
+  }
+  return out;
+}
+
+TEST(DistanceBase, MatchesSquaredDistance) {
+  Rng rng(40);
+  const Matrix x = random_points(11, 4, rng);
+  const DistanceBase base(x);
+  EXPECT_EQ(base.size(), 11u);
+  EXPECT_EQ(base.dim(), 4u);
+  for (std::size_t i = 0; i < 11; ++i) {
+    EXPECT_TRUE(same_bits(base.squared(i, i), 0.0));
+    for (std::size_t j = 0; j < i; ++j) {
+      const double direct = alamr::linalg::squared_distance(x.row(i), x.row(j));
+      EXPECT_TRUE(same_bits(base.squared(i, j), direct)) << i << "," << j;
+      EXPECT_TRUE(same_bits(base.squared(j, i), direct)) << j << "," << i;
+    }
+  }
+}
+
+TEST(DistanceBase, GatheredTrainBitwiseEqualsRebuild) {
+  Rng rng(41);
+  const Matrix x = random_points(14, 3, rng);
+  const DistanceBase base(x);
+  // Unsorted subset: the gather must not depend on row order (it relies
+  // on squared_distance(a, b) being bit-equal to (b, a)).
+  const std::vector<std::size_t> rows = {9, 2, 13, 0, 7, 4};
+  const PairwiseDistances gathered =
+      PairwiseDistances::train_from_base(base, rows);
+  const PairwiseDistances rebuilt = PairwiseDistances::train(gather(x, rows));
+  ASSERT_TRUE(gathered.symmetric());
+  EXPECT_TRUE(bitwise_equal(gathered.squared(), rebuilt.squared()));
+  EXPECT_TRUE(bitwise_equal(gathered.x(), rebuilt.x()));
+}
+
+TEST(DistanceBase, GatheredCrossBitwiseEqualsRebuild) {
+  Rng rng(42);
+  const Matrix x = random_points(16, 5, rng);
+  const DistanceBase base(x);
+  const std::vector<std::size_t> rows_x = {3, 15, 8};
+  const std::vector<std::size_t> rows_y = {1, 0, 11, 6, 9};
+  const PairwiseDistances gathered =
+      PairwiseDistances::cross_from_base(base, rows_x, rows_y);
+  const PairwiseDistances rebuilt =
+      PairwiseDistances::cross(gather(x, rows_x), gather(x, rows_y));
+  ASSERT_FALSE(gathered.symmetric());
+  EXPECT_TRUE(bitwise_equal(gathered.squared(), rebuilt.squared()));
+  EXPECT_TRUE(bitwise_equal(gathered.x(), rebuilt.x()));
+  EXPECT_TRUE(bitwise_equal(gathered.y(), rebuilt.y()));
+}
+
+TEST(DistanceBase, GatheredCachesSupportComponentsAndAppend) {
+  Rng rng(43);
+  const Matrix x = random_points(10, 3, rng);
+  const DistanceBase base(x);
+  const std::vector<std::size_t> rows = {5, 1, 8};
+
+  // ARD components derive from the gathered x, exactly as rebuilt.
+  PairwiseDistances gathered = PairwiseDistances::train_from_base(base, rows);
+  PairwiseDistances rebuilt = PairwiseDistances::train(gather(x, rows));
+  gathered.ensure_components();
+  rebuilt.ensure_components();
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_TRUE(bitwise_equal(gathered.component(d), rebuilt.component(d)));
+  }
+
+  // The AL append path layers per-trajectory growth on a gathered cache.
+  gathered.append_x_row(x.row(2));
+  rebuilt.append_x_row(x.row(2));
+  EXPECT_TRUE(bitwise_equal(gathered.squared(), rebuilt.squared()));
+}
+
+TEST(DistanceBase, RejectsOutOfRangeRows) {
+  Rng rng(44);
+  const Matrix x = random_points(6, 2, rng);
+  const DistanceBase base(x);
+  const std::vector<std::size_t> bad = {1, 6};
+  EXPECT_THROW(PairwiseDistances::train_from_base(base, bad),
+               std::out_of_range);
+  const std::vector<std::size_t> good = {0, 3};
+  EXPECT_THROW(PairwiseDistances::cross_from_base(base, good, bad),
+               std::out_of_range);
+  EXPECT_THROW(PairwiseDistances::cross_from_base(base, bad, good),
+               std::out_of_range);
+}
+
+TEST(GprDistanceCache, FitFromBaseBitwiseEqualsFit) {
+  Rng rng(45);
+  const Matrix x = random_points(20, 3, rng);
+  const DistanceBase base(x);
+  const std::vector<std::size_t> rows = {17, 3, 9, 0, 12, 5, 19, 8};
+  const Matrix x_sub = gather(x, rows);
+  std::vector<double> y(rows.size());
+  for (double& v : y) v = rng.uniform(-1.0, 1.0);
+  const Matrix q = random_points(7, 3, rng);
+
+  GaussianProcessRegressor plain(paper_kernel(3), {.restarts = 1});
+  GaussianProcessRegressor based(paper_kernel(3), {.restarts = 1});
+  Rng rng_a(77);
+  Rng rng_b(77);
+  plain.fit(x_sub, y, rng_a);
+  based.fit(x_sub, y, rng_b, &base, rows);
+
+  const Prediction pa = plain.predict(q);
+  const Prediction pb = based.predict(q);
+  ASSERT_EQ(pa.mean.size(), pb.mean.size());
+  for (std::size_t i = 0; i < pa.mean.size(); ++i) {
+    EXPECT_TRUE(same_bits(pa.mean[i], pb.mean[i])) << i;
+    EXPECT_TRUE(same_bits(pa.stddev[i], pb.stddev[i])) << i;
+  }
+
+  const std::vector<std::size_t> short_rows = {1, 2};
+  Rng rng_c(77);
+  EXPECT_THROW(based.fit(x_sub, y, rng_c, &base, short_rows),
+               std::invalid_argument);
+}
+
 TEST(GprDistanceCache, PredictFromCrossMatchesPredict) {
   Rng rng(26);
   const Matrix x = random_points(30, 3, rng);

@@ -1,11 +1,14 @@
-// Tests for the explicitly vectorized kernels in <alamr/linalg/simd.hpp>.
+// Tests for the runtime-dispatched kernels in <alamr/linalg/simd.hpp>.
 //
-// The header is freestanding, so these tests run in every build mode —
-// they validate the kernels themselves, independently of whether
-// matrix.hpp dispatches to them (ALAMR_SIMD). Each kernel is compared
-// against a local strictly-sequential scalar reference: exact equality
-// is NOT required (the SIMD kernels reassociate reductions and fuse
-// multiply-adds by design), but agreement must be at working precision.
+// Every binary carries scalar, AVX2/FMA, and AVX-512 kernel variants and
+// selects between them at startup (simd_dispatch.cpp); simd::dot & co.
+// call through whichever table is active. These tests exercise the
+// kernels at the process's startup level against a local strictly-
+// sequential scalar reference — exact equality is NOT required at the
+// vector levels (those kernels reassociate reductions and fuse multiply-
+// adds by design), but agreement must be at working precision — and then
+// sweep every level the host supports to pin the cross-level agreement
+// and the set_level() contract itself.
 
 #include "alamr/linalg/simd.hpp"
 
@@ -21,6 +24,22 @@ namespace {
 
 namespace simd = alamr::linalg::simd;
 using alamr::stats::Rng;
+
+// Pins the dispatch level for one scope, restoring the startup level on
+// exit (mirrors the helper in test_golden_trajectory.cpp).
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::Level level) : saved_(simd::active_level()) {
+    EXPECT_TRUE(simd::set_level(level))
+        << "host cannot run level " << simd::to_string(level);
+  }
+  ~ScopedSimdLevel() { simd::set_level(saved_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  simd::Level saved_;
+};
 
 double ref_dot(const double* x, const double* y, std::size_t n) {
   double acc = 0.0;
@@ -128,6 +147,92 @@ TEST(SimdKernels, FmaddBasicIdentity) {
   // Whether fused or not, exact-representable inputs give exact results.
   EXPECT_EQ(simd::fmadd(2.0, 3.0, 4.0), 10.0);
   EXPECT_EQ(simd::fmadd(-1.0, 5.0, 5.0), 0.0);
+}
+
+// ---- cross-level agreement ------------------------------------------------
+//
+// The same call at every host-supported dispatch level must agree within
+// rel 1e-12 — the per-kernel bound the trajectory tolerance gate
+// (test_golden_trajectory.cpp) compounds from. The scalar level is the
+// reference; the vector levels differ only by reassociation and FMA.
+
+TEST(SimdDispatch, AllLevelsAgreeWithin1e12PerKernel) {
+  Rng rng(37);
+  const simd::Level best = simd::max_supported_level();
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vec(n, rng);
+    const auto y = random_vec(n, rng);
+    const double alpha = rng.uniform(-2.0, 2.0);
+
+    double ref_dot_v = 0.0;
+    double ref_sq_v = 0.0;
+    std::vector<double> ref_axpy_v;
+    std::vector<double> ref_r1_v;
+    {
+      const ScopedSimdLevel pin(simd::Level::kScalar);
+      ref_dot_v = simd::dot(x.data(), y.data(), n);
+      ref_sq_v = simd::squared_distance(x.data(), y.data(), n);
+      ref_axpy_v = y;
+      simd::axpy(alpha, x.data(), ref_axpy_v.data(), n);
+      ref_r1_v = y;
+      simd::rank1_sub(alpha, x.data(), ref_r1_v.data(), n);
+    }
+
+    for (int l = 0; l <= static_cast<int>(best); ++l) {
+      const simd::Level level = static_cast<simd::Level>(l);
+      const ScopedSimdLevel pin(level);
+      SCOPED_TRACE(std::string("level=") + simd::to_string(level));
+
+      const double scale = std::max(1.0, std::abs(ref_dot_v));
+      EXPECT_NEAR(simd::dot(x.data(), y.data(), n), ref_dot_v, 1e-12 * scale)
+          << "n=" << n;
+      EXPECT_NEAR(simd::squared_distance(x.data(), y.data(), n), ref_sq_v,
+                  1e-12 * std::max(1.0, ref_sq_v))
+          << "n=" << n;
+
+      std::vector<double> got = y;
+      simd::axpy(alpha, x.data(), got.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(got[i], ref_axpy_v[i],
+                    1e-12 * std::max(1.0, std::abs(ref_axpy_v[i])))
+            << "axpy n=" << n << " i=" << i;
+      }
+      got = y;
+      simd::rank1_sub(alpha, x.data(), got.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(got[i], ref_r1_v[i],
+                    1e-12 * std::max(1.0, std::abs(ref_r1_v[i])))
+            << "rank1_sub n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, ScalarLevelIsAlwaysAvailable) {
+  EXPECT_GE(simd::max_supported_level(), simd::Level::kScalar);
+  const simd::Level saved = simd::active_level();
+  EXPECT_TRUE(simd::set_level(simd::Level::kScalar));
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  EXPECT_TRUE(simd::set_level(saved));
+  EXPECT_EQ(simd::active_level(), saved);
+}
+
+TEST(SimdDispatch, SetLevelRejectsUnsupportedAndLeavesStateUnchanged) {
+  const simd::Level best = simd::max_supported_level();
+  if (best == simd::Level::kAvx512) {
+    GTEST_SKIP() << "host supports every level; nothing to reject";
+  }
+  const simd::Level saved = simd::active_level();
+  const simd::Level above = static_cast<simd::Level>(static_cast<int>(best) + 1);
+  EXPECT_FALSE(simd::set_level(above));
+  EXPECT_EQ(simd::active_level(), saved);
+}
+
+TEST(SimdDispatch, LevelNamesRoundTrip) {
+  EXPECT_STREQ(simd::to_string(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::to_string(simd::Level::kAvx2), "avx2");
+  EXPECT_STREQ(simd::to_string(simd::Level::kAvx512), "avx512");
+  EXPECT_FALSE(simd::cpu_features().empty());
 }
 
 }  // namespace
