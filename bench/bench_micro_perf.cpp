@@ -12,6 +12,7 @@
 #include "alamr/amr/solver.hpp"
 #include "alamr/core/batch.hpp"
 #include "alamr/core/strategies.hpp"
+#include "alamr/gp/backend.hpp"
 #include "alamr/gp/gpr.hpp"
 #include "alamr/linalg/cholesky.hpp"
 #include "alamr/linalg/simd.hpp"
@@ -498,6 +499,74 @@ void BM_ArenaPass(benchmark::State& state) {
       static_cast<double>(allocs) / static_cast<double>(iterations);
 }
 BENCHMARK(BM_ArenaPass)->Args({200, 0})->Args({200, 1})->Unit(benchmark::kMillisecond);
+
+// P7 — PosteriorBackend cost at the fit and candidate-sweep bottlenecks.
+// Arg 0 is the exact backend (the seed GPR recipe through the interface),
+// Arg 1 the subset-of-data backend at capacity 128 — the configuration
+// that makes 10^5-candidate pools tractable (EXPERIMENTS.md §P7). Both
+// arms share the plain rebuild recipe (no incremental caches), so the
+// numbers isolate the approximation's O(n^3) -> O(m^3) / O(n^2 M) ->
+// O(m^2 M) wins rather than cache warm-up effects.
+gp::BackendOptions bench_backend_options(bool approx) {
+  gp::BackendOptions options;
+  options.incremental_refit = false;
+  options.incremental_cross = false;
+  options.batched_predict = true;
+  if (approx) {
+    options.kind = gp::BackendKind::kSubsetOfData;
+    options.inducing_points = 128;
+  }
+  return options;
+}
+
+void BM_BackendFit(benchmark::State& state) {
+  const bool approx = state.range(1) != 0;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(13);
+  const auto x = random_points(n, 5, rng);
+  std::vector<double> y(n);
+  for (double& v : y) v = rng.normal();
+  gp::GprOptions fit_options;
+  fit_options.optimize = false;  // isolate the linear algebra
+  for (auto _ : state) {
+    auto backend = gp::make_backend(bench_backend_options(approx),
+                                    gp::make_paper_kernel(), fit_options);
+    stats::Rng fit_rng(17);
+    backend->fit(x, y, fit_rng);
+    benchmark::DoNotOptimize(backend);
+  }
+}
+BENCHMARK(BM_BackendFit)->Args({600, 0})->Args({600, 1})->Unit(benchmark::kMillisecond);
+
+void BM_BackendPredictBatch(benchmark::State& state) {
+  const bool approx = state.range(1) != 0;
+  const auto m = static_cast<std::size_t>(state.range(0));  // candidates
+  const std::size_t n = 600;
+  stats::Rng rng(19);
+  const auto x = random_points(n, 5, rng);
+  std::vector<double> y(n);
+  for (double& v : y) v = rng.normal();
+  gp::GprOptions fit_options;
+  fit_options.optimize = false;
+  auto backend = gp::make_backend(bench_backend_options(approx),
+                                  gp::make_paper_kernel(), fit_options);
+  stats::Rng fit_rng(23);
+  backend->fit(x, y, fit_rng);
+
+  const auto pool_x = random_points(m, 5, rng);
+  const gp::CandidateRef pool{pool_x, {}};
+  linalg::Workspace ws;
+  for (auto _ : state) {
+    const linalg::Workspace::Scope pass(ws);
+    const gp::PosteriorSpans post = backend->predict_candidates(pool, ws);
+    benchmark::DoNotOptimize(post.mean.data());
+    benchmark::DoNotOptimize(post.stddev.data());
+  }
+}
+BENCHMARK(BM_BackendPredictBatch)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Unit(benchmark::kMillisecond);
 
 // P6 — the raw dispatch kernels: a strictly-sequential inline loop
 // (Arg 0, the bits the scalar table reproduces) vs the runtime-selected

@@ -202,3 +202,42 @@ record_set BENCH_PR6.json \
   'BM_TrajectoryBatch/'
 
 record_fig_wallclock BENCH_PR6.json
+
+# PR7: /0 arm = exact PosteriorBackend (the seed GPR recipe through the
+# interface), /1 arm = subset-of-data backend at capacity 128. Records
+# the fit and candidate-sweep costs the approximate backends buy down.
+record_set BENCH_PR7.json \
+  'BM_Backend(Fit|PredictBatch)/'
+
+# record_backend_scaling <output.json>: appends the §P7 end-to-end
+# scaling experiment (bench_p7_backend_scaling: exact vs approximate
+# backends on fig4-style trajectories at 10^3-10^5 candidates, plus the
+# >=10x-vs-extrapolated-exact acceptance check) under the
+# "p7_backend_scaling" key. Write-once like record_set.
+record_backend_scaling() {
+  local out_json="$1"
+  if [[ -f "$out_json" && "${ALAMR_BENCH_FORCE:-0}" != "1" ]] &&
+     python3 -c 'import json,sys; sys.exit(0 if "p7_backend_scaling" in json.load(open(sys.argv[1])) else 1)' "$out_json"; then
+    echo "$out_json already has p7_backend_scaling; skipping (ALAMR_BENCH_FORCE=1 re-records)"
+    return 0
+  fi
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_p7_backend_scaling > /dev/null
+  local tmp
+  tmp=$(mktemp /tmp/p7_scaling.XXXXXX.json)
+  "$build_dir/bench/bench_p7_backend_scaling" > "$tmp"
+  python3 - "$out_json" "$tmp" <<'EOF'
+import json, sys
+out_path, scaling_path = sys.argv[1:]
+with open(out_path) as f:
+    out = json.load(f)
+with open(scaling_path) as f:
+    out["p7_backend_scaling"] = json.load(f)
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(f"appended p7_backend_scaling to {out_path}")
+EOF
+  rm -f "$tmp"
+}
+
+record_backend_scaling BENCH_PR7.json

@@ -26,7 +26,12 @@ import subprocess
 import sys
 import tempfile
 
-GATE_FAMILIES = ("BM_PredictBatch", "BM_TrajectoryBatch")
+GATE_FAMILIES = (
+    "BM_PredictBatch",
+    "BM_TrajectoryBatch",
+    "BM_BackendFit",
+    "BM_BackendPredictBatch",
+)
 
 
 def recorded_baselines():

@@ -41,6 +41,11 @@
 #                    recorded in BENCH_PR*.json. Skip on hosts whose
 #                    numbers are not comparable to the records with
 #                    ALAMR_SKIP_BENCH_TREND=1
+#  11. backends    — the PosteriorBackend parity suite (tests_backends)
+#                    as an explicit leg on the plain build, serial and
+#                    ALAMR_THREADS=4: exact backend byte-identity through
+#                    the interface, approximate-backend tolerance goldens,
+#                    parity gates, faults, and checkpoint round-trips
 #
 # Finally an explicit golden gate re-runs the golden-trajectory byte
 # comparisons (which sweep the cached-kernel / incremental-refit /
@@ -173,6 +178,27 @@ run_golden plain build-check/plain 1
 run_golden plain4 build-check/plain 4
 run_golden native build-check/native 1
 run_golden native4 build-check/native 4
+
+# Backend gate: the PosteriorBackend parity harness (exact backend
+# byte-pinned through the interface, approximate backends on tolerance
+# goldens, RMSE/CC/CR parity, properties, faults, checkpoints) serial
+# and under the 4-lane pool. Already ran inside the full suites; the
+# explicit leg makes a backend break impossible to miss.
+run_backends() {
+  local name="$1"
+  local threads="$2"
+  echo "=== [backends/$name] PosteriorBackend parity suite (ALAMR_THREADS=$threads) ==="
+  ALAMR_THREADS="$threads" ctest --test-dir build-check/plain --output-on-failure \
+    -R 'Backend(Parity|Properties|Faults|Checkpoint)' \
+    > /tmp/check_backends_"$name".log 2>&1 || {
+    tail -50 /tmp/check_backends_"$name".log
+    echo "FAILED: backends/$name (full log: /tmp/check_backends_$name.log)"
+    exit 1
+  }
+  tail -2 /tmp/check_backends_"$name".log
+}
+run_backends serial 1
+run_backends threads4 4
 
 # Bench-trend gate: fresh optimized-arm medians for the gate benchmarks
 # must stay within 10% of the BENCH_PR*.json records. The records carry

@@ -45,8 +45,17 @@ struct TrajectoryCheckpoint {
   std::vector<double> m_learned;
 
   /// Kernel log-hyperparameters of the two models at the checkpoint.
+  /// Ensemble backends concatenate per-expert parameters in their
+  /// log_params() order.
   std::vector<double> theta_cost;
   std::vector<double> theta_mem;
+
+  /// Opaque auxiliary backend state (PosteriorBackend::save_state) — state
+  /// NOT derivable from (learned rows, labels, theta), e.g. the
+  /// local-experts backend's frozen centroids. Empty for backends without
+  /// such state (exact, subset-of-data).
+  std::string backend_state_cost;
+  std::string backend_state_mem;
 
   stats::Rng::State rng;
 

@@ -21,6 +21,7 @@
 #include "alamr/data/dataset.hpp"
 #include "alamr/data/partition.hpp"
 #include "alamr/data/transforms.hpp"
+#include "alamr/gp/backend.hpp"
 #include "alamr/gp/gpr.hpp"
 
 namespace alamr::core {
@@ -183,6 +184,16 @@ struct AlOptions {
   /// Prediction path. Bit-identical either way (golden-tested); the flag
   /// exists so tests and benches can compare both paths.
   bool batched_predict = true;
+
+  /// Posterior backend for the per-response surrogates (DESIGN.md §12):
+  /// kExact (default) is the byte-pinned seed recipe; kSubsetOfData and
+  /// kLocalExperts are the approximate backends that break the O(n^3)
+  /// refit wall for 10^5-candidate pools. The exact-path plumbing flags
+  /// inside BackendOptions (incremental_refit / incremental_cross /
+  /// batched_predict) are ignored here — the simulator copies the
+  /// AlOptions flags above in before constructing backends, so the
+  /// historical knobs keep working unchanged.
+  gp::BackendOptions backend;
 
   /// Turns on the process-wide observability layer (core/trace.hpp) from
   /// the AlSimulator constructor — equivalent to setting ALAMR_TRACE or

@@ -1,0 +1,197 @@
+#pragma once
+
+// Posterior backends for the AL inner loop (DESIGN.md §12).
+//
+// The simulator's Algorithm-1 loop needs exactly four things from its
+// per-response surrogate: fit on the learned set, append one acquired
+// point with a warm refit, a posterior sweep over the candidate pool, and
+// a posterior-mean sweep over the test set. `PosteriorBackend` names that
+// contract so the exact-Cholesky `GaussianProcessRegressor` (backend
+// zero — byte-for-byte the seed recipe, including its incremental
+// K(X_train, X_active) bookkeeping and trace counters) is swappable for
+// approximate posteriors that break the O(n^3) wall:
+//
+//   - kSubsetOfData: an inducing-point (Nyström-style subset-of-data)
+//     backend that trains the exact GPR on a bounded, deterministically
+//     chosen subset of the learned sequence. With capacity >= n it IS the
+//     exact backend bit for bit; over capacity, fits are O(m^3) and
+//     candidate sweeps O(m^2 M) for fixed m, so 10^5-candidate pools are
+//     in reach.
+//   - kLocalExperts: a partitioned local-experts backend built on
+//     gp/local.hpp's LocalGprEnsemble with nearest-centroid routing and a
+//     global-prior fallback — k experts of ~n/k points each, fitted and
+//     queried independently.
+//
+// Approximate backends are pinned by tolerance goldens and RMSE-parity
+// gates (tests/backend_parity.hpp); the exact backend stays pinned by the
+// byte-for-byte golden configs.
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alamr/gp/gpr.hpp"
+#include "alamr/gp/local.hpp"
+#include "alamr/linalg/workspace.hpp"
+#include "alamr/stats/rng.hpp"
+
+namespace alamr::gp {
+
+enum class BackendKind {
+  kExact,         // GaussianProcessRegressor, the byte-pinned seed recipe
+  kSubsetOfData,  // bounded inducing subset of the learned sequence
+  kLocalExperts,  // LocalGprEnsemble, nearest-centroid routing
+};
+
+std::string to_string(BackendKind kind);
+
+/// Backend selection and sizing. The exact-path plumbing flags mirror
+/// AlOptions (the simulator copies them in before constructing backends);
+/// they only affect kExact, which must keep reproducing every historical
+/// configuration bit for bit.
+struct BackendOptions {
+  BackendKind kind = BackendKind::kExact;
+
+  // kExact plumbing (AlOptions::incremental_refit / incremental_cross /
+  // batched_predict). kSubsetOfData honors incremental_refit for its
+  // within-capacity appends; kLocalExperts always refits incrementally
+  // inside the touched expert.
+  bool incremental_refit = true;
+  bool incremental_cross = true;
+  bool batched_predict = true;
+
+  /// kSubsetOfData: training-set capacity m. The subset is a pure
+  /// function of the learned sequence — the first `anchors` points plus
+  /// the most recent m - anchors — so a resumed trajectory reconstructs
+  /// it from the learned rows alone.
+  std::size_t inducing_points = 256;
+  /// 0 = inducing_points / 2.
+  std::size_t sod_anchors = 0;
+
+  /// kLocalExperts: number of centroids (fixed at the initial fit), the
+  /// size at which a region first gets its own model (smaller regions
+  /// answer with the global prior), and the Lloyd-iteration count of the
+  /// deterministic k-means seeding.
+  std::size_t experts = 8;
+  std::size_t min_expert_size = 8;
+  std::size_t kmeans_iterations = 4;
+};
+
+/// One model's view of the candidate pool. `rows` lists each candidate's
+/// row in the bound DistanceBase (empty when no base is in play). During
+/// `add_point` the simulator may pass a ref whose `x` is stale while
+/// `rows` is current — a backend bound to a base must gather features or
+/// distances through `rows`.
+struct CandidateRef {
+  const Matrix& x;
+  std::span<const std::size_t> rows;
+};
+
+/// Posterior over the last candidate pool. Spans stay valid until the
+/// next predict_candidates / add_point / fit call on the backend, or the
+/// enclosing workspace scope rewinds — whichever comes first.
+struct PosteriorSpans {
+  std::span<const double> mean;
+  std::span<const double> stddev;
+};
+
+/// Arena sizing hook: `outputs` doubles coexist for the whole pass (the
+/// mean/stddev spans handed back), `scratch` is the backend's transient
+/// peak while predicting. The simulator pre-sizes the pass arena at
+/// max(out_1 + scratch_1, out_1 + out_2 + scratch_2) — for two exact
+/// backends exactly the historical 4*m0 + z_peak bound.
+struct WorkspaceBound {
+  std::size_t outputs = 0;
+  std::size_t scratch = 0;
+};
+
+/// The surrogate-model contract of the AL inner loop. One instance serves
+/// one response (cost or memory) of one trajectory; instances are not
+/// thread-safe and not shared across trajectories.
+class PosteriorBackend {
+ public:
+  virtual ~PosteriorBackend() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+  virtual BackendKind kind() const noexcept = 0;
+  virtual bool fitted() const noexcept = 0;
+  virtual std::size_t training_size() const noexcept = 0;
+
+  /// Fitting-effort knobs for subsequent fits (thorough initial fit,
+  /// cheap warm refits — AlOptions::initial_fit / refit).
+  virtual void set_fit_options(const GprOptions& options) = 0;
+
+  /// Fits on the learned set. When `base` is non-null, `rows` lists each
+  /// x row's index in base.x() and distance caches are gathered instead
+  /// of recomputed. The backend keeps its own copy of the training data;
+  /// callers may mutate x/y afterwards.
+  virtual void fit(const Matrix& x, std::span<const double> y,
+                   stats::Rng& rng, const DistanceBase* base = nullptr,
+                   std::span<const std::size_t> rows = {}) = 0;
+
+  /// Acquisition step: appends (x, y) — dataset row `row` when a base is
+  /// bound — and warm-refits. `after` describes the candidate pool AFTER
+  /// the acquired candidate was removed (for cross-cache row appends);
+  /// pass nullptr when the pool is empty or unknown.
+  virtual void add_point(std::span<const double> x, double y,
+                         std::size_t row, stats::Rng& rng,
+                         const CandidateRef* after) = 0;
+
+  /// Posterior mean/stddev over the candidate pool. Cheap storage may be
+  /// carved from `ws` (freed when the caller's pass scope rewinds).
+  virtual PosteriorSpans predict_candidates(const CandidateRef& pool,
+                                            linalg::Workspace& ws) = 0;
+
+  /// Candidate `local` of the last predict_candidates pool was removed
+  /// (acquired or censored); drops any cached per-candidate state.
+  virtual void remove_candidate(std::size_t local) = 0;
+
+  /// Posterior mean at arbitrary query points (test-set RMSE). `rows`
+  /// lists the queries' DistanceBase rows when a base is bound.
+  virtual std::vector<double> predict_mean(
+      const Matrix& x, std::span<const std::size_t> rows = {}) = 0;
+
+  /// Full posterior at arbitrary query points, no candidate-pool caching
+  /// (run_batched and direct library use).
+  virtual Prediction predict(const Matrix& x) const = 0;
+
+  /// Log marginal likelihood of the backend's training data at its
+  /// current hyperparameters; ensemble backends report the sum of their
+  /// experts' (independent-likelihood) terms.
+  virtual double lml() const = 0;
+
+  /// Hyperparameter state, concatenated in a backend-defined but stable
+  /// order. set_log_params places them before a resume fit.
+  virtual std::vector<double> log_params() const = 0;
+  virtual void set_log_params(std::span<const double> theta) = 0;
+
+  /// Opaque auxiliary state for checkpoint round-trips: anything NOT
+  /// derivable from (learned rows, labels, theta) — e.g. kLocalExperts'
+  /// centroids, frozen at the initial fit. Backends without such state
+  /// return "".
+  virtual std::string save_state() const { return {}; }
+  /// Installs state captured by save_state() before a resume fit. Throws
+  /// std::runtime_error on malformed input.
+  virtual void restore_state(const std::string& state) { (void)state; }
+
+  /// Pre-sizes internal containers for `extra` future add_point calls.
+  virtual void reserve_additional(std::size_t extra) = 0;
+
+  /// Pass-arena bound for a trajectory starting at n0 training points and
+  /// m0 candidates with `budget` acquisitions ahead. {0, 0} = the backend
+  /// does not use the arena.
+  virtual WorkspaceBound workspace_bound(std::size_t n0, std::size_t m0,
+                                         std::size_t budget) const = 0;
+};
+
+/// Builds a backend: the kernel prototype is owned by the backend (expert
+/// backends clone it per region), `fit_options` seeds the first fit's
+/// effort (adjust later fits via set_fit_options).
+std::unique_ptr<PosteriorBackend> make_backend(const BackendOptions& options,
+                                               std::unique_ptr<Kernel> kernel,
+                                               const GprOptions& fit_options);
+
+}  // namespace alamr::gp

@@ -97,6 +97,16 @@ struct JsonValue {
     }
     throw std::runtime_error("checkpoint: missing key '" + key + "'");
   }
+
+  /// Lookup for keys added after version 1 shipped: nullptr when absent,
+  /// so pre-existing checkpoint files still parse (and are then accepted
+  /// or rejected by the fingerprint gate, not a parse error).
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
 };
 
 class JsonParser {
@@ -288,6 +298,10 @@ std::string checkpoint_to_json(const TrajectoryCheckpoint& s) {
   write_double_array(os, "theta_cost", s.theta_cost);
   os << ',';
   write_double_array(os, "theta_mem", s.theta_mem);
+  os << ",\"backend_state_cost\":";
+  write_escaped(os, s.backend_state_cost);
+  os << ",\"backend_state_mem\":";
+  write_escaped(os, s.backend_state_mem);
   os << ",\"rng\":{";
   write_u64_array(os, "words", s.rng.words);
   os << ",\"cached_normal\":\"" << hex_bits(s.rng.cached_normal) << '"'
@@ -350,6 +364,12 @@ TrajectoryCheckpoint checkpoint_from_json(const std::string& json) {
   s.m_learned = read_double_array(root.at("m_learned"));
   s.theta_cost = read_double_array(root.at("theta_cost"));
   s.theta_mem = read_double_array(root.at("theta_mem"));
+  if (const JsonValue* v = root.find("backend_state_cost")) {
+    s.backend_state_cost = v->str;
+  }
+  if (const JsonValue* v = root.find("backend_state_mem")) {
+    s.backend_state_mem = v->str;
+  }
   {
     const JsonValue& rng = root.at("rng");
     const std::vector<std::uint64_t> words = read_u64_array(rng.at("words"));

@@ -97,7 +97,7 @@ AlSimulator::AlSimulator(const data::Dataset& dataset, AlOptions options)
 std::string AlSimulator::trajectory_fingerprint(
     std::string_view strategy_name, const data::Partition& partition) const {
   trace::Fingerprint fp;
-  fp.add("alamr.trajectory.v3");
+  fp.add("alamr.trajectory.v4");
   // The active SIMD dispatch level is part of the numerical identity: the
   // vector levels reassociate reductions, so a trajectory produced at one
   // level is not byte-comparable to (or resumable at) another. Scalar
@@ -133,6 +133,15 @@ std::string AlSimulator::trajectory_fingerprint(
   fp.add(options_.incremental_refit);
   fp.add(options_.incremental_cross);
   fp.add(options_.batched_predict);
+  // Backend identity: an approximate posterior produces a different (and
+  // non-resumable-into-each-other) trajectory, so kind and sizing are part
+  // of the fingerprint. The plumbing flags are already covered above.
+  fp.add(gp::to_string(options_.backend.kind));
+  fp.add(static_cast<std::uint64_t>(options_.backend.inducing_points));
+  fp.add(static_cast<std::uint64_t>(options_.backend.sod_anchors));
+  fp.add(static_cast<std::uint64_t>(options_.backend.experts));
+  fp.add(static_cast<std::uint64_t>(options_.backend.min_expert_size));
+  fp.add(static_cast<std::uint64_t>(options_.backend.kmeans_iterations));
   fp.add(options_.failures.failure_aware);
   fp.add(static_cast<std::uint64_t>(options_.failures.policy));
   fp.add(options_.failures.penalty_offset);
@@ -276,9 +285,18 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
   const std::vector<double> cost_test = gather(dataset_.cost, partition.test);
   const std::vector<double> mem_test = gather(dataset_.memory, partition.test);
 
-  // Models, fitted on the Init partition with the thorough options.
-  gp::GaussianProcessRegressor gpr_cost(make_kernel(), options_.initial_fit);
-  gp::GaussianProcessRegressor gpr_mem(make_kernel(), options_.initial_fit);
+  // Per-response posterior backends (DESIGN.md §12), fitted on the Init
+  // partition with the thorough options. The exact-path plumbing flags are
+  // copied from AlOptions so the historical knobs keep selecting the same
+  // code paths inside the exact backend.
+  gp::BackendOptions backend_options = options_.backend;
+  backend_options.incremental_refit = options_.incremental_refit;
+  backend_options.incremental_cross = options_.incremental_cross;
+  backend_options.batched_predict = options_.batched_predict;
+  const std::unique_ptr<gp::PosteriorBackend> backend_cost =
+      gp::make_backend(backend_options, make_kernel(), options_.initial_fit);
+  const std::unique_ptr<gp::PosteriorBackend> backend_mem =
+      gp::make_backend(backend_options, make_kernel(), options_.initial_fit);
 
   std::vector<std::size_t> learned;
   std::vector<std::size_t> active;
@@ -294,16 +312,17 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
     m_learned = gather(log_mem_, learned);
     {
       const trace::ScopedTimer timer("init");
-      gpr_cost.fit(x_learned, c_learned, rng, base, learned);
-      gpr_mem.fit(x_learned, m_learned, rng, base, learned);
+      backend_cost->fit(x_learned, c_learned, rng, base, learned);
+      backend_mem->fit(x_learned, m_learned, rng, base, learned);
     }
   } else {
     // Rebuild the exact mid-trajectory state: training set and labels
-    // (penalized labels included) from the checkpoint, models refit AT the
-    // saved hyperparameters with optimization disabled (no rng draws) —
-    // the posterior is a pure function of (X, y, theta), and the full
-    // rebuild produces the same bits the live incremental path had
-    // (golden-tested), so the continuation cannot diverge.
+    // (penalized labels included) from the checkpoint, backends refit AT
+    // the saved hyperparameters with optimization disabled (no rng draws)
+    // — the posterior is a pure function of (X, y, theta) plus any opaque
+    // backend state (restored first), and the full rebuild produces the
+    // same bits the live incremental path had (golden-tested), so the
+    // continuation cannot diverge.
     learned.assign(resumed->learned.begin(), resumed->learned.end());
     active.assign(resumed->active.begin(), resumed->active.end());
     c_learned = resumed->c_learned;
@@ -311,73 +330,39 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
     x_learned = gather_rows(x_scaled_, learned);
     gp::GprOptions rebuild = options_.refit;
     rebuild.optimize = false;
-    gpr_cost.set_options(rebuild);
-    gpr_mem.set_options(rebuild);
-    gpr_cost.set_kernel_log_params(resumed->theta_cost);
-    gpr_mem.set_kernel_log_params(resumed->theta_mem);
+    backend_cost->set_fit_options(rebuild);
+    backend_mem->set_fit_options(rebuild);
+    if (!resumed->backend_state_cost.empty()) {
+      backend_cost->restore_state(resumed->backend_state_cost);
+    }
+    if (!resumed->backend_state_mem.empty()) {
+      backend_mem->restore_state(resumed->backend_state_mem);
+    }
+    backend_cost->set_log_params(resumed->theta_cost);
+    backend_mem->set_log_params(resumed->theta_mem);
     {
       const trace::ScopedTimer timer("init");
-      gpr_cost.fit(x_learned, c_learned, rng, base, learned);
-      gpr_mem.fit(x_learned, m_learned, rng, base, learned);
+      backend_cost->fit(x_learned, c_learned, rng, base, learned);
+      backend_mem->fit(x_learned, m_learned, rng, base, learned);
     }
     rng.restore_state(resumed->rng);
     if (injector) {
       injector->restore_counters(resumed->fault_hits, resumed->fault_fires);
     }
   }
-  gpr_cost.set_options(options_.refit);
-  gpr_mem.set_options(options_.refit);
-
-  // Incremental cross-covariance K(X_learned, X_active), one matrix per
-  // model (the kernels' hyperparameters diverge). A matrix stays valid as
-  // long as its model's hyperparameters have not moved since it was
-  // built: acquisitions only erase the chosen column and append one row
-  // for the new training point (one shared distance pass serves both
-  // kernels). A refit that moves the hyperparameters invalidates that
-  // model's matrix and the next predict rebuilds it — entries either way
-  // carry exactly the bits kernel.cross(x_train, x_active) would produce.
-  linalg::Matrix k_star_cost;
-  linalg::Matrix k_star_mem;
-  bool k_star_cost_valid = false;
-  bool k_star_mem_valid = false;
-  // Cached prior diagonals kernel().diagonal(x_active) for the fused
-  // batched posterior; they share k_star's lifecycle exactly (rebuilt on
-  // invalidation, chosen candidate's entry erased on acquisition — each
-  // entry is a per-row function of theta, so surviving entries keep the
-  // bits a fresh diagonal() of the shrunken set would produce).
-  std::vector<double> diag_cost;
-  std::vector<double> diag_mem;
+  backend_cost->set_fit_options(options_.refit);
+  backend_mem->set_fit_options(options_.refit);
 
   // Test predictions in log space are reused by both the RMSE metric and
-  // the stabilizing-predictions stopping rule.
-  //
-  // Shared-context trajectories route the test-set cross-covariance
-  // through the batch's DistanceBase: the train-to-test distance slab
-  // depends only on the learned rows (hyperparameters enter in the
-  // kernel transform, not the distances), so it is regathered when the
-  // training set grew and shared by both models — no per-evaluation
-  // feature passes. Gathered entries are bitwise identical to the
-  // recomputed ones, so both branches produce the same bits.
+  // the stabilizing-predictions stopping rule. Each backend routes the
+  // evaluation through its own cross-covariance machinery (the exact
+  // backend gathers the train-to-test distance slab from the shared
+  // DistanceBase when one is in play — bitwise identical to recomputing).
   std::vector<double> cost_mu_log;
-  std::optional<gp::PairwiseDistances> test_dist;
-  std::size_t test_dist_rows = 0;
-  const auto test_rmse = [&](const gp::GaussianProcessRegressor& model,
+  const auto test_rmse = [&](gp::PosteriorBackend& model,
                              std::span<const double> actual,
                              std::vector<double>* mu_log_out = nullptr) {
-    std::vector<double> mu_log;
-    if (base != nullptr) {
-      if (!test_dist || test_dist_rows != learned.size()) {
-        test_dist =
-            gp::PairwiseDistances::cross_from_base(*base, learned,
-                                                   partition.test);
-        test_dist_rows = learned.size();
-      }
-      model.kernel().prepare_distances(*test_dist);
-      mu_log = model.predict_mean_from_cross(
-          model.kernel().cross_cached(*test_dist));
-    } else {
-      mu_log = model.predict_mean(x_test);
-    }
+    std::vector<double> mu_log = model.predict_mean(x_test, partition.test);
     const std::vector<double> mu = data::exp10_transform(mu_log);
     const double err = rmse(mu, actual);
     if (mu_log_out != nullptr) *mu_log_out = std::move(mu_log);
@@ -402,8 +387,9 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
   if (!resumed) {
     {
       const trace::ScopedTimer timer("rmse");
-      result.initial_rmse_cost = test_rmse(gpr_cost, cost_test, &cost_mu_log);
-      result.initial_rmse_mem = test_rmse(gpr_mem, mem_test);
+      result.initial_rmse_cost =
+          test_rmse(*backend_cost, cost_test, &cost_mu_log);
+      result.initial_rmse_mem = test_rmse(*backend_mem, mem_test);
     }
     previous_cost_mu_log = cost_mu_log;
     last_rmse_cost_weighted = weighted(cost_mu_log);
@@ -446,9 +432,8 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
   learned.reserve(n_train_max);
   c_learned.reserve(n_train_max);
   m_learned.reserve(n_train_max);
-  x_learned.reserve(n_train_max, x_scaled_.cols());
-  gpr_cost.reserve_additional(budget);
-  gpr_mem.reserve_additional(budget);
+  backend_cost->reserve_additional(budget);
+  backend_mem->reserve_additional(budget);
 
   // Per-trajectory workspace arena plus the persistent candidate-feature
   // buffer (CandidateView needs a Matrix&, so it cannot live in the
@@ -456,20 +441,27 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
   linalg::Matrix x_active_buf;
   x_active_buf.reserve(active.size(), x_scaled_.cols());
   linalg::Workspace ws;
-  if (options_.batched_predict) {
-    // Pre-size one chunk at the worst-case pass footprint — four
-    // prediction vectors plus the n x m variance scratch, maximized over
-    // the pass index (the training side grows while the candidate side
-    // shrinks) — so no pass ever touches the heap and the arena's
-    // footprint is flat from the first pass (the check.sh gate).
+  {
+    // Pre-size one chunk at the worst-case pass footprint the two
+    // backends report — the first backend's outputs stay live while the
+    // second predicts, so the bound is max(out_1 + scratch_1,
+    // out_1 + out_2 + scratch_2). For two exact backends this is exactly
+    // the historical 4*m0 + z_peak bound, so no pass ever touches the
+    // heap and the arena's footprint is flat from the first pass (the
+    // check.sh gate).
     const std::size_t m0 = active.size();
     const std::size_t n0 = learned.size();
-    std::size_t z_peak = 0;
-    for (std::size_t p = 0; p <= budget && p <= m0; ++p) {
-      z_peak = std::max(z_peak, (n0 + p) * (m0 - p));
+    const gp::WorkspaceBound bound_cost =
+        backend_cost->workspace_bound(n0, m0, budget);
+    const gp::WorkspaceBound bound_mem =
+        backend_mem->workspace_bound(n0, m0, budget);
+    const std::size_t doubles =
+        std::max(bound_cost.outputs + bound_cost.scratch,
+                 bound_cost.outputs + bound_mem.outputs + bound_mem.scratch);
+    if (doubles != 0) {
+      ws.alloc(doubles);
+      ws.reset();
     }
-    ws.alloc(4 * m0 + z_peak);
-    ws.reset();
   }
   std::size_t arena_cap_prev = ws.capacity_doubles();
   std::size_t arena_steady_growth = 0;
@@ -485,8 +477,10 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
     s.active.assign(active.begin(), active.end());
     s.c_learned = c_learned;
     s.m_learned = m_learned;
-    s.theta_cost = gpr_cost.kernel().log_params();
-    s.theta_mem = gpr_mem.kernel().log_params();
+    s.theta_cost = backend_cost->log_params();
+    s.theta_mem = backend_mem->log_params();
+    s.backend_state_cost = backend_cost->save_state();
+    s.backend_state_mem = backend_mem->save_state();
     s.rng = rng.save_state();
     s.cc = cc;
     s.cr = cr;
@@ -539,89 +533,28 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
     ++arena_passes;
     const linalg::Workspace::Scope pass_scope(ws);
 
-    // Algorithm 1, lines 3-4: predict over remaining candidates.
+    // Algorithm 1, lines 3-4: predict over remaining candidates. Each
+    // backend runs its own posterior sweep (the exact backend reproduces
+    // the historical incremental-cross / fused-batch / plain branching
+    // internally, counters included); outputs land in spans that stay
+    // valid until the backend's next fit/add_point/predict call or the
+    // pass scope rewinds.
     gather_rows_into(x_scaled_, active, x_active_buf);
-    gp::Prediction pred_cost;
-    gp::Prediction pred_mem;
-    // All four paths land their outputs in these spans; CandidateView and
-    // the iteration record read through them so the selection code below
-    // is identical whether the storage is a Prediction or the arena.
+    const gp::CandidateRef pool{x_active_buf, active};
     std::span<const double> mu_c;
     std::span<const double> sd_c;
     std::span<const double> mu_m;
     std::span<const double> sd_m;
     {
       const trace::ScopedTimer timer("predict");
-      if (options_.incremental_cross) {
-        const bool rebuild_cost = !k_star_cost_valid;
-        const bool rebuild_mem = !k_star_mem_valid;
-        if (rebuild_cost || rebuild_mem) {
-          // One pairwise-distance pass shared by every kernel that needs
-          // a rebuild (both, on the first iteration). With a shared
-          // context the pass is a gather from the precomputed base —
-          // bitwise identical entries, no squared_distance FLOPs.
-          gp::PairwiseDistances dist =
-              base != nullptr
-                  ? gp::PairwiseDistances::cross_from_base(*base, learned,
-                                                           active)
-                  : gp::PairwiseDistances::cross(x_learned, x_active_buf);
-          if (rebuild_cost) {
-            trace::count("sim.kstar_rebuild");
-            gpr_cost.kernel().prepare_distances(dist);
-            k_star_cost = gpr_cost.kernel().cross_cached(dist);
-            k_star_cost.reserve(n_train_max, k_star_cost.cols());
-            if (options_.batched_predict) {
-              diag_cost = gpr_cost.kernel().diagonal(x_active_buf);
-            }
-            k_star_cost_valid = true;
-          }
-          if (rebuild_mem) {
-            trace::count("sim.kstar_rebuild");
-            gpr_mem.kernel().prepare_distances(dist);
-            k_star_mem = gpr_mem.kernel().cross_cached(dist);
-            k_star_mem.reserve(n_train_max, k_star_mem.cols());
-            if (options_.batched_predict) {
-              diag_mem = gpr_mem.kernel().diagonal(x_active_buf);
-            }
-            k_star_mem_valid = true;
-          }
-        }
-        if (!rebuild_cost) trace::count("sim.kstar_reuse");
-        if (!rebuild_mem) trace::count("sim.kstar_reuse");
-        if (options_.batched_predict) {
-          // Fused batched posterior over the live cross matrices: all
-          // outputs live in the pass arena, so the steady-state pass is
-          // allocation-free (verified by tests_alloc).
-          const std::size_t m = active.size();
-          const std::span<double> muc = ws.alloc(m);
-          const std::span<double> sdc = ws.alloc(m);
-          const std::span<double> mum = ws.alloc(m);
-          const std::span<double> sdm = ws.alloc(m);
-          gpr_cost.predict_batch(k_star_cost, diag_cost, ws, muc, sdc);
-          gpr_mem.predict_batch(k_star_mem, diag_mem, ws, mum, sdm);
-          mu_c = muc;
-          sd_c = sdc;
-          mu_m = mum;
-          sd_m = sdm;
-        } else {
-          pred_cost = gpr_cost.predict_from_cross(k_star_cost, x_active_buf);
-          pred_mem = gpr_mem.predict_from_cross(k_star_mem, x_active_buf);
-        }
-      } else if (options_.batched_predict) {
-        // No cross-matrix cache to batch over: build it fresh each pass
-        // but still run the fused posterior (bit-identical outputs).
-        pred_cost = gpr_cost.predict_batch(x_active_buf, ws);
-        pred_mem = gpr_mem.predict_batch(x_active_buf, ws);
-      } else {
-        pred_cost = gpr_cost.predict(x_active_buf);
-        pred_mem = gpr_mem.predict(x_active_buf);
-      }
-    }
-    if (mu_c.empty() && !active.empty()) {
-      mu_c = pred_cost.mean;
-      sd_c = pred_cost.stddev;
-      mu_m = pred_mem.mean;
-      sd_m = pred_mem.stddev;
+      const gp::PosteriorSpans post_cost =
+          backend_cost->predict_candidates(pool, ws);
+      const gp::PosteriorSpans post_mem =
+          backend_mem->predict_candidates(pool, ws);
+      mu_c = post_cost.mean;
+      sd_c = post_cost.stddev;
+      mu_m = post_mem.mean;
+      sd_m = post_mem.stddev;
     }
 
     const CandidateView view{x_active_buf, mu_c, sd_c, mu_m, sd_m};
@@ -697,23 +630,11 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
       record.cumulative_regret = cr;
 
       active.erase(active.begin() + static_cast<std::ptrdiff_t>(local));
-      // Drop the acquired candidate's column from the live cross
-      // matrices (and its cached prior-diagonal entry); remaining entries
-      // keep their bits — remove_column is pure data movement.
-      if (k_star_cost_valid) {
-        k_star_cost.remove_column(local);
-        if (options_.batched_predict) {
-          diag_cost.erase(diag_cost.begin() +
-                          static_cast<std::ptrdiff_t>(local));
-        }
-      }
-      if (k_star_mem_valid) {
-        k_star_mem.remove_column(local);
-        if (options_.batched_predict) {
-          diag_mem.erase(diag_mem.begin() +
-                         static_cast<std::ptrdiff_t>(local));
-        }
-      }
+      // The candidate left the pool: backends drop whatever per-candidate
+      // state they cache (the exact backend's cross-matrix column and
+      // prior-diagonal entry — pure data movement, remaining bits kept).
+      backend_cost->remove_candidate(local);
+      backend_mem->remove_candidate(local);
     }
 
     if (censor != CensorKind::kNone) {
@@ -747,70 +668,26 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
                                ? log_mem_[row]
                                : limit_log10_ + options_.failures.penalty_offset;
     learned.push_back(row);
-    x_learned.push_row(x_scaled_.row(row));
     c_learned.push_back(c_label);
     m_learned.push_back(m_label);
 
     // Lines 10-11: warm-started refit of both models on Init + Learned.
+    // Each backend appends the point and refits its own way (the exact
+    // backend through fit_add_point or the full refit per the plumbing
+    // flags, approximate backends through their bounded updates). `after`
+    // describes the POST-acquisition candidate pool for cross-cache row
+    // appends; x_active_buf is free for reuse here — the CandidateView
+    // and its record reads are done for this pass.
     {
       const trace::ScopedTimer timer("refit");
-      if (options_.incremental_refit) {
-        // Same optimization, same rng stream, bit-identical posterior —
-        // but the common converged-warm-start case avoids the O(n^2) gram
-        // rebuild and O(n^3) refactor.
-        const bool cost_kept =
-            gpr_cost.fit_add_point(x_scaled_.row(row), c_label, rng);
-        const bool mem_kept =
-            gpr_mem.fit_add_point(x_scaled_.row(row), m_label, rng);
-        if (k_star_cost_valid && !cost_kept) trace::count("sim.kstar_invalidate");
-        if (k_star_mem_valid && !mem_kept) trace::count("sim.kstar_invalidate");
-        k_star_cost_valid = k_star_cost_valid && cost_kept;
-        k_star_mem_valid = k_star_mem_valid && mem_kept;
-      } else {
-        // c_learned/m_learned are maintained in learned order (holding
-        // exactly the values gather() from the label arrays would, plus
-        // any penalized labels), so the full refit sees the same bits.
-        gpr_cost.fit(x_learned, c_learned, rng, base, learned);
-        gpr_mem.fit(x_learned, m_learned, rng, base, learned);
-        // fit() re-optimizes from scratch; assume the hyperparameters
-        // moved and rebuild the cross matrices next iteration.
-        k_star_cost_valid = false;
-        k_star_mem_valid = false;
+      std::optional<gp::CandidateRef> after;
+      if (!active.empty()) {
+        if (base == nullptr) gather_rows_into(x_scaled_, active, x_active_buf);
+        after.emplace(gp::CandidateRef{x_active_buf, active});
       }
-      // Surviving cross matrices gain the acquired point's row: a 1 x m
-      // kernel evaluation against the remaining candidates, with the
-      // distance pass shared between the two kernels.
-      if ((k_star_cost_valid || k_star_mem_valid) && !active.empty()) {
-        const std::size_t appended_row[1] = {row};
-        gp::PairwiseDistances dist = [&] {
-          if (base != nullptr) {
-            // The base already holds every acquired-point-to-candidate
-            // distance; gather the 1 x m slice directly.
-            return gp::PairwiseDistances::cross_from_base(*base, appended_row,
-                                                          active);
-          }
-          linalg::Matrix x_new(1, x_scaled_.cols());
-          const auto src = x_scaled_.row(row);
-          std::copy(src.begin(), src.end(), x_new.row(0).begin());
-          // x_active_buf is free for reuse here: the CandidateView and its
-          // record reads are done for this pass, and the buffer must hold
-          // the POST-acquisition candidate set for the appended row.
-          gather_rows_into(x_scaled_, active, x_active_buf);
-          return gp::PairwiseDistances::cross(x_new, x_active_buf);
-        }();
-        if (k_star_cost_valid) {
-          trace::count("sim.kstar_append");
-          gpr_cost.kernel().prepare_distances(dist);
-          const linalg::Matrix new_row = gpr_cost.kernel().cross_cached(dist);
-          k_star_cost.push_row(new_row.row(0));
-        }
-        if (k_star_mem_valid) {
-          trace::count("sim.kstar_append");
-          gpr_mem.kernel().prepare_distances(dist);
-          const linalg::Matrix new_row = gpr_mem.kernel().cross_cached(dist);
-          k_star_mem.push_row(new_row.row(0));
-        }
-      }
+      const gp::CandidateRef* after_ptr = after ? &*after : nullptr;
+      backend_cost->add_point(x_scaled_.row(row), c_label, row, rng, after_ptr);
+      backend_mem->add_point(x_scaled_.row(row), m_label, row, rng, after_ptr);
     }
 
     // Metrics after this iteration (Eq. 10, non-log space). The final
@@ -825,8 +702,8 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
                               active.empty() || options_.stopping.enabled;
     if (evaluate_now) {
       const trace::ScopedTimer timer("rmse");
-      last_rmse_cost = test_rmse(gpr_cost, cost_test, &cost_mu_log);
-      last_rmse_mem = test_rmse(gpr_mem, mem_test);
+      last_rmse_cost = test_rmse(*backend_cost, cost_test, &cost_mu_log);
+      last_rmse_mem = test_rmse(*backend_mem, mem_test);
       last_rmse_cost_weighted = weighted(cost_mu_log);
     }
     last_record_evaluated = evaluate_now;
@@ -876,8 +753,8 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
   if (!halted && !last_record_evaluated && !result.iterations.empty()) {
     const trace::ScopedTimer timer("rmse");
     IterationRecord& last = result.iterations.back();
-    last.rmse_cost = test_rmse(gpr_cost, cost_test, &cost_mu_log);
-    last.rmse_mem = test_rmse(gpr_mem, mem_test);
+    last.rmse_cost = test_rmse(*backend_cost, cost_test, &cost_mu_log);
+    last.rmse_mem = test_rmse(*backend_mem, mem_test);
     last.rmse_cost_weighted = weighted(cost_mu_log);
   }
 
@@ -934,8 +811,14 @@ TrajectoryResult AlSimulator::run_batched(const Strategy& strategy,
   const std::vector<double> cost_test = gather(dataset_.cost, partition.test);
   const std::vector<double> mem_test = gather(dataset_.memory, partition.test);
 
-  gp::GaussianProcessRegressor gpr_cost(make_kernel(), options_.initial_fit);
-  gp::GaussianProcessRegressor gpr_mem(make_kernel(), options_.initial_fit);
+  // Batch rounds run the plain fit/predict recipe (no incremental caches),
+  // so the backends only need their kind — the exact-path plumbing flags
+  // never come into play through the predict()/predict_mean() entry
+  // points used below.
+  const std::unique_ptr<gp::PosteriorBackend> backend_cost =
+      gp::make_backend(options_.backend, make_kernel(), options_.initial_fit);
+  const std::unique_ptr<gp::PosteriorBackend> backend_mem =
+      gp::make_backend(options_.backend, make_kernel(), options_.initial_fit);
 
   std::vector<std::size_t> learned(partition.init);
   linalg::Matrix x_learned = gather_rows(x_scaled_, learned);
@@ -943,21 +826,22 @@ TrajectoryResult AlSimulator::run_batched(const Strategy& strategy,
   std::vector<double> m_learned = gather(log_mem_, learned);
   {
     const trace::ScopedTimer timer("init");
-    gpr_cost.fit(x_learned, c_learned, rng);
-    gpr_mem.fit(x_learned, m_learned, rng);
+    backend_cost->fit(x_learned, c_learned, rng);
+    backend_mem->fit(x_learned, m_learned, rng);
   }
-  gpr_cost.set_options(options_.refit);
-  gpr_mem.set_options(options_.refit);
+  backend_cost->set_fit_options(options_.refit);
+  backend_mem->set_fit_options(options_.refit);
 
-  const auto test_rmse = [&](const gp::GaussianProcessRegressor& model,
+  const auto test_rmse = [&](gp::PosteriorBackend& model,
                              std::span<const double> actual) {
-    const std::vector<double> mu = data::exp10_transform(model.predict_mean(x_test));
+    const std::vector<double> mu =
+        data::exp10_transform(model.predict_mean(x_test));
     return rmse(mu, actual);
   };
   {
     const trace::ScopedTimer timer("rmse");
-    result.initial_rmse_cost = test_rmse(gpr_cost, cost_test);
-    result.initial_rmse_mem = test_rmse(gpr_mem, mem_test);
+    result.initial_rmse_cost = test_rmse(*backend_cost, cost_test);
+    result.initial_rmse_mem = test_rmse(*backend_mem, mem_test);
   }
 
   std::vector<std::size_t> active(partition.active);
@@ -978,8 +862,8 @@ TrajectoryResult AlSimulator::run_batched(const Strategy& strategy,
     gp::Prediction pred_mem;
     {
       const trace::ScopedTimer timer("predict");
-      pred_cost = gpr_cost.predict(x_active);
-      pred_mem = gpr_mem.predict(x_active);
+      pred_cost = backend_cost->predict(x_active);
+      pred_mem = backend_mem->predict(x_active);
     }
 
     std::vector<std::size_t> remaining(active.size());
@@ -1063,8 +947,8 @@ TrajectoryResult AlSimulator::run_batched(const Strategy& strategy,
       x_learned = gather_rows(x_scaled_, learned);
       c_learned = gather(log_cost_, learned);
       m_learned = gather(log_mem_, learned);
-      gpr_cost.fit(x_learned, c_learned, rng);
-      gpr_mem.fit(x_learned, m_learned, rng);
+      backend_cost->fit(x_learned, c_learned, rng);
+      backend_mem->fit(x_learned, m_learned, rng);
     }
 
     double rmse_cost_now = 0.0;
@@ -1073,9 +957,9 @@ TrajectoryResult AlSimulator::run_batched(const Strategy& strategy,
     {
       const trace::ScopedTimer timer("rmse");
       const std::vector<double> round_mu =
-          data::exp10_transform(gpr_cost.predict_mean(x_test));
+          data::exp10_transform(backend_cost->predict_mean(x_test));
       rmse_cost_now = rmse(round_mu, cost_test);
-      rmse_mem_now = test_rmse(gpr_mem, mem_test);
+      rmse_mem_now = test_rmse(*backend_mem, mem_test);
       rmse_weighted_now = weighted_rmse(round_mu, cost_test, cost_test);
     }
     for (IterationRecord& record : round_records) {

@@ -1,0 +1,672 @@
+#include "alamr/gp/backend.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "alamr/core/trace.hpp"
+
+namespace alamr::gp {
+
+namespace {
+
+// ---- hex double round-trips for save_state -------------------------------
+// Same exact-bit convention the checkpoint format uses: doubles travel as
+// the hex image of their 64 bits, so restored centroids route every query
+// to the same expert the live run did.
+
+std::string hex_bits(double v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+  return buffer;
+}
+
+double bits_from_hex(const std::string& text) {
+  if (text.size() != 18 || text[0] != '0' || text[1] != 'x') {
+    throw std::runtime_error("backend: bad double bit pattern '" + text + "'");
+  }
+  std::uint64_t bits = 0;
+  for (std::size_t i = 2; i < text.size(); ++i) {
+    const char c = text[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    else throw std::runtime_error("backend: bad hex digit in '" + text + "'");
+    bits = (bits << 4) | digit;
+  }
+  return std::bit_cast<double>(bits);
+}
+
+// ---------------------------------------------------------------------------
+// Backend zero: the exact GaussianProcessRegressor, carrying over the
+// simulator's incremental K(X_train, X_active) bookkeeping verbatim. Every
+// branch below reproduces the corresponding historical simulator branch
+// operation for operation (counters included), which is what keeps the
+// nine golden configs byte-identical through the interface.
+// ---------------------------------------------------------------------------
+
+class ExactGprBackend final : public PosteriorBackend {
+ public:
+  ExactGprBackend(const BackendOptions& options, std::unique_ptr<Kernel> kernel,
+                  const GprOptions& fit_options)
+      : gpr_(std::move(kernel), fit_options),
+        incremental_refit_(options.incremental_refit),
+        incremental_cross_(options.incremental_cross),
+        batched_predict_(options.batched_predict) {}
+
+  std::string_view name() const noexcept override { return "exact"; }
+  BackendKind kind() const noexcept override { return BackendKind::kExact; }
+  bool fitted() const noexcept override { return gpr_.fitted(); }
+  std::size_t training_size() const noexcept override {
+    return gpr_.training_size();
+  }
+
+  void set_fit_options(const GprOptions& options) override {
+    gpr_.set_options(options);
+  }
+
+  void fit(const Matrix& x, std::span<const double> y, stats::Rng& rng,
+           const DistanceBase* base, std::span<const std::size_t> rows) override {
+    base_ = base;
+    x_learned_ = x;
+    y_learned_.assign(y.begin(), y.end());
+    rows_.assign(rows.begin(), rows.end());
+    gpr_.fit(x, y, rng, base, rows);
+    k_star_valid_ = false;
+    test_dist_.reset();
+    test_dist_rows_ = 0;
+  }
+
+  void add_point(std::span<const double> x, double y, std::size_t row,
+                 stats::Rng& rng, const CandidateRef* after) override {
+    x_learned_.push_row(x);
+    y_learned_.push_back(y);
+    if (base_ != nullptr) rows_.push_back(row);
+    if (incremental_refit_) {
+      // Same optimization, same rng stream, bit-identical posterior — but
+      // the common converged-warm-start case avoids the O(n^2) gram
+      // rebuild and O(n^3) refactor.
+      const bool kept = gpr_.fit_add_point(x, y, rng);
+      if (k_star_valid_ && !kept) core::trace::count("sim.kstar_invalidate");
+      k_star_valid_ = k_star_valid_ && kept;
+    } else {
+      // y_learned_ is maintained in learned order (holding exactly the
+      // labels the simulator revealed, penalized ones included), so the
+      // full refit sees the same bits the seed recipe did.
+      gpr_.fit(x_learned_, y_learned_, rng, base_, rows_);
+      k_star_valid_ = false;
+    }
+    // A surviving cross matrix gains the acquired point's row: a 1 x m
+    // kernel evaluation against the remaining candidates.
+    if (k_star_valid_ && after != nullptr) {
+      core::trace::count("sim.kstar_append");
+      const std::size_t appended_row[1] = {row};
+      PairwiseDistances dist = [&] {
+        if (base_ != nullptr) {
+          // The base already holds every acquired-point-to-candidate
+          // distance; gather the 1 x m slice directly.
+          return PairwiseDistances::cross_from_base(*base_, appended_row,
+                                                    after->rows);
+        }
+        Matrix x_new(1, x_learned_.cols());
+        std::copy(x.begin(), x.end(), x_new.row(0).begin());
+        return PairwiseDistances::cross(x_new, after->x);
+      }();
+      gpr_.kernel().prepare_distances(dist);
+      const Matrix new_row = gpr_.kernel().cross_cached(dist);
+      k_star_.push_row(new_row.row(0));
+    }
+  }
+
+  PosteriorSpans predict_candidates(const CandidateRef& pool,
+                                    linalg::Workspace& ws) override {
+    const std::size_t m = pool.x.rows();
+    if (incremental_cross_) {
+      if (!k_star_valid_) {
+        core::trace::count("sim.kstar_rebuild");
+        PairwiseDistances dist =
+            base_ != nullptr
+                ? PairwiseDistances::cross_from_base(*base_, rows_, pool.rows)
+                : PairwiseDistances::cross(x_learned_, pool.x);
+        gpr_.kernel().prepare_distances(dist);
+        k_star_ = gpr_.kernel().cross_cached(dist);
+        k_star_.reserve(n_train_max_, k_star_.cols());
+        if (batched_predict_) diag_ = gpr_.kernel().diagonal(pool.x);
+        k_star_valid_ = true;
+      } else {
+        core::trace::count("sim.kstar_reuse");
+      }
+      if (batched_predict_) {
+        // Fused batched posterior over the live cross matrix: outputs live
+        // in the caller's pass arena, so the steady-state pass is
+        // allocation-free (verified by tests_alloc).
+        const std::span<double> mu = ws.alloc(m);
+        const std::span<double> sd = ws.alloc(m);
+        gpr_.predict_batch(k_star_, diag_, ws, mu, sd);
+        return {mu, sd};
+      }
+      pred_ = gpr_.predict_from_cross(k_star_, pool.x);
+      return {pred_.mean, pred_.stddev};
+    }
+    if (batched_predict_) {
+      // No cross-matrix cache to batch over: build it fresh each pass but
+      // still run the fused posterior (bit-identical outputs).
+      pred_ = gpr_.predict_batch(pool.x, ws);
+      return {pred_.mean, pred_.stddev};
+    }
+    pred_ = gpr_.predict(pool.x);
+    return {pred_.mean, pred_.stddev};
+  }
+
+  void remove_candidate(std::size_t local) override {
+    // Drop the acquired candidate's column from the live cross matrix (and
+    // its cached prior-diagonal entry); remaining entries keep their bits —
+    // remove_column is pure data movement.
+    if (!k_star_valid_) return;
+    k_star_.remove_column(local);
+    if (batched_predict_) {
+      diag_.erase(diag_.begin() + static_cast<std::ptrdiff_t>(local));
+    }
+  }
+
+  std::vector<double> predict_mean(
+      const Matrix& x, std::span<const std::size_t> rows) override {
+    if (base_ == nullptr || rows.empty()) return gpr_.predict_mean(x);
+    // Route the query cross-covariance through the shared DistanceBase:
+    // the train-to-query distance slab depends only on the learned rows
+    // (hyperparameters enter in the kernel transform, not the distances),
+    // so it is regathered only when the training set grew or the query set
+    // changed. Gathered entries are bitwise identical to recomputed ones.
+    if (!test_dist_ || test_dist_rows_ != rows_.size() ||
+        !std::equal(rows.begin(), rows.end(), query_rows_.begin(),
+                    query_rows_.end())) {
+      test_dist_ = PairwiseDistances::cross_from_base(*base_, rows_, rows);
+      test_dist_rows_ = rows_.size();
+      query_rows_.assign(rows.begin(), rows.end());
+    }
+    gpr_.kernel().prepare_distances(*test_dist_);
+    return gpr_.predict_mean_from_cross(gpr_.kernel().cross_cached(*test_dist_));
+  }
+
+  Prediction predict(const Matrix& x) const override { return gpr_.predict(x); }
+
+  double lml() const override { return gpr_.log_marginal_likelihood(); }
+
+  std::vector<double> log_params() const override {
+    return gpr_.kernel().log_params();
+  }
+
+  void set_log_params(std::span<const double> theta) override {
+    gpr_.set_kernel_log_params(theta);
+  }
+
+  void reserve_additional(std::size_t extra) override {
+    n_train_max_ = gpr_.training_size() + extra;
+    gpr_.reserve_additional(extra);
+    x_learned_.reserve(n_train_max_, x_learned_.cols());
+    y_learned_.reserve(n_train_max_);
+    if (base_ != nullptr) rows_.reserve(n_train_max_);
+  }
+
+  WorkspaceBound workspace_bound(std::size_t n0, std::size_t m0,
+                                 std::size_t budget) const override {
+    if (!batched_predict_) return {};
+    // Two output vectors for the pass plus the n x m variance scratch,
+    // maximized over the pass index (the training side grows while the
+    // candidate side shrinks). Summed across the two per-response backends
+    // this reproduces the historical 4*m0 + z_peak arena bound exactly.
+    std::size_t z_peak = 0;
+    for (std::size_t p = 0; p <= budget && p <= m0; ++p) {
+      z_peak = std::max(z_peak, (n0 + p) * (m0 - p));
+    }
+    return {.outputs = 2 * m0, .scratch = z_peak};
+  }
+
+ private:
+  GaussianProcessRegressor gpr_;
+  const bool incremental_refit_;
+  const bool incremental_cross_;
+  const bool batched_predict_;
+
+  const DistanceBase* base_ = nullptr;
+  Matrix x_learned_;
+  std::vector<double> y_learned_;
+  std::vector<std::size_t> rows_;
+  std::size_t n_train_max_ = 0;
+
+  // Incremental cross-covariance K(X_learned, X_active) plus the cached
+  // prior diagonal for the fused batched posterior; both share the
+  // validity lifecycle the simulator historically managed.
+  Matrix k_star_;
+  std::vector<double> diag_;
+  bool k_star_valid_ = false;
+
+  // Train-to-query distance slab for predict_mean, keyed on the training
+  // size and query rows it was gathered for.
+  std::optional<PairwiseDistances> test_dist_;
+  std::size_t test_dist_rows_ = 0;
+  std::vector<std::size_t> query_rows_;
+
+  Prediction pred_;  // storage for the non-arena prediction paths
+};
+
+// ---------------------------------------------------------------------------
+// Subset-of-data (Nyström-style inducing subset): the exact GPR trained on
+// a bounded, deterministically chosen subset of the learned sequence — the
+// first `anchors` points (global structure) plus the most recent
+// capacity - anchors (the sliding frontier AL is actively refining). The
+// subset is a pure function of the learned sequence, so checkpoint resume
+// reconstructs it from the learned rows alone and needs no opaque state.
+// Within capacity the backend IS the exact recipe (same fit / warm
+// fit_add_point call sequence); over capacity each acquisition refits
+// O(capacity^3) and every candidate sweep is O(capacity^2 * M).
+// ---------------------------------------------------------------------------
+
+class SubsetOfDataBackend final : public PosteriorBackend {
+ public:
+  SubsetOfDataBackend(const BackendOptions& options,
+                      std::unique_ptr<Kernel> kernel,
+                      const GprOptions& fit_options)
+      : gpr_(std::move(kernel), fit_options),
+        incremental_refit_(options.incremental_refit),
+        batched_predict_(options.batched_predict),
+        cap_(std::max<std::size_t>(options.inducing_points, 2)) {
+    const std::size_t requested =
+        options.sod_anchors != 0 ? options.sod_anchors : cap_ / 2;
+    // At least one tail slot stays open so the newest point always enters
+    // the subset (the monotone-variance property at the acquired site).
+    anchors_ = std::min(requested, cap_ - 1);
+  }
+
+  std::string_view name() const noexcept override { return "subset_of_data"; }
+  BackendKind kind() const noexcept override {
+    return BackendKind::kSubsetOfData;
+  }
+  bool fitted() const noexcept override { return gpr_.fitted(); }
+  std::size_t training_size() const noexcept override { return y_seq_.size(); }
+
+  std::size_t capacity() const noexcept { return cap_; }
+  std::size_t subset_size() const noexcept { return gpr_.training_size(); }
+
+  void set_fit_options(const GprOptions& options) override {
+    gpr_.set_options(options);
+  }
+
+  void fit(const Matrix& x, std::span<const double> y, stats::Rng& rng,
+           const DistanceBase* base, std::span<const std::size_t> rows) override {
+    base_ = base;
+    x_seq_ = x;
+    y_seq_.assign(y.begin(), y.end());
+    rows_seq_.assign(rows.begin(), rows.end());
+    core::trace::count("backend.sod_fit");
+    refit_subset(rng);
+  }
+
+  void add_point(std::span<const double> x, double y, std::size_t row,
+                 stats::Rng& rng, const CandidateRef* /*after*/) override {
+    x_seq_.push_row(x);
+    y_seq_.push_back(y);
+    if (base_ != nullptr) rows_seq_.push_back(row);
+    if (y_seq_.size() <= cap_) {
+      // Subset == everything learned so far: the exact recipe, including
+      // its rng consumption, so capacity >= n reproduces the exact
+      // backend's posterior bit for bit.
+      core::trace::count("backend.sod_append");
+      if (incremental_refit_) {
+        gpr_.fit_add_point(x, y, rng);
+      } else {
+        refit_subset(rng);
+      }
+    } else {
+      // The window slid: the oldest tail point left the subset, so the
+      // posterior must be rebuilt — O(cap^3), constant in n.
+      core::trace::count("backend.sod_slide");
+      refit_subset(rng);
+    }
+  }
+
+  PosteriorSpans predict_candidates(const CandidateRef& pool,
+                                    linalg::Workspace& ws) override {
+    core::trace::count("backend.sod_predict");
+    pred_ = batched_predict_ ? gpr_.predict_batch(pool.x, ws)
+                             : gpr_.predict(pool.x);
+    return {pred_.mean, pred_.stddev};
+  }
+
+  void remove_candidate(std::size_t /*local*/) override {}
+
+  std::vector<double> predict_mean(
+      const Matrix& x, std::span<const std::size_t> /*rows*/) override {
+    return gpr_.predict_mean(x);
+  }
+
+  Prediction predict(const Matrix& x) const override { return gpr_.predict(x); }
+
+  double lml() const override { return gpr_.log_marginal_likelihood(); }
+
+  std::vector<double> log_params() const override {
+    return gpr_.kernel().log_params();
+  }
+
+  void set_log_params(std::span<const double> theta) override {
+    gpr_.set_kernel_log_params(theta);
+  }
+
+  void reserve_additional(std::size_t extra) override {
+    const std::size_t n_max = y_seq_.size() + extra;
+    x_seq_.reserve(n_max, x_seq_.cols());
+    y_seq_.reserve(n_max);
+    if (base_ != nullptr) rows_seq_.reserve(n_max);
+    if (gpr_.training_size() < cap_) {
+      gpr_.reserve_additional(
+          std::min(extra, cap_ - gpr_.training_size()));
+    }
+  }
+
+  WorkspaceBound workspace_bound(std::size_t n0, std::size_t m0,
+                                 std::size_t budget) const override {
+    if (!batched_predict_) return {};
+    // The fused sweep's scratch is min(n, cap) x m; outputs are heap-owned
+    // Prediction vectors, not arena spans.
+    std::size_t z_peak = 0;
+    for (std::size_t p = 0; p <= budget && p <= m0; ++p) {
+      z_peak = std::max(z_peak, std::min(n0 + p, cap_) * (m0 - p));
+    }
+    return {.outputs = 0, .scratch = z_peak};
+  }
+
+ private:
+  /// Indices (into the learned sequence) of the current subset: the first
+  /// min(anchors, n) points plus the most recent cap - anchors.
+  std::vector<std::size_t> subset_indices() const {
+    const std::size_t n = y_seq_.size();
+    std::vector<std::size_t> idx;
+    if (n <= cap_) {
+      idx.resize(n);
+      for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+      return idx;
+    }
+    idx.reserve(cap_);
+    for (std::size_t i = 0; i < anchors_; ++i) idx.push_back(i);
+    for (std::size_t i = n - (cap_ - anchors_); i < n; ++i) idx.push_back(i);
+    return idx;
+  }
+
+  void refit_subset(stats::Rng& rng) {
+    const std::vector<std::size_t> idx = subset_indices();
+    if (idx.size() == y_seq_.size()) {
+      // Whole-sequence subset: fit on the stored sequence directly so the
+      // call (base rows included) matches the exact backend's exactly.
+      gpr_.fit(x_seq_, y_seq_, rng, base_, rows_seq_);
+      return;
+    }
+    Matrix sx(idx.size(), x_seq_.cols());
+    std::vector<double> sy(idx.size());
+    std::vector<std::size_t> srows;
+    if (base_ != nullptr) srows.reserve(idx.size());
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+      const auto src = x_seq_.row(idx[r]);
+      std::copy(src.begin(), src.end(), sx.row(r).begin());
+      sy[r] = y_seq_[idx[r]];
+      if (base_ != nullptr) srows.push_back(rows_seq_[idx[r]]);
+    }
+    gpr_.fit(sx, sy, rng, base_, srows);
+  }
+
+  GaussianProcessRegressor gpr_;
+  const bool incremental_refit_;
+  const bool batched_predict_;
+  const std::size_t cap_;
+  std::size_t anchors_;
+
+  const DistanceBase* base_ = nullptr;
+  // The full learned sequence (arrival order); the fitted subset is a pure
+  // function of it.
+  Matrix x_seq_;
+  std::vector<double> y_seq_;
+  std::vector<std::size_t> rows_seq_;
+
+  Prediction pred_;
+};
+
+// ---------------------------------------------------------------------------
+// Partitioned local experts: LocalGprEnsemble over nearest-centroid
+// regions with the global-PRIOR fallback (no O(n^3) global model).
+// Centroids come from a deterministic k-means-lite pass over the initial
+// fit's data and are then FROZEN — routing never moves under later
+// acquisitions, which keeps region membership append-only (the property
+// checkpoint resume leans on). Because the centroids derive from data the
+// resumed process no longer has (the init partition's features before any
+// acquisition), they are the one piece of opaque save_state.
+// ---------------------------------------------------------------------------
+
+class LocalExpertsBackend final : public PosteriorBackend {
+ public:
+  LocalExpertsBackend(const BackendOptions& options,
+                      std::unique_ptr<Kernel> kernel,
+                      const GprOptions& fit_options)
+      : experts_(std::max<std::size_t>(options.experts, 1)),
+        min_expert_size_(std::max<std::size_t>(options.min_expert_size, 1)),
+        kmeans_iterations_(options.kmeans_iterations),
+        ensemble_(std::move(kernel),
+                  [this](std::span<const double> x) {
+                    return nearest_centroid(x);
+                  },
+                  fit_options) {}
+
+  std::string_view name() const noexcept override { return "local_experts"; }
+  BackendKind kind() const noexcept override {
+    return BackendKind::kLocalExperts;
+  }
+  bool fitted() const noexcept override { return ensemble_.fitted(); }
+  std::size_t training_size() const noexcept override {
+    return ensemble_.training_size();
+  }
+
+  std::size_t expert_count() const noexcept { return ensemble_.region_count(); }
+
+  void set_fit_options(const GprOptions& options) override {
+    ensemble_.set_options(options);
+  }
+
+  void fit(const Matrix& x, std::span<const double> y, stats::Rng& rng,
+           const DistanceBase* base, std::span<const std::size_t> rows) override {
+    if (centroids_.rows() == 0) compute_centroids(x);
+    LocalGprEnsemble::FitSpec spec;
+    spec.min_region_size = min_expert_size_;
+    spec.base = base;
+    spec.rows = rows;
+    spec.fallback = LocalGprEnsemble::Fallback::kPrior;
+    ensemble_.fit(x, y, rng, spec);
+    core::trace::count("backend.experts_fit");
+    core::trace::count("backend.experts_models", ensemble_.region_count());
+  }
+
+  void add_point(std::span<const double> x, double y, std::size_t row,
+                 stats::Rng& rng, const CandidateRef* /*after*/) override {
+    ensemble_.add_point(x, y, rng, row);
+    core::trace::count("backend.experts_route");
+  }
+
+  PosteriorSpans predict_candidates(const CandidateRef& pool,
+                                    linalg::Workspace& /*ws*/) override {
+    core::trace::count("backend.experts_predict");
+    pred_ = ensemble_.predict(pool.x);
+    return {pred_.mean, pred_.stddev};
+  }
+
+  void remove_candidate(std::size_t /*local*/) override {}
+
+  std::vector<double> predict_mean(
+      const Matrix& x, std::span<const std::size_t> /*rows*/) override {
+    return ensemble_.predict_mean(x);
+  }
+
+  Prediction predict(const Matrix& x) const override {
+    return ensemble_.predict(x);
+  }
+
+  double lml() const override { return ensemble_.lml(); }
+
+  std::vector<double> log_params() const override {
+    return ensemble_.log_params();
+  }
+
+  void set_log_params(std::span<const double> theta) override {
+    // Staged: the ensemble consumes one slice per model inside the next
+    // fit(), in log_params() order — the resume protocol.
+    ensemble_.set_pending_log_params(theta);
+  }
+
+  std::string save_state() const override {
+    // Centroids as exact bits: "centroids v1;<k>x<d>;hex,hex,...".
+    std::ostringstream os;
+    os << "centroids v1;" << centroids_.rows() << 'x' << centroids_.cols()
+       << ';';
+    for (std::size_t r = 0; r < centroids_.rows(); ++r) {
+      for (std::size_t c = 0; c < centroids_.cols(); ++c) {
+        if (r != 0 || c != 0) os << ',';
+        os << hex_bits(centroids_(r, c));
+      }
+    }
+    return os.str();
+  }
+
+  void restore_state(const std::string& state) override {
+    std::istringstream is(state);
+    std::string header;
+    std::string shape;
+    if (!std::getline(is, header, ';') || header != "centroids v1" ||
+        !std::getline(is, shape, ';')) {
+      throw std::runtime_error("local_experts: malformed backend state");
+    }
+    const std::size_t split = shape.find('x');
+    if (split == std::string::npos) {
+      throw std::runtime_error("local_experts: malformed centroid shape");
+    }
+    const std::size_t k = std::stoul(shape.substr(0, split));
+    const std::size_t d = std::stoul(shape.substr(split + 1));
+    Matrix restored(k, d);
+    std::string cell;
+    for (std::size_t r = 0; r < k; ++r) {
+      for (std::size_t c = 0; c < d; ++c) {
+        if (!std::getline(is, cell, ',')) {
+          throw std::runtime_error("local_experts: truncated centroid state");
+        }
+        restored(r, c) = bits_from_hex(cell);
+      }
+    }
+    centroids_ = std::move(restored);
+  }
+
+  void reserve_additional(std::size_t /*extra*/) override {}
+
+  WorkspaceBound workspace_bound(std::size_t /*n0*/, std::size_t /*m0*/,
+                                 std::size_t /*budget*/) const override {
+    return {};
+  }
+
+ private:
+  int nearest_centroid(std::span<const double> x) const {
+    if (centroids_.rows() == 0) {
+      throw std::logic_error("local_experts: no centroids (fit first)");
+    }
+    int best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < centroids_.rows(); ++j) {
+      const auto c = centroids_.row(j);
+      double d = 0.0;
+      for (std::size_t f = 0; f < c.size(); ++f) {
+        const double diff = x[f] - c[f];
+        d += diff * diff;
+      }
+      // Strict < keeps the lowest-index centroid on ties — deterministic
+      // routing with no rng anywhere in the seeding or assignment.
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(j);
+      }
+    }
+    return best;
+  }
+
+  /// Deterministic k-means-lite: strided row seeding followed by a fixed
+  /// number of Lloyd iterations (empty clusters keep their previous
+  /// centroid). No randomness — the same initial fit always produces the
+  /// same partition.
+  void compute_centroids(const Matrix& x) {
+    const std::size_t k = std::min(experts_, x.rows());
+    centroids_ = Matrix(k, x.cols());
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto src = x.row(j * x.rows() / k);
+      std::copy(src.begin(), src.end(), centroids_.row(j).begin());
+    }
+    std::vector<std::size_t> counts(k);
+    Matrix sums(k, x.cols());
+    for (std::size_t iter = 0; iter < kmeans_iterations_; ++iter) {
+      std::fill(counts.begin(), counts.end(), 0);
+      for (std::size_t r = 0; r < k; ++r) {
+        std::fill(sums.row(r).begin(), sums.row(r).end(), 0.0);
+      }
+      for (std::size_t i = 0; i < x.rows(); ++i) {
+        const std::size_t j =
+            static_cast<std::size_t>(nearest_centroid(x.row(i)));
+        ++counts[j];
+        const auto src = x.row(i);
+        const auto dst = sums.row(j);
+        for (std::size_t f = 0; f < src.size(); ++f) dst[f] += src[f];
+      }
+      for (std::size_t j = 0; j < k; ++j) {
+        if (counts[j] == 0) continue;  // keep the previous centroid
+        const auto dst = centroids_.row(j);
+        const auto src = sums.row(j);
+        for (std::size_t f = 0; f < dst.size(); ++f) {
+          dst[f] = src[f] / static_cast<double>(counts[j]);
+        }
+      }
+    }
+  }
+
+  const std::size_t experts_;
+  const std::size_t min_expert_size_;
+  const std::size_t kmeans_iterations_;
+  Matrix centroids_;  // frozen at the first fit (or restore_state)
+  LocalGprEnsemble ensemble_;
+  Prediction pred_;
+};
+
+}  // namespace
+
+std::string to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kExact: return "exact";
+    case BackendKind::kSubsetOfData: return "subset_of_data";
+    case BackendKind::kLocalExperts: return "local_experts";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<PosteriorBackend> make_backend(const BackendOptions& options,
+                                               std::unique_ptr<Kernel> kernel,
+                                               const GprOptions& fit_options) {
+  switch (options.kind) {
+    case BackendKind::kExact:
+      return std::make_unique<ExactGprBackend>(options, std::move(kernel),
+                                               fit_options);
+    case BackendKind::kSubsetOfData:
+      return std::make_unique<SubsetOfDataBackend>(options, std::move(kernel),
+                                                   fit_options);
+    case BackendKind::kLocalExperts:
+      return std::make_unique<LocalExpertsBackend>(options, std::move(kernel),
+                                                   fit_options);
+  }
+  throw std::invalid_argument("make_backend: unknown backend kind");
+}
+
+}  // namespace alamr::gp

@@ -1,0 +1,234 @@
+#pragma once
+
+// Reusable backend-parity harness (DESIGN.md §12): runs any
+// PosteriorBackend configuration through the repo's pinned AL recipes and
+// compares the full trajectory CSV against a recorded golden.
+//
+//   - fig4 recipe: byte-for-byte the GoldenTrajectory configuration
+//     (synthetic RGMA, seed 2024, 50 iterations) — with BackendKind::
+//     kExact it must reproduce tests/golden/rgma_seed2024.csv exactly.
+//   - fig5 QUICK recipe: the Fig.-5 RMSE-progression shape (larger nInit,
+//     shorter horizon) at test scale.
+//
+// Approximate backends are pinned by their own tolerance goldens
+// (tests/golden/backend_*.csv): every non-numeric cell — headers, row
+// indices, censor kinds, i.e. each discrete acquisition decision — must
+// match exactly, numeric cells within a relative tolerance that absorbs
+// SIMD-dispatch drift but fails loudly on real numerical regressions.
+//
+// Regenerate the backend goldens with scripts/regen_goldens.sh (refuses
+// when the exact backend's bytes moved; ALAMR_REGEN_GOLDEN=1 under the
+// hood).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "alamr/core/export.hpp"
+#include "alamr/core/parallel.hpp"
+#include "alamr/core/simulator.hpp"
+#include "alamr/core/strategies.hpp"
+#include "alamr/gp/backend.hpp"
+#include "synthetic_dataset.hpp"
+
+namespace alamr::testing {
+
+/// One pinned AL configuration. Everything is seeded; nothing reads the
+/// environment.
+struct ParityRecipe {
+  const char* name;
+  std::size_t dataset_size;
+  std::uint64_t dataset_seed;
+  std::size_t n_test;
+  std::size_t n_init;
+  std::size_t iterations;
+  std::uint64_t partition_seed;
+  std::uint64_t run_seed;
+};
+
+/// The GoldenTrajectory configuration (paper Fig. 4 shape): must keep
+/// matching golden_csv() in test_golden_trajectory.cpp so the exact
+/// backend stays pinned to tests/golden/rgma_seed2024.csv.
+inline ParityRecipe fig4_recipe() {
+  return {"fig4", 320, 2024, 60, 25, 50, 11, 2024};
+}
+
+/// Fig. 5 QUICK shape: a larger initial design and a shorter acquisition
+/// horizon, distinct seeds — exercises the backends from a different
+/// starting posterior.
+inline ParityRecipe fig5_quick_recipe() {
+  return {"fig5", 320, 2025, 60, 50, 30, 13, 2025};
+}
+
+inline core::AlOptions recipe_options(const ParityRecipe& recipe,
+                                      const gp::BackendOptions& backend) {
+  core::AlOptions options;
+  options.n_test = recipe.n_test;
+  options.n_init = recipe.n_init;
+  options.max_iterations = recipe.iterations;
+  options.initial_fit.restarts = 1;
+  options.initial_fit.max_opt_iterations = 40;
+  options.refit.restarts = 0;
+  options.refit.max_opt_iterations = 4;
+  options.backend = backend;
+  return options;
+}
+
+/// Runs the recipe under the given backend and returns the trajectory.
+inline core::TrajectoryResult run_recipe(const ParityRecipe& recipe,
+                                         const gp::BackendOptions& backend,
+                                         std::size_t threads = 1) {
+  const data::Dataset dataset = alamr::testing::synthetic_amr_dataset(
+      recipe.dataset_size, recipe.dataset_seed);
+  const core::AlOptions options = recipe_options(recipe, backend);
+  const core::AlSimulator simulator(dataset, options);
+  const core::Rgma rgma(simulator.memory_limit_log10());
+
+  stats::Rng partition_rng(recipe.partition_seed);
+  const data::Partition partition = data::make_partition(
+      dataset.size(), options.n_test, options.n_init, partition_rng);
+
+  core::set_global_parallel_threads(threads);
+  stats::Rng rng(recipe.run_seed);
+  const core::TrajectoryResult result =
+      simulator.run_with_partition(rgma, partition, rng);
+  core::set_global_parallel_threads(0);
+  return result;
+}
+
+inline std::string recipe_csv(const ParityRecipe& recipe,
+                              const gp::BackendOptions& backend,
+                              std::size_t threads = 1) {
+  return core::trajectory_to_csv(run_recipe(recipe, backend, threads));
+}
+
+/// Headline trajectory metrics for RMSE/CC/CR parity gates.
+struct ParitySummary {
+  double cc = 0.0;
+  double cr = 0.0;
+  double rmse_cost = 0.0;
+  double rmse_mem = 0.0;
+};
+
+inline ParitySummary summarize(const core::TrajectoryResult& result) {
+  ParitySummary s;
+  if (!result.iterations.empty()) {
+    const core::IterationRecord& last = result.iterations.back();
+    s.cc = last.cumulative_cost;
+    s.cr = last.cumulative_regret;
+    s.rmse_cost = last.rmse_cost;
+    s.rmse_mem = last.rmse_mem;
+  }
+  return s;
+}
+
+// --- Golden-file plumbing ---------------------------------------------------
+
+inline std::filesystem::path golden_path(const std::string& file) {
+  return std::filesystem::path(ALAMR_GOLDEN_DIR) / file;
+}
+
+inline std::string read_golden(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing golden file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+inline bool regenerating_goldens() {
+  const char* env = std::getenv("ALAMR_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Regeneration hook: under ALAMR_REGEN_GOLDEN=1 writes `csv` to `path`
+/// and returns true (caller should GTEST_SKIP).
+inline bool maybe_regenerate(const std::string& csv,
+                             const std::filesystem::path& path) {
+  if (!regenerating_goldens()) return false;
+  std::ofstream out(path, std::ios::binary);
+  EXPECT_TRUE(out.is_open()) << "cannot write " << path;
+  out << csv;
+  return true;
+}
+
+// --- Tolerant CSV comparison ------------------------------------------------
+
+namespace detail {
+
+inline std::vector<std::string> split_csv(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+inline bool parse_csv_double(const std::string& token, double& value) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  value = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+}  // namespace detail
+
+/// Cell-by-cell trajectory comparison: numeric cells within `rel_tol`
+/// relative, everything else (headers, row indices, censor kinds — the
+/// discrete acquisition decisions) byte-identical.
+inline void expect_csv_parity(const std::string& got,
+                              const std::string& expect, double rel_tol) {
+  const auto got_lines = detail::split_csv(got, '\n');
+  const auto expect_lines = detail::split_csv(expect, '\n');
+  ASSERT_EQ(got_lines.size(), expect_lines.size()) << "row count moved";
+  for (std::size_t line = 0; line < got_lines.size(); ++line) {
+    const auto got_cells = detail::split_csv(got_lines[line], ',');
+    const auto expect_cells = detail::split_csv(expect_lines[line], ',');
+    ASSERT_EQ(got_cells.size(), expect_cells.size()) << "line " << line;
+    for (std::size_t col = 0; col < got_cells.size(); ++col) {
+      double g = 0.0;
+      double e = 0.0;
+      if (detail::parse_csv_double(got_cells[col], g) &&
+          detail::parse_csv_double(expect_cells[col], e)) {
+        if (g == e) continue;  // exact integers, -0.0 == 0.0
+        const double scale = std::max(std::abs(e), std::abs(g));
+        EXPECT_LE(std::abs(g - e), rel_tol * scale)
+            << "line " << line << " col " << col << ": " << got_cells[col]
+            << " vs " << expect_cells[col];
+      } else {
+        EXPECT_EQ(got_cells[col], expect_cells[col])
+            << "line " << line << " col " << col;
+      }
+    }
+  }
+}
+
+/// Backend golden gate: byte-compare for the exact backend, tolerance
+/// parity for approximate ones. Returns true when the caller should
+/// GTEST_SKIP (regeneration ran).
+inline bool check_against_golden(const std::string& csv,
+                                 const std::string& golden_file,
+                                 double rel_tol) {
+  const std::filesystem::path path = golden_path(golden_file);
+  if (maybe_regenerate(csv, path)) return true;
+  if (rel_tol <= 0.0) {
+    EXPECT_EQ(csv, read_golden(path));
+  } else {
+    expect_csv_parity(csv, read_golden(path), rel_tol);
+  }
+  return false;
+}
+
+}  // namespace alamr::testing
