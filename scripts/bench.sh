@@ -241,3 +241,12 @@ EOF
 }
 
 record_backend_scaling BENCH_PR7.json
+
+# PR8: /0 arm = per-sweep full panel re-solve (O(M n^2)), /1 arm = the
+# cross-iteration candidate panel resuming the forward substitution at
+# the one appended row (O(M n)). The fig wallclock record captures the
+# end-to-end effect with the panel default-on.
+record_set BENCH_PR8.json \
+  'BM_SweepIncremental/'
+
+record_fig_wallclock BENCH_PR8.json

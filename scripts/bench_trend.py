@@ -31,6 +31,7 @@ GATE_FAMILIES = (
     "BM_TrajectoryBatch",
     "BM_BackendFit",
     "BM_BackendPredictBatch",
+    "BM_SweepIncremental",
 )
 
 

@@ -46,6 +46,10 @@
 #                    ALAMR_THREADS=4: exact backend byte-identity through
 #                    the interface, approximate-backend tolerance goldens,
 #                    parity gates, faults, and checkpoint round-trips
+#  12. panel       — the candidate-panel suites (tests_panel plus the
+#                    panel-off GoldenTrajectory arms) serial and
+#                    ALAMR_THREADS=4, mirroring the batched-off arm so
+#                    the panel_predict=false fallback path can't rot
 #
 # Finally an explicit golden gate re-runs the golden-trajectory byte
 # comparisons (which sweep the cached-kernel / incremental-refit /
@@ -199,6 +203,26 @@ run_backends() {
 }
 run_backends serial 1
 run_backends threads4 4
+
+# Panel gate: the candidate-panel cache suites — GPR-level bitwise
+# identity across append/remove/invalidate cycles, trajectory-level
+# panel-on/off byte parity under faults and checkpoint resume, and the
+# panel-off golden arms — serial and under the 4-lane pool, so the
+# panel_predict=false fallback stays exercised like batched-off is.
+run_panel() {
+  local name="$1"
+  local threads="$2"
+  echo "=== [panel/$name] candidate-panel suites (ALAMR_THREADS=$threads) ==="
+  ALAMR_THREADS="$threads" ctest --test-dir build-check/plain --output-on-failure \
+    -R 'Panel' > /tmp/check_panel_"$name".log 2>&1 || {
+    tail -50 /tmp/check_panel_"$name".log
+    echo "FAILED: panel/$name (full log: /tmp/check_panel_$name.log)"
+    exit 1
+  }
+  tail -2 /tmp/check_panel_"$name".log
+}
+run_panel serial 1
+run_panel threads4 4
 
 # Bench-trend gate: fresh optimized-arm medians for the gate benchmarks
 # must stay within 10% of the BENCH_PR*.json records. The records carry

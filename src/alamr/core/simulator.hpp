@@ -185,6 +185,16 @@ struct AlOptions {
   /// exists so tests and benches can compare both paths.
   bool batched_predict = true;
 
+  /// Keep the solved candidate panel Z = L^{-1} K(X_train, X_active)
+  /// alive across AL iterations (DESIGN.md §13): when a refit extends the
+  /// Cholesky factor by one row, only the panel's new row is solved —
+  /// O(M n) per sweep instead of O(M n^2) — and the variance finalizes
+  /// from cached running column sums. Effective with incremental_cross
+  /// and batched_predict on the exact backend (and within a window epoch
+  /// on kSubsetOfData). Bit-identical either way (golden-tested); the
+  /// flag exists so tests and benches can compare both paths.
+  bool panel_predict = true;
+
   /// Posterior backend for the per-response surrogates (DESIGN.md §12):
   /// kExact (default) is the byte-pinned seed recipe; kSubsetOfData and
   /// kLocalExperts are the approximate backends that break the O(n^3)

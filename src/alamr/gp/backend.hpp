@@ -62,6 +62,12 @@ struct BackendOptions {
   bool incremental_refit = true;
   bool incremental_cross = true;
   bool batched_predict = true;
+  /// Cross-iteration candidate panel (DESIGN.md §13): cache Z = L^{-1} K*
+  /// across sweeps and extend it by one row per incremental refit instead
+  /// of re-solving O(M n^2). Effective on kExact (with incremental_cross
+  /// and batched_predict) and kSubsetOfData (inside a window epoch);
+  /// byte-identical on or off.
+  bool panel_predict = true;
 
   /// kSubsetOfData: training-set capacity m. The subset is a pure
   /// function of the learned sequence — the first `anchors` points plus

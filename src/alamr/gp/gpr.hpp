@@ -130,6 +130,49 @@ class GaussianProcessRegressor {
   /// predict(); exists for tests and benchmarks of the fused path.
   Prediction predict_batch(const Matrix& x, linalg::Workspace& ws) const;
 
+  /// predict_batch() through the cross-iteration candidate panel
+  /// (DESIGN.md §13): the solved panel Z = L^{-1} K* and its running
+  /// squared-column accumulators persist inside the model between calls.
+  /// When the posterior only grew by a one-row Cholesky extension since
+  /// the previous sweep (unchanged hyperparameters), rows 0..n-1 of Z are
+  /// bitwise unchanged and only the appended rows are computed — O(M n)
+  /// per sweep instead of O(M n^2) — with variance finalized from the
+  /// accumulators as diag - acc. Any full posterior rebuild (theta move,
+  /// jittered refactor, fault recovery, checkpoint resume) invalidates
+  /// the panel and the next call rebuilds it from scratch. Both paths
+  /// perform, per scalar, exactly predict_batch()'s operations in the
+  /// same order, so the outputs are bit-identical to predict_batch() —
+  /// and therefore to predict() — at every thread count. The caller must
+  /// keep the panel aligned with k_star: panel_remove_column() mirrors
+  /// every k_star column removal. Requires fit().
+  void predict_batch_panel(const Matrix& k_star,
+                           std::span<const double> prior_diag,
+                           linalg::Workspace& ws, std::span<double> mean_out,
+                           std::span<double> stddev_out);
+
+  /// Drops column `local` from the candidate panel (the candidate was
+  /// acquired or censored out of the pool). Pure data movement — the
+  /// surviving columns keep their bits. No-op when no panel is live.
+  void panel_remove_column(std::size_t local);
+
+  /// Discards the candidate panel; the next predict_batch_panel() call
+  /// rebuilds it from scratch (counted as panel.rebuilds). Called
+  /// internally on every full posterior rebuild; exposed so callers can
+  /// force a rebuild when their cross matrix was rebuilt wholesale.
+  void panel_invalidate() noexcept { panel_valid_ = false; }
+
+  /// Pre-sizes the panel storage so steady-state row appends and column
+  /// drops stay allocation-free (DESIGN.md §10 discipline).
+  void panel_reserve(std::size_t rows, std::size_t cols) {
+    panel_z_.reserve(rows, cols);
+    panel_acc_.reserve(cols);
+  }
+
+  /// Rows of Z currently cached (0 when invalid). Test/diagnostic hook.
+  std::size_t panel_rows() const noexcept {
+    return panel_valid_ ? panel_z_.rows() : 0;
+  }
+
   /// Pre-sizes every posterior container (training matrix, targets,
   /// gram, factor, alpha, distance cache) for `extra` future add_point /
   /// fit_add_point appends, so incremental updates stay allocation-free
@@ -191,6 +234,20 @@ class GaussianProcessRegressor {
   /// stored factor carries jitter or the extension is not positive.
   void update_posterior_incremental();
 
+  /// Shared chunked variance kernel behind predict_from_cross(),
+  /// predict_batch(), and predict_batch_panel(): resumes the forward
+  /// substitution of Z = L^{-1} K* at `row_begin` into `z` (row i at
+  /// z + i*m, m = k_star.cols()), folds the new rows' squares into `acc`
+  /// (caller-initialized: zeros for a fresh sweep, the running panel sums
+  /// for a resumed one), and finalizes stddev = sqrt(max(diag - acc, 0)).
+  /// Columns are processed in parallel_for_chunks stripes; every kernel it
+  /// touches is elementwise (chunk-splittable), so the bits are identical
+  /// at every thread count. acc may alias stddev_out.data(): each slot's
+  /// accumulation completes before its finalizing overwrite.
+  void variance_sweep(const Matrix& k_star, std::span<const double> prior_diag,
+                      double* z, std::size_t row_begin, double* acc,
+                      std::span<double> stddev_out) const;
+
   std::unique_ptr<Kernel> kernel_;
   GprOptions options_;
 
@@ -213,6 +270,14 @@ class GaussianProcessRegressor {
   // Last log-hyperparameters that produced a valid posterior — the final
   // rung of the recovery ladder when a fresh theta breaks factorization.
   std::vector<double> last_good_params_;
+  // Cross-iteration candidate panel (DESIGN.md §13): Z = L^{-1} K* from
+  // the last predict_batch_panel() sweep plus the running squared-column
+  // sums, valid only while the posterior has grown purely by one-row
+  // factor extensions since that sweep. Derived state: never serialized,
+  // never fingerprinted — a rebuild reproduces it bit-for-bit.
+  Matrix panel_z_;
+  std::vector<double> panel_acc_;
+  bool panel_valid_ = false;
 };
 
 }  // namespace alamr::gp

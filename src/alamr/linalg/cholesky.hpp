@@ -97,6 +97,21 @@ class CholeskyFactor {
                             std::size_t col_end, double* z,
                             std::size_t ld) const;
 
+  /// Row-resumable solve_lower_block_to(): computes only solution rows
+  /// [row_begin, size()), assuming rows [0, row_begin) of `z` already hold
+  /// the solved prefix. This is the capability behind the cross-iteration
+  /// candidate panel (DESIGN.md §13): after a one-row extend() at unchanged
+  /// hyperparameters, rows 0..n-1 of Z = L^{-1} K* are bitwise unchanged —
+  /// forward substitution for row i reads only L rows <= i and B rows <= i
+  /// — so only the appended rows need computing, each in O(n) per column.
+  /// Row i's chain (copy, ascending-k rank1_sub eliminations, divide by
+  /// L_ii) is exactly what solve_lower_block_to() performs for that row,
+  /// so resuming is bit-identical to a from-scratch solve.
+  /// row_begin == 0 IS solve_lower_block_to().
+  void solve_lower_block_resume(const Matrix& b, std::size_t col_begin,
+                                std::size_t col_end, double* z, std::size_t ld,
+                                std::size_t row_begin) const;
+
   /// A^{-1} (needed by the analytic LML gradient, which uses
   /// K_y^{-1} - alpha alpha^T). Blocked multi-column solves: each panel of
   /// kCholeskyBlock identity columns goes through one forward + backward

@@ -133,6 +133,10 @@ std::string AlSimulator::trajectory_fingerprint(
   fp.add(options_.incremental_refit);
   fp.add(options_.incremental_cross);
   fp.add(options_.batched_predict);
+  // panel_predict is deliberately NOT fingerprinted: the candidate panel
+  // is derived state (rebuilt bit-identically from the factor and cross
+  // matrix), so a checkpoint written with the panel on resumes
+  // byte-identically with it off and vice versa.
   // Backend identity: an approximate posterior produces a different (and
   // non-resumable-into-each-other) trajectory, so kind and sizing are part
   // of the fingerprint. The plumbing flags are already covered above.
@@ -293,6 +297,7 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
   backend_options.incremental_refit = options_.incremental_refit;
   backend_options.incremental_cross = options_.incremental_cross;
   backend_options.batched_predict = options_.batched_predict;
+  backend_options.panel_predict = options_.panel_predict;
   const std::unique_ptr<gp::PosteriorBackend> backend_cost =
       gp::make_backend(backend_options, make_kernel(), options_.initial_fit);
   const std::unique_ptr<gp::PosteriorBackend> backend_mem =

@@ -58,7 +58,8 @@ class ExactGprBackend final : public PosteriorBackend {
       : gpr_(std::move(kernel), fit_options),
         incremental_refit_(options.incremental_refit),
         incremental_cross_(options.incremental_cross),
-        batched_predict_(options.batched_predict) {}
+        batched_predict_(options.batched_predict),
+        panel_predict_(options.panel_predict) {}
 
   std::string_view name() const noexcept override { return "exact"; }
   BackendKind kind() const noexcept override { return BackendKind::kExact; }
@@ -138,6 +139,14 @@ class ExactGprBackend final : public PosteriorBackend {
         k_star_ = gpr_.kernel().cross_cached(dist);
         k_star_.reserve(n_train_max_, k_star_.cols());
         if (batched_predict_) diag_ = gpr_.kernel().diagonal(pool.x);
+        if (batched_predict_ && panel_predict_) {
+          // A wholesale cross rebuild breaks the panel's column alignment;
+          // the next panel sweep rebuilds it (panel.rebuilds). Reserve so
+          // steady-state row appends / column drops stay allocation-free.
+          gpr_.panel_invalidate();
+          gpr_.panel_reserve(std::max(n_train_max_, gpr_.training_size()),
+                             k_star_.cols());
+        }
         k_star_valid_ = true;
       } else {
         core::trace::count("sim.kstar_reuse");
@@ -148,7 +157,11 @@ class ExactGprBackend final : public PosteriorBackend {
         // allocation-free (verified by tests_alloc).
         const std::span<double> mu = ws.alloc(m);
         const std::span<double> sd = ws.alloc(m);
-        gpr_.predict_batch(k_star_, diag_, ws, mu, sd);
+        if (panel_predict_) {
+          gpr_.predict_batch_panel(k_star_, diag_, ws, mu, sd);
+        } else {
+          gpr_.predict_batch(k_star_, diag_, ws, mu, sd);
+        }
         return {mu, sd};
       }
       pred_ = gpr_.predict_from_cross(k_star_, pool.x);
@@ -172,6 +185,9 @@ class ExactGprBackend final : public PosteriorBackend {
     k_star_.remove_column(local);
     if (batched_predict_) {
       diag_.erase(diag_.begin() + static_cast<std::ptrdiff_t>(local));
+      // Keep the panel column-aligned with the cross matrix (no-op when
+      // no panel is live).
+      if (panel_predict_) gpr_.panel_remove_column(local);
     }
   }
 
@@ -233,6 +249,7 @@ class ExactGprBackend final : public PosteriorBackend {
   const bool incremental_refit_;
   const bool incremental_cross_;
   const bool batched_predict_;
+  const bool panel_predict_;
 
   const DistanceBase* base_ = nullptr;
   Matrix x_learned_;
@@ -276,6 +293,7 @@ class SubsetOfDataBackend final : public PosteriorBackend {
       : gpr_(std::move(kernel), fit_options),
         incremental_refit_(options.incremental_refit),
         batched_predict_(options.batched_predict),
+        panel_predict_(options.panel_predict),
         cap_(std::max<std::size_t>(options.inducing_points, 2)) {
     const std::size_t requested =
         options.sod_anchors != 0 ? options.sod_anchors : cap_ / 2;
@@ -305,28 +323,51 @@ class SubsetOfDataBackend final : public PosteriorBackend {
     y_seq_.assign(y.begin(), y.end());
     rows_seq_.assign(rows.begin(), rows.end());
     core::trace::count("backend.sod_fit");
+    k_star_valid_ = false;
     refit_subset(rng);
   }
 
   void add_point(std::span<const double> x, double y, std::size_t row,
-                 stats::Rng& rng, const CandidateRef* /*after*/) override {
+                 stats::Rng& rng, const CandidateRef* after) override {
     x_seq_.push_row(x);
     y_seq_.push_back(y);
     if (base_ != nullptr) rows_seq_.push_back(row);
     if (y_seq_.size() <= cap_) {
       // Subset == everything learned so far: the exact recipe, including
       // its rng consumption, so capacity >= n reproduces the exact
-      // backend's posterior bit for bit.
+      // backend's posterior bit for bit. While the subset only grows, a
+      // cached cross matrix stays live (the window epoch): extend it by
+      // the acquired point's 1 x m kernel row, same recipe — and
+      // therefore same bits — as the exact backend's append.
       core::trace::count("backend.sod_append");
       if (incremental_refit_) {
-        gpr_.fit_add_point(x, y, rng);
+        const bool kept = gpr_.fit_add_point(x, y, rng);
+        k_star_valid_ = k_star_valid_ && kept && after != nullptr;
+        if (k_star_valid_) {
+          const std::size_t appended_row[1] = {row};
+          PairwiseDistances dist = [&] {
+            if (base_ != nullptr) {
+              return PairwiseDistances::cross_from_base(*base_, appended_row,
+                                                        after->rows);
+            }
+            Matrix x_new(1, x_seq_.cols());
+            std::copy(x.begin(), x.end(), x_new.row(0).begin());
+            return PairwiseDistances::cross(x_new, after->x);
+          }();
+          gpr_.kernel().prepare_distances(dist);
+          const Matrix new_row = gpr_.kernel().cross_cached(dist);
+          k_star_.push_row(new_row.row(0));
+        }
       } else {
+        k_star_valid_ = false;
         refit_subset(rng);
       }
     } else {
       // The window slid: the oldest tail point left the subset, so the
-      // posterior must be rebuilt — O(cap^3), constant in n.
+      // posterior must be rebuilt — O(cap^3), constant in n — and every
+      // cached cross row is against a different training set (epoch over).
       core::trace::count("backend.sod_slide");
+      k_star_valid_ = false;
       refit_subset(rng);
     }
   }
@@ -334,12 +375,51 @@ class SubsetOfDataBackend final : public PosteriorBackend {
   PosteriorSpans predict_candidates(const CandidateRef& pool,
                                     linalg::Workspace& ws) override {
     core::trace::count("backend.sod_predict");
+    if (batched_predict_ && panel_predict_) {
+      // Panel sweep over a cross matrix cached for the current window
+      // epoch. The rebuilt cross is the distance-cache evaluation of
+      // K(subset, pool) — bitwise what kernel().cross() produces — so the
+      // sweep stays bit-identical to the panel-off arm.
+      const std::size_t m = pool.x.rows();
+      if (!k_star_valid_) {
+        const std::vector<std::size_t> idx = subset_indices();
+        PairwiseDistances dist = [&] {
+          if (base_ != nullptr) {
+            std::vector<std::size_t> srows;
+            srows.reserve(idx.size());
+            for (const std::size_t i : idx) srows.push_back(rows_seq_[i]);
+            return PairwiseDistances::cross_from_base(*base_, srows, pool.rows);
+          }
+          Matrix sx(idx.size(), x_seq_.cols());
+          for (std::size_t r = 0; r < idx.size(); ++r) {
+            const auto src = x_seq_.row(idx[r]);
+            std::copy(src.begin(), src.end(), sx.row(r).begin());
+          }
+          return PairwiseDistances::cross(sx, pool.x);
+        }();
+        gpr_.kernel().prepare_distances(dist);
+        k_star_ = gpr_.kernel().cross_cached(dist);
+        diag_ = gpr_.kernel().diagonal(pool.x);
+        gpr_.panel_invalidate();
+        gpr_.panel_reserve(cap_, k_star_.cols());
+        k_star_valid_ = true;
+      }
+      const std::span<double> mu = ws.alloc(m);
+      const std::span<double> sd = ws.alloc(m);
+      gpr_.predict_batch_panel(k_star_, diag_, ws, mu, sd);
+      return {mu, sd};
+    }
     pred_ = batched_predict_ ? gpr_.predict_batch(pool.x, ws)
                              : gpr_.predict(pool.x);
     return {pred_.mean, pred_.stddev};
   }
 
-  void remove_candidate(std::size_t /*local*/) override {}
+  void remove_candidate(std::size_t local) override {
+    if (!k_star_valid_) return;
+    k_star_.remove_column(local);
+    diag_.erase(diag_.begin() + static_cast<std::ptrdiff_t>(local));
+    gpr_.panel_remove_column(local);
+  }
 
   std::vector<double> predict_mean(
       const Matrix& x, std::span<const std::size_t> /*rows*/) override {
@@ -373,12 +453,15 @@ class SubsetOfDataBackend final : public PosteriorBackend {
                                  std::size_t budget) const override {
     if (!batched_predict_) return {};
     // The fused sweep's scratch is min(n, cap) x m; outputs are heap-owned
-    // Prediction vectors, not arena spans.
+    // Prediction vectors — except on the panel path, whose mean/stddev
+    // spans are carved from the pass arena (the Z panel itself lives in
+    // member storage). The z_peak term stays as a conservative bound for
+    // the panel-off sweep.
     std::size_t z_peak = 0;
     for (std::size_t p = 0; p <= budget && p <= m0; ++p) {
       z_peak = std::max(z_peak, std::min(n0 + p, cap_) * (m0 - p));
     }
-    return {.outputs = 0, .scratch = z_peak};
+    return {.outputs = panel_predict_ ? 2 * m0 : 0, .scratch = z_peak};
   }
 
  private:
@@ -422,6 +505,7 @@ class SubsetOfDataBackend final : public PosteriorBackend {
   GaussianProcessRegressor gpr_;
   const bool incremental_refit_;
   const bool batched_predict_;
+  const bool panel_predict_;
   const std::size_t cap_;
   std::size_t anchors_;
 
@@ -431,6 +515,13 @@ class SubsetOfDataBackend final : public PosteriorBackend {
   Matrix x_seq_;
   std::vector<double> y_seq_;
   std::vector<std::size_t> rows_seq_;
+
+  // Window-epoch cross matrix K(subset, X_active) + prior diagonal for the
+  // panel path: live while the subset only grows (appends extend it by one
+  // row); any slide or full refit ends the epoch.
+  Matrix k_star_;
+  std::vector<double> diag_;
+  bool k_star_valid_ = false;
 
   Prediction pred_;
 };

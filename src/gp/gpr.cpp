@@ -40,7 +40,10 @@ GaussianProcessRegressor::GaussianProcessRegressor(
       factor_(other.factor_),
       alpha_(other.alpha_),
       lml_(other.lml_),
-      last_good_params_(other.last_good_params_) {}
+      last_good_params_(other.last_good_params_),
+      panel_z_(other.panel_z_),
+      panel_acc_(other.panel_acc_),
+      panel_valid_(other.panel_valid_) {}
 
 GaussianProcessRegressor& GaussianProcessRegressor::operator=(
     const GaussianProcessRegressor& other) {
@@ -58,6 +61,9 @@ GaussianProcessRegressor& GaussianProcessRegressor::operator=(
   alpha_ = other.alpha_;
   lml_ = other.lml_;
   last_good_params_ = other.last_good_params_;
+  panel_z_ = other.panel_z_;
+  panel_acc_ = other.panel_acc_;
+  panel_valid_ = other.panel_valid_;
   return *this;
 }
 
@@ -139,6 +145,9 @@ double GaussianProcessRegressor::compute_posterior_unchecked() {
   // Full O(n^2) gram rebuild + O(n^3) refactor — the slow path that
   // fit_add_point's incremental update exists to avoid.
   core::trace::count("gpr.fit_full");
+  // A rebuilt factor shares no rows with the old one, so any cached
+  // candidate panel is stale (DESIGN.md §13 invalidation rule 1).
+  panel_valid_ = false;
   gram_ = train_dist_ && train_dist_->rows() == x_train_.rows()
               ? kernel_->gram_cached(*train_dist_)
               : kernel_->gram(x_train_);
@@ -358,6 +367,10 @@ void GaussianProcessRegressor::update_posterior_incremental() {
     extended = factor_->extend(gram_.row(n).first(n), k_diag);
   }
   if (!extended) {
+    // The jittered refactor can change every entry of L, not just the new
+    // row — the candidate panel no longer matches (a successful extend()
+    // leaves rows 0..n-1 of L untouched, so the panel stays live there).
+    panel_valid_ = false;
     auto [factor, jitter] = linalg::cholesky_with_jitter(
         gram_, options_.initial_jitter, options_.max_jitter);
     factor_ = std::move(factor);
@@ -427,26 +440,45 @@ Prediction GaussianProcessRegressor::predict_from_cross(const Matrix& k_star,
 
   out.stddev.resize(x.rows());
   const std::vector<double> prior_diag = kernel_->diagonal(x);
+  // sigma^2 = k** - k*^T K_y^{-1} k* via Z = L^{-1} K*; sigma^2_q = k** -
+  // |z_q|^2. One heap scratch for Z; the shared sweep zero-inits the
+  // accumulators in the stddev slots, so per scalar this performs exactly
+  // the per-chunk solve + square + finalize chain it always has.
+  std::vector<double> z(n * x.rows());
+  variance_sweep(k_star, prior_diag, z.data(), 0, out.stddev.data(),
+                 out.stddev);
+  return out;
+}
+
+void GaussianProcessRegressor::variance_sweep(
+    const Matrix& k_star, std::span<const double> prior_diag, double* z,
+    std::size_t row_begin, double* acc, std::span<double> stddev_out) const {
+  const std::size_t n = x_train_.rows();
+  const std::size_t m = k_star.cols();
+  const double* diag = prior_diag.data();
+  double* sd = stddev_out.data();
   // Each query's variance solve is independent; chunks write disjoint
-  // stddev slots, so the result is identical for any thread count. Within
-  // a chunk the forward substitution runs over all columns at once
-  // (contiguous inner loops) — per scalar it performs exactly the
-  // operations a per-column solve_lower + dot(v, v) would.
-  core::parallel_for_chunks(x.rows(), [&](std::size_t begin, std::size_t end) {
-    // sigma^2 = k** - k*^T K_y^{-1} k* via Z = L^{-1} K*; sigma^2_q = k** - |z_q|^2
-    const Matrix z = factor_->solve_lower_block(k_star, begin, end);
+  // z / acc / stddev stripes, so the result is identical for any thread
+  // count. Within a chunk the forward substitution runs over all columns
+  // at once (contiguous inner loops) — per scalar it performs exactly the
+  // operations a per-column solve_lower + dot(v, v) would, and resuming
+  // at row_begin > 0 replays exactly the operations rows >= row_begin of
+  // a from-scratch solve would see (solve_lower_block_resume contract).
+  core::parallel_for_chunks(m, [&](std::size_t begin, std::size_t end) {
+    factor_->solve_lower_block_resume(k_star, begin, end, z + begin, m,
+                                      row_begin);
     const std::size_t nc = end - begin;
-    std::vector<double> acc(nc, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto zi = z.row(i);
-      for (std::size_t q = 0; q < nc; ++q) acc[q] += zi[q] * zi[q];
+    double* a = acc + begin;
+    if (row_begin == 0) std::fill(a, a + nc, 0.0);
+    for (std::size_t i = row_begin; i < n; ++i) {
+      const double* zi = z + i * m + begin;
+      for (std::size_t q = 0; q < nc; ++q) a[q] += zi[q] * zi[q];
     }
     for (std::size_t q = 0; q < nc; ++q) {
-      const double var = prior_diag[begin + q] - acc[q];
-      out.stddev[begin + q] = var > 0.0 ? std::sqrt(var) : 0.0;
+      const double var = diag[begin + q] - a[q];
+      sd[begin + q] = var > 0.0 ? std::sqrt(var) : 0.0;
     }
   });
-  return out;
 }
 
 void GaussianProcessRegressor::predict_batch(const Matrix& k_star,
@@ -475,29 +507,72 @@ void GaussianProcessRegressor::predict_batch(const Matrix& k_star,
 
   // Variance: one arena-owned n x m scratch for Z = L^{-1} K*. Allocated
   // before the parallel region (the Workspace is single-threaded by
-  // contract); each chunk solves and squares a disjoint column stripe, so
-  // lane writes never overlap and — because every column's substitution
-  // chain is independent of the chunking — each scalar sees exactly the
-  // operations predict_from_cross() performs on it.
+  // contract); the shared sweep accumulates the column squares directly in
+  // the stddev slots (zero-initialized per chunk) before finalizing them —
+  // each scalar sees exactly the operations predict_from_cross() performs
+  // on it.
   const linalg::Workspace::Scope scope(ws);
   const std::span<double> z = ws.alloc(n * m);
-  double* zb = z.data();
-  const double* diag = prior_diag.data();
-  double* sd = stddev_out.data();
-  core::parallel_for_chunks(m, [&](std::size_t begin, std::size_t end) {
-    factor_->solve_lower_block_to(k_star, begin, end, zb + begin, m);
-    const std::size_t nc = end - begin;
-    double* acc = sd + begin;
-    std::fill(acc, acc + nc, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double* zi = zb + i * m + begin;
-      for (std::size_t q = 0; q < nc; ++q) acc[q] += zi[q] * zi[q];
+  variance_sweep(k_star, prior_diag, z.data(), 0, stddev_out.data(),
+                 stddev_out);
+}
+
+void GaussianProcessRegressor::predict_batch_panel(
+    const Matrix& k_star, std::span<const double> prior_diag,
+    linalg::Workspace& ws, std::span<double> mean_out,
+    std::span<double> stddev_out) {
+  if (!fitted()) throw std::logic_error("GPR::predict_batch before fit");
+  const std::size_t n = x_train_.rows();
+  const std::size_t m = k_star.cols();
+  if (k_star.rows() != n || prior_diag.size() != m || mean_out.size() != m ||
+      stddev_out.size() != m) {
+    throw std::invalid_argument("GPR::predict_batch: shape mismatch");
+  }
+  if (m == 0) return;
+  core::trace::count("predict.batch_calls");
+  core::trace::count("predict.batch_queries", m);
+  (void)ws;  // kept for signature parity with predict_batch(); the panel
+             // lives in member storage so it survives the sweep.
+
+  // Mean: alpha changes on every posterior update, so this stays a full
+  // O(n m) pass — identical to predict_batch()'s.
+  std::fill(mean_out.begin(), mean_out.end(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    linalg::axpy(alpha_[i], k_star.row(i), mean_out);
+  }
+  for (double& v : mean_out) v += y_mean_;
+
+  // Variance through the panel. Reusable only when the posterior grew
+  // purely by factor extensions since the cached sweep (panel_valid_) and
+  // the caller kept the cross matrix aligned column-for-column.
+  const std::size_t r0 = panel_z_.rows();
+  const bool reusable = panel_valid_ && panel_z_.cols() == m && r0 <= n;
+  if (!reusable) {
+    core::trace::count("panel.rebuilds");
+    panel_acc_.resize(m);
+    panel_z_.resize_discard(n, m);
+    variance_sweep(k_star, prior_diag, panel_z_.data().data(), 0,
+                   panel_acc_.data(), stddev_out);
+  } else {
+    // Rows 0..r0-1 of Z and the running sums are bitwise those of a fresh
+    // sweep; only the appended factor rows are solved and folded in.
+    // r0 == n (no growth since last sweep) finalizes from the sums alone.
+    if (r0 < n) {
+      core::trace::count("panel.rows_appended", n - r0);
+      panel_z_.grow(n, m);
     }
-    for (std::size_t q = 0; q < nc; ++q) {
-      const double var = diag[begin + q] - acc[q];
-      acc[q] = var > 0.0 ? std::sqrt(var) : 0.0;
-    }
-  });
+    variance_sweep(k_star, prior_diag, panel_z_.data().data(), r0,
+                   panel_acc_.data(), stddev_out);
+  }
+  panel_valid_ = true;
+}
+
+void GaussianProcessRegressor::panel_remove_column(std::size_t local) {
+  if (!panel_valid_ || local >= panel_z_.cols()) return;
+  core::trace::count("panel.cols_dropped");
+  panel_z_.remove_column(local);
+  panel_acc_.erase(panel_acc_.begin() +
+                   static_cast<std::ptrdiff_t>(local));
 }
 
 Prediction GaussianProcessRegressor::predict_batch(const Matrix& x,

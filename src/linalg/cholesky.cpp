@@ -302,12 +302,21 @@ void CholeskyFactor::solve_lower_block_to(const Matrix& b,
                                           std::size_t col_begin,
                                           std::size_t col_end, double* z,
                                           std::size_t ld) const {
+  solve_lower_block_resume(b, col_begin, col_end, z, ld, 0);
+}
+
+void CholeskyFactor::solve_lower_block_resume(const Matrix& b,
+                                              std::size_t col_begin,
+                                              std::size_t col_end, double* z,
+                                              std::size_t ld,
+                                              std::size_t row_begin) const {
   const std::size_t n = size();
   const std::size_t nc = col_end - col_begin;
-  if (b.rows() != n || col_begin > col_end || col_end > b.cols() || ld < nc) {
+  if (b.rows() != n || col_begin > col_end || col_end > b.cols() || ld < nc ||
+      row_begin > n) {
     throw std::invalid_argument("solve_lower_block_to: shape mismatch");
   }
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = row_begin; i < n; ++i) {
     const auto li = l_.row(i);
     double* zi = z + i * ld;
     const auto bi = b.row(i);

@@ -54,7 +54,8 @@ AlOptions golden_options() {
 std::string golden_csv(std::size_t threads, bool incremental_refit,
                        bool incremental_cross = true,
                        bool use_distance_cache = true,
-                       bool batched_predict = true) {
+                       bool batched_predict = true,
+                       bool panel_predict = true) {
   const data::Dataset dataset = alamr::testing::synthetic_amr_dataset(320, 2024);
   AlOptions options = golden_options();
   options.incremental_refit = incremental_refit;
@@ -62,6 +63,7 @@ std::string golden_csv(std::size_t threads, bool incremental_refit,
   options.initial_fit.use_distance_cache = use_distance_cache;
   options.refit.use_distance_cache = use_distance_cache;
   options.batched_predict = batched_predict;
+  options.panel_predict = panel_predict;
   const AlSimulator simulator(dataset, options);
   const Rgma rgma(simulator.memory_limit_log10());
 
@@ -216,6 +218,42 @@ TEST(GoldenTrajectory, FourThreadsScalarPredictPathMatchesGolden) {
   EXPECT_EQ(golden_csv(4, true, /*incremental_cross=*/true,
                        /*use_distance_cache=*/true,
                        /*batched_predict=*/false),
+            read_golden_file());
+}
+
+// AlOptions::panel_predict = false disables the cross-iteration candidate
+// panel (DESIGN.md §13), re-solving the full Z = L^{-1} K* block every
+// sweep. The panel's incremental rows replay exactly the FP sequence the
+// from-scratch solve performs on them, so the bytes must not move. (The
+// default-on arm is every other golden test above.)
+
+TEST(GoldenTrajectory, PanelOffPredictPathMatchesGolden) {
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
+  if (regenerating()) GTEST_SKIP();
+  EXPECT_EQ(golden_csv(1, true, /*incremental_cross=*/true,
+                       /*use_distance_cache=*/true,
+                       /*batched_predict=*/true,
+                       /*panel_predict=*/false),
+            read_golden_file());
+}
+
+TEST(GoldenTrajectory, FourThreadsPanelOffPredictPathMatchesGolden) {
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
+  if (regenerating()) GTEST_SKIP();
+  EXPECT_EQ(golden_csv(4, true, /*incremental_cross=*/true,
+                       /*use_distance_cache=*/true,
+                       /*batched_predict=*/true,
+                       /*panel_predict=*/false),
+            read_golden_file());
+}
+
+TEST(GoldenTrajectory, PanelOffFullRefitMatchesGolden) {
+  ALAMR_PIN_SCALAR_FOR_BYTE_GOLDEN();
+  if (regenerating()) GTEST_SKIP();
+  EXPECT_EQ(golden_csv(1, false, /*incremental_cross=*/true,
+                       /*use_distance_cache=*/true,
+                       /*batched_predict=*/true,
+                       /*panel_predict=*/false),
             read_golden_file());
 }
 
