@@ -67,6 +67,19 @@ inline std::optional<core::faults::FaultPlan> fault_plan_flag(int argc,
   return plan;
 }
 
+/// `--resilience=on|off` / `--no-resilience` wiring (core/resilience.hpp):
+/// applies the flag to `options` in place and announces the effective
+/// posture. The default (on) is byte-invisible while nothing fails;
+/// `--no-resilience` restores the fail-fast contract for debugging, so a
+/// fault plan that the degradation ladder would ride out kills the run
+/// loudly instead.
+inline void resilience_flag(int argc, char** argv,
+                            core::resilience::Options& options) {
+  if (core::resilience::parse_resilience_flag(argc, argv, options)) {
+    std::printf("# %s\n", core::resilience::describe(options).c_str());
+  }
+}
+
 /// `--checkpoint <dir>` / `--resume` wiring for the long benches. With a
 /// checkpoint dir each batch runs trajectory-isolated and resumable; with
 /// --resume an interrupted run picks up from the saved per-trajectory

@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
   const std::optional<core::faults::FaultPlan> fault_plan =
       bench::fault_plan_flag(argc, argv);
   const bench::CheckpointFlags checkpoint = bench::checkpoint_flags(argc, argv);
+  core::resilience::Options resilience;
+  bench::resilience_flag(argc, argv, resilience);
   bench::print_header(
       "E5: RGMA cumulative regret vs iteration, nInit in {1, 50, 100}",
       "Fig. 4",
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
                                    std::size_t{100}}) {
     core::AlOptions options = bench::al_options(n_init, iterations);
     if (fault_plan) options.failures.plan = *fault_plan;
+    options.resilience = resilience;
     const core::AlSimulator simulator(dataset, options);
     const core::Rgma rgma(simulator.memory_limit_log10());
     const core::BatchOptions batch = bench::batch_options(n_traj, 555 + n_init);
@@ -63,6 +66,7 @@ int main(int argc, char** argv) {
     // Memory-blind baseline at the middle nInit.
     core::AlOptions options = bench::al_options(50, iterations);
     if (fault_plan) options.failures.plan = *fault_plan;
+    options.resilience = resilience;
     const core::AlSimulator simulator(dataset, options);
     const core::RandGoodness blind;
     const core::BatchOptions batch = bench::batch_options(n_traj, 606);

@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
   const std::optional<core::faults::FaultPlan> fault_plan =
       bench::fault_plan_flag(argc, argv);
   const bench::CheckpointFlags checkpoint = bench::checkpoint_flags(argc, argv);
+  core::resilience::Options resilience;
+  bench::resilience_flag(argc, argv, resilience);
   bench::print_header(
       "E6: RGMA test-RMSE progression across nInit", "Sec. V-C / Fig. 5",
       "small-nInit RGMA competitive in final RMSE; watch for late-stage "
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
                                    std::size_t{100}}) {
     core::AlOptions options = bench::al_options(n_init, iterations);
     if (fault_plan) options.failures.plan = *fault_plan;
+    options.resilience = resilience;
     const core::AlSimulator simulator(dataset, options);
     const core::Rgma rgma(simulator.memory_limit_log10());
     const core::BatchOptions batch = bench::batch_options(n_traj, 777 + n_init);

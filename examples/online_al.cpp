@@ -9,8 +9,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <string_view>
 
 #include "alamr/amr/campaign.hpp"
 #include "alamr/core/online.hpp"
@@ -20,6 +23,34 @@ int main(int argc, char** argv) {
   using namespace alamr;
   const std::optional<std::string> trace_path =
       examples::trace_flag(argc, argv);
+
+  // Serving-mode flags (DESIGN.md §14): durable checkpointing with
+  // kill/resume (`--checkpoint <path> [--stride N] [--resume]`,
+  // exercised by scripts/crash_resume.sh), fault injection
+  // (`--fault-plan <spec>`), and the resilience posture
+  // (`--no-resilience` / `--resilience=on|off`).
+  core::CheckpointConfig checkpoint;
+  checkpoint.stride = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--checkpoint" && i + 1 < argc) {
+      checkpoint.path = argv[i + 1];
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      checkpoint.path =
+          std::string(arg.substr(std::string_view("--checkpoint=").size()));
+    } else if (arg == "--stride" && i + 1 < argc) {
+      checkpoint.stride = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (arg == "--halt-after" && i + 1 < argc) {
+      checkpoint.halt_after_iterations = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (arg == "--resume") {
+      checkpoint.resume = true;
+    }
+  }
+  if (!checkpoint.path.empty()) {
+    std::printf("# checkpointing to %s (stride %zu)%s\n",
+                checkpoint.path.string().c_str(), checkpoint.stride,
+                checkpoint.resume ? " (resume)" : "");
+  }
 
   amr::CampaignOptions grid_options;
   grid_options.mx_values = {8, 16};
@@ -43,7 +74,6 @@ int main(int argc, char** argv) {
   std::map<std::tuple<int, int, double, double>,
            std::shared_ptr<amr::SolverStats>>
       physics_cache;
-  stats::Rng noise_rng(99);
   std::size_t oracle_calls = 0;
   const core::ExperimentOracle oracle =
       [&](std::span<const double> features) {
@@ -59,8 +89,20 @@ int main(int argc, char** argv) {
           amr::FvSolver solver(campaign.make_problem(config));
           slot = std::make_shared<amr::SolverStats>(solver.run());
         }
+        // Machine noise is keyed by the configuration, not drawn from a
+        // shared stream: a resumed process must reproduce the same
+        // measurement for a row regardless of how many experiments the
+        // killed process had already consumed. Each row is measured at
+        // most once, so per-row streams lose no noise independence.
+        std::uint64_t key = 0x9e3779b97f4a7c15ull;
+        for (const double f : features) {
+          std::uint64_t bits;
+          std::memcpy(&bits, &f, sizeof bits);
+          key = (key ^ bits) * 0x2545f4914f6cdd1dull;
+        }
+        stats::Rng job_rng(key);
         const amr::JobResult job =
-            amr::simulate_job(*slot, config.p, grid_options.machine, noise_rng);
+            amr::simulate_job(*slot, config.p, grid_options.machine, job_rng);
         ++oracle_calls;
         return std::pair{job.cost_node_hours, job.maxrss_mb};
       };
@@ -69,16 +111,32 @@ int main(int argc, char** argv) {
   options.n_init = 3;
   options.iterations = 30;
   options.memory_limit_log10 = std::log10(4.0);  // 4 MB per-process budget
+  if (const std::optional<core::faults::FaultPlan> plan =
+          core::faults::parse_fault_flag(argc, argv)) {
+    options.plan = *plan;
+    std::printf("# fault plan:\n%s", core::faults::describe(*plan).c_str());
+  }
+  if (core::resilience::parse_resilience_flag(argc, argv,
+                                              options.resilience)) {
+    std::printf("# %s\n",
+                core::resilience::describe(options.resilience).c_str());
+  }
 
   core::OnlineAlDriver driver(candidates, oracle, options);
   const core::Rgma strategy(options.memory_limit_log10);
   stats::Rng rng(7);
 
   const auto t0 = std::chrono::steady_clock::now();
-  const core::OnlineResult result = driver.run(strategy, rng);
+  const core::OnlineResult result = driver.run(
+      strategy, rng, checkpoint.path.empty() ? nullptr : &checkpoint);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (result.halted_at_checkpoint) {
+    std::printf("# halted at checkpoint after %zu new experiments; rerun "
+                "with --resume to continue\n",
+                checkpoint.halt_after_iterations);
+  }
 
   examples::print_rule();
   std::printf("%5s %6s %4s %5s %7s %7s | %12s %12s %12s\n", "step", "p", "mx",

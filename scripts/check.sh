@@ -50,6 +50,14 @@
 #                    panel-off GoldenTrajectory arms) serial and
 #                    ALAMR_THREADS=4, mirroring the batched-off arm so
 #                    the panel_predict=false fallback path can't rot
+#  13. resilience  — the serving-core resilience suites (executor,
+#                    breaker/ladder, durable checkpoints, online
+#                    halt/resume) under armed io.* fault plans — torn
+#                    writes on every third save, short reads on first
+#                    read — serial and ALAMR_THREADS=4: generation
+#                    fallback, quarantine, and read-retry must keep
+#                    every byte-identity assertion green with real I/O
+#                    faults firing process-wide
 #
 # Finally an explicit golden gate re-runs the golden-trajectory byte
 # comparisons (which sweep the cached-kernel / incremental-refit /
@@ -223,6 +231,40 @@ run_panel() {
 }
 run_panel serial 1
 run_panel threads4 4
+
+# Resilience gate (DESIGN.md §14): the serving-core resilience suites
+# with io.* faults armed process-wide. hits-based plans make every fire
+# deterministic: io.torn_write:hits=2 tears every test's third durable
+# save (the halt-save in the resume suites — recovery must fall back to
+# the previous intact generation and still reproduce the uninterrupted
+# run byte-for-byte); io.partial_read:hits=0 truncates every test's
+# first read (the single re-read retry must absorb it). Tests that
+# install scoped injectors or per-run plans override the env plan, so
+# their own schedules stay exact. The legacy bare-JSON test is excluded
+# from the short-read arm: format-1 files carry no length or checksum,
+# so a truncated read is indistinguishable from a complete one — the
+# limitation that motivated the v2 frame, whose suites cover it.
+run_resilience() {
+  local name="$1"
+  local threads="$2"
+  local plan="$3"
+  local exclude="${4:-}"
+  echo "=== [resilience/$name] io fault matrix (ALAMR_THREADS=$threads, plan '$plan') ==="
+  ALAMR_THREADS="$threads" ALAMR_FAULT_PLAN="$plan" \
+    ctest --test-dir build-check/plain --output-on-failure \
+    -R 'VirtualClock|Backoff|DeadlineExecutor|Breaker|EventChannel|ResilienceFlag|DurableCheckpoint|CheckpointVersionGate|OnlineResilience|OnlineLadder|OnlineCheckpointResume' \
+    ${exclude:+-E "$exclude"} \
+    > /tmp/check_resilience_"$name".log 2>&1 || {
+    tail -50 /tmp/check_resilience_"$name".log
+    echo "FAILED: resilience/$name (full log: /tmp/check_resilience_$name.log)"
+    exit 1
+  }
+  tail -2 /tmp/check_resilience_"$name".log
+}
+run_resilience torn 1 'io.torn_write:hits=2'
+run_resilience torn4 4 'io.torn_write:hits=2'
+run_resilience read 1 'io.partial_read:hits=0' 'LegacyBareJson'
+run_resilience read4 4 'io.partial_read:hits=0' 'LegacyBareJson'
 
 # Bench-trend gate: fresh optimized-arm medians for the gate benchmarks
 # must stay within 10% of the BENCH_PR*.json records. The records carry

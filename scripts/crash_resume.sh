@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Kill/resume harness for the durable checkpoint layer (DESIGN.md §14):
+# SIGKILLs a checkpointing online-AL run mid-flight, then deliberately
+# tears the newest generation on disk — the worst state a kill landing
+# inside write() can leave — and asserts that the resumed process
+#
+#   1. quarantines the torn frame to <ckpt>.bad instead of consuming it,
+#   2. falls back to the newest intact generation (<ckpt>.1), and
+#   3. finishes with an experiment log byte-identical to a run that was
+#      never interrupted.
+#
+# The harness is examples/online_al with --checkpoint/--stride/--resume:
+# its oracle keys the machine noise by configuration (not a shared
+# stream), so a resumed process reproduces the dead process's
+# measurements exactly. Lines starting with '#' (checkpoint/resume
+# announcements) and the wall-clock summary line are excluded from the
+# byte comparison; every experiment row, the simulated bill, and the
+# trained model's final prediction must match exactly.
+#
+# Usage: scripts/crash_resume.sh [build-dir]     (default: build)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+bin="$build/examples/online_al"
+if [[ ! -x "$bin" ]]; then
+  echo "=== [crash-resume] building $bin ==="
+  cmake -B "$build" -S . > /dev/null
+  cmake --build "$build" -j "$(nproc)" --target online_al > /dev/null
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+ckpt="$work/online.ckpt"
+
+filter() { grep -v '^#' "$1" | grep -v 's wall'; }
+
+echo "=== [crash-resume] reference run (never interrupted) ==="
+"$bin" > "$work/ref.raw" 2>&1
+filter "$work/ref.raw" > "$work/ref.txt"
+
+echo "=== [crash-resume] checkpointing run, SIGKILL once generations rotate ==="
+"$bin" --checkpoint "$ckpt" --stride 1 > "$work/killed.raw" 2>&1 &
+pid=$!
+for _ in $(seq 1 400); do
+  [[ -f "$ckpt.1" ]] && break
+  sleep 0.02
+done
+kill -9 "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
+if [[ ! -f "$ckpt" || ! -f "$ckpt.1" ]]; then
+  echo "FAILED: run exited before writing two checkpoint generations"
+  exit 1
+fi
+
+# Simulate the torn write the kill can leave behind: cut the newest
+# generation mid-frame. The CRC32 frame makes the damage detectable.
+size="$(stat -c%s "$ckpt")"
+truncate -s "$((size / 2))" "$ckpt"
+
+echo "=== [crash-resume] resume from the torn on-disk state ==="
+"$bin" --checkpoint "$ckpt" --stride 1 --resume > "$work/resumed.raw" 2>&1
+filter "$work/resumed.raw" > "$work/resumed.txt"
+
+if [[ ! -f "$ckpt.bad" ]]; then
+  echo "FAILED: torn generation was not quarantined to $ckpt.bad"
+  exit 1
+fi
+if ! diff -u "$work/ref.txt" "$work/resumed.txt"; then
+  echo "FAILED: resumed run diverged from the uninterrupted reference"
+  exit 1
+fi
+echo "crash/resume: torn frame quarantined, recovery from $ckpt.1 clean,"
+echo "resumed output byte-identical to the uninterrupted run."

@@ -63,13 +63,18 @@ enum class Site : std::size_t {
   kDataNanRow,       // "data.nan_row": acquired labels come back NaN
   kAcquireOom,       // "acquire.oom": acquisition crashes over the limit
   kAcquireTimeout,   // "acquire.timeout": acquisition never finishes
+  // New sites append at the end: the schedule hash salts by site index,
+  // so inserting in the middle would silently reshuffle every existing
+  // plan's fire pattern.
+  kIoTornWrite,      // "io.torn_write": a checkpoint write is cut short
+  kIoPartialRead,    // "io.partial_read": a checkpoint read is cut short
 };
-inline constexpr std::size_t kSiteCount = 5;
+inline constexpr std::size_t kSiteCount = 7;
 
 namespace detail {
 inline constexpr std::array<std::string_view, kSiteCount> kSiteNames{
     "cholesky.non_psd", "opt.diverge", "data.nan_row", "acquire.oom",
-    "acquire.timeout"};
+    "acquire.timeout", "io.torn_write", "io.partial_read"};
 }  // namespace detail
 
 inline std::string_view site_name(Site site) noexcept {
@@ -101,6 +106,12 @@ inline std::uint64_t parse_u64(std::string_view text, const char* what) {
   if (text.empty()) {
     throw std::invalid_argument(std::string("FaultPlan: empty ") + what);
   }
+  // strtoull silently accepts leading whitespace and sign characters
+  // ("-1" wraps to 2^64-1); require pure digits before converting.
+  if (text.find_first_not_of("0123456789") != std::string_view::npos) {
+    throw std::invalid_argument("FaultPlan: bad " + std::string(what) + " '" +
+                                std::string(text) + "'");
+  }
   errno = 0;
   char* end = nullptr;
   const std::string owned(text);
@@ -113,6 +124,15 @@ inline std::uint64_t parse_u64(std::string_view text, const char* what) {
 }
 
 inline double parse_probability(std::string_view text) {
+  // strtod accepts leading whitespace, signs, and parses the empty string
+  // to 0.0 ("p=" would silently become p=0); require the token to start
+  // with a digit or '.' so every accepted spelling is an explicit number.
+  if (text.empty() || (text.front() != '.' &&
+                       (text.front() < '0' || text.front() > '9'))) {
+    throw std::invalid_argument(
+        "FaultPlan: probability must be in [0, 1], got '" + std::string(text) +
+        "'");
+  }
   errno = 0;
   char* end = nullptr;
   const std::string owned(text);
@@ -181,9 +201,22 @@ class FaultPlan {
   /// Throws std::invalid_argument on malformed input.
   static FaultPlan parse(std::string_view spec) {
     FaultPlan plan;
+    if (spec.empty()) return plan;  // the canonical disarmed spelling
+    bool seed_seen = false;
+    std::array<bool, kSiteCount> site_seen{};
     for (const std::string_view segment : detail::split(spec, ';')) {
-      if (segment.empty()) continue;
+      if (segment.empty()) {
+        // "a;;b" or a trailing ';' is a typo, not an empty schedule —
+        // silently skipping it would mask a truncated plan.
+        throw std::invalid_argument("FaultPlan: empty segment in '" +
+                                    std::string(spec) + "'");
+      }
       if (segment.starts_with("seed=")) {
+        if (seed_seen) {
+          throw std::invalid_argument("FaultPlan: duplicate segment '" +
+                                      std::string(segment) + "'");
+        }
+        seed_seen = true;
         plan.set_seed(detail::parse_u64(segment.substr(5), "seed"));
         continue;
       }
@@ -199,17 +232,41 @@ class FaultPlan {
                                     std::string(segment.substr(0, colon)) +
                                     "'");
       }
+      if (site_seen[static_cast<std::size_t>(*site)]) {
+        // Two segments for one site would silently merge (last p wins,
+        // hit lists concatenate) — reject so the loser is visible.
+        throw std::invalid_argument("FaultPlan: duplicate site '" +
+                                    std::string(segment.substr(0, colon)) +
+                                    "'");
+      }
+      site_seen[static_cast<std::size_t>(*site)] = true;
       SiteSchedule& schedule = plan.at(*site);
+      bool p_seen = false, hits_seen = false, max_seen = false;
       for (const std::string_view option :
            detail::split(segment.substr(colon + 1), ',')) {
         if (option.starts_with("p=")) {
+          if (p_seen) {
+            throw std::invalid_argument("FaultPlan: duplicate option '" +
+                                        std::string(option) + "'");
+          }
+          p_seen = true;
           schedule.probability = detail::parse_probability(option.substr(2));
         } else if (option.starts_with("hits=")) {
+          if (hits_seen) {
+            throw std::invalid_argument("FaultPlan: duplicate option '" +
+                                        std::string(option) + "'");
+          }
+          hits_seen = true;
           for (const std::string_view h : detail::split(option.substr(5), '|')) {
             schedule.hits.push_back(detail::parse_u64(h, "hit index"));
           }
           std::sort(schedule.hits.begin(), schedule.hits.end());
         } else if (option.starts_with("max=")) {
+          if (max_seen) {
+            throw std::invalid_argument("FaultPlan: duplicate option '" +
+                                        std::string(option) + "'");
+          }
+          max_seen = true;
           schedule.max_fires = detail::parse_u64(option.substr(4), "max fires");
         } else {
           throw std::invalid_argument("FaultPlan: unknown option '" +

@@ -11,20 +11,39 @@
 // runs it, and refits — paying real (simulated) node-hours for every
 // selection, which is exactly the regime the cost-aware strategies are
 // designed for.
+//
+// Serving-core resilience (DESIGN.md §14): oracle calls run under a
+// deadline/backoff executor (seeded deterministic retries over a virtual
+// clock); candidates whose oracle keeps failing are dropped rather than
+// killing the run; the surrogates sit behind the breaker-guarded
+// degradation ladder; and runs checkpoint durably (CRC-framed,
+// generation-rotated) so a killed run resumes byte-identically.
 
 #include <functional>
 #include <limits>
 
+#include "alamr/core/resilience.hpp"
+#include "alamr/core/simulator.hpp"  // CheckpointConfig
 #include "alamr/core/strategies.hpp"
 #include "alamr/data/transforms.hpp"
-#include "alamr/gp/gpr.hpp"
+#include "alamr/gp/backend.hpp"
 
 namespace alamr::core {
 
 /// Executes the experiment described by a feature row and returns the
 /// measured (cost [node-hours], memory [MB]). Both must be positive.
+/// Transient failures may throw std::runtime_error: the driver retries
+/// with backoff and eventually skips the candidate. Throw
+/// OnlineContractError for non-retryable protocol violations.
 using ExperimentOracle =
     std::function<std::pair<double, double>(std::span<const double> features)>;
+
+/// A broken oracle CONTRACT (for example a non-positive measurement), as
+/// opposed to a transient failure. Never retried: propagates out of
+/// run() so the bug is fixed rather than papered over.
+struct OnlineContractError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct OnlineAlOptions {
   /// Experiments run (on oracle rows chosen uniformly at random) before AL
@@ -38,6 +57,18 @@ struct OnlineAlOptions {
 
   gp::GprOptions initial_fit{.restarts = 2, .max_opt_iterations = 50};
   gp::GprOptions refit{.restarts = 0, .max_opt_iterations = 10};
+
+  /// Surrogate family for the two models (exact GPR by default).
+  gp::BackendOptions backend;
+
+  /// Deadline/backoff executor and degradation-ladder knobs. The default
+  /// (enabled) is byte-invisible while nothing fails.
+  resilience::Options resilience;
+
+  /// Explicit fault-injection plan for this run (empty = fall back to the
+  /// ALAMR_FAULT_PLAN env plan, if any). acquire.timeout fires as oracle
+  /// timeouts here.
+  faults::FaultPlan plan;
 };
 
 /// One executed experiment in an online run.
@@ -55,13 +86,20 @@ struct OnlineRecord {
 struct OnlineResult {
   std::vector<OnlineRecord> records;
   bool exhausted_safe_candidates = false;
+  /// True when the run stopped at CheckpointConfig::halt_after_iterations
+  /// (a checkpoint was saved; resume to continue).
+  bool halted_at_checkpoint = false;
+  /// Candidates abandoned because their oracle kept failing past the
+  /// executor's retry budget.
+  std::size_t oracle_giveups = 0;
   /// Final models, usable for downstream prediction over the grid.
-  std::unique_ptr<gp::GaussianProcessRegressor> cost_model;
-  std::unique_ptr<gp::GaussianProcessRegressor> memory_model;
+  std::unique_ptr<gp::PosteriorBackend> cost_model;
+  std::unique_ptr<gp::PosteriorBackend> memory_model;
 };
 
 /// Drives online AL over `candidate_grid` (raw feature rows; scaled to the
-/// unit cube internally). Every selection calls `oracle` exactly once.
+/// unit cube internally). Every selection calls `oracle` exactly once
+/// (plus deadline-executor retries on transient oracle failures).
 class OnlineAlDriver {
  public:
   OnlineAlDriver(linalg::Matrix candidate_grid, ExperimentOracle oracle,
@@ -72,10 +110,16 @@ class OnlineAlDriver {
   }
 
   /// Runs the initial phase plus `options.iterations` AL selections.
-  /// Callable once per driver instance.
-  OnlineResult run(const Strategy& strategy, stats::Rng& rng);
+  /// Callable once per driver instance. With a checkpoint config the run
+  /// saves durable generations every `stride` records and can resume a
+  /// killed run from the newest intact generation.
+  OnlineResult run(const Strategy& strategy, stats::Rng& rng,
+                   const CheckpointConfig* checkpoint = nullptr);
 
  private:
+  std::string run_fingerprint(std::string_view strategy_name,
+                              std::string_view plan_spec) const;
+
   linalg::Matrix grid_;          // raw features
   linalg::Matrix grid_scaled_;   // unit-cube features
   ExperimentOracle oracle_;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "alamr/core/faults.hpp"
+#include "alamr/core/resilience.hpp"
 #include "alamr/core/strategies.hpp"
 #include "alamr/core/trace.hpp"
 #include "alamr/data/dataset.hpp"
@@ -125,6 +126,11 @@ struct CheckpointConfig {
   /// completion), saving a checkpoint at the halt. For sharding long
   /// trajectories across job allocations — and for kill/resume tests.
   std::size_t halt_after_iterations = 0;
+
+  /// Checkpoint generations kept on disk (path, path.1, ..., up to
+  /// retain - 1 rotations). Loading falls back to the newest intact
+  /// generation when newer ones are torn or corrupt (DESIGN.md §14).
+  std::size_t retain = 3;
 };
 
 struct AlOptions {
@@ -214,6 +220,13 @@ struct AlOptions {
   /// Failure model: censoring policy, real-OOM awareness, fault plan.
   /// Defaults are inert (see FailureOptions).
   FailureOptions failures;
+
+  /// Resilience layer (core/resilience.hpp): wraps each surrogate in the
+  /// breaker-guarded degradation-ladder decorator and paces retries with
+  /// the deadline executor. The default (enabled) is byte-invisible while
+  /// nothing fails — golden-tested; disable to remove the decorator
+  /// entirely (and with it any healing under armed fault plans).
+  resilience::Options resilience;
 };
 
 /// Everything recorded at one AL iteration.

@@ -26,6 +26,7 @@
 // gates (tests/backend_parity.hpp); the exact backend stays pinned by the
 // byte-for-byte golden configs.
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -33,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "alamr/core/resilience.hpp"
 #include "alamr/gp/gpr.hpp"
 #include "alamr/gp/local.hpp"
 #include "alamr/linalg/workspace.hpp"
@@ -44,6 +46,7 @@ enum class BackendKind {
   kExact,         // GaussianProcessRegressor, the byte-pinned seed recipe
   kSubsetOfData,  // bounded inducing subset of the learned sequence
   kLocalExperts,  // LocalGprEnsemble, nearest-centroid routing
+  kPriorMean,     // constant training-mean posterior: cannot fail
 };
 
 std::string to_string(BackendKind kind);
@@ -199,5 +202,135 @@ class PosteriorBackend {
 std::unique_ptr<PosteriorBackend> make_backend(const BackendOptions& options,
                                                std::unique_ptr<Kernel> kernel,
                                                const GprOptions& fit_options);
+
+/// Graceful-degradation decorator over a PosteriorBackend (DESIGN.md §14).
+///
+/// Wraps the configured backend and guards every model operation with a
+/// per-model circuit breaker fed by two channels: resilience events noted
+/// by lower layers while the operation runs (injected cholesky.non_psd /
+/// opt.diverge fires), and recoverable exceptions escaping the operation
+/// itself. Repeated failures trip the breaker and step a degradation
+/// ladder derived from the configured kind:
+///
+///   kExact        -> kSubsetOfData -> kPriorMean
+///   kSubsetOfData -> kPriorMean
+///   kLocalExperts -> kSubsetOfData -> kPriorMean
+///
+/// Each step rebuilds the next rung from the decorator's retained copy of
+/// the learned set with an rng-free, optimization-free fit (deterministic:
+/// no stream draws, so fault schedules and resumed runs stay aligned).
+/// While degraded, a streak of successful operations triggers a half-open
+/// probe of the rung above (restored at its last known hyperparameters);
+/// success recovers, failure stays put. Health is kHealthy on rung 0,
+/// kDegraded below, kHalted when the bottom rung itself failed. Everything
+/// is surfaced through resilience.* trace counters.
+///
+/// Happy path: with resilience disabled or nothing failing, every call is
+/// a plain virtual forward plus integer bookkeeping — no rng draws, no FP
+/// work — so disarmed trajectories are byte-identical to the undecorated
+/// backend (golden-pinned).
+class ResilientBackend final : public PosteriorBackend {
+ public:
+  using KernelFactory = std::function<std::unique_ptr<Kernel>()>;
+
+  ResilientBackend(const BackendOptions& options,
+                   const core::resilience::Options& resilience,
+                   KernelFactory kernel_factory,
+                   const GprOptions& fit_options);
+  ~ResilientBackend() override;
+
+  // -- PosteriorBackend -----------------------------------------------------
+  std::string_view name() const noexcept override;
+  /// The CONFIGURED kind, not the active rung's: fingerprints and resume
+  /// compatibility key on configuration, which degradation does not change.
+  BackendKind kind() const noexcept override;
+  bool fitted() const noexcept override;
+  std::size_t training_size() const noexcept override;
+  void set_fit_options(const GprOptions& options) override;
+  void fit(const Matrix& x, std::span<const double> y, stats::Rng& rng,
+           const DistanceBase* base = nullptr,
+           std::span<const std::size_t> rows = {}) override;
+  void add_point(std::span<const double> x, double y, std::size_t row,
+                 stats::Rng& rng, const CandidateRef* after) override;
+  PosteriorSpans predict_candidates(const CandidateRef& pool,
+                                    linalg::Workspace& ws) override;
+  void remove_candidate(std::size_t local) override;
+  std::vector<double> predict_mean(
+      const Matrix& x, std::span<const std::size_t> rows = {}) override;
+  Prediction predict(const Matrix& x) const override;
+  double lml() const override;
+  std::vector<double> log_params() const override;
+  void set_log_params(std::span<const double> theta) override;
+  std::string save_state() const override;
+  void restore_state(const std::string& state) override;
+  void reserve_additional(std::size_t extra) override;
+  WorkspaceBound workspace_bound(std::size_t n0, std::size_t m0,
+                                 std::size_t budget) const override;
+
+  // -- Resilience surface ---------------------------------------------------
+  core::resilience::Health health() const noexcept;
+  /// Current ladder rung (0 = the configured backend).
+  std::size_t rung() const noexcept { return rung_; }
+  /// The kind actually serving predictions right now.
+  BackendKind active_kind() const noexcept { return ladder_[rung_]; }
+  const core::resilience::CircuitBreaker& breaker() const noexcept {
+    return breaker_;
+  }
+  /// Feeds an event observed OUTSIDE a guarded operation into this
+  /// model's breaker (the simulator attributes injected acquire.timeout
+  /// censors here). A resulting trip degrades at the next operation.
+  void record_external_event(core::resilience::Event event);
+
+ private:
+  struct BreakerListener;
+  enum class RetryAfterDegrade { kYes, kNo };
+
+  std::unique_ptr<PosteriorBackend> make_inner(BackendKind kind) const;
+  void pre_op();
+  void degrade(const char* why);
+  void rebuild_at_rung(std::span<const double> theta);
+  void maybe_probe_recovery();
+  template <typename Fn>
+  std::invoke_result_t<Fn&> guarded(const char* op, RetryAfterDegrade retry,
+                                    Fn&& fn);
+
+  BackendOptions base_options_;
+  core::resilience::Options res_;
+  KernelFactory kernel_factory_;
+  GprOptions fit_options_;
+  std::vector<BackendKind> ladder_;
+
+  // predict() is const in the interface but degradation mutates the
+  // decorator; the resilient state is mutable so the const forward can
+  // still heal itself.
+  mutable std::unique_ptr<PosteriorBackend> inner_;
+  mutable std::size_t rung_ = 0;
+  mutable core::resilience::CircuitBreaker breaker_;
+  mutable core::resilience::Health health_ = core::resilience::Health::kHealthy;
+  /// Hyperparameters each abandoned rung held when it was degraded away
+  /// (ladder-indexed) — restored by half-open probes.
+  mutable std::vector<std::vector<double>> rung_theta_;
+  /// Deterministic scratch rng for degrade/probe refits. Those fits run
+  /// with optimize=false and restarts=0, which draw nothing — the stream
+  /// exists only to satisfy the fit signature.
+  mutable stats::Rng repair_rng_;
+  /// Per-model retry pacing for guarded operations: seeded backoff over a
+  /// virtual clock, so the schedule never reads wall time.
+  mutable core::resilience::DeadlineExecutor exec_;
+
+  // Retained copy of the learned set, the raw material for rebuilds.
+  Matrix x_store_{0, 0};
+  std::vector<double> y_store_;
+  std::vector<std::size_t> rows_store_;
+  const DistanceBase* base_ = nullptr;
+};
+
+/// Wraps the configured backend in a ResilientBackend when
+/// `resilience.enabled`, otherwise builds the plain backend. The factory
+/// must mint a fresh kernel per call (degradation rungs own their kernel).
+std::unique_ptr<PosteriorBackend> make_resilient_backend(
+    const BackendOptions& options, const core::resilience::Options& resilience,
+    ResilientBackend::KernelFactory kernel_factory,
+    const GprOptions& fit_options);
 
 }  // namespace alamr::gp

@@ -1,11 +1,15 @@
 #include "alamr/core/checkpoint.hpp"
 
+#include <array>
 #include <bit>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
+
+#include "alamr/core/trace.hpp"
 
 namespace alamr::core {
 
@@ -350,9 +354,19 @@ std::string checkpoint_to_json(const TrajectoryCheckpoint& s) {
 
 TrajectoryCheckpoint checkpoint_from_json(const std::string& json) {
   const JsonValue root = JsonParser(json).parse();
-  if (root.at("version").number != kVersion) {
+  const std::uint64_t version = root.at("version").number;
+  if (version > kVersion) {
+    // Written by a newer build: refuse loudly and leave the file alone
+    // (treating this as corruption would quarantine state the newer
+    // build could still resume from).
+    throw CheckpointVersionError(
+        "checkpoint: payload version " + std::to_string(version) +
+        " is newer than this build understands (max " +
+        std::to_string(kVersion) + "); keeping the file");
+  }
+  if (version != kVersion) {
     throw std::runtime_error("checkpoint: unsupported version " +
-                             std::to_string(root.at("version").number));
+                             std::to_string(version));
   }
   TrajectoryCheckpoint s;
   s.fingerprint = root.at("fingerprint").str;
@@ -395,7 +409,12 @@ TrajectoryCheckpoint checkpoint_from_json(const std::string& json) {
   const std::vector<std::uint64_t> hits = read_u64_array(root.at("fault_hits"));
   const std::vector<std::uint64_t> fires =
       read_u64_array(root.at("fault_fires"));
-  if (hits.size() != faults::kSiteCount || fires.size() != faults::kSiteCount) {
+  // Fewer counters than this build knows is a file written before new
+  // sites were appended — the missing tail starts at zero consultations,
+  // which is exactly right. More counters means an unknown newer site
+  // roster: refuse rather than silently drop state.
+  if (hits.size() > faults::kSiteCount || fires.size() > faults::kSiteCount ||
+      hits.size() != fires.size()) {
     throw std::runtime_error("checkpoint: fault counter arity mismatch");
   }
   std::copy(hits.begin(), hits.end(), s.fault_hits.begin());
@@ -426,16 +445,166 @@ TrajectoryCheckpoint checkpoint_from_json(const std::string& json) {
   return s;
 }
 
-void save_checkpoint(const TrajectoryCheckpoint& state,
-                     const std::filesystem::path& path) {
-  const std::filesystem::path tmp =
-      std::filesystem::path(path).concat(".tmp");
+// ---- Durable frame + generation retention --------------------------------
+
+namespace {
+
+constexpr std::string_view kFrameMagic = "ALAMR-CKPT v";
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+std::string crc32_hex(std::uint32_t crc) {
+  char buffer[12];
+  std::snprintf(buffer, sizeof(buffer), "%08x", crc);
+  return buffer;
+}
+
+/// Outcome of validating one generation's bytes.
+enum class FrameStatus { kOk, kCorrupt };
+
+struct FrameResult {
+  FrameStatus status = FrameStatus::kCorrupt;
+  std::string payload;
+  std::string why;  // corruption diagnosis for the final error message
+};
+
+/// Validates a durable frame (or a pre-frame format-1 JSON file) and
+/// extracts the payload. Throws CheckpointVersionError for frames from a
+/// newer format — that is a refusal, not corruption.
+FrameResult validate_frame(const std::string& bytes,
+                           const std::filesystem::path& path) {
+  FrameResult out;
+  if (!bytes.empty() && bytes.front() == '{') {
+    // Format 1: bare JSON, no frame. The payload codec's own version
+    // field gates schema compatibility.
+    out.status = FrameStatus::kOk;
+    out.payload = bytes;
+    return out;
+  }
+  if (bytes.size() < kFrameMagic.size() ||
+      std::string_view(bytes).substr(0, kFrameMagic.size()) != kFrameMagic) {
+    out.why = "bad frame magic";
+    return out;
+  }
+  const std::size_t header_end = bytes.find('\n');
+  if (header_end == std::string::npos) {
+    out.why = "unterminated frame header";
+    return out;
+  }
+  const std::string header = bytes.substr(0, header_end);
+  unsigned long long version = 0;
+  unsigned long long length = 0;
+  unsigned crc = 0;
+  if (std::sscanf(header.c_str(), "ALAMR-CKPT v%llu len=%llu crc32=%8x",
+                  &version, &length, &crc) != 3) {
+    out.why = "malformed frame header '" + header + "'";
+    return out;
+  }
+  if (version > kCheckpointFormatVersion) {
+    throw CheckpointVersionError(
+        "checkpoint: " + path.string() + " has format version " +
+        std::to_string(version) + ", newer than this build understands (max " +
+        std::to_string(kCheckpointFormatVersion) + "); keeping the file");
+  }
+  const std::string_view payload =
+      std::string_view(bytes).substr(header_end + 1);
+  if (payload.size() != length) {
+    out.why = "payload length " + std::to_string(payload.size()) +
+              " != header len " + std::to_string(length);
+    return out;
+  }
+  if (crc32(payload) != crc) {
+    out.why = "crc32 mismatch";
+    return out;
+  }
+  out.status = FrameStatus::kOk;
+  out.payload = std::string(payload);
+  return out;
+}
+
+/// Reads a whole file; consults the io.partial_read fault site, which
+/// truncates the returned bytes to model a short read.
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string bytes = buffer.str();
+  if (faults::fire(faults::Site::kIoPartialRead)) {
+    trace::count("resilience.io_partial_reads");
+    bytes.resize(bytes.size() / 2);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::string frame_payload(std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 48);
+  frame += kFrameMagic;
+  frame += std::to_string(kCheckpointFormatVersion);
+  frame += " len=";
+  frame += std::to_string(payload.size());
+  frame += " crc32=";
+  frame += crc32_hex(crc32(payload));
+  frame += '\n';
+  frame += payload;
+  return frame;
+}
+
+std::filesystem::path checkpoint_generation_path(
+    const std::filesystem::path& path, std::size_t generation) {
+  if (generation == 0) return path;
+  return std::filesystem::path(path).concat("." +
+                                            std::to_string(generation));
+}
+
+void save_durable_payload(std::string_view payload,
+                          const std::filesystem::path& path,
+                          std::size_t retain) {
+  if (retain == 0) retain = 1;
+  // Rotate: <path>.{retain-2} -> <path>.{retain-1}, ..., <path> -> <path>.1.
+  // Renames are best-effort (a missing generation is simply a gap).
+  for (std::size_t g = retain - 1; g >= 1; --g) {
+    std::error_code ec;
+    std::filesystem::rename(checkpoint_generation_path(path, g - 1),
+                            checkpoint_generation_path(path, g), ec);
+  }
+  std::string frame = frame_payload(payload);
+  if (faults::fire(faults::Site::kIoTornWrite)) {
+    // A torn write publishes the header plus roughly half the payload:
+    // the frame's length/CRC checks catch it on load.
+    trace::count("resilience.io_torn_writes");
+    const std::size_t header_end = frame.find('\n') + 1;
+    frame.resize(header_end + (frame.size() - header_end) / 2);
+  }
+  const std::filesystem::path tmp = std::filesystem::path(path).concat(".tmp");
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out.is_open()) {
       throw std::runtime_error("save_checkpoint: cannot open " + tmp.string());
     }
-    out << checkpoint_to_json(state);
+    out << frame;
     out.flush();
     if (!out.good()) {
       throw std::runtime_error("save_checkpoint: write failed for " +
@@ -447,13 +616,251 @@ void save_checkpoint(const TrajectoryCheckpoint& state,
   std::filesystem::rename(tmp, path);
 }
 
+std::optional<std::string> load_durable_payload(
+    const std::filesystem::path& path, std::size_t retain,
+    CheckpointLoadReport* report) {
+  if (retain == 0) retain = 1;
+  CheckpointLoadReport local;
+  CheckpointLoadReport& rep = report != nullptr ? *report : local;
+  bool found_any = false;
+  std::string first_why;
+  // Scan newest-first. Quarantine can leave gaps (generation g renamed to
+  // .bad while g+1 survives), so keep scanning past missing files up to a
+  // hard cap beyond the retention window.
+  constexpr std::size_t kScanCap = 64;
+  for (std::size_t g = 0; g < std::max(retain, kScanCap); ++g) {
+    const std::filesystem::path gen = checkpoint_generation_path(path, g);
+    std::optional<std::string> bytes = read_file(gen);
+    if (!bytes.has_value()) {
+      if (g + 1 >= retain) break;  // past the window and nothing there
+      continue;
+    }
+    found_any = true;
+    ++rep.generations_scanned;
+    FrameResult frame = validate_frame(*bytes, gen);
+    if (frame.status != FrameStatus::kOk) {
+      // One retry: a short read is transient (the file on disk may be
+      // fine), a torn write is not — the reread distinguishes them.
+      bytes = read_file(gen);
+      if (bytes.has_value()) {
+        frame = validate_frame(*bytes, gen);
+        if (frame.status == FrameStatus::kOk) {
+          ++rep.read_retries;
+          trace::count("resilience.io_read_retries");
+        }
+      }
+    }
+    if (frame.status == FrameStatus::kOk) {
+      rep.loaded_from = gen;
+      return frame.payload;
+    }
+    if (first_why.empty()) {
+      first_why = gen.string() + ": " + frame.why;
+    }
+    // Corrupt: quarantine to <gen>.bad and fall back to the next older
+    // generation. rename overwrites an existing .bad from a prior crash.
+    const std::filesystem::path bad =
+        std::filesystem::path(gen).concat(".bad");
+    std::error_code ec;
+    std::filesystem::rename(gen, bad, ec);
+    if (!ec) rep.quarantined.push_back(bad);
+    ++rep.fallbacks;
+    trace::count("resilience.ckpt_quarantined");
+    trace::count("resilience.ckpt_fallbacks");
+  }
+  if (!found_any) return std::nullopt;
+  throw std::runtime_error(
+      "checkpoint: no intact generation of " + path.string() +
+      " (first failure: " + first_why + "); corrupt generations quarantined "
+      "to *.bad");
+}
+
+void remove_durable_payload(const std::filesystem::path& path,
+                            std::size_t retain) {
+  if (retain == 0) retain = 1;
+  std::error_code ec;
+  constexpr std::size_t kScanCap = 64;
+  for (std::size_t g = 0; g < std::max(retain, kScanCap); ++g) {
+    const bool existed =
+        std::filesystem::remove(checkpoint_generation_path(path, g), ec);
+    if (!existed && g + 1 >= retain) break;
+  }
+  std::filesystem::remove(std::filesystem::path(path).concat(".tmp"), ec);
+}
+
+void save_checkpoint(const TrajectoryCheckpoint& state,
+                     const std::filesystem::path& path, std::size_t retain) {
+  save_durable_payload(checkpoint_to_json(state), path, retain);
+  trace::count("resilience.ckpt_saves");
+}
+
 std::optional<TrajectoryCheckpoint> load_checkpoint(
-    const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return checkpoint_from_json(buffer.str());
+    const std::filesystem::path& path, std::size_t retain,
+    CheckpointLoadReport* report) {
+  const std::optional<std::string> payload =
+      load_durable_payload(path, retain, report);
+  if (!payload.has_value()) return std::nullopt;
+  return checkpoint_from_json(*payload);
+}
+
+void remove_checkpoint(const std::filesystem::path& path, std::size_t retain) {
+  remove_durable_payload(path, retain);
+}
+
+// ---- Online-run checkpoint ------------------------------------------------
+
+namespace {
+
+/// Payload schema version for OnlineCheckpoint (independent of the
+/// trajectory payload's version and of the frame format version).
+constexpr std::uint64_t kOnlineVersion = 1;
+
+}  // namespace
+
+std::string online_checkpoint_to_json(const OnlineCheckpoint& s) {
+  std::ostringstream os;
+  os << "{\"version\":" << kOnlineVersion << ",";
+  os << "\"kind\":\"online\",";
+  os << "\"fingerprint\":";
+  write_escaped(os, s.fingerprint);
+  os << ",\"al_iterations_done\":" << s.al_iterations_done << ',';
+  write_u64_array(os, "visited", s.visited);
+  os << ',';
+  write_u64_array(os, "skipped", s.skipped);
+  os << ',';
+  write_double_array(os, "log_cost", s.log_cost);
+  os << ',';
+  write_double_array(os, "log_mem", s.log_mem);
+  os << ',';
+  write_double_array(os, "theta_cost", s.theta_cost);
+  os << ',';
+  write_double_array(os, "theta_mem", s.theta_mem);
+  os << ",\"backend_state_cost\":";
+  write_escaped(os, s.backend_state_cost);
+  os << ",\"backend_state_mem\":";
+  write_escaped(os, s.backend_state_mem);
+  os << ",\"rng\":{";
+  write_u64_array(os, "words", s.rng.words);
+  os << ",\"cached_normal\":\"" << hex_bits(s.rng.cached_normal) << '"'
+     << ",\"has_cached_normal\":"
+     << (s.rng.has_cached_normal ? "true" : "false") << '}';
+  os << ",\"cc\":\"" << hex_bits(s.cc) << '"';
+  os << ",\"cr\":\"" << hex_bits(s.cr) << '"';
+  os << ",\"oracle_giveups\":" << s.oracle_giveups;
+  os << ",\"exhausted_safe_candidates\":"
+     << (s.exhausted_safe_candidates ? "true" : "false") << ',';
+  write_u64_array(os, "fault_hits", s.fault_hits);
+  os << ',';
+  write_u64_array(os, "fault_fires", s.fault_fires);
+  os << ",\"records\":[";
+  for (std::size_t i = 0; i < s.records.size(); ++i) {
+    const OnlineRecord& r = s.records[i];
+    os << (i == 0 ? "" : ",") << "{\"grid_row\":" << r.grid_row
+       << ",\"cost\":\"" << hex_bits(r.cost) << '"'
+       << ",\"memory\":\"" << hex_bits(r.memory) << '"'
+       << ",\"predicted_cost_log10\":\"" << hex_bits(r.predicted_cost_log10)
+       << '"' << ",\"predicted_mem_log10\":\""
+       << hex_bits(r.predicted_mem_log10) << '"'
+       << ",\"cumulative_cost\":\"" << hex_bits(r.cumulative_cost) << '"'
+       << ",\"cumulative_regret\":\"" << hex_bits(r.cumulative_regret) << '"'
+       << ",\"initial_phase\":" << (r.initial_phase ? "true" : "false")
+       << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+OnlineCheckpoint online_checkpoint_from_json(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  const std::uint64_t version = root.at("version").number;
+  if (version > kOnlineVersion) {
+    throw CheckpointVersionError(
+        "online checkpoint: payload version " + std::to_string(version) +
+        " is newer than this build understands (max " +
+        std::to_string(kOnlineVersion) + "); keeping the file");
+  }
+  if (version != kOnlineVersion) {
+    throw std::runtime_error("online checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+  if (const JsonValue* kind = root.find("kind");
+      kind == nullptr || kind->str != "online") {
+    throw std::runtime_error(
+        "online checkpoint: payload is not an online-run checkpoint");
+  }
+  OnlineCheckpoint s;
+  s.fingerprint = root.at("fingerprint").str;
+  s.al_iterations_done = root.at("al_iterations_done").number;
+  s.visited = read_u64_array(root.at("visited"));
+  s.skipped = read_u64_array(root.at("skipped"));
+  s.log_cost = read_double_array(root.at("log_cost"));
+  s.log_mem = read_double_array(root.at("log_mem"));
+  if (s.log_cost.size() != s.visited.size() ||
+      s.log_mem.size() != s.visited.size()) {
+    throw std::runtime_error(
+        "online checkpoint: label/visited length mismatch");
+  }
+  s.theta_cost = read_double_array(root.at("theta_cost"));
+  s.theta_mem = read_double_array(root.at("theta_mem"));
+  s.backend_state_cost = root.at("backend_state_cost").str;
+  s.backend_state_mem = root.at("backend_state_mem").str;
+  {
+    const JsonValue& rng = root.at("rng");
+    const std::vector<std::uint64_t> words = read_u64_array(rng.at("words"));
+    if (words.size() != s.rng.words.size()) {
+      throw std::runtime_error("online checkpoint: rng state must have 4 words");
+    }
+    std::copy(words.begin(), words.end(), s.rng.words.begin());
+    s.rng.cached_normal = read_double(rng.at("cached_normal"));
+    s.rng.has_cached_normal = rng.at("has_cached_normal").boolean;
+  }
+  s.cc = read_double(root.at("cc"));
+  s.cr = read_double(root.at("cr"));
+  s.oracle_giveups = root.at("oracle_giveups").number;
+  s.exhausted_safe_candidates = root.at("exhausted_safe_candidates").boolean;
+  const std::vector<std::uint64_t> hits = read_u64_array(root.at("fault_hits"));
+  const std::vector<std::uint64_t> fires =
+      read_u64_array(root.at("fault_fires"));
+  if (hits.size() > faults::kSiteCount || fires.size() > faults::kSiteCount ||
+      hits.size() != fires.size()) {
+    throw std::runtime_error("online checkpoint: fault counter arity mismatch");
+  }
+  std::copy(hits.begin(), hits.end(), s.fault_hits.begin());
+  std::copy(fires.begin(), fires.end(), s.fault_fires.begin());
+  for (const JsonValue& rec : root.at("records").array) {
+    OnlineRecord r;
+    r.grid_row = rec.at("grid_row").number;
+    r.cost = read_double(rec.at("cost"));
+    r.memory = read_double(rec.at("memory"));
+    r.predicted_cost_log10 = read_double(rec.at("predicted_cost_log10"));
+    r.predicted_mem_log10 = read_double(rec.at("predicted_mem_log10"));
+    r.cumulative_cost = read_double(rec.at("cumulative_cost"));
+    r.cumulative_regret = read_double(rec.at("cumulative_regret"));
+    r.initial_phase = rec.at("initial_phase").boolean;
+    s.records.push_back(r);
+  }
+  return s;
+}
+
+void save_online_checkpoint(const OnlineCheckpoint& state,
+                            const std::filesystem::path& path,
+                            std::size_t retain) {
+  save_durable_payload(online_checkpoint_to_json(state), path, retain);
+  trace::count("resilience.ckpt_saves");
+}
+
+std::optional<OnlineCheckpoint> load_online_checkpoint(
+    const std::filesystem::path& path, std::size_t retain,
+    CheckpointLoadReport* report) {
+  const std::optional<std::string> payload =
+      load_durable_payload(path, retain, report);
+  if (!payload.has_value()) return std::nullopt;
+  return online_checkpoint_from_json(*payload);
+}
+
+void remove_online_checkpoint(const std::filesystem::path& path,
+                              std::size_t retain) {
+  remove_durable_payload(path, retain);
 }
 
 }  // namespace alamr::core

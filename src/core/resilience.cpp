@@ -1,0 +1,50 @@
+// CLI/describe helpers for the resilience layer (core/resilience.hpp).
+
+#include "alamr/core/resilience.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace alamr::core::resilience {
+
+std::string describe(const Options& options) {
+  std::ostringstream out;
+  out << "resilience " << (options.enabled ? "on" : "off");
+  if (!options.enabled) return out.str();
+  out << ": ladder " << (options.ladder ? "on" : "off")
+      << ", max_attempts " << options.max_attempts
+      << ", breaker_threshold " << options.breaker_threshold
+      << ", probe_after " << options.probe_after
+      << ", deadline " << options.deadline_ticks << " ticks"
+      << ", backoff base " << options.backoff.base_ticks
+      << " x" << options.backoff.multiplier
+      << " cap " << options.backoff.max_ticks;
+  return out.str();
+}
+
+bool parse_resilience_flag(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--no-resilience") == 0) {
+      options.enabled = false;
+      return true;
+    }
+    constexpr const char* kPrefix = "--resilience=";
+    if (std::strncmp(arg, kPrefix, std::strlen(kPrefix)) == 0) {
+      const char* value = arg + std::strlen(kPrefix);
+      if (std::strcmp(value, "on") == 0) {
+        options.enabled = true;
+      } else if (std::strcmp(value, "off") == 0) {
+        options.enabled = false;
+      } else {
+        throw std::invalid_argument(
+            std::string("--resilience expects on|off, got '") + value + "'");
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace alamr::core::resilience

@@ -97,7 +97,7 @@ AlSimulator::AlSimulator(const data::Dataset& dataset, AlOptions options)
 std::string AlSimulator::trajectory_fingerprint(
     std::string_view strategy_name, const data::Partition& partition) const {
   trace::Fingerprint fp;
-  fp.add("alamr.trajectory.v4");
+  fp.add("alamr.trajectory.v5");
   // The active SIMD dispatch level is part of the numerical identity: the
   // vector levels reassociate reductions, so a trajectory produced at one
   // level is not byte-comparable to (or resumable at) another. Scalar
@@ -150,6 +150,21 @@ std::string AlSimulator::trajectory_fingerprint(
   fp.add(static_cast<std::uint64_t>(options_.failures.policy));
   fp.add(options_.failures.penalty_offset);
   fp.add(options_.failures.plan.to_string());
+  // Resilience identity: under an armed plan, degradation/retry decisions
+  // change the trajectory, so the knobs that shape them are part of the
+  // compatibility key. (Disarmed they are byte-invisible, but resuming a
+  // faulted run with different healing rules would still be a chimera.)
+  fp.add(options_.resilience.enabled);
+  fp.add(options_.resilience.ladder);
+  fp.add(static_cast<std::uint64_t>(options_.resilience.max_attempts));
+  fp.add(static_cast<std::uint64_t>(options_.resilience.breaker_threshold));
+  fp.add(static_cast<std::uint64_t>(options_.resilience.probe_after));
+  fp.add(static_cast<std::uint64_t>(options_.resilience.deadline_ticks));
+  fp.add(static_cast<std::uint64_t>(options_.resilience.backoff.base_ticks));
+  fp.add(options_.resilience.backoff.multiplier);
+  fp.add(static_cast<std::uint64_t>(options_.resilience.backoff.max_ticks));
+  fp.add(options_.resilience.backoff.jitter);
+  fp.add(options_.resilience.backoff.seed);
   const auto add_rows = [&fp](std::span<const std::size_t> rows) {
     fp.add(static_cast<std::uint64_t>(rows.size()));
     for (const std::size_t row : rows) fp.add(static_cast<std::uint64_t>(row));
@@ -274,7 +289,7 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
 
   std::optional<TrajectoryCheckpoint> resumed;
   if (checkpoint != nullptr && checkpoint->resume && !checkpoint->path.empty()) {
-    resumed = load_checkpoint(checkpoint->path);
+    resumed = load_checkpoint(checkpoint->path, checkpoint->retain);
     if (resumed && resumed->fingerprint != compat) {
       throw std::runtime_error(
           "run_resumable: checkpoint at " + checkpoint->path.string() +
@@ -298,10 +313,20 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
   backend_options.incremental_cross = options_.incremental_cross;
   backend_options.batched_predict = options_.batched_predict;
   backend_options.panel_predict = options_.panel_predict;
+  const auto kernel_factory = [this] { return make_kernel(); };
   const std::unique_ptr<gp::PosteriorBackend> backend_cost =
-      gp::make_backend(backend_options, make_kernel(), options_.initial_fit);
+      gp::make_resilient_backend(backend_options, options_.resilience,
+                                 kernel_factory, options_.initial_fit);
   const std::unique_ptr<gp::PosteriorBackend> backend_mem =
-      gp::make_backend(backend_options, make_kernel(), options_.initial_fit);
+      gp::make_resilient_backend(backend_options, options_.resilience,
+                                 kernel_factory, options_.initial_fit);
+  // Concrete handles for the resilience surface (null when the layer is
+  // disabled): injected acquisition timeouts are attributed to both
+  // models' breakers — the acquisition sweep consumed both posteriors.
+  gp::ResilientBackend* const resilient_cost =
+      dynamic_cast<gp::ResilientBackend*>(backend_cost.get());
+  gp::ResilientBackend* const resilient_mem =
+      dynamic_cast<gp::ResilientBackend*>(backend_mem.get());
 
   std::vector<std::size_t> learned;
   std::vector<std::size_t> active;
@@ -514,7 +539,7 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
     if (checkpoint->stride == 0 || new_passes % checkpoint->stride != 0) return;
     const trace::ScopedTimer timer("checkpoint");
     trace::count("sim.checkpoints");
-    save_checkpoint(snapshot(), checkpoint->path);
+    save_checkpoint(snapshot(), checkpoint->path, checkpoint->retain);
   };
 
   bool halted = false;
@@ -592,6 +617,16 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
       const bool injected_oom = faults::fire(faults::Site::kAcquireOom);
       const bool injected_timeout = faults::fire(faults::Site::kAcquireTimeout);
       const bool injected_nan = faults::fire(faults::Site::kDataNanRow);
+      if (injected_timeout) {
+        if (resilient_cost != nullptr) {
+          resilient_cost->record_external_event(
+              resilience::Event::kAcquireTimeout);
+        }
+        if (resilient_mem != nullptr) {
+          resilient_mem->record_external_event(
+              resilience::Event::kAcquireTimeout);
+        }
+      }
       if (injected_oom) {
         censor = CensorKind::kOom;
       } else if (injected_timeout) {
@@ -743,7 +778,7 @@ TrajectoryResult AlSimulator::run_trajectory(const Strategy& strategy,
   if (halted) {
     result.stop_reason = StopReason::kCheckpointHalt;
     if (checkpoint != nullptr && !checkpoint->path.empty()) {
-      save_checkpoint(snapshot(), checkpoint->path);
+      save_checkpoint(snapshot(), checkpoint->path, checkpoint->retain);
     }
   } else if (result.stop_reason != StopReason::kNoSafeCandidates &&
              result.stop_reason != StopReason::kStabilized) {
@@ -820,10 +855,13 @@ TrajectoryResult AlSimulator::run_batched(const Strategy& strategy,
   // so the backends only need their kind — the exact-path plumbing flags
   // never come into play through the predict()/predict_mean() entry
   // points used below.
+  const auto kernel_factory = [this] { return make_kernel(); };
   const std::unique_ptr<gp::PosteriorBackend> backend_cost =
-      gp::make_backend(options_.backend, make_kernel(), options_.initial_fit);
+      gp::make_resilient_backend(options_.backend, options_.resilience,
+                                 kernel_factory, options_.initial_fit);
   const std::unique_ptr<gp::PosteriorBackend> backend_mem =
-      gp::make_backend(options_.backend, make_kernel(), options_.initial_fit);
+      gp::make_resilient_backend(options_.backend, options_.resilience,
+                                 kernel_factory, options_.initial_fit);
 
   std::vector<std::size_t> learned(partition.init);
   linalg::Matrix x_learned = gather_rows(x_scaled_, learned);

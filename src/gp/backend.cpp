@@ -732,6 +732,120 @@ class LocalExpertsBackend final : public PosteriorBackend {
   Prediction pred_;
 };
 
+// ---------------------------------------------------------------------------
+// Prior-mean backend: the bottom rung of the degradation ladder. The
+// posterior is the constant (training-mean, training-stddev) — no linalg,
+// no kernel, no optimizer, so it cannot fail. Statistics are recomputed
+// by one deterministic left-to-right pass on every mutation, which makes
+// the incremental path (add_point) bit-identical to a from-scratch fit on
+// the same sequence — the property checkpoint resume leans on.
+// ---------------------------------------------------------------------------
+
+class PriorMeanBackend final : public PosteriorBackend {
+ public:
+  std::string_view name() const noexcept override { return "prior_mean"; }
+  BackendKind kind() const noexcept override { return BackendKind::kPriorMean; }
+  bool fitted() const noexcept override { return !y_.empty(); }
+  std::size_t training_size() const noexcept override { return y_.size(); }
+
+  void set_fit_options(const GprOptions& options) override { (void)options; }
+
+  void fit(const Matrix& x, std::span<const double> y, stats::Rng& rng,
+           const DistanceBase* base, std::span<const std::size_t> rows) override {
+    (void)x;
+    (void)rng;
+    (void)base;
+    (void)rows;
+    y_.assign(y.begin(), y.end());
+    recompute();
+  }
+
+  void add_point(std::span<const double> x, double y, std::size_t row,
+                 stats::Rng& rng, const CandidateRef* after) override {
+    (void)x;
+    (void)row;
+    (void)rng;
+    (void)after;
+    y_.push_back(y);
+    recompute();
+  }
+
+  PosteriorSpans predict_candidates(const CandidateRef& pool,
+                                    linalg::Workspace& ws) override {
+    (void)ws;
+    const std::size_t m = pool.rows.empty() ? pool.x.rows() : pool.rows.size();
+    mean_buf_.assign(m, mean_);
+    sd_buf_.assign(m, sd_);
+    return {mean_buf_, sd_buf_};
+  }
+
+  void remove_candidate(std::size_t local) override { (void)local; }
+
+  std::vector<double> predict_mean(const Matrix& x,
+                                   std::span<const std::size_t> rows) override {
+    const std::size_t m = rows.empty() ? x.rows() : rows.size();
+    return std::vector<double>(m, mean_);
+  }
+
+  Prediction predict(const Matrix& x) const override {
+    Prediction out;
+    out.mean.assign(x.rows(), mean_);
+    out.stddev.assign(x.rows(), sd_);
+    return out;
+  }
+
+  double lml() const override {
+    if (y_.empty()) return 0.0;
+    const double var = sd_ * sd_;
+    constexpr double kLog2Pi = 1.8378770664093454836;
+    double ll = 0.0;
+    for (const double v : y_) {
+      const double d = v - mean_;
+      ll -= 0.5 * (kLog2Pi + std::log(var) + d * d / var);
+    }
+    return ll;
+  }
+
+  std::vector<double> log_params() const override { return {}; }
+  void set_log_params(std::span<const double> theta) override { (void)theta; }
+
+  void reserve_additional(std::size_t extra) override {
+    y_.reserve(y_.size() + extra);
+  }
+
+  WorkspaceBound workspace_bound(std::size_t n0, std::size_t m0,
+                                 std::size_t budget) const override {
+    (void)n0;
+    (void)m0;
+    (void)budget;
+    return {0, 0};
+  }
+
+ private:
+  void recompute() {
+    const double n = static_cast<double>(y_.size());
+    double sum = 0.0;
+    for (const double v : y_) sum += v;
+    mean_ = sum / n;
+    double ss = 0.0;
+    for (const double v : y_) {
+      const double d = v - mean_;
+      ss += d * d;
+    }
+    const double sd = std::sqrt(ss / n);
+    // A single observation (or constant labels) has no spread; answer
+    // with unit uncertainty rather than a degenerate zero-sigma
+    // posterior that acquisition weights cannot use.
+    sd_ = sd > 0.0 ? sd : 1.0;
+  }
+
+  std::vector<double> y_;
+  double mean_ = 0.0;
+  double sd_ = 1.0;
+  std::vector<double> mean_buf_;
+  std::vector<double> sd_buf_;
+};
+
 }  // namespace
 
 std::string to_string(BackendKind kind) {
@@ -739,6 +853,7 @@ std::string to_string(BackendKind kind) {
     case BackendKind::kExact: return "exact";
     case BackendKind::kSubsetOfData: return "subset_of_data";
     case BackendKind::kLocalExperts: return "local_experts";
+    case BackendKind::kPriorMean: return "prior_mean";
   }
   return "unknown";
 }
@@ -756,8 +871,489 @@ std::unique_ptr<PosteriorBackend> make_backend(const BackendOptions& options,
     case BackendKind::kLocalExperts:
       return std::make_unique<LocalExpertsBackend>(options, std::move(kernel),
                                                    fit_options);
+    case BackendKind::kPriorMean:
+      return std::make_unique<PriorMeanBackend>();
   }
   throw std::invalid_argument("make_backend: unknown backend kind");
+}
+
+// ---------------------------------------------------------------------------
+// ResilientBackend: the degradation-ladder decorator (DESIGN.md §14).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+namespace res = alamr::core::resilience;
+
+std::vector<BackendKind> ladder_for(BackendKind kind, bool ladder_enabled) {
+  std::vector<BackendKind> ladder;
+  switch (kind) {
+    case BackendKind::kExact:
+      ladder = {BackendKind::kExact, BackendKind::kSubsetOfData,
+                BackendKind::kPriorMean};
+      break;
+    case BackendKind::kSubsetOfData:
+      ladder = {BackendKind::kSubsetOfData, BackendKind::kPriorMean};
+      break;
+    case BackendKind::kLocalExperts:
+      ladder = {BackendKind::kLocalExperts, BackendKind::kSubsetOfData,
+                BackendKind::kPriorMean};
+      break;
+    case BackendKind::kPriorMean:
+      ladder = {BackendKind::kPriorMean};
+      break;
+  }
+  if (!ladder_enabled) ladder.resize(1);
+  return ladder;
+}
+
+}  // namespace
+
+/// Attributes failure events noted by lower layers (injected
+/// cholesky.non_psd / opt.diverge fires) to the owning model's breaker.
+struct ResilientBackend::BreakerListener final : res::Listener {
+  explicit BreakerListener(ResilientBackend& owner) noexcept : owner(owner) {}
+  void on_event(res::Event event) override {
+    owner.breaker_.record_failure();
+    core::trace::count(std::string("resilience.event.") +
+                       std::string(res::to_string(event)));
+  }
+  ResilientBackend& owner;
+};
+
+ResilientBackend::ResilientBackend(const BackendOptions& options,
+                                   const core::resilience::Options& resilience,
+                                   KernelFactory kernel_factory,
+                                   const GprOptions& fit_options)
+    : base_options_(options),
+      res_(resilience),
+      kernel_factory_(std::move(kernel_factory)),
+      fit_options_(fit_options),
+      ladder_(ladder_for(options.kind, resilience.ladder)),
+      breaker_(resilience.breaker_threshold),
+      repair_rng_(0x7e511e47u),
+      exec_(resilience.backoff, resilience.max_attempts,
+            resilience.deadline_ticks) {
+  rung_theta_.resize(ladder_.size());
+  inner_ = make_inner(ladder_[0]);
+}
+
+ResilientBackend::~ResilientBackend() = default;
+
+std::unique_ptr<PosteriorBackend> ResilientBackend::make_inner(
+    BackendKind kind) const {
+  BackendOptions options = base_options_;
+  options.kind = kind;
+  std::unique_ptr<Kernel> kernel;
+  if (kind != BackendKind::kPriorMean) kernel = kernel_factory_();
+  return make_backend(options, std::move(kernel), fit_options_);
+}
+
+std::string_view ResilientBackend::name() const noexcept {
+  return inner_->name();
+}
+
+BackendKind ResilientBackend::kind() const noexcept { return ladder_[0]; }
+
+bool ResilientBackend::fitted() const noexcept { return inner_->fitted(); }
+
+std::size_t ResilientBackend::training_size() const noexcept {
+  return inner_->training_size();
+}
+
+void ResilientBackend::set_fit_options(const GprOptions& options) {
+  fit_options_ = options;
+  inner_->set_fit_options(options);
+}
+
+core::resilience::Health ResilientBackend::health() const noexcept {
+  return health_;
+}
+
+void ResilientBackend::record_external_event(core::resilience::Event event) {
+  if (!res_.enabled) return;
+  breaker_.record_failure();
+  core::trace::count(std::string("resilience.event.") +
+                     std::string(res::to_string(event)));
+}
+
+void ResilientBackend::rebuild_at_rung(std::span<const double> theta) {
+  std::unique_ptr<PosteriorBackend> next = make_inner(ladder_[rung_]);
+  // Rng-free, optimizer-free rebuild: deterministic whatever stream state
+  // the surrounding trajectory is in, and byte-reproducible on resume.
+  GprOptions quiet = fit_options_;
+  quiet.optimize = false;
+  quiet.restarts = 0;
+  next->set_fit_options(quiet);
+  if (!theta.empty()) next->set_log_params(theta);
+  if (!y_store_.empty()) {
+    next->fit(x_store_, y_store_, repair_rng_, base_, rows_store_);
+  }
+  next->set_fit_options(fit_options_);
+  inner_ = std::move(next);
+}
+
+void ResilientBackend::degrade(const char* why) {
+  for (;;) {
+    if (rung_ + 1 >= ladder_.size()) {
+      health_ = res::Health::kHalted;
+      core::trace::count("resilience.halted");
+      throw std::runtime_error(
+          std::string("resilient backend: degradation ladder exhausted at '") +
+          why + "'");
+    }
+    core::trace::count("resilience.breaker_trips");
+    breaker_.acknowledge_trip();
+    rung_theta_[rung_] = inner_->log_params();
+    ++rung_;
+    core::trace::count("resilience.degrade_steps");
+    core::trace::count("resilience.degrade_to." + to_string(ladder_[rung_]));
+    try {
+      rebuild_at_rung({});
+      health_ = res::Health::kDegraded;
+      return;
+    } catch (const std::runtime_error&) {
+      core::trace::count("resilience.degrade_rebuild_failures");
+      // This rung cannot even hold the data: keep stepping down.
+    }
+  }
+}
+
+void ResilientBackend::maybe_probe_recovery() {
+  core::trace::count("resilience.half_open_probes");
+  const std::size_t save_rung = rung_;
+  rung_ = save_rung - 1;
+  try {
+    rebuild_at_rung(rung_theta_[rung_]);
+    health_ = rung_ == 0 ? res::Health::kHealthy : res::Health::kDegraded;
+    core::trace::count("resilience.recoveries");
+  } catch (const std::runtime_error&) {
+    rung_ = save_rung;  // the failed rebuild never touched inner_
+    core::trace::count("resilience.probe_failures");
+  }
+  breaker_.reset_streak();  // pace the next probe either way
+}
+
+void ResilientBackend::pre_op() {
+  if (rung_ > 0 && !breaker_.tripped() &&
+      breaker_.ok_streak() >= res_.probe_after) {
+    maybe_probe_recovery();
+  }
+  if (breaker_.tripped() && rung_ + 1 < ladder_.size()) {
+    // Events recorded outside any guarded op (injected acquire.timeout
+    // censors routed in by the simulator) tripped the breaker between
+    // operations: step the ladder before serving this one.
+    degrade("external events");
+  }
+}
+
+template <typename Fn>
+std::invoke_result_t<Fn&> ResilientBackend::guarded(const char* op,
+                                                    RetryAfterDegrade retry,
+                                                    Fn&& fn) {
+  using R = std::invoke_result_t<Fn&>;
+  if (!res_.enabled) return fn();
+  pre_op();
+  for (;;) {  // one iteration per ladder rung tried
+    [[maybe_unused]] std::conditional_t<std::is_void_v<R>, char,
+                                        std::optional<R>> result{};
+    std::exception_ptr error;
+    const res::DeadlineExecutor::Outcome outcome =
+        exec_.execute(op, [&]() -> res::OpStatus {
+          try {
+            BreakerListener listener(*this);
+            const res::ScopedListener scope(listener);
+            if constexpr (std::is_void_v<R>) {
+              fn();
+            } else {
+              result.emplace(fn());
+            }
+            return res::OpStatus::kOk;
+          } catch (const std::runtime_error&) {
+            error = std::current_exception();
+            breaker_.record_failure();
+            core::trace::count("resilience.backend_op_failures");
+            return res::OpStatus::kFailed;
+          }
+        });
+    if (outcome.status == res::OpStatus::kOk) {
+      breaker_.record_success();
+      if constexpr (std::is_void_v<R>) {
+        return;
+      } else {
+        return std::move(*result);
+      }
+    }
+    if (rung_ + 1 < ladder_.size()) {
+      degrade(op);
+      if (retry == RetryAfterDegrade::kNo) {
+        if constexpr (std::is_void_v<R>) {
+          return;
+        } else {
+          return R{};
+        }
+      }
+      continue;
+    }
+    health_ = res::Health::kHalted;
+    core::trace::count("resilience.halted");
+    std::rethrow_exception(error);
+  }
+}
+
+void ResilientBackend::fit(const Matrix& x, std::span<const double> y,
+                           stats::Rng& rng, const DistanceBase* base,
+                           std::span<const std::size_t> rows) {
+  if (!res_.enabled) {
+    inner_->fit(x, y, rng, base, rows);
+    return;
+  }
+  x_store_ = x;
+  y_store_.assign(y.begin(), y.end());
+  rows_store_.assign(rows.begin(), rows.end());
+  base_ = base;
+  guarded("backend.fit", RetryAfterDegrade::kYes, [&] {
+    inner_->fit(x_store_, y_store_, rng, base_, rows_store_);
+  });
+}
+
+void ResilientBackend::add_point(std::span<const double> x, double y,
+                                 std::size_t row, stats::Rng& rng,
+                                 const CandidateRef* after) {
+  if (!res_.enabled) {
+    inner_->add_point(x, y, row, rng, after);
+    return;
+  }
+  // Probe/degrade BEFORE retaining the point: a rebuild triggered here
+  // must not include data the inner has not been handed yet.
+  pre_op();
+  x_store_.push_row(x);
+  y_store_.push_back(y);
+  if (base_ != nullptr) rows_store_.push_back(row);
+  std::exception_ptr error;
+  const res::DeadlineExecutor::Outcome outcome =
+      exec_.execute("backend.add_point", [&]() -> res::OpStatus {
+        try {
+          BreakerListener listener(*this);
+          const res::ScopedListener scope(listener);
+          inner_->add_point(x, y, row, rng, after);
+          return res::OpStatus::kOk;
+        } catch (const std::runtime_error&) {
+          error = std::current_exception();
+          breaker_.record_failure();
+          core::trace::count("resilience.backend_op_failures");
+          // A failed append may leave the inner mid-mutation: rebuild
+          // this rung from the retained copy (which includes the new
+          // point) instead of re-invoking add_point on a broken model.
+          try {
+            rebuild_at_rung(inner_->log_params());
+            core::trace::count("resilience.backend_rebuilds");
+            return res::OpStatus::kOk;
+          } catch (const std::runtime_error&) {
+            return res::OpStatus::kFailed;
+          }
+        }
+      });
+  if (outcome.status == res::OpStatus::kOk) {
+    breaker_.record_success();
+    return;
+  }
+  if (rung_ + 1 < ladder_.size()) {
+    degrade("backend.add_point");  // the rebuild re-fits the stored copy
+    return;
+  }
+  health_ = res::Health::kHalted;
+  core::trace::count("resilience.halted");
+  std::rethrow_exception(error);
+}
+
+PosteriorSpans ResilientBackend::predict_candidates(const CandidateRef& pool,
+                                                    linalg::Workspace& ws) {
+  return guarded("backend.predict_candidates", RetryAfterDegrade::kYes,
+                 [&] { return inner_->predict_candidates(pool, ws); });
+}
+
+void ResilientBackend::remove_candidate(std::size_t local) {
+  // Pure cache maintenance, no linalg: forward unguarded. A freshly
+  // degraded inner has no candidate cache and treats this as a no-op.
+  inner_->remove_candidate(local);
+}
+
+std::vector<double> ResilientBackend::predict_mean(
+    const Matrix& x, std::span<const std::size_t> rows) {
+  return guarded("backend.predict_mean", RetryAfterDegrade::kYes,
+                 [&] { return inner_->predict_mean(x, rows); });
+}
+
+Prediction ResilientBackend::predict(const Matrix& x) const {
+  ResilientBackend* self = const_cast<ResilientBackend*>(this);
+  return self->guarded("backend.predict", RetryAfterDegrade::kYes,
+                       [&] { return inner_->predict(x); });
+}
+
+double ResilientBackend::lml() const { return inner_->lml(); }
+
+std::vector<double> ResilientBackend::log_params() const {
+  return inner_->log_params();
+}
+
+void ResilientBackend::set_log_params(std::span<const double> theta) {
+  inner_->set_log_params(theta);
+}
+
+void ResilientBackend::reserve_additional(std::size_t extra) {
+  if (res_.enabled) {
+    x_store_.reserve(x_store_.rows() + extra, x_store_.cols());
+    y_store_.reserve(y_store_.size() + extra);
+    rows_store_.reserve(rows_store_.size() + extra);
+  }
+  inner_->reserve_additional(extra);
+}
+
+WorkspaceBound ResilientBackend::workspace_bound(std::size_t n0,
+                                                 std::size_t m0,
+                                                 std::size_t budget) const {
+  return inner_->workspace_bound(n0, m0, budget);
+}
+
+std::string ResilientBackend::save_state() const {
+  const std::string inner_state = inner_->save_state();
+  if (rung_ == 0 && breaker_.total_failures() == 0 && breaker_.trips() == 0) {
+    // Untouched decorator: stay byte-compatible with undecorated
+    // checkpoints (and keep exact-backend state empty).
+    return inner_state;
+  }
+  std::ostringstream os;
+  os << "resil v1;rung=" << rung_ << ";health="
+     << static_cast<unsigned>(health_) << ";breaker="
+     << breaker_.consecutive_failures() << ',' << breaker_.total_failures()
+     << ',' << breaker_.ok_streak() << ',' << breaker_.trips() << ";thetas=";
+  for (std::size_t r = 0; r < rung_; ++r) {
+    if (r != 0) os << '|';
+    for (std::size_t i = 0; i < rung_theta_[r].size(); ++i) {
+      os << (i == 0 ? "" : ",") << hex_bits(rung_theta_[r][i]);
+    }
+  }
+  os << ";inner=" << inner_state.size() << ':' << inner_state;
+  return os.str();
+}
+
+void ResilientBackend::restore_state(const std::string& state) {
+  constexpr std::string_view kTag = "resil v1;";
+  if (state.compare(0, kTag.size(), kTag) != 0) {
+    // Undecorated state: the decorator was untouched when it was saved.
+    inner_->restore_state(state);
+    return;
+  }
+  std::string_view rest = std::string_view(state).substr(kTag.size());
+  const auto take = [&](std::string_view prefix) {
+    if (rest.substr(0, prefix.size()) != prefix) {
+      throw std::runtime_error("resilient backend: malformed state near '" +
+                               std::string(rest.substr(0, 24)) + "'");
+    }
+    rest.remove_prefix(prefix.size());
+    const std::size_t semi = rest.find(';');
+    if (semi == std::string_view::npos) {
+      throw std::runtime_error("resilient backend: truncated state");
+    }
+    const std::string_view field = rest.substr(0, semi);
+    rest.remove_prefix(semi + 1);
+    return field;
+  };
+  const auto to_u64 = [](std::string_view text) {
+    std::uint64_t v = 0;
+    for (const char c : text) {
+      if (c < '0' || c > '9') {
+        throw std::runtime_error("resilient backend: bad number in state");
+      }
+      v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return v;
+  };
+  const std::uint64_t rung = to_u64(take("rung="));
+  if (rung >= ladder_.size()) {
+    throw std::runtime_error("resilient backend: state rung out of range");
+  }
+  const std::uint64_t health = to_u64(take("health="));
+  if (health > static_cast<unsigned>(res::Health::kHalted)) {
+    throw std::runtime_error("resilient backend: bad health in state");
+  }
+  const std::string_view breaker = take("breaker=");
+  std::array<std::uint64_t, 4> counters{};
+  {
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::size_t comma = breaker.find(',', begin);
+      const bool last = i == 3;
+      if (last != (comma == std::string_view::npos)) {
+        throw std::runtime_error("resilient backend: bad breaker in state");
+      }
+      counters[i] = to_u64(breaker.substr(
+          begin, last ? std::string_view::npos : comma - begin));
+      begin = comma + 1;
+    }
+  }
+  const std::string_view thetas = take("thetas=");
+  std::vector<std::vector<double>> parsed_thetas;
+  if (!thetas.empty()) {
+    std::size_t begin = 0;
+    for (;;) {
+      const std::size_t bar = thetas.find('|', begin);
+      const std::string_view one = thetas.substr(
+          begin, bar == std::string_view::npos ? std::string_view::npos
+                                               : bar - begin);
+      std::vector<double> values;
+      if (!one.empty()) {
+        std::size_t vb = 0;
+        for (;;) {
+          const std::size_t comma = one.find(',', vb);
+          values.push_back(bits_from_hex(std::string(one.substr(
+              vb, comma == std::string_view::npos ? std::string_view::npos
+                                                  : comma - vb))));
+          if (comma == std::string_view::npos) break;
+          vb = comma + 1;
+        }
+      }
+      parsed_thetas.push_back(std::move(values));
+      if (bar == std::string_view::npos) break;
+      begin = bar + 1;
+    }
+  }
+  if (rest.substr(0, 6) != "inner=") {
+    throw std::runtime_error("resilient backend: missing inner state");
+  }
+  rest.remove_prefix(6);
+  const std::size_t colon = rest.find(':');
+  if (colon == std::string_view::npos) {
+    throw std::runtime_error("resilient backend: malformed inner state");
+  }
+  const std::uint64_t inner_len = to_u64(rest.substr(0, colon));
+  rest.remove_prefix(colon + 1);
+  if (rest.size() != inner_len) {
+    throw std::runtime_error("resilient backend: inner state length mismatch");
+  }
+
+  rung_ = rung;
+  health_ = static_cast<res::Health>(health);
+  breaker_.restore(counters[0], counters[1], counters[2], counters[3]);
+  for (std::size_t r = 0; r < rung_theta_.size(); ++r) {
+    rung_theta_[r] = r < parsed_thetas.size() ? parsed_thetas[r]
+                                              : std::vector<double>{};
+  }
+  inner_ = make_inner(ladder_[rung_]);
+  inner_->restore_state(std::string(rest));
+}
+
+std::unique_ptr<PosteriorBackend> make_resilient_backend(
+    const BackendOptions& options, const core::resilience::Options& resilience,
+    ResilientBackend::KernelFactory kernel_factory,
+    const GprOptions& fit_options) {
+  if (!resilience.enabled) {
+    return make_backend(options, kernel_factory(), fit_options);
+  }
+  return std::make_unique<ResilientBackend>(options, resilience,
+                                            std::move(kernel_factory),
+                                            fit_options);
 }
 
 }  // namespace alamr::gp

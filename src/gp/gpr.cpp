@@ -8,6 +8,7 @@
 
 #include "alamr/core/faults.hpp"
 #include "alamr/core/parallel.hpp"
+#include "alamr/core/resilience.hpp"
 #include "alamr/core/trace.hpp"
 #include "alamr/opt/multistart.hpp"
 #include "alamr/opt/nelder_mead.hpp"
@@ -253,7 +254,11 @@ void GaussianProcessRegressor::optimize_hyperparameters(stats::Rng& rng) {
     core::trace::count("gpr.opt_degrade_nm");
     // The same fault site that poisoned the L-BFGS starts can veto the
     // Nelder-Mead rung, so tests can drive the ladder to the bottom.
-    if (!core::faults::fire(core::faults::Site::kOptDiverge)) {
+    const bool nm_vetoed = core::faults::fire(core::faults::Site::kOptDiverge);
+    if (nm_vetoed) {
+      core::resilience::note(core::resilience::Event::kOptDiverge);
+    }
+    if (!nm_vetoed) {
       const opt::Objective guarded = [this](std::span<const double> theta,
                                             std::span<double> grad) -> double {
         for (double& g : grad) g = 0.0;  // NM never uses the gradient

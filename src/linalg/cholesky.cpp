@@ -8,6 +8,7 @@
 // so linking stays within this module — see the layering notes in
 // core/trace.hpp and core/faults.hpp.
 #include "alamr/core/faults.hpp"
+#include "alamr/core/resilience.hpp"
 #include "alamr/core/trace.hpp"
 
 namespace alamr::linalg {
@@ -560,6 +561,7 @@ JitteredCholesky cholesky_with_jitter(const Matrix& a, double initial_jitter,
   const auto attempt = [](const Matrix& m) -> std::optional<CholeskyFactor> {
     if (core::faults::fire(core::faults::Site::kCholeskyNonPsd)) {
       core::trace::count("cholesky.fault_injected");
+      core::resilience::note(core::resilience::Event::kCholeskyNonPsd);
       return std::nullopt;
     }
     return CholeskyFactor::factor(m);

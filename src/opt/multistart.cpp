@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "alamr/core/faults.hpp"
+#include "alamr/core/resilience.hpp"
 #include "alamr/core/parallel.hpp"
 
 namespace alamr::opt {
@@ -44,6 +45,9 @@ OptimizeResult multistart_minimize(const Objective& f,
     diverged.resize(starts.size(), 0);
     for (std::size_t r = 0; r < starts.size(); ++r) {
       diverged[r] = core::faults::fire(core::faults::Site::kOptDiverge) ? 1 : 0;
+      if (diverged[r] != 0) {
+        core::resilience::note(core::resilience::Event::kOptDiverge);
+      }
     }
   }
 

@@ -70,6 +70,64 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW(FaultPlan::parse("opt.diverge:hits=1|x"), std::invalid_argument);
 }
 
+TEST(FaultPlan, RejectionMessagesNameTheOffendingToken) {
+  // Property-style sweep: every malformed spec must be rejected with an
+  // invalid_argument whose message contains the exact token at fault —
+  // an operator pasting a plan into a job script gets pointed at the typo.
+  const struct {
+    const char* spec;
+    const char* token;  // must appear verbatim in the error message
+  } kCases[] = {
+      {"bogus.site:p=0.1", "bogus.site"},
+      {"acquire.oom", "acquire.oom"},
+      {"acquire.oom:p=1.5", "1.5"},
+      {"acquire.oom:p=-0.1", "-0.1"},
+      {"acquire.oom:p=", "p"},
+      {"acquire.oom:p=nope", "nope"},
+      {"acquire.oom:q=0.1", "q"},
+      {"acquire.oom:p=0.1,p=0.2", "p"},
+      {"acquire.oom:max=-1", "-1"},
+      {"acquire.oom:max=huge", "huge"},
+      {"acquire.oom:hits=", "hit"},
+      {"opt.diverge:hits=1|x", "x"},
+      {"opt.diverge:hits=1||3", "hit"},
+      {"seed=abc", "abc"},
+      {"seed=-5", "-5"},
+      {"seed=1;seed=2", "seed"},
+      {"acquire.oom:p=0.1;acquire.oom:p=0.2", "acquire.oom"},
+      {"io.torn_write:p=0.1;;io.partial_read:p=0.1", "segment"},
+  };
+  for (const auto& c : kCases) {
+    try {
+      FaultPlan::parse(c.spec);
+      FAIL() << "spec '" << c.spec << "' was accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.token), std::string::npos)
+          << "spec '" << c.spec << "' rejected without naming '" << c.token
+          << "': " << e.what();
+    }
+  }
+}
+
+TEST(FaultPlan, IoSitesParseScheduleAndRoundTrip) {
+  const FaultPlan plan = FaultPlan::parse(
+      "seed=5;io.torn_write:hits=2,max=1;io.partial_read:p=0.25");
+  EXPECT_EQ(plan.at(Site::kIoTornWrite).hits,
+            (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(plan.at(Site::kIoTornWrite).max_fires, 1u);
+  EXPECT_DOUBLE_EQ(plan.at(Site::kIoPartialRead).probability, 0.25);
+  const FaultPlan reparsed = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(plan.to_string(), reparsed.to_string());
+
+  FaultInjector injector(FaultPlan::parse("io.torn_write:hits=0|3"));
+  std::vector<std::uint64_t> fired_at;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    if (injector.should_fire(Site::kIoTornWrite)) fired_at.push_back(i);
+  }
+  EXPECT_EQ(fired_at, (std::vector<std::uint64_t>{0, 3}));
+  EXPECT_EQ(injector.fires(Site::kIoPartialRead), 0u);
+}
+
 TEST(FaultPlan, SiteNamesRoundTrip) {
   for (std::size_t s = 0; s < kSiteCount; ++s) {
     const Site site = static_cast<Site>(s);

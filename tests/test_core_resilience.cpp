@@ -1,0 +1,291 @@
+// Unit tests for the resilience primitives (core/resilience.hpp):
+// virtual-clock backoff determinism, the deadline/retry executor, the
+// failure-event listener channel, the circuit breaker state machine, and
+// the CLI flag helpers.
+
+#include "alamr/core/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace alamr::core::resilience;
+
+TEST(VirtualClockTicks, AdvancesAndResets) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.advance(16);
+  clock.advance(5);
+  EXPECT_EQ(clock.now(), 21u);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(Backoff, IsPureFunctionOfPolicyOpAttempt) {
+  const BackoffPolicy policy{.base_ticks = 16,
+                             .multiplier = 2.0,
+                             .max_ticks = 1024,
+                             .jitter = 0.5,
+                             .seed = 7};
+  const std::uint64_t op = detail::op_hash("backend.fit");
+  for (std::uint64_t attempt = 1; attempt <= 10; ++attempt) {
+    EXPECT_EQ(backoff_ticks(policy, op, attempt),
+              backoff_ticks(policy, op, attempt));
+  }
+}
+
+TEST(Backoff, GrowsExponentiallyAndCaps) {
+  BackoffPolicy policy{.base_ticks = 16,
+                       .multiplier = 2.0,
+                       .max_ticks = 100,
+                       .jitter = 0.0,  // exact doubling, no randomization
+                       .seed = 0};
+  const std::uint64_t op = detail::op_hash("x");
+  EXPECT_EQ(backoff_ticks(policy, op, 1), 16u);
+  EXPECT_EQ(backoff_ticks(policy, op, 2), 32u);
+  EXPECT_EQ(backoff_ticks(policy, op, 3), 64u);
+  EXPECT_EQ(backoff_ticks(policy, op, 4), 100u);  // capped
+  EXPECT_EQ(backoff_ticks(policy, op, 9), 100u);  // stays capped
+}
+
+TEST(Backoff, JitterStaysInHalfOpenWindowAndNeverZero) {
+  const BackoffPolicy policy{.base_ticks = 16,
+                             .multiplier = 2.0,
+                             .max_ticks = 1 << 20,
+                             .jitter = 0.5,
+                             .seed = 3};
+  for (std::uint64_t attempt = 1; attempt <= 12; ++attempt) {
+    for (const char* name : {"a", "b", "backend.fit"}) {
+      const std::uint64_t d = backoff_ticks(
+          BackoffPolicy{policy.base_ticks, policy.multiplier, policy.max_ticks,
+                        0.0, policy.seed},
+          detail::op_hash(name), attempt);
+      const std::uint64_t w =
+          backoff_ticks(policy, detail::op_hash(name), attempt);
+      EXPECT_GE(w, 1u);
+      EXPECT_GE(w, d / 2);  // jitter=0.5 keeps at least half the wait
+      EXPECT_LE(w, d);
+    }
+  }
+}
+
+TEST(Backoff, SeedAndOpDecorrelateSchedules) {
+  const BackoffPolicy a{.base_ticks = 1000, .multiplier = 1.0,
+                        .max_ticks = 1000, .jitter = 1.0, .seed = 1};
+  BackoffPolicy b = a;
+  b.seed = 2;
+  std::size_t differing = 0;
+  for (std::uint64_t attempt = 1; attempt <= 64; ++attempt) {
+    if (backoff_ticks(a, detail::op_hash("op"), attempt) !=
+        backoff_ticks(b, detail::op_hash("op"), attempt)) {
+      ++differing;
+    }
+    if (backoff_ticks(a, detail::op_hash("op"), attempt) !=
+        backoff_ticks(a, detail::op_hash("other"), attempt)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 100u);
+}
+
+TEST(DeadlineExecutorRuns, FirstTrySuccessTouchesNothing) {
+  DeadlineExecutor exec({}, 3, 4096);
+  int calls = 0;
+  const auto out = exec.execute("op", [&] {
+    ++calls;
+    return OpStatus::kOk;
+  });
+  EXPECT_EQ(out.status, OpStatus::kOk);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_EQ(out.waited_ticks, 0u);
+  EXPECT_FALSE(out.deadline_exceeded);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(exec.clock().now(), 0u);  // no wait, no clock movement
+}
+
+TEST(DeadlineExecutorRuns, RetriesWithBackoffThenRecovers) {
+  DeadlineExecutor exec({}, 5, 1 << 20);
+  int calls = 0;
+  const auto out = exec.execute("op", [&] {
+    ++calls;
+    return calls < 3 ? OpStatus::kFailed : OpStatus::kOk;
+  });
+  EXPECT_EQ(out.status, OpStatus::kOk);
+  EXPECT_EQ(out.attempts, 3u);
+  EXPECT_GT(out.waited_ticks, 0u);
+  EXPECT_EQ(exec.clock().now(), out.waited_ticks);
+}
+
+TEST(DeadlineExecutorRuns, GivesUpAtAttemptBudget) {
+  DeadlineExecutor exec({}, 3, 1 << 20);
+  int calls = 0;
+  const auto out = exec.execute("op", [&] {
+    ++calls;
+    return OpStatus::kTimeout;
+  });
+  EXPECT_EQ(out.status, OpStatus::kTimeout);
+  EXPECT_EQ(out.attempts, 3u);
+  EXPECT_EQ(calls, 3);
+  EXPECT_FALSE(out.deadline_exceeded);
+}
+
+TEST(DeadlineExecutorRuns, DeadlineBeatsAttemptBudget) {
+  // Waits of >= base_ticks/2 against a 1-tick deadline: the executor must
+  // stop after the first failure without sleeping.
+  DeadlineExecutor exec({.base_ticks = 16}, 100, 1);
+  int calls = 0;
+  const auto out = exec.execute("op", [&] {
+    ++calls;
+    return OpStatus::kFailed;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(out.deadline_exceeded);
+  EXPECT_EQ(exec.clock().now(), 0u);  // the too-long wait was never applied
+}
+
+TEST(DeadlineExecutorRuns, ExceptionsPropagateUnretried) {
+  DeadlineExecutor exec({}, 5, 1 << 20);
+  int calls = 0;
+  EXPECT_THROW(exec.execute("op",
+                            [&]() -> OpStatus {
+                              ++calls;
+                              throw std::runtime_error("contract violation");
+                            }),
+               std::runtime_error);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(DeadlineExecutorRuns, IdenticalRunsWaitIdentically) {
+  const BackoffPolicy policy{.base_ticks = 16, .multiplier = 2.0,
+                             .max_ticks = 1024, .jitter = 0.5, .seed = 11};
+  const auto run_once = [&] {
+    DeadlineExecutor exec(policy, 4, 1 << 20);
+    int calls = 0;
+    return exec
+        .execute("backend.fit",
+                 [&] { return ++calls < 4 ? OpStatus::kFailed : OpStatus::kOk; })
+        .waited_ticks;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Breaker, TripsOnConsecutiveFailuresOnly) {
+  CircuitBreaker breaker(3);
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_FALSE(breaker.tripped());
+  breaker.record_success();  // closes the window
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_FALSE(breaker.tripped());
+  breaker.record_failure();
+  EXPECT_TRUE(breaker.tripped());
+  EXPECT_EQ(breaker.total_failures(), 5u);
+}
+
+TEST(Breaker, AcknowledgeReopensWindowAndCountsTrips) {
+  CircuitBreaker breaker(2);
+  breaker.record_failure();
+  breaker.record_failure();
+  ASSERT_TRUE(breaker.tripped());
+  breaker.acknowledge_trip();
+  EXPECT_FALSE(breaker.tripped());
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+  EXPECT_EQ(breaker.ok_streak(), 0u);
+}
+
+TEST(Breaker, StreakPacesProbesAndRestores) {
+  CircuitBreaker breaker(3);
+  for (int i = 0; i < 5; ++i) breaker.record_success();
+  EXPECT_EQ(breaker.ok_streak(), 5u);
+  breaker.reset_streak();
+  EXPECT_EQ(breaker.ok_streak(), 0u);
+  EXPECT_EQ(breaker.total_failures(), 0u);  // untouched by reset_streak
+
+  breaker.restore(1, 7, 4, 2);
+  EXPECT_EQ(breaker.consecutive_failures(), 1u);
+  EXPECT_EQ(breaker.total_failures(), 7u);
+  EXPECT_EQ(breaker.ok_streak(), 4u);
+  EXPECT_EQ(breaker.trips(), 2u);
+}
+
+struct RecordingListener final : Listener {
+  std::vector<Event> events;
+  void on_event(Event event) override { events.push_back(event); }
+};
+
+TEST(EventChannel, NoteWithoutListenerIsANoOp) {
+  ASSERT_EQ(current_listener(), nullptr);
+  note(Event::kCholeskyNonPsd);  // must not crash or allocate a sink
+  EXPECT_EQ(current_listener(), nullptr);
+}
+
+TEST(EventChannel, ScopedListenersReceiveAndNest) {
+  RecordingListener outer;
+  RecordingListener inner;
+  {
+    const ScopedListener outer_scope(outer);
+    note(Event::kOptDiverge);
+    {
+      const ScopedListener inner_scope(inner);
+      note(Event::kAcquireTimeout);
+    }
+    note(Event::kCholeskyNonPsd);  // outer restored after nesting
+  }
+  note(Event::kIoCorruption);  // nobody listening
+  ASSERT_EQ(outer.events.size(), 2u);
+  EXPECT_EQ(outer.events[0], Event::kOptDiverge);
+  EXPECT_EQ(outer.events[1], Event::kCholeskyNonPsd);
+  ASSERT_EQ(inner.events.size(), 1u);
+  EXPECT_EQ(inner.events[0], Event::kAcquireTimeout);
+}
+
+TEST(EventChannel, EventNamesMatchFaultSites) {
+  EXPECT_EQ(to_string(Event::kCholeskyNonPsd), "cholesky.non_psd");
+  EXPECT_EQ(to_string(Event::kOptDiverge), "opt.diverge");
+  EXPECT_EQ(to_string(Event::kAcquireTimeout), "acquire.timeout");
+}
+
+TEST(ResilienceFlag, ParsesAllForms) {
+  Options options;
+  {
+    const char* raw[] = {"bench", "--no-resilience"};
+    EXPECT_TRUE(parse_resilience_flag(2, const_cast<char**>(raw), options));
+    EXPECT_FALSE(options.enabled);
+  }
+  {
+    const char* raw[] = {"bench", "--resilience=on"};
+    EXPECT_TRUE(parse_resilience_flag(2, const_cast<char**>(raw), options));
+    EXPECT_TRUE(options.enabled);
+  }
+  {
+    const char* raw[] = {"bench", "--resilience=off"};
+    EXPECT_TRUE(parse_resilience_flag(2, const_cast<char**>(raw), options));
+    EXPECT_FALSE(options.enabled);
+  }
+  {
+    const char* raw[] = {"bench", "--trace"};
+    EXPECT_FALSE(parse_resilience_flag(2, const_cast<char**>(raw), options));
+  }
+  {
+    const char* raw[] = {"bench", "--resilience=maybe"};
+    EXPECT_THROW(parse_resilience_flag(2, const_cast<char**>(raw), options),
+                 std::invalid_argument);
+  }
+}
+
+TEST(ResilienceFlag, DescribeMentionsTheKnobs) {
+  Options options;
+  const std::string text = describe(options);
+  EXPECT_NE(text.find("resilience on"), std::string::npos);
+  EXPECT_NE(text.find("ladder"), std::string::npos);
+  EXPECT_NE(text.find("deadline"), std::string::npos);
+  options.enabled = false;
+  EXPECT_NE(describe(options).find("off"), std::string::npos);
+}
+
+}  // namespace

@@ -575,10 +575,13 @@ TEST(BatchIsolation, MatchesPlainBatchSlotForSlot) {
 TEST(BatchIsolation, PoisonedTrajectoriesFailAsSlotsNotAsBatch) {
   // An unrecoverable plan (every Cholesky attempt vetoed, forever) kills
   // every trajectory — the isolated batch must return failed slots with
-  // the error text instead of propagating the exception.
+  // the error text instead of propagating the exception. Resilience is
+  // disarmed so the degradation ladder cannot ride the plan out (that
+  // recovery path has its own tests in test_online_resilience.cpp).
   const auto dataset = alamr::testing::synthetic_amr_dataset(90, 101);
   core::AlOptions options = small_al_options(4);
   options.failures.plan = faults::FaultPlan::parse("cholesky.non_psd:p=1");
+  options.resilience.enabled = false;
   const core::AlSimulator sim(dataset, options);
   core::BatchOptions batch;
   batch.trajectories = 3;
