@@ -11,6 +11,7 @@
 
 #include "alamr/amr/solver.hpp"
 #include "alamr/core/batch.hpp"
+#include "alamr/core/serve.hpp"
 #include "alamr/core/strategies.hpp"
 #include "alamr/core/trace.hpp"
 #include "alamr/gp/backend.hpp"
@@ -809,6 +810,104 @@ void BM_AmrRegrid(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AmrRegrid)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// P10 — multi-tenant session engine: requests served per second at
+// 64/256/1024 concurrent tenants (BENCH_PR10.json: BM_SessionThroughput).
+// Arm /0 drives every tenant down the per-session-serial reference path:
+// synchronous suggest/observe, a fresh O(M n^2) posterior sweep per
+// suggest, retrains inline on the request path. Arm /1 drives the same
+// tenants through the queued protocol: drain() coalesces each round's
+// suggest work into one micro-batched pass whose sweeps resume the
+// cross-iteration candidate panel (O(M n)) over a shared distance base,
+// and full refits run on background workers off the request path. Both
+// arms run the same retrain stride, so per-session trajectories are
+// byte-identical (pinned by tests_serve); only the cost of serving them
+// differs. Acceptance: /1 >= 3x /0 at 256 sessions.
+void BM_SessionThroughput(benchmark::State& state) {
+  const std::size_t sessions = static_cast<std::size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+
+  constexpr std::size_t kPerAxis = 20;  // 400-candidate grid per tenant
+  linalg::Matrix grid(kPerAxis * kPerAxis, 2);
+  for (std::size_t i = 0; i < kPerAxis; ++i) {
+    for (std::size_t j = 0; j < kPerAxis; ++j) {
+      grid(i * kPerAxis + j, 0) =
+          static_cast<double>(i) / static_cast<double>(kPerAxis - 1);
+      grid(i * kPerAxis + j, 1) =
+          static_cast<double>(j) / static_cast<double>(kPerAxis - 1);
+    }
+  }
+  const auto oracle = [](std::span<const double> f) {
+    return std::pair{0.01 * std::pow(10.0, 2.0 * f[0]),
+                     0.5 * std::pow(10.0, 1.5 * f[1])};
+  };
+
+  core::SessionOptions options;
+  options.al.n_init = 2;
+  options.al.iterations = 47;
+  options.al.initial_fit.restarts = 1;
+  options.al.initial_fit.max_opt_iterations = 8;
+  options.al.refit.max_opt_iterations = 1;
+  options.retrain_stride = 16;
+  const core::MaxSigma strategy;
+
+  std::size_t requests = 0;
+  for (auto _ : state) {
+    core::ServeOptions serve;
+    serve.coalesce = batched;
+    serve.retrain_workers = batched ? 1 : 0;
+    core::SessionEngine engine(serve);
+    for (core::SessionId id = 1; id <= sessions; ++id) {
+      options.seed = 1000 + id;
+      engine.open_session(id, grid, strategy, options);
+    }
+    if (batched) {
+      std::vector<char> done(sessions + 1, 0);
+      for (;;) {
+        bool any = false;
+        for (core::SessionId id = 1; id <= sessions; ++id) {
+          if (done[id]) continue;
+          engine.enqueue_suggest(id);
+          any = true;
+        }
+        if (!any) break;
+        requests += engine.drain();
+        for (core::SessionId id = 1; id <= sessions; ++id) {
+          if (done[id]) continue;
+          const std::optional<core::Suggestion> s = engine.take_suggestion(id);
+          if (!s || s->done) {
+            done[id] = 1;
+            continue;
+          }
+          const auto [cost, memory] = oracle(s->features);
+          engine.enqueue_observe(id, cost, memory);
+        }
+        requests += engine.drain();
+      }
+    } else {
+      for (core::SessionId id = 1; id <= sessions; ++id) {
+        for (;;) {
+          const core::Suggestion s = engine.suggest(id);
+          ++requests;
+          if (s.done) break;
+          const auto [cost, memory] = oracle(s.features);
+          engine.observe(id, cost, memory);
+          ++requests;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(engine.session_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+}
+BENCHMARK(BM_SessionThroughput)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,174 @@
+// Multi-tenant AL serving (DESIGN.md §15): one SessionEngine hosts N
+// synthetic tenants, each an open online-AL trajectory advanced through
+// the suggest/observe protocol. Every round the tenants' suggest work is
+// coalesced into a single micro-batched sweep (drain), hyperparameter
+// refits run on background workers off the request path, and — when
+// --checkpoint-dir is given — one tenant is evicted to disk mid-run and
+// restored by id, continuing byte-identically.
+//
+// Flags: --sessions N (default 8), --shards N (default 8),
+//        --checkpoint-dir PATH (enables the evict/restore detour),
+//        --stride N (full-refit stride; default 4), --trace PATH.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string_view>
+#include <vector>
+
+#include "alamr/core/serve.hpp"
+#include "example_utils.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alamr;
+  const std::optional<std::string> trace_path =
+      examples::trace_flag(argc, argv);
+
+  std::size_t n_sessions = 8;
+  std::size_t n_shards = 8;
+  std::size_t stride = 4;
+  std::filesystem::path checkpoint_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--sessions" && i + 1 < argc) {
+      n_sessions = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      n_shards = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (arg == "--stride" && i + 1 < argc) {
+      stride = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
+      checkpoint_dir = argv[i + 1];
+    }
+  }
+  if (n_sessions == 0) n_sessions = 1;
+
+  // Shared candidate grid (every tenant explores the same configuration
+  // space, so the engine shares one immutable GridContext between them).
+  constexpr std::size_t kPerAxis = 8;
+  linalg::Matrix grid(kPerAxis * kPerAxis, 2);
+  for (std::size_t i = 0; i < kPerAxis; ++i) {
+    for (std::size_t j = 0; j < kPerAxis; ++j) {
+      grid(i * kPerAxis + j, 0) = static_cast<double>(i) / (kPerAxis - 1);
+      grid(i * kPerAxis + j, 1) = static_cast<double>(j) / (kPerAxis - 1);
+    }
+  }
+
+  // Synthetic per-tenant oracle: each tenant's workload has its own cost
+  // and memory scale, so the learned surrogates genuinely differ.
+  const auto oracle = [](core::SessionId id, std::span<const double> f) {
+    const double tenant = 1.0 + 0.1 * static_cast<double>(id % 7);
+    const double cost = 0.01 * tenant * std::pow(10.0, 2.0 * f[0]);
+    const double memory = 0.5 * std::pow(10.0, 1.5 * f[1] / tenant);
+    return std::pair{cost, memory};
+  };
+
+  core::ServeOptions serve;
+  serve.shards = n_shards;
+  serve.retrain_workers = 2;
+  core::SessionEngine engine(serve);
+
+  const core::MaxSigma explore;
+  const core::RandUniform uniform;
+  core::SessionOptions options;
+  options.al.n_init = 2;
+  options.al.iterations = 12;
+  options.al.initial_fit.restarts = 1;
+  options.al.initial_fit.max_opt_iterations = 15;
+  options.al.refit.max_opt_iterations = 4;
+  options.retrain_stride = stride;
+
+  for (core::SessionId id = 1; id <= n_sessions; ++id) {
+    options.seed = 1000 + id;
+    if (!checkpoint_dir.empty()) {
+      options.checkpoint =
+          checkpoint_dir / ("tenant" + std::to_string(id) + ".ck");
+    }
+    const core::Strategy& strategy =
+        (id % 2 == 0) ? static_cast<const core::Strategy&>(explore)
+                      : static_cast<const core::Strategy&>(uniform);
+    engine.open_session(id, grid, strategy, options);
+  }
+  std::printf("Serving %zu tenants over %zu shards (stride %zu, grid %zux%zu)\n",
+              n_sessions, n_shards, stride, kPerAxis, kPerAxis);
+
+  const core::SessionId evictee = (n_sessions + 1) / 2;
+  bool evicted = false;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<char> done(n_sessions + 1, 0);
+  std::size_t rounds = 0;
+  std::size_t requests = 0;
+  for (;;) {
+    bool any = false;
+    for (core::SessionId id = 1; id <= n_sessions; ++id) {
+      if (done[id]) continue;
+      engine.enqueue_suggest(id);
+      any = true;
+    }
+    if (!any) break;
+    ++rounds;
+    requests += engine.drain();
+    for (core::SessionId id = 1; id <= n_sessions; ++id) {
+      if (done[id]) continue;
+      const std::optional<core::Suggestion> s = engine.take_suggestion(id);
+      if (!s || s->done) {
+        done[id] = 1;
+        continue;
+      }
+      const auto [cost, memory] = oracle(id, s->features);
+      engine.enqueue_observe(id, cost, memory);
+    }
+    requests += engine.drain();
+
+    if (!evicted && !checkpoint_dir.empty() && rounds == 5) {
+      // Mid-run eviction: the tenant's full state (records, posterior,
+      // rng stream, stride phase) goes to durable frames; the restore
+      // continues the trajectory byte-identically.
+      evicted = true;
+      const core::SessionStatus before = engine.status(evictee);
+      engine.evict_session(evictee);
+      std::printf("# round %zu: evicted tenant %llu (%zu records) to %s\n",
+                  rounds, static_cast<unsigned long long>(evictee),
+                  before.records, checkpoint_dir.string().c_str());
+      options.seed = 1000 + evictee;
+      options.checkpoint =
+          checkpoint_dir / ("tenant" + std::to_string(evictee) + ".ck");
+      const core::Strategy& strategy =
+          (evictee % 2 == 0) ? static_cast<const core::Strategy&>(explore)
+                             : static_cast<const core::Strategy&>(uniform);
+      engine.restore_session(evictee, grid, strategy, options);
+      std::printf("# round %zu: restored tenant %llu from disk\n", rounds,
+                  static_cast<unsigned long long>(evictee));
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  examples::print_rule();
+  std::printf("%7s %8s %8s %12s %10s %7s\n", "tenant", "records", "epochs",
+              "cum.cost", "swaps", "health");
+  examples::print_rule();
+  for (core::SessionId id = 1; id <= n_sessions; ++id) {
+    const core::SessionStatus status = engine.status(id);
+    const core::trace::TraceReport tr = engine.session_trace(id);
+    const core::OnlineResult result = engine.finish_session(id);
+    std::printf("%7llu %8zu %8llu %12.4f %10llu %7s\n",
+                static_cast<unsigned long long>(id), result.records.size(),
+                static_cast<unsigned long long>(status.epoch),
+                result.records.empty() ? 0.0
+                                       : result.records.back().cumulative_cost,
+                static_cast<unsigned long long>(
+                    tr.counter("serve.retrain_swaps")),
+                status.cost_health == core::resilience::Health::kHealthy
+                    ? "ok"
+                    : "degraded");
+  }
+  examples::print_rule();
+  std::printf("%zu rounds, %zu requests in %.2f s wall (%.0f req/s)\n", rounds,
+              requests, elapsed, static_cast<double>(requests) / elapsed);
+  examples::finish_trace(trace_path);
+  return 0;
+}

@@ -250,3 +250,12 @@ record_set BENCH_PR8.json \
   'BM_SweepIncremental/'
 
 record_fig_wallclock BENCH_PR8.json
+
+# PR10: /0 arm = every tenant served down the per-session-serial
+# reference path (fresh O(M n^2) sweep per suggest, inline retrains),
+# /1 arm = the multi-tenant session engine (drain() micro-batches the
+# suggests into panel resumes, full refits on off-path retrain workers
+# with work-stealing joins). Same stride, byte-identical trajectories;
+# acceptance: >= 3x at 256 sessions.
+record_set BENCH_PR10.json \
+  'BM_SessionThroughput/'

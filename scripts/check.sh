@@ -232,6 +232,37 @@ run_panel() {
 run_panel serial 1
 run_panel threads4 4
 
+# Serving gate (DESIGN.md §15): the multi-tenant session-engine suites —
+# engine-vs-driver byte identity at stride 1, batched-vs-serial arm
+# parity, evict/restore round-trips, armed-fault tenant isolation, and
+# mixed-shard concurrent traffic — serial and under the 4-lane pool,
+# plus a ThreadSanitizer arm over the same filter: drain() fans requests
+# across pool lanes while retrain workers publish tickets and joiners
+# steal queued jobs, exactly the handoffs TSan is built to vet.
+run_serve() {
+  local name="$1"
+  local threads="$2"
+  echo "=== [serve/$name] session-engine suites (ALAMR_THREADS=$threads) ==="
+  ALAMR_THREADS="$threads" ctest --test-dir build-check/plain --output-on-failure \
+    -R 'Serve' > /tmp/check_serve_"$name".log 2>&1 || {
+    tail -50 /tmp/check_serve_"$name".log
+    echo "FAILED: serve/$name (full log: /tmp/check_serve_$name.log)"
+    exit 1
+  }
+  tail -2 /tmp/check_serve_"$name".log
+}
+run_serve serial 1
+run_serve threads4 4
+
+echo "=== [serve/tsan] session-engine suites under ThreadSanitizer ==="
+ALAMR_THREADS=4 ctest --test-dir build-check/tsan --output-on-failure \
+  -R 'Serve' > /tmp/check_serve_tsan.log 2>&1 || {
+  tail -50 /tmp/check_serve_tsan.log
+  echo "FAILED: serve/tsan (full log: /tmp/check_serve_tsan.log)"
+  exit 1
+}
+tail -2 /tmp/check_serve_tsan.log
+
 # Resilience gate (DESIGN.md §14): the serving-core resilience suites
 # with io.* faults armed process-wide. hits-based plans make every fire
 # deterministic: io.torn_write:hits=2 tears every test's third durable

@@ -97,6 +97,17 @@ struct OnlineResult {
   std::unique_ptr<gp::PosteriorBackend> memory_model;
 };
 
+/// The compatibility fingerprint of an online run ("alamr.online.v1"):
+/// grid shape and exact feature bits, strategy identity, budgets, fit
+/// effort, backend sizing, resilience posture, and fault plan. Checkpoint
+/// frames carry it so a resume (or a SessionEngine restore — DESIGN.md
+/// §15 shares these frames) only proceeds against the identical setup.
+/// `grid` is the RAW candidate grid (pre-scaling).
+std::string online_run_fingerprint(const linalg::Matrix& grid,
+                                   std::string_view strategy_name,
+                                   const OnlineAlOptions& options,
+                                   std::string_view plan_spec);
+
 /// Drives online AL over `candidate_grid` (raw feature rows; scaled to the
 /// unit cube internally). Every selection calls `oracle` exactly once
 /// (plus deadline-executor retries on transient oracle failures).
@@ -110,16 +121,16 @@ class OnlineAlDriver {
   }
 
   /// Runs the initial phase plus `options.iterations` AL selections.
-  /// Callable once per driver instance. With a checkpoint config the run
-  /// saves durable generations every `stride` records and can resume a
-  /// killed run from the newest intact generation.
+  /// Callable once per driver instance: a second call throws
+  /// OnlineContractError (the instance's rng/visited bookkeeping is
+  /// consumed; reuse would silently produce a different trajectory).
+  /// With a checkpoint config the run saves durable generations every
+  /// `stride` records and can resume a killed run from the newest intact
+  /// generation.
   OnlineResult run(const Strategy& strategy, stats::Rng& rng,
                    const CheckpointConfig* checkpoint = nullptr);
 
  private:
-  std::string run_fingerprint(std::string_view strategy_name,
-                              std::string_view plan_spec) const;
-
   linalg::Matrix grid_;          // raw features
   linalg::Matrix grid_scaled_;   // unit-cube features
   ExperimentOracle oracle_;

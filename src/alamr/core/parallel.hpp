@@ -145,6 +145,23 @@ class ThreadPool {
     });
   }
 
+  /// Marks the calling thread pool-nested for the scope's lifetime: every
+  /// parallel_for it issues runs serially inline (bit-identical by the
+  /// determinism contract). Background threads that pool tasks can BLOCK
+  /// on (e.g. retrain workers joined from inside a drained batch) must
+  /// hold one, otherwise their own fan-out waits on the shared queue while
+  /// the queue's lanes wait on them — a cross-pool starvation deadlock.
+  class ScopedInline {
+   public:
+    ScopedInline() : prev_(in_task_) { in_task_ = true; }
+    ~ScopedInline() { in_task_ = prev_; }
+    ScopedInline(const ScopedInline&) = delete;
+    ScopedInline& operator=(const ScopedInline&) = delete;
+
+   private:
+    bool prev_;
+  };
+
  private:
   void worker_loop() {
     in_task_ = true;  // anything a worker runs is pool work: nest serially

@@ -21,7 +21,9 @@ namespace alamr::core {
 /// What a strategy may inspect at one AL iteration. All vectors are
 /// aligned with the rows of `x` (the remaining Active candidates, scaled
 /// features). Predictions are in log10 response space, matching the
-/// paper's pre-processing.
+/// paper's pre-processing. When the driving strategy declares
+/// needs_mean() == false, a mean-skipping sweep may hand it EMPTY mu_cost
+/// / mu_mem spans — by contract such a strategy never reads them.
 struct CandidateView {
   const linalg::Matrix& x;
   std::span<const double> mu_cost;
@@ -29,7 +31,7 @@ struct CandidateView {
   std::span<const double> mu_mem;
   std::span<const double> sigma_mem;
 
-  std::size_t size() const noexcept { return mu_cost.size(); }
+  std::size_t size() const noexcept { return sigma_cost.size(); }
 };
 
 class Strategy {
@@ -39,6 +41,11 @@ class Strategy {
   virtual std::optional<std::size_t> select(const CandidateView& candidates,
                                             stats::Rng& rng) const = 0;
   virtual std::unique_ptr<Strategy> clone() const = 0;
+
+  /// False when select() never reads mu_cost / mu_mem. A batched sweep
+  /// can then skip the O(n m) posterior-mean pass over the candidate
+  /// panel and recover only the selected candidate's mean afterwards.
+  virtual bool needs_mean() const noexcept { return true; }
 };
 
 /// Uniform random sampling — the reference point that ignores the models.
@@ -48,6 +55,7 @@ class RandUniform final : public Strategy {
   std::optional<std::size_t> select(const CandidateView& candidates,
                                     stats::Rng& rng) const override;
   std::unique_ptr<Strategy> clone() const override;
+  bool needs_mean() const noexcept override { return false; }
 };
 
 /// Uncertainty sampling: argmax sigma_cost (the paper's earlier
@@ -58,6 +66,7 @@ class MaxSigma final : public Strategy {
   std::optional<std::size_t> select(const CandidateView& candidates,
                                     stats::Rng& rng) const override;
   std::unique_ptr<Strategy> clone() const override;
+  bool needs_mean() const noexcept override { return false; }
 };
 
 /// Greedy argmax (sigma_cost - mu_cost). As the paper observes, the spread

@@ -151,8 +151,24 @@ class PosteriorBackend {
 
   /// Posterior mean/stddev over the candidate pool. Cheap storage may be
   /// carved from `ws` (freed when the caller's pass scope rewinds).
+  /// `with_mean = false` is a hint that the caller only needs the stddev
+  /// sweep (uncertainty-only acquisition): a backend MAY then return an
+  /// empty mean span and the caller recovers individual means through
+  /// candidate_mean(). Backends that ignore the hint still fill both.
   virtual PosteriorSpans predict_candidates(const CandidateRef& pool,
-                                            linalg::Workspace& ws) = 0;
+                                            linalg::Workspace& ws,
+                                            bool with_mean = true) = 0;
+
+  /// Posterior mean of candidate `local` of the last predict_candidates
+  /// pool, bit-identical to the entry a full mean sweep would have
+  /// produced. Only required of backends that honor `with_mean = false`;
+  /// the default signals the caller misread the contract.
+  virtual double candidate_mean(std::size_t local) const {
+    (void)local;
+    throw std::logic_error(
+        "PosteriorBackend::candidate_mean: backend returned a full mean "
+        "sweep; read PosteriorSpans::mean instead");
+  }
 
   /// Candidate `local` of the last predict_candidates pool was removed
   /// (acquired or censored); drops any cached per-candidate state.
@@ -194,6 +210,15 @@ class PosteriorBackend {
   /// does not use the arena.
   virtual WorkspaceBound workspace_bound(std::size_t n0, std::size_t m0,
                                          std::size_t budget) const = 0;
+
+  /// Snapshot hook for off-path retraining (DESIGN.md §15): a deep,
+  /// independent copy of the full backend state — training data, factor
+  /// caches, candidate-panel carry-over, and (for ResilientBackend) the
+  /// rung/breaker/health resilience state. Background retrain workers fit
+  /// the clone against a frozen view of the session and atomically swap it
+  /// in; the original keeps serving reads meanwhile. Any bound
+  /// DistanceBase is shared (it is immutable), not copied.
+  virtual std::unique_ptr<PosteriorBackend> clone() const = 0;
 };
 
 /// Builds a backend: the kernel prototype is owned by the backend (expert
@@ -253,7 +278,9 @@ class ResilientBackend final : public PosteriorBackend {
   void add_point(std::span<const double> x, double y, std::size_t row,
                  stats::Rng& rng, const CandidateRef* after) override;
   PosteriorSpans predict_candidates(const CandidateRef& pool,
-                                    linalg::Workspace& ws) override;
+                                    linalg::Workspace& ws,
+                                    bool with_mean = true) override;
+  double candidate_mean(std::size_t local) const override;
   void remove_candidate(std::size_t local) override;
   std::vector<double> predict_mean(
       const Matrix& x, std::span<const std::size_t> rows = {}) override;
@@ -266,6 +293,10 @@ class ResilientBackend final : public PosteriorBackend {
   void reserve_additional(std::size_t extra) override;
   WorkspaceBound workspace_bound(std::size_t n0, std::size_t m0,
                                  std::size_t budget) const override;
+  /// Deep copy: the inner backend is cloned and the breaker / ladder /
+  /// retained-learned-set state is copied, so a snapshot degrades (or
+  /// recovers) independently of the original.
+  std::unique_ptr<PosteriorBackend> clone() const override;
 
   // -- Resilience surface ---------------------------------------------------
   core::resilience::Health health() const noexcept;
@@ -284,6 +315,8 @@ class ResilientBackend final : public PosteriorBackend {
  private:
   struct BreakerListener;
   enum class RetryAfterDegrade { kYes, kNo };
+
+  ResilientBackend(const ResilientBackend& other);
 
   std::unique_ptr<PosteriorBackend> make_inner(BackendKind kind) const;
   void pre_op();

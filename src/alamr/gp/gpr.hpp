@@ -145,10 +145,20 @@ class GaussianProcessRegressor {
   /// and therefore to predict() — at every thread count. The caller must
   /// keep the panel aligned with k_star: panel_remove_column() mirrors
   /// every k_star column removal. Requires fit().
+  /// `with_mean = false` skips the O(n m) posterior-mean pass (mean_out
+  /// may then be empty); individual means are recoverable afterwards via
+  /// mean_from_cross_column(), bit-identical to the skipped pass.
   void predict_batch_panel(const Matrix& k_star,
                            std::span<const double> prior_diag,
                            linalg::Workspace& ws, std::span<double> mean_out,
-                           std::span<double> stddev_out);
+                           std::span<double> stddev_out, bool with_mean = true);
+
+  /// Posterior mean of one column of a caller-maintained cross matrix:
+  /// the exact entry a full predict_batch() mean pass over k_star would
+  /// write at `col`, reproduced bit-for-bit (same ascending-row fused
+  /// multiply-add chain through the dispatched axpy kernel, same final
+  /// mean shift). O(n). Requires fit().
+  double mean_from_cross_column(const Matrix& k_star, std::size_t col) const;
 
   /// Drops column `local` from the candidate panel (the candidate was
   /// acquired or censored out of the pool). Pure data movement — the

@@ -66,6 +66,20 @@ class LocalGprEnsemble {
   LocalGprEnsemble(std::unique_ptr<Kernel> prototype, RegionLabeler labeler,
                    GprOptions options = {});
 
+  /// Deep copy (the prototype kernel is cloned). The labeler is copied
+  /// as-is; callers whose labeler captures `this` of an enclosing object
+  /// must rebind it via set_labeler() after copying.
+  LocalGprEnsemble(const LocalGprEnsemble& other);
+  LocalGprEnsemble& operator=(const LocalGprEnsemble& other);
+  LocalGprEnsemble(LocalGprEnsemble&&) noexcept = default;
+  LocalGprEnsemble& operator=(LocalGprEnsemble&&) noexcept = default;
+
+  /// Replaces the region labeler (used after copying an ensemble whose
+  /// labeler captured state of the copied-from owner). The new labeler
+  /// must induce the same partition as the old one for already-routed
+  /// points to stay consistent.
+  void set_labeler(RegionLabeler labeler);
+
   /// Historical entry point: FitSpec{min_region_size} with the global-
   /// model fallback.
   void fit(const Matrix& x, std::span<const double> y, stats::Rng& rng,

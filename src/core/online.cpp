@@ -30,20 +30,22 @@ OnlineAlDriver::OnlineAlDriver(linalg::Matrix candidate_grid,
   grid_scaled_ = data::FeatureScaler::fit(grid_).transform(grid_);
 }
 
-std::string OnlineAlDriver::run_fingerprint(std::string_view strategy_name,
-                                            std::string_view plan_spec) const {
+std::string online_run_fingerprint(const linalg::Matrix& grid,
+                                   std::string_view strategy_name,
+                                   const OnlineAlOptions& options,
+                                   std::string_view plan_spec) {
   trace::Fingerprint fp;
   fp.add("alamr.online.v1");
   fp.add(strategy_name);
   // The grid itself is identity: a checkpoint indexes rows of THIS grid.
-  fp.add(static_cast<std::uint64_t>(grid_.rows()));
-  fp.add(static_cast<std::uint64_t>(grid_.cols()));
-  for (std::size_t r = 0; r < grid_.rows(); ++r) {
-    for (std::size_t c = 0; c < grid_.cols(); ++c) fp.add(grid_(r, c));
+  fp.add(static_cast<std::uint64_t>(grid.rows()));
+  fp.add(static_cast<std::uint64_t>(grid.cols()));
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    for (std::size_t c = 0; c < grid.cols(); ++c) fp.add(grid(r, c));
   }
-  fp.add(static_cast<std::uint64_t>(options_.n_init));
-  fp.add(static_cast<std::uint64_t>(options_.iterations));
-  fp.add(options_.memory_limit_log10);
+  fp.add(static_cast<std::uint64_t>(options.n_init));
+  fp.add(static_cast<std::uint64_t>(options.iterations));
+  fp.add(options.memory_limit_log10);
   const auto add_gpr_options = [&fp](const gp::GprOptions& o) {
     fp.add(static_cast<std::uint64_t>(o.restarts));
     fp.add(o.normalize_y);
@@ -52,32 +54,36 @@ std::string OnlineAlDriver::run_fingerprint(std::string_view strategy_name,
     fp.add(o.initial_jitter);
     fp.add(o.max_jitter);
   };
-  add_gpr_options(options_.initial_fit);
-  add_gpr_options(options_.refit);
-  fp.add(gp::to_string(options_.backend.kind));
-  fp.add(static_cast<std::uint64_t>(options_.backend.inducing_points));
-  fp.add(static_cast<std::uint64_t>(options_.backend.sod_anchors));
-  fp.add(static_cast<std::uint64_t>(options_.backend.experts));
-  fp.add(static_cast<std::uint64_t>(options_.backend.min_expert_size));
-  fp.add(static_cast<std::uint64_t>(options_.backend.kmeans_iterations));
-  fp.add(options_.resilience.enabled);
-  fp.add(options_.resilience.ladder);
-  fp.add(static_cast<std::uint64_t>(options_.resilience.max_attempts));
-  fp.add(static_cast<std::uint64_t>(options_.resilience.breaker_threshold));
-  fp.add(static_cast<std::uint64_t>(options_.resilience.probe_after));
-  fp.add(static_cast<std::uint64_t>(options_.resilience.deadline_ticks));
-  fp.add(static_cast<std::uint64_t>(options_.resilience.backoff.base_ticks));
-  fp.add(options_.resilience.backoff.multiplier);
-  fp.add(static_cast<std::uint64_t>(options_.resilience.backoff.max_ticks));
-  fp.add(options_.resilience.backoff.jitter);
-  fp.add(options_.resilience.backoff.seed);
+  add_gpr_options(options.initial_fit);
+  add_gpr_options(options.refit);
+  fp.add(gp::to_string(options.backend.kind));
+  fp.add(static_cast<std::uint64_t>(options.backend.inducing_points));
+  fp.add(static_cast<std::uint64_t>(options.backend.sod_anchors));
+  fp.add(static_cast<std::uint64_t>(options.backend.experts));
+  fp.add(static_cast<std::uint64_t>(options.backend.min_expert_size));
+  fp.add(static_cast<std::uint64_t>(options.backend.kmeans_iterations));
+  fp.add(options.resilience.enabled);
+  fp.add(options.resilience.ladder);
+  fp.add(static_cast<std::uint64_t>(options.resilience.max_attempts));
+  fp.add(static_cast<std::uint64_t>(options.resilience.breaker_threshold));
+  fp.add(static_cast<std::uint64_t>(options.resilience.probe_after));
+  fp.add(static_cast<std::uint64_t>(options.resilience.deadline_ticks));
+  fp.add(static_cast<std::uint64_t>(options.resilience.backoff.base_ticks));
+  fp.add(options.resilience.backoff.multiplier);
+  fp.add(static_cast<std::uint64_t>(options.resilience.backoff.max_ticks));
+  fp.add(options.resilience.backoff.jitter);
+  fp.add(options.resilience.backoff.seed);
   fp.add(std::string(plan_spec));
   return fp.hex();
 }
 
 OnlineResult OnlineAlDriver::run(const Strategy& strategy, stats::Rng& rng,
                                  const CheckpointConfig* checkpoint) {
-  if (ran_) throw std::logic_error("OnlineAlDriver::run: already ran");
+  if (ran_) {
+    throw OnlineContractError(
+        "OnlineAlDriver::run: already ran (one run per instance; construct a "
+        "fresh driver, or hold sessions in a core::SessionEngine instead)");
+  }
   ran_ = true;
 
   // Per-run fault injection, mirroring run_trajectory: an explicit plan in
@@ -96,8 +102,8 @@ OnlineResult OnlineAlDriver::run(const Strategy& strategy, stats::Rng& rng,
   const double limit_mb =
       track_regret ? std::pow(10.0, options_.memory_limit_log10) : 0.0;
 
-  const std::string compat = run_fingerprint(
-      strategy.name(),
+  const std::string compat = online_run_fingerprint(
+      grid_, strategy.name(), options_,
       plan_source != nullptr ? plan_source->to_string() : std::string());
 
   std::optional<OnlineCheckpoint> resumed;

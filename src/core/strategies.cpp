@@ -17,10 +17,14 @@ void require_candidates(const CandidateView& candidates) {
   if (candidates.size() == 0) {
     throw std::invalid_argument("Strategy: empty candidate set");
   }
-  if (candidates.mu_cost.size() != candidates.sigma_cost.size() ||
-      candidates.mu_cost.size() != candidates.mu_mem.size() ||
-      candidates.mu_cost.size() != candidates.sigma_mem.size() ||
-      candidates.mu_cost.size() != candidates.x.rows()) {
+  // Mean spans may be empty (mean-skipping sweep feeding a strategy with
+  // needs_mean() == false); when present they must align with the sigmas.
+  const bool mu_ok =
+      (candidates.mu_cost.empty() && candidates.mu_mem.empty()) ||
+      (candidates.mu_cost.size() == candidates.sigma_cost.size() &&
+       candidates.mu_mem.size() == candidates.sigma_mem.size());
+  if (!mu_ok || candidates.sigma_cost.size() != candidates.sigma_mem.size() ||
+      candidates.sigma_cost.size() != candidates.x.rows()) {
     throw std::invalid_argument("Strategy: misaligned candidate vectors");
   }
 }

@@ -121,12 +121,25 @@ class ExactGprBackend final : public PosteriorBackend {
       }();
       gpr_.kernel().prepare_distances(dist);
       const Matrix new_row = gpr_.kernel().cross_cached(dist);
-      k_star_.push_row(new_row.row(0));
+      if (dead_ == 0) {
+        k_star_.push_row(new_row.row(0));
+      } else {
+        // Tombstoned columns get a zero entry (finite, never read back);
+        // live entries land in their storage slots, bit-for-bit the values
+        // the compacted layout would hold.
+        row_scratch_.assign(k_star_.cols(), 0.0);
+        const std::span<const double> src = new_row.row(0);
+        for (std::size_t q = 0; q < live_.size(); ++q) {
+          row_scratch_[live_[q]] = src[q];
+        }
+        k_star_.push_row(row_scratch_);
+      }
     }
   }
 
   PosteriorSpans predict_candidates(const CandidateRef& pool,
-                                    linalg::Workspace& ws) override {
+                                    linalg::Workspace& ws,
+                                    bool with_mean = true) override {
     const std::size_t m = pool.x.rows();
     if (incremental_cross_) {
       if (!k_star_valid_) {
@@ -146,6 +159,10 @@ class ExactGprBackend final : public PosteriorBackend {
           gpr_.panel_invalidate();
           gpr_.panel_reserve(std::max(n_train_max_, gpr_.training_size()),
                              k_star_.cols());
+          // Fresh cross matrix: every storage column is live again.
+          live_.resize(m);
+          for (std::size_t q = 0; q < m; ++q) live_[q] = q;
+          dead_ = 0;
         }
         k_star_valid_ = true;
       } else {
@@ -154,11 +171,34 @@ class ExactGprBackend final : public PosteriorBackend {
       if (batched_predict_) {
         // Fused batched posterior over the live cross matrix: outputs live
         // in the caller's pass arena, so the steady-state pass is
-        // allocation-free (verified by tests_alloc).
-        const std::span<double> mu = ws.alloc(m);
+        // allocation-free (verified by tests_alloc). Only the panel path
+        // honors the mean-skip hint (candidate_mean() recovers single
+        // entries from the live cross matrix afterwards).
+        const bool skip_mean = !with_mean && panel_predict_;
+        if (skip_mean) core::trace::count("sim.mean_skip");
+        const std::span<double> mu =
+            skip_mean ? std::span<double>{} : ws.alloc(m);
         const std::span<double> sd = ws.alloc(m);
         if (panel_predict_) {
-          gpr_.predict_batch_panel(k_star_, diag_, ws, mu, sd);
+          if (dead_ == 0) {
+            gpr_.predict_batch_panel(k_star_, diag_, ws, mu, sd, !skip_mean);
+          } else {
+            // Tombstoned sweep: run the panel over the full physical
+            // column set (dead columns included — their values are finite
+            // and discarded) and gather the live entries into pool order.
+            // Each column's arithmetic is column-local, so live outputs
+            // are bit-for-bit those of the compacted layout.
+            const std::size_t phys = k_star_.cols();
+            const std::span<double> mu_phys =
+                skip_mean ? std::span<double>{} : ws.alloc(phys);
+            const std::span<double> sd_phys = ws.alloc(phys);
+            gpr_.predict_batch_panel(k_star_, diag_, ws, mu_phys, sd_phys,
+                                     !skip_mean);
+            for (std::size_t q = 0; q < m; ++q) {
+              if (!skip_mean) mu[q] = mu_phys[live_[q]];
+              sd[q] = sd_phys[live_[q]];
+            }
+          }
         } else {
           gpr_.predict_batch(k_star_, diag_, ws, mu, sd);
         }
@@ -177,17 +217,36 @@ class ExactGprBackend final : public PosteriorBackend {
     return {pred_.mean, pred_.stddev};
   }
 
+  double candidate_mean(std::size_t local) const override {
+    // Only meaningful after a mean-skipped panel sweep, so the live cross
+    // matrix and pool map are current. Bit-identical to the entry the
+    // skipped full pass would have produced (mean_from_cross_column).
+    if (!k_star_valid_ || local >= live_.size()) {
+      throw std::logic_error(
+          "ExactGprBackend::candidate_mean: no live mean-skipped sweep");
+    }
+    return gpr_.mean_from_cross_column(k_star_, live_[local]);
+  }
+
   void remove_candidate(std::size_t local) override {
+    if (!k_star_valid_) return;
+    if (batched_predict_ && panel_predict_) {
+      // Tombstone instead of compacting: eager column removal moves
+      // O(n m) doubles across the cross matrix AND the panel on every
+      // acquisition. The column stays in storage (at most a retrain
+      // stride of dead columns accumulates before the next swap-triggered
+      // rebuild compacts everything); only the pool->storage map shrinks.
+      core::trace::count("sim.kstar_tombstone");
+      live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(local));
+      ++dead_;
+      return;
+    }
     // Drop the acquired candidate's column from the live cross matrix (and
     // its cached prior-diagonal entry); remaining entries keep their bits —
     // remove_column is pure data movement.
-    if (!k_star_valid_) return;
     k_star_.remove_column(local);
     if (batched_predict_) {
       diag_.erase(diag_.begin() + static_cast<std::ptrdiff_t>(local));
-      // Keep the panel column-aligned with the cross matrix (no-op when
-      // no panel is live).
-      if (panel_predict_) gpr_.panel_remove_column(local);
     }
   }
 
@@ -237,14 +296,23 @@ class ExactGprBackend final : public PosteriorBackend {
     // maximized over the pass index (the training side grows while the
     // candidate side shrinks). Summed across the two per-response backends
     // this reproduces the historical 4*m0 + z_peak arena bound exactly.
+    // Panel mode adds the physical-width gather staging for tombstoned
+    // sweeps (two vectors over at most the initial m0 columns).
     std::size_t z_peak = 0;
     for (std::size_t p = 0; p <= budget && p <= m0; ++p) {
       z_peak = std::max(z_peak, (n0 + p) * (m0 - p));
     }
+    if (panel_predict_) z_peak = std::max(z_peak, 2 * m0);
     return {.outputs = 2 * m0, .scratch = z_peak};
   }
 
+  std::unique_ptr<PosteriorBackend> clone() const override {
+    return std::unique_ptr<PosteriorBackend>(new ExactGprBackend(*this));
+  }
+
  private:
+  ExactGprBackend(const ExactGprBackend&) = default;
+
   GaussianProcessRegressor gpr_;
   const bool incremental_refit_;
   const bool incremental_cross_;
@@ -263,6 +331,13 @@ class ExactGprBackend final : public PosteriorBackend {
   Matrix k_star_;
   std::vector<double> diag_;
   bool k_star_valid_ = false;
+
+  // Panel mode keeps acquired candidates' columns in storage (tombstones)
+  // instead of compacting: live_ maps pool index -> storage column, dead_
+  // counts tombstoned columns. Reset to identity/zero on cross rebuilds.
+  std::vector<std::size_t> live_;
+  std::size_t dead_ = 0;
+  std::vector<double> row_scratch_;
 
   // Train-to-query distance slab for predict_mean, keyed on the training
   // size and query rows it was gathered for.
@@ -373,7 +448,8 @@ class SubsetOfDataBackend final : public PosteriorBackend {
   }
 
   PosteriorSpans predict_candidates(const CandidateRef& pool,
-                                    linalg::Workspace& ws) override {
+                                    linalg::Workspace& ws,
+                                    bool /*with_mean*/ = true) override {
     core::trace::count("backend.sod_predict");
     if (batched_predict_ && panel_predict_) {
       // Panel sweep over a cross matrix cached for the current window
@@ -464,7 +540,13 @@ class SubsetOfDataBackend final : public PosteriorBackend {
     return {.outputs = panel_predict_ ? 2 * m0 : 0, .scratch = z_peak};
   }
 
+  std::unique_ptr<PosteriorBackend> clone() const override {
+    return std::unique_ptr<PosteriorBackend>(new SubsetOfDataBackend(*this));
+  }
+
  private:
+  SubsetOfDataBackend(const SubsetOfDataBackend&) = default;
+
   /// Indices (into the learned sequence) of the current subset: the first
   /// min(anchors, n) points plus the most recent cap - anchors.
   std::vector<std::size_t> subset_indices() const {
@@ -551,6 +633,19 @@ class LocalExpertsBackend final : public PosteriorBackend {
                   },
                   fit_options) {}
 
+  /// The ensemble's labeler captures `this`; a copy must rebind it to the
+  /// copy's own centroids or routing would read the copied-from object.
+  LocalExpertsBackend(const LocalExpertsBackend& other)
+      : experts_(other.experts_),
+        min_expert_size_(other.min_expert_size_),
+        kmeans_iterations_(other.kmeans_iterations_),
+        centroids_(other.centroids_),
+        ensemble_(other.ensemble_),
+        pred_(other.pred_) {
+    ensemble_.set_labeler(
+        [this](std::span<const double> x) { return nearest_centroid(x); });
+  }
+
   std::string_view name() const noexcept override { return "local_experts"; }
   BackendKind kind() const noexcept override {
     return BackendKind::kLocalExperts;
@@ -586,7 +681,8 @@ class LocalExpertsBackend final : public PosteriorBackend {
   }
 
   PosteriorSpans predict_candidates(const CandidateRef& pool,
-                                    linalg::Workspace& /*ws*/) override {
+                                    linalg::Workspace& /*ws*/,
+                                    bool /*with_mean*/ = true) override {
     core::trace::count("backend.experts_predict");
     pred_ = ensemble_.predict(pool.x);
     return {pred_.mean, pred_.stddev};
@@ -661,6 +757,10 @@ class LocalExpertsBackend final : public PosteriorBackend {
   WorkspaceBound workspace_bound(std::size_t /*n0*/, std::size_t /*m0*/,
                                  std::size_t /*budget*/) const override {
     return {};
+  }
+
+  std::unique_ptr<PosteriorBackend> clone() const override {
+    return std::unique_ptr<PosteriorBackend>(new LocalExpertsBackend(*this));
   }
 
  private:
@@ -771,7 +871,8 @@ class PriorMeanBackend final : public PosteriorBackend {
   }
 
   PosteriorSpans predict_candidates(const CandidateRef& pool,
-                                    linalg::Workspace& ws) override {
+                                    linalg::Workspace& ws,
+                                    bool /*with_mean*/ = true) override {
     (void)ws;
     const std::size_t m = pool.rows.empty() ? pool.x.rows() : pool.rows.size();
     mean_buf_.assign(m, mean_);
@@ -819,6 +920,10 @@ class PriorMeanBackend final : public PosteriorBackend {
     (void)m0;
     (void)budget;
     return {0, 0};
+  }
+
+  std::unique_ptr<PosteriorBackend> clone() const override {
+    return std::make_unique<PriorMeanBackend>(*this);
   }
 
  private:
@@ -939,6 +1044,28 @@ ResilientBackend::ResilientBackend(const BackendOptions& options,
 }
 
 ResilientBackend::~ResilientBackend() = default;
+
+ResilientBackend::ResilientBackend(const ResilientBackend& other)
+    : base_options_(other.base_options_),
+      res_(other.res_),
+      kernel_factory_(other.kernel_factory_),
+      fit_options_(other.fit_options_),
+      ladder_(other.ladder_),
+      inner_(other.inner_->clone()),
+      rung_(other.rung_),
+      breaker_(other.breaker_),
+      health_(other.health_),
+      rung_theta_(other.rung_theta_),
+      repair_rng_(other.repair_rng_),
+      exec_(other.exec_),
+      x_store_(other.x_store_),
+      y_store_(other.y_store_),
+      rows_store_(other.rows_store_),
+      base_(other.base_) {}
+
+std::unique_ptr<PosteriorBackend> ResilientBackend::clone() const {
+  return std::unique_ptr<PosteriorBackend>(new ResilientBackend(*this));
+}
 
 std::unique_ptr<PosteriorBackend> ResilientBackend::make_inner(
     BackendKind kind) const {
@@ -1168,9 +1295,17 @@ void ResilientBackend::add_point(std::span<const double> x, double y,
 }
 
 PosteriorSpans ResilientBackend::predict_candidates(const CandidateRef& pool,
-                                                    linalg::Workspace& ws) {
+                                                    linalg::Workspace& ws,
+                                                    bool with_mean) {
   return guarded("backend.predict_candidates", RetryAfterDegrade::kYes,
-                 [&] { return inner_->predict_candidates(pool, ws); });
+                 [&] { return inner_->predict_candidates(pool, ws, with_mean); });
+}
+
+double ResilientBackend::candidate_mean(std::size_t local) const {
+  // Read-only recovery of one mean entry from the inner backend's live
+  // cross matrix; no retry ladder — a failure here means the preceding
+  // sweep already lied about being mean-skipped.
+  return inner_->candidate_mean(local);
 }
 
 void ResilientBackend::remove_candidate(std::size_t local) {

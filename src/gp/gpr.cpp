@@ -525,12 +525,12 @@ void GaussianProcessRegressor::predict_batch(const Matrix& k_star,
 void GaussianProcessRegressor::predict_batch_panel(
     const Matrix& k_star, std::span<const double> prior_diag,
     linalg::Workspace& ws, std::span<double> mean_out,
-    std::span<double> stddev_out) {
+    std::span<double> stddev_out, bool with_mean) {
   if (!fitted()) throw std::logic_error("GPR::predict_batch before fit");
   const std::size_t n = x_train_.rows();
   const std::size_t m = k_star.cols();
-  if (k_star.rows() != n || prior_diag.size() != m || mean_out.size() != m ||
-      stddev_out.size() != m) {
+  if (k_star.rows() != n || prior_diag.size() != m || stddev_out.size() != m ||
+      (with_mean && mean_out.size() != m)) {
     throw std::invalid_argument("GPR::predict_batch: shape mismatch");
   }
   if (m == 0) return;
@@ -540,12 +540,16 @@ void GaussianProcessRegressor::predict_batch_panel(
              // lives in member storage so it survives the sweep.
 
   // Mean: alpha changes on every posterior update, so this stays a full
-  // O(n m) pass — identical to predict_batch()'s.
-  std::fill(mean_out.begin(), mean_out.end(), 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    linalg::axpy(alpha_[i], k_star.row(i), mean_out);
+  // O(n m) pass — identical to predict_batch()'s. Skipped entirely for
+  // uncertainty-only acquisition (mean_from_cross_column() recovers any
+  // single entry bit-identically).
+  if (with_mean) {
+    std::fill(mean_out.begin(), mean_out.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      linalg::axpy(alpha_[i], k_star.row(i), mean_out);
+    }
+    for (double& v : mean_out) v += y_mean_;
   }
-  for (double& v : mean_out) v += y_mean_;
 
   // Variance through the panel. Reusable only when the posterior grew
   // purely by factor extensions since the cached sweep (panel_valid_) and
@@ -570,6 +574,25 @@ void GaussianProcessRegressor::predict_batch_panel(
                    panel_acc_.data(), stddev_out);
   }
   panel_valid_ = true;
+}
+
+double GaussianProcessRegressor::mean_from_cross_column(const Matrix& k_star,
+                                                        std::size_t col) const {
+  if (!fitted()) throw std::logic_error("GPR::predict_batch before fit");
+  const std::size_t n = x_train_.rows();
+  if (k_star.rows() != n || col >= k_star.cols()) {
+    throw std::invalid_argument("GPR::mean_from_cross_column: shape mismatch");
+  }
+  // Entry `col` of the full mean pass: zero-init, ascending-row axpy,
+  // mean shift. Routed through the dispatched axpy kernel one element at
+  // a time so the fused-multiply-add chain is the one the full pass runs
+  // on this entry — bit-identical by construction.
+  double acc = 0.0;
+  const std::span<double> out(&acc, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    linalg::axpy(alpha_[i], k_star.row(i).subspan(col, 1), out);
+  }
+  return acc + y_mean_;
 }
 
 void GaussianProcessRegressor::panel_remove_column(std::size_t local) {

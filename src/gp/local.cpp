@@ -35,6 +35,36 @@ LocalGprEnsemble::LocalGprEnsemble(std::unique_ptr<Kernel> prototype,
   }
 }
 
+LocalGprEnsemble::LocalGprEnsemble(const LocalGprEnsemble& other)
+    : prototype_(other.prototype_ ? other.prototype_->clone() : nullptr),
+      labeler_(other.labeler_),
+      options_(other.options_),
+      min_region_size_(other.min_region_size_),
+      base_(other.base_),
+      fallback_(other.fallback_),
+      fitted_(other.fitted_),
+      global_(other.global_),
+      regions_(other.regions_),
+      y_sum_(other.y_sum_),
+      n_train_(other.n_train_),
+      pending_theta_(other.pending_theta_),
+      pending_theta_used_(other.pending_theta_used_) {}
+
+LocalGprEnsemble& LocalGprEnsemble::operator=(const LocalGprEnsemble& other) {
+  if (this != &other) {
+    LocalGprEnsemble copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+void LocalGprEnsemble::set_labeler(RegionLabeler labeler) {
+  if (!labeler) {
+    throw std::invalid_argument("LocalGprEnsemble::set_labeler: null labeler");
+  }
+  labeler_ = std::move(labeler);
+}
+
 void LocalGprEnsemble::fit(const Matrix& x, std::span<const double> y,
                            stats::Rng& rng, std::size_t min_region_size) {
   fit(x, y, rng, FitSpec{.min_region_size = min_region_size});

@@ -127,7 +127,7 @@ TEST(OnlineAl, RunTwiceThrows) {
   OnlineAlDriver driver(unit_grid(5), synthetic_oracle, fast_options(2, 3));
   Rng rng(2);
   driver.run(RandUniform(), rng);
-  EXPECT_THROW(driver.run(RandUniform(), rng), std::logic_error);
+  EXPECT_THROW(driver.run(RandUniform(), rng), OnlineContractError);
 }
 
 TEST(OnlineAl, BadOracleMeasurementThrows) {

@@ -253,10 +253,11 @@ TEST(PanelTrajectory, WarmRefitThetaMovesByteIdentical) {
   // the parity check covers the rebuild arm of the cache.
   const auto result = expect_panel_arms_byte_identical([](core::AlOptions&) {});
   // Two responses (cost + memory) rebuild once per iteration each; the
-  // acquisitions still drop their candidate columns in between.
+  // acquisitions tombstone their candidate columns in between (the next
+  // rebuild compacts them away).
   EXPECT_GE(result.trace.counter("panel.rebuilds"), 2 * kIterations);
   EXPECT_EQ(result.trace.counter("panel.rows_appended"), 0u);
-  EXPECT_GE(result.trace.counter("panel.cols_dropped"), kIterations);
+  EXPECT_GE(result.trace.counter("sim.kstar_tombstone"), kIterations);
 }
 
 TEST(PanelTrajectory, ZeroRefitBudgetAppendsRowsByteIdentical) {
@@ -270,7 +271,7 @@ TEST(PanelTrajectory, ZeroRefitBudgetAppendsRowsByteIdentical) {
       });
   EXPECT_LE(result.trace.counter("panel.rebuilds"), 4u);
   EXPECT_GE(result.trace.counter("panel.rows_appended"), kIterations);
-  EXPECT_GE(result.trace.counter("panel.cols_dropped"), kIterations);
+  EXPECT_GE(result.trace.counter("sim.kstar_tombstone"), kIterations);
 }
 
 TEST(PanelTrajectory, CholeskyNonPsdRecoveryByteIdentical) {
@@ -293,8 +294,8 @@ TEST(PanelTrajectory, AcquireOomDropCensorByteIdentical) {
       });
   EXPECT_EQ(result.censored_count, 3u);
   // Censored candidates leave the pool without a refit: their columns are
-  // dropped from the live panel.
-  EXPECT_GE(result.trace.counter("panel.cols_dropped"), kIterations);
+  // tombstoned out of the live panel.
+  EXPECT_GE(result.trace.counter("sim.kstar_tombstone"), kIterations);
 }
 
 TEST(PanelTrajectory, AcquireOomRetryCensorByteIdentical) {
